@@ -1,0 +1,88 @@
+// Ablation: thread placement. Section 6.3 notes that without explicit
+// pinning (threads scattered across sockets by the OS), the multi-sockets
+// deliver 4-6x lower maximum throughput on the high-contention hash table;
+// Section 6.4 reports ~20% for Memcached.
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "src/core/mem_sim.h"
+#include "src/core/runtime_sim.h"
+#include "src/locks/locks.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace ssync {
+namespace {
+
+// Lock stress with an explicit cpu list (compact = paper pinning; scattered =
+// round-robin across sockets, emulating OS load balancing).
+double StressOnCpus(const PlatformSpec& spec, const std::vector<CpuId>& cpus,
+                    Cycles duration) {
+  SimRuntime rt(spec);
+  const int threads = static_cast<int>(cpus.size());
+  LockTopology topo;
+  topo.max_threads = threads;
+  for (const CpuId cpu : cpus) {
+    topo.cluster_of.push_back(spec.SocketOf(cpu));
+  }
+  TicketLock<SimMem> lock(topo, DefaultTicketOptions(spec));
+  Padded<SimMem::Atomic<std::uint64_t>> data;
+  std::vector<std::uint64_t> ops(threads, 0);
+  rt.RunForOnCpus(cpus, duration, [&](int tid) {
+    while (!SimMem::ShouldStop()) {
+      lock.Lock();
+      const std::uint64_t v = data.value.Load();
+      data.value.Store(v + 1);
+      lock.Unlock();
+      ++ops[tid];
+      SimMem::Pause(60);
+    }
+  });
+  const std::uint64_t total = std::accumulate(ops.begin(), ops.end(), 0ULL);
+  return MopsPerSec(total, rt.last_duration(), spec.ghz);
+}
+
+}  // namespace
+}  // namespace ssync
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
+  cli.Finish();
+
+  std::printf(
+      "Ablation — pinned (socket-filling) vs scattered (round-robin across "
+      "sockets)\nthread placement, single contended TICKET lock.\n"
+      "Expected: large penalty on the multi-sockets, none on the "
+      "single-sockets.\n\n");
+
+  Table t({"Platform", "Threads", "pinned (Mops/s)", "scattered (Mops/s)", "penalty"});
+  for (const PlatformKind kind : MainPlatforms()) {
+    const PlatformSpec spec = MakePlatform(kind);
+    for (const int threads : {8, 16}) {
+      if (threads > spec.num_cpus) {
+        continue;
+      }
+      std::vector<CpuId> compact;
+      for (int i = 0; i < threads; ++i) {
+        compact.push_back(spec.CpuForThread(i));
+      }
+      // Scattered: spread across sockets round-robin (cpu k of socket k%S).
+      std::vector<CpuId> scattered;
+      const int per_socket = spec.cores_per_socket * spec.cpus_per_core;
+      for (int i = 0; i < threads; ++i) {
+        const int socket = i % spec.num_sockets;
+        const int slot = i / spec.num_sockets;
+        scattered.push_back(socket * per_socket + slot);
+      }
+      const double pinned = StressOnCpus(spec, compact, duration);
+      const double scat = StressOnCpus(spec, scattered, duration);
+      t.AddRow({spec.name, Table::Int(threads), Table::Num(pinned, 2),
+                Table::Num(scat, 2), Table::Num(pinned / scat, 2) + "x"});
+    }
+  }
+  EmitTable(t, csv);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the table/figure benchmark binaries.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/platform/spec.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+namespace ssync {
+
+// Platforms selected by --platform=opteron|xeon|niagara|tilera|all.
+inline std::vector<PlatformSpec> PlatformsFromFlag(const std::string& flag) {
+  if (flag == "all") {
+    std::vector<PlatformSpec> specs;
+    for (const PlatformKind kind : MainPlatforms()) {
+      specs.push_back(MakePlatform(kind));
+    }
+    return specs;
+  }
+  return {MakePlatformByName(flag)};
+}
+
+// Thread counts swept for throughput figures: dense enough to show the
+// shape, sparse enough to keep each binary's runtime in seconds.
+inline std::vector<int> ThreadMarks(const PlatformSpec& spec) {
+  switch (spec.kind) {
+    case PlatformKind::kOpteron:
+      return {1, 2, 6, 12, 18, 24, 36, 48};
+    case PlatformKind::kXeon:
+      return {1, 2, 10, 20, 30, 40, 60, 80};
+    case PlatformKind::kNiagara:
+      return {1, 2, 8, 16, 24, 32, 48, 64};
+    case PlatformKind::kTilera:
+      return {1, 2, 6, 12, 18, 24, 30, 36};
+    default:
+      return {1, 2, 4, spec.num_cpus};
+  }
+}
+
+// The thread marks of the paper's bar figures (Figures 8 and 11): 36-core
+// cross-platform comparison.
+inline std::vector<int> BarThreadMarks(const PlatformSpec& spec) {
+  switch (spec.kind) {
+    case PlatformKind::kOpteron:
+      return {1, 6, 18, 36};
+    case PlatformKind::kXeon:
+      return {1, 10, 18, 36};
+    case PlatformKind::kNiagara:
+    case PlatformKind::kTilera:
+      return {1, 8, 18, 36};
+    default:
+      return {1, spec.num_cpus};
+  }
+}
+
+inline void EmitTable(const Table& table, bool csv) {
+  if (csv) {
+    table.PrintCsv(stdout);
+  } else {
+    table.Print(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace ssync
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Figure 11: throughput and scalability of the hash table (ssht) on four
+// configurations — {512, 12} buckets x {12, 48} entries/bucket — with 80%
+// get / 10% put / 10% remove. Reports, per thread mark: the best lock and
+// its throughput/scalability, plus the message-passing version (one server
+// per three cores, round-trip operations).
+#include "bench/bench_common.h"
+#include "src/locks/locks.h"
+#include "src/ssht/ssht_stress.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
+  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
+  cli.Finish();
+
+  std::printf(
+      "Figure 11 — ssht throughput (Mops/s): best lock vs message passing\n"
+      "Paper: under low contention (512 buckets) locks win everywhere; under "
+      "high\ncontention (12 buckets) message passing delivers the highest "
+      "throughput on three\nof the four platforms (not the Niagara).\n\n");
+
+  struct Config {
+    int buckets;
+    int entries;
+  };
+  for (const Config cfg : {Config{12, 12}, Config{12, 48}, Config{512, 12},
+                           Config{512, 48}}) {
+    std::printf("== %d buckets, %d entries/bucket ==\n\n", cfg.buckets, cfg.entries);
+    for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
+      SshtConfig config;
+      config.buckets = cfg.buckets;
+      config.entries_per_bucket = cfg.entries;
+      config.duration = duration;
+
+      std::printf("%s:\n", spec.name.c_str());
+      Table t({"Threads", "Best-lock Mops/s", "Scalability", "Best lock", "MP Mops/s"});
+      double single = 0.0;
+      for (const int threads : BarThreadMarks(spec)) {
+        double best = 0.0;
+        LockKind best_kind = LockKind::kTicket;
+        for (const LockKind kind : LocksForPlatform(spec)) {
+          SimRuntime rt(spec);
+          const double mops = SshtLockStress(rt, config, kind, threads).mops;
+          if (mops > best) {
+            best = mops;
+            best_kind = kind;
+          }
+        }
+        if (threads == 1) {
+          single = best;
+        }
+        SimRuntime rt(spec);
+        const double mp = SshtMpStress(rt, config, threads).mops;
+        t.AddRow({Table::Int(threads), Table::Num(best, 2),
+                  Table::Num(best / single, 1) + "x", ToString(best_kind),
+                  Table::Num(mp, 2)});
+      }
+      EmitTable(t, csv);
+    }
+  }
+  return 0;
+}

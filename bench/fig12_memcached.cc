@@ -1,0 +1,75 @@
+// Figure 12: throughput of the Memcached-substitute key-value store using a
+// set-only test, with the hash-table and global locks replaced by different
+// libslock algorithms (MUTEX / TAS / TICKET / MCS), plus the paper's
+// get-only observations.
+#include "bench/bench_common.h"
+#include "src/kvs/kvs_stress.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
+  const Cycles duration = cli.Int("duration", 20000000, "simulated cycles per point");
+  cli.Finish();
+
+  std::printf(
+      "Figure 12 — kvs (Memcached substitute), set-only test (Kops/s)\n"
+      "Paper: replacing the Mutexes with ticket/MCS/TAS locks speeds the set "
+      "test up by\n29-50%%; no platform scales beyond 18 threads; the get "
+      "test shows no lock effect.\n\n");
+
+  constexpr LockKind kKinds[] = {LockKind::kMutex, LockKind::kTas, LockKind::kTicket,
+                                 LockKind::kMcs};
+  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
+    std::printf("%s (set-only):\n", spec.name.c_str());
+    Table t({"Threads", "MUTEX", "TAS", "TICKET", "MCS"});
+    double mutex_single = 0.0;
+    double best_overall = 0.0;
+    for (const int threads : {1, 6, 10, 18}) {
+      if (threads > spec.num_cpus) {
+        continue;
+      }
+      std::vector<std::string> row{Table::Int(threads)};
+      for (const LockKind kind : kKinds) {
+        SimRuntime rt(spec);
+        KvsStressConfig config;
+        config.set_only = true;
+        config.duration = duration;
+        const double kops = KvsStress(rt, config, kind, threads).kops;
+        if (kind == LockKind::kMutex && threads == 1) {
+          mutex_single = kops;
+        }
+        best_overall = std::max(best_overall, kops);
+        row.push_back(Table::Num(kops, 0));
+      }
+      t.AddRow(std::move(row));
+    }
+    EmitTable(t, csv);
+    if (mutex_single > 0.0) {
+      std::printf("  max speed-up vs single thread: %.1fx\n\n",
+                  best_overall / mutex_single);
+    }
+  }
+
+  // Get-only: the lock algorithm must not matter, and removing the locks
+  // entirely must not change throughput (Section 6.4).
+  const PlatformSpec spec = PlatformsFromFlag(platform).front();
+  std::printf("%s (get-only): lock choice has no effect\n", spec.name.c_str());
+  Table g({"Threads", "MUTEX", "TICKET", "no locks at all"});
+  for (const int threads : {1, 10, 18}) {
+    KvsStressConfig config;
+    config.set_only = false;
+    config.duration = duration;
+    std::vector<std::string> row{Table::Int(threads)};
+    for (const LockKind kind : {LockKind::kMutex, LockKind::kTicket}) {
+      SimRuntime rt(spec);
+      row.push_back(Table::Num(KvsStress(rt, config, kind, threads).kops, 0));
+    }
+    SimRuntime rt(spec);
+    row.push_back(Table::Num(KvsStressNoLocks(rt, config, threads).kops, 0));
+    g.AddRow(std::move(row));
+  }
+  EmitTable(g, csv);
+  return 0;
+}

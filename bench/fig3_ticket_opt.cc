@@ -1,0 +1,35 @@
+// Figure 3: latency of acquire+release using different implementations of a
+// ticket lock on the Opteron (non-optimized, proportional back-off,
+// back-off + prefetchw).
+#include "bench/bench_common.h"
+#include "src/core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const int rounds = static_cast<int>(cli.Int("rounds", 60, "acquisitions per thread"));
+  cli.Finish();
+
+  std::printf(
+      "Figure 3 — ticket-lock acquire+release latency on the Opteron "
+      "(10^3 cycles)\n"
+      "Paper: non-optimized reaches ~720K cycles at 48 threads; back-off "
+      "scales far better;\nprefetchw is up to 2x better than back-off alone.\n\n");
+
+  TicketOptions naive{/*proportional_backoff=*/false, /*prefetchw=*/false, 100};
+  TicketOptions backoff{/*proportional_backoff=*/true, /*prefetchw=*/false, 100};
+  TicketOptions prefetch{/*proportional_backoff=*/true, /*prefetchw=*/true, 100};
+
+  Table t({"Threads", "non-optimized", "back-off", "back-off+prefetchw"});
+  for (const int threads : {1, 6, 12, 18, 24, 36, 48}) {
+    SimRuntime rt(MakeOpteron());
+    const double lat_naive = TicketAcquireReleaseLatency(rt, naive, threads, rounds);
+    const double lat_backoff = TicketAcquireReleaseLatency(rt, backoff, threads, rounds);
+    const double lat_prefetch = TicketAcquireReleaseLatency(rt, prefetch, threads, rounds);
+    t.AddRow({Table::Int(threads), Table::Num(lat_naive / 1000.0, 1),
+              Table::Num(lat_backoff / 1000.0, 1), Table::Num(lat_prefetch / 1000.0, 1)});
+  }
+  EmitTable(t, csv);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 4: throughput of different atomic operations on a single memory
+// location, per platform, versus the number of threads.
+#include "bench/bench_common.h"
+#include "src/core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
+  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
+  cli.Finish();
+
+  std::printf(
+      "Figure 4 — atomic-op throughput on one shared line (Mops/s)\n"
+      "Paper: multi-sockets drop steeply beyond one core and again across "
+      "sockets;\nsingle-sockets converge to a plateau. TAS is fastest on "
+      "Niagara, FAI on Tilera.\n\n");
+
+  constexpr AtomicStressOp kOps[] = {AtomicStressOp::kCas, AtomicStressOp::kTas,
+                                     AtomicStressOp::kCasFai, AtomicStressOp::kSwap,
+                                     AtomicStressOp::kFai};
+  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
+    std::printf("%s:\n", spec.name.c_str());
+    Table t({"Threads", "CAS", "TAS", "CAS_FAI", "SWAP", "FAI"});
+    for (const int threads : ThreadMarks(spec)) {
+      std::vector<std::string> row{Table::Int(threads)};
+      for (const AtomicStressOp op : kOps) {
+        SimRuntime rt(spec);
+        row.push_back(Table::Num(AtomicStress(rt, op, threads, duration).mops, 1));
+      }
+      t.AddRow(std::move(row));
+    }
+    EmitTable(t, csv);
+  }
+  return 0;
+}

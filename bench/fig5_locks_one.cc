@@ -1,0 +1,41 @@
+// Figure 5: throughput of the nine lock algorithms on one single lock
+// (extreme contention), per platform.
+#include "bench/bench_common.h"
+#include "src/core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
+  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
+  cli.Finish();
+
+  std::printf(
+      "Figure 5 — lock throughput, single lock / extreme contention (Mops/s)\n"
+      "Paper: order-of-magnitude collapse from 1 to 2+ cores on the "
+      "multi-sockets;\nhierarchical locks lead on the Xeon; CLH/MCS most "
+      "resilient; single-sockets hold up.\n\n");
+
+  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
+    const TicketOptions topt = DefaultTicketOptions(spec);
+    const std::vector<LockKind> kinds = LocksForPlatform(spec);
+    std::printf("%s:\n", spec.name.c_str());
+    std::vector<std::string> headers{"Threads"};
+    for (const LockKind kind : kinds) {
+      headers.push_back(ToString(kind));
+    }
+    Table t(headers);
+    for (const int threads : ThreadMarks(spec)) {
+      std::vector<std::string> row{Table::Int(threads)};
+      for (const LockKind kind : kinds) {
+        SimRuntime rt(spec);
+        row.push_back(
+            Table::Num(LockStress(rt, kind, topt, threads, 1, duration, 17).mops, 2));
+      }
+      t.AddRow(std::move(row));
+    }
+    EmitTable(t, csv);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 6: uncontested lock-acquisition latency based on the location of
+// the previous owner of the lock.
+#include "bench/bench_common.h"
+#include "src/core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
+  const int rounds = static_cast<int>(cli.Int("rounds", 200, "handoffs per distance"));
+  cli.Finish();
+
+  std::printf(
+      "Figure 6 — uncontested acquisition latency by previous-holder "
+      "location (cycles)\n"
+      "Paper: remote acquisitions cost up to 12.5x (Opteron) / 11x (Xeon) "
+      "local ones;\nNiagara is flat; complex locks add overhead over spin "
+      "locks.\n\n");
+
+  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
+    const TicketOptions topt = DefaultTicketOptions(spec);
+    const std::vector<LockKind> kinds = LocksForPlatform(spec);
+    const auto cases = DistanceCases(spec);
+    std::printf("%s:\n", spec.name.c_str());
+    std::vector<std::string> headers{"Lock", "single thread"};
+    for (const DistanceCase& c : cases) {
+      headers.push_back(c.label);
+    }
+    Table t(headers);
+    for (const LockKind kind : kinds) {
+      std::vector<std::string> row{ToString(kind)};
+      {
+        SimRuntime rt(spec);
+        row.push_back(
+            Table::Num(UncontestedLockLatency(rt, kind, topt, 0, -1, rounds), 0));
+      }
+      for (const DistanceCase& c : cases) {
+        SimRuntime rt(spec);
+        row.push_back(Table::Num(
+            UncontestedLockLatency(rt, kind, topt, 0, c.partner, rounds), 0));
+      }
+      t.AddRow(std::move(row));
+    }
+    EmitTable(t, csv);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 8: throughput and scalability of locks depending on the number of
+// locks (4 / 16 / 32 / 128), reported — as in the paper — as the
+// best-performing lock and its scalability over single-thread execution at
+// each thread mark.
+#include "bench/bench_common.h"
+#include "src/core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
+  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
+  cli.Finish();
+
+  std::printf(
+      "Figure 8 — best lock and scalability vs number of locks\n"
+      "Each cell: throughput Mops/s (scalability x: best lock), as the "
+      "paper's bar labels.\nPaper: single-sockets scale; multi-sockets are "
+      "limited even at low contention.\n\n");
+
+  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
+    const TicketOptions topt = DefaultTicketOptions(spec);
+    const std::vector<LockKind> kinds = LocksForPlatform(spec);
+    std::printf("%s:\n", spec.name.c_str());
+    Table t({"Locks", "Threads", "Mops/s", "Scalability", "Best lock"});
+    for (const int num_locks : {4, 16, 32, 128}) {
+      double single_thread_best = 0.0;
+      for (const int threads : BarThreadMarks(spec)) {
+        double best = 0.0;
+        LockKind best_kind = LockKind::kTicket;
+        for (const LockKind kind : kinds) {
+          SimRuntime rt(spec);
+          const double mops =
+              LockStress(rt, kind, topt, threads, num_locks, duration, 29).mops;
+          if (mops > best) {
+            best = mops;
+            best_kind = kind;
+          }
+        }
+        if (threads == 1) {
+          single_thread_best = best;
+        }
+        t.AddRow({Table::Int(num_locks), Table::Int(threads), Table::Num(best, 1),
+                  Table::Num(best / single_thread_best, 1) + "x",
+                  ToString(best_kind)});
+      }
+    }
+    EmitTable(t, csv);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the substrate itself on the host
+// machine: fiber switches, engine scheduling, coherence-model access rates,
+// and the native lock fast paths. (On a 1-core host these validate overheads,
+// not scalability — the scalability study runs on the simulated machines.)
+#include <benchmark/benchmark.h>
+
+#include "src/ccsim/machine.h"
+#include "src/core/mem_native.h"
+#include "src/core/runtime_sim.h"
+#include "src/fiber/fiber.h"
+#include "src/locks/locks.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+namespace {
+
+void BM_FiberSwitch(benchmark::State& state) {
+  Fiber fiber([] {
+    for (;;) {
+      Fiber::Current()->Yield();
+    }
+  });
+  for (auto _ : state) {
+    fiber.Resume();  // one round trip = two context switches
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_EngineAdvance(benchmark::State& state) {
+  // Throughput of the discrete-event core: advances with slack checks.
+  const std::int64_t batch = 1 << 16;
+  for (auto _ : state) {
+    Engine eng(2);
+    for (CpuId cpu = 0; cpu < 2; ++cpu) {
+      eng.Spawn(cpu, [batch] {
+        for (std::int64_t i = 0; i < batch; ++i) {
+          Engine::Current()->Advance(3);
+        }
+      });
+    }
+    eng.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 2);
+}
+BENCHMARK(BM_EngineAdvance);
+
+void BM_CoherenceAccessLocalHit(benchmark::State& state) {
+  Machine machine(MakeOpteron());
+  machine.AccessAt(0, 100, AccessType::kStore, 0);
+  Cycles now = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.AccessAt(0, 100, AccessType::kLoad, now));
+    now += 1000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceAccessLocalHit);
+
+void BM_CoherenceAccessRemoteTransfer(benchmark::State& state) {
+  Machine machine(MakeOpteron());
+  Cycles now = 0;
+  int flip = 0;
+  for (auto _ : state) {
+    now += 1000;
+    benchmark::DoNotOptimize(
+        machine.AccessAt(flip ? 0 : 6, 100, AccessType::kStore, now));
+    flip ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceAccessRemoteTransfer);
+
+void BM_SimulatedLockHandoff(benchmark::State& state) {
+  // End-to-end cost of simulating one lock acquire/release pair.
+  for (auto _ : state) {
+    SimRuntime rt(MakeOpteron());
+    const LockTopology topo = LockTopology::ForPlatform(rt.spec(), 2);
+    TicketLock<SimMem> lock(topo);
+    rt.Run(2, [&](int) {
+      for (int i = 0; i < 1000; ++i) {
+        lock.Lock();
+        lock.Unlock();
+        SimMem::Pause(60);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SimulatedLockHandoff);
+
+template <typename L>
+void NativeLockFastPath(benchmark::State& state) {
+  const LockTopology topo = LockTopology::Flat(1);
+  L lock(topo);
+  internal::g_native_thread_id = 0;
+  for (auto _ : state) {
+    lock.Lock();
+    benchmark::ClobberMemory();
+    lock.Unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NativeTasUncontended(benchmark::State& state) {
+  NativeLockFastPath<TasLock<NativeMem>>(state);
+}
+void BM_NativeTicketUncontended(benchmark::State& state) {
+  NativeLockFastPath<TicketLock<NativeMem>>(state);
+}
+void BM_NativeMcsUncontended(benchmark::State& state) {
+  NativeLockFastPath<McsLock<NativeMem>>(state);
+}
+void BM_NativeClhUncontended(benchmark::State& state) {
+  NativeLockFastPath<ClhLock<NativeMem>>(state);
+}
+void BM_NativeMutexUncontended(benchmark::State& state) {
+  NativeLockFastPath<MutexLock<NativeMem>>(state);
+}
+BENCHMARK(BM_NativeTasUncontended);
+BENCHMARK(BM_NativeTicketUncontended);
+BENCHMARK(BM_NativeMcsUncontended);
+BENCHMARK(BM_NativeClhUncontended);
+BENCHMARK(BM_NativeMutexUncontended);
+
+}  // namespace
+}  // namespace ssync
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Section 8 ("Miscellaneous"): the software transactional memory results the
+// paper omits for space, reporting that they are "in accordance with the
+// results of the hash table (Section 6.3), both for locks and message
+// passing". Bank-transfer transactions under low contention (many accounts)
+// and high contention (few accounts), lock-based STM vs TM2C-style
+// message-passing STM.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/core/runtime_sim.h"
+#include "src/stm/tm_lock.h"
+#include "src/stm/tm_mp.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace ssync {
+namespace {
+
+struct StmPoint {
+  double mtx_per_sec;  // committed transactions, millions per second
+  double abort_ratio;  // aborts / (commits + aborts)
+};
+
+std::vector<std::unique_ptr<TmVar<SimMem>>> MakeAccounts(int n) {
+  std::vector<std::unique_ptr<TmVar<SimMem>>> accounts;
+  for (int i = 0; i < n; ++i) {
+    accounts.push_back(std::make_unique<TmVar<SimMem>>(1000));
+  }
+  return accounts;
+}
+
+template <typename TxRunner>
+void TransferBody(Rng& rng, int num_accounts, TxRunner&& run_tx) {
+  const int from = static_cast<int>(rng.NextBelow(num_accounts));
+  const int to = static_cast<int>((from + 1 + rng.NextBelow(num_accounts - 1)) %
+                                  num_accounts);
+  run_tx(from, to);
+}
+
+StmPoint LockStmPoint(const PlatformSpec& spec, int threads, int num_accounts,
+                      Cycles duration) {
+  SimRuntime rt(spec);
+  TmLockSystem<SimMem> tm;
+  auto accounts = MakeAccounts(num_accounts);
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  rt.RunFor(threads, duration, [&](int tid) {
+    Rng rng(41 * tid + 7);
+    while (!SimMem::ShouldStop()) {
+      TransferBody(rng, num_accounts, [&](int from, int to) {
+        const TmStats stats = tm.Run(rng.Next(), [&](auto& tx) {
+          const std::uint64_t a = tx.Read(*accounts[from]);
+          const std::uint64_t b = tx.Read(*accounts[to]);
+          tx.Write(*accounts[from], a - 1);
+          tx.Write(*accounts[to], b + 1);
+        });
+        commits += stats.commits;
+        aborts += stats.aborts;
+      });
+      SimMem::Pause(50);
+    }
+  });
+  return {MopsPerSec(commits, rt.last_duration(), spec.ghz),
+          aborts ? static_cast<double>(aborts) / static_cast<double>(commits + aborts)
+                 : 0.0};
+}
+
+StmPoint MpStmPoint(const PlatformSpec& spec, int threads, int num_accounts,
+                    Cycles duration) {
+  const int total = threads == 1 ? 2 : threads;
+  const int servers = threads == 1 ? 1 : std::max(1, threads / 3);
+  SimRuntime rt(spec);
+  TmMpSystem<SimMem> tm(total, servers, spec.has_hw_mp);
+  auto accounts = MakeAccounts(num_accounts);
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  rt.RunFor(total, duration, [&](int tid) {
+    if (tid < servers) {
+      tm.RunServer(tid);
+      return;
+    }
+    Rng rng(59 * tid + 3);
+    while (!SimMem::ShouldStop()) {
+      TransferBody(rng, num_accounts, [&](int from, int to) {
+        const TmStats stats = tm.Run(tid, rng.Next(), [&](auto& tx) {
+          const std::uint64_t a = tx.Read(*accounts[from]);
+          const std::uint64_t b = tx.Read(*accounts[to]);
+          tx.Write(*accounts[from], a - 1);
+          tx.Write(*accounts[to], b + 1);
+        });
+        commits += stats.commits;
+        aborts += stats.aborts;
+      });
+      SimMem::Pause(50);
+    }
+    tm.ClientDone();
+  });
+  return {MopsPerSec(commits, rt.last_duration(), spec.ghz),
+          aborts ? static_cast<double>(aborts) / static_cast<double>(commits + aborts)
+                 : 0.0};
+}
+
+}  // namespace
+}  // namespace ssync
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
+  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
+  cli.Finish();
+
+  std::printf(
+      "Section 8 — STM (TM2C): bank transfers, lock-based vs message-passing "
+      "(M tx/s)\nPaper: results are in accordance with the hash table — "
+      "locks win at low\ncontention, message passing at extreme contention "
+      "and high core counts.\n\n");
+
+  struct Level {
+    const char* name;
+    int accounts;
+  };
+  for (const Level level : {Level{"high contention", 16}, Level{"low contention", 4096}}) {
+    std::printf("== %s (%d accounts) ==\n\n", level.name, level.accounts);
+    for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
+      std::printf("%s:\n", spec.name.c_str());
+      Table t({"Threads", "lock STM Mtx/s", "lock abort%", "mp STM Mtx/s", "mp abort%"});
+      for (const int threads : BarThreadMarks(spec)) {
+        const StmPoint lock_point = LockStmPoint(spec, threads, level.accounts, duration);
+        const StmPoint mp_point = MpStmPoint(spec, threads, level.accounts, duration);
+        t.AddRow({Table::Int(threads), Table::Num(lock_point.mtx_per_sec, 2),
+                  Table::Num(100 * lock_point.abort_ratio, 1),
+                  Table::Num(mp_point.mtx_per_sec, 2),
+                  Table::Num(100 * mp_point.abort_ratio, 1)});
+      }
+      EmitTable(t, csv);
+    }
+  }
+  return 0;
+}

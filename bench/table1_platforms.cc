@@ -1,0 +1,33 @@
+// Table 1: the hardware characteristics of the target platforms, as encoded
+// in the simulator's platform specifications.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV instead of aligned text");
+  cli.Finish();
+
+  std::printf("Table 1: simulated platform characteristics (paper Table 1)\n\n");
+  Table t({"Name", "Processors", "CPUs", "Cores/socket", "Sockets", "Clock (GHz)",
+           "L1 (KiB)", "L2 (KiB)", "LLC (MiB)", "Interconnect"});
+  for (const PlatformKind kind : MainPlatforms()) {
+    const PlatformSpec s = MakePlatform(kind);
+    t.AddRow({s.name, s.processors, Table::Int(s.num_cpus),
+              Table::Int(s.cores_per_socket), Table::Int(s.num_sockets),
+              Table::Num(s.ghz, 2), Table::Int(static_cast<long long>(s.l1_lines) * 64 / 1024),
+              Table::Int(static_cast<long long>(s.l2_lines) * 64 / 1024),
+              Table::Num(static_cast<double>(s.llc_lines) * 64 / (1024 * 1024), 1),
+              s.interconnect});
+  }
+  EmitTable(t, csv);
+
+  std::printf("Section 8 small multi-sockets:\n\n");
+  Table t2({"Name", "Processors", "CPUs", "Sockets"});
+  for (const char* name : {"opteron2", "xeon2"}) {
+    const PlatformSpec s = MakePlatformByName(name);
+    t2.AddRow({s.name, s.processors, Table::Int(s.num_cpus), Table::Int(s.num_sockets)});
+  }
+  EmitTable(t2, csv);
+  return 0;
+}

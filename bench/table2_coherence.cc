@@ -1,0 +1,45 @@
+// Table 2: latencies (cycles) of the cache coherence to load / store /
+// CAS / FAI / TAS / SWAP a cache line depending on its MESI state and the
+// distance between the cores. Prints measured-vs-paper for every cell.
+#include "bench/bench_common.h"
+#include "src/ccbench/ccbench.h"
+#include "src/platform/paper_data.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
+  const int reps = static_cast<int>(cli.Int("reps", 100, "repetitions per cell"));
+  cli.Finish();
+
+  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
+    Machine machine(spec);
+    CcBench bench(&machine);
+    const auto cases = DistanceCases(spec);
+    const auto rows = PaperTable2(spec.kind);
+
+    std::printf("Table 2 — %s (measured | paper), cycles\n\n", spec.name.c_str());
+    std::vector<std::string> headers{"op", "state"};
+    for (const DistanceCase& c : cases) {
+      headers.push_back(c.label);
+    }
+    Table t(headers);
+    for (const PaperTable2Row& row : rows) {
+      std::vector<std::string> cells{ToString(row.op), ToString(row.prev_state)};
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        const CpuId partner = cases[i].partner;
+        CpuId second = partner + 1 < spec.num_cpus ? partner + 1 : partner - 1;
+        if (second == 0) {
+          second = partner + 2;
+        }
+        const CcBench::Sample s =
+            bench.Measure(row.op, row.prev_state, 0, partner, second, reps);
+        cells.push_back(Table::Num(s.mean, 0) + " | " + Table::Int(row.cycles[i]));
+      }
+      t.AddRow(std::move(cells));
+    }
+    EmitTable(t, csv);
+  }
+  return 0;
+}

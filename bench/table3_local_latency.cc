@@ -1,0 +1,47 @@
+// Table 3: local cache and memory latencies (cycles).
+#include "bench/bench_common.h"
+#include "src/ccbench/ccbench.h"
+#include "src/platform/paper_data.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+  Cli cli(argc, argv);
+  const bool csv = cli.Bool("csv", false, "emit CSV");
+  const int reps = static_cast<int>(cli.Int("reps", 100, "repetitions per cell"));
+  cli.Finish();
+
+  std::printf("Table 3 — local latencies, measured | paper (cycles)\n\n");
+  Table t({"Level", "Opteron", "Xeon", "Niagara", "Tilera"});
+  std::vector<std::vector<std::string>> cells(4, std::vector<std::string>());
+  for (const PlatformKind kind : MainPlatforms()) {
+    const PlatformSpec spec = MakePlatform(kind);
+    Machine machine(spec);
+    CcBench bench(&machine);
+    const PaperTable3 paper = PaperTable3For(kind);
+
+    cells[0].push_back(Table::Num(bench.MeasureL1Load(0, reps).mean, 0) + " | " +
+                       Table::Int(paper.l1));
+    if (spec.l2_lines > 0) {
+      cells[1].push_back(Table::Num(bench.MeasureL2Load(0, reps).mean, 0) + " | " +
+                         Table::Int(paper.l2));
+    } else {
+      cells[1].push_back("-");
+    }
+    // LLC: the structural constant of the platform (the simulated coherence
+    // paths route through it; see Table 2 for end-to-end costs).
+    cells[2].push_back(Table::Int(static_cast<long long>(spec.llc_lat)) + " | " +
+                       Table::Int(paper.llc));
+    cells[3].push_back(Table::Num(bench.MeasureRamLoad(0, reps).mean, 0) + " | " +
+                       Table::Int(paper.ram));
+  }
+  const char* levels[4] = {"L1", "L2", "LLC", "RAM"};
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::string> row{levels[i]};
+    for (auto& c : cells[i]) {
+      row.push_back(std::move(c));
+    }
+    t.AddRow(std::move(row));
+  }
+  EmitTable(t, csv);
+  return 0;
+}

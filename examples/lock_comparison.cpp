@@ -1,0 +1,51 @@
+// Lock comparison: the paper's central exercise as a tool. Pick a platform,
+// a thread count, and a contention level; see every applicable lock
+// algorithm's throughput — and which one has its "fifteen minutes of fame".
+//
+//   $ ./examples/lock_comparison --platform=xeon --threads=20 --locks=1
+//   $ ./examples/lock_comparison --platform=niagara --threads=64 --locks=512
+#include <cstdio>
+
+#include "src/core/experiments.h"
+#include "src/platform/spec.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+using namespace ssync;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string platform =
+      cli.Str("platform", "opteron", "opteron|xeon|niagara|tilera|opteron2|xeon2");
+  const PlatformSpec spec = MakePlatformByName(platform);
+  const int threads =
+      static_cast<int>(cli.Int("threads", std::min(18, spec.num_cpus), "worker threads"));
+  const int num_locks = static_cast<int>(cli.Int("locks", 1, "number of locks (contention)"));
+  const Cycles duration = cli.Int("duration", 800000, "simulated cycles");
+  cli.Finish();
+
+  std::printf("%s, %d threads, %d lock(s), %llu cycles\n\n", spec.name.c_str(), threads,
+              num_locks, static_cast<unsigned long long>(duration));
+
+  Table t({"Lock", "Mops/s", "vs best"});
+  struct Row {
+    LockKind kind;
+    double mops;
+  };
+  std::vector<Row> rows;
+  double best = 0.0;
+  for (const LockKind kind : LocksForPlatform(spec)) {
+    SimRuntime rt(spec);
+    const double mops =
+        LockStress(rt, kind, DefaultTicketOptions(spec), threads, num_locks, duration, 7)
+            .mops;
+    rows.push_back({kind, mops});
+    best = std::max(best, mops);
+  }
+  for (const Row& row : rows) {
+    t.AddRow({ToString(row.kind), Table::Num(row.mops, 2),
+              Table::Num(100.0 * row.mops / best, 0) + "%"});
+  }
+  t.Print(stdout);
+  return 0;
+}

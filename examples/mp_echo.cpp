@@ -1,0 +1,84 @@
+// Message passing: an echo service built on libssmp, run twice — once on the
+// Tilera (hardware iMesh message passing) and once on the Xeon (message
+// passing emulated over cache coherence) — printing round-trip latency and
+// single-server throughput for each, the trade-off of Section 6.2.
+//
+//   $ ./examples/mp_echo --clients=8
+#include <atomic>
+#include <cstdio>
+
+#include "src/core/runtime_sim.h"
+#include "src/mp/ssmp.h"
+#include "src/platform/spec.h"
+#include "src/util/cli.h"
+#include "src/util/stats.h"
+
+using namespace ssync;
+
+namespace {
+
+void RunEcho(const PlatformSpec& spec, int clients, Cycles duration) {
+  SimRuntime rt(spec);
+  SsmpComm<SimMem> comm(clients + 1, spec.has_hw_mp);
+  std::uint64_t served = 0;
+  RunningStat rtt;
+  // The server keeps serving until every client has retired, so the last
+  // round-trip always completes (same shutdown protocol as TmMpSystem).
+  std::atomic<int> active_clients{clients};
+
+  rt.RunFor(clients + 1, duration, [&](int tid) {
+    if (tid == 0) {
+      MpMessage m;
+      while (active_clients.load(std::memory_order_relaxed) > 0) {
+        bool any = false;
+        for (int from = 1; from <= clients; ++from) {
+          if (!comm.TryRecvRt(from, &m)) {
+            continue;
+          }
+          any = true;
+          m.w[1] += 1;  // "work": bump the payload
+          comm.SendRt(from, m);
+          ++served;
+        }
+        if (!any) {
+          SimMem::Pause(16);
+        }
+      }
+    } else {
+      MpMessage m;
+      while (!SimMem::ShouldStop()) {
+        const Cycles t0 = SimMem::Now();
+        m.w[0] = tid;
+        comm.SendRt(0, m);
+        comm.RecvRt(0, &m);
+        if (tid == 1) {
+          rtt.Add(static_cast<double>(SimMem::Now() - t0));
+        }
+      }
+      active_clients.fetch_sub(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::printf("%-8s (%s): round-trip %6.0f cycles, server throughput %6.2f Mops/s\n",
+              spec.name.c_str(),
+              spec.has_hw_mp ? "hardware MP" : "MP over coherence",
+              rtt.mean(), MopsPerSec(served, rt.last_duration(), spec.ghz));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int clients = static_cast<int>(cli.Int("clients", 8, "echo clients"));
+  const Cycles duration = cli.Int("duration", 500000, "simulated cycles");
+  cli.Finish();
+
+  std::printf("Echo service, %d clients, one server:\n\n", clients);
+  RunEcho(MakeTilera(), clients, duration);
+  RunEcho(MakeXeon(), clients, duration);
+  std::printf(
+      "\nNote the paper's conclusion: a single server bounds throughput — "
+      "message passing\ntrades peak performance for isolation and "
+      "contention-immunity (Section 6.2).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Transactional memory: a bank built on the TM2C-style STM, demonstrating
+// both runtimes — the lock-based (TL2-style) shared-memory version and the
+// message-passing version with dedicated lock-service servers — and checking
+// the conservation-of-money invariant at the end.
+//
+//   $ ./examples/stm_bank --accounts=64 --threads=12
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime_sim.h"
+#include "src/platform/spec.h"
+#include "src/stm/tm_lock.h"
+#include "src/stm/tm_mp.h"
+#include "src/util/cli.h"
+#include "src/util/rng.h"
+
+using namespace ssync;
+
+namespace {
+
+std::vector<std::unique_ptr<TmVar<SimMem>>> MakeAccounts(int n, std::uint64_t balance) {
+  std::vector<std::unique_ptr<TmVar<SimMem>>> accounts;
+  for (int i = 0; i < n; ++i) {
+    accounts.push_back(std::make_unique<TmVar<SimMem>>(balance));
+  }
+  return accounts;
+}
+
+std::uint64_t Total(const std::vector<std::unique_ptr<TmVar<SimMem>>>& accounts) {
+  std::uint64_t sum = 0;
+  for (const auto& account : accounts) {
+    sum += account->PeekInit();
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int num_accounts = static_cast<int>(cli.Int("accounts", 64, "bank accounts"));
+  const int threads = static_cast<int>(cli.Int("threads", 12, "worker threads"));
+  const int transfers = static_cast<int>(cli.Int("transfers", 200, "transfers per thread"));
+  cli.Finish();
+
+  const PlatformSpec spec = MakeXeon();
+
+  // --- Lock-based STM ---
+  {
+    SimRuntime rt(spec);
+    TmLockSystem<SimMem> tm;
+    auto accounts = MakeAccounts(num_accounts, 1000);
+    const std::uint64_t before = Total(accounts);
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    rt.Run(threads, [&](int tid) {
+      Rng rng(7 * tid + 1);
+      for (int i = 0; i < transfers; ++i) {
+        const int from = static_cast<int>(rng.NextBelow(num_accounts));
+        const int to =
+            static_cast<int>((from + 1 + rng.NextBelow(num_accounts - 1)) % num_accounts);
+        const TmStats s = tm.Run(rng.Next(), [&](auto& tx) {
+          const std::uint64_t a = tx.Read(*accounts[from]);
+          const std::uint64_t b = tx.Read(*accounts[to]);
+          tx.Write(*accounts[from], a - 1);
+          tx.Write(*accounts[to], b + 1);
+        });
+        commits += s.commits;
+        aborts += s.aborts;
+      }
+    });
+    std::printf("lock-based STM: %llu commits, %llu aborts, money %s\n",
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(aborts),
+                Total(accounts) == before ? "conserved" : "LOST!");
+    if (Total(accounts) != before) {
+      return 1;
+    }
+  }
+
+  // --- Message-passing STM (TM2C): 1 lock server per 3 threads ---
+  {
+    SimRuntime rt(spec);
+    const int servers = std::max(1, threads / 3);
+    const int total_threads = threads + servers;
+    TmMpSystem<SimMem> tm(total_threads, servers);
+    auto accounts = MakeAccounts(num_accounts, 1000);
+    const std::uint64_t before = Total(accounts);
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    rt.Run(total_threads, [&](int tid) {
+      if (tid < servers) {
+        tm.RunServer(tid);
+        return;
+      }
+      Rng rng(13 * tid + 5);
+      for (int i = 0; i < transfers; ++i) {
+        const int from = static_cast<int>(rng.NextBelow(num_accounts));
+        const int to =
+            static_cast<int>((from + 1 + rng.NextBelow(num_accounts - 1)) % num_accounts);
+        const TmStats s = tm.Run(tid, rng.Next(), [&](auto& tx) {
+          const std::uint64_t a = tx.Read(*accounts[from]);
+          const std::uint64_t b = tx.Read(*accounts[to]);
+          tx.Write(*accounts[from], a - 1);
+          tx.Write(*accounts[to], b + 1);
+        });
+        commits += s.commits;
+        aborts += s.aborts;
+      }
+      tm.ClientDone();
+    });
+    std::printf("message-passing STM (%d servers): %llu commits, %llu aborts, money %s\n",
+                servers, static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(aborts),
+                Total(accounts) == before ? "conserved" : "LOST!");
+    if (Total(accounts) != before) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "src/ccbench/ccbench.h"
+
+#include "src/util/check.h"
+
+namespace ssync {
+namespace {
+
+// Virtual-time gap between preparation accesses and the measured access, so
+// per-line busy windows never overlap between steps.
+constexpr Cycles kStepGap = 100000;
+
+}  // namespace
+
+Cycles CcBench::Issue(CpuId cpu, LineAddr line, AccessType op) {
+  clock_ += kStepGap;
+  const AccessResult r = machine_->AccessAt(cpu, line, op, clock_);
+  return r.total();
+}
+
+CcBench::Sample CcBench::Measure(AccessType op, LineState prev, CpuId requester,
+                                 CpuId partner, CpuId second, int reps) {
+  const NodeId home = machine_->spec().MemNodeOf(partner);
+  return MeasureWithHome(op, prev, requester, partner, second, home, reps);
+}
+
+CcBench::Sample CcBench::MeasureWithHome(AccessType op, LineState prev, CpuId requester,
+                                         CpuId partner, CpuId second, NodeId home,
+                                         int reps) {
+  SSYNC_CHECK_GT(reps, 0);
+  RunningStat stat;
+  Source source = Source::kL1;
+  for (int rep = 0; rep < reps; ++rep) {
+    const LineAddr line = FreshLine();
+    machine_->SetHome(line, home);
+    switch (prev) {
+      case LineState::kInvalid:
+        break;  // untouched: the access goes to memory
+      case LineState::kModified:
+        Issue(partner, line, AccessType::kStore);
+        break;
+      case LineState::kExclusive:
+        Issue(partner, line, AccessType::kLoad);
+        break;
+      case LineState::kShared:
+        Issue(partner, line, AccessType::kLoad);
+        Issue(second, line, AccessType::kLoad);
+        break;
+      case LineState::kOwned:
+        Issue(partner, line, AccessType::kStore);
+        Issue(second, line, AccessType::kLoad);
+        break;
+      default:
+        SSYNC_CHECK(false);
+    }
+    clock_ += kStepGap;
+    const AccessResult r = machine_->AccessAt(requester, line, op, clock_);
+    stat.Add(static_cast<double>(r.total()));
+    source = r.source;
+  }
+  return Sample{stat.mean(), stat.cv_percent(), source};
+}
+
+CcBench::Sample CcBench::MeasureL1Load(CpuId cpu, int reps) {
+  RunningStat stat;
+  Source source = Source::kL1;
+  for (int rep = 0; rep < reps; ++rep) {
+    const LineAddr line = FreshLine();
+    machine_->SetHome(line, machine_->spec().MemNodeOf(cpu));
+    Issue(cpu, line, AccessType::kLoad);  // fill
+    clock_ += kStepGap;
+    const AccessResult r = machine_->AccessAt(cpu, line, AccessType::kLoad, clock_);
+    stat.Add(static_cast<double>(r.total()));
+    source = r.source;
+  }
+  return Sample{stat.mean(), stat.cv_percent(), source};
+}
+
+CcBench::Sample CcBench::MeasureL2Load(CpuId cpu, int reps) {
+  RunningStat stat;
+  Source source = Source::kL2;
+  for (int rep = 0; rep < reps; ++rep) {
+    const LineAddr line = FreshLine();
+    machine_->SetHome(line, machine_->spec().MemNodeOf(cpu));
+    Issue(cpu, line, AccessType::kLoad);  // fill the L1
+    machine_->DemoteToL2(cpu, line);
+    clock_ += kStepGap;
+    const AccessResult r = machine_->AccessAt(cpu, line, AccessType::kLoad, clock_);
+    stat.Add(static_cast<double>(r.total()));
+    source = r.source;
+  }
+  return Sample{stat.mean(), stat.cv_percent(), source};
+}
+
+CcBench::Sample CcBench::MeasureRamLoad(CpuId cpu, int reps) {
+  RunningStat stat;
+  Source source = Source::kMemLocal;
+  for (int rep = 0; rep < reps; ++rep) {
+    const LineAddr line = FreshLine();
+    machine_->SetHome(line, machine_->spec().MemNodeOf(cpu));
+    clock_ += kStepGap;
+    const AccessResult r = machine_->AccessAt(cpu, line, AccessType::kLoad, clock_);
+    stat.Add(static_cast<double>(r.total()));
+    source = r.source;
+  }
+  return Sample{stat.mean(), stat.cv_percent(), source};
+}
+
+}  // namespace ssync

@@ -1,0 +1,57 @@
+// ccbench: measures the cost of an operation on a cache line depending on
+// the line's MESI state and its placement in the system (Section 4.2).
+//
+// Drives the Machine's pure state-machine API with synthetic lines: each
+// measurement prepares a fresh line into the requested state at the requested
+// cpus (via the same access sequences real ccbench uses), then issues the
+// operation from the requester and records the protocol latency. Regenerates
+// the paper's Tables 2 and 3.
+#ifndef SRC_CCBENCH_CCBENCH_H_
+#define SRC_CCBENCH_CCBENCH_H_
+
+#include "src/ccsim/machine.h"
+#include "src/util/stats.h"
+
+namespace ssync {
+
+class CcBench {
+ public:
+  explicit CcBench(Machine* machine) : machine_(machine) {}
+
+  struct Sample {
+    double mean = 0.0;
+    double cv_percent = 0.0;
+    Source source = Source::kL1;
+  };
+
+  // One Table-2 cell: `op` issued by `requester` on a line whose previous
+  // state is `prev` at `partner` (the previous holder). For the Shared and
+  // Owned states, `second` is the second sharer (the paper places two
+  // sharers for the store-on-shared case). The line's home is the partner's
+  // memory node — the paper's best case, in which at least one involved core
+  // is local to the directory.
+  Sample Measure(AccessType op, LineState prev, CpuId requester, CpuId partner,
+                 CpuId second, int reps);
+
+  // As Measure, but with an explicit home node (used for worst-case-directory
+  // experiments and the Tilera, where distance == home distance).
+  Sample MeasureWithHome(AccessType op, LineState prev, CpuId requester, CpuId partner,
+                         CpuId second, NodeId home, int reps);
+
+  // Local-latency probes (Table 3).
+  Sample MeasureL1Load(CpuId cpu, int reps);
+  Sample MeasureL2Load(CpuId cpu, int reps);   // platforms with a private L2
+  Sample MeasureRamLoad(CpuId cpu, int reps);  // local-node DRAM
+
+ private:
+  LineAddr FreshLine() { return next_line_++; }
+  Cycles Issue(CpuId cpu, LineAddr line, AccessType op);
+
+  Machine* machine_;
+  Cycles clock_ = 0;
+  LineAddr next_line_ = 1ULL << 40;  // synthetic, never collides with host lines
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CCBENCH_CCBENCH_H_

@@ -1,0 +1,64 @@
+#include "src/ccsim/cache.h"
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+LineState Cache::GetState(LineAddr line) const {
+  const auto it = map_.find(line);
+  return it == map_.end() ? LineState::kInvalid : it->second.state;
+}
+
+void Cache::Touch(LineAddr line) {
+  const auto it = map_.find(line);
+  if (it == map_.end()) {
+    return;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+Cache::Victim Cache::Insert(LineAddr line, LineState state) {
+  SSYNC_DCHECK(state != LineState::kInvalid);
+  const auto it = map_.find(line);
+  if (it != map_.end()) {
+    it->second.state = state;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return Victim{};
+  }
+  Victim victim;
+  if (capacity_ != 0 && map_.size() >= capacity_) {
+    const LineAddr lru_line = lru_.back();
+    const auto lru_entry = map_.find(lru_line);
+    SSYNC_DCHECK(lru_entry != map_.end());
+    victim.valid = true;
+    victim.line = lru_line;
+    victim.state = lru_entry->second.state;
+    lru_.pop_back();
+    map_.erase(lru_entry);
+  }
+  lru_.push_front(line);
+  map_.emplace(line, Entry{state, lru_.begin()});
+  return victim;
+}
+
+void Cache::SetState(LineAddr line, LineState state) {
+  const auto it = map_.find(line);
+  SSYNC_CHECK(it != map_.end());
+  it->second.state = state;
+}
+
+void Cache::Remove(LineAddr line) {
+  const auto it = map_.find(line);
+  if (it == map_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void Cache::Clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace ssync

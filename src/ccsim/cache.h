@@ -1,0 +1,65 @@
+// A set of cache lines with LRU replacement.
+//
+// Models one physical cache (an L1, an L2, an LLC slice). Tracks per-line
+// coherence state; capacity evictions return the victim so the owner
+// (coherence model) can cascade writebacks and directory updates.
+// Full associativity is assumed — the experiments in the paper are not
+// conflict-miss sensitive and the paper never varies associativity.
+#ifndef SRC_CCSIM_CACHE_H_
+#define SRC_CCSIM_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "src/ccsim/types.h"
+
+namespace ssync {
+
+class Cache {
+ public:
+  struct Victim {
+    bool valid = false;
+    LineAddr line = 0;
+    LineState state = LineState::kInvalid;
+  };
+
+  // capacity_lines == 0 means unbounded (used by directory-only structures).
+  explicit Cache(std::size_t capacity_lines) : capacity_(capacity_lines) {}
+
+  // State of `line`, kInvalid if absent. Does not touch LRU.
+  LineState GetState(LineAddr line) const;
+  bool Contains(LineAddr line) const { return GetState(line) != LineState::kInvalid; }
+
+  // Moves the line to MRU position. No-op if absent.
+  void Touch(LineAddr line);
+
+  // Inserts or updates a line; returns the evicted victim if the insert
+  // overflowed capacity. Also refreshes LRU position.
+  Victim Insert(LineAddr line, LineState state);
+
+  // Changes the state of a present line without touching LRU.
+  void SetState(LineAddr line, LineState state);
+
+  // Removes a line if present (invalidation).
+  void Remove(LineAddr line);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    LineState state;
+    std::list<LineAddr>::iterator lru_it;
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<LineAddr, Entry> map_;
+  std::list<LineAddr> lru_;  // front = MRU, back = LRU
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CCSIM_CACHE_H_

@@ -1,0 +1,326 @@
+#include "src/ccsim/machine.h"
+
+#include <cstring>
+
+#include "src/ccsim/model_multisocket.h"
+#include "src/ccsim/model_niagara.h"
+#include "src/ccsim/model_tilera.h"
+#include "src/util/check.h"
+
+namespace ssync {
+namespace {
+
+// Hardware message passing: register-file injection/extraction costs at the
+// two endpoints (the mesh transit itself comes from mp_base/mp_per_hop).
+constexpr Cycles kMpInjectCost = 15;
+constexpr Cycles kMpDequeueCost = 15;
+constexpr Cycles kMpPollCost = 4;
+
+// Issue cost of a non-blocking prefetch instruction.
+constexpr Cycles kPrefetchIssueCost = 4;
+
+// Per-line cost of scanning locally valid lines in a polling loop (the
+// loads are independent, so they pipeline at the issue rate).
+constexpr Cycles kPollHitCost = 2;
+
+}  // namespace
+
+MachineState::MachineState(const PlatformSpec& s) : spec(s) {
+  if (spec.port_service > 0) {
+    port_busy.assign(
+        spec.kind == PlatformKind::kTilera ? spec.num_cpus : spec.num_sockets, 0);
+  }
+  switch (spec.kind) {
+    case PlatformKind::kNiagara: {
+      const int cores = spec.num_cpus / spec.cpus_per_core;
+      for (int i = 0; i < cores; ++i) {
+        l1.emplace_back(spec.l1_lines);
+      }
+      llc.emplace_back(spec.llc_lines);
+      break;
+    }
+    case PlatformKind::kTilera: {
+      for (int i = 0; i < spec.num_cpus; ++i) {
+        l1.emplace_back(spec.l1_lines);
+        l2.emplace_back(spec.llc_lines);  // home slice of tile i
+      }
+      break;
+    }
+    default: {  // multi-socket platforms
+      for (int i = 0; i < spec.num_cpus; ++i) {
+        l1.emplace_back(spec.l1_lines);
+        l2.emplace_back(spec.l2_lines);
+      }
+      if (spec.inclusive_llc) {
+        for (int sk = 0; sk < spec.num_sockets; ++sk) {
+          llc.emplace_back(spec.llc_lines);
+        }
+      }
+      break;
+    }
+  }
+}
+
+LineInfo& MachineState::Line(LineAddr line, CpuId first_toucher) {
+  LineInfo& li = lines[line];
+  if (li.home == kNoNode) {
+    li.home = spec.MemNodeOf(first_toucher);
+  }
+  return li;
+}
+
+Cycles MachineState::ClaimPort(int node, Cycles now) {
+  if (port_busy.empty()) {
+    return 0;
+  }
+  SSYNC_DCHECK(node >= 0 && node < static_cast<int>(port_busy.size()));
+  Cycles& busy = port_busy[node];
+  const Cycles delay = busy > now ? busy - now : 0;
+  busy = now + delay + spec.port_service;
+  stats.port_stall_cycles += delay;
+  return delay;
+}
+
+Cycles MachineState::ClaimAllPorts(Cycles now) {
+  Cycles worst = 0;
+  for (std::size_t node = 0; node < port_busy.size(); ++node) {
+    worst = std::max(worst, ClaimPort(static_cast<int>(node), now));
+  }
+  return worst;
+}
+
+Cycles MachineState::Claim(LineInfo& li, Cycles now, Cycles latency, AccessType type) {
+  const Cycles stall = li.busy_until > now ? li.busy_until - now : 0;
+  // How long this transaction blocks the line for its successor:
+  //  * atomics hold the line end-to-end — consecutive RMWs chase ownership
+  //    through the previous owner, so they serialize at the full latency
+  //    (this is what bounds the Figure-4 plateaus);
+  //  * stores serialize at the directory/home for about half the flight;
+  //  * loads and prefetch transfers pipeline: the directory's per-request
+  //    processing is all that the next request has to wait for.
+  Cycles occupancy;
+  if (IsAtomic(type)) {
+    occupancy = latency;
+  } else if (type == AccessType::kStore) {
+    occupancy = (latency + 1) / 2;
+  } else {
+    occupancy = std::min<Cycles>((latency + 1) / 2, 40);
+  }
+  li.busy_until = now + stall + occupancy;
+  stats.stall_cycles += stall;
+  return stall;
+}
+
+Machine::Machine(const PlatformSpec& spec) : st_(spec), prefetch_(spec.num_cpus) {
+  switch (spec.kind) {
+    case PlatformKind::kNiagara:
+      model_ = std::make_unique<NiagaraModel>(st_);
+      break;
+    case PlatformKind::kTilera:
+      model_ = std::make_unique<TileraModel>(st_);
+      break;
+    default:
+      model_ = std::make_unique<MultiSocketModel>(st_);
+      break;
+  }
+  if (spec.has_hw_mp) {
+    mp_.resize(static_cast<std::size_t>(spec.num_cpus) * spec.num_cpus);
+  }
+}
+
+Machine::~Machine() = default;
+
+void Machine::ResetTimeDomain() {
+  for (auto& [line, info] : st_.lines) {
+    (void)line;
+    info.busy_until = 0;
+  }
+  for (auto& queue : mp_) {
+    queue.clear();
+  }
+  for (auto& slot : prefetch_) {
+    slot.valid = false;
+  }
+  for (Cycles& busy : st_.port_busy) {
+    busy = 0;
+  }
+}
+
+AccessResult Machine::AccessBegin(LineAddr line, AccessType type) {
+  Engine* eng = Engine::Current();
+  SSYNC_DCHECK(eng != nullptr);
+  eng->SyncPoint();
+  // An access to a line with an async prefetch in flight waits for the
+  // prefetch to land first (the data cannot be consumed earlier than the
+  // hardware delivers it); it then typically completes as a local hit.
+  PendingPrefetch& slot = prefetch_[eng->current_cpu()];
+  if (slot.valid && slot.line == line) {
+    slot.valid = false;
+    if (slot.ready > eng->now()) {
+      eng->Advance(slot.ready - eng->now());
+    }
+  }
+  return model_->AccessAt(eng->current_cpu(), line, type, eng->now());
+}
+
+void Machine::AccessFinish(const AccessResult& r) {
+  Engine::Current()->Advance(r.total());
+}
+
+AccessResult Machine::Access(LineAddr line, AccessType type) {
+  const AccessResult r = AccessBegin(line, type);
+  AccessFinish(r);
+  return r;
+}
+
+AccessResult Machine::PollBegin(LineAddr line, bool rfo) {
+  Engine* eng = Engine::Current();
+  SSYNC_DCHECK(eng != nullptr);
+  // Synchronize to virtual-time order BEFORE inspecting global state: the
+  // sync point may yield to earlier-clock fibers whose stores change this
+  // line. Reading first would let a poll consume a flag value without the
+  // coherence transaction that delivers it.
+  eng->SyncPoint();
+  const LineState state = model_->PrivateState(eng->current_cpu(), line);
+  const bool hit = rfo ? state == LineState::kModified || state == LineState::kExclusive
+                       : state != LineState::kInvalid;
+  if (hit) {
+    ++st_.stats.accesses;
+    ++st_.stats.l1_hits;
+    return AccessResult{kPollHitCost, 0, Source::kL1};
+  }
+  return AccessBegin(line, rfo ? AccessType::kRfo : AccessType::kLoad);
+}
+
+AccessResult Machine::Poll(LineAddr line, bool rfo) {
+  const AccessResult r = PollBegin(line, rfo);
+  AccessFinish(r);
+  return r;
+}
+
+void Machine::PrefetchAsync(LineAddr line, bool for_write) {
+  Engine* eng = Engine::Current();
+  SSYNC_DCHECK(eng != nullptr);
+  eng->SyncPoint();
+  const CpuId cpu = eng->current_cpu();
+  // One outstanding slot: issuing a second prefetch while the first is in
+  // flight waits for the first to land (otherwise stacking prefetches would
+  // evade the ready-time enforcement in Access()).
+  PendingPrefetch& slot = prefetch_[cpu];
+  if (slot.valid && slot.ready > eng->now()) {
+    eng->Advance(slot.ready - eng->now());
+  }
+  const AccessResult r = for_write
+                             ? model_->PrefetchwAt(cpu, line, eng->now())
+                             : model_->AccessAt(cpu, line, AccessType::kLoad, eng->now());
+  slot = PendingPrefetch{line, eng->now() + r.total(), true};
+  eng->Advance(kPrefetchIssueCost);
+}
+
+AccessResult Machine::PrefetchwBegin(LineAddr line) {
+  Engine* eng = Engine::Current();
+  SSYNC_DCHECK(eng != nullptr);
+  eng->SyncPoint();
+  return model_->PrefetchwAt(eng->current_cpu(), line, eng->now());
+}
+
+AccessResult Machine::Prefetchw(LineAddr line) {
+  const AccessResult r = PrefetchwBegin(line);
+  AccessFinish(r);
+  return r;
+}
+
+void Machine::Fence() {
+  Engine* eng = Engine::Current();
+  SSYNC_DCHECK(eng != nullptr);
+  eng->Advance(st_.spec.fence_cost);
+}
+
+AccessResult Machine::AccessAt(CpuId cpu, LineAddr line, AccessType type, Cycles now) {
+  return model_->AccessAt(cpu, line, type, now);
+}
+
+AccessResult Machine::PrefetchwAt(CpuId cpu, LineAddr line, Cycles now) {
+  return model_->PrefetchwAt(cpu, line, now);
+}
+
+void Machine::SetHome(LineAddr line, NodeId node) {
+  SSYNC_CHECK_GE(node, 0);
+  st_.lines[line].home = node;
+}
+
+LineState Machine::PrivateState(CpuId cpu, LineAddr line) const {
+  return model_->PrivateState(cpu, line);
+}
+
+LineState Machine::StrictPrivateState(CpuId cpu, LineAddr line) const {
+  if (st_.spec.kind == PlatformKind::kTilera) {
+    return st_.l1[cpu].GetState(line);
+  }
+  return model_->PrivateState(cpu, line);
+}
+
+LineState Machine::LlcState(int socket, LineAddr line) const {
+  if (st_.llc.empty()) {
+    return LineState::kInvalid;
+  }
+  return st_.llc[socket].GetState(line);
+}
+
+const LineInfo* Machine::FindLine(LineAddr line) const {
+  const auto it = st_.lines.find(line);
+  return it == st_.lines.end() ? nullptr : &it->second;
+}
+
+void Machine::FlushLine(LineAddr line) { model_->FlushLine(line); }
+
+void Machine::DemoteToL2(CpuId cpu, LineAddr line) {
+  Cache& l1 = st_.L1Of(cpu);
+  const LineState s = l1.GetState(line);
+  if (s == LineState::kInvalid || st_.l2.empty()) {
+    return;
+  }
+  l1.Remove(line);
+  st_.l2[cpu].Insert(line, s);
+}
+
+void Machine::HwSend(CpuId to, const void* data, std::uint32_t len) {
+  SSYNC_CHECK(has_hw_mp());
+  SSYNC_CHECK_LE(len, 64u);
+  Engine* eng = Engine::Current();
+  SSYNC_DCHECK(eng != nullptr);
+  eng->SyncPoint();
+  const CpuId from = eng->current_cpu();
+  const int hops = st_.spec.MeshHops(from, to);
+  const Cycles transit =
+      st_.spec.mp_base + static_cast<Cycles>(hops) * st_.spec.mp_per_hop_x10 / 10;
+  MpMessage msg;
+  msg.ready = eng->now() + transit;
+  msg.len = len;
+  std::memcpy(msg.bytes.data(), data, len);
+  mp_[static_cast<std::size_t>(to) * st_.spec.num_cpus + from].push_back(msg);
+  eng->Advance(kMpInjectCost);
+}
+
+bool Machine::HwTryRecv(CpuId from, void* data, std::uint32_t* len) {
+  SSYNC_CHECK(has_hw_mp());
+  Engine* eng = Engine::Current();
+  SSYNC_DCHECK(eng != nullptr);
+  const CpuId to = eng->current_cpu();
+  auto& queue = mp_[static_cast<std::size_t>(to) * st_.spec.num_cpus + from];
+  eng->SyncPoint();
+  if (queue.empty() || queue.front().ready > eng->now()) {
+    eng->Advance(kMpPollCost);
+    return false;
+  }
+  const MpMessage& msg = queue.front();
+  std::memcpy(data, msg.bytes.data(), msg.len);
+  if (len != nullptr) {
+    *len = msg.len;
+  }
+  queue.pop_front();
+  eng->Advance(kMpDequeueCost);
+  return true;
+}
+
+}  // namespace ssync

@@ -1,0 +1,227 @@
+// Machine: a simulated many-core with caches and a coherence protocol.
+//
+// The Machine is the meeting point of the substrate: it owns the cache
+// hierarchy, the global per-line coherence state, and a protocol model chosen
+// by the platform spec. The memory backends (src/core/mem_sim.h) call
+// Access(); unit tests and ccbench drive the pure state machine directly via
+// AccessAt() with an explicit clock.
+//
+// Concurrency model: coherence transactions mutate global state atomically at
+// their issue time; their latency advances the issuing cpu's clock, and a
+// per-line busy window serializes transactions that target the same line
+// (which is what bounds the aggregate throughput of contended lines, Fig. 4).
+#ifndef SRC_CCSIM_MACHINE_H_
+#define SRC_CCSIM_MACHINE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ccsim/cache.h"
+#include "src/ccsim/sharers.h"
+#include "src/ccsim/types.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+
+// Global truth about one cache line.
+struct LineInfo {
+  NodeId home = kNoNode;       // memory node / home slice (first touch)
+  Cycles busy_until = 0;       // per-line transaction serialization
+  CpuId owner = kNoCpu;        // private-cache owner (M/E/O), multi-socket
+  LineState owner_state = LineState::kInvalid;
+  SharerSet sharers;           // cpus (multi-socket), cores (Niagara), tiles (Tilera)
+  CpuId last_writer = kNoCpu;  // Tilera: most recent writer
+  NodeId forward = kNoNode;    // Xeon: socket whose LLC responds (MESIF F)
+  bool written = false;        // Tilera: dirty-at-home since last probe
+  bool was_shared = false;     // Opteron probe filter: sticky "maybe shared"
+  bool in_memory_only = true;  // no cache holds the line anywhere
+};
+
+struct MachineStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t peer_transfers = 0;
+  std::uint64_t mem_accesses = 0;
+  std::uint64_t broadcasts = 0;     // Opteron incomplete-directory broadcasts
+  std::uint64_t invalidations = 0;  // private copies killed
+  std::uint64_t stall_cycles = 0;   // time lost to per-line serialization
+  std::uint64_t port_stall_cycles = 0;  // time queued at coherence ports
+};
+
+// State shared between the Machine facade and the protocol model.
+struct MachineState {
+  explicit MachineState(const PlatformSpec& s);
+
+  PlatformSpec spec;
+  std::vector<Cache> l1;   // per cpu (per core on Niagara)
+  std::vector<Cache> l2;   // per cpu (Opteron/Xeon) or per home slice (Tilera)
+  std::vector<Cache> llc;  // per socket (Xeon inclusive, Niagara single)
+  std::unordered_map<LineAddr, LineInfo> lines;
+  MachineStats stats;
+  // Coherence-port queues: per socket/die on the multi-sockets, per home
+  // tile on the Tilera. Empty when spec.port_service == 0.
+  std::vector<Cycles> port_busy;
+
+  LineInfo& Line(LineAddr line, CpuId first_toucher);
+  Cache& L1Of(CpuId cpu) {
+    return l1[spec.kind == PlatformKind::kNiagara ? spec.CoreOf(cpu) : cpu];
+  }
+
+  // Claims node's coherence port at `now` for spec.port_service cycles;
+  // returns the queue delay the requester must absorb (zero when disabled
+  // or uncontended — the service time itself is already part of the
+  // calibrated Table-2 latencies).
+  Cycles ClaimPort(int node, Cycles now);
+
+  // A broadcast claims every port in parallel; the requester waits for the
+  // slowest one (snoop responses must all arrive).
+  Cycles ClaimAllPorts(Cycles now);
+
+  // Serializes a transaction on the line: returns the stall (wait for the
+  // previous transaction) and advances the busy window by the transaction's
+  // occupancy, which depends on the operation class (see machine.cc).
+  Cycles Claim(LineInfo& li, Cycles now, Cycles latency, AccessType type);
+};
+
+// Protocol strategy. One instance per Machine; implementations in
+// model_multisocket.cc, model_niagara.cc, model_tilera.cc.
+class CoherenceModel {
+ public:
+  explicit CoherenceModel(MachineState& st) : st_(st) {}
+  virtual ~CoherenceModel() = default;
+
+  virtual AccessResult AccessAt(CpuId cpu, LineAddr line, AccessType type, Cycles now) = 0;
+
+  // prefetchw-style read-for-ownership hint (Section 5.3): the store path's
+  // state transitions, a load's pipelining behavior.
+  virtual AccessResult PrefetchwAt(CpuId cpu, LineAddr line, Cycles now) {
+    return AccessAt(cpu, line, AccessType::kRfo, now);
+  }
+
+  // Drops the line from every cache (test/bench setup utility).
+  virtual void FlushLine(LineAddr line) = 0;
+
+  // Highest-privilege state of the line in the cpu's private hierarchy.
+  virtual LineState PrivateState(CpuId cpu, LineAddr line) const = 0;
+
+ protected:
+  MachineState& st_;
+};
+
+class Machine {
+ public:
+  explicit Machine(const PlatformSpec& spec);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const PlatformSpec& spec() const { return st_.spec; }
+  const MachineStats& stats() const { return st_.stats; }
+  void ResetStats() { st_.stats = MachineStats{}; }
+
+  // Clears state tied to a virtual-time domain (per-line busy windows,
+  // in-flight hardware messages). Called by SimRuntime at the start of every
+  // run: each Engine starts at time zero, so timing state from a previous
+  // run must not leak in. Cache contents themselves survive (they are
+  // physical state, as on a real machine).
+  void ResetTimeDomain();
+
+  // --- Fiber-context API (requires a running sim::Engine) ---
+  AccessResult Access(LineAddr line, AccessType type);
+  AccessResult Prefetchw(LineAddr line);
+  void Fence();  // charges the platform's memory-barrier cost
+
+  // Split access for value-carrying operations. AccessBegin() synchronizes
+  // to virtual-time order and performs the coherence transaction; the
+  // caller then reads/writes the host value AT THE SERIALIZATION POINT and
+  // calls AccessFinish() to pay the latency (which may yield to other
+  // fibers). Touching the value only after AccessFinish() would let a fiber
+  // observe stores that serialize later in virtual time — breaking
+  // linearizability of the simulated memory.
+  AccessResult AccessBegin(LineAddr line, AccessType type);
+  AccessResult PollBegin(LineAddr line, bool rfo);
+  AccessResult PrefetchwBegin(LineAddr line);
+  void AccessFinish(const AccessResult& r);
+
+  // Polling load, for busy-wait and channel-scan loops. When the line is
+  // already valid somewhere in the cpu's private hierarchy it costs only
+  // the scan issue rate — the loads of a polling loop are independent and
+  // pipeline in a real core, unlike the dependent-chain load-to-use
+  // latencies of Table 3. A poll of an invalid line is a normal load.
+  //
+  // With `rfo` the poll maintains *ownership* of the line (prefetchw + load,
+  // Section 5.3): a miss — or a mere Shared copy — fetches the line in
+  // Modified state, so the eventual writer finds a single tracked owner and
+  // the Opteron's incomplete directory can invalidate it with a directed
+  // probe instead of a system-wide broadcast.
+  AccessResult Poll(LineAddr line, bool rfo = false);
+
+  // Non-blocking prefetch (plain load or read-for-ownership): the coherence
+  // transaction is issued now — global line state changes and the line's
+  // busy window is claimed as usual — but the issuing cpu pays only the
+  // instruction-issue cost and continues; the transfer completes in the
+  // background. One outstanding slot per cpu: a subsequent Access to the
+  // same line first waits out the completion time, so software cannot
+  // consume prefetched data earlier than the hardware would deliver it.
+  // This is the memory-level parallelism behind the paper's prefetchw
+  // optimization (Section 5.3) and its efficient message-passing servers
+  // (Section 6.2).
+  void PrefetchAsync(LineAddr line, bool for_write);
+
+  // --- Pure state-machine API (tests, ccbench latency probes) ---
+  AccessResult AccessAt(CpuId cpu, LineAddr line, AccessType type, Cycles now);
+  AccessResult PrefetchwAt(CpuId cpu, LineAddr line, Cycles now);
+
+  // --- Placement ---
+  void SetHome(LineAddr line, NodeId node);
+
+  // --- Introspection / test setup ---
+  LineState PrivateState(CpuId cpu, LineAddr line) const;
+  // As PrivateState, but considering only caches truly private to the cpu:
+  // on the Tilera the home L2 slice is shared LLC (the protocol's ordering
+  // point, reported dirty after a remote store) and is excluded here.
+  // Invariant checks (single-writer/multi-reader) want this view.
+  LineState StrictPrivateState(CpuId cpu, LineAddr line) const;
+  LineState LlcState(int socket, LineAddr line) const;
+  const LineInfo* FindLine(LineAddr line) const;
+  void FlushLine(LineAddr line);
+  // Demotes a line out of the L1 into the L2 (ccbench Table 3 setup).
+  void DemoteToL2(CpuId cpu, LineAddr line);
+
+  // --- Hardware message passing (Tilera iMesh) ---
+  bool has_hw_mp() const { return st_.spec.has_hw_mp; }
+  // Sender side: charges injection cost, delivers after the mesh latency.
+  void HwSend(CpuId to, const void* data, std::uint32_t len);
+  // Receiver side: polls the queue from `from`; returns false if no message
+  // has arrived (by the receiver's clock). On success charges dequeue cost.
+  bool HwTryRecv(CpuId from, void* data, std::uint32_t* len);
+
+ private:
+  struct MpMessage {
+    Cycles ready;
+    std::uint32_t len;
+    std::array<std::uint8_t, 64> bytes;
+  };
+
+  struct PendingPrefetch {
+    LineAddr line = 0;
+    Cycles ready = 0;
+    bool valid = false;
+  };
+
+  MachineState st_;
+  std::unique_ptr<CoherenceModel> model_;
+  std::vector<std::deque<MpMessage>> mp_;   // [to * num_cpus + from]
+  std::vector<PendingPrefetch> prefetch_;   // one outstanding slot per cpu
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CCSIM_MACHINE_H_

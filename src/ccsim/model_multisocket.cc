@@ -1,0 +1,434 @@
+#include "src/ccsim/model_multisocket.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+// ---------------------------------------------------------------------------
+// Private-cache plumbing
+// ---------------------------------------------------------------------------
+
+void MultiSocketModel::PromoteToL1(CpuId cpu, LineAddr line, LineState state) {
+  st_.l2[cpu].Remove(line);
+  InstallPrivate(cpu, line, state);
+}
+
+void MultiSocketModel::InstallPrivate(CpuId cpu, LineAddr line, LineState state) {
+  const Cache::Victim v1 = st_.l1[cpu].Insert(line, state);
+  if (v1.valid) {
+    const Cache::Victim v2 = st_.l2[cpu].Insert(v1.line, v1.state);
+    if (v2.valid) {
+      HandleL2Victim(cpu, v2);
+    }
+  }
+}
+
+void MultiSocketModel::RemovePrivate(CpuId cpu, LineAddr line) {
+  st_.l1[cpu].Remove(line);
+  st_.l2[cpu].Remove(line);
+}
+
+void MultiSocketModel::HandleL2Victim(CpuId cpu, const Cache::Victim& victim) {
+  const auto it = st_.lines.find(victim.line);
+  SSYNC_DCHECK(it != st_.lines.end());
+  LineInfo& li = it->second;
+  if (inclusive()) {
+    // Xeon: the LLC retains the line. Dirty victims write back into the LLC.
+    if (victim.state == LineState::kModified) {
+      st_.llc[st_.spec.SocketOf(cpu)].Insert(victim.line, LineState::kModified);
+    }
+  }
+  if (li.owner == cpu) {
+    li.owner = kNoCpu;
+    li.owner_state = LineState::kInvalid;
+    // Opteron: a dirty victim is written back to the home memory and the
+    // probe-filter entry is dropped (non-inclusive LLC is modeled as the
+    // directory only; see DESIGN.md).
+  } else {
+    li.sharers.Remove(cpu);
+  }
+  if (!inclusive() && li.owner == kNoCpu && li.sharers.Empty()) {
+    li.in_memory_only = true;
+  }
+}
+
+void MultiSocketModel::LlcInsert(int socket, LineAddr line, LineState state) {
+  const Cache::Victim victim = st_.llc[socket].Insert(line, state);
+  if (!victim.valid) {
+    return;
+  }
+  // Inclusive LLC capacity eviction: back-invalidate the whole socket.
+  const auto it = st_.lines.find(victim.line);
+  SSYNC_DCHECK(it != st_.lines.end());
+  LineInfo& li = it->second;
+  const int cpu_lo = socket * st_.spec.cores_per_socket * st_.spec.cpus_per_core;
+  const int cpu_hi = cpu_lo + st_.spec.cores_per_socket * st_.spec.cpus_per_core;
+  for (CpuId cpu = cpu_lo; cpu < cpu_hi; ++cpu) {
+    RemovePrivate(cpu, victim.line);
+    li.sharers.Remove(cpu);
+    if (li.owner == cpu) {
+      li.owner = kNoCpu;
+      li.owner_state = LineState::kInvalid;
+    }
+    ++st_.stats.invalidations;
+  }
+  bool any_llc = false;
+  for (const Cache& c : st_.llc) {
+    any_llc = any_llc || c.Contains(victim.line);
+  }
+  if (li.owner == kNoCpu && li.sharers.Empty() && !any_llc) {
+    li.in_memory_only = true;
+  }
+}
+
+bool MultiSocketModel::CopiesOutsideSocket(const LineInfo& li, LineAddr line,
+                                           int socket) const {
+  if (li.owner != kNoCpu && st_.spec.SocketOf(li.owner) != socket) {
+    return true;
+  }
+  bool outside = false;
+  li.sharers.ForEach([&](int cpu) {
+    if (st_.spec.SocketOf(cpu) != socket) {
+      outside = true;
+    }
+  });
+  if (outside) {
+    return true;
+  }
+  if (inclusive()) {
+    for (int s = 0; s < st_.spec.num_sockets; ++s) {
+      if (s != socket && st_.llc[s].Contains(line)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Cycles MultiSocketModel::FarthestInvolvedLink(const LineInfo& li, LineAddr line,
+                                              int socket) const {
+  Cycles far = 0;
+  auto consider = [&](int other_socket) {
+    if (other_socket != socket) {
+      far = std::max(far, st_.spec.LinkCost(socket, other_socket));
+    }
+  };
+  if (li.owner != kNoCpu) {
+    consider(st_.spec.SocketOf(li.owner));
+  }
+  li.sharers.ForEach([&](int cpu) { consider(st_.spec.SocketOf(cpu)); });
+  if (inclusive()) {
+    for (int s = 0; s < st_.spec.num_sockets; ++s) {
+      if (st_.llc[s].Contains(line)) {
+        consider(s);
+      }
+    }
+  }
+  return far;
+}
+
+// ---------------------------------------------------------------------------
+// Access
+// ---------------------------------------------------------------------------
+
+AccessResult MultiSocketModel::AccessAt(CpuId cpu, LineAddr line, AccessType type,
+                                        Cycles now) {
+  ++st_.stats.accesses;
+  LineInfo& li = st_.Line(line, cpu);
+  const PlatformSpec& spec = st_.spec;
+  Cache& l1 = st_.l1[cpu];
+  Cache& l2 = st_.l2[cpu];
+
+  if (type == AccessType::kLoad) {
+    if (l1.Contains(line)) {
+      l1.Touch(line);
+      ++st_.stats.l1_hits;
+      return {spec.l1_lat, 0, Source::kL1};
+    }
+    const LineState s2 = l2.GetState(line);
+    if (s2 != LineState::kInvalid) {
+      PromoteToL1(cpu, line, s2);
+      ++st_.stats.l2_hits;
+      return {spec.l2_lat, 0, Source::kL2};
+    }
+  } else {
+    // Stores and atomics require M (or silently upgradable E).
+    const LineState s1 = l1.GetState(line);
+    if (s1 == LineState::kModified || s1 == LineState::kExclusive) {
+      if (s1 == LineState::kExclusive) {
+        l1.SetState(line, LineState::kModified);
+        li.owner_state = LineState::kModified;
+      }
+      l1.Touch(line);
+      ++st_.stats.l1_hits;
+      return {IsAtomic(type) ? spec.atomic_local : spec.l1_lat, 0, Source::kL1};
+    }
+    const LineState s2 = l2.GetState(line);
+    if (s2 == LineState::kModified || s2 == LineState::kExclusive) {
+      PromoteToL1(cpu, line, LineState::kModified);
+      li.owner_state = LineState::kModified;
+      ++st_.stats.l2_hits;
+      return {IsAtomic(type) ? spec.atomic_local : spec.l2_lat, 0, Source::kL2};
+    }
+  }
+
+  AccessResult result = type == AccessType::kLoad ? LoadMiss(cpu, line, li, now)
+                                                  : StoreMiss(cpu, line, li, type, now);
+  // Port queueing delays the transaction's start; the line then serializes
+  // behind any in-flight transaction on it.
+  result.stall += st_.Claim(li, now + result.stall, result.latency, type);
+  return result;
+}
+
+AccessResult MultiSocketModel::LoadMiss(CpuId cpu, LineAddr line, LineInfo& li,
+                                        Cycles now) {
+  const PlatformSpec& spec = st_.spec;
+  const int socket = spec.SocketOf(cpu);
+  Cycles lat = spec.dir_lookup;
+  Cycles port = 0;
+  Source src = Source::kMemLocal;
+
+  if (li.owner != kNoCpu) {
+    // Data lives in a peer's private cache (M, E, or O).
+    const CpuId owner = li.owner;
+    const int osock = spec.SocketOf(owner);
+    const Cycles probe = li.owner_state == LineState::kModified ? spec.probe_modified
+                         : li.owner_state == LineState::kExclusive
+                             ? spec.probe_exclusive
+                             : spec.probe_shared;  // kOwned
+    if (moesi()) {
+      // Opteron: the request travels requester -> home directory -> owner ->
+      // requester; Table 2 is the best case where the home is local to one of
+      // the two parties.
+      const int home = li.home;
+      lat += probe + spec.LinkCost(socket, home) + spec.LinkCost(home, osock) +
+             spec.LinkCost(osock, socket);
+      port = st_.ClaimPort(home, now);
+      if (osock != home) {
+        port = std::max(port, st_.ClaimPort(osock, now));
+      }
+    } else {
+      // Xeon: in-socket via the inclusive LLC, off-socket via snoop broadcast
+      // plus the remote socket's LLC lookup before the core probe.
+      lat += probe + 2 * spec.LinkCost(socket, osock);
+      if (osock != socket) {
+        lat += spec.dir_lookup;
+        port = st_.ClaimAllPorts(now);  // source-snoop broadcast
+      }
+    }
+    src = osock == socket ? Source::kPeerLocal : Source::kPeerRemote;
+    ++st_.stats.peer_transfers;
+    // Transitions at the previous owner.
+    if (li.owner_state == LineState::kModified && moesi()) {
+      // MOESI: the owner keeps the dirty line in Owned state and serves
+      // future loads; memory stays stale.
+      st_.l1[owner].Contains(line) ? st_.l1[owner].SetState(line, LineState::kOwned)
+                                   : st_.l2[owner].SetState(line, LineState::kOwned);
+      li.owner_state = LineState::kOwned;
+    } else if (li.owner_state != LineState::kOwned) {
+      // MESI(F): M writes back (to the inclusive LLC on Xeon), E downgrades;
+      // the previous owner becomes a plain sharer.
+      Cache& oc = st_.l1[owner].Contains(line) ? st_.l1[owner] : st_.l2[owner];
+      oc.SetState(line, LineState::kShared);
+      if (inclusive() && li.owner_state == LineState::kModified) {
+        st_.llc[osock].Insert(line, LineState::kModified);  // dirty in LLC
+      }
+      li.sharers.Add(owner);
+      li.owner = kNoCpu;
+      li.owner_state = LineState::kInvalid;
+    }
+  } else if (inclusive() && st_.llc[socket].Contains(line)) {
+    // Xeon: own-socket LLC serves directly (shared/forward data).
+    lat += spec.probe_shared;
+    st_.llc[socket].Touch(line);
+    src = Source::kLlcLocal;
+    ++st_.stats.llc_hits;
+  } else if (inclusive() && li.forward != kNoNode &&
+             st_.llc[li.forward].Contains(line)) {
+    // Xeon: a remote LLC in Forward state responds to the snoop.
+    lat += spec.dir_lookup + spec.probe_shared + 2 * spec.LinkCost(socket, li.forward);
+    src = Source::kLlcRemote;
+    ++st_.stats.llc_hits;
+    port = st_.ClaimAllPorts(now);  // source-snoop broadcast
+  } else if (!li.in_memory_only && !inclusive()) {
+    // Opteron: shared copies exist; the home node supplies the data.
+    const int home = li.home;
+    lat += spec.probe_shared + spec.LinkCost(socket, home) + spec.LinkCost(home, socket);
+    src = home == socket ? Source::kLlcLocal : Source::kLlcRemote;
+    ++st_.stats.llc_hits;
+    port = st_.ClaimPort(home, now);
+  } else {
+    // Memory fill at the home node.
+    const int home = li.home;
+    lat += spec.mem_access + spec.LinkCost(socket, home) + spec.LinkCost(home, socket);
+    if (home != socket) {
+      lat += spec.ram_remote_extra;
+    }
+    src = home == socket ? Source::kMemLocal : Source::kMemRemote;
+    ++st_.stats.mem_accesses;
+    // Xeon must still snoop-confirm no cache holds the line; the Opteron
+    // consults only the home directory.
+    port = inclusive() ? st_.ClaimAllPorts(now) : st_.ClaimPort(home, now);
+  }
+
+  // Requester-side fill: Exclusive if no other copy exists anywhere.
+  bool any_llc_other = false;
+  if (inclusive()) {
+    for (int s = 0; s < spec.num_sockets; ++s) {
+      if (s != socket && st_.llc[s].Contains(line)) {
+        any_llc_other = true;
+      }
+    }
+  }
+  const bool alone = li.owner == kNoCpu && li.sharers.Empty() && !any_llc_other &&
+                     li.in_memory_only;
+  if (alone) {
+    InstallPrivate(cpu, line, LineState::kExclusive);
+    li.owner = cpu;
+    li.owner_state = LineState::kExclusive;
+  } else {
+    InstallPrivate(cpu, line, LineState::kShared);
+    li.sharers.Add(cpu);
+    li.was_shared = true;  // Opteron probe filter: line may have sharers now
+  }
+  if (inclusive()) {
+    LlcInsert(socket, line, alone ? LineState::kExclusive : LineState::kShared);
+    li.forward = socket;  // MESIF: the newest sharer responds next time
+  }
+  li.in_memory_only = false;
+  return {lat, port, src};
+}
+
+AccessResult MultiSocketModel::StoreMiss(CpuId cpu, LineAddr line, LineInfo& li,
+                                         AccessType type, Cycles now) {
+  const PlatformSpec& spec = st_.spec;
+  const int socket = spec.SocketOf(cpu);
+  Cycles lat = spec.dir_lookup;
+  Cycles port = 0;
+  Source src = Source::kMemLocal;
+
+  if (!inclusive()) {
+    // --- Opteron (MOESI, incomplete probe filter) ---
+    const int home = li.home;
+    const bool needs_broadcast =
+        li.was_shared || !li.sharers.NoneBut(cpu) || li.owner_state == LineState::kOwned;
+    if (li.owner != kNoCpu && li.owner != cpu && !needs_broadcast) {
+      // Directed probe-invalidate: the probe filter knows the single owner.
+      const int osock = spec.SocketOf(li.owner);
+      lat += spec.store_upgrade + spec.LinkCost(socket, home) +
+             spec.LinkCost(home, osock) + spec.LinkCost(osock, socket);
+      src = osock == socket ? Source::kPeerLocal : Source::kPeerRemote;
+      ++st_.stats.peer_transfers;
+      port = st_.ClaimPort(home, now);
+      if (osock != home) {
+        port = std::max(port, st_.ClaimPort(osock, now));
+      }
+    } else if (needs_broadcast) {
+      // The directory does not track sharers: invalidations are broadcast to
+      // every node, even when all sharers are local (Section 5.2/5.3 — this
+      // is the Opteron's locality problem).
+      lat += spec.store_upgrade + spec.LinkCost(socket, home) + spec.broadcast_cost;
+      src = Source::kPeerRemote;
+      ++st_.stats.broadcasts;
+      port = st_.ClaimAllPorts(now);  // every node processes the probe
+    } else {
+      // Uncached (or own stale): RFO fill from home memory.
+      lat += spec.mem_access + spec.LinkCost(socket, home) + spec.LinkCost(home, socket);
+      if (home != socket) {
+        lat += spec.ram_remote_extra;
+      }
+      src = home == socket ? Source::kMemLocal : Source::kMemRemote;
+      ++st_.stats.mem_accesses;
+      port = st_.ClaimPort(home, now);
+    }
+  } else {
+    // --- Xeon (MESIF snoop, inclusive LLC) ---
+    const bool outside = CopiesOutsideSocket(li, line, socket);
+    const bool inside = st_.llc[socket].Contains(line);
+    if (!outside && inside) {
+      // All copies within the socket: the LLC core-valid bits direct the
+      // invalidations; no cross-socket snoop (footnote 7 of the paper).
+      lat += spec.store_upgrade;
+      src = Source::kLlcLocal;
+      ++st_.stats.llc_hits;
+    } else if (outside) {
+      // Snoop broadcast; completion gated by the farthest involved socket.
+      lat += spec.store_upgrade + spec.store_remote_extra +
+             2 * FarthestInvolvedLink(li, line, socket);
+      src = Source::kPeerRemote;
+      ++st_.stats.peer_transfers;
+      port = st_.ClaimAllPorts(now);
+    } else {
+      // Uncached anywhere: RFO fill from home memory.
+      const int home = li.home;
+      lat += spec.mem_access + spec.LinkCost(socket, home) + spec.LinkCost(home, socket);
+      src = home == socket ? Source::kMemLocal : Source::kMemRemote;
+      ++st_.stats.mem_accesses;
+      port = st_.ClaimAllPorts(now);  // snoop-confirm no cached copies
+    }
+  }
+
+  if (IsAtomic(type)) {
+    lat += spec.atomic_extra;
+  }
+
+  // Invalidate every other copy; the requester becomes the sole M owner.
+  if (li.owner != kNoCpu && li.owner != cpu) {
+    RemovePrivate(li.owner, line);
+    ++st_.stats.invalidations;
+  }
+  li.sharers.ForEach([&](int sharer) {
+    if (sharer != cpu) {
+      RemovePrivate(sharer, line);
+      ++st_.stats.invalidations;
+    }
+  });
+  li.sharers.Clear();
+  if (inclusive()) {
+    for (int s = 0; s < spec.num_sockets; ++s) {
+      if (s != socket) {
+        st_.llc[s].Remove(line);
+      }
+    }
+    LlcInsert(socket, line, LineState::kModified);
+    li.forward = socket;
+  }
+  li.owner = cpu;
+  li.owner_state = LineState::kModified;
+  li.was_shared = false;
+  li.in_memory_only = false;
+  InstallPrivate(cpu, line, LineState::kModified);
+  return {lat, port, src};
+}
+
+void MultiSocketModel::FlushLine(LineAddr line) {
+  const auto it = st_.lines.find(line);
+  if (it == st_.lines.end()) {
+    return;
+  }
+  LineInfo& li = it->second;
+  for (CpuId cpu = 0; cpu < st_.spec.num_cpus; ++cpu) {
+    RemovePrivate(cpu, line);
+  }
+  for (Cache& c : st_.llc) {
+    c.Remove(line);
+  }
+  li.owner = kNoCpu;
+  li.owner_state = LineState::kInvalid;
+  li.sharers.Clear();
+  li.was_shared = false;
+  li.in_memory_only = true;
+  li.forward = kNoNode;
+}
+
+LineState MultiSocketModel::PrivateState(CpuId cpu, LineAddr line) const {
+  const LineState s1 = st_.l1[cpu].GetState(line);
+  if (s1 != LineState::kInvalid) {
+    return s1;
+  }
+  return st_.l2[cpu].GetState(line);
+}
+
+}  // namespace ssync

@@ -1,0 +1,50 @@
+// Coherence model for the multi-socket machines: Opteron (MOESI, home-node
+// directory with an incomplete probe filter, non-inclusive caches) and Xeon
+// (MESIF, broadcast snoop across sockets, inclusive per-socket LLC with exact
+// in-socket tracking). The spec flags incomplete_directory / inclusive_llc /
+// has_owned_state select the behavioral differences.
+#ifndef SRC_CCSIM_MODEL_MULTISOCKET_H_
+#define SRC_CCSIM_MODEL_MULTISOCKET_H_
+
+#include "src/ccsim/machine.h"
+
+namespace ssync {
+
+class MultiSocketModel : public CoherenceModel {
+ public:
+  explicit MultiSocketModel(MachineState& st) : CoherenceModel(st) {}
+
+  AccessResult AccessAt(CpuId cpu, LineAddr line, AccessType type, Cycles now) override;
+  void FlushLine(LineAddr line) override;
+  LineState PrivateState(CpuId cpu, LineAddr line) const override;
+
+ private:
+  // Miss paths: compute the protocol latency and apply all state transitions.
+  AccessResult LoadMiss(CpuId cpu, LineAddr line, LineInfo& li, Cycles now);
+  AccessResult StoreMiss(CpuId cpu, LineAddr line, LineInfo& li, AccessType type,
+                         Cycles now);
+
+  // Installs a line into the requester's L1, cascading evictions L1->L2->out.
+  void InstallPrivate(CpuId cpu, LineAddr line, LineState state);
+  // Moves a line from the L2 into the L1 (L2 hit promotion).
+  void PromoteToL1(CpuId cpu, LineAddr line, LineState state);
+  // Drops a line from one cpu's private caches (invalidation; no writeback
+  // latency is charged — the line's data is globally tracked).
+  void RemovePrivate(CpuId cpu, LineAddr line);
+  // Handles a dirty/clean victim leaving a private L2.
+  void HandleL2Victim(CpuId cpu, const Cache::Victim& victim);
+  // Xeon: inserts into the socket LLC, back-invalidating on capacity victims.
+  void LlcInsert(int socket, LineAddr line, LineState state);
+
+  // True if any socket other than `socket` holds the line (private or LLC).
+  bool CopiesOutsideSocket(const LineInfo& li, LineAddr line, int socket) const;
+  // Farthest remote socket involved with the line (for snoop response time).
+  Cycles FarthestInvolvedLink(const LineInfo& li, LineAddr line, int socket) const;
+
+  bool inclusive() const { return st_.spec.inclusive_llc; }
+  bool moesi() const { return st_.spec.has_owned_state; }
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CCSIM_MODEL_MULTISOCKET_H_

@@ -1,0 +1,112 @@
+#include "src/ccsim/model_niagara.h"
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+void NiagaraModel::InvalidateL1Sharers(LineAddr line, LineInfo& li, int except_core) {
+  li.sharers.ForEach([&](int core) {
+    if (core != except_core) {
+      st_.l1[core].Remove(line);
+      ++st_.stats.invalidations;
+    }
+  });
+  li.sharers.Clear();
+  if (except_core >= 0 && st_.l1[except_core].Contains(line)) {
+    li.sharers.Add(except_core);
+  }
+}
+
+AccessResult NiagaraModel::AccessAt(CpuId cpu, LineAddr line, AccessType type,
+                                    Cycles now) {
+  ++st_.stats.accesses;
+  const PlatformSpec& spec = st_.spec;
+  LineInfo& li = st_.Line(line, cpu);
+  const int core = spec.CoreOf(cpu);
+  Cache& l1 = st_.l1[core];
+  Cache& llc = st_.llc[0];
+
+  if (type == AccessType::kLoad) {
+    if (l1.Contains(line)) {
+      l1.Touch(line);
+      ++st_.stats.l1_hits;
+      return {spec.l1_lat, 0, Source::kL1};
+    }
+    Cycles lat = spec.llc_lat;
+    Source src = Source::kLlcLocal;
+    if (llc.Contains(line)) {
+      llc.Touch(line);
+      ++st_.stats.llc_hits;
+    } else {
+      lat = spec.ram_lat;
+      src = Source::kMemLocal;
+      ++st_.stats.mem_accesses;
+      const Cache::Victim v = llc.Insert(line, LineState::kShared);
+      if (v.valid) {
+        // LLC eviction kills the duplicate tags; back-invalidate the L1s.
+        LineInfo& victim_li = st_.lines[v.line];
+        victim_li.sharers.ForEach([&](int c) { st_.l1[c].Remove(v.line); });
+        victim_li.sharers.Clear();
+        victim_li.in_memory_only = true;
+      }
+    }
+    const Cache::Victim v1 = l1.Insert(line, LineState::kShared);
+    if (v1.valid) {
+      st_.lines[v1.line].sharers.Remove(core);  // write-through: clean victim
+    }
+    li.sharers.Add(core);
+    li.in_memory_only = false;
+    const Cycles stall = st_.Claim(li, now, lat, type);
+    return {lat, stall, src};
+  }
+
+  // Stores and atomics: the write-through L1 sends every write to the LLC,
+  // where the duplicate-tag directory invalidates other cores' L1 copies.
+  Cycles lat = IsAtomic(type) ? spec.atomic_op.Get(type) : spec.llc_lat;
+  Source src = Source::kLlcLocal;
+  if (!llc.Contains(line)) {
+    lat += spec.ram_lat - spec.llc_lat;  // fill from memory first
+    src = Source::kMemLocal;
+    ++st_.stats.mem_accesses;
+    llc.Insert(line, LineState::kModified);
+  } else {
+    llc.Touch(line);
+    llc.SetState(line, LineState::kModified);
+    ++st_.stats.llc_hits;
+  }
+  // Atomics do not leave an L1 copy (they execute at the LLC); plain stores
+  // write through but keep/allocate the writer's L1 copy, so a subsequent
+  // same-core load is an L1 hit (Table 2 "same core" loads: 3 cycles).
+  if (IsAtomic(type)) {
+    l1.Remove(line);
+    InvalidateL1Sharers(line, li, -1);
+  } else {
+    const Cache::Victim v = l1.Insert(line, LineState::kShared);
+    if (v.valid) {
+      st_.lines[v.line].sharers.Remove(core);
+    }
+    InvalidateL1Sharers(line, li, core);
+  }
+  li.last_writer = cpu;
+  li.in_memory_only = false;
+  const Cycles stall = st_.Claim(li, now, lat, type);
+  return {lat, stall, src};
+}
+
+void NiagaraModel::FlushLine(LineAddr line) {
+  const auto it = st_.lines.find(line);
+  if (it == st_.lines.end()) {
+    return;
+  }
+  LineInfo& li = it->second;
+  li.sharers.ForEach([&](int core) { st_.l1[core].Remove(line); });
+  li.sharers.Clear();
+  st_.llc[0].Remove(line);
+  li.in_memory_only = true;
+}
+
+LineState NiagaraModel::PrivateState(CpuId cpu, LineAddr line) const {
+  return st_.l1[st_.spec.CoreOf(cpu)].GetState(line);
+}
+
+}  // namespace ssync

@@ -1,0 +1,30 @@
+// Coherence model for the Sun Niagara 2: a uniform single-socket CMP.
+//
+// Eight cores x eight hardware strands; each core's strands share a
+// write-through L1D; a crossbar connects all cores to a shared LLC at a
+// uniform 24-cycle distance; a duplicate-tag directory at the LLC tracks L1
+// sharers exactly. Because the L1s are write-through, the LLC always holds
+// current data, which is why every cross-core operation costs ~the LLC
+// latency regardless of MESI state (paper Table 2).
+#ifndef SRC_CCSIM_MODEL_NIAGARA_H_
+#define SRC_CCSIM_MODEL_NIAGARA_H_
+
+#include "src/ccsim/machine.h"
+
+namespace ssync {
+
+class NiagaraModel : public CoherenceModel {
+ public:
+  explicit NiagaraModel(MachineState& st) : CoherenceModel(st) {}
+
+  AccessResult AccessAt(CpuId cpu, LineAddr line, AccessType type, Cycles now) override;
+  void FlushLine(LineAddr line) override;
+  LineState PrivateState(CpuId cpu, LineAddr line) const override;
+
+ private:
+  void InvalidateL1Sharers(LineAddr line, LineInfo& li, int except_core);
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CCSIM_MODEL_NIAGARA_H_

@@ -1,0 +1,177 @@
+#include "src/ccsim/model_tilera.h"
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+Cycles TileraModel::HomeCost(CpuId tile, NodeId home) const {
+  if (tile == home) {
+    return st_.spec.slice_local;
+  }
+  const int hops = st_.spec.MeshHops(tile, home);
+  return st_.spec.remote_base +
+         static_cast<Cycles>(hops) * st_.spec.per_hop_x10 / 10;
+}
+
+Cycles TileraModel::DramCost(CpuId tile, NodeId home) const {
+  // Memory fills cost the flat DRAM latency plus the mesh distance to the
+  // home slice (Table 2 "Invalid" row: 118 @ 1 hop .. 162 @ max hops).
+  const int hops = st_.spec.MeshHops(tile, home);
+  return st_.spec.ram_lat + static_cast<Cycles>(hops) * st_.spec.ram_per_hop_x10 / 10;
+}
+
+int TileraModel::OtherSharers(const LineInfo& li, CpuId cpu) const {
+  return li.sharers.Count() - (li.sharers.Contains(cpu) ? 1 : 0);
+}
+
+void TileraModel::InvalidateSharers(LineAddr line, LineInfo& li, int except_tile) {
+  li.sharers.ForEach([&](int tile) {
+    if (tile != except_tile) {
+      st_.l1[tile].Remove(line);
+      ++st_.stats.invalidations;
+    }
+  });
+  li.sharers.Clear();
+  if (except_tile >= 0 && st_.l1[except_tile].Contains(line)) {
+    li.sharers.Add(except_tile);
+  }
+}
+
+bool TileraModel::EnsureAtHome(LineAddr line, LineInfo& li) {
+  Cache& slice = st_.l2[li.home];
+  if (slice.Contains(line)) {
+    slice.Touch(line);
+    ++st_.stats.llc_hits;
+    return false;
+  }
+  ++st_.stats.mem_accesses;
+  const Cache::Victim victim = slice.Insert(line, LineState::kShared);
+  if (victim.valid) {
+    // Slice capacity eviction: the directory entry disappears with the line,
+    // so the L1 sharers are invalidated.
+    LineInfo& victim_li = st_.lines[victim.line];
+    victim_li.sharers.ForEach([&](int tile) { st_.l1[tile].Remove(victim.line); });
+    victim_li.sharers.Clear();
+    victim_li.in_memory_only = true;
+  }
+  return true;
+}
+
+AccessResult TileraModel::AccessAt(CpuId cpu, LineAddr line, AccessType type,
+                                   Cycles now) {
+  ++st_.stats.accesses;
+  const PlatformSpec& spec = st_.spec;
+  LineInfo& li = st_.Line(line, cpu);
+  Cache& l1 = st_.l1[cpu];
+
+  if (type == AccessType::kLoad) {
+    if (l1.Contains(line)) {
+      l1.Touch(line);
+      ++st_.stats.l1_hits;
+      return {spec.l1_lat, 0, Source::kL1};
+    }
+    Cycles lat;
+    Source src;
+    if (EnsureAtHome(line, li)) {
+      lat = DramCost(cpu, li.home);
+      src = Source::kMemLocal;
+    } else {
+      lat = HomeCost(cpu, li.home);
+      src = li.home == cpu ? Source::kLlcLocal : Source::kLlcRemote;
+      if (li.home == cpu && li.written && li.last_writer != cpu) {
+        // The home tile re-reading data last written by another tile pays a
+        // probe on top of its slice hit (Table 2 "other core": 24 cycles).
+        lat += spec.probe_owner;
+        li.written = false;
+      }
+    }
+    const Cache::Victim v1 = l1.Insert(line, LineState::kShared);
+    if (v1.valid) {
+      st_.lines[v1.line].sharers.Remove(cpu);
+    }
+    li.sharers.Add(cpu);
+    li.in_memory_only = false;
+    // Every request is serviced by the home tile's slice directory; hot
+    // lines that share a home tile queue behind each other (the source of
+    // the Tilera's contention sensitivity vs. the banked Niagara LLC).
+    Cycles stall = li.home == cpu ? 0 : st_.ClaimPort(li.home, now);
+    stall += st_.Claim(li, now + stall, lat, type);
+    return {lat, stall, src};
+  }
+
+  // Stores and atomics execute at the home tile (write-through / remote
+  // atomic operations). Invalidating a crowd of sharers (>= 2) costs extra;
+  // displacing the single previous writer is part of the base path.
+  const bool crowd = OtherSharers(li, cpu) >= 2;
+  const bool from_memory = EnsureAtHome(line, li);
+  Cycles lat;
+  Source src = li.home == cpu ? Source::kLlcLocal : Source::kLlcRemote;
+  if (IsAtomic(type)) {
+    lat = (from_memory ? DramCost(cpu, li.home)
+                       : (li.home == cpu ? spec.slice_local : HomeCost(cpu, li.home))) +
+          spec.atomic_op.Get(type);
+    if (crowd) {
+      lat += spec.atomic_shared_extra.Get(type);
+    }
+  } else if (li.home == cpu) {
+    lat = from_memory ? DramCost(cpu, li.home) + spec.store_extra
+                      : spec.slice_local + spec.probe_owner;  // "same core": 24
+  } else {
+    lat = (from_memory ? DramCost(cpu, li.home) : HomeCost(cpu, li.home)) +
+          spec.store_extra;
+    if (crowd) {
+      lat += spec.store_shared_extra;
+    }
+  }
+  if (from_memory) {
+    src = Source::kMemLocal;
+  }
+  st_.l2[li.home].SetState(line, LineState::kModified);
+  // Stores write through to the home slice but keep/allocate the writer's L1
+  // copy (same-tile reload is an L1 hit); atomics do not allocate.
+  if (IsAtomic(type)) {
+    l1.Remove(line);
+    InvalidateSharers(line, li, -1);
+  } else {
+    const Cache::Victim v = l1.Insert(line, LineState::kShared);
+    if (v.valid) {
+      st_.lines[v.line].sharers.Remove(cpu);
+    }
+    InvalidateSharers(line, li, cpu);
+  }
+  li.written = true;
+  li.last_writer = cpu;
+  li.in_memory_only = false;
+  Cycles stall = li.home == cpu ? 0 : st_.ClaimPort(li.home, now);
+  stall += st_.Claim(li, now + stall, lat, type);
+  return {lat, stall, src};
+}
+
+void TileraModel::FlushLine(LineAddr line) {
+  const auto it = st_.lines.find(line);
+  if (it == st_.lines.end()) {
+    return;
+  }
+  LineInfo& li = it->second;
+  li.sharers.ForEach([&](int tile) { st_.l1[tile].Remove(line); });
+  li.sharers.Clear();
+  st_.l2[li.home].Remove(line);
+  li.written = false;
+  li.last_writer = kNoCpu;
+  li.in_memory_only = true;
+}
+
+LineState TileraModel::PrivateState(CpuId cpu, LineAddr line) const {
+  const LineState s = st_.l1[cpu].GetState(line);
+  if (s != LineState::kInvalid) {
+    return s;
+  }
+  // The home slice counts as the tile's own L2.
+  const auto it = st_.lines.find(line);
+  if (it != st_.lines.end() && it->second.home == cpu) {
+    return st_.l2[cpu].GetState(line);
+  }
+  return LineState::kInvalid;
+}
+
+}  // namespace ssync

@@ -1,0 +1,39 @@
+// Coherence model for the Tilera TILE-Gx36: a non-uniform single-socket CMP.
+//
+// 36 tiles on a 6x6 mesh. Every line has a home tile; the home tile's L2
+// slice acts as that line's LLC and holds an exact directory of L1 sharers
+// (Dynamic Distributed Cache). Remote tiles cache lines in their L1 only;
+// stores write through to the home slice and invalidate sharers; atomics
+// execute at the home tile (remote atomics — which is why FAI is cheap).
+// Latency depends on the Manhattan distance to the home tile.
+#ifndef SRC_CCSIM_MODEL_TILERA_H_
+#define SRC_CCSIM_MODEL_TILERA_H_
+
+#include "src/ccsim/machine.h"
+
+namespace ssync {
+
+class TileraModel : public CoherenceModel {
+ public:
+  explicit TileraModel(MachineState& st) : CoherenceModel(st) {}
+
+  AccessResult AccessAt(CpuId cpu, LineAddr line, AccessType type, Cycles now) override;
+  void FlushLine(LineAddr line) override;
+  LineState PrivateState(CpuId cpu, LineAddr line) const override;
+
+ private:
+  // Cost of reaching the home slice from `tile`.
+  Cycles HomeCost(CpuId tile, NodeId home) const;
+  // Cost of a DRAM fill observed from `tile`.
+  Cycles DramCost(CpuId tile, NodeId home) const;
+  // Sharers other than the requester itself.
+  int OtherSharers(const LineInfo& li, CpuId cpu) const;
+  void InvalidateSharers(LineAddr line, LineInfo& li, int except_tile);
+  // Ensures the home slice holds the line (inserting and handling slice
+  // evictions); returns true if the line had to be fetched from memory.
+  bool EnsureAtHome(LineAddr line, LineInfo& li);
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CCSIM_MODEL_TILERA_H_

@@ -1,0 +1,3 @@
+// SharerSet is header-only; this translation unit exists so the module has a
+// home for future non-inline additions and keeps the build list uniform.
+#include "src/ccsim/sharers.h"

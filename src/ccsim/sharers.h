@@ -1,0 +1,61 @@
+// Fixed-size bit set of sharers (cpus / cores / tiles), sized for the largest
+// studied machine (80 cpus).
+#ifndef SRC_CCSIM_SHARERS_H_
+#define SRC_CCSIM_SHARERS_H_
+
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+class SharerSet {
+ public:
+  static constexpr int kMaxSharers = 128;
+
+  void Add(int i) {
+    SSYNC_DCHECK(i >= 0 && i < kMaxSharers);
+    w_[i >> 6] |= 1ULL << (i & 63);
+  }
+
+  void Remove(int i) {
+    SSYNC_DCHECK(i >= 0 && i < kMaxSharers);
+    w_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  bool Contains(int i) const { return (w_[i >> 6] >> (i & 63)) & 1; }
+
+  void Clear() { w_[0] = w_[1] = 0; }
+
+  bool Empty() const { return (w_[0] | w_[1]) == 0; }
+
+  int Count() const {
+    return __builtin_popcountll(w_[0]) + __builtin_popcountll(w_[1]);
+  }
+
+  // True if the set is empty or contains exactly {i}.
+  bool NoneBut(int i) const {
+    SharerSet copy = *this;
+    copy.Remove(i);
+    return copy.Empty();
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (int word = 0; word < 2; ++word) {
+      std::uint64_t bits = w_[word];
+      while (bits != 0) {
+        const int bit = __builtin_ctzll(bits);
+        fn(word * 64 + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::uint64_t w_[2] = {0, 0};
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CCSIM_SHARERS_H_

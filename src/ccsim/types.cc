@@ -1,0 +1,65 @@
+#include "src/ccsim/types.h"
+
+namespace ssync {
+
+const char* ToString(LineState s) {
+  switch (s) {
+    case LineState::kInvalid:
+      return "I";
+    case LineState::kShared:
+      return "S";
+    case LineState::kExclusive:
+      return "E";
+    case LineState::kOwned:
+      return "O";
+    case LineState::kModified:
+      return "M";
+    case LineState::kForward:
+      return "F";
+  }
+  return "?";
+}
+
+const char* ToString(AccessType t) {
+  switch (t) {
+    case AccessType::kLoad:
+      return "load";
+    case AccessType::kStore:
+      return "store";
+    case AccessType::kRfo:
+      return "prefetchw";
+    case AccessType::kCas:
+      return "CAS";
+    case AccessType::kFai:
+      return "FAI";
+    case AccessType::kTas:
+      return "TAS";
+    case AccessType::kSwap:
+      return "SWAP";
+  }
+  return "?";
+}
+
+const char* ToString(Source s) {
+  switch (s) {
+    case Source::kL1:
+      return "L1";
+    case Source::kL2:
+      return "L2";
+    case Source::kLlcLocal:
+      return "LLC(local)";
+    case Source::kPeerLocal:
+      return "peer(local)";
+    case Source::kPeerRemote:
+      return "peer(remote)";
+    case Source::kLlcRemote:
+      return "LLC(remote)";
+    case Source::kMemLocal:
+      return "mem(local)";
+    case Source::kMemRemote:
+      return "mem(remote)";
+  }
+  return "?";
+}
+
+}  // namespace ssync

@@ -1,0 +1,77 @@
+// Shared types for the cache-coherence substrate.
+#ifndef SRC_CCSIM_TYPES_H_
+#define SRC_CCSIM_TYPES_H_
+
+#include <cstdint>
+
+#include "src/sim/engine.h"
+
+namespace ssync {
+
+// A cache line identifier: host address >> 6 (see src/util/cacheline.h).
+using LineAddr = std::uint64_t;
+
+// Memory node / socket / tile identifiers. Platform-dependent meaning:
+// Opteron: die (8), Xeon: socket (8), Niagara: single node, Tilera: tile (36).
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+inline constexpr CpuId kNoCpu = -1;
+
+// MESI and friends. kOwned is MOESI (Opteron); kForward is MESIF (Xeon).
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kOwned,
+  kModified,
+  kForward,
+};
+
+const char* ToString(LineState s);
+
+enum class AccessType : std::uint8_t {
+  kLoad,
+  kStore,
+  kRfo,  // prefetchw: acquires ownership like a store, pipelines like a load
+  kCas,
+  kFai,
+  kTas,
+  kSwap,
+};
+
+inline constexpr int kNumAtomicOps = 4;  // kCas..kSwap
+
+const char* ToString(AccessType t);
+
+inline bool IsAtomic(AccessType t) { return t >= AccessType::kCas; }
+
+// Index into per-op atomic cost arrays.
+inline int AtomicIndex(AccessType t) {
+  return static_cast<int>(t) - static_cast<int>(AccessType::kCas);
+}
+
+// Where an access was satisfied — for tracing, tests, and ccbench reporting.
+enum class Source : std::uint8_t {
+  kL1,
+  kL2,
+  kLlcLocal,        // own-socket LLC / own home slice
+  kPeerLocal,       // another private cache on the same socket
+  kPeerRemote,      // a cache on a remote socket
+  kLlcRemote,       // remote LLC / remote home slice
+  kMemLocal,        // DRAM on the local node
+  kMemRemote,       // DRAM on a remote node
+};
+
+const char* ToString(Source s);
+
+struct AccessResult {
+  Cycles latency = 0;    // protocol cost of this access
+  Cycles stall = 0;      // time spent waiting for the line's previous transaction
+  Source source = Source::kL1;
+
+  Cycles total() const { return latency + stall; }
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CCSIM_TYPES_H_

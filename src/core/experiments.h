@@ -1,0 +1,52 @@
+// Experiment harnesses shared by the benchmark binaries and the integration
+// ("shape") tests. Each function reproduces one of the paper's measurement
+// methodologies (Sections 5.4 and 6.1) on a SimRuntime.
+#ifndef SRC_CORE_EXPERIMENTS_H_
+#define SRC_CORE_EXPERIMENTS_H_
+
+#include <cstdint>
+
+#include "src/ccsim/types.h"
+#include "src/core/runtime_sim.h"
+#include "src/locks/locks.h"
+
+namespace ssync {
+
+struct StressResult {
+  std::uint64_t ops = 0;
+  Cycles duration = 0;
+  double mops = 0.0;  // throughput in Mops/s at the platform's clock
+};
+
+// The atomic-operations stress of Section 5.4 / Figure 4: every thread
+// repeatedly performs `op` on a single shared location. kCas here means a
+// spinning CAS (retries until it writes); use `cas_based_fai` for the CAS_FAI
+// variant of the figure.
+enum class AtomicStressOp { kCas, kTas, kCasFai, kSwap, kFai };
+const char* ToString(AtomicStressOp op);
+StressResult AtomicStress(SimRuntime& rt, AtomicStressOp op, int threads, Cycles duration);
+
+// The lock-stress methodology of Section 6.1.2 (Figures 5, 7, 8): each thread
+// acquires a (uniformly random) lock out of `num_locks`, reads and writes one
+// cache line of protected data, releases, then pauses briefly so the release
+// becomes globally visible before the retry.
+StressResult LockStress(SimRuntime& rt, LockKind kind, const TicketOptions& ticket_options,
+                        int threads, int num_locks, Cycles duration, std::uint64_t seed);
+
+// Figure 6: uncontested acquisition latency when the previous holder sits at
+// a given distance. Two pinned threads alternate acquire/release; returns the
+// mean acquisition latency (cycles) observed by the thread on `cpu_a`.
+// With cpu_b < 0, measures the single-thread (self-handoff) latency.
+double UncontestedLockLatency(SimRuntime& rt, LockKind kind,
+                              const TicketOptions& ticket_options, CpuId cpu_a, CpuId cpu_b,
+                              int rounds);
+
+// Figure 3: latency of acquire+release of a single ticket lock under
+// all-thread contention, for a given ticket configuration. Returns the mean
+// cycles per acquire-release pair observed across threads.
+double TicketAcquireReleaseLatency(SimRuntime& rt, const TicketOptions& options,
+                                   int threads, int rounds_per_thread);
+
+}  // namespace ssync
+
+#endif  // SRC_CORE_EXPERIMENTS_H_

@@ -1,0 +1,45 @@
+// The SSYNC memory-backend concept.
+//
+// Every synchronization algorithm in this suite (locks, message passing, hash
+// table, STM, KV store) is written once, templated over a backend `Mem` that
+// provides atomics, fences, pause, prefetchw, thread identity, and data-touch
+// operations. Two backends exist:
+//
+//   NativeMem (src/core/mem_native.h) — std::atomic on the host machine.
+//   SimMem    (src/core/mem_sim.h)    — routes every access through the
+//       simulated cache-coherence machine (src/ccsim), charging cycle costs.
+//
+// The requirements, expressed as a C++20 concept for documentation and
+// compile-time checking:
+#ifndef SRC_CORE_MEM_H_
+#define SRC_CORE_MEM_H_
+
+#include <concepts>
+#include <cstdint>
+
+namespace ssync {
+
+template <typename M>
+concept MemBackend = requires(const void* cp, void* p, std::uint64_t n, int tid) {
+  // Atomic<T> for trivially-copyable T up to 8 bytes, with:
+  //   T Load(); void Store(T); T FetchAdd(T); T Exchange(T);
+  //   bool CompareExchange(T& expected, T desired); T TestAndSet();
+  typename M::template Atomic<std::uint32_t>;
+  typename M::template Atomic<std::uint64_t>;
+  { M::Pause(n) };                 // spin-wait hint, ~n cycles
+  { M::Compute(n) };               // local (non-memory) work, ~n cycles
+  { M::FullFence() };              // full memory barrier
+  { M::Prefetchw(cp) };            // read-for-ownership hint (Section 5.3)
+  { M::ReadData(cp, n) };          // charge coherent loads of a payload range
+  { M::WriteData(p, n) };          // charge coherent stores of a payload range
+  { M::ThreadId() } -> std::convertible_to<int>;
+  { M::NumThreads() } -> std::convertible_to<int>;
+  { M::ShouldStop() } -> std::convertible_to<bool>;
+  { M::Now() } -> std::convertible_to<std::uint64_t>;  // cycles
+  { M::ParkSelf() };               // block the calling thread (futex-style)
+  { M::UnparkThread(tid) };        // wake a parked thread
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CORE_MEM_H_

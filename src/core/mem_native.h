@@ -1,0 +1,134 @@
+// NativeMem: the real-hardware memory backend (std::atomic / std::thread).
+//
+// Used by unit tests (mutual exclusion under genuine preemption) and by the
+// native microbenchmarks. Pause escalates to sched_yield periodically so that
+// spin locks make progress even when threads outnumber host cores.
+#ifndef SRC_CORE_MEM_NATIVE_H_
+#define SRC_CORE_MEM_NATIVE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace ssync {
+
+namespace internal {
+extern thread_local int g_native_thread_id;
+extern std::atomic<int> g_native_num_threads;
+extern std::atomic<bool> g_native_stop;
+void NativeParkSelf();
+void NativeUnparkThread(int tid);
+}  // namespace internal
+
+struct NativeMem {
+  template <typename T>
+  class Atomic {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+
+   public:
+    Atomic() : v_(T{}) {}
+    explicit Atomic(T init) : v_(init) {}
+
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T Load() const { return v_.load(std::memory_order_acquire); }
+
+    // Polling load for busy-wait/scan loops (see SimMem::Atomic::LoadPoll);
+    // natively an ordinary acquire load.
+    T LoadPoll() const { return v_.load(std::memory_order_acquire); }
+
+    // Ownership-maintaining poll (see SimMem::Atomic::LoadPollRfo).
+    T LoadPollRfo() const {
+      __builtin_prefetch(&v_, /*rw=*/1, /*locality=*/3);
+      return v_.load(std::memory_order_acquire);
+    }
+
+    // Read-for-ownership load: prefetchw + load (see SimMem::Atomic::LoadRfo).
+    T LoadRfo() const {
+      __builtin_prefetch(&v_, /*rw=*/1, /*locality=*/3);
+      return v_.load(std::memory_order_acquire);
+    }
+    void Store(T x) { v_.store(x, std::memory_order_release); }
+    T FetchAdd(T d) { return v_.fetch_add(d, std::memory_order_acq_rel); }
+    T Exchange(T x) { return v_.exchange(x, std::memory_order_acq_rel); }
+
+    bool CompareExchange(T& expected, T desired) {
+      return v_.compare_exchange_strong(expected, desired, std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+    }
+
+    T TestAndSet() { return v_.exchange(static_cast<T>(1), std::memory_order_acquire); }
+
+    void SetInit(T x) { v_.store(x, std::memory_order_relaxed); }
+    T PeekInit() const { return v_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<T> v_;
+  };
+
+  static void Pause(std::uint64_t n) {
+    thread_local std::uint32_t budget = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      CpuRelax();
+    }
+    // On oversubscribed hosts a spinning thread can starve the lock holder;
+    // yield every so often so handoffs happen at scheduler speed.
+    if ((budget += static_cast<std::uint32_t>(n)) >= 256) {
+      budget = 0;
+      std::this_thread::yield();
+    }
+  }
+
+  static void Compute(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n / 4 + 1; ++i) {
+      CpuRelax();
+    }
+  }
+
+  static void FullFence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+
+  static void Prefetchw(const void* p) { __builtin_prefetch(p, /*rw=*/1, /*locality=*/3); }
+
+  // Native prefetches are naturally asynchronous.
+  static void PrefetchAsync(const void* p) { __builtin_prefetch(p, /*rw=*/0, /*locality=*/3); }
+  static void PrefetchwAsync(const void* p) { __builtin_prefetch(p, /*rw=*/1, /*locality=*/3); }
+
+  // On the native backend payload data is genuinely read/written by the
+  // caller's own code; nothing extra to charge.
+  static void ReadData(const void*, std::uint64_t) {}
+  static void WriteData(void*, std::uint64_t) {}
+
+  static int ThreadId() { return internal::g_native_thread_id; }
+  static int NumThreads() { return internal::g_native_num_threads.load(std::memory_order_relaxed); }
+  static bool ShouldStop() { return internal::g_native_stop.load(std::memory_order_relaxed); }
+
+  static std::uint64_t Now() {
+#if defined(__x86_64__)
+    return __rdtsc();
+#else
+    return 0;
+#endif
+  }
+
+  static void ParkSelf() { internal::NativeParkSelf(); }
+  static void UnparkThread(int tid) { internal::NativeUnparkThread(tid); }
+
+ private:
+  static void CpuRelax() {
+#if defined(__x86_64__)
+    _mm_pause();
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CORE_MEM_NATIVE_H_

@@ -1,0 +1,200 @@
+// SimMem: the simulated-machine memory backend.
+//
+// Atomic<T> instances live in ordinary host memory; their *address* determines
+// the simulated cache line (addr >> 6), so struct layout, padding, and false
+// sharing behave exactly as written. Each operation issues a coherence access
+// on the current SimRuntime's Machine, charging cycles to the calling
+// simulated cpu. Values are read/written at the access's serialization point,
+// so all executions are linearizable and deterministic.
+#ifndef SRC_CORE_MEM_SIM_H_
+#define SRC_CORE_MEM_SIM_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "src/ccsim/machine.h"
+#include "src/sim/engine.h"
+#include "src/util/cacheline.h"
+#include "src/util/check.h"
+
+namespace ssync {
+
+namespace internal {
+// Set for the duration of SimRuntime::Run (single OS thread runs all fibers).
+extern Machine* g_sim_machine;
+extern const int* g_cpu_to_thread;      // dense worker index by cpu, -1 if none
+extern const CpuId* g_thread_to_cpu;    // inverse mapping
+extern int g_sim_num_threads;
+}  // namespace internal
+
+struct SimMem {
+  static Machine* machine() {
+    // Always-on check: touching simulated memory outside SimRuntime::Run is
+    // an API misuse that would otherwise surface as a null dereference.
+    SSYNC_CHECK(internal::g_sim_machine != nullptr);
+    return internal::g_sim_machine;
+  }
+
+  template <typename T>
+  class Atomic {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "simulated atomics mirror hardware: <= 8 bytes");
+
+   public:
+    Atomic() = default;
+    explicit Atomic(T init) : v_(init) {}
+
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    // Every operation touches the host value BETWEEN Machine::AccessBegin
+    // (the transaction's serialization point in virtual time) and
+    // Machine::AccessFinish (which pays the latency and may yield to other
+    // fibers). Touching the value after AccessFinish would let this fiber
+    // observe stores that serialize later in virtual time but happened to
+    // execute earlier in host order.
+
+    T Load() const {
+      const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kLoad);
+      const T value = v_;
+      machine()->AccessFinish(r);
+      return value;
+    }
+
+    // Polling load for busy-wait/scan loops (see Machine::Poll).
+    T LoadPoll() const {
+      const AccessResult r = machine()->PollBegin(LineOf(&v_), /*rfo=*/false);
+      const T value = v_;
+      machine()->AccessFinish(r);
+      return value;
+    }
+
+    // Ownership-maintaining poll: prefetchw + load (Section 5.3). The line
+    // stays Modified at the poller, so the eventual writer invalidates a
+    // single tracked owner (directed probe, no Opteron broadcast).
+    T LoadPollRfo() const {
+      const AccessResult r = machine()->PollBegin(LineOf(&v_), /*rfo=*/true);
+      const T value = v_;
+      machine()->AccessFinish(r);
+      return value;
+    }
+
+    // Read-for-ownership load: prefetchw immediately followed by the load
+    // (Section 5.3). Modeled as a single transaction — on real hardware the
+    // load hits the just-fetched Modified line within a couple of cycles, a
+    // window in which no other core's request can slip in.
+    T LoadRfo() const {
+      const AccessResult r = machine()->PrefetchwBegin(LineOf(&v_));
+      const T value = v_;
+      machine()->AccessFinish(r);
+      return value;
+    }
+
+    void Store(T x) {
+      const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kStore);
+      v_ = x;
+      machine()->AccessFinish(r);
+    }
+
+    T FetchAdd(T d) {
+      const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kFai);
+      const T old = v_;
+      v_ = static_cast<T>(v_ + d);
+      machine()->AccessFinish(r);
+      return old;
+    }
+
+    T Exchange(T x) {
+      const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kSwap);
+      const T old = v_;
+      v_ = x;
+      machine()->AccessFinish(r);
+      return old;
+    }
+
+    bool CompareExchange(T& expected, T desired) {
+      const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kCas);
+      bool ok = false;
+      if (v_ == expected) {
+        v_ = desired;
+        ok = true;
+      } else {
+        expected = v_;
+      }
+      machine()->AccessFinish(r);
+      return ok;
+    }
+
+    // Test-and-set: sets the low bit, returns the previous value.
+    T TestAndSet() {
+      const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kTas);
+      const T old = v_;
+      v_ = static_cast<T>(1);
+      machine()->AccessFinish(r);
+      return old;
+    }
+
+    // Initialization outside a simulation run (no cycles charged).
+    void SetInit(T x) { v_ = x; }
+    T PeekInit() const { return v_; }
+
+   private:
+    T v_{};
+  };
+
+  static void Pause(std::uint64_t n) { Engine::Current()->Advance(n); }
+  static void Compute(std::uint64_t n) { Engine::Current()->Advance(n); }
+  static void FullFence() { machine()->Fence(); }
+
+  static void Prefetchw(const void* p) { machine()->Prefetchw(LineOf(p)); }
+
+  // Non-blocking prefetches (one outstanding slot per cpu; see
+  // Machine::PrefetchAsync). PrefetchwAsync acquires the line for writing.
+  static void PrefetchAsync(const void* p) { machine()->PrefetchAsync(LineOf(p), false); }
+  static void PrefetchwAsync(const void* p) { machine()->PrefetchAsync(LineOf(p), true); }
+
+  static void ReadData(const void* p, std::uint64_t bytes) { Touch(p, bytes, false); }
+  static void WriteData(void* p, std::uint64_t bytes) { Touch(p, bytes, true); }
+
+  static int CurrentCpu() { return Engine::Current()->current_cpu(); }
+
+  static int ThreadId() {
+    const int tid = internal::g_cpu_to_thread[CurrentCpu()];
+    SSYNC_DCHECK(tid >= 0);
+    return tid;
+  }
+
+  static int NumThreads() { return internal::g_sim_num_threads; }
+  static bool ShouldStop() { return Engine::Current()->ShouldStop(); }
+  static std::uint64_t Now() { return Engine::Current()->now(); }
+
+  // Futex-style blocking, used by the MUTEX lock. Costs approximate a
+  // syscall + kernel wakeup on the studied machines.
+  static constexpr Cycles kParkCost = 500;
+  static constexpr Cycles kUnparkCost = 250;
+  static constexpr Cycles kWakeLatency = 700;
+
+  static void ParkSelf() {
+    Engine* eng = Engine::Current();
+    eng->Advance(kParkCost);
+    eng->Park();
+  }
+
+  static void UnparkThread(int tid);
+
+ private:
+  static void Touch(const void* p, std::uint64_t bytes, bool write) {
+    if (bytes == 0) {
+      return;
+    }
+    const LineAddr first = LineOf(p);
+    const LineAddr last = LineOf(static_cast<const char*>(p) + bytes - 1);
+    for (LineAddr line = first; line <= last; ++line) {
+      machine()->Access(line, write ? AccessType::kStore : AccessType::kLoad);
+    }
+  }
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CORE_MEM_SIM_H_

@@ -1,0 +1,95 @@
+#include "src/core/runtime_native.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/mem_native.h"
+#include "src/util/check.h"
+
+namespace ssync {
+namespace internal {
+
+thread_local int g_native_thread_id = -1;
+std::atomic<int> g_native_num_threads{0};
+std::atomic<bool> g_native_stop{false};
+
+namespace {
+
+// Per-thread binary semaphores backing NativeMem::ParkSelf/UnparkThread.
+// Host-level primitives, intentionally not part of the modeled machine: they
+// stand in for the kernel's futex.
+constexpr int kMaxNativeThreads = 256;
+
+struct ParkSlot {
+  std::mutex m;
+  std::condition_variable cv;
+  bool permit = false;
+};
+
+ParkSlot g_park_slots[kMaxNativeThreads];
+
+}  // namespace
+
+void NativeParkSelf() {
+  const int tid = g_native_thread_id;
+  SSYNC_CHECK_GE(tid, 0);
+  ParkSlot& slot = g_park_slots[tid];
+  std::unique_lock<std::mutex> lk(slot.m);
+  slot.cv.wait(lk, [&] { return slot.permit; });
+  slot.permit = false;
+}
+
+void NativeUnparkThread(int tid) {
+  SSYNC_CHECK_GE(tid, 0);
+  SSYNC_CHECK_LT(tid, kMaxNativeThreads);
+  ParkSlot& slot = g_park_slots[tid];
+  {
+    std::lock_guard<std::mutex> lk(slot.m);
+    slot.permit = true;
+  }
+  slot.cv.notify_one();
+}
+
+}  // namespace internal
+
+void NativeRuntime::Run(int threads, const std::function<void(int)>& fn) {
+  SSYNC_CHECK_GT(threads, 0);
+  internal::g_native_stop.store(false);
+  internal::g_native_num_threads.store(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([fn, tid] {
+      internal::g_native_thread_id = tid;
+      fn(tid);
+    });
+  }
+  for (auto& t : workers) {
+    t.join();
+  }
+}
+
+void NativeRuntime::RunFor(int threads, std::uint64_t duration_ms,
+                           const std::function<void(int)>& fn) {
+  SSYNC_CHECK_GT(threads, 0);
+  internal::g_native_stop.store(false);
+  internal::g_native_num_threads.store(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([fn, tid] {
+      internal::g_native_thread_id = tid;
+      fn(tid);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  internal::g_native_stop.store(true);
+  for (auto& t : workers) {
+    t.join();
+  }
+}
+
+}  // namespace ssync

@@ -1,0 +1,24 @@
+// NativeRuntime: runs workloads on real std::threads (host hardware).
+//
+// Mirrors SimRuntime's interface closely enough that tests can exercise the
+// same templated algorithms on both backends.
+#ifndef SRC_CORE_RUNTIME_NATIVE_H_
+#define SRC_CORE_RUNTIME_NATIVE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace ssync {
+
+class NativeRuntime {
+ public:
+  // Runs fn(thread_index) on `threads` OS threads; joins them all.
+  void Run(int threads, const std::function<void(int)>& fn);
+
+  // As Run, but flips NativeMem::ShouldStop() after ~duration_ms.
+  void RunFor(int threads, std::uint64_t duration_ms, const std::function<void(int)>& fn);
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CORE_RUNTIME_NATIVE_H_

@@ -1,0 +1,107 @@
+#include "src/core/runtime_sim.h"
+
+#include "src/util/cacheline.h"
+#include "src/util/check.h"
+
+namespace ssync {
+
+namespace internal {
+Machine* g_sim_machine = nullptr;
+const int* g_cpu_to_thread = nullptr;
+const CpuId* g_thread_to_cpu = nullptr;
+int g_sim_num_threads = 0;
+}  // namespace internal
+
+void SimMem::UnparkThread(int tid) {
+  Engine* eng = Engine::Current();
+  eng->Advance(kUnparkCost);
+  eng->Unpark(internal::g_thread_to_cpu[tid], eng->now() + kWakeLatency);
+}
+
+SimRuntime::SimRuntime(const PlatformSpec& spec) : machine_(spec) {}
+
+SimRuntime::~SimRuntime() = default;
+
+namespace {
+
+std::vector<CpuId> DefaultPlacement(const PlatformSpec& spec, int threads) {
+  SSYNC_CHECK_GT(threads, 0);
+  SSYNC_CHECK_LE(threads, spec.num_cpus);
+  std::vector<CpuId> cpus(threads);
+  for (int tid = 0; tid < threads; ++tid) {
+    cpus[tid] = spec.CpuForThread(tid);
+  }
+  return cpus;
+}
+
+}  // namespace
+
+void SimRuntime::Run(int threads, const std::function<void(int)>& fn) {
+  RunInternal(DefaultPlacement(machine_.spec(), threads), kNeverCycles, fn);
+}
+
+void SimRuntime::RunFor(int threads, Cycles duration, const std::function<void(int)>& fn) {
+  RunInternal(DefaultPlacement(machine_.spec(), threads), duration, fn);
+}
+
+void SimRuntime::RunOnCpus(const std::vector<CpuId>& cpus,
+                           const std::function<void(int)>& fn) {
+  RunInternal(cpus, kNeverCycles, fn);
+}
+
+void SimRuntime::RunForOnCpus(const std::vector<CpuId>& cpus, Cycles duration,
+                              const std::function<void(int)>& fn) {
+  RunInternal(cpus, duration, fn);
+}
+
+void SimRuntime::RunInternal(const std::vector<CpuId>& cpus, Cycles duration,
+                             const std::function<void(int)>& fn) {
+  const PlatformSpec& spec = machine_.spec();
+  const int threads = static_cast<int>(cpus.size());
+  SSYNC_CHECK_GT(threads, 0);
+
+  Engine engine(spec.num_cpus);
+  cpu_to_thread_.assign(spec.num_cpus, -1);
+  thread_to_cpu_.assign(threads, -1);
+  for (int tid = 0; tid < threads; ++tid) {
+    const CpuId cpu = cpus[tid];
+    SSYNC_CHECK_GE(cpu, 0);
+    SSYNC_CHECK_LT(cpu, spec.num_cpus);
+    SSYNC_CHECK_EQ(cpu_to_thread_[cpu], -1);
+    cpu_to_thread_[cpu] = tid;
+    thread_to_cpu_[tid] = cpu;
+    engine.Spawn(cpu, [fn, tid] { fn(tid); });
+  }
+  if (duration != kNeverCycles) {
+    engine.StopAt(duration);
+  }
+
+  machine_.ResetTimeDomain();
+  internal::g_sim_machine = &machine_;
+  internal::g_cpu_to_thread = cpu_to_thread_.data();
+  internal::g_thread_to_cpu = thread_to_cpu_.data();
+  internal::g_sim_num_threads = threads;
+  engine.Run();
+  internal::g_sim_machine = nullptr;
+  internal::g_cpu_to_thread = nullptr;
+  internal::g_thread_to_cpu = nullptr;
+  internal::g_sim_num_threads = 0;
+
+  last_duration_ = engine.end_time();
+}
+
+void SimRuntime::PlaceData(const void* p, std::size_t bytes, int tid) {
+  const PlatformSpec& spec = machine_.spec();
+  const CpuId cpu = spec.CpuForThread(tid);
+  const NodeId node = spec.MemNodeOf(cpu);
+  if (bytes == 0) {
+    return;
+  }
+  const LineAddr first = LineOf(p);
+  const LineAddr last = LineOf(static_cast<const char*>(p) + bytes - 1);
+  for (LineAddr line = first; line <= last; ++line) {
+    machine_.SetHome(line, node);
+  }
+}
+
+}  // namespace ssync

@@ -1,0 +1,74 @@
+// SimRuntime: runs experiment workloads on a simulated machine.
+//
+// Owns a Machine (cache state persists across phases) and constructs a fresh
+// discrete-event Engine per Run(). Threads are placed on cpus following the
+// paper's placement policy (Section 5.4); worker index <-> cpu mappings are
+// exported to SimMem.
+//
+// Typical throughput-experiment shape:
+//
+//   SimRuntime rt(MakeOpteron());
+//   std::vector<uint64_t> ops(n);
+//   rt.RunFor(n, 2'000'000 /*cycles*/, [&](int tid) {
+//     while (!SimMem::ShouldStop()) { ...one operation...; ++ops[tid]; }
+//   });
+//   double mops = MopsPerSec(Sum(ops), rt.last_duration(), rt.spec().ghz);
+#ifndef SRC_CORE_RUNTIME_SIM_H_
+#define SRC_CORE_RUNTIME_SIM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/ccsim/machine.h"
+#include "src/core/mem_sim.h"
+#include "src/platform/spec.h"
+#include "src/sim/engine.h"
+
+namespace ssync {
+
+class SimRuntime {
+ public:
+  explicit SimRuntime(const PlatformSpec& spec);
+  ~SimRuntime();
+
+  const PlatformSpec& spec() const { return machine_.spec(); }
+  Machine& machine() { return machine_; }
+
+  // Runs fn(thread_index) on `threads` simulated cpus until every worker
+  // returns.
+  void Run(int threads, const std::function<void(int)>& fn);
+
+  // As Run, but ShouldStop() flips once any cpu clock passes `duration`
+  // cycles. Workers are expected to poll ShouldStop().
+  void RunFor(int threads, Cycles duration, const std::function<void(int)>& fn);
+
+  // Explicit-placement variants: thread tid runs on cpus[tid] (Figure 6 and
+  // Figure 9 pin threads at chosen distances instead of the default policy).
+  void RunOnCpus(const std::vector<CpuId>& cpus, const std::function<void(int)>& fn);
+  void RunForOnCpus(const std::vector<CpuId>& cpus, Cycles duration,
+                    const std::function<void(int)>& fn);
+
+  // Virtual duration of the last Run/RunFor (max over participating clocks).
+  Cycles last_duration() const { return last_duration_; }
+
+  CpuId CpuOfThread(int tid) const { return thread_to_cpu_[tid]; }
+
+  // Pre-places the cache line(s) of [p, p+bytes) on the memory node of the
+  // given thread (the paper allocates shared data from the first
+  // participating node).
+  void PlaceData(const void* p, std::size_t bytes, int tid);
+
+ private:
+  void RunInternal(const std::vector<CpuId>& cpus, Cycles duration,
+                   const std::function<void(int)>& fn);
+
+  Machine machine_;
+  std::vector<int> cpu_to_thread_;
+  std::vector<CpuId> thread_to_cpu_;
+  Cycles last_duration_ = 0;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_CORE_RUNTIME_SIM_H_

@@ -1,0 +1,96 @@
+#include "src/fiber/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/util/check.h"
+
+#if !defined(__x86_64__)
+#error "This build targets x86-64; port fiber_switch to your architecture."
+#endif
+
+extern "C" {
+void ssync_fiber_switch(void** save_sp, void* load_sp);
+void ssync_fiber_entry_shim();
+}
+
+namespace ssync {
+namespace {
+
+thread_local Fiber* g_current_fiber = nullptr;
+
+std::size_t PageSize() {
+  static const std::size_t size = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+std::size_t RoundUpToPage(std::size_t n) {
+  const std::size_t page = PageSize();
+  return (n + page - 1) / page * page;
+}
+
+}  // namespace
+
+Fiber* Fiber::Current() { return g_current_fiber; }
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes) : fn_(std::move(fn)) {
+  const std::size_t usable = RoundUpToPage(stack_bytes);
+  map_bytes_ = usable + PageSize();  // one guard page below the stack
+  void* base = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  SSYNC_CHECK(base != MAP_FAILED);
+  SSYNC_CHECK_EQ(mprotect(base, PageSize(), PROT_NONE), 0);
+  stack_base_ = base;
+
+  // Seed the initial stack frame so the first ssync_fiber_switch pops six
+  // register slots and `ret`s into the entry shim. Stack top is 16-aligned;
+  // see fiber_switch_x86_64.S for the alignment math.
+  auto top = reinterpret_cast<std::uintptr_t>(base) + map_bytes_;
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* slots = reinterpret_cast<void**>(top);
+  slots[-1] = nullptr;                                      // unwinder stopper
+  slots[-2] = reinterpret_cast<void*>(&ssync_fiber_entry_shim);  // ret target
+  slots[-3] = nullptr;                                      // rbp
+  slots[-4] = reinterpret_cast<void*>(&Fiber::Entry);       // rbx -> C++ entry
+  slots[-5] = this;                                         // r12 -> Fiber*
+  slots[-6] = nullptr;                                      // r13
+  slots[-7] = nullptr;                                      // r14
+  slots[-8] = nullptr;                                      // r15
+  sp_ = &slots[-8];
+}
+
+Fiber::~Fiber() {
+  SSYNC_CHECK(!running_);
+  if (stack_base_ != nullptr) {
+    munmap(stack_base_, map_bytes_);
+  }
+}
+
+void Fiber::Entry(Fiber* self) {
+  self->fn_();
+  self->finished_ = true;
+  // Return to the resumer for good. Resuming a finished fiber is a bug.
+  self->Yield();
+  SSYNC_CHECK(false);  // unreachable
+}
+
+void Fiber::Resume() {
+  SSYNC_CHECK(!running_);
+  SSYNC_CHECK(!finished_);
+  Fiber* prev = g_current_fiber;
+  g_current_fiber = this;
+  running_ = true;
+  ssync_fiber_switch(&caller_sp_, sp_);
+  running_ = false;
+  g_current_fiber = prev;
+}
+
+void Fiber::Yield() {
+  SSYNC_CHECK(g_current_fiber == this);
+  ssync_fiber_switch(&sp_, caller_sp_);
+}
+
+}  // namespace ssync

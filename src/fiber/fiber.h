@@ -1,0 +1,57 @@
+// Cooperative user-level fibers.
+//
+// The discrete-event engine (src/sim) runs every simulated hardware thread as a
+// fiber on a single OS thread, switching in virtual-time order. Switches cost a
+// few nanoseconds (hand-written assembly on x86-64; ucontext elsewhere), which
+// is what makes cycle-level simulation of 80-core experiments practical.
+//
+// Fibers are strictly two-party: Resume() enters the fiber, Yield() returns to
+// whoever resumed it. There is no scheduler here; that lives in sim::Engine.
+#ifndef SRC_FIBER_FIBER_H_
+#define SRC_FIBER_FIBER_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace ssync {
+
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  // The function runs on the fiber's own guard-paged stack on first Resume().
+  explicit Fiber(std::function<void()> fn, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Runs the fiber until it calls Yield() or its function returns.
+  // Must not be called from inside the fiber itself, nor after finished().
+  void Resume();
+
+  // Returns control to the caller of Resume(). Must be called on the current
+  // fiber only.
+  void Yield();
+
+  bool finished() const { return finished_; }
+
+  // The fiber currently executing on this OS thread, or nullptr when on the
+  // thread's native stack.
+  static Fiber* Current();
+
+ private:
+  static void Entry(Fiber* self);
+
+  std::function<void()> fn_;
+  void* stack_base_ = nullptr;   // mmap base (includes guard page)
+  std::size_t map_bytes_ = 0;
+  void* sp_ = nullptr;           // fiber's saved stack pointer
+  void* caller_sp_ = nullptr;    // resumer's saved stack pointer
+  bool running_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_FIBER_FIBER_H_

@@ -1,0 +1,2 @@
+// Kvs is header-only (templated over backend and lock); this TU anchors the module.
+#include "src/kvs/kvs.h"

@@ -1,0 +1,72 @@
+#include "src/kvs/kvs_stress.h"
+
+#include <vector>
+
+#include "src/core/mem_sim.h"
+#include "src/kvs/kvs.h"
+#include "src/locks/locks.h"
+#include "src/ssht/ssht.h"  // NullLock
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace ssync {
+namespace {
+
+template <typename L>
+KvsStressResult Drive(SimRuntime& rt, const KvsStressConfig& config,
+                      const LockTopology& topo, int threads) {
+  typename Kvs<SimMem, L>::Config kvs_config;
+  Kvs<SimMem, L> store(kvs_config, topo);
+
+  std::vector<std::uint64_t> ops(threads, 0);
+  std::uint8_t value[kKvsValueBytes] = {};
+  // Pre-populate the key space so gets mostly hit — outside the timed
+  // window, as memslap does (otherwise the global-lock Sets of the warm-up
+  // dominate the measurement for slow locks).
+  rt.Run(threads, [&](int tid) {
+    for (int i = tid; i < config.key_space; i += threads) {
+      store.Set(static_cast<std::uint64_t>(i), value);
+    }
+  });
+  rt.RunFor(threads, config.duration, [&](int tid) {
+    Rng rng(config.seed * 11400714819323198485ULL + tid);
+    std::uint8_t out[kKvsValueBytes];
+    while (!SimMem::ShouldStop()) {
+      SimMem::Compute(config.request_overhead);  // network + parse + respond
+      const std::uint64_t key = rng.NextBelow(config.key_space);
+      if (config.set_only) {
+        store.Set(key, value);
+      } else {
+        store.Get(key, out);
+      }
+      ++ops[tid];
+    }
+  });
+
+  KvsStressResult result;
+  for (const std::uint64_t n : ops) {
+    result.ops += n;
+  }
+  result.kops = MopsPerSec(result.ops, rt.last_duration(), rt.spec().ghz) * 1000.0;
+  return result;
+}
+
+}  // namespace
+
+KvsStressResult KvsStress(SimRuntime& rt, const KvsStressConfig& config, LockKind kind,
+                          int threads) {
+  const LockTopology topo = LockTopology::ForPlatform(rt.spec(), threads);
+  KvsStressResult result;
+  WithLockType<SimMem>(kind, [&]<typename L>() {
+    result = Drive<L>(rt, config, topo, threads);
+  });
+  return result;
+}
+
+KvsStressResult KvsStressNoLocks(SimRuntime& rt, const KvsStressConfig& config,
+                                 int threads) {
+  const LockTopology topo = LockTopology::ForPlatform(rt.spec(), threads);
+  return Drive<NullLock>(rt, config, topo, threads);
+}
+
+}  // namespace ssync

@@ -1,0 +1,56 @@
+// Anderson array-based queue lock (Section 4.1, [20]).
+//
+// A FAI on the tail assigns each acquirer a private, cache-line-sized slot to
+// spin on; the release hands the lock to the next slot. One spinner per line,
+// FIFO order, O(threads) memory per lock.
+#ifndef SRC_LOCKS_ARRAY_H_
+#define SRC_LOCKS_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+
+template <typename Mem>
+class ArrayLock {
+ public:
+  explicit ArrayLock(const LockTopology& topo)
+      : mask_(NextPow2(static_cast<std::uint32_t>(topo.max_threads)) - 1),
+        slots_(mask_ + 1) {
+    slots_[0].value.SetInit(1);  // the first acquirer proceeds immediately
+  }
+
+  void Lock() {
+    const std::uint32_t idx = tail_.FetchAdd(1) & mask_;
+    while (slots_[idx].value.Load() == 0) {
+      Mem::Pause(2);
+    }
+    *held_idx_ = idx;
+  }
+
+  void Unlock() {
+    const std::uint32_t idx = *held_idx_;
+    slots_[idx].value.Store(0);
+    slots_[(idx + 1) & mask_].value.Store(1);
+  }
+
+ private:
+  static std::uint32_t NextPow2(std::uint32_t n) {
+    std::uint32_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  const std::uint32_t mask_;
+  typename Mem::template Atomic<std::uint32_t> tail_{0};
+  std::vector<Padded<typename Mem::template Atomic<std::uint32_t>>> slots_;
+  Padded<std::uint32_t> held_idx_;  // holder-private
+};
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_ARRAY_H_

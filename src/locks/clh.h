@@ -1,0 +1,71 @@
+// CLH queue lock (Section 4.1, [43]).
+//
+// The queue is implicit: each acquirer exchanges its own node into the tail
+// and spins on its *predecessor's* node. On release a thread's node is
+// consumed by its successor, and it recycles the predecessor's node for its
+// next acquisition.
+#ifndef SRC_LOCKS_CLH_H_
+#define SRC_LOCKS_CLH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+
+template <typename Mem>
+class ClhLock {
+ public:
+  explicit ClhLock(const LockTopology& topo)
+      : pool_(topo.max_threads + 1),
+        my_node_(topo.max_threads),
+        my_pred_(topo.max_threads) {
+    // pool_[max_threads] is the initial (released) tail sentinel.
+    Node* sentinel = &pool_[topo.max_threads].value;
+    sentinel->locked.SetInit(0);
+    tail_.SetInit(sentinel);
+    for (int tid = 0; tid < topo.max_threads; ++tid) {
+      *my_node_[tid] = &pool_[tid].value;
+    }
+  }
+
+  void Lock() {
+    const int tid = Mem::ThreadId();
+    Node* me = *my_node_[tid];
+    me->locked.Store(1);
+    Node* pred = tail_.Exchange(me);
+    *my_pred_[tid] = pred;
+    while (pred->locked.Load() != 0) {
+      Mem::Pause(2);
+    }
+  }
+
+  void Unlock() {
+    const int tid = Mem::ThreadId();
+    Node* me = *my_node_[tid];
+    me->locked.Store(0);
+    *my_node_[tid] = *my_pred_[tid];  // recycle the consumed predecessor node
+  }
+
+  bool HasWaiters() {
+    const int tid = Mem::ThreadId();
+    return tail_.Load() != *my_node_[tid];
+  }
+
+ private:
+  struct Node {
+    typename Mem::template Atomic<std::uint32_t> locked{0};
+  };
+
+  typename Mem::template Atomic<Node*> tail_{nullptr};
+  std::vector<Padded<Node>> pool_;
+  // Holder-/owner-private bookkeeping slots (never accessed concurrently).
+  std::vector<Padded<Node*>> my_node_;
+  std::vector<Padded<Node*>> my_pred_;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_CLH_H_

@@ -1,0 +1,81 @@
+// Generic cohort (hierarchical) lock — the lock-cohorting construction of
+// Dice, Marathe & Shavit [14] that the paper's hticket follows (Section 4.1,
+// footnote 3).
+//
+// One local lock per NUMA cluster plus one global lock. A thread first
+// acquires its cluster's local lock; if its cluster already holds the global
+// lock (a cohort handoff), it owns the critical section immediately. On
+// release, if local waiters exist and the handoff budget is not exhausted,
+// the global lock is passed within the cluster — keeping the lock data and
+// the protected data in the local LLC.
+//
+// The global lock must be thread-oblivious (releasable by a different thread
+// than the acquirer); our TicketLock qualifies because it keeps the holder's
+// ticket inside the lock.
+#ifndef SRC_LOCKS_COHORT_H_
+#define SRC_LOCKS_COHORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/locks/lock_common.h"
+#include "src/locks/ticket.h"
+
+namespace ssync {
+
+template <typename Mem, typename LocalLock>
+class CohortLock {
+ public:
+  // Bounds intra-cluster handoffs so remote clusters are not starved.
+  static constexpr int kMaxHandoffs = 64;
+
+  explicit CohortLock(const LockTopology& topo) : topo_(topo), global_(topo) {
+    const int clusters = topo.num_clusters();
+    locals_.reserve(clusters);
+    for (int c = 0; c < clusters; ++c) {
+      locals_.push_back(std::make_unique<ClusterState>(topo));
+    }
+  }
+
+  void Lock() {
+    ClusterState& cs = Cluster();
+    cs.lock.Lock();
+    if (cs.global_held.Load() != 0) {
+      return;  // the cohort already owns the global lock
+    }
+    global_.Lock();
+    cs.global_held.Store(1);
+  }
+
+  void Unlock() {
+    ClusterState& cs = Cluster();
+    if (*cs.handoffs < kMaxHandoffs && cs.lock.HasWaiters()) {
+      ++*cs.handoffs;
+      cs.lock.Unlock();  // pass the global lock within the cluster
+      return;
+    }
+    *cs.handoffs = 0;
+    cs.global_held.Store(0);
+    global_.Unlock();
+    cs.lock.Unlock();
+  }
+
+ private:
+  struct alignas(kCacheLineSize) ClusterState {
+    explicit ClusterState(const LockTopology& topo) : lock(topo) {}
+    LocalLock lock;
+    typename Mem::template Atomic<std::uint32_t> global_held{0};
+    Padded<int> handoffs;
+  };
+
+  ClusterState& Cluster() { return *locals_[topo_.cluster_of[Mem::ThreadId()]]; }
+
+  LockTopology topo_;
+  TicketLock<Mem> global_;
+  std::vector<std::unique_ptr<ClusterState>> locals_;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_COHORT_H_

@@ -1,0 +1,22 @@
+// Hierarchical CLH lock (Section 4.1, [27]).
+//
+// Implemented as a cohort lock with per-cluster CLH queues (C-TKT-CLH in the
+// taxonomy of [14]): waiters queue locally in CLH order and the lock migrates
+// across clusters only when the handoff budget expires or a cluster drains.
+// This preserves the two properties the paper attributes to HCLH — one
+// spinner per cache line, and strong intra-socket locality of handoffs —
+// without Luchangco et al.'s queue-splicing machinery (see DESIGN.md).
+#ifndef SRC_LOCKS_HCLH_H_
+#define SRC_LOCKS_HCLH_H_
+
+#include "src/locks/clh.h"
+#include "src/locks/cohort.h"
+
+namespace ssync {
+
+template <typename Mem>
+using HclhLock = CohortLock<Mem, ClhLock<Mem>>;
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_HCLH_H_

@@ -1,0 +1,17 @@
+// Hierarchical ticket lock (Section 4.1, footnote 3; the construction of
+// Dice, Marathe & Shavit's lock cohorting [14]): a ticket lock per NUMA
+// cluster plus a global ticket lock, C-TKT-TKT.
+#ifndef SRC_LOCKS_HTICKET_H_
+#define SRC_LOCKS_HTICKET_H_
+
+#include "src/locks/cohort.h"
+#include "src/locks/ticket.h"
+
+namespace ssync {
+
+template <typename Mem>
+using HticketLock = CohortLock<Mem, TicketLock<Mem>>;
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_HTICKET_H_

@@ -1,0 +1,80 @@
+// Common declarations for the libslock lock library.
+//
+// All nine algorithms of the paper (Section 4.1) are implemented as templates
+// over a memory backend `Mem` (src/core/mem.h) and share this file's
+// LockTopology (thread count and thread->cluster map, needed by the
+// hierarchical locks) and the LockKind registry used for runtime dispatch in
+// the benchmark harnesses.
+#ifndef SRC_LOCKS_LOCK_COMMON_H_
+#define SRC_LOCKS_LOCK_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/platform/spec.h"
+#include "src/util/cacheline.h"
+#include "src/util/check.h"
+
+namespace ssync {
+
+// Thread-layout information given to every lock at construction.
+//   max_threads: dense worker indices are in [0, max_threads).
+//   cluster_of[tid]: NUMA cluster (socket) of the thread — used only by the
+//       hierarchical locks (HCLH, HTICKET).
+struct LockTopology {
+  int max_threads = 1;
+  std::vector<int> cluster_of;
+
+  int num_clusters() const {
+    int max_cluster = 0;
+    for (const int c : cluster_of) {
+      max_cluster = std::max(max_cluster, c);
+    }
+    return max_cluster + 1;
+  }
+
+  static LockTopology Flat(int threads) {
+    LockTopology t;
+    t.max_threads = threads;
+    t.cluster_of.assign(threads, 0);
+    return t;
+  }
+
+  // Topology matching the paper's placement of `threads` workers on `spec`.
+  static LockTopology ForPlatform(const PlatformSpec& spec, int threads) {
+    LockTopology t;
+    t.max_threads = threads;
+    t.cluster_of.resize(threads);
+    for (int tid = 0; tid < threads; ++tid) {
+      t.cluster_of[tid] = spec.SocketOf(spec.CpuForThread(tid));
+    }
+    return t;
+  }
+};
+
+// The nine algorithms of the study (paper Figures 5-8 legend order).
+enum class LockKind {
+  kTas,
+  kTtas,
+  kTicket,
+  kArray,
+  kMutex,
+  kMcs,
+  kClh,
+  kHclh,
+  kHticket,
+};
+
+inline constexpr LockKind kAllLockKinds[] = {
+    LockKind::kTas, LockKind::kTtas,   LockKind::kTicket,
+    LockKind::kArray, LockKind::kMutex, LockKind::kMcs,
+    LockKind::kClh, LockKind::kHclh,   LockKind::kHticket,
+};
+
+const char* ToString(LockKind kind);
+LockKind LockKindFromString(const std::string& name);
+bool IsHierarchical(LockKind kind);
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_LOCK_COMMON_H_

@@ -1,0 +1,67 @@
+#include "src/locks/locks.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssync {
+
+const char* ToString(LockKind kind) {
+  switch (kind) {
+    case LockKind::kTas:
+      return "TAS";
+    case LockKind::kTtas:
+      return "TTAS";
+    case LockKind::kTicket:
+      return "TICKET";
+    case LockKind::kArray:
+      return "ARRAY";
+    case LockKind::kMutex:
+      return "MUTEX";
+    case LockKind::kMcs:
+      return "MCS";
+    case LockKind::kClh:
+      return "CLH";
+    case LockKind::kHclh:
+      return "HCLH";
+    case LockKind::kHticket:
+      return "HTICKET";
+  }
+  return "?";
+}
+
+LockKind LockKindFromString(const std::string& name) {
+  for (const LockKind kind : kAllLockKinds) {
+    if (name == ToString(kind)) {
+      return kind;
+    }
+  }
+  std::fprintf(stderr, "unknown lock: %s\n", name.c_str());
+  std::abort();
+}
+
+bool IsHierarchical(LockKind kind) {
+  return kind == LockKind::kHclh || kind == LockKind::kHticket;
+}
+
+TicketOptions DefaultTicketOptions(const PlatformSpec& spec) {
+  TicketOptions options;
+  options.proportional_backoff = true;
+  options.prefetchw = spec.kind == PlatformKind::kOpteron ||
+                      spec.kind == PlatformKind::kOpteron2 ||
+                      spec.kind == PlatformKind::kXeon ||
+                      spec.kind == PlatformKind::kXeon2;
+  return options;
+}
+
+std::vector<LockKind> LocksForPlatform(const PlatformSpec& spec) {
+  std::vector<LockKind> kinds;
+  for (const LockKind kind : kAllLockKinds) {
+    if (IsHierarchical(kind) && spec.num_sockets == 1) {
+      continue;
+    }
+    kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+}  // namespace ssync

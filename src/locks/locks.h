@@ -1,0 +1,127 @@
+// libslock: umbrella header and runtime-dispatch helper.
+//
+// The nine algorithms are templates; WithLock() instantiates the one named by
+// a LockKind and hands it to a generic callable, which is how the benchmark
+// harnesses sweep "all locks x all platforms" (Figures 5-8).
+#ifndef SRC_LOCKS_LOCKS_H_
+#define SRC_LOCKS_LOCKS_H_
+
+#include "src/locks/array.h"
+#include "src/locks/clh.h"
+#include "src/locks/cohort.h"
+#include "src/locks/hclh.h"
+#include "src/locks/hticket.h"
+#include "src/locks/lock_common.h"
+#include "src/locks/mcs.h"
+#include "src/locks/mutex.h"
+#include "src/locks/tas.h"
+#include "src/locks/ticket.h"
+#include "src/locks/ttas.h"
+
+namespace ssync {
+
+// Instantiates the lock named by `kind` (constructed from `topo`, with
+// `ticket_options` applied to plain ticket locks) and invokes
+// fn(lock_reference). `fn` must be callable with every lock type.
+template <typename Mem, typename Fn>
+void WithLock(LockKind kind, const LockTopology& topo, const TicketOptions& ticket_options,
+              Fn&& fn) {
+  switch (kind) {
+    case LockKind::kTas: {
+      TasLock<Mem> lock(topo);
+      fn(lock);
+      return;
+    }
+    case LockKind::kTtas: {
+      TtasLock<Mem> lock(topo);
+      fn(lock);
+      return;
+    }
+    case LockKind::kTicket: {
+      TicketLock<Mem> lock(topo, ticket_options);
+      fn(lock);
+      return;
+    }
+    case LockKind::kArray: {
+      ArrayLock<Mem> lock(topo);
+      fn(lock);
+      return;
+    }
+    case LockKind::kMutex: {
+      MutexLock<Mem> lock(topo);
+      fn(lock);
+      return;
+    }
+    case LockKind::kMcs: {
+      McsLock<Mem> lock(topo);
+      fn(lock);
+      return;
+    }
+    case LockKind::kClh: {
+      ClhLock<Mem> lock(topo);
+      fn(lock);
+      return;
+    }
+    case LockKind::kHclh: {
+      HclhLock<Mem> lock(topo);
+      fn(lock);
+      return;
+    }
+    case LockKind::kHticket: {
+      HticketLock<Mem> lock(topo);
+      fn(lock);
+      return;
+    }
+  }
+  SSYNC_CHECK(false);
+}
+
+// Type-level dispatch: invokes fn.template operator()<LockType>() for the
+// lock type named by `kind`. Used by containers that are themselves templated
+// over the lock type (e.g. Ssht<Mem, Lock>).
+template <typename Mem, typename Fn>
+void WithLockType(LockKind kind, Fn&& fn) {
+  switch (kind) {
+    case LockKind::kTas:
+      fn.template operator()<TasLock<Mem>>();
+      return;
+    case LockKind::kTtas:
+      fn.template operator()<TtasLock<Mem>>();
+      return;
+    case LockKind::kTicket:
+      fn.template operator()<TicketLock<Mem>>();
+      return;
+    case LockKind::kArray:
+      fn.template operator()<ArrayLock<Mem>>();
+      return;
+    case LockKind::kMutex:
+      fn.template operator()<MutexLock<Mem>>();
+      return;
+    case LockKind::kMcs:
+      fn.template operator()<McsLock<Mem>>();
+      return;
+    case LockKind::kClh:
+      fn.template operator()<ClhLock<Mem>>();
+      return;
+    case LockKind::kHclh:
+      fn.template operator()<HclhLock<Mem>>();
+      return;
+    case LockKind::kHticket:
+      fn.template operator()<HticketLock<Mem>>();
+      return;
+  }
+  SSYNC_CHECK(false);
+}
+
+// The paper enables the ticket optimizations "wherever possible": prefetchw
+// exists on the x86 platforms (and pays off on the Opteron's incomplete
+// directory); proportional back-off everywhere.
+TicketOptions DefaultTicketOptions(const PlatformSpec& spec);
+
+// Locks benchmarked on a platform: hierarchical locks are skipped on the
+// single-sockets, as in the paper (Section 6.1.2).
+std::vector<LockKind> LocksForPlatform(const PlatformSpec& spec);
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_LOCKS_H_

@@ -1,0 +1,67 @@
+// MCS queue lock (Section 4.1, [29]).
+//
+// Acquirers append a per-thread queue node with an atomic exchange on the
+// tail and spin on their own node; the releaser hands the lock to its
+// successor. One spinner per cache line and O(1) lock state.
+#ifndef SRC_LOCKS_MCS_H_
+#define SRC_LOCKS_MCS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+
+template <typename Mem>
+class McsLock {
+ public:
+  explicit McsLock(const LockTopology& topo) : nodes_(topo.max_threads) {}
+
+  void Lock() {
+    Node& me = nodes_[Mem::ThreadId()].value;
+    me.next.Store(nullptr);
+    me.locked.Store(1);
+    Node* prev = tail_.Exchange(&me);
+    if (prev != nullptr) {
+      prev->next.Store(&me);
+      while (me.locked.Load() != 0) {
+        Mem::Pause(2);
+      }
+    }
+  }
+
+  void Unlock() {
+    Node& me = nodes_[Mem::ThreadId()].value;
+    Node* successor = me.next.Load();
+    if (successor == nullptr) {
+      Node* expected = &me;
+      if (tail_.CompareExchange(expected, nullptr)) {
+        return;  // no waiter
+      }
+      // A successor is between the exchange and the next-pointer store.
+      while ((successor = me.next.Load()) == nullptr) {
+        Mem::Pause(2);
+      }
+    }
+    successor->locked.Store(0);
+  }
+
+  bool HasWaiters() {
+    Node& me = nodes_[Mem::ThreadId()].value;
+    return me.next.Load() != nullptr || tail_.Load() != &me;
+  }
+
+ private:
+  struct Node {
+    typename Mem::template Atomic<Node*> next{nullptr};
+    typename Mem::template Atomic<std::uint32_t> locked{0};
+  };
+
+  typename Mem::template Atomic<Node*> tail_{nullptr};
+  std::vector<Padded<Node>> nodes_;  // per-thread queue nodes
+};
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_MCS_H_

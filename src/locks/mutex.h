@@ -1,0 +1,86 @@
+// Blocking mutex in the style of the Pthread Mutex (Section 4.1).
+//
+// Fast path: a CAS on the state word. Slow path: a brief adaptive spin, then
+// the thread enqueues itself and parks (futex-style). The park/unpark
+// primitives come from the memory backend: on the simulator they model the
+// syscall + kernel-wakeup cost; natively they use a per-thread semaphore.
+//
+// The waiter queue itself is host-level bookkeeping (the kernel's futex wait
+// queue in the real implementation) and is not part of the modeled memory.
+#ifndef SRC_LOCKS_MUTEX_H_
+#define SRC_LOCKS_MUTEX_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+
+template <typename Mem>
+class alignas(kCacheLineSize) MutexLock {
+ public:
+  static constexpr int kSpinAttempts = 32;
+
+  MutexLock() = default;
+  explicit MutexLock(const LockTopology&) {}
+
+  void Lock() {
+    std::uint32_t expected = 0;
+    if (state_.CompareExchange(expected, 1)) {
+      return;
+    }
+    // Adaptive spin (glibc's PTHREAD_MUTEX_ADAPTIVE-style short spin).
+    for (int i = 0; i < kSpinAttempts; ++i) {
+      Mem::Pause(8);
+      if (state_.Load() == 0) {
+        expected = 0;
+        if (state_.CompareExchange(expected, 1)) {
+          return;
+        }
+      }
+    }
+    for (;;) {
+      if (state_.Exchange(2) == 0) {
+        return;  // acquired (marked contended; an unneeded wake is benign)
+      }
+      {
+        std::lock_guard<std::mutex> g(queue_mutex_);
+        waiters_.push_back(Mem::ThreadId());
+      }
+      Mem::ParkSelf();
+    }
+  }
+
+  bool TryLock() {
+    std::uint32_t expected = 0;
+    return state_.CompareExchange(expected, 1);
+  }
+
+  void Unlock() {
+    if (state_.Exchange(0) == 2) {
+      int waiter = -1;
+      {
+        std::lock_guard<std::mutex> g(queue_mutex_);
+        if (!waiters_.empty()) {
+          waiter = waiters_.front();
+          waiters_.pop_front();
+        }
+      }
+      if (waiter >= 0) {
+        Mem::UnparkThread(waiter);
+      }
+    }
+  }
+
+ private:
+  // 0: free, 1: locked, 2: locked with (possible) waiters.
+  typename Mem::template Atomic<std::uint32_t> state_{0};
+  std::mutex queue_mutex_;
+  std::deque<int> waiters_;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_MUTEX_H_

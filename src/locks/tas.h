@@ -1,0 +1,38 @@
+// Test-and-set spin lock (Section 4.1).
+//
+// The simplest spin lock: every acquisition attempt is an atomic exchange on
+// the single flag word, so waiters continuously pull the line exclusive —
+// maximal coherence traffic under contention (which is the point of studying
+// it).
+#ifndef SRC_LOCKS_TAS_H_
+#define SRC_LOCKS_TAS_H_
+
+#include <cstdint>
+
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+
+template <typename Mem>
+class alignas(kCacheLineSize) TasLock {
+ public:
+  TasLock() = default;
+  explicit TasLock(const LockTopology&) {}
+
+  void Lock() {
+    while (flag_.TestAndSet() != 0) {
+      Mem::Pause(2);
+    }
+  }
+
+  bool TryLock() { return flag_.TestAndSet() == 0; }
+
+  void Unlock() { flag_.Store(0); }
+
+ private:
+  typename Mem::template Atomic<std::uint32_t> flag_{0};
+};
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_TAS_H_

@@ -1,0 +1,77 @@
+// Ticket lock (Section 4.1, [29]) with the paper's two optimizations
+// (Section 5.3, Figure 3):
+//
+//   * proportional back-off — a waiter knows exactly how many threads are
+//     queued in front (ticket - current) and pauses proportionally, which
+//     thins out the load burst when the lock is released;
+//   * prefetchw — waiters acquire the lock line in Modified state before
+//     loading it, so the releasing store finds a single exclusive copy and
+//     never pays the Opteron's broadcast-invalidation for shared lines.
+#ifndef SRC_LOCKS_TICKET_H_
+#define SRC_LOCKS_TICKET_H_
+
+#include <cstdint>
+
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+
+struct TicketOptions {
+  bool proportional_backoff = true;
+  bool prefetchw = false;
+  std::uint64_t backoff_unit = 100;  // ~ one lock-handoff in cycles
+};
+
+template <typename Mem>
+class alignas(kCacheLineSize) TicketLock {
+ public:
+  TicketLock() = default;
+  explicit TicketLock(const LockTopology&) {}
+  TicketLock(const LockTopology&, const TicketOptions& options) : options_(options) {}
+  explicit TicketLock(const TicketOptions& options) : options_(options) {}
+
+  void Lock() {
+    const std::uint32_t ticket = next_.FetchAdd(1);
+    for (;;) {
+      // With prefetchw, the waiter pulls the lock line in Modified state and
+      // reads it in one go, so the holder's release-store finds a single
+      // exclusive copy instead of a crowd of Shared ones (Section 5.3).
+      const std::uint32_t cur =
+          options_.prefetchw ? current_.LoadRfo() : current_.Load();
+      if (cur == ticket) {
+        break;
+      }
+      if (options_.proportional_backoff) {
+        Mem::Pause(options_.backoff_unit * (ticket - cur));
+      }
+    }
+    *held_ticket_ = ticket;
+  }
+
+  bool TryLock() {
+    const std::uint32_t cur = current_.Load();
+    std::uint32_t expected = cur;
+    if (next_.CompareExchange(expected, cur + 1)) {
+      *held_ticket_ = cur;
+      return true;
+    }
+    return false;
+  }
+
+  void Unlock() { current_.Store(*held_ticket_ + 1); }
+
+  // True if another thread has taken a ticket behind the holder. Used by the
+  // cohort (hierarchical) locks to decide local handoff.
+  bool HasWaiters() { return next_.Load() != *held_ticket_ + 1; }
+
+ private:
+  TicketOptions options_{};
+  typename Mem::template Atomic<std::uint32_t> next_{0};
+  typename Mem::template Atomic<std::uint32_t> current_{0};
+  // Holder-private bookkeeping: written only while the lock is held.
+  Padded<std::uint32_t> held_ticket_;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_TICKET_H_

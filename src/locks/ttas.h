@@ -1,0 +1,50 @@
+// Test-and-test-and-set lock with exponential back-off (Section 4.1, [4,20]).
+//
+// Waiters spin on plain loads (shared copies, no coherence traffic while the
+// lock is held) and only attempt the atomic exchange when the lock is
+// observed free; failed attempts back off exponentially.
+#ifndef SRC_LOCKS_TTAS_H_
+#define SRC_LOCKS_TTAS_H_
+
+#include <cstdint>
+
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+
+template <typename Mem>
+class alignas(kCacheLineSize) TtasLock {
+ public:
+  static constexpr std::uint64_t kMinBackoff = 64;
+  static constexpr std::uint64_t kMaxBackoff = 8192;
+
+  TtasLock() = default;
+  explicit TtasLock(const LockTopology&) {}
+
+  void Lock() {
+    std::uint64_t backoff = kMinBackoff;
+    for (;;) {
+      if (flag_.Load() == 0) {
+        if (flag_.TestAndSet() == 0) {
+          return;
+        }
+        // Lost the race: the line is being hammered; back off.
+        Mem::Pause(backoff);
+        backoff = backoff * 2 <= kMaxBackoff ? backoff * 2 : kMaxBackoff;
+      } else {
+        Mem::Pause(2);
+      }
+    }
+  }
+
+  bool TryLock() { return flag_.Load() == 0 && flag_.TestAndSet() == 0; }
+
+  void Unlock() { flag_.Store(0); }
+
+ private:
+  typename Mem::template Atomic<std::uint32_t> flag_{0};
+};
+
+}  // namespace ssync
+
+#endif  // SRC_LOCKS_TTAS_H_

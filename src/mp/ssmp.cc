@@ -1,0 +1,3 @@
+// SsmpComm is header-only (templated over the memory backend); this
+// translation unit anchors the module in the build.
+#include "src/mp/ssmp.h"

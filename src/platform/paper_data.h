@@ -1,0 +1,146 @@
+// Published values from the paper, used by calibration tests and by the
+// benchmark harnesses to print paper-vs-measured comparisons.
+//
+// Table 2: latencies (cycles) of the cache coherence to load/store/CAS a
+// cache line depending on the MESI state and the distance. Table 3: local
+// cache and memory latencies. A value of -1 marks cells the paper leaves
+// blank (state not applicable on that platform).
+#ifndef SRC_PLATFORM_PAPER_DATA_H_
+#define SRC_PLATFORM_PAPER_DATA_H_
+
+#include <vector>
+
+#include "src/ccsim/types.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+
+struct PaperTable2Row {
+  AccessType op;
+  LineState prev_state;
+  // Distance-class columns, matching DistanceCases(spec) order:
+  //   Opteron: same die, same MCM, one hop, two hops
+  //   Xeon:    same die, one hop, two hops
+  //   Niagara: same core, other core
+  //   Tilera:  one hop, max hops
+  std::vector<int> cycles;
+};
+
+inline std::vector<PaperTable2Row> PaperTable2(PlatformKind kind) {
+  using A = AccessType;
+  using L = LineState;
+  switch (kind) {
+    case PlatformKind::kOpteron:
+      return {
+          {A::kLoad, L::kModified, {81, 161, 172, 252}},
+          {A::kLoad, L::kOwned, {83, 163, 175, 254}},
+          {A::kLoad, L::kExclusive, {83, 163, 175, 253}},
+          {A::kLoad, L::kShared, {83, 164, 176, 254}},
+          {A::kLoad, L::kInvalid, {136, 237, 247, 327}},
+          {A::kStore, L::kModified, {83, 172, 191, 273}},
+          {A::kStore, L::kOwned, {244, 255, 286, 291}},
+          {A::kStore, L::kExclusive, {83, 171, 191, 271}},
+          {A::kStore, L::kShared, {246, 255, 286, 296}},
+          {A::kCas, L::kModified, {110, 197, 216, 296}},
+          {A::kCas, L::kShared, {272, 283, 312, 332}},
+      };
+    case PlatformKind::kXeon:
+      return {
+          {A::kLoad, L::kModified, {109, 289, 400}},
+          {A::kLoad, L::kExclusive, {92, 273, 383}},
+          {A::kLoad, L::kShared, {44, 223, 334}},
+          {A::kLoad, L::kInvalid, {355, 492, 601}},
+          {A::kStore, L::kModified, {115, 320, 431}},
+          {A::kStore, L::kExclusive, {115, 315, 425}},
+          {A::kStore, L::kShared, {116, 318, 428}},
+          {A::kCas, L::kModified, {120, 324, 430}},
+          {A::kCas, L::kShared, {113, 312, 423}},
+      };
+    case PlatformKind::kNiagara:
+      return {
+          {A::kLoad, L::kModified, {3, 24}},
+          {A::kLoad, L::kExclusive, {3, 24}},
+          {A::kLoad, L::kShared, {3, 24}},
+          {A::kLoad, L::kInvalid, {176, 176}},
+          {A::kStore, L::kModified, {24, 24}},
+          {A::kStore, L::kExclusive, {24, 24}},
+          {A::kStore, L::kShared, {24, 24}},
+          {A::kCas, L::kModified, {71, 66}},
+          {A::kFai, L::kModified, {108, 99}},
+          {A::kTas, L::kModified, {64, 55}},
+          {A::kSwap, L::kModified, {95, 90}},
+          {A::kCas, L::kShared, {76, 66}},
+          {A::kFai, L::kShared, {99, 99}},
+          {A::kTas, L::kShared, {67, 55}},
+          {A::kSwap, L::kShared, {93, 90}},
+      };
+    case PlatformKind::kTilera:
+      return {
+          {A::kLoad, L::kModified, {45, 65}},
+          {A::kLoad, L::kExclusive, {45, 65}},
+          {A::kLoad, L::kShared, {45, 65}},
+          {A::kLoad, L::kInvalid, {118, 162}},
+          {A::kStore, L::kModified, {57, 77}},
+          {A::kStore, L::kExclusive, {57, 77}},
+          {A::kStore, L::kShared, {86, 106}},
+          {A::kCas, L::kModified, {77, 98}},
+          {A::kFai, L::kModified, {51, 71}},
+          {A::kTas, L::kModified, {70, 89}},
+          {A::kSwap, L::kModified, {63, 84}},
+          {A::kCas, L::kShared, {124, 142}},
+          {A::kFai, L::kShared, {82, 102}},
+          {A::kTas, L::kShared, {121, 141}},
+          {A::kSwap, L::kShared, {95, 115}},
+      };
+    default:
+      return {};
+  }
+}
+
+struct PaperTable3 {
+  int l1 = -1;
+  int l2 = -1;
+  int llc = -1;
+  int ram = -1;
+};
+
+inline PaperTable3 PaperTable3For(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kOpteron:
+      return {3, 15, 40, 136};
+    case PlatformKind::kXeon:
+      return {5, 11, 44, 355};
+    case PlatformKind::kNiagara:
+      return {3, -1, 24, 176};
+    case PlatformKind::kTilera:
+      return {2, 11, 45, 118};
+    default:
+      return {};
+  }
+}
+
+// Figure 9: one-to-one message-passing latencies (one-way / round-trip), per
+// DistanceCases order.
+struct PaperFig9 {
+  std::vector<int> one_way;
+  std::vector<int> round_trip;
+};
+
+inline PaperFig9 PaperFig9For(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kOpteron:
+      return {{262, 472, 506, 660}, {519, 887, 959, 1567}};
+    case PlatformKind::kXeon:
+      return {{214, 914, 1167}, {564, 1968, 2660}};
+    case PlatformKind::kNiagara:
+      return {{181, 249}, {337, 471}};
+    case PlatformKind::kTilera:
+      return {{61, 64}, {120, 138}};
+    default:
+      return {};
+  }
+}
+
+}  // namespace ssync
+
+#endif  // SRC_PLATFORM_PAPER_DATA_H_

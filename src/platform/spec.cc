@@ -1,0 +1,359 @@
+#include "src/platform/spec.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace ssync {
+namespace {
+
+// Builds the hop/link matrices for a multi-socket machine from an adjacency
+// predicate: adjacent sockets are 1 hop, everything else 2 (both studied
+// interconnects have diameter 2, Section 3).
+template <typename AdjacentFn>
+void BuildMatrices(PlatformSpec& spec, AdjacentFn adjacent, Cycles link_1hop,
+                   Cycles link_2hop, Cycles link_special, Cycles special_cost) {
+  const int n = spec.num_sockets;
+  spec.hops.assign(static_cast<std::size_t>(n) * n, 0);
+  spec.link_cost.assign(static_cast<std::size_t>(n) * n, 0);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const int kind = adjacent(a, b);  // 0: special 1-hop, 1: 1-hop, 2: 2-hop
+      spec.hops[a * n + b] = kind == 2 ? 2 : 1;
+      spec.link_cost[a * n + b] =
+          kind == 0 ? special_cost : (kind == 1 ? link_1hop : link_2hop);
+    }
+  }
+  (void)link_special;
+}
+
+}  // namespace
+
+Cycles AtomicCosts::Get(AccessType t) const {
+  switch (t) {
+    case AccessType::kCas:
+      return cas;
+    case AccessType::kFai:
+      return fai;
+    case AccessType::kTas:
+      return tas;
+    case AccessType::kSwap:
+      return swap;
+    default:
+      SSYNC_CHECK(false);
+  }
+}
+
+int PlatformSpec::MeshHops(CpuId a, CpuId b) const {
+  SSYNC_DCHECK(mesh_dim > 0);
+  return std::abs(MeshX(a) - MeshX(b)) + std::abs(MeshY(a) - MeshY(b));
+}
+
+CpuId PlatformSpec::CpuForThread(int thread_index) const {
+  SSYNC_CHECK_LT(thread_index, num_cpus);
+  if (kind == PlatformKind::kNiagara) {
+    // Spread threads across the 8 physical cores round-robin (Section 5.4):
+    // thread i runs on core i%8, hardware strand i/8.
+    const int cores = num_cpus / cpus_per_core;
+    return (thread_index % cores) * cpus_per_core + thread_index / cores;
+  }
+  // Multi-sockets and Tilera: fill a socket/tile row at a time; cpu ids are
+  // already socket-major.
+  return thread_index;
+}
+
+NodeId PlatformSpec::MemNodeOf(CpuId cpu) const {
+  if (kind == PlatformKind::kTilera) {
+    return cpu;  // home slice == tile
+  }
+  return SocketOf(cpu);
+}
+
+// ---------------------------------------------------------------------------
+// Opteron: 48-core AMD Magny-Cours. 4 MCMs x 2 dies x 6 cores. MOESI with an
+// incomplete probe-filter directory in the LLC; non-inclusive caches.
+// Die d = (mcm = d/2, side = d%2). Dies in one MCM are directly coupled; dies
+// of different MCMs with the same side share a direct HT link; opposite sides
+// are 2 hops apart (Figure 2a approximated).
+// ---------------------------------------------------------------------------
+PlatformSpec MakeOpteron() {
+  PlatformSpec s;
+  s.kind = PlatformKind::kOpteron;
+  s.name = "Opteron";
+  s.processors = "4x AMD Opteron 6172 (Magny-Cours), 48 cores, 8 memory nodes";
+  s.interconnect = "6.4 GT/s HyperTransport 3.0";
+  s.memory = "128 GiB DDR3-1333";
+  s.ghz = 2.1;
+  s.num_cpus = 48;
+  s.cpus_per_core = 1;
+  s.cores_per_socket = 6;  // per die
+  s.num_sockets = 8;       // dies
+  s.l1_lines = 64 * 1024 / 64;
+  s.l2_lines = 512 * 1024 / 64;
+  s.llc_lines = 6 * 1024 * 1024 / 64;
+  // Table 3: 3 / 15 / 40 / 136 cycles.
+  s.l1_lat = 3;
+  s.l2_lat = 15;
+  s.llc_lat = 40;
+  s.ram_lat = 136;
+  // One-way link legs calibrated against Table 2 loads (81/161/172/252):
+  // load = dir_lookup + probe + 2 legs.
+  BuildMatrices(
+      s,
+      [](int a, int b) {
+        if (a / 2 == b / 2) {
+          return 0;  // same MCM: tightly coupled
+        }
+        return a % 2 == b % 2 ? 1 : 2;
+      },
+      /*link_1hop=*/46, /*link_2hop=*/86, 0, /*mcm=*/40);
+  s.dir_lookup = 40;       // Table 3 LLC (directory lives in the LLC)
+  s.probe_modified = 41;   // 40+41 = 81 = Table 2 load M same-die
+  s.probe_exclusive = 43;  // 83 = load E/O same-die
+  s.probe_shared = 43;     // 83 = load S same-die
+  s.mem_access = 96;       // 40+96 = 136 = Table 3 RAM
+  s.ram_remote_extra = 20; // load I one/two hops: 237/247/327
+  s.store_upgrade = 43;    // store M/E same-die: 83
+  s.store_remote_extra = 0;
+  s.broadcast_cost = 163;  // store S same-die: 83+163 = 246 (Table 2: 246)
+  s.atomic_extra = 27;     // atomic M same-die: 110 (Table 2)
+  s.atomic_local = 20;     // Section 5.4: ~20 cycles single-thread
+  s.fence_cost = 30;
+  s.port_service = 10;  // HT probe-filter lookup + link occupancy per request
+  s.incomplete_directory = true;  // probe filter tracks the owner only
+  s.has_owned_state = true;       // MOESI
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Xeon: 80-core 8-socket Westmere-EX. MESIF, broadcast snoop across sockets,
+// inclusive LLC with core-valid bits inside each socket. Twisted hypercube:
+// sockets differing in one of bits {1,2,4} are adjacent, diameter 2.
+// ---------------------------------------------------------------------------
+PlatformSpec MakeXeon() {
+  PlatformSpec s;
+  s.kind = PlatformKind::kXeon;
+  s.name = "Xeon";
+  s.processors = "8x Intel Xeon E7-8867L (Westmere-EX), 80 cores";
+  s.interconnect = "6.4 GT/s QuickPath Interconnect";
+  s.memory = "192 GiB Sync DDR3-1067";
+  s.ghz = 2.13;
+  s.num_cpus = 80;
+  s.cpus_per_core = 1;
+  s.cores_per_socket = 10;
+  s.num_sockets = 8;
+  s.l1_lines = 32 * 1024 / 64;
+  s.l2_lines = 256 * 1024 / 64;
+  s.llc_lines = 30 * 1024 * 1024 / 64;
+  // Table 3: 5 / 11 / 44 / 355.
+  s.l1_lat = 5;
+  s.l2_lat = 11;
+  s.llc_lat = 44;
+  s.ram_lat = 355;
+  // Legs calibrated against Table 2 (load M: 109/289/400).
+  BuildMatrices(
+      s,
+      [](int a, int b) {
+        const int x = a ^ b;
+        return (x == 1 || x == 2 || x == 4) ? 1 : 2;
+      },
+      /*link_1hop=*/68, /*link_2hop=*/123, 0, 0);
+  s.dir_lookup = 44;       // inclusive LLC lookup (Table 3 LLC)
+  s.probe_modified = 65;   // 44+65 = 109 = load M same-die
+  s.probe_exclusive = 48;  // 92 = load E same-die
+  s.probe_shared = 0;      // 44 = load S same-die (LLC serves directly)
+  s.mem_access = 311;      // 44+311 = 355 = Table 3 RAM
+  s.ram_remote_extra = 0;
+  s.store_upgrade = 71;    // store within socket: 115 (Table 2)
+  s.store_remote_extra = 69;  // store M one hop: 115+69+2*68 = 320
+  s.broadcast_cost = 0;
+  s.atomic_extra = 5;      // atomic within socket: 120 (Table 2)
+  s.atomic_local = 20;
+  s.fence_cost = 30;
+  s.port_service = 34;  // LLC snoop-pipeline occupancy per broadcast
+  s.inclusive_llc = true;
+  s.has_forward_state = true;  // MESIF
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Niagara: Sun UltraSPARC-T2, 8 cores x 8 hardware threads, uniform crossbar
+// to a shared LLC, write-through L1s, duplicate-tag (exact) directory.
+// ---------------------------------------------------------------------------
+PlatformSpec MakeNiagara() {
+  PlatformSpec s;
+  s.kind = PlatformKind::kNiagara;
+  s.name = "Niagara";
+  s.processors = "SUN UltraSPARC-T2, 8 cores / 64 hardware threads";
+  s.interconnect = "Niagara2 crossbar";
+  s.memory = "32 GiB FB-DIMM-400";
+  s.ghz = 1.2;
+  s.num_cpus = 64;
+  s.cpus_per_core = 8;  // 8 strands share a core and its L1
+  s.cores_per_socket = 8;
+  s.num_sockets = 1;
+  s.l1_lines = 8 * 1024 / 64;  // 8 KiB L1D shared by the core's strands
+  s.l2_lines = 0;              // no private L2
+  s.llc_lines = 4 * 1024 * 1024 / 64;
+  // Table 3: 3 / - / 24 / 176.
+  s.l1_lat = 3;
+  s.l2_lat = 0;
+  s.llc_lat = 24;  // also the store & cross-core load latency (Table 2)
+  s.ram_lat = 176;
+  // Table 2 atomic rows (same core): CAS 71, FAI 108 (CAS-based), TAS 64
+  // (native, efficient), SWAP 95 (CAS-based).
+  s.atomic_op = AtomicCosts{70, 103, 60, 92};
+  s.atomic_local = 70;  // atomics always execute at the LLC
+  s.fence_cost = 10;
+  s.port_service = 0;   // banked crossbar LLC: no shared-port bottleneck
+  s.write_through_l1 = true;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Tilera: TILE-Gx36, 6x6 mesh. Distributed LLC: every line has a home tile
+// whose L2 slice is its LLC; distance-dependent latency; exact directory at
+// the home; hardware message passing over the iMesh.
+// ---------------------------------------------------------------------------
+PlatformSpec MakeTilera() {
+  PlatformSpec s;
+  s.kind = PlatformKind::kTilera;
+  s.name = "Tilera";
+  s.processors = "Tilera TILE-Gx36, 36 tiles, iMesh NoC";
+  s.interconnect = "Tilera iMesh";
+  s.memory = "16 GiB DDR3-800";
+  s.ghz = 1.2;
+  s.num_cpus = 36;
+  s.cpus_per_core = 1;
+  s.cores_per_socket = 36;
+  s.num_sockets = 1;
+  s.mesh_dim = 6;
+  s.l1_lines = 32 * 1024 / 64;
+  s.l2_lines = 0;
+  s.llc_lines = 256 * 1024 / 64;  // per home slice
+  // Table 3: 2 / 11 / 45 / 118. (LLC = a 1-hop remote slice.)
+  s.l1_lat = 2;
+  s.l2_lat = 11;
+  s.llc_lat = 45;
+  s.ram_lat = 118;
+  // Table 2 Tilera: loads 45 one hop .. 65 max (10) hops => base 43 + 2.2/hop.
+  s.slice_local = 11;    // own home slice == local L2
+  s.probe_owner = 13;    // 11+13 = 24 = "other core" column
+  s.remote_base = 43;
+  s.per_hop_x10 = 22;
+  s.store_extra = 12;          // store one hop: 57 = 45+12
+  s.store_shared_extra = 29;   // store shared one hop: 86
+  s.ram_per_hop_x10 = 24;      // load I: 118 @ 1 hop .. 162 @ max hops
+  // Atomics execute at the home tile; FAI has a fast hardware path
+  // (Table 2: one hop C/F/T/S = 77/51/70/63).
+  s.atomic_op = AtomicCosts{32, 6, 25, 18};
+  s.atomic_shared_extra = AtomicCosts{47, 31, 51, 32};
+  s.atomic_local = 43;  // executed at home even when local
+  s.fence_cost = 12;
+  s.port_service = 2;   // home-slice directory occupancy per request
+  // Hardware MP (Figure 9): one-way 61 @ 1 hop, 64 @ max hops.
+  s.has_hw_mp = true;
+  s.mp_base = 60;
+  s.mp_per_hop_x10 = 4;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Section 8 small multi-sockets. Cross-socket/intra-socket coherence latency
+// ratios: ~1.6x on the 2-socket Opteron, ~2.7x on the 2-socket Xeon.
+// ---------------------------------------------------------------------------
+PlatformSpec MakeOpteron2() {
+  PlatformSpec s = MakeOpteron();
+  s.kind = PlatformKind::kOpteron2;
+  s.name = "Opteron2";
+  s.processors = "2x AMD Opteron 2384, 8 cores";
+  s.num_cpus = 8;
+  s.cores_per_socket = 4;
+  s.num_sockets = 2;
+  BuildMatrices(s, [](int, int) { return 1; }, /*link_1hop=*/25, 0, 0, 0);
+  s.broadcast_cost = 60;  // only two nodes to invalidate
+  return s;
+}
+
+PlatformSpec MakeXeon2() {
+  PlatformSpec s = MakeXeon();
+  s.kind = PlatformKind::kXeon2;
+  s.name = "Xeon2";
+  s.processors = "2x Intel Xeon X5660, 12 cores";
+  s.num_cpus = 12;
+  s.cores_per_socket = 6;
+  s.num_sockets = 2;
+  BuildMatrices(s, [](int, int) { return 1; }, /*link_1hop=*/75, 0, 0, 0);
+  return s;
+}
+
+PlatformSpec MakePlatform(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kOpteron:
+      return MakeOpteron();
+    case PlatformKind::kXeon:
+      return MakeXeon();
+    case PlatformKind::kNiagara:
+      return MakeNiagara();
+    case PlatformKind::kTilera:
+      return MakeTilera();
+    case PlatformKind::kOpteron2:
+      return MakeOpteron2();
+    case PlatformKind::kXeon2:
+      return MakeXeon2();
+  }
+  SSYNC_CHECK(false);
+}
+
+PlatformSpec MakePlatformByName(const std::string& name) {
+  if (name == "opteron") {
+    return MakeOpteron();
+  }
+  if (name == "xeon") {
+    return MakeXeon();
+  }
+  if (name == "niagara") {
+    return MakeNiagara();
+  }
+  if (name == "tilera") {
+    return MakeTilera();
+  }
+  if (name == "opteron2") {
+    return MakeOpteron2();
+  }
+  if (name == "xeon2") {
+    return MakeXeon2();
+  }
+  std::fprintf(stderr, "unknown platform: %s (use opteron|xeon|niagara|tilera|opteron2|xeon2)\n",
+               name.c_str());
+  std::abort();
+}
+
+std::vector<PlatformKind> MainPlatforms() {
+  return {PlatformKind::kOpteron, PlatformKind::kXeon, PlatformKind::kNiagara,
+          PlatformKind::kTilera};
+}
+
+std::vector<DistanceCase> DistanceCases(const PlatformSpec& spec) {
+  switch (spec.kind) {
+    case PlatformKind::kOpteron:
+      // cpu 0 is on die 0 (MCM 0, side 0): die 1 = same MCM, die 2 = same
+      // side of MCM 1 (one hop), die 3 = opposite side (two hops).
+      return {{"same die", 1}, {"same mcm", 6}, {"one hop", 12}, {"two hops", 18}};
+    case PlatformKind::kXeon:
+      return {{"same die", 1}, {"one hop", 10}, {"two hops", 30}};
+    case PlatformKind::kNiagara:
+      return {{"same core", 1}, {"other core", 8}};
+    case PlatformKind::kTilera:
+      return {{"one hop", 1}, {"max hops", 35}};
+    case PlatformKind::kOpteron2:
+    case PlatformKind::kXeon2:
+      return {{"same die", 1}, {"one hop", spec.cores_per_socket}};
+  }
+  SSYNC_CHECK(false);
+}
+
+}  // namespace ssync

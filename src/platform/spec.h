@@ -1,0 +1,173 @@
+// Platform descriptions for the four machines of the paper (Table 1) plus the
+// two small 2-socket machines discussed in Section 8.
+//
+// A PlatformSpec bundles: the machine geometry (cpus, cores, sockets, cache
+// sizes), the interconnect (hop and one-way link-cost matrices, or mesh
+// dimensions), and the coherence-protocol latency constants. The constants are
+// calibrated so that the simulated ccbench reproduces the paper's Tables 2 and
+// 3; each constant's comment cites the paper value it was derived from.
+#ifndef SRC_PLATFORM_SPEC_H_
+#define SRC_PLATFORM_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ccsim/types.h"
+
+namespace ssync {
+
+enum class PlatformKind : std::uint8_t {
+  kOpteron,   // 4-socket (8-die) AMD Magny-Cours: MOESI, incomplete directory
+  kXeon,      // 8-socket Intel Westmere-EX: MESIF, broadcast snoop, inclusive LLC
+  kNiagara,   // Sun UltraSPARC-T2: uniform crossbar, duplicate-tag directory
+  kTilera,    // Tilera TILE-Gx36: 6x6 mesh, distributed directory, hardware MP
+  kOpteron2,  // 2-socket AMD Opteron 2384 (Section 8)
+  kXeon2,     // 2-socket Intel Xeon X5660 (Section 8)
+};
+
+// Per-atomic-op latency components, indexed by AccessType kCas..kSwap.
+struct AtomicCosts {
+  Cycles cas = 0;
+  Cycles fai = 0;
+  Cycles tas = 0;
+  Cycles swap = 0;
+
+  Cycles Get(AccessType t) const;
+};
+
+struct PlatformSpec {
+  PlatformKind kind = PlatformKind::kOpteron;
+  std::string name;
+
+  // Table 1 metadata (documentation / table1 bench).
+  std::string processors;
+  std::string interconnect;
+  std::string memory;
+
+  double ghz = 2.0;
+
+  // Geometry.
+  int num_cpus = 0;
+  int cpus_per_core = 1;     // hardware threads sharing an L1 (Niagara: 8)
+  int cores_per_socket = 1;  // Opteron: per die
+  int num_sockets = 1;       // Opteron: dies (8)
+
+  // Cache capacities in lines (64 B each).
+  std::size_t l1_lines = 0;
+  std::size_t l2_lines = 0;   // 0: no private L2 (Niagara)
+  std::size_t llc_lines = 0;  // per socket; Tilera: per home slice
+
+  // Local latencies (paper Table 3).
+  Cycles l1_lat = 0;
+  Cycles l2_lat = 0;
+  Cycles llc_lat = 0;
+  Cycles ram_lat = 0;
+
+  // Interconnect (multi-socket platforms): socket x socket matrices.
+  std::vector<int> hops;         // hop count (0 on diagonal)
+  std::vector<Cycles> link_cost; // one-way link traversal cost in cycles
+
+  // Mesh (Tilera).
+  int mesh_dim = 0;
+
+  // --- Multi-socket protocol constants (MultiSocketModel) ---
+  Cycles dir_lookup = 0;          // home directory / LLC coherence lookup
+  Cycles probe_modified = 0;      // pull data out of a peer cache holding M
+  Cycles probe_exclusive = 0;     // ... holding E
+  Cycles probe_shared = 0;        // serve a shared line (LLC/memory at home)
+  Cycles mem_access = 0;          // DRAM access beyond the directory lookup
+  Cycles ram_remote_extra = 0;    // extra cost of a remote DRAM fill
+  Cycles store_upgrade = 0;       // invalidate in-socket sharers on a store
+  Cycles store_remote_extra = 0;  // extra cost of a cross-socket RFO
+  Cycles broadcast_cost = 0;      // Opteron: system-wide invalidation broadcast
+  Cycles atomic_extra = 0;        // atomic op cost over the store path
+  Cycles atomic_local = 0;        // atomic on a line already M in own L1
+
+  // --- Single-socket constants ---
+  AtomicCosts atomic_op;           // Niagara/Tilera per-op costs
+  AtomicCosts atomic_shared_extra; // Tilera: extra when the line had sharers
+  Cycles slice_local = 0;          // Tilera: own home-slice access
+  Cycles probe_owner = 0;          // Tilera: last writer's copy probe
+  Cycles remote_base = 0;          // Tilera: remote home-slice base cost
+  Cycles per_hop_x10 = 0;          // Tilera: cycles*10 per mesh hop
+  Cycles store_extra = 0;          // Tilera: store over load at home slice
+  Cycles store_shared_extra = 0;   // Tilera: invalidating sharers on store
+  Cycles ram_per_hop_x10 = 0;      // Tilera: DRAM path distance sensitivity
+
+  // Hardware message passing (Tilera iMesh).
+  bool has_hw_mp = false;
+  Cycles mp_base = 0;
+  Cycles mp_per_hop_x10 = 0;
+
+  // Fences (memory barriers used by lock implementations).
+  Cycles fence_cost = 0;
+
+  // Coherence-port service time: how long a node's coherence machinery
+  // (Xeon LLC snoop pipeline, Opteron probe filter + HT link, Tilera
+  // home-slice directory) is occupied per request it handles. Concurrent
+  // requests queue behind it — the interconnect saturation that collapses
+  // multi-socket scalability under heavy miss traffic (Figures 3, 8, 11).
+  // Zero disables the mechanism (the Niagara crossbar provides full
+  // bandwidth to its banked, uniform LLC).
+  Cycles port_service = 0;
+
+  bool write_through_l1 = false;
+  bool inclusive_llc = false;
+  bool incomplete_directory = false;  // Opteron probe filter: owner only
+  bool has_owned_state = false;       // MOESI
+  bool has_forward_state = false;     // MESIF
+
+  // --- Derived geometry helpers ---
+  int CoreOf(CpuId cpu) const { return cpu / cpus_per_core; }
+  int SocketOf(CpuId cpu) const { return CoreOf(cpu) / cores_per_socket; }
+  bool SameCore(CpuId a, CpuId b) const { return CoreOf(a) == CoreOf(b); }
+  bool SameSocket(CpuId a, CpuId b) const { return SocketOf(a) == SocketOf(b); }
+
+  int HopsBetween(int socket_a, int socket_b) const {
+    return hops[socket_a * num_sockets + socket_b];
+  }
+  Cycles LinkCost(int socket_a, int socket_b) const {
+    return link_cost[socket_a * num_sockets + socket_b];
+  }
+
+  // Mesh helpers (Tilera): cpu == tile index, row-major.
+  int MeshX(CpuId cpu) const { return cpu % mesh_dim; }
+  int MeshY(CpuId cpu) const { return cpu / mesh_dim; }
+  int MeshHops(CpuId a, CpuId b) const;
+
+  // The paper's thread-placement policy (Section 5.4): multi-sockets fill a
+  // socket before moving to the next; Niagara spreads threads across the 8
+  // physical cores round-robin.
+  CpuId CpuForThread(int thread_index) const;
+
+  // Memory node of a cpu for first-touch placement. Opteron: die; Xeon:
+  // socket; Niagara: the single node; Tilera: the tile (home-slice).
+  NodeId MemNodeOf(CpuId cpu) const;
+};
+
+// Factory functions for the six studied platforms.
+PlatformSpec MakeOpteron();
+PlatformSpec MakeXeon();
+PlatformSpec MakeNiagara();
+PlatformSpec MakeTilera();
+PlatformSpec MakeOpteron2();  // Section 8 small multi-socket
+PlatformSpec MakeXeon2();     // Section 8 small multi-socket
+
+PlatformSpec MakePlatform(PlatformKind kind);
+PlatformSpec MakePlatformByName(const std::string& name);  // "opteron", "xeon", ...
+
+// The four platforms of the main study, in paper order.
+std::vector<PlatformKind> MainPlatforms();
+
+// Distance cases for Figure 6 / Figure 9 style sweeps: labelled partner cpus
+// for cpu 0, ordered from nearest to farthest.
+struct DistanceCase {
+  std::string label;
+  CpuId partner;
+};
+std::vector<DistanceCase> DistanceCases(const PlatformSpec& spec);
+
+}  // namespace ssync
+
+#endif  // SRC_PLATFORM_SPEC_H_

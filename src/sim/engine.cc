@@ -1,0 +1,139 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace ssync {
+namespace {
+
+thread_local Engine* g_current_engine = nullptr;
+
+}  // namespace
+
+Engine* Engine::Current() { return g_current_engine; }
+
+Engine::Engine(int num_cpus) : cpus_(static_cast<std::size_t>(num_cpus)) {
+  SSYNC_CHECK_GT(num_cpus, 0);
+}
+
+Engine::~Engine() { SSYNC_CHECK(!running_); }
+
+void Engine::Spawn(CpuId cpu, std::function<void()> fn) {
+  SSYNC_CHECK(!running_);
+  SSYNC_CHECK_GE(cpu, 0);
+  SSYNC_CHECK_LT(cpu, num_cpus());
+  SSYNC_CHECK(cpus_[cpu].state == State::kIdle);
+  cpus_[cpu].fn = std::move(fn);
+  cpus_[cpu].state = State::kRunnable;
+}
+
+void Engine::PushRunnable(CpuId cpu) {
+  heap_.push(HeapEntry{cpus_[cpu].clock, cpu});
+  // A newly runnable cpu can shrink the running cpu's slack window.
+  slack_ = std::min(slack_, cpus_[cpu].clock);
+}
+
+void Engine::Run() {
+  SSYNC_CHECK(!running_);
+  running_ = true;
+  Engine* prev_engine = g_current_engine;
+  g_current_engine = this;
+
+  live_fibers_ = 0;
+  for (CpuId id = 0; id < num_cpus(); ++id) {
+    Cpu& cpu = cpus_[id];
+    if (cpu.state == State::kRunnable) {
+      Cpu* cpu_ptr = &cpu;
+      cpu.fiber = std::make_unique<Fiber>([cpu_ptr] { cpu_ptr->fn(); });
+      heap_.push(HeapEntry{cpu.clock, id});
+      ++live_fibers_;
+    }
+  }
+
+  while (live_fibers_ > 0) {
+    if (heap_.empty()) {
+      // Everyone still alive is parked: deadlock.
+      std::fprintf(stderr, "sim::Engine deadlock: %d fibers parked, none runnable\n",
+                   live_fibers_);
+      SSYNC_CHECK(false);
+    }
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    Cpu& cpu = cpus_[top.cpu];
+    if (cpu.state != State::kRunnable || cpu.clock != top.clock) {
+      continue;  // stale entry (cpu was re-queued or parked meanwhile)
+    }
+    current_ = top.cpu;
+    slack_ = heap_.empty() ? kNeverCycles : heap_.top().clock;
+    cpu.state = State::kRunning;
+    cpu.fiber->Resume();
+    if (cpu.fiber->finished()) {
+      cpu.state = State::kFinished;
+      --live_fibers_;
+    } else if (cpu.state == State::kRunning) {
+      cpu.state = State::kRunnable;
+      heap_.push(HeapEntry{cpu.clock, top.cpu});
+    }
+    // kParked: nothing to do; Unpark() requeues it.
+  }
+
+  end_time_ = 0;
+  for (const Cpu& cpu : cpus_) {
+    end_time_ = std::max(end_time_, cpu.clock);
+  }
+  current_ = -1;
+  running_ = false;
+  g_current_engine = prev_engine;
+}
+
+void Engine::YieldToScheduler() {
+  Cpu& cpu = cpus_[current_];
+  cpu.fiber->Yield();
+}
+
+void Engine::Advance(Cycles c) {
+  Cpu& cpu = cpus_[current_];
+  cpu.clock += c;
+  if (cpu.clock >= stop_at_) {
+    stop_ = true;
+  }
+  while (cpus_[current_].clock > slack_) {
+    YieldToScheduler();
+  }
+}
+
+void Engine::SyncPoint() {
+  while (cpus_[current_].clock > slack_) {
+    YieldToScheduler();
+  }
+}
+
+void Engine::Park() {
+  Cpu& cpu = cpus_[current_];
+  if (cpu.permit) {
+    cpu.permit = false;
+    cpu.clock = std::max(cpu.clock, cpu.wake_time);
+    return;
+  }
+  cpu.state = State::kParked;
+  YieldToScheduler();
+  // Unpark() marked us runnable and set wake_time before requeueing.
+  SSYNC_CHECK(cpu.state == State::kRunning);
+}
+
+void Engine::Unpark(CpuId target, Cycles earliest) {
+  SSYNC_CHECK_GE(target, 0);
+  SSYNC_CHECK_LT(target, num_cpus());
+  Cpu& cpu = cpus_[target];
+  if (cpu.state == State::kParked) {
+    cpu.clock = std::max(cpu.clock, earliest);
+    cpu.state = State::kRunnable;
+    PushRunnable(target);
+  } else {
+    cpu.permit = true;
+    cpu.wake_time = std::max(cpu.wake_time, earliest);
+  }
+}
+
+}  // namespace ssync

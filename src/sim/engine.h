@@ -1,0 +1,127 @@
+// Conservative discrete-event engine for the simulated many-core.
+//
+// Every simulated hardware thread ("cpu") is a fiber with a private virtual
+// clock counted in CPU cycles. The engine always resumes the runnable cpu with
+// the smallest clock. While running, a cpu may keep executing without a fiber
+// switch as long as its clock stays at or below the second-smallest runnable
+// clock (its "slack"): within that window no other cpu can perform a globally
+// visible action, so local cache hits and spin iterations are cheap.
+//
+// The ordering contract used by the coherence layer (src/ccsim) is:
+//   engine->SyncPoint();        // become the globally minimal cpu
+//   ... mutate global coherence state at time now() ...
+//   engine->Advance(latency);   // charge the cost, maybe yield
+// All globally visible operations therefore execute in virtual-time order,
+// which makes runs deterministic and linearizes all memory operations.
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/fiber/fiber.h"
+
+namespace ssync {
+
+using Cycles = std::uint64_t;
+using CpuId = std::int32_t;
+
+inline constexpr Cycles kNeverCycles = std::numeric_limits<Cycles>::max();
+
+class Engine {
+ public:
+  explicit Engine(int num_cpus);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Registers the workload that cpu `cpu` will execute. At most one per cpu;
+  // must be called before Run().
+  void Spawn(CpuId cpu, std::function<void()> fn);
+
+  // Runs until every spawned fiber has finished. Aborts on deadlock (all
+  // remaining fibers parked).
+  void Run();
+
+  // Makes ShouldStop() return true once any cpu clock reaches `deadline`.
+  // Workloads poll ShouldStop() in their main loop.
+  void StopAt(Cycles deadline) { stop_at_ = deadline; }
+  void RequestStop() { stop_ = true; }
+  bool ShouldStop() const { return stop_; }
+
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+  Cycles cpu_clock(CpuId cpu) const { return cpus_[cpu].clock; }
+  // Virtual time at which the last Run() completed (max over cpu clocks).
+  Cycles end_time() const { return end_time_; }
+
+  // --- The following are called from inside fibers. ---
+
+  // The engine whose fiber is currently executing (nullptr outside Run()).
+  static Engine* Current();
+
+  CpuId current_cpu() const { return current_; }
+  Cycles now() const { return cpus_[current_].clock; }
+
+  // Charges `c` cycles to the current cpu, yielding to the scheduler if the
+  // clock moves past the slack window.
+  void Advance(Cycles c);
+
+  // Alias for charging non-memory work (the paper's "local computation").
+  void Compute(Cycles c) { Advance(c); }
+
+  // Ensures the current cpu is the globally minimal one. Call before any
+  // globally visible mutation.
+  void SyncPoint();
+
+  // Blocks the current fiber until another cpu calls Unpark() on it. If a
+  // permit is already pending, consumes it and returns immediately. On wakeup
+  // the clock is at least the waker-specified wake time.
+  void Park();
+
+  // Makes `cpu` runnable again no earlier than virtual time `earliest`.
+  // If the target is not parked yet, a permit is recorded instead (so there
+  // are no lost wakeups).
+  void Unpark(CpuId cpu, Cycles earliest);
+
+ private:
+  enum class State : std::uint8_t { kIdle, kRunnable, kRunning, kParked, kFinished };
+
+  struct Cpu {
+    std::unique_ptr<Fiber> fiber;
+    std::function<void()> fn;
+    Cycles clock = 0;
+    State state = State::kIdle;
+    bool permit = false;       // pending unpark
+    Cycles wake_time = 0;
+  };
+
+  struct HeapEntry {
+    Cycles clock;
+    CpuId cpu;
+    bool operator>(const HeapEntry& o) const {
+      return clock != o.clock ? clock > o.clock : cpu > o.cpu;
+    }
+  };
+
+  void PushRunnable(CpuId cpu);
+  void YieldToScheduler();
+
+  std::vector<Cpu> cpus_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+  CpuId current_ = -1;
+  Cycles slack_ = kNeverCycles;
+  Cycles stop_at_ = kNeverCycles;
+  Cycles end_time_ = 0;
+  bool stop_ = false;
+  bool running_ = false;
+  int live_fibers_ = 0;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_SIM_ENGINE_H_

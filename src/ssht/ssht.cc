@@ -1,0 +1,3 @@
+// Ssht is header-only (templated over backend and lock); this translation
+// unit anchors the module in the build.
+#include "src/ssht/ssht.h"

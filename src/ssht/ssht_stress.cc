@@ -1,0 +1,204 @@
+#include "src/ssht/ssht_stress.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/core/mem_sim.h"
+#include "src/locks/locks.h"
+#include "src/mp/ssmp.h"
+#include "src/ssht/ssht.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace ssync {
+namespace {
+
+// Request opcodes for the message-passing variant.
+enum MpOp : std::uint64_t { kMpGet = 1, kMpPut = 2, kMpRemove = 3 };
+
+// Fills the table until every bucket holds `entries` nodes, scanning key
+// space sequentially and skipping buckets that are already full. Returns the
+// exclusive upper bound of the key range used by the workload.
+template <typename Table>
+std::uint64_t Prefill(Table& table, int buckets, int entries) {
+  std::uint64_t filled = 0;
+  std::uint64_t key = 0;
+  const std::uint64_t target = static_cast<std::uint64_t>(buckets) * entries;
+  while (filled < target) {
+    if (table.BucketSize(key) < entries && table.Put(key, nullptr)) {
+      ++filled;
+    }
+    ++key;
+  }
+  // Workload keys span 2x the resident range, so puts miss (insert) and hit
+  // (fail) in roughly equal measure and the size stays stable.
+  return key * 2;
+}
+
+template <typename Fn>
+void RunOp(Rng& rng, double get_fraction, std::uint64_t key_range, Fn&& op) {
+  const std::uint64_t key = rng.NextBelow(key_range);
+  const double p = rng.NextDouble();
+  if (p < get_fraction) {
+    op(kMpGet, key);
+  } else if (p < get_fraction + (1.0 - get_fraction) / 2) {
+    op(kMpPut, key);
+  } else {
+    op(kMpRemove, key);
+  }
+}
+
+}  // namespace
+
+SshtResult SshtLockStress(SimRuntime& rt, const SshtConfig& config, LockKind kind,
+                          int threads) {
+  const PlatformSpec& spec = rt.spec();
+  const LockTopology topo = LockTopology::ForPlatform(spec, threads);
+  SshtResult result;
+
+  WithLockType<SimMem>(kind, [&]<typename L>() {
+    Ssht<SimMem, L> table(config.buckets, topo);
+    rt.PlaceData(table.buckets_data(), table.buckets_bytes(), 0);
+    std::uint64_t key_range = 0;
+    rt.Run(1, [&](int) {  // prefill charges simulated accesses
+      key_range = Prefill(table, config.buckets, config.entries_per_bucket);
+    });
+
+    std::vector<std::uint64_t> ops(threads, 0);
+    std::uint8_t payload[kSshtPayloadBytes] = {};
+    rt.RunFor(threads, config.duration, [&](int tid) {
+      Rng rng(config.seed * 2654435761u + tid);
+      std::uint8_t out[kSshtPayloadBytes];
+      while (!SimMem::ShouldStop()) {
+        RunOp(rng, config.get_fraction, key_range, [&](MpOp op, std::uint64_t key) {
+          switch (op) {
+            case kMpGet:
+              table.Get(key, out);
+              break;
+            case kMpPut:
+              table.Put(key, payload);
+              break;
+            case kMpRemove:
+              table.Remove(key);
+              break;
+          }
+        });
+        ++ops[tid];
+        SimMem::Pause(30);  // between-request application work
+      }
+    });
+    for (const std::uint64_t n : ops) {
+      result.ops += n;
+    }
+  });
+  result.mops = MopsPerSec(result.ops, rt.last_duration(), spec.ghz);
+  return result;
+}
+
+SshtResult SshtMpStress(SimRuntime& rt, const SshtConfig& config, int threads) {
+  const PlatformSpec& spec = rt.spec();
+  // One server per three cores (the configuration the paper found best);
+  // threads == 1 runs one server + one client, as in the paper's note.
+  const int total = threads == 1 ? 2 : threads;
+  const int servers =
+      threads == 1 ? 1 : std::max(1, threads / config.threads_per_server);
+  const LockTopology topo = LockTopology::ForPlatform(spec, total);
+  // "One server per three cores" literally: servers sit on every third
+  // core, interleaved with their clients across the sockets, so a fraction
+  // of the request round-trips stay socket-local.
+  const int stride = std::max(1, total / servers);
+  auto is_server = [&](int tid) { return tid % stride == 0 && tid / stride < servers; };
+  auto server_index = [&](int tid) { return tid / stride; };
+  auto server_tid = [&](int index) { return index * stride; };
+
+  // Buckets are partitioned across servers (bucket % servers); each bucket
+  // is touched by exactly one server, so the table needs no locks.
+  Ssht<SimMem, NullLock> table(config.buckets, topo);
+  rt.PlaceData(table.buckets_data(), table.buckets_bytes(), 0);
+  std::uint64_t key_range = 0;
+  rt.Run(1, [&](int) {
+    key_range = Prefill(table, config.buckets, config.entries_per_bucket);
+  });
+
+  SsmpComm<SimMem> comm(total, spec.has_hw_mp);
+  std::vector<std::uint64_t> ops(total, 0);
+  std::vector<std::uint64_t> server_reqs(servers, 0);
+  std::vector<std::uint64_t> idle_sweeps(servers, 0);
+  std::uint8_t payload[kSshtPayloadBytes] = {};
+  // Servers run until every client has retired (same shutdown protocol as
+  // TmMpSystem): a blocking RecvFromAny would spin forever in virtual time
+  // once the last client stops sending.
+  std::atomic<int> active_clients{total - servers};
+
+  rt.RunFor(total, config.duration, [&](int tid) {
+    if (is_server(tid)) {
+      // Server: owns buckets with index % servers == server_index(tid).
+      MpMessage m;
+      std::uint8_t out[kSshtPayloadBytes];
+      while (active_clients.load(std::memory_order_relaxed) > 0) {
+        bool any = false;
+        for (int from = 0; from < total; ++from) {
+          if (is_server(from) || !comm.TryRecvRt(from, &m)) {
+            continue;
+          }
+          any = true;
+          const std::uint64_t key = m.w[1];
+          std::uint64_t ok = 0;
+          switch (static_cast<MpOp>(m.w[0])) {
+            case kMpGet:
+              ok = table.Get(key, out) ? 1 : 0;
+              break;
+            case kMpPut:
+              ok = table.Put(key, payload) ? 1 : 0;
+              break;
+            case kMpRemove:
+              ok = table.Remove(key) ? 1 : 0;
+              break;
+          }
+          m.w[0] = ok;
+          comm.SendRt(from, m);
+          ++server_reqs[server_index(tid)];
+        }
+        if (!any) {
+          ++idle_sweeps[server_index(tid)];
+          SimMem::Pause(16);
+        }
+      }
+    } else {
+      // Client: round-trip request to the owning server. The client is
+      // software-pipelined: it prefetches write ownership of the request
+      // buffer and overlaps the transfer with its between-request work, so
+      // the send stores into a locally owned line (Section 5.3).
+      Rng rng(config.seed * 40503u + tid);
+      while (!SimMem::ShouldStop()) {
+        RunOp(rng, config.get_fraction, key_range, [&](MpOp op, std::uint64_t key) {
+          MpMessage m;
+          m.w[0] = op;
+          m.w[1] = key;
+          const int server = server_tid(table.BucketIndexOf(key) % servers);
+          comm.PrefetchOutgoing(server);
+          SimMem::Pause(30);  // between-request application work
+          comm.SendRt(server, m);
+          comm.RecvRt(server, &m);
+        });
+        ++ops[tid];
+      }
+      active_clients.fetch_sub(1, std::memory_order_relaxed);
+    }
+  });
+
+  SshtResult result;
+  for (const std::uint64_t n : ops) {
+    result.ops += n;
+  }
+  result.mops = MopsPerSec(result.ops, rt.last_duration(), spec.ghz);
+  result.servers = servers;
+  for (int s = 0; s < servers; ++s) {
+    result.server_reqs += server_reqs[s];
+    result.server_idle_sweeps += idle_sweeps[s];
+  }
+  return result;
+}
+
+}  // namespace ssync

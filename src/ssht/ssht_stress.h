@@ -1,0 +1,51 @@
+// The ssht experiment of Section 6.3 / Figure 11, in both flavors:
+//
+//   * lock-based — every thread performs 80% get / 10% put / 10% remove on a
+//     shared table whose buckets are protected by a chosen libslock lock;
+//   * message-passing — a subset of the threads act as servers, each owning a
+//     partition of the buckets (no locks); clients send round-trip requests
+//     over libssmp, one server per three cores as in the paper.
+//
+// Shared by bench/fig11_ssht.cc and the integration tests.
+#ifndef SRC_SSHT_SSHT_STRESS_H_
+#define SRC_SSHT_SSHT_STRESS_H_
+
+#include <cstdint>
+
+#include "src/core/runtime_sim.h"
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+
+struct SshtConfig {
+  int buckets = 512;
+  int entries_per_bucket = 12;  // initial chain length
+  double get_fraction = 0.8;    // remainder split evenly between put/remove
+  Cycles duration = 400000;
+  std::uint64_t seed = 1;
+  // Message-passing flavor: one server per this many threads (the paper ran
+  // one server per three cores, the best ratio on its machines).
+  int threads_per_server = 3;
+};
+
+struct SshtResult {
+  std::uint64_t ops = 0;
+  double mops = 0.0;
+  // Message-passing diagnostics (zero for the lock-based flavor): how many
+  // requests each server handled and how often its sweep found nothing.
+  std::uint64_t server_reqs = 0;
+  std::uint64_t server_idle_sweeps = 0;
+  int servers = 0;
+};
+
+// Lock-based run with `kind` protecting each bucket.
+SshtResult SshtLockStress(SimRuntime& rt, const SshtConfig& config, LockKind kind,
+                          int threads);
+
+// Message-passing run: servers = max(1, threads / 3) of the given thread
+// count (threads == 1 runs the paper's one-server/one-client configuration).
+SshtResult SshtMpStress(SimRuntime& rt, const SshtConfig& config, int threads);
+
+}  // namespace ssync
+
+#endif  // SRC_SSHT_SSHT_STRESS_H_

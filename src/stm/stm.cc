@@ -1,0 +1,4 @@
+// STM umbrella translation unit.
+#include "src/stm/tm.h"
+#include "src/stm/tm_lock.h"
+#include "src/stm/tm_mp.h"

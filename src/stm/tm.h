@@ -1,0 +1,64 @@
+// TM2C-style software transactional memory (Section 4.3, [16]).
+//
+// Two runtimes behind one transaction API, as in the paper:
+//
+//   * TmLockSystem — the shared-memory version "built with the spin locks of
+//     libslock": TL2-style word-based STM. Memory words map to striped
+//     ownership records (versioned write-locks); reads validate against a
+//     global version clock; writes are buffered and published at commit
+//     under the stripe locks.
+//
+//   * TmMpSystem (src/stm/tm_mp.h) — the message-passing version: dedicated
+//     lock-service servers arbitrate stripe ownership via libssmp messages
+//     with eager conflict detection and greedy (timestamp) contention
+//     management; data still lives in shared memory, as TM2C does on
+//     cache-coherent machines.
+//
+// Data words are TmVar<T> (T <= 8 bytes). User code runs transactions via
+//   system.Run(tid, [&](TmTx& tx) { ... tx.Read(v) ... tx.Write(v, x) ... });
+// which retries on conflict until commit.
+#ifndef SRC_STM_TM_H_
+#define SRC_STM_TM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/cacheline.h"
+#include "src/util/check.h"
+
+namespace ssync {
+
+// A transactional memory word. The value lives in an atomic of the memory
+// backend so every access is charged/coherent; the STM metadata (stripe) is
+// derived from its address.
+template <typename Mem, typename T = std::uint64_t>
+class TmVar {
+ public:
+  TmVar() = default;
+  explicit TmVar(T init) : value_(init) {}
+
+  // Non-transactional accessors (initialization / verification only).
+  T PeekInit() const { return value_.PeekInit(); }
+  void SetInit(T x) { value_.SetInit(x); }
+
+  typename Mem::template Atomic<T>& atom() { return value_; }
+  const typename Mem::template Atomic<T>& atom() const { return value_; }
+
+ private:
+  typename Mem::template Atomic<T> value_;
+};
+
+// Statistics a TM system reports (per Run caller, aggregated by the bench).
+struct TmStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+inline std::size_t TmStripeOf(const void* addr, std::size_t num_stripes) {
+  // Stripe by cache line so false sharing of metadata mirrors data layout.
+  return static_cast<std::size_t>(LineOf(addr)) % num_stripes;
+}
+
+}  // namespace ssync
+
+#endif  // SRC_STM_TM_H_

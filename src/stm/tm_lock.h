@@ -1,0 +1,175 @@
+// The shared-memory STM runtime: TL2-style word-based transactions over
+// striped versioned write-locks (see src/stm/tm.h for the overview).
+//
+// Aborts restart the transaction with longjmp, as production word-based STMs
+// (tinySTM, TL2, TM2C) do: transaction bodies must therefore not hold RAII
+// resources that need unwinding — they may only compute and call
+// tx.Read()/tx.Write() on TmVars.
+#ifndef SRC_STM_TM_LOCK_H_
+#define SRC_STM_TM_LOCK_H_
+
+#include <csetjmp>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/stm/tm.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+
+template <typename Mem>
+class TmLockSystem {
+ public:
+  static constexpr std::size_t kDefaultStripes = 4096;
+  static constexpr int kMaxAbortBackoffLog2 = 14;
+
+  explicit TmLockSystem(std::size_t num_stripes = kDefaultStripes)
+      : orecs_(num_stripes) {}
+
+  class Tx {
+   public:
+    std::uint64_t Read(TmVar<Mem>& var) {
+      for (const WriteEntry& w : writes_) {
+        if (w.var == &var) {
+          return w.value;  // read-your-writes
+        }
+      }
+      const std::size_t stripe = TmStripeOf(&var, sys_->orecs_.size());
+      auto& orec = sys_->orecs_[stripe].value;
+      const std::uint64_t v1 = orec.Load();
+      const std::uint64_t value = var.atom().Load();
+      const std::uint64_t v2 = orec.Load();
+      // Locked, concurrently changed, or newer than our snapshot: the read
+      // would be inconsistent — restart.
+      if ((v1 & 1) != 0 || v1 != v2 || (v1 >> 1) > rv_) {
+        Abort();
+      }
+      reads_.push_back(ReadEntry{stripe, v1});
+      return value;
+    }
+
+    void Write(TmVar<Mem>& var, std::uint64_t value) {
+      for (WriteEntry& w : writes_) {
+        if (w.var == &var) {
+          w.value = value;
+          return;
+        }
+      }
+      writes_.push_back(
+          WriteEntry{&var, value, TmStripeOf(&var, sys_->orecs_.size())});
+    }
+
+   private:
+    friend class TmLockSystem;
+
+    struct ReadEntry {
+      std::size_t stripe;
+      std::uint64_t version;
+    };
+    struct WriteEntry {
+      TmVar<Mem>* var;
+      std::uint64_t value;
+      std::size_t stripe;
+    };
+
+    explicit Tx(TmLockSystem* sys) : sys_(sys) {}
+
+    void Begin(std::uint64_t rv) {
+      rv_ = rv;
+      reads_.clear();
+      writes_.clear();
+    }
+
+    [[noreturn]] void Abort() { std::longjmp(env_, 1); }
+
+    bool TryCommit() {
+      // Lock the write set in stripe order (deadlock freedom).
+      std::sort(writes_.begin(), writes_.end(),
+                [](const WriteEntry& a, const WriteEntry& b) { return a.stripe < b.stripe; });
+      std::vector<std::size_t> locked;
+      for (const WriteEntry& w : writes_) {
+        if (!locked.empty() && locked.back() == w.stripe) {
+          continue;
+        }
+        auto& orec = sys_->orecs_[w.stripe].value;
+        std::uint64_t expected = orec.Load();
+        if ((expected & 1) != 0 || (expected >> 1) > rv_ ||
+            !orec.CompareExchange(expected, expected | 1)) {
+          Unlock(locked, /*new_version=*/0, /*publish=*/false);
+          return false;
+        }
+        locked.push_back(w.stripe);
+      }
+      // Validate the read set against our snapshot.
+      for (const ReadEntry& r : reads_) {
+        const std::uint64_t v = sys_->orecs_[r.stripe].value.Load();
+        const bool locked_by_us =
+            std::binary_search(locked.begin(), locked.end(), r.stripe);
+        if (v != r.version && !(locked_by_us && (v & ~1ULL) == r.version)) {
+          Unlock(locked, 0, false);
+          return false;
+        }
+      }
+      if (writes_.empty()) {
+        return true;  // read-only: no clock traffic
+      }
+      const std::uint64_t wv = sys_->clock_.value.FetchAdd(1) + 1;
+      for (const WriteEntry& w : writes_) {
+        w.var->atom().Store(w.value);
+      }
+      Unlock(locked, wv, true);
+      return true;
+    }
+
+    void Unlock(const std::vector<std::size_t>& locked, std::uint64_t new_version,
+                bool publish) {
+      for (const std::size_t stripe : locked) {
+        auto& orec = sys_->orecs_[stripe].value;
+        if (publish) {
+          orec.Store(new_version << 1);
+        } else {
+          orec.Store(orec.Load() & ~1ULL);
+        }
+      }
+    }
+
+    TmLockSystem* sys_;
+    std::uint64_t rv_ = 0;
+    std::vector<ReadEntry> reads_;
+    std::vector<WriteEntry> writes_;
+    std::jmp_buf env_;
+  };
+
+  // Runs `body(tx)` as a transaction, retrying until it commits.
+  template <typename Body>
+  TmStats Run(std::uint64_t seed, Body&& body) {
+    TmStats stats;
+    Tx tx(this);
+    Rng rng(seed);
+    // volatile: lives across setjmp/longjmp rounds (retry loop).
+    volatile int attempt = 0;
+    for (;;) {
+      tx.Begin(clock_.value.Load());
+      if (setjmp(tx.env_) == 0) {
+        body(tx);
+        if (tx.TryCommit()) {
+          ++stats.commits;
+          return stats;
+        }
+      }
+      ++stats.aborts;
+      const int shift = std::min(static_cast<int>(attempt), kMaxAbortBackoffLog2);
+      Mem::Pause(32 + rng.NextBelow(1ULL << shift));
+      attempt = attempt + 1;
+    }
+  }
+
+ private:
+  Padded<typename Mem::template Atomic<std::uint64_t>> clock_{};
+  std::vector<Padded<typename Mem::template Atomic<std::uint64_t>>> orecs_;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_STM_TM_LOCK_H_

@@ -1,0 +1,279 @@
+// The message-passing STM runtime (TM2C proper): dedicated lock-service
+// servers arbitrate stripe ownership over libssmp; clients acquire stripes
+// eagerly (two-phase locking with immediate-abort conflict resolution) and
+// access the data itself through shared memory, as TM2C does on
+// cache-coherent machines. Aborted transactions release their stripes, back
+// off, and retry.
+#ifndef SRC_STM_TM_MP_H_
+#define SRC_STM_TM_MP_H_
+
+#include <atomic>
+#include <memory>
+#include <csetjmp>
+#include <cstdint>
+#include <vector>
+
+#include "src/mp/ssmp.h"
+#include "src/stm/tm.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+
+template <typename Mem>
+class TmMpSystem {
+ public:
+  static constexpr std::size_t kDefaultStripes = 4096;
+  static constexpr int kMaxAbortBackoffLog2 = 14;
+
+  // Threads [0, num_servers) must call RunServer(); the rest are clients.
+  TmMpSystem(int total_threads, int num_servers, bool use_hw = false,
+             std::size_t num_stripes = kDefaultStripes)
+      : num_servers_(num_servers),
+        total_threads_(total_threads),
+        comm_(total_threads, use_hw),
+        stripes_(num_stripes),
+        server_state_(num_servers) {
+    SSYNC_CHECK_GT(num_servers, 0);
+    SSYNC_CHECK_GT(total_threads, num_servers);
+    active_clients_.store(total_threads - num_servers, std::memory_order_relaxed);
+    for (auto& state : server_state_) {
+      state = std::make_unique<ServerState>();
+      state->write_owner.assign(num_stripes, -1);
+      state->readers.assign(num_stripes, {});
+      state->held.assign(total_threads, {});
+    }
+  }
+
+  int num_servers() const { return num_servers_; }
+  int num_clients() const { return total_threads_ - num_servers_; }
+
+  // --- Server side ---
+
+  // Serves lock requests until every client has finished.
+  void RunServer(int tid) {
+    ServerState& state = *server_state_[tid];
+    MpMessage m;
+    while (active_clients_.load(std::memory_order_relaxed) > 0) {
+      bool any = false;
+      for (int from = num_servers_; from < total_threads_; ++from) {
+        if (!comm_.TryRecvRt(from, &m)) {
+          continue;
+        }
+        any = true;
+        Mem::Compute(20);  // request decode + table lookup
+        switch (static_cast<Op>(m.w[0])) {
+          case Op::kAcquireRead:
+            m.w[0] = TryAcquire(state, static_cast<std::size_t>(m.w[1]), from,
+                                /*write=*/false)
+                         ? 1
+                         : 0;
+            comm_.SendRt(from, m);
+            break;
+          case Op::kAcquireWrite:
+            m.w[0] = TryAcquire(state, static_cast<std::size_t>(m.w[1]), from,
+                                /*write=*/true)
+                         ? 1
+                         : 0;
+            comm_.SendRt(from, m);
+            break;
+          case Op::kReleaseAll:
+            ReleaseAll(state, from);
+            m.w[0] = 1;
+            comm_.SendRt(from, m);
+            break;
+        }
+      }
+      if (!any) {
+        Mem::Pause(16);
+      }
+    }
+  }
+
+  // --- Client side ---
+
+  class Tx {
+   public:
+    std::uint64_t Read(TmVar<Mem>& var) {
+      const std::size_t stripe = TmStripeOf(&var, sys_->stripes_);
+      AcquireOrAbort(stripe, /*write=*/false);
+      for (const WriteEntry& w : writes_) {
+        if (w.var == &var) {
+          return w.value;
+        }
+      }
+      return var.atom().Load();
+    }
+
+    void Write(TmVar<Mem>& var, std::uint64_t value) {
+      const std::size_t stripe = TmStripeOf(&var, sys_->stripes_);
+      AcquireOrAbort(stripe, /*write=*/true);
+      for (WriteEntry& w : writes_) {
+        if (w.var == &var) {
+          w.value = value;
+          return;
+        }
+      }
+      writes_.push_back(WriteEntry{&var, value});
+    }
+
+   private:
+    friend class TmMpSystem;
+
+    struct WriteEntry {
+      TmVar<Mem>* var;
+      std::uint64_t value;
+    };
+
+    Tx(TmMpSystem* sys, int tid) : sys_(sys), tid_(tid) {}
+
+    void Begin() {
+      writes_.clear();
+      read_locked_.clear();
+      write_locked_.clear();
+      involved_.clear();
+    }
+
+    void AcquireOrAbort(std::size_t stripe, bool write) {
+      auto& have = write ? write_locked_ : read_locked_;
+      if (Contains(write_locked_, stripe) || (!write && Contains(read_locked_, stripe))) {
+        return;  // already hold a sufficient lock
+      }
+      const int server = static_cast<int>(stripe % sys_->num_servers_);
+      MpMessage m;
+      m.w[0] = static_cast<std::uint64_t>(write ? Op::kAcquireWrite : Op::kAcquireRead);
+      m.w[1] = stripe;
+      sys_->comm_.SendRt(server, m);
+      sys_->comm_.RecvRt(server, &m);
+      if (m.w[0] == 0) {
+        ReleaseInvolved();
+        std::longjmp(env_, 1);  // conflict: restart the transaction
+      }
+      have.push_back(stripe);
+      if (!Contains(involved_, static_cast<std::size_t>(server))) {
+        involved_.push_back(server);
+      }
+    }
+
+    void ReleaseInvolved() {
+      for (const std::size_t server : involved_) {
+        MpMessage m;
+        m.w[0] = static_cast<std::uint64_t>(Op::kReleaseAll);
+        sys_->comm_.SendRt(static_cast<int>(server), m);
+        sys_->comm_.RecvRt(static_cast<int>(server), &m);
+      }
+    }
+
+    void CommitWrites() {
+      for (const WriteEntry& w : writes_) {
+        w.var->atom().Store(w.value);
+      }
+      ReleaseInvolved();
+    }
+
+    static bool Contains(const std::vector<std::size_t>& v, std::size_t x) {
+      for (const std::size_t e : v) {
+        if (e == x) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    TmMpSystem* sys_;
+    int tid_;
+    std::vector<WriteEntry> writes_;
+    std::vector<std::size_t> read_locked_;
+    std::vector<std::size_t> write_locked_;
+    std::vector<std::size_t> involved_;  // servers contacted
+    std::jmp_buf env_;
+  };
+
+  // Runs one transaction on client `tid` (must be >= num_servers()).
+  template <typename Body>
+  TmStats Run(int tid, std::uint64_t seed, Body&& body) {
+    SSYNC_CHECK_GE(tid, num_servers_);
+    TmStats stats;
+    Tx tx(this, tid);
+    Rng rng(seed);
+    // volatile: lives across setjmp/longjmp rounds (retry loop).
+    volatile int attempt = 0;
+    for (;;) {
+      tx.Begin();
+      if (setjmp(tx.env_) == 0) {
+        body(tx);
+        tx.CommitWrites();
+        ++stats.commits;
+        return stats;
+      }
+      ++stats.aborts;
+      const int shift = std::min(static_cast<int>(attempt), kMaxAbortBackoffLog2);
+      Mem::Pause(64 + rng.NextBelow(1ULL << shift));
+      attempt = attempt + 1;
+    }
+  }
+
+  // A client calls this once it stops issuing transactions.
+  void ClientDone() { active_clients_.fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  enum class Op : std::uint64_t { kAcquireRead = 1, kAcquireWrite = 2, kReleaseAll = 3 };
+
+  struct ServerState {
+    std::vector<int> write_owner;                // per stripe: client or -1
+    std::vector<std::vector<int>> readers;       // per stripe: client list
+    std::vector<std::vector<std::size_t>> held;  // per client: stripes held here
+  };
+
+  bool TryAcquire(ServerState& state, std::size_t stripe, int client, bool write) {
+    SSYNC_CHECK_LT(stripe, stripes_);
+    const int owner = state.write_owner[stripe];
+    auto& readers = state.readers[stripe];
+    if (write) {
+      const bool sole_reader = readers.empty() || (readers.size() == 1 && readers[0] == client);
+      if ((owner != -1 && owner != client) || !sole_reader) {
+        return false;  // conflict: immediate abort (timid contention manager)
+      }
+      state.write_owner[stripe] = client;
+    } else {
+      if (owner != -1 && owner != client) {
+        return false;
+      }
+      for (const int r : readers) {
+        if (r == client) {
+          return true;
+        }
+      }
+      readers.push_back(client);
+    }
+    state.held[client].push_back(stripe);
+    return true;
+  }
+
+  void ReleaseAll(ServerState& state, int client) {
+    for (const std::size_t stripe : state.held[client]) {
+      if (state.write_owner[stripe] == client) {
+        state.write_owner[stripe] = -1;
+      }
+      auto& readers = state.readers[stripe];
+      for (std::size_t i = 0; i < readers.size(); ++i) {
+        if (readers[i] == client) {
+          readers[i] = readers.back();
+          readers.pop_back();
+          break;
+        }
+      }
+    }
+    state.held[client].clear();
+  }
+
+  int num_servers_;
+  int total_threads_;
+  SsmpComm<Mem> comm_;
+  std::size_t stripes_;
+  std::vector<std::unique_ptr<ServerState>> server_state_;
+  std::atomic<int> active_clients_{0};
+};
+
+}  // namespace ssync
+
+#endif  // SRC_STM_TM_MP_H_

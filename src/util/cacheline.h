@@ -1,0 +1,38 @@
+// Cache-line geometry and padding helpers.
+//
+// Simulated cache lines are derived from host addresses (addr >> kCacheLineBits),
+// so C++ object layout — padding, alignment, false sharing — carries over to the
+// simulated machine exactly as laid out in memory.
+#ifndef SRC_UTIL_CACHELINE_H_
+#define SRC_UTIL_CACHELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ssync {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kCacheLineBits = 6;
+
+// Address of the cache line containing `p`, in line units.
+inline std::uint64_t LineOf(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) >> kCacheLineBits;
+}
+
+// A T alone on its own cache line. Used for per-thread slots in array locks,
+// message-passing buffers, striped counters, etc.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+static_assert(sizeof(Padded<char>) == kCacheLineSize);
+
+}  // namespace ssync
+
+#endif  // SRC_UTIL_CACHELINE_H_

@@ -1,0 +1,44 @@
+// Lightweight CHECK/DCHECK assertion macros.
+//
+// The library does not use exceptions: invariant violations are programming
+// errors and abort with a message. CHECK is always on; DCHECK compiles away in
+// NDEBUG builds.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssync {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace ssync
+
+#define SSYNC_CHECK(expr)                                \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::ssync::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                    \
+  } while (0)
+
+#define SSYNC_CHECK_OP(a, op, b) SSYNC_CHECK((a)op(b))
+#define SSYNC_CHECK_EQ(a, b) SSYNC_CHECK_OP(a, ==, b)
+#define SSYNC_CHECK_NE(a, b) SSYNC_CHECK_OP(a, !=, b)
+#define SSYNC_CHECK_LT(a, b) SSYNC_CHECK_OP(a, <, b)
+#define SSYNC_CHECK_LE(a, b) SSYNC_CHECK_OP(a, <=, b)
+#define SSYNC_CHECK_GT(a, b) SSYNC_CHECK_OP(a, >, b)
+#define SSYNC_CHECK_GE(a, b) SSYNC_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define SSYNC_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define SSYNC_DCHECK(expr) SSYNC_CHECK(expr)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,83 @@
+#include "src/util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+Cli::Cli(int argc, char** argv) : prog_(argc > 0 ? argv[0] : "prog") {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      given_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      given_[arg] = argv[++i];
+    } else {
+      given_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::int64_t Cli::Int(const std::string& name, std::int64_t def, const std::string& help) {
+  decls_[name] = {std::to_string(def), help};
+  used_.push_back(name);
+  const auto it = given_.find(name);
+  return it == given_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::Double(const std::string& name, double def, const std::string& help) {
+  decls_[name] = {std::to_string(def), help};
+  used_.push_back(name);
+  const auto it = given_.find(name);
+  return it == given_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::Str(const std::string& name, const std::string& def, const std::string& help) {
+  decls_[name] = {def, help};
+  used_.push_back(name);
+  const auto it = given_.find(name);
+  return it == given_.end() ? def : it->second;
+}
+
+bool Cli::Bool(const std::string& name, bool def, const std::string& help) {
+  decls_[name] = {def ? "true" : "false", help};
+  used_.push_back(name);
+  const auto it = given_.find(name);
+  if (it == given_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void Cli::Finish() const {
+  bool bad = false;
+  for (const auto& [name, value] : given_) {
+    (void)value;
+    if (decls_.find(name) == decls_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      bad = true;
+    }
+  }
+  if (bad || help_) {
+    std::fprintf(stderr, "usage: %s [flags]\n", prog_.c_str());
+    for (const auto& [name, decl] : decls_) {
+      std::fprintf(stderr, "  --%s (default: %s)  %s\n", name.c_str(), decl.def.c_str(),
+                   decl.help.c_str());
+    }
+    std::exit(bad ? 2 : 0);
+  }
+}
+
+}  // namespace ssync

@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Supports --name=value and --name value. Unknown flags abort with usage, so
+// typos in experiment scripts fail loudly.
+#ifndef SRC_UTIL_CLI_H_
+#define SRC_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssync {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  // Declared getters: first use declares the flag (for usage text).
+  std::int64_t Int(const std::string& name, std::int64_t def, const std::string& help = "");
+  double Double(const std::string& name, double def, const std::string& help = "");
+  std::string Str(const std::string& name, const std::string& def, const std::string& help = "");
+  bool Bool(const std::string& name, bool def, const std::string& help = "");
+
+  // Call after all getters: aborts if unknown flags were passed or --help given.
+  void Finish() const;
+
+ private:
+  struct Decl {
+    std::string def;
+    std::string help;
+  };
+
+  std::string prog_;
+  std::map<std::string, std::string> given_;
+  mutable std::map<std::string, Decl> decls_;
+  mutable std::vector<std::string> used_;
+  bool help_ = false;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_UTIL_CLI_H_

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Experiments must be reproducible run-to-run, so all randomness in the suite
+// flows through explicitly seeded Rng instances — never std::random_device.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace ssync {
+
+// splitmix64: used to expand a single seed into xoshiro state.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5370bdbdca3d1195ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    for (auto& word : s_) {
+      word = SplitMix64(seed);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Unbiased enough for workload generation (Lemire).
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace ssync
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,31 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> samples, double p) {
+  SSYNC_CHECK(!samples.empty());
+  SSYNC_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double MopsPerSec(std::uint64_t ops, std::uint64_t cycles, double ghz) {
+  if (cycles == 0) {
+    return 0.0;
+  }
+  const double seconds = static_cast<double>(cycles) / (ghz * 1e9);
+  return static_cast<double>(ops) / seconds / 1e6;
+}
+
+}  // namespace ssync

@@ -1,0 +1,52 @@
+// Summary statistics for latency/throughput measurements.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ssync {
+
+// Online mean/variance (Welford). Suitable for streaming cycle counts.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) {
+      min_ = x;
+    }
+    if (x > max_ || n_ == 1) {
+      max_ = x;
+    }
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Coefficient of variation as a percentage; the paper reports <3% for Table 2.
+  double cv_percent() const { return mean_ != 0.0 ? 100.0 * stddev() / mean() : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile over a sample set (copies + sorts; fine for bench-sized samples).
+double Percentile(std::vector<double> samples, double p);
+
+// Throughput helper: operations executed over simulated cycles at a clock rate,
+// reported in Mops/s as the paper does.
+double MopsPerSec(std::uint64_t ops, std::uint64_t cycles, double ghz);
+
+}  // namespace ssync
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,32 @@
+// ASCII table printer used by the benchmark harnesses to emit paper-style
+// tables and figure series. Supports aligned text output and CSV.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ssync {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+  static std::string Int(long long v);
+
+  void Print(std::FILE* out = stdout) const;
+  void PrintCsv(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_UTIL_TABLE_H_

@@ -1,0 +1,95 @@
+#include "src/ccsim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace ssync {
+namespace {
+
+TEST(Cache, InsertAndLookup) {
+  Cache c(4);
+  EXPECT_EQ(c.GetState(10), LineState::kInvalid);
+  EXPECT_FALSE(c.Insert(10, LineState::kShared).valid);
+  EXPECT_EQ(c.GetState(10), LineState::kShared);
+  EXPECT_TRUE(c.Contains(10));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Cache, SetStateChangesState) {
+  Cache c(4);
+  c.Insert(10, LineState::kExclusive);
+  c.SetState(10, LineState::kModified);
+  EXPECT_EQ(c.GetState(10), LineState::kModified);
+}
+
+TEST(Cache, RemoveInvalidates) {
+  Cache c(4);
+  c.Insert(10, LineState::kShared);
+  c.Remove(10);
+  EXPECT_FALSE(c.Contains(10));
+  c.Remove(10);  // idempotent
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Cache, EvictsLruVictim) {
+  Cache c(2);
+  c.Insert(1, LineState::kShared);
+  c.Insert(2, LineState::kModified);
+  const Cache::Victim v = c.Insert(3, LineState::kShared);
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.line, 1u);
+  EXPECT_EQ(v.state, LineState::kShared);
+  EXPECT_FALSE(c.Contains(1));
+  EXPECT_TRUE(c.Contains(2));
+  EXPECT_TRUE(c.Contains(3));
+}
+
+TEST(Cache, TouchRefreshesLru) {
+  Cache c(2);
+  c.Insert(1, LineState::kShared);
+  c.Insert(2, LineState::kShared);
+  c.Touch(1);  // now 2 is the LRU
+  const Cache::Victim v = c.Insert(3, LineState::kShared);
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.line, 2u);
+}
+
+TEST(Cache, ReinsertUpdatesStateAndLru) {
+  Cache c(2);
+  c.Insert(1, LineState::kShared);
+  c.Insert(2, LineState::kShared);
+  const Cache::Victim v0 = c.Insert(1, LineState::kModified);  // refresh, no evict
+  EXPECT_FALSE(v0.valid);
+  EXPECT_EQ(c.GetState(1), LineState::kModified);
+  const Cache::Victim v1 = c.Insert(3, LineState::kShared);
+  ASSERT_TRUE(v1.valid);
+  EXPECT_EQ(v1.line, 2u);
+}
+
+TEST(Cache, VictimCarriesDirtyState) {
+  Cache c(1);
+  c.Insert(7, LineState::kModified);
+  const Cache::Victim v = c.Insert(8, LineState::kShared);
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.line, 7u);
+  EXPECT_EQ(v.state, LineState::kModified);
+}
+
+TEST(Cache, UnboundedCapacityNeverEvicts) {
+  Cache c(0);
+  for (LineAddr line = 0; line < 10000; ++line) {
+    EXPECT_FALSE(c.Insert(line, LineState::kShared).valid);
+  }
+  EXPECT_EQ(c.size(), 10000u);
+}
+
+TEST(Cache, ClearEmpties) {
+  Cache c(8);
+  c.Insert(1, LineState::kShared);
+  c.Insert(2, LineState::kShared);
+  c.Clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.Contains(1));
+}
+
+}  // namespace
+}  // namespace ssync

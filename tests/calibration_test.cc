@@ -1,0 +1,175 @@
+// Calibration tests: the simulated ccbench must reproduce the paper's
+// Tables 2 and 3 within tolerance. Each failure names the exact cell.
+#include <gtest/gtest.h>
+
+#include "src/ccbench/ccbench.h"
+#include "src/platform/paper_data.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+namespace {
+
+constexpr int kReps = 32;
+
+// Tolerance: the simulator is a model, not the machine; the paper itself
+// reports <3% run variance but cross-cell structure matters more than exact
+// values. We require every cell within max(6 cycles, 25%).
+void ExpectCellNear(double measured, int paper, const std::string& what) {
+  const double tol = std::max(6.0, 0.25 * paper);
+  EXPECT_NEAR(measured, paper, tol) << what;
+}
+
+CpuId SecondSharerNear(const PlatformSpec& spec, CpuId partner, CpuId requester) {
+  // A second sharer adjacent to the partner (the paper places both sharers at
+  // the indicated distance for the store-on-shared case).
+  CpuId second = partner + 1 < spec.num_cpus ? partner + 1 : partner - 1;
+  if (second == requester) {
+    second = partner + 2;
+  }
+  return second;
+}
+
+class Table2Test : public ::testing::TestWithParam<PlatformKind> {};
+
+TEST_P(Table2Test, MatchesPaperWithinTolerance) {
+  const PlatformSpec spec = MakePlatform(GetParam());
+  Machine machine(spec);
+  CcBench bench(&machine);
+  const auto cases = DistanceCases(spec);
+  const auto rows = PaperTable2(GetParam());
+  ASSERT_FALSE(rows.empty());
+  for (const PaperTable2Row& row : rows) {
+    ASSERT_EQ(row.cycles.size(), cases.size());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      if (row.cycles[i] < 0) {
+        continue;
+      }
+      const CpuId requester = 0;
+      const CpuId partner = cases[i].partner;
+      const CpuId second = SecondSharerNear(spec, partner, requester);
+      const CcBench::Sample s =
+          bench.Measure(row.op, row.prev_state, requester, partner, second, kReps);
+      ExpectCellNear(s.mean, row.cycles[i],
+                     std::string(spec.name) + " " + ToString(row.op) + " from " +
+                         ToString(row.prev_state) + " @ " + cases[i].label);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, Table2Test,
+                         ::testing::Values(PlatformKind::kOpteron, PlatformKind::kXeon,
+                                           PlatformKind::kNiagara, PlatformKind::kTilera),
+                         [](const ::testing::TestParamInfo<PlatformKind>& param_info) {
+                           return MakePlatform(param_info.param).name;
+                         });
+
+class Table3Test : public ::testing::TestWithParam<PlatformKind> {};
+
+TEST_P(Table3Test, LocalLatenciesMatchPaper) {
+  const PlatformSpec spec = MakePlatform(GetParam());
+  Machine machine(spec);
+  CcBench bench(&machine);
+  const PaperTable3 paper = PaperTable3For(GetParam());
+
+  ExpectCellNear(bench.MeasureL1Load(0, kReps).mean, paper.l1, spec.name + " L1");
+  if (paper.l2 > 0 && spec.l2_lines > 0) {
+    ExpectCellNear(bench.MeasureL2Load(0, kReps).mean, paper.l2, spec.name + " L2");
+  }
+  if (spec.kind == PlatformKind::kTilera) {
+    // Tilera's "RAM" row is measured from a 1-hop distance in the paper's
+    // setup; local measurement is within tolerance anyway.
+    ExpectCellNear(bench.MeasureRamLoad(0, kReps).mean, paper.ram, spec.name + " RAM");
+  } else {
+    ExpectCellNear(bench.MeasureRamLoad(0, kReps).mean, paper.ram, spec.name + " RAM");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, Table3Test,
+                         ::testing::Values(PlatformKind::kOpteron, PlatformKind::kXeon,
+                                           PlatformKind::kNiagara, PlatformKind::kTilera),
+                         [](const ::testing::TestParamInfo<PlatformKind>& param_info) {
+                           return MakePlatform(param_info.param).name;
+                         });
+
+TEST(Table2Structure, CrossSocketIsTwoToSevenPointFiveTimesIntra) {
+  // Headline observation #1 (Section 1): cross-socket operations cost 2x-7.5x
+  // intra-socket, even without contention.
+  for (const PlatformKind kind : {PlatformKind::kOpteron, PlatformKind::kXeon}) {
+    const PlatformSpec spec = MakePlatform(kind);
+    Machine machine(spec);
+    CcBench bench(&machine);
+    const auto cases = DistanceCases(spec);
+    const CpuId near = cases.front().partner;
+    const CpuId far = cases.back().partner;
+    const double intra =
+        bench.Measure(AccessType::kLoad, LineState::kShared, 0, near, near + 1, kReps).mean;
+    const double cross =
+        bench.Measure(AccessType::kLoad, LineState::kShared, 0, far, far + 1, kReps).mean;
+    EXPECT_GE(cross / intra, 2.0) << spec.name;
+    EXPECT_LE(cross / intra, 8.5) << spec.name;
+  }
+}
+
+TEST(Table2Structure, OpteronStoreOnSharedIsThreeFoldWorse) {
+  // Section 5.3: the incomplete directory turns a same-die store on a shared
+  // line into a broadcast, ~3x the directed store.
+  const PlatformSpec spec = MakeOpteron();
+  Machine machine(spec);
+  CcBench bench(&machine);
+  const double directed =
+      bench.Measure(AccessType::kStore, LineState::kModified, 0, 1, 2, kReps).mean;
+  const double broadcast =
+      bench.Measure(AccessType::kStore, LineState::kShared, 0, 1, 2, kReps).mean;
+  EXPECT_NEAR(broadcast / directed, 3.0, 0.6);
+}
+
+TEST(Table2Structure, TwoSocketRatiosMatchSection8) {
+  // Section 8: cross-socket coherence is ~1.6x intra on the 2-socket Opteron
+  // and ~2.7x on the 2-socket Xeon.
+  {
+    const PlatformSpec spec = MakeOpteron2();
+    Machine machine(spec);
+    CcBench bench(&machine);
+    const double intra =
+        bench.Measure(AccessType::kLoad, LineState::kModified, 0, 1, 2, kReps).mean;
+    const double cross =
+        bench.Measure(AccessType::kLoad, LineState::kModified, 0, 4, 5, kReps).mean;
+    EXPECT_NEAR(cross / intra, 1.6, 0.35);
+  }
+  {
+    const PlatformSpec spec = MakeXeon2();
+    Machine machine(spec);
+    CcBench bench(&machine);
+    const double intra =
+        bench.Measure(AccessType::kLoad, LineState::kModified, 0, 1, 2, kReps).mean;
+    const double cross =
+        bench.Measure(AccessType::kLoad, LineState::kModified, 0, 6, 7, kReps).mean;
+    EXPECT_NEAR(cross / intra, 2.7, 0.6);
+  }
+}
+
+TEST(Table2Structure, LoadsNearlyAsExpensiveAsAtomics) {
+  // Section 1: "on data that are not locally cached, a CAS is roughly only
+  // 1.35x (Opteron) and 1.15x (Xeon) more expensive than a load".
+  {
+    Machine machine(MakeOpteron());
+    CcBench bench(&machine);
+    const double load =
+        bench.Measure(AccessType::kLoad, LineState::kModified, 0, 1, 2, kReps).mean;
+    const double cas =
+        bench.Measure(AccessType::kCas, LineState::kModified, 0, 1, 2, kReps).mean;
+    EXPECT_NEAR(cas / load, 1.35, 0.25);
+  }
+  {
+    Machine machine(MakeXeon());
+    CcBench bench(&machine);
+    const double load =
+        bench.Measure(AccessType::kLoad, LineState::kModified, 0, 1, 2, kReps).mean;
+    const double cas =
+        bench.Measure(AccessType::kCas, LineState::kModified, 0, 1, 2, kReps).mean;
+    EXPECT_NEAR(cas / load, 1.15, 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace ssync

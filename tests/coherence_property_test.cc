@@ -1,0 +1,164 @@
+// Property-based coherence tests: long random access sequences on every
+// platform, with the protocol's global invariants checked after each step.
+//
+// Invariants (the textbook single-writer/multi-reader properties):
+//   P1. If any cpu holds the line in M or E, no other cpu holds a valid copy.
+//   P2. At most one cpu holds M/E/O ("the owner").
+//   P3. Every non-owner copy is Shared.
+//   P4. Xeon inclusion: a private copy implies the line is in that socket's
+//       LLC.
+//   P5. Latencies are bounded and sane.
+//   P6. FlushLine really invalidates everywhere.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/ccsim/machine.h"
+#include "src/platform/spec.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+namespace {
+
+constexpr int kOps = 4000;
+constexpr int kLines = 24;
+constexpr LineAddr kBase = 0x1000;
+
+class CoherenceProperty : public ::testing::TestWithParam<PlatformKind> {};
+
+void CheckInvariants(const Machine& machine, const PlatformSpec& spec, LineAddr line) {
+  int owners = 0;           // M/E/O holders
+  int exclusive_like = 0;   // M/E holders
+  int valid_copies = 0;
+  for (CpuId cpu = 0; cpu < spec.num_cpus; cpu += spec.cpus_per_core) {
+    const LineState s = machine.StrictPrivateState(cpu, line);
+    switch (s) {
+      case LineState::kInvalid:
+        break;
+      case LineState::kModified:
+      case LineState::kExclusive:
+        ++owners;
+        ++exclusive_like;
+        ++valid_copies;
+        break;
+      case LineState::kOwned:
+        ++owners;
+        ++valid_copies;
+        break;
+      case LineState::kShared:
+      case LineState::kForward:
+        ++valid_copies;
+        break;
+    }
+    // P4: inclusive LLC contains every privately cached line of its socket.
+    if (spec.inclusive_llc && s != LineState::kInvalid) {
+      EXPECT_NE(machine.LlcState(spec.SocketOf(cpu), line), LineState::kInvalid)
+          << "inclusion violated for cpu " << cpu;
+    }
+  }
+  EXPECT_LE(owners, 1) << "two owners on line " << line;              // P2
+  if (exclusive_like == 1) {
+    EXPECT_EQ(valid_copies, 1) << "M/E coexists with other copies";   // P1
+  }
+}
+
+TEST_P(CoherenceProperty, RandomOpsPreserveInvariants) {
+  const PlatformSpec spec = MakePlatform(GetParam());
+  Machine machine(spec);
+  Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(GetParam()));
+  Cycles clock = 0;
+
+  for (int i = 0; i < kOps; ++i) {
+    const CpuId cpu = static_cast<CpuId>(rng.NextBelow(spec.num_cpus));
+    const LineAddr line = kBase + rng.NextBelow(kLines);
+    const auto type = static_cast<AccessType>(rng.NextBelow(7));  // all op kinds
+    clock += 2000;
+    const AccessResult r = machine.AccessAt(cpu, line, type, clock);
+
+    // P5: bounded, sane latencies.
+    EXPECT_GE(r.latency, std::min<Cycles>(spec.l1_lat, 2));
+    EXPECT_LE(r.latency, 1500u) << ToString(type) << " on " << spec.name;
+
+    // After a store/atomic, the writer's core must hold a coherent view:
+    // every *other* core's copy is gone or Shared-with-current-data
+    // (write-through platforms leave the writer S; write-back leave it M).
+    if (i % 7 == 0) {
+      CheckInvariants(machine, spec, line);
+    }
+  }
+
+  // P6: flushing kills all copies.
+  for (LineAddr line = kBase; line < kBase + kLines; ++line) {
+    machine.FlushLine(line);
+    for (CpuId cpu = 0; cpu < spec.num_cpus; ++cpu) {
+      EXPECT_EQ(machine.PrivateState(cpu, line), LineState::kInvalid);
+    }
+  }
+}
+
+TEST_P(CoherenceProperty, StoreMakesAllOtherCopiesStale) {
+  const PlatformSpec spec = MakePlatform(GetParam());
+  Machine machine(spec);
+  Rng rng(0xBEEF ^ static_cast<std::uint64_t>(GetParam()));
+  Cycles clock = 0;
+  const LineAddr line = kBase;
+
+  for (int round = 0; round < 200; ++round) {
+    // A few random readers...
+    for (int r = 0; r < 3; ++r) {
+      const CpuId reader = static_cast<CpuId>(rng.NextBelow(spec.num_cpus));
+      clock += 2000;
+      machine.AccessAt(reader, line, AccessType::kLoad, clock);
+    }
+    // ... then one writer: afterwards nobody outside the writer's core may
+    // hold a stale private copy on a write-back platform; on write-through
+    // platforms (Niagara/Tilera write to the home), other cores' L1s are
+    // invalidated.
+    const CpuId writer = static_cast<CpuId>(rng.NextBelow(spec.num_cpus));
+    clock += 2000;
+    machine.AccessAt(writer, line, AccessType::kStore, clock);
+    for (CpuId cpu = 0; cpu < spec.num_cpus; ++cpu) {
+      if (spec.SameCore(cpu, writer)) {
+        continue;
+      }
+      EXPECT_EQ(machine.StrictPrivateState(cpu, line), LineState::kInvalid)
+          << spec.name << ": cpu " << cpu << " kept a copy across a store by "
+          << writer;
+    }
+  }
+}
+
+TEST_P(CoherenceProperty, AtomicsAlwaysObserveLatestValueOrder) {
+  // Same-line atomics issued in virtual-time order must complete in that
+  // order (transactions never travel back in time). The driver respects
+  // per-cpu program order — a cpu cannot issue its next operation before
+  // its previous one completes, which the Engine enforces for fibers.
+  const PlatformSpec spec = MakePlatform(GetParam());
+  Machine machine(spec);
+  Rng rng(0xAB5 ^ static_cast<std::uint64_t>(GetParam()));
+  std::vector<Cycles> cpu_free(spec.num_cpus, 0);
+  Cycles clock = 0;
+  const LineAddr line = kBase + 7;
+  Cycles last_completion = 0;
+  for (int i = 0; i < 500; ++i) {
+    const CpuId cpu = static_cast<CpuId>(rng.NextBelow(spec.num_cpus));
+    clock = std::max(clock + 10, cpu_free[cpu]);  // dense: forces stalls
+    const AccessResult r =
+        machine.AccessAt(cpu, line, AccessType::kFai, clock);
+    const Cycles completion = clock + r.total();
+    EXPECT_GE(completion, last_completion) << "atomic overtook its predecessor";
+    last_completion = completion;
+    cpu_free[cpu] = completion;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, CoherenceProperty,
+                         ::testing::Values(PlatformKind::kOpteron, PlatformKind::kXeon,
+                                           PlatformKind::kNiagara, PlatformKind::kTilera,
+                                           PlatformKind::kOpteron2, PlatformKind::kXeon2),
+                         [](const ::testing::TestParamInfo<PlatformKind>& param_info) {
+                           return MakePlatform(param_info.param).name;
+                         });
+
+}  // namespace
+}  // namespace ssync

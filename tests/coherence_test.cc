@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "src/ccsim/machine.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+namespace {
+
+constexpr Cycles kGap = 100000;
+
+// Drives a Machine's pure state-machine API with an advancing clock.
+class Driver {
+ public:
+  explicit Driver(Machine* m) : m_(m) {}
+  AccessResult Do(CpuId cpu, LineAddr line, AccessType t) {
+    clock_ += kGap;
+    return m_->AccessAt(cpu, line, t, clock_);
+  }
+  AccessResult DoAtSameTime(CpuId cpu, LineAddr line, AccessType t) {
+    return m_->AccessAt(cpu, line, t, clock_);
+  }
+
+ private:
+  Machine* m_;
+  Cycles clock_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Opteron (MOESI, incomplete probe-filter directory)
+// ---------------------------------------------------------------------------
+
+TEST(OpteronProtocol, FreshLoadFillsExclusiveFromMemory) {
+  Machine m(MakeOpteron());
+  Driver d(&m);
+  const AccessResult r = d.Do(0, 100, AccessType::kLoad);
+  EXPECT_EQ(r.source, Source::kMemLocal);
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kExclusive);
+}
+
+TEST(OpteronProtocol, SecondLoadSharesTheLine) {
+  Machine m(MakeOpteron());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kLoad);
+  d.Do(1, 100, AccessType::kLoad);
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kShared);
+  EXPECT_EQ(m.PrivateState(1, 100), LineState::kShared);
+}
+
+TEST(OpteronProtocol, LoadFromModifiedLeavesOwnerOwned) {
+  Machine m(MakeOpteron());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kStore);
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kModified);
+  const AccessResult r = d.Do(6, 100, AccessType::kLoad);  // die 1
+  EXPECT_EQ(r.source, Source::kPeerRemote);
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kOwned);   // MOESI: owner serves
+  EXPECT_EQ(m.PrivateState(6, 100), LineState::kShared);
+}
+
+TEST(OpteronProtocol, StoreInvalidatesAllSharers) {
+  Machine m(MakeOpteron());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kLoad);
+  d.Do(1, 100, AccessType::kLoad);
+  d.Do(6, 100, AccessType::kLoad);
+  d.Do(2, 100, AccessType::kStore);
+  EXPECT_EQ(m.PrivateState(2, 100), LineState::kModified);
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kInvalid);
+  EXPECT_EQ(m.PrivateState(1, 100), LineState::kInvalid);
+  EXPECT_EQ(m.PrivateState(6, 100), LineState::kInvalid);
+}
+
+TEST(OpteronProtocol, StoreOnSharedBroadcastsEvenWithinDie) {
+  // The probe filter does not track sharers: a store on a shared line pays a
+  // system-wide broadcast even when all sharers sit on the same die
+  // (Section 5.2: ~3x the directed-store latency).
+  Machine m(MakeOpteron());
+  Driver d(&m);
+  d.Do(1, 100, AccessType::kLoad);
+  d.Do(2, 100, AccessType::kLoad);
+  const std::uint64_t broadcasts_before = m.stats().broadcasts;
+  const AccessResult shared_store = d.Do(0, 100, AccessType::kStore);
+  EXPECT_EQ(m.stats().broadcasts, broadcasts_before + 1);
+
+  d.Do(1, 200, AccessType::kStore);  // single remote owner, not shared
+  const AccessResult directed_store = d.Do(0, 200, AccessType::kStore);
+  EXPECT_EQ(m.stats().broadcasts, broadcasts_before + 1);  // no new broadcast
+  EXPECT_GT(shared_store.latency, 2 * directed_store.latency);
+}
+
+TEST(OpteronProtocol, ExclusiveUpgradesSilently) {
+  Machine m(MakeOpteron());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kLoad);  // E
+  const AccessResult r = d.Do(0, 100, AccessType::kStore);
+  EXPECT_EQ(r.source, Source::kL1);
+  EXPECT_EQ(r.latency, m.spec().l1_lat);
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kModified);
+}
+
+TEST(OpteronProtocol, PrefetchwGrabsModified) {
+  Machine m(MakeOpteron());
+  Driver d(&m);
+  d.Do(1, 100, AccessType::kLoad);
+  d.Do(2, 100, AccessType::kLoad);
+  m.PrefetchwAt(0, 100, 5 * kGap);
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kModified);
+  EXPECT_EQ(m.PrivateState(1, 100), LineState::kInvalid);
+  // The next store by cpu 0 is a cheap local hit.
+  const AccessResult r = d.Do(0, 100, AccessType::kStore);
+  EXPECT_EQ(r.source, Source::kL1);
+}
+
+TEST(OpteronProtocol, L2CapacityEvictionDropsOwnership) {
+  PlatformSpec spec = MakeOpteron();
+  spec.l1_lines = 2;
+  spec.l2_lines = 2;
+  Machine m(spec);
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kStore);
+  // Push four more lines through: line 100 falls out of both levels.
+  for (LineAddr line = 101; line <= 104; ++line) {
+    d.Do(0, line, AccessType::kStore);
+  }
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kInvalid);
+  const LineInfo* li = m.FindLine(100);
+  ASSERT_NE(li, nullptr);
+  EXPECT_EQ(li->owner, kNoCpu);  // written back; probe-filter entry dropped
+}
+
+TEST(OpteronProtocol, BusyWindowSerializesSameLineTransactions) {
+  Machine m(MakeOpteron());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kStore);
+  // Two RFOs issued at the same instant from different dies: the second one
+  // stalls for the first one's serialization window (half its latency).
+  const AccessResult first = d.Do(6, 100, AccessType::kFai);
+  const AccessResult second = d.DoAtSameTime(12, 100, AccessType::kFai);
+  EXPECT_EQ(first.stall, 0u);
+  EXPECT_GE(second.stall, first.latency / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Xeon (MESIF, snoop, inclusive LLC)
+// ---------------------------------------------------------------------------
+
+TEST(XeonProtocol, InclusiveLlcTracksEveryFill) {
+  Machine m(MakeXeon());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kLoad);
+  EXPECT_NE(m.LlcState(0, 100), LineState::kInvalid);
+  EXPECT_EQ(m.LlcState(1, 100), LineState::kInvalid);
+}
+
+TEST(XeonProtocol, RemoteLoadOfModifiedDowngradesViaLlc) {
+  Machine m(MakeXeon());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kStore);
+  const AccessResult r = d.Do(10, 100, AccessType::kLoad);  // socket 1
+  EXPECT_EQ(r.source, Source::kPeerRemote);
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kShared);
+  EXPECT_EQ(m.PrivateState(10, 100), LineState::kShared);
+  // Dirty data now lives in the previous owner's inclusive LLC.
+  EXPECT_EQ(m.LlcState(0, 100), LineState::kModified);
+}
+
+TEST(XeonProtocol, InSocketStoreAvoidsCrossSocketSnoop) {
+  Machine m(MakeXeon());
+  Driver d(&m);
+  // All sharers within socket 0.
+  d.Do(1, 100, AccessType::kLoad);
+  d.Do(2, 100, AccessType::kLoad);
+  const AccessResult local = d.Do(0, 100, AccessType::kStore);
+  EXPECT_EQ(local.source, Source::kLlcLocal);
+
+  // One sharer on a remote socket forces the snoop broadcast.
+  d.Do(1, 200, AccessType::kLoad);
+  d.Do(10, 200, AccessType::kLoad);
+  const AccessResult remote = d.Do(0, 200, AccessType::kStore);
+  EXPECT_EQ(remote.source, Source::kPeerRemote);
+  EXPECT_GT(remote.latency, 2 * local.latency);
+}
+
+TEST(XeonProtocol, RemoteSharedLoadServedByForwardingLlc) {
+  Machine m(MakeXeon());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kLoad);
+  d.Do(1, 100, AccessType::kLoad);
+  const AccessResult r = d.Do(10, 100, AccessType::kLoad);
+  EXPECT_EQ(r.source, Source::kLlcRemote);  // served by the F-holder LLC, not DRAM
+  m.SetHome(999, 0);
+  const AccessResult ram = d.Do(20, 999, AccessType::kLoad);  // socket 2 -> home 0
+  EXPECT_EQ(ram.source, Source::kMemRemote);
+  EXPECT_GT(ram.latency, r.latency);
+}
+
+TEST(XeonProtocol, LlcEvictionBackInvalidatesTheSocket) {
+  PlatformSpec spec = MakeXeon();
+  spec.llc_lines = 2;
+  Machine m(spec);
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kLoad);
+  d.Do(1, 101, AccessType::kLoad);
+  d.Do(2, 102, AccessType::kLoad);  // evicts line 100 from the inclusive LLC
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kInvalid);
+  EXPECT_EQ(m.LlcState(0, 100), LineState::kInvalid);
+}
+
+// ---------------------------------------------------------------------------
+// Niagara (uniform, write-through L1, duplicate-tag directory)
+// ---------------------------------------------------------------------------
+
+TEST(NiagaraProtocol, SameCoreStrandsShareTheL1) {
+  Machine m(MakeNiagara());
+  Driver d(&m);
+  d.Do(1, 100, AccessType::kStore);  // strand 1 of core 0
+  const AccessResult r = d.Do(0, 100, AccessType::kLoad);  // strand 0, same L1
+  EXPECT_EQ(r.source, Source::kL1);
+  EXPECT_EQ(r.latency, m.spec().l1_lat);
+}
+
+TEST(NiagaraProtocol, CrossCoreLoadCostsTheLlc) {
+  Machine m(MakeNiagara());
+  Driver d(&m);
+  d.Do(8, 100, AccessType::kStore);  // core 1
+  const AccessResult r = d.Do(0, 100, AccessType::kLoad);
+  EXPECT_EQ(r.source, Source::kLlcLocal);
+  EXPECT_EQ(r.latency, m.spec().llc_lat);
+}
+
+TEST(NiagaraProtocol, StoreInvalidatesOtherCoresL1Copies) {
+  Machine m(MakeNiagara());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kLoad);
+  d.Do(8, 100, AccessType::kLoad);
+  d.Do(16, 100, AccessType::kStore);  // core 2 writes through
+  EXPECT_EQ(m.PrivateState(0, 100), LineState::kInvalid);
+  EXPECT_EQ(m.PrivateState(8, 100), LineState::kInvalid);
+  EXPECT_NE(m.PrivateState(16, 100), LineState::kInvalid);  // writer allocates
+}
+
+TEST(NiagaraProtocol, StoresAlwaysCostTheLlc) {
+  Machine m(MakeNiagara());
+  Driver d(&m);
+  d.Do(0, 100, AccessType::kStore);
+  const AccessResult again = d.Do(0, 100, AccessType::kStore);  // write-through
+  EXPECT_EQ(again.latency, m.spec().llc_lat);
+}
+
+TEST(NiagaraProtocol, HardwareTasIsCheaperThanCasBasedFai) {
+  Machine m(MakeNiagara());
+  Driver d(&m);
+  d.Do(8, 100, AccessType::kStore);
+  const AccessResult tas = d.Do(0, 100, AccessType::kTas);
+  d.Do(8, 200, AccessType::kStore);
+  const AccessResult fai = d.Do(0, 200, AccessType::kFai);
+  EXPECT_LT(tas.latency, fai.latency);  // Section 5.4: SPARC TAS is native
+}
+
+// ---------------------------------------------------------------------------
+// Tilera (distributed directory, home tiles, mesh distance)
+// ---------------------------------------------------------------------------
+
+TEST(TileraProtocol, FirstTouchSetsHomeTile) {
+  Machine m(MakeTilera());
+  Driver d(&m);
+  d.Do(7, 100, AccessType::kLoad);
+  const LineInfo* li = m.FindLine(100);
+  ASSERT_NE(li, nullptr);
+  EXPECT_EQ(li->home, 7);
+}
+
+TEST(TileraProtocol, RemoteLatencyGrowsWithMeshDistance) {
+  Machine m(MakeTilera());
+  Driver d(&m);
+  m.SetHome(100, 0);
+  d.Do(0, 100, AccessType::kStore);
+  const AccessResult near = d.Do(1, 100, AccessType::kLoad);    // 1 hop
+  m.FlushLine(100);
+  d.Do(0, 100, AccessType::kStore);
+  const AccessResult far = d.Do(35, 100, AccessType::kLoad);    // 10 hops
+  EXPECT_GT(far.latency, near.latency);
+  EXPECT_LE(far.latency, near.latency + 25);  // ~2 cycles per hop
+}
+
+TEST(TileraProtocol, HomeTileLoadIsLocalSlice) {
+  Machine m(MakeTilera());
+  Driver d(&m);
+  m.SetHome(100, 5);
+  d.Do(5, 100, AccessType::kLoad);   // fill
+  m.FindLine(100);
+  d.Do(35, 100, AccessType::kLoad);  // a remote sharer
+  d.Do(5, 200, AccessType::kLoad);   // displace nothing; sanity
+  const AccessResult r = d.Do(5, 100, AccessType::kLoad);
+  EXPECT_EQ(r.source, Source::kL1);  // home tile kept its L1 copy
+}
+
+TEST(TileraProtocol, StoreInvalidatesRemoteSharers) {
+  Machine m(MakeTilera());
+  Driver d(&m);
+  m.SetHome(100, 0);
+  d.Do(1, 100, AccessType::kLoad);
+  d.Do(2, 100, AccessType::kLoad);
+  d.Do(3, 100, AccessType::kStore);
+  EXPECT_EQ(m.PrivateState(1, 100), LineState::kInvalid);
+  EXPECT_EQ(m.PrivateState(2, 100), LineState::kInvalid);
+}
+
+TEST(TileraProtocol, FaiIsTheCheapAtomic) {
+  Machine m(MakeTilera());
+  Driver d(&m);
+  m.SetHome(100, 0);
+  d.Do(0, 100, AccessType::kStore);
+  const AccessResult fai = d.Do(1, 100, AccessType::kFai);
+  m.FlushLine(100);
+  d.Do(0, 100, AccessType::kStore);
+  const AccessResult cas = d.Do(1, 100, AccessType::kCas);
+  EXPECT_LT(fai.latency, cas.latency);  // Section 5.4 / Table 2
+}
+
+TEST(TileraProtocol, HardwareMessagePassingDeliversInOrder) {
+  // Covered end-to-end in mp_test.cc; here: the machine-level queue exists.
+  Machine m(MakeTilera());
+  EXPECT_TRUE(m.has_hw_mp());
+  EXPECT_FALSE(Machine(MakeOpteron()).has_hw_mp());
+}
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,154 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssync {
+namespace {
+
+TEST(Engine, RunsAllFibers) {
+  Engine eng(4);
+  int done = 0;
+  for (CpuId cpu = 0; cpu < 4; ++cpu) {
+    eng.Spawn(cpu, [&done] { ++done; });
+  }
+  eng.Run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(Engine, ExecutesInVirtualTimeOrder) {
+  // Each cpu stamps the global order at a distinct virtual time; the engine
+  // must interleave them by clock, not by spawn order.
+  Engine eng(3);
+  std::vector<int> order;
+  eng.Spawn(0, [&] {
+    Engine::Current()->Advance(300);
+    order.push_back(0);
+  });
+  eng.Spawn(1, [&] {
+    Engine::Current()->Advance(100);
+    order.push_back(1);
+  });
+  eng.Spawn(2, [&] {
+    Engine::Current()->Advance(200);
+    order.push_back(2);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(Engine, InterleavesFineGrainedAdvances) {
+  Engine eng(2);
+  std::vector<std::pair<int, Cycles>> trace;
+  auto worker = [&](int id) {
+    return [&, id] {
+      for (int i = 0; i < 5; ++i) {
+        Engine* e = Engine::Current();
+        e->SyncPoint();
+        trace.emplace_back(id, e->now());
+        e->Advance(10);
+      }
+    };
+  };
+  eng.Spawn(0, worker(0));
+  eng.Spawn(1, worker(1));
+  eng.Run();
+  // Trace timestamps must be globally non-decreasing.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].second, trace[i - 1].second);
+  }
+  EXPECT_EQ(trace.size(), 10u);
+}
+
+TEST(Engine, ClockAccumulates) {
+  Engine eng(1);
+  eng.Spawn(0, [] {
+    Engine::Current()->Advance(123);
+    Engine::Current()->Advance(877);
+  });
+  eng.Run();
+  EXPECT_EQ(eng.cpu_clock(0), 1000u);
+  EXPECT_EQ(eng.end_time(), 1000u);
+}
+
+TEST(Engine, StopAtFlipsShouldStop) {
+  Engine eng(2);
+  std::vector<Cycles> stops(2, 0);
+  for (CpuId cpu = 0; cpu < 2; ++cpu) {
+    eng.Spawn(cpu, [&, cpu] {
+      Engine* e = Engine::Current();
+      while (!e->ShouldStop()) {
+        e->Advance(50);
+      }
+      stops[cpu] = e->now();
+    });
+  }
+  eng.StopAt(1000);
+  eng.Run();
+  // The first cpu to cross the deadline flips the flag; peers observe it at
+  // their next poll, at most one step earlier/later.
+  for (const Cycles t : stops) {
+    EXPECT_GE(t, 950u);
+    EXPECT_LE(t, 1100u);
+  }
+}
+
+TEST(Engine, ParkUnparkHandoff) {
+  Engine eng(2);
+  std::vector<int> order;
+  eng.Spawn(0, [&] {
+    order.push_back(1);
+    Engine::Current()->Park();
+    order.push_back(3);
+  });
+  eng.Spawn(1, [&] {
+    Engine::Current()->Advance(500);
+    order.push_back(2);
+    Engine::Current()->Unpark(0, Engine::Current()->now() + 100);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_GE(eng.cpu_clock(0), 600u);
+}
+
+TEST(Engine, UnparkBeforeParkLeavesPermit) {
+  Engine eng(2);
+  bool woke = false;
+  eng.Spawn(0, [&] {
+    Engine::Current()->Advance(1000);  // park late
+    Engine::Current()->Park();         // permit already posted: no block
+    woke = true;
+  });
+  eng.Spawn(1, [&] { Engine::Current()->Unpark(0, 10); });
+  eng.Run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(Engine, DeadlockAborts) {
+  EXPECT_DEATH(
+      {
+        Engine eng(1);
+        eng.Spawn(0, [] { Engine::Current()->Park(); });
+        eng.Run();
+      },
+      "deadlock");
+}
+
+TEST(Engine, WakeTimeRespectsUnparkerClock) {
+  Engine eng(2);
+  Cycles wake_time = 0;
+  eng.Spawn(0, [&] {
+    Engine::Current()->Park();
+    wake_time = Engine::Current()->now();
+  });
+  eng.Spawn(1, [] {
+    Engine::Current()->Advance(5000);
+    Engine::Current()->Unpark(0, Engine::Current()->now() + 700);
+  });
+  eng.Run();
+  EXPECT_EQ(wake_time, 5700u);
+}
+
+}  // namespace
+}  // namespace ssync

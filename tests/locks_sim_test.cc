@@ -1,0 +1,267 @@
+// Lock correctness on the simulated machines: mutual exclusion, progress,
+// fairness, and hierarchical handoff behavior — parameterized over
+// (platform x lock algorithm).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/mem_sim.h"
+#include "src/core/runtime_sim.h"
+#include "src/locks/locks.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+namespace {
+
+using Param = std::tuple<PlatformKind, LockKind>;
+
+class LockSimTest : public ::testing::TestWithParam<Param> {
+ protected:
+  PlatformSpec spec_ = MakePlatform(std::get<0>(GetParam()));
+  LockKind kind_ = std::get<1>(GetParam());
+
+  bool Applicable() const {
+    return !(IsHierarchical(kind_) && spec_.num_sockets == 1);
+  }
+};
+
+TEST_P(LockSimTest, MutualExclusionAndCounter) {
+  if (!Applicable()) {
+    GTEST_SKIP() << "hierarchical locks are not used on single-sockets";
+  }
+  SimRuntime rt(spec_);
+  const int threads = std::min(12, spec_.num_cpus);
+  constexpr int kIters = 40;
+  const LockTopology topo = LockTopology::ForPlatform(spec_, threads);
+
+  WithLock<SimMem>(kind_, topo, TicketOptions{}, [&](auto& lock) {
+    int in_cs = 0;
+    bool violation = false;
+    std::uint64_t counter = 0;  // plain: only correct if the lock works
+    rt.Run(threads, [&](int) {
+      for (int i = 0; i < kIters; ++i) {
+        lock.Lock();
+        if (++in_cs != 1) {
+          violation = true;  // two threads inside the critical section
+        }
+        SimMem::Compute(30);  // yields: exposes broken exclusion
+        const std::uint64_t v = counter;
+        SimMem::Compute(10);
+        counter = v + 1;
+        --in_cs;
+        lock.Unlock();
+        SimMem::Pause(20);
+      }
+    });
+    EXPECT_FALSE(violation);
+    EXPECT_EQ(counter, static_cast<std::uint64_t>(threads) * kIters);
+  });
+}
+
+TEST_P(LockSimTest, AllThreadsMakeProgress) {
+  if (!Applicable()) {
+    GTEST_SKIP();
+  }
+  SimRuntime rt(spec_);
+  const int threads = std::min(8, spec_.num_cpus);
+  const LockTopology topo = LockTopology::ForPlatform(spec_, threads);
+  WithLock<SimMem>(kind_, topo, TicketOptions{}, [&](auto& lock) {
+    std::vector<std::uint64_t> acquisitions(threads, 0);
+    rt.RunFor(threads, 400000, [&](int tid) {
+      while (!SimMem::ShouldStop()) {
+        lock.Lock();
+        SimMem::Compute(20);
+        lock.Unlock();
+        ++acquisitions[tid];
+        SimMem::Pause(40);
+      }
+    });
+    for (int tid = 0; tid < threads; ++tid) {
+      EXPECT_GT(acquisitions[tid], 0u) << "thread " << tid << " starved";
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatformsAllLocks, LockSimTest,
+    ::testing::Combine(::testing::Values(PlatformKind::kOpteron, PlatformKind::kXeon,
+                                         PlatformKind::kNiagara, PlatformKind::kTilera),
+                       ::testing::ValuesIn(std::vector<LockKind>(
+                           std::begin(kAllLockKinds), std::end(kAllLockKinds)))),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return MakePlatform(std::get<0>(info.param)).name + std::string("_") +
+             ToString(std::get<1>(info.param));
+    });
+
+TEST(TicketLockSim, FifoOrder) {
+  // Threads arrive at a held lock at staggered times; a ticket lock must
+  // grant the lock in arrival order.
+  SimRuntime rt(MakeOpteron());
+  constexpr int kThreads = 6;
+  const LockTopology topo = LockTopology::ForPlatform(rt.spec(), kThreads);
+  TicketLock<SimMem> lock(topo);
+  std::vector<int> order;
+  rt.Run(kThreads, [&](int tid) {
+    SimMem::Compute(1 + 3000 * static_cast<Cycles>(tid));  // staggered arrival
+    lock.Lock();
+    order.push_back(tid);
+    SimMem::Compute(50000);  // hold long enough that all later threads queue
+    lock.Unlock();
+  });
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kThreads));
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(QueueLocksSim, FifoOrderMcsClhArray) {
+  for (const LockKind kind : {LockKind::kMcs, LockKind::kClh, LockKind::kArray}) {
+    SimRuntime rt(MakeXeon());
+    constexpr int kThreads = 5;
+    const LockTopology topo = LockTopology::ForPlatform(rt.spec(), kThreads);
+    WithLock<SimMem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+      std::vector<int> order;
+      rt.Run(kThreads, [&](int tid) {
+        SimMem::Compute(1 + 5000 * static_cast<Cycles>(tid));
+        lock.Lock();
+        order.push_back(tid);
+        SimMem::Compute(80000);
+        lock.Unlock();
+      });
+      ASSERT_EQ(order.size(), static_cast<std::size_t>(kThreads)) << ToString(kind);
+      for (int i = 0; i < kThreads; ++i) {
+        EXPECT_EQ(order[i], i) << ToString(kind);
+      }
+    });
+  }
+}
+
+TEST(TryLockSim, SemanticsAcrossKinds) {
+  SimRuntime rt(MakeNiagara());
+  const LockTopology topo = LockTopology::ForPlatform(rt.spec(), 2);
+  TasLock<SimMem> tas;
+  TtasLock<SimMem> ttas;
+  TicketLock<SimMem> ticket(topo);
+  MutexLock<SimMem> mutex;
+  rt.Run(1, [&](int) {
+    EXPECT_TRUE(tas.TryLock());
+    EXPECT_FALSE(tas.TryLock());
+    tas.Unlock();
+    EXPECT_TRUE(tas.TryLock());
+    tas.Unlock();
+
+    EXPECT_TRUE(ttas.TryLock());
+    EXPECT_FALSE(ttas.TryLock());
+    ttas.Unlock();
+
+    EXPECT_TRUE(ticket.TryLock());
+    EXPECT_FALSE(ticket.TryLock());
+    ticket.Unlock();
+    EXPECT_TRUE(ticket.TryLock());
+    ticket.Unlock();
+
+    EXPECT_TRUE(mutex.TryLock());
+    EXPECT_FALSE(mutex.TryLock());
+    mutex.Unlock();
+  });
+}
+
+TEST(MutexSim, ParksUnderContention) {
+  // With a long critical section, waiters must park rather than burn cycles;
+  // both must be woken and complete.
+  SimRuntime rt(MakeOpteron());
+  MutexLock<SimMem> mutex;
+  int completed = 0;
+  rt.Run(3, [&](int) {
+    for (int i = 0; i < 5; ++i) {
+      mutex.Lock();
+      SimMem::Compute(20000);  // much longer than the adaptive spin
+      mutex.Unlock();
+      SimMem::Pause(100);
+    }
+    ++completed;
+  });
+  EXPECT_EQ(completed, 3);
+}
+
+TEST(CohortLocksSim, HandoffPrefersLocalSocket) {
+  // With threads on two sockets contending on a hierarchical lock, most
+  // consecutive acquisitions should stay within one socket (local handoff).
+  const PlatformSpec spec = MakeXeon();
+  SimRuntime rt(spec);
+  constexpr int kThreads = 20;  // sockets 0 and 1
+  const LockTopology topo = LockTopology::ForPlatform(spec, kThreads);
+  HticketLock<SimMem> lock(topo);
+  std::vector<int> socket_order;
+  rt.RunFor(kThreads, 2000000, [&](int tid) {
+    while (!SimMem::ShouldStop()) {
+      lock.Lock();
+      socket_order.push_back(topo.cluster_of[tid]);
+      SimMem::Compute(200);
+      lock.Unlock();
+      SimMem::Pause(50);
+    }
+  });
+  ASSERT_GT(socket_order.size(), 100u);
+  int same = 0;
+  for (std::size_t i = 1; i < socket_order.size(); ++i) {
+    same += socket_order[i] == socket_order[i - 1] ? 1 : 0;
+  }
+  const double local_fraction =
+      static_cast<double>(same) / static_cast<double>(socket_order.size() - 1);
+  EXPECT_GT(local_fraction, 0.8);
+}
+
+TEST(CohortLocksSim, HandoffBudgetPreventsStarvation) {
+  const PlatformSpec spec = MakeOpteron();
+  SimRuntime rt(spec);
+  constexpr int kThreads = 12;  // dies 0 and 1
+  const LockTopology topo = LockTopology::ForPlatform(spec, kThreads);
+  HclhLock<SimMem> lock(topo);
+  std::vector<std::uint64_t> acq(kThreads, 0);
+  rt.RunFor(kThreads, 3000000, [&](int tid) {
+    while (!SimMem::ShouldStop()) {
+      lock.Lock();
+      SimMem::Compute(100);
+      lock.Unlock();
+      ++acq[tid];
+      SimMem::Pause(50);
+    }
+  });
+  for (int tid = 0; tid < kThreads; ++tid) {
+    EXPECT_GT(acq[tid], 0u) << "thread " << tid << " starved across sockets";
+  }
+}
+
+TEST(TicketLockSim, PrefetchwKeepsReleaseLocal) {
+  // With prefetchw, spinners hold the lock line in Modified state, so the
+  // Opteron release-store never broadcasts (Section 5.3).
+  const PlatformSpec spec = MakeOpteron();
+  auto run = [&](bool prefetchw) {
+    SimRuntime rt(spec);
+    TicketOptions options;
+    options.proportional_backoff = true;
+    options.prefetchw = prefetchw;
+    const LockTopology topo = LockTopology::ForPlatform(spec, 6);
+    TicketLock<SimMem> lock(topo, options);
+    rt.machine().ResetStats();
+    rt.RunFor(6, 500000, [&](int) {
+      while (!SimMem::ShouldStop()) {
+        lock.Lock();
+        SimMem::Compute(100);
+        lock.Unlock();
+        SimMem::Pause(60);
+      }
+    });
+    return rt.machine().stats().broadcasts;
+  };
+  const std::uint64_t without = run(false);
+  const std::uint64_t with = run(true);
+  EXPECT_LT(with, without / 4 + 1);
+}
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,161 @@
+#include "src/platform/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ssync {
+namespace {
+
+TEST(Platform, Table1Geometry) {
+  const PlatformSpec opteron = MakeOpteron();
+  EXPECT_EQ(opteron.num_cpus, 48);
+  EXPECT_EQ(opteron.num_sockets, 8);  // dies
+  EXPECT_EQ(opteron.cores_per_socket, 6);
+
+  const PlatformSpec xeon = MakeXeon();
+  EXPECT_EQ(xeon.num_cpus, 80);
+  EXPECT_EQ(xeon.num_sockets, 8);
+  EXPECT_EQ(xeon.cores_per_socket, 10);
+
+  const PlatformSpec niagara = MakeNiagara();
+  EXPECT_EQ(niagara.num_cpus, 64);
+  EXPECT_EQ(niagara.cpus_per_core, 8);
+
+  const PlatformSpec tilera = MakeTilera();
+  EXPECT_EQ(tilera.num_cpus, 36);
+  EXPECT_EQ(tilera.mesh_dim, 6);
+}
+
+TEST(Platform, SocketOfFollowsGeometry) {
+  const PlatformSpec opteron = MakeOpteron();
+  EXPECT_EQ(opteron.SocketOf(0), 0);
+  EXPECT_EQ(opteron.SocketOf(5), 0);
+  EXPECT_EQ(opteron.SocketOf(6), 1);
+  EXPECT_EQ(opteron.SocketOf(47), 7);
+
+  const PlatformSpec niagara = MakeNiagara();
+  EXPECT_EQ(niagara.CoreOf(0), 0);
+  EXPECT_EQ(niagara.CoreOf(7), 0);
+  EXPECT_EQ(niagara.CoreOf(8), 1);
+  EXPECT_TRUE(niagara.SameCore(0, 7));
+  EXPECT_FALSE(niagara.SameCore(7, 8));
+}
+
+TEST(Platform, OpteronDiameterIsTwoHops) {
+  const PlatformSpec s = MakeOpteron();
+  int max_hops = 0;
+  for (int a = 0; a < s.num_sockets; ++a) {
+    EXPECT_EQ(s.HopsBetween(a, a), 0);
+    for (int b = 0; b < s.num_sockets; ++b) {
+      max_hops = std::max(max_hops, s.HopsBetween(a, b));
+      EXPECT_EQ(s.HopsBetween(a, b), s.HopsBetween(b, a));
+    }
+  }
+  EXPECT_EQ(max_hops, 2);
+}
+
+TEST(Platform, OpteronMcmPairsAreTightlyCoupled) {
+  const PlatformSpec s = MakeOpteron();
+  // Dies 0 and 1 form an MCM: cheaper than a regular one-hop link.
+  EXPECT_LT(s.LinkCost(0, 1), s.LinkCost(0, 2));
+  EXPECT_LT(s.LinkCost(0, 2), s.LinkCost(0, 3));  // 2-hop costs the most
+}
+
+TEST(Platform, XeonTwistedHypercubeDiameterTwo) {
+  const PlatformSpec s = MakeXeon();
+  int ones = 0;
+  int twos = 0;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const int h = s.HopsBetween(a, b);
+      EXPECT_GE(h, 1);
+      EXPECT_LE(h, 2);
+      (h == 1 ? ones : twos) += 1;
+    }
+  }
+  EXPECT_EQ(ones, 8 * 3);  // 3 QPI neighbors per socket
+  EXPECT_EQ(twos, 8 * 4);
+}
+
+TEST(Platform, TileraMeshManhattanDistance) {
+  const PlatformSpec s = MakeTilera();
+  EXPECT_EQ(s.MeshHops(0, 0), 0);
+  EXPECT_EQ(s.MeshHops(0, 1), 1);
+  EXPECT_EQ(s.MeshHops(0, 6), 1);   // one row down
+  EXPECT_EQ(s.MeshHops(0, 7), 2);
+  EXPECT_EQ(s.MeshHops(0, 35), 10);  // corner to corner on the 6x6 mesh
+}
+
+TEST(Platform, PlacementFillsSocketsInOrder) {
+  const PlatformSpec s = MakeOpteron();
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(s.SocketOf(s.CpuForThread(t)), 0);
+  }
+  EXPECT_EQ(s.SocketOf(s.CpuForThread(6)), 1);
+  EXPECT_EQ(s.SocketOf(s.CpuForThread(47)), 7);
+}
+
+TEST(Platform, NiagaraPlacementRoundRobinAcrossCores) {
+  const PlatformSpec s = MakeNiagara();
+  // The first 8 threads land on 8 distinct physical cores (Section 5.4).
+  std::set<int> cores;
+  for (int t = 0; t < 8; ++t) {
+    cores.insert(s.CoreOf(s.CpuForThread(t)));
+  }
+  EXPECT_EQ(cores.size(), 8u);
+  // Thread 8 wraps around to core 0, strand 1.
+  EXPECT_EQ(s.CoreOf(s.CpuForThread(8)), 0);
+  EXPECT_NE(s.CpuForThread(8), s.CpuForThread(0));
+}
+
+TEST(Platform, PlacementIsInjective) {
+  for (const PlatformKind kind : MainPlatforms()) {
+    const PlatformSpec s = MakePlatform(kind);
+    std::set<CpuId> cpus;
+    for (int t = 0; t < s.num_cpus; ++t) {
+      cpus.insert(s.CpuForThread(t));
+    }
+    EXPECT_EQ(static_cast<int>(cpus.size()), s.num_cpus) << s.name;
+  }
+}
+
+TEST(Platform, DistanceCasesMatchClasses) {
+  const PlatformSpec opteron = MakeOpteron();
+  const auto cases = DistanceCases(opteron);
+  ASSERT_EQ(cases.size(), 4u);
+  EXPECT_EQ(opteron.SocketOf(cases[0].partner), 0);                    // same die
+  EXPECT_EQ(opteron.SocketOf(cases[1].partner), 1);                    // same MCM
+  EXPECT_EQ(opteron.HopsBetween(0, opteron.SocketOf(cases[2].partner)), 1);
+  EXPECT_EQ(opteron.HopsBetween(0, opteron.SocketOf(cases[3].partner)), 2);
+
+  const PlatformSpec tilera = MakeTilera();
+  const auto tcases = DistanceCases(tilera);
+  EXPECT_EQ(tilera.MeshHops(0, tcases[0].partner), 1);
+  EXPECT_EQ(tilera.MeshHops(0, tcases[1].partner), 10);
+}
+
+TEST(Platform, MakePlatformByNameRoundTrips) {
+  EXPECT_EQ(MakePlatformByName("opteron").kind, PlatformKind::kOpteron);
+  EXPECT_EQ(MakePlatformByName("xeon").kind, PlatformKind::kXeon);
+  EXPECT_EQ(MakePlatformByName("niagara").kind, PlatformKind::kNiagara);
+  EXPECT_EQ(MakePlatformByName("tilera").kind, PlatformKind::kTilera);
+  EXPECT_EQ(MakePlatformByName("opteron2").num_sockets, 2);
+  EXPECT_EQ(MakePlatformByName("xeon2").num_sockets, 2);
+}
+
+TEST(Platform, MemNodeFirstTouchMapping) {
+  const PlatformSpec opteron = MakeOpteron();
+  EXPECT_EQ(opteron.MemNodeOf(0), 0);
+  EXPECT_EQ(opteron.MemNodeOf(47), 7);
+  const PlatformSpec tilera = MakeTilera();
+  EXPECT_EQ(tilera.MemNodeOf(17), 17);  // home slice == tile
+  const PlatformSpec niagara = MakeNiagara();
+  EXPECT_EQ(niagara.MemNodeOf(63), 0);  // single memory node
+}
+
+}  // namespace
+}  // namespace ssync

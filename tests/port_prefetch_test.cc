@@ -1,0 +1,377 @@
+// Tests for the coherence-port occupancy model, the polling loads, and the
+// asynchronous prefetches — the mechanisms behind the multi-socket
+// saturation cliffs (Figures 3, 8, 11) and the Section-5.3 prefetchw
+// optimizations.
+#include <gtest/gtest.h>
+
+#include "src/ccsim/machine.h"
+#include "src/core/mem_sim.h"
+#include "src/core/runtime_sim.h"
+#include "src/mp/ssmp.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Coherence-port occupancy (pure state-machine API)
+// ---------------------------------------------------------------------------
+
+TEST(PortOccupancy, XeonOffSocketStoresQueueAtSnoopPorts) {
+  Machine m(MakeXeon());
+  // Two independent lines, each shared across sockets so that a store
+  // broadcasts a snoop.
+  for (const LineAddr line : {LineAddr{100}, LineAddr{200}}) {
+    m.AccessAt(0, line, AccessType::kLoad, 0);
+    m.AccessAt(12, line, AccessType::kLoad, 1000);  // socket 1
+  }
+  // Simultaneous off-socket stores on the two lines: distinct lines, but
+  // both must broadcast, so the second queues at the snoop ports.
+  const AccessResult first = m.AccessAt(24, 100, AccessType::kStore, 50000);
+  const AccessResult second = m.AccessAt(36, 200, AccessType::kStore, 50000);
+  EXPECT_EQ(first.stall, 0u);
+  EXPECT_GE(second.stall, MakeXeon().port_service);
+}
+
+TEST(PortOccupancy, XeonInSocketStoreAvoidsThePorts) {
+  Machine m(MakeXeon());
+  // Both lines cached only within socket 0 (cpus 0 and 1).
+  for (const LineAddr line : {LineAddr{100}, LineAddr{200}}) {
+    m.AccessAt(0, line, AccessType::kLoad, 0);
+    m.AccessAt(1, line, AccessType::kLoad, 1000);
+  }
+  const AccessResult first = m.AccessAt(0, 100, AccessType::kStore, 50000);
+  const AccessResult second = m.AccessAt(1, 200, AccessType::kStore, 50000);
+  EXPECT_EQ(first.source, Source::kLlcLocal);  // footnote 7: no cross-socket snoop
+  EXPECT_EQ(first.stall, 0u);
+  EXPECT_EQ(second.stall, 0u);
+}
+
+TEST(PortOccupancy, OpteronBroadcastClaimsEveryNode) {
+  Machine m(MakeOpteron());
+  // Line 100 shared by two dies: a store on it must broadcast.
+  m.AccessAt(0, 100, AccessType::kLoad, 0);
+  m.AccessAt(6, 100, AccessType::kLoad, 1000);
+  // Line 200 owned solely by cpu 40 (die 6): a store by cpu 46 (die 7) is a
+  // directed probe-invalidate involving only the home and owner dies.
+  m.AccessAt(40, 200, AccessType::kStore, 2000);
+
+  const AccessResult broadcast = m.AccessAt(12, 100, AccessType::kStore, 50000);
+  EXPECT_EQ(broadcast.stall, 0u);
+  // The directed store's home/owner dies were claimed by the broadcast, so
+  // it queues behind it.
+  const AccessResult directed = m.AccessAt(46, 200, AccessType::kStore, 50000);
+  EXPECT_GE(directed.stall, MakeOpteron().port_service);
+}
+
+TEST(PortOccupancy, QueueDrainsWhenTrafficIsSpaced) {
+  Machine m(MakeXeon());
+  for (const LineAddr line : {LineAddr{100}, LineAddr{200}}) {
+    m.AccessAt(0, line, AccessType::kLoad, 0);
+    m.AccessAt(12, line, AccessType::kLoad, 1000);
+  }
+  m.AccessAt(24, 100, AccessType::kStore, 50000);
+  // Far enough in the future that every port is free again.
+  const AccessResult spaced = m.AccessAt(36, 200, AccessType::kStore, 90000);
+  EXPECT_EQ(spaced.stall, 0u);
+}
+
+TEST(PortOccupancy, NiagaraCrossbarHasNoPortBottleneck) {
+  Machine m(MakeNiagara());
+  ASSERT_EQ(MakeNiagara().port_service, 0u);
+  // Two cross-core misses on distinct lines at the same instant: the banked
+  // crossbar LLC serves both without queueing.
+  m.AccessAt(0, 100, AccessType::kStore, 0);
+  m.AccessAt(8, 200, AccessType::kStore, 0);
+  const AccessResult a = m.AccessAt(16, 100, AccessType::kLoad, 50000);
+  const AccessResult b = m.AccessAt(24, 200, AccessType::kLoad, 50000);
+  EXPECT_EQ(a.stall, 0u);
+  EXPECT_EQ(b.stall, 0u);
+}
+
+TEST(PortOccupancy, TileraRequestsSerializeAtTheHomeTile) {
+  const PlatformSpec spec = MakeTilera();
+  Machine m(spec);
+  // Both lines homed on tile 0 (first touch), then cached there.
+  m.AccessAt(0, 100, AccessType::kStore, 0);
+  m.AccessAt(0, 200, AccessType::kStore, 1000);
+  // Two remote tiles hit the same home slice at the same instant.
+  const AccessResult a = m.AccessAt(10, 100, AccessType::kLoad, 50000);
+  const AccessResult b = m.AccessAt(20, 200, AccessType::kLoad, 50000);
+  EXPECT_EQ(a.stall, 0u);
+  EXPECT_GE(b.stall, spec.port_service);
+}
+
+TEST(PortOccupancy, TileraDistinctHomeTilesDoNotInterfere) {
+  Machine m(MakeTilera());
+  m.AccessAt(0, 100, AccessType::kStore, 0);  // homed on tile 0
+  m.AccessAt(1, 200, AccessType::kStore, 0);  // homed on tile 1
+  const AccessResult a = m.AccessAt(10, 100, AccessType::kLoad, 50000);
+  const AccessResult b = m.AccessAt(20, 200, AccessType::kLoad, 50000);
+  EXPECT_EQ(a.stall, 0u);
+  EXPECT_EQ(b.stall, 0u);
+}
+
+TEST(PortOccupancy, UncontendedLatencyIsUnchanged) {
+  // Calibration guard: with no concurrent traffic the port model adds
+  // nothing, so the Table-2 numbers are untouched.
+  Machine m(MakeXeon());
+  m.AccessAt(0, 100, AccessType::kStore, 0);
+  const AccessResult r = m.AccessAt(12, 100, AccessType::kLoad, 50000);
+  EXPECT_EQ(r.stall, 0u);
+  const MachineStats& st = m.stats();
+  EXPECT_EQ(st.port_stall_cycles, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Polling loads (fiber-context API)
+// ---------------------------------------------------------------------------
+
+TEST(PollingLoad, HitCostsTheScanRateNotTheLoadToUseLatency) {
+  SimRuntime rt(MakeXeon());
+  SimMem::Atomic<std::uint64_t> flag{0};
+  rt.Run(1, [&](int) {
+    flag.Load();  // install the line
+    const Cycles t0 = SimMem::Now();
+    for (int i = 0; i < 100; ++i) {
+      flag.LoadPoll();
+    }
+    const Cycles per_poll = (SimMem::Now() - t0) / 100;
+    EXPECT_LT(per_poll, MakeXeon().l1_lat);
+    EXPECT_GE(per_poll, 1u);
+  });
+}
+
+TEST(PollingLoad, MissPaysTheFullCoherenceCost) {
+  SimRuntime rt(MakeXeon());
+  SimMem::Atomic<std::uint64_t> flag{0};
+  rt.Run(2, [&](int tid) {
+    if (tid == 0) {
+      flag.Store(1);  // line Modified at cpu of thread 0
+    }
+  });
+  rt.Run(2, [&](int tid) {
+    if (tid == 1) {
+      const Cycles t0 = SimMem::Now();
+      flag.LoadPoll();
+      EXPECT_GT(SimMem::Now() - t0, 40u);  // a real transfer, not a cheap hit
+    }
+  });
+}
+
+TEST(PollingLoad, RfoPollHoldsTheLineModified) {
+  SimRuntime rt(MakeOpteron());
+  SimMem::Atomic<std::uint64_t> flag{0};
+  rt.Run(2, [&](int tid) {
+    if (tid == 1) {
+      flag.LoadPollRfo();
+    }
+  });
+  // The cpu-to-thread mapping is established by Run().
+  EXPECT_EQ(rt.machine().PrivateState(rt.CpuOfThread(1), LineOf(&flag)),
+            LineState::kModified);
+}
+
+TEST(PollingLoad, RfoPollingAvoidsOpteronBroadcasts) {
+  // Section 5.3: if the receiver maintains the channel line in Modified
+  // state, the sender's store is a directed single-owner invalidation, so
+  // an MP exchange generates no incomplete-directory broadcasts.
+  SimRuntime rt(MakeOpteron());
+  SsmpComm<SimMem> comm(2);
+  rt.machine().ResetStats();
+  rt.Run(2, [&](int tid) {
+    MpMessage m;
+    for (int i = 0; i < 20; ++i) {
+      if (tid == 0) {
+        comm.SendRt(1, m);
+        comm.RecvRt(1, &m);
+      } else {
+        comm.RecvRt(0, &m);
+        comm.SendRt(0, m);
+      }
+    }
+  });
+  EXPECT_EQ(rt.machine().stats().broadcasts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous prefetch
+// ---------------------------------------------------------------------------
+
+TEST(AsyncPrefetch, OverlapsTransferWithComputation) {
+  SimRuntime rt(MakeXeon());
+  SimMem::Atomic<std::uint64_t> var{0};
+  Cycles store_after_overlap = 0;
+  Cycles store_cold = 0;
+
+  rt.Run(2, [&](int tid) {
+    if (tid == 1) {
+      var.Store(1);  // owned far away (cross-socket)
+    }
+  });
+  rt.Run(2, [&](int tid) {
+    if (tid == 0) {
+      SimMem::PrefetchwAsync(&var);
+      SimMem::Compute(2000);  // plenty for the transfer to land
+      const Cycles t0 = SimMem::Now();
+      var.Store(2);
+      store_after_overlap = SimMem::Now() - t0;
+    }
+  });
+
+  SimRuntime rt2(MakeXeon());
+  SimMem::Atomic<std::uint64_t> var2{0};
+  rt2.Run(2, [&](int tid) {
+    if (tid == 1) {
+      var2.Store(1);
+    }
+  });
+  rt2.Run(2, [&](int tid) {
+    if (tid == 0) {
+      SimMem::Compute(2000);
+      const Cycles t0 = SimMem::Now();
+      var2.Store(2);
+      store_cold = SimMem::Now() - t0;
+    }
+  });
+
+  EXPECT_LT(store_after_overlap, 20u);       // lands as a local hit
+  EXPECT_GT(store_cold, 100u);               // full cross-socket RFO
+}
+
+TEST(AsyncPrefetch, CannotConsumeEarlierThanTheTransferCompletes) {
+  SimRuntime rt(MakeXeon());
+  SimMem::Atomic<std::uint64_t> var{0};
+  rt.Run(2, [&](int tid) {
+    if (tid == 1) {
+      var.Store(1);
+    }
+  });
+  rt.Run(2, [&](int tid) {
+    if (tid == 0) {
+      const Cycles t0 = SimMem::Now();
+      SimMem::PrefetchwAsync(&var);
+      var.Store(2);  // immediately: must wait out the in-flight transfer
+      EXPECT_GT(SimMem::Now() - t0, 100u);
+    }
+  });
+}
+
+TEST(AsyncPrefetch, SecondPrefetchWaitsForTheFirst) {
+  // Single outstanding slot: stacking prefetches cannot manufacture
+  // unlimited memory-level parallelism.
+  SimRuntime rt(MakeXeon());
+  SimMem::Atomic<std::uint64_t> a{0};
+  SimMem::Atomic<std::uint64_t> b{0};
+  rt.Run(2, [&](int tid) {
+    if (tid == 1) {
+      a.Store(1);
+      b.Store(1);
+    }
+  });
+  rt.Run(2, [&](int tid) {
+    if (tid == 0) {
+      const Cycles t0 = SimMem::Now();
+      SimMem::PrefetchwAsync(&a);
+      SimMem::PrefetchwAsync(&b);  // waits until a's transfer lands
+      EXPECT_GT(SimMem::Now() - t0, 100u);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip channel API (parity protocol)
+// ---------------------------------------------------------------------------
+
+TEST(SsmpRt, ParityChannelCarriesManyMessagesInOrder) {
+  SimRuntime rt(MakeXeon());
+  SsmpComm<SimMem> comm(2);
+  int mismatches = 0;
+  rt.Run(2, [&](int tid) {
+    MpMessage m;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      if (tid == 0) {
+        m.w[0] = i;
+        m.w[1] = i * i;
+        comm.SendRt(1, m);
+        comm.RecvRt(1, &m);
+        if (m.w[0] != i + 1) {
+          ++mismatches;
+        }
+      } else {
+        comm.RecvRt(0, &m);
+        if (m.w[0] != i || m.w[1] != i * i) {
+          ++mismatches;
+        }
+        m.w[0] = i + 1;
+        comm.SendRt(0, m);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(SsmpRt, IndependentChannelsDoNotInterfere) {
+  // One server, two clients, interleaved round trips: per-channel parities
+  // must not leak across channels.
+  SimRuntime rt(MakeNiagara());
+  SsmpComm<SimMem> comm(3);
+  int errors = 0;
+  rt.Run(3, [&](int tid) {
+    MpMessage m;
+    if (tid == 0) {
+      for (int served = 0; served < 40;) {
+        for (int from = 1; from <= 2; ++from) {
+          if (comm.TryRecvRt(from, &m)) {
+            m.w[1] = m.w[0] * 10;
+            comm.SendRt(from, m);
+            ++served;
+          }
+        }
+        SimMem::Pause(8);
+      }
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        m.w[0] = static_cast<std::uint64_t>(tid * 1000 + i);
+        comm.SendRt(0, m);
+        comm.RecvRt(0, &m);
+        if (m.w[1] != static_cast<std::uint64_t>(tid * 1000 + i) * 10) {
+          ++errors;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(errors, 0);
+}
+
+TEST(SsmpRt, RoundTripCostsAboutFourLineTransfers) {
+  // Section 6.2: "the round-trip case takes approximately four times the
+  // cost of a cache-line transfer". The parity protocol achieves exactly
+  // two transfers per message in steady state.
+  SimRuntime rt(MakeXeon());
+  SsmpComm<SimMem> comm(2);
+  rt.machine().ResetStats();
+  constexpr int kRounds = 50;
+  // Pin the endpoints on different sockets so each message is a genuine
+  // cross-socket cache-line transfer.
+  rt.RunOnCpus({0, 10}, [&](int tid) {
+    MpMessage m;
+    for (int i = 0; i < kRounds; ++i) {
+      if (tid == 0) {
+        comm.SendRt(1, m);
+        comm.RecvRt(1, &m);
+      } else {
+        comm.RecvRt(0, &m);
+        comm.SendRt(0, m);
+      }
+    }
+  });
+  const MachineStats& st = rt.machine().stats();
+  const double transfers_per_round =
+      static_cast<double>(st.peer_transfers) / kRounds;
+  EXPECT_GE(transfers_per_round, 3.0);
+  EXPECT_LE(transfers_per_round, 5.5);
+}
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,214 @@
+// Integration "shape" tests: the paper's headline observations, asserted as
+// code against the simulated platforms. These are the reproduction's core
+// claims — if one of these fails, a figure would disagree with the paper.
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.h"
+#include "src/core/runtime_sim.h"
+#include "src/locks/locks.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+namespace {
+
+constexpr Cycles kShortRun = 600000;
+
+double BestLockMops(SimRuntime& rt, int threads, int num_locks) {
+  double best = 0.0;
+  for (const LockKind kind : LocksForPlatform(rt.spec())) {
+    const StressResult r = LockStress(rt, kind, DefaultTicketOptions(rt.spec()), threads,
+                                      num_locks, kShortRun, 42);
+    best = std::max(best, r.mops);
+  }
+  return best;
+}
+
+TEST(Shape, AtomicsCollapseAcrossSocketsOnMultisockets) {
+  // Figure 4: multi-sockets drop steeply once a second core (and then a
+  // second socket) contends; single-sockets converge to a stable plateau.
+  SimRuntime opteron(MakeOpteron());
+  const double one = AtomicStress(opteron, AtomicStressOp::kFai, 1, kShortRun).mops;
+  const double six = AtomicStress(opteron, AtomicStressOp::kFai, 6, kShortRun).mops;
+  const double cross = AtomicStress(opteron, AtomicStressOp::kFai, 12, kShortRun).mops;
+  EXPECT_LT(six, one);        // steep decrease beyond one core
+  EXPECT_LT(cross, six);      // and further once a second die is involved
+}
+
+TEST(Shape, AtomicsPlateauOnSingleSockets) {
+  SimRuntime niagara(MakeNiagara());
+  const double t8 = AtomicStress(niagara, AtomicStressOp::kTas, 8, kShortRun).mops;
+  const double t32 = AtomicStress(niagara, AtomicStressOp::kTas, 32, kShortRun).mops;
+  const double t64 = AtomicStress(niagara, AtomicStressOp::kTas, 64, kShortRun).mops;
+  // Converges to a maximum that is then maintained (no collapse).
+  EXPECT_GT(t32, 0.55 * t8);
+  EXPECT_GT(t64, 0.55 * t32);
+}
+
+TEST(Shape, PlatformSpecificAtomicsAreFastest) {
+  // Section 5.4: TAS is the efficient atomic on Niagara; FAI on Tilera.
+  SimRuntime niagara(MakeNiagara());
+  const double tas = AtomicStress(niagara, AtomicStressOp::kTas, 16, kShortRun).mops;
+  const double fai = AtomicStress(niagara, AtomicStressOp::kFai, 16, kShortRun).mops;
+  EXPECT_GT(tas, fai);
+
+  SimRuntime tilera(MakeTilera());
+  const double tfai = AtomicStress(tilera, AtomicStressOp::kFai, 16, kShortRun).mops;
+  const double tcas = AtomicStress(tilera, AtomicStressOp::kCas, 16, kShortRun).mops;
+  EXPECT_GT(tfai, tcas);
+}
+
+TEST(Shape, CasBasedFaiCostsMoreThanHardwareFai) {
+  // Figure 4 / Section 5.4: having FAI in hardware beats emulating it with a
+  // CAS retry loop.
+  SimRuntime tilera(MakeTilera());
+  const double hw = AtomicStress(tilera, AtomicStressOp::kFai, 18, kShortRun).mops;
+  const double emulated = AtomicStress(tilera, AtomicStressOp::kCasFai, 18, kShortRun).mops;
+  EXPECT_GT(hw, emulated);
+}
+
+TEST(Shape, SingleLockThroughputCollapsesOnMultisockets) {
+  // Figure 5: on the multi-sockets, throughput with >= 2 cores on one lock is
+  // an order of magnitude below single-core performance.
+  SimRuntime xeon(MakeXeon());
+  const TicketOptions topt = DefaultTicketOptions(xeon.spec());
+  const double one = LockStress(xeon, LockKind::kTicket, topt, 1, 1, kShortRun, 1).mops;
+  const double twenty = LockStress(xeon, LockKind::kTicket, topt, 20, 1, kShortRun, 1).mops;
+  EXPECT_LT(twenty, one / 4);
+}
+
+TEST(Shape, SingleSocketsKeepComparablePerformanceUnderExtremeContention) {
+  // Figure 5: the single-sockets maintain comparable performance on multiple
+  // cores (no collapse).
+  SimRuntime niagara(MakeNiagara());
+  const TicketOptions topt = DefaultTicketOptions(niagara.spec());
+  const double one = LockStress(niagara, LockKind::kTicket, topt, 1, 1, kShortRun, 1).mops;
+  const double many = LockStress(niagara, LockKind::kTicket, topt, 32, 1, kShortRun, 1).mops;
+  EXPECT_GT(many, one / 3);
+}
+
+TEST(Shape, TicketIsCompetitiveAtLowContention) {
+  // Figure 7 / Section 6.1.2: with 512 locks, the simple ticket lock matches
+  // or outperforms the complex queue locks.
+  for (const PlatformKind kind : {PlatformKind::kOpteron, PlatformKind::kNiagara}) {
+    SimRuntime rt(MakePlatform(kind));
+    const TicketOptions topt = DefaultTicketOptions(rt.spec());
+    const int threads = std::min(18, rt.spec().num_cpus);
+    const double ticket =
+        LockStress(rt, LockKind::kTicket, topt, threads, 512, kShortRun, 3).mops;
+    const double mcs = LockStress(rt, LockKind::kMcs, topt, threads, 512, kShortRun, 3).mops;
+    const double clh = LockStress(rt, LockKind::kClh, topt, threads, 512, kShortRun, 3).mops;
+    EXPECT_GE(ticket, 0.9 * std::max(mcs, clh)) << rt.spec().name;
+  }
+}
+
+TEST(Shape, QueueLocksResilientUnderExtremeContention) {
+  // Figure 5: CLH/MCS are the most resilient to extreme contention on the
+  // multi-sockets — better than the crude TAS spinlock.
+  SimRuntime opteron(MakeOpteron());
+  const TicketOptions topt = DefaultTicketOptions(opteron.spec());
+  const double clh = LockStress(opteron, LockKind::kClh, topt, 24, 1, kShortRun, 5).mops;
+  const double tas = LockStress(opteron, LockKind::kTas, topt, 24, 1, kShortRun, 5).mops;
+  EXPECT_GT(clh, tas);
+}
+
+TEST(Shape, MutexNeverBestWithOneThreadPerCore) {
+  // Section 6.1.2: with one thread per core there is no scenario where the
+  // Pthread-style mutex performs best.
+  for (const PlatformKind kind : MainPlatforms()) {
+    SimRuntime rt(MakePlatform(kind));
+    const TicketOptions topt = DefaultTicketOptions(rt.spec());
+    const int threads = std::min(16, rt.spec().num_cpus);
+    for (const int locks : {1, 128}) {
+      const double mutex =
+          LockStress(rt, LockKind::kMutex, topt, threads, locks, kShortRun, 7).mops;
+      double best_other = 0.0;
+      for (const LockKind kind2 : LocksForPlatform(rt.spec())) {
+        if (kind2 == LockKind::kMutex) {
+          continue;
+        }
+        best_other = std::max(
+            best_other, LockStress(rt, kind2, topt, threads, locks, kShortRun, 7).mops);
+      }
+      EXPECT_LT(mutex, best_other) << rt.spec().name << " locks=" << locks;
+    }
+  }
+}
+
+TEST(Shape, HierarchicalLocksWinOnXeonUnderExtremeContention) {
+  // Figure 5 / Section 6.1.2: on the Xeon's strong intra-socket locality,
+  // hierarchical locks take the lead under extreme multi-socket contention.
+  SimRuntime xeon(MakeXeon());
+  const TicketOptions topt = DefaultTicketOptions(xeon.spec());
+  constexpr int kThreads = 30;  // three sockets
+  const double hticket =
+      LockStress(xeon, LockKind::kHticket, topt, kThreads, 1, kShortRun, 11).mops;
+  const double hclh =
+      LockStress(xeon, LockKind::kHclh, topt, kThreads, 1, kShortRun, 11).mops;
+  double best_flat = 0.0;
+  for (const LockKind kind :
+       {LockKind::kTas, LockKind::kTtas, LockKind::kTicket, LockKind::kArray}) {
+    best_flat =
+        std::max(best_flat, LockStress(xeon, kind, topt, kThreads, 1, kShortRun, 11).mops);
+  }
+  EXPECT_GT(std::max(hticket, hclh), best_flat);
+}
+
+TEST(Shape, NiagaraOutscalesTileraUnderHighContention) {
+  // Section 6.1.3: the Niagara's uniformity delivers higher scalability than
+  // the Tilera under high contention (~1.7x in the paper).
+  auto scalability = [](PlatformKind kind) {
+    SimRuntime rt(MakePlatform(kind));
+    const TicketOptions topt = DefaultTicketOptions(rt.spec());
+    const double one = LockStress(rt, LockKind::kTicket, topt, 1, 4, kShortRun, 13).mops;
+    const double many = LockStress(rt, LockKind::kTicket, topt, 36, 4, kShortRun, 13).mops;
+    return many / one;
+  };
+  const double niagara = scalability(PlatformKind::kNiagara);
+  const double tilera = scalability(PlatformKind::kTilera);
+  EXPECT_GT(niagara, 1.15 * tilera);
+}
+
+TEST(Shape, UncontestedRemoteHandoffCostsUpToAnOrderOfMagnitude) {
+  // Figure 6: acquisitions that transfer the lock across sockets cost up to
+  // ~an order of magnitude more than same-die handoffs.
+  SimRuntime opteron(MakeOpteron());
+  const TicketOptions topt = DefaultTicketOptions(opteron.spec());
+  const double same_die =
+      UncontestedLockLatency(opteron, LockKind::kTicket, topt, 0, 1, 200);
+  const double two_hops =
+      UncontestedLockLatency(opteron, LockKind::kTicket, topt, 0, 18, 200);
+  EXPECT_GT(two_hops, 2.5 * same_die);
+
+  SimRuntime niagara(MakeNiagara());
+  const double near = UncontestedLockLatency(niagara, LockKind::kTicket,
+                                             TicketOptions{}, 0, 1, 200);
+  const double far = UncontestedLockLatency(niagara, LockKind::kTicket,
+                                            TicketOptions{}, 0, 8, 200);
+  EXPECT_LT(far, 2.5 * near);  // uniform platform: little distance penalty
+}
+
+TEST(Shape, PrefetchwDoublesTicketPerformanceOnOpteron) {
+  // Figure 3: backoff+prefetchw performs up to ~2x better than plain backoff
+  // at high thread counts on the Opteron.
+  SimRuntime rt(MakeOpteron());
+  TicketOptions backoff;
+  backoff.proportional_backoff = true;
+  backoff.prefetchw = false;
+  TicketOptions prefetch = backoff;
+  prefetch.prefetchw = true;
+  const double lat_backoff = TicketAcquireReleaseLatency(rt, backoff, 24, 60);
+  const double lat_prefetch = TicketAcquireReleaseLatency(rt, prefetch, 24, 60);
+  EXPECT_LT(lat_prefetch, lat_backoff);
+
+  TicketOptions naive;
+  naive.proportional_backoff = false;
+  naive.prefetchw = false;
+  // The non-optimized ticket is the worst of the three. (The paper's ~10x
+  // blow-up at 48 cores additionally involves interconnect saturation, which
+  // the simulator deliberately does not model — see EXPERIMENTS.md.)
+  const double lat_naive = TicketAcquireReleaseLatency(rt, naive, 24, 60);
+  EXPECT_GT(lat_naive, 1.25 * lat_backoff);
+}
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,200 @@
+// ssht correctness: oracle comparison against std::unordered_map, payload
+// integrity, concurrent operation on both backends.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/mem_native.h"
+#include "src/core/runtime_native.h"
+#include "src/core/runtime_sim.h"
+#include "src/locks/locks.h"
+#include "src/ssht/ssht.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+namespace {
+
+TEST(Ssht, BasicPutGetRemove) {
+  const LockTopology topo = LockTopology::Flat(1);
+  Ssht<NativeMem, TasLock<NativeMem>> table(16, topo);
+  std::uint8_t payload[kSshtPayloadBytes];
+  std::uint8_t out[kSshtPayloadBytes];
+  std::memset(payload, 0xAB, sizeof(payload));
+
+  EXPECT_FALSE(table.Get(42, out));
+  EXPECT_TRUE(table.Put(42, payload));
+  EXPECT_FALSE(table.Put(42, payload));  // duplicate put fails
+  ASSERT_TRUE(table.Get(42, out));
+  EXPECT_EQ(std::memcmp(out, payload, sizeof(payload)), 0);
+  EXPECT_TRUE(table.Remove(42));
+  EXPECT_FALSE(table.Remove(42));
+  EXPECT_FALSE(table.Get(42, out));
+  EXPECT_EQ(table.Size(), 0u);
+}
+
+TEST(Ssht, RandomOpsMatchOracle) {
+  const LockTopology topo = LockTopology::Flat(1);
+  Ssht<NativeMem, TicketLock<NativeMem>> table(12, topo);
+  std::unordered_set<std::uint64_t> oracle;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.NextBelow(300);
+    const double p = rng.NextDouble();
+    if (p < 0.5) {
+      EXPECT_EQ(table.Put(key, nullptr), oracle.insert(key).second);
+    } else if (p < 0.75) {
+      EXPECT_EQ(table.Remove(key), oracle.erase(key) > 0);
+    } else {
+      EXPECT_EQ(table.Get(key, nullptr), oracle.count(key) > 0);
+    }
+  }
+  EXPECT_EQ(table.Size(), oracle.size());
+}
+
+TEST(Ssht, PayloadsAreIndependent) {
+  const LockTopology topo = LockTopology::Flat(1);
+  Ssht<NativeMem, TasLock<NativeMem>> table(8, topo);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    std::uint8_t payload[kSshtPayloadBytes];
+    std::memset(payload, static_cast<int>(key), sizeof(payload));
+    ASSERT_TRUE(table.Put(key, payload));
+  }
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    std::uint8_t out[kSshtPayloadBytes];
+    ASSERT_TRUE(table.Get(key, out));
+    for (std::size_t i = 0; i < kSshtPayloadBytes; ++i) {
+      ASSERT_EQ(out[i], static_cast<std::uint8_t>(key));
+    }
+  }
+}
+
+TEST(Ssht, ConcurrentDisjointKeyRangesNative) {
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 3000;
+  const LockTopology topo = LockTopology::Flat(kThreads);
+  Ssht<NativeMem, McsLock<NativeMem>> table(64, topo);
+  NativeRuntime rt;
+  std::vector<std::unordered_set<std::uint64_t>> oracles(kThreads);
+  std::vector<int> mismatches(kThreads, 0);
+  rt.Run(kThreads, [&](int tid) {
+    Rng rng(1000 + tid);
+    auto& oracle = oracles[tid];
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      // Keys are disjoint across threads: key % kThreads == tid.
+      const std::uint64_t key = rng.NextBelow(500) * kThreads + tid;
+      const double p = rng.NextDouble();
+      bool expect;
+      bool got;
+      if (p < 0.4) {
+        expect = oracle.insert(key).second;
+        got = table.Put(key, nullptr);
+      } else if (p < 0.7) {
+        expect = oracle.erase(key) > 0;
+        got = table.Remove(key);
+      } else {
+        expect = oracle.count(key) > 0;
+        got = table.Get(key, nullptr);
+      }
+      if (expect != got) {
+        ++mismatches[tid];
+      }
+    }
+  });
+  std::size_t total = 0;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    EXPECT_EQ(mismatches[tid], 0);
+    total += oracles[tid].size();
+  }
+  EXPECT_EQ(table.Size(), total);
+}
+
+TEST(Ssht, ConcurrentDisjointKeyRangesSimulated) {
+  const PlatformSpec spec = MakeTilera();
+  SimRuntime rt(spec);
+  constexpr int kThreads = 9;
+  constexpr int kOpsPerThread = 300;
+  const LockTopology topo = LockTopology::ForPlatform(spec, kThreads);
+  Ssht<SimMem, TicketLock<SimMem>> table(32, topo);
+  std::vector<std::unordered_set<std::uint64_t>> oracles(kThreads);
+  int mismatches = 0;
+  rt.Run(kThreads, [&](int tid) {
+    Rng rng(7 + tid);
+    auto& oracle = oracles[tid];
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const std::uint64_t key = rng.NextBelow(100) * kThreads + tid;
+      const double p = rng.NextDouble();
+      bool expect;
+      bool got;
+      if (p < 0.4) {
+        expect = oracle.insert(key).second;
+        got = table.Put(key, nullptr);
+      } else if (p < 0.7) {
+        expect = oracle.erase(key) > 0;
+        got = table.Remove(key);
+      } else {
+        expect = oracle.count(key) > 0;
+        got = table.Get(key, nullptr);
+      }
+      if (expect != got) {
+        ++mismatches;
+      }
+    }
+  });
+  EXPECT_EQ(mismatches, 0);
+  std::size_t total = 0;
+  for (const auto& oracle : oracles) {
+    total += oracle.size();
+  }
+  EXPECT_EQ(table.Size(), total);
+}
+
+TEST(Ssht, SharedKeysUnderLockSimulated) {
+  // All threads hammer the same small key space; the per-bucket locks keep
+  // the structure consistent (size equals the oracle-free invariant: every
+  // key present at most once).
+  const PlatformSpec spec = MakeOpteron();
+  SimRuntime rt(spec);
+  constexpr int kThreads = 12;
+  const LockTopology topo = LockTopology::ForPlatform(spec, kThreads);
+  Ssht<SimMem, TtasLock<SimMem>> table(12, topo);
+  rt.Run(kThreads, [&](int tid) {
+    Rng rng(31 * tid + 5);
+    for (int i = 0; i < 250; ++i) {
+      const std::uint64_t key = rng.NextBelow(64);
+      const double p = rng.NextDouble();
+      if (p < 0.45) {
+        table.Put(key, nullptr);
+      } else if (p < 0.7) {
+        table.Remove(key);
+      } else {
+        table.Get(key, nullptr);
+      }
+    }
+  });
+  // No key may appear twice: removing every present key once empties the
+  // table. (Table accesses charge simulated cycles, so they run in a sim.)
+  rt.Run(1, [&](int) {
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      if (table.Get(key, nullptr)) {
+        EXPECT_TRUE(table.Remove(key));
+        EXPECT_FALSE(table.Get(key, nullptr));
+      }
+    }
+  });
+  EXPECT_EQ(table.Size(), 0u);
+}
+
+TEST(Ssht, BucketSizeCountsChainLength) {
+  const LockTopology topo = LockTopology::Flat(1);
+  Ssht<NativeMem, TasLock<NativeMem>> table(1, topo);  // everything chains
+  for (std::uint64_t key = 0; key < 48; ++key) {
+    table.Put(key, nullptr);
+  }
+  EXPECT_EQ(table.BucketSize(0), 48);
+  EXPECT_EQ(table.Size(), 48u);
+}
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/cacheline.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace ssync {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.NextBool(0.8) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.8, 0.01);
+}
+
+TEST(RunningStat, MeanAndStddev) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.Add(42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(Percentile, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.5);
+}
+
+TEST(MopsPerSec, Conversion) {
+  // 1e6 ops in 1e9 cycles at 1 GHz = 1 second -> 1 Mops/s.
+  EXPECT_DOUBLE_EQ(MopsPerSec(1000000, 1000000000, 1.0), 1.0);
+  // Twice the clock, same cycles -> half the time -> 2 Mops/s.
+  EXPECT_DOUBLE_EQ(MopsPerSec(1000000, 1000000000, 2.0), 2.0);
+  EXPECT_EQ(MopsPerSec(100, 0, 1.0), 0.0);
+}
+
+TEST(CacheLine, LineOfNeighborsDifferByOne) {
+  alignas(64) char buf[192];
+  EXPECT_EQ(LineOf(&buf[0]), LineOf(&buf[63]));
+  EXPECT_EQ(LineOf(&buf[0]) + 1, LineOf(&buf[64]));
+  EXPECT_EQ(LineOf(&buf[0]) + 2, LineOf(&buf[128]));
+}
+
+TEST(CacheLine, PaddedOccupiesFullLine) {
+  Padded<int> a[2];
+  EXPECT_NE(LineOf(&a[0].value), LineOf(&a[1].value));
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace ssync
