@@ -1,2 +1,10 @@
-// Kvs is header-only (templated over backend and lock); this TU anchors the module.
+// Anchor translation unit for the kvs module (Section 6.4 / Figure 12).
+//
+// Kvs itself is header-only — a class template over the memory backend and
+// the lock algorithm, so the same source instantiates against SimMem
+// (cycle-accurate Memcached-style experiments) and NativeMem (host-hardware
+// runs). Building this TU into ssync_kvs keeps the module present in the
+// link graph, gives the header a home for compile checking, and reserves
+// the spot where future non-template definitions (e.g. eviction statistics)
+// land.
 #include "src/kvs/kvs.h"

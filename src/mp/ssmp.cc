@@ -1,3 +1,10 @@
-// SsmpComm is header-only (templated over the memory backend); this
-// translation unit anchors the module in the build.
+// Anchor translation unit for the ssmp module (Section 4.1 / Figures 9-10).
+//
+// SsmpComm is header-only — a class template over the memory backend, so
+// the same one-cache-line-per-message channel code runs on the simulated
+// machines (SimMem, where each message costs exactly one modeled line
+// transfer) and on the host (NativeMem). Building this TU into ssync_mp
+// keeps the module present in the link graph, gives the header a home for
+// compile checking, and reserves the spot where future non-template
+// definitions (e.g. channel registries) land.
 #include "src/mp/ssmp.h"

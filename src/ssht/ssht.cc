@@ -1,3 +1,9 @@
-// Ssht is header-only (templated over backend and lock); this translation
-// unit anchors the module in the build.
+// Anchor translation unit for the ssht module (Section 6.3 / Figure 11).
+//
+// The hash table is header-only — a class template over the memory backend
+// and the per-bucket lock algorithm, so one source serves both the simulated
+// (SimMem) and native (NativeMem) builds. Building this TU into ssync_ssht
+// keeps the module present in the link graph, gives the header a home for
+// compile checking, and reserves the spot where future non-template
+// definitions (e.g. resize support) land.
 #include "src/ssht/ssht.h"

@@ -1,4 +1,12 @@
-// STM umbrella translation unit.
+// Anchor translation unit for the STM module (Sections 4.3 and 8).
+//
+// Both runtimes are header-only templates over the memory backend:
+// tm_lock.h is the shared-memory TL2-style system built on libslock's spin
+// locks, tm_mp.h is the TM2C-style system whose lock service runs over
+// libssmp message passing; tm.h is the common transaction API. Building
+// this umbrella TU into ssync_stm compile-checks all three headers together
+// (they must agree on the tm.h contract) and keeps the module present in
+// the link graph for future non-template definitions.
 #include "src/stm/tm.h"
 #include "src/stm/tm_lock.h"
 #include "src/stm/tm_mp.h"

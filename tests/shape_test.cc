@@ -13,16 +13,6 @@ namespace {
 
 constexpr Cycles kShortRun = 600000;
 
-double BestLockMops(SimRuntime& rt, int threads, int num_locks) {
-  double best = 0.0;
-  for (const LockKind kind : LocksForPlatform(rt.spec())) {
-    const StressResult r = LockStress(rt, kind, DefaultTicketOptions(rt.spec()), threads,
-                                      num_locks, kShortRun, 42);
-    best = std::max(best, r.mops);
-  }
-  return best;
-}
-
 TEST(Shape, AtomicsCollapseAcrossSocketsOnMultisockets) {
   // Figure 4: multi-sockets drop steeply once a second core (and then a
   // second socket) contends; single-sockets converge to a stable plateau.

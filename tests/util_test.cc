@@ -99,7 +99,7 @@ TEST(MopsPerSec, Conversion) {
 }
 
 TEST(CacheLine, LineOfNeighborsDifferByOne) {
-  alignas(64) char buf[192];
+  alignas(64) char buf[192] = {};
   EXPECT_EQ(LineOf(&buf[0]), LineOf(&buf[63]));
   EXPECT_EQ(LineOf(&buf[0]) + 1, LineOf(&buf[64]));
   EXPECT_EQ(LineOf(&buf[0]) + 2, LineOf(&buf[128]));
