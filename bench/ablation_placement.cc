@@ -4,11 +4,11 @@
 // Section 6.4 reports ~20% for Memcached.
 #include <numeric>
 
-#include "bench/bench_common.h"
 #include "src/core/mem_sim.h"
 #include "src/core/runtime_sim.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 #include "src/locks/locks.h"
-#include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace ssync {
@@ -42,47 +42,57 @@ double StressOnCpus(const PlatformSpec& spec, const std::vector<CpuId>& cpus,
   return MopsPerSec(total, rt.last_duration(), spec.ghz);
 }
 
-}  // namespace
-}  // namespace ssync
+class AblationPlacement final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "ablation_placement";
+    info.legacy_name = "ablation_placement";
+    info.anchor = "Sections 5.4/6.3 ablation";
+    info.order = 140;
+    info.summary = "pinned vs scattered thread placement, single contended TICKET lock";
+    info.expectation =
+        "Expected: large penalty on the multi-sockets from scattering threads "
+        "round-robin across sockets, none on the single-sockets.";
+    info.params = {DurationParam(400000)};
+    info.fixed_platforms = true;  // compares the four main machines
+    return info;
+  }
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
-
-  std::printf(
-      "Ablation — pinned (socket-filling) vs scattered (round-robin across "
-      "sockets)\nthread placement, single contended TICKET lock.\n"
-      "Expected: large penalty on the multi-sockets, none on the "
-      "single-sockets.\n\n");
-
-  Table t({"Platform", "Threads", "pinned (Mops/s)", "scattered (Mops/s)", "penalty"});
-  for (const PlatformKind kind : MainPlatforms()) {
-    const PlatformSpec spec = MakePlatform(kind);
-    for (const int threads : {8, 16}) {
-      if (threads > spec.num_cpus) {
-        continue;
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    for (const PlatformKind kind : MainPlatforms()) {
+      const PlatformSpec spec = MakePlatform(kind);
+      for (const int threads : {8, 16}) {
+        if (threads > spec.num_cpus) {
+          continue;
+        }
+        std::vector<CpuId> compact;
+        for (int i = 0; i < threads; ++i) {
+          compact.push_back(spec.CpuForThread(i));
+        }
+        // Scattered: spread across sockets round-robin (cpu k of socket k%S).
+        std::vector<CpuId> scattered;
+        const int per_socket = spec.cores_per_socket * spec.cpus_per_core;
+        for (int i = 0; i < threads; ++i) {
+          const int socket = i % spec.num_sockets;
+          const int slot = i / spec.num_sockets;
+          scattered.push_back(socket * per_socket + slot);
+        }
+        const double pinned = StressOnCpus(spec, compact, duration);
+        const double scat = StressOnCpus(spec, scattered, duration);
+        Result r = ctx.NewResult(spec);
+        r.Param("threads", threads)
+            .Metric("pinned_mops", pinned)
+            .Metric("scattered_mops", scat)
+            .Metric("penalty", scat > 0.0 ? pinned / scat : 0.0);
+        sink.Emit(r);
       }
-      std::vector<CpuId> compact;
-      for (int i = 0; i < threads; ++i) {
-        compact.push_back(spec.CpuForThread(i));
-      }
-      // Scattered: spread across sockets round-robin (cpu k of socket k%S).
-      std::vector<CpuId> scattered;
-      const int per_socket = spec.cores_per_socket * spec.cpus_per_core;
-      for (int i = 0; i < threads; ++i) {
-        const int socket = i % spec.num_sockets;
-        const int slot = i / spec.num_sockets;
-        scattered.push_back(socket * per_socket + slot);
-      }
-      const double pinned = StressOnCpus(spec, compact, duration);
-      const double scat = StressOnCpus(spec, scattered, duration);
-      t.AddRow({spec.name, Table::Int(threads), Table::Num(pinned, 2),
-                Table::Num(scat, 2), Table::Num(pinned / scat, 2) + "x"});
     }
   }
-  EmitTable(t, csv);
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(AblationPlacement);
+
+}  // namespace
+}  // namespace ssync

@@ -3,28 +3,43 @@
 // under load and the multi-socket saturation cliffs of Figures 3, 8 and 11
 // largely disappear — quantifying how much of the paper's collapse is
 // interconnect saturation rather than per-line serialization.
-#include "bench/bench_common.h"
+#include <algorithm>
+
 #include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 #include "src/ssht/ssht_stress.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Ablation — coherence-port occupancy on and off\n"
-      "The port queues model each node's snoop/probe/directory machinery as "
-      "a shared\nresource. Expected: disabling them inflates high-contention "
-      "multi-socket\nthroughput well above the paper's shape; single-sockets "
-      "move far less\n(Niagara has no port bottleneck at all).\n\n");
+class AblationPorts final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "ablation_ports";
+    info.legacy_name = "ablation_ports";
+    info.anchor = "Section 5 ablation";
+    info.order = 141;
+    info.summary = "coherence-port occupancy model on vs off";
+    info.expectation =
+        "Expected: disabling the port queues inflates high-contention "
+        "multi-socket throughput well above the paper's shape; single-sockets "
+        "move far less (Niagara has no port bottleneck at all). The "
+        "non-optimized ticket lock on the Opteron is the pathological case.";
+    info.params = {DurationParam(400000),
+                   RoundsParam(40, "acquisitions per thread (ticket-latency part)")};
+    info.fixed_platforms = true;  // compares the four main machines
+    return info;
+  }
 
-  {
-    Table t({"Platform", "ssht 12 buckets, 36 thr (Mops/s)", "ports off", "off/on"});
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    const int rounds = static_cast<int>(ctx.params().Int("rounds"));
+
+    // High-contention hash table with and without the port model.
     for (const PlatformKind kind : MainPlatforms()) {
-      PlatformSpec spec = MakePlatform(kind);
+      const PlatformSpec spec = MakePlatform(kind);
       const int threads = std::min(36, spec.num_cpus);
       SshtConfig config;
       config.buckets = 12;
@@ -32,40 +47,47 @@ int main(int argc, char** argv) {
       config.duration = duration;
 
       SimRuntime rt_on(spec);
-      const double with =
-          SshtLockStress(rt_on, config, LockKind::kClh, threads).mops;
+      const double with = SshtLockStress(rt_on, config, LockKind::kClh, threads).mops;
       PlatformSpec no_ports = spec;
       no_ports.port_service = 0;
       SimRuntime rt_off(no_ports);
       const double without =
           SshtLockStress(rt_off, config, LockKind::kClh, threads).mops;
-      t.AddRow({spec.name, Table::Num(with, 2), Table::Num(without, 2),
-                Table::Num(without / with, 2) + "x"});
+      Result r = ctx.NewResult(spec);
+      r.Param("measure", "ssht_12_buckets")
+          .Param("threads", threads)
+          .Metric("ports_on_mops", with)
+          .Metric("ports_off_mops", without)
+          .Metric("off_over_on", with > 0.0 ? without / with : 0.0);
+      sink.Emit(r);
     }
-    EmitTable(t, csv);
-  }
 
-  std::printf(
-      "\nNon-optimized ticket lock on the Opteron (Figure 3's pathological "
-      "case):\nevery waiter re-reads the ticket line after every release, "
-      "hammering the home\nnode's port. This is where the port model matters "
-      "most.\n\n");
-  {
-    Table t({"Threads", "acq+rel latency (cycles)", "ports off", "on/off"});
-    TicketOptions nonopt;  // no backoff, no prefetchw
+    // Non-optimized ticket lock on the Opteron (Figure 3's pathological
+    // case): every waiter re-reads the ticket line after every release,
+    // hammering the home node's port.
+    TicketOptions nonopt;
     nonopt.proportional_backoff = false;
     nonopt.prefetchw = false;
+    const PlatformSpec opteron = MakeOpteron();
     for (const int threads : {6, 18, 36, 48}) {
       SimRuntime rt_on(MakeOpteron());
-      const double with = TicketAcquireReleaseLatency(rt_on, nonopt, threads, 40);
+      const double with = TicketAcquireReleaseLatency(rt_on, nonopt, threads, rounds);
       PlatformSpec no_ports = MakeOpteron();
       no_ports.port_service = 0;
       SimRuntime rt_off(no_ports);
-      const double without = TicketAcquireReleaseLatency(rt_off, nonopt, threads, 40);
-      t.AddRow({Table::Int(threads), Table::Num(with, 0), Table::Num(without, 0),
-                Table::Num(with / without, 2) + "x"});
+      const double without = TicketAcquireReleaseLatency(rt_off, nonopt, threads, rounds);
+      Result r = ctx.NewResult(opteron);
+      r.Param("measure", "nonopt_ticket_latency")
+          .Param("threads", threads)
+          .Metric("ports_on_cycles", with)
+          .Metric("ports_off_cycles", without)
+          .Metric("on_over_off", without > 0.0 ? with / without : 0.0);
+      sink.Emit(r);
     }
-    EmitTable(t, csv);
   }
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(AblationPorts);
+
+}  // namespace
+}  // namespace ssync

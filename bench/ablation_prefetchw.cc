@@ -1,46 +1,63 @@
 // Ablation: the prefetchw optimization of Section 5.3, across structures.
 // The paper reports up to 2x for the ticket lock (Figure 3) and up to 2.5x
 // for message passing on the Opteron.
-#include "bench/bench_common.h"
 #include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Ablation — prefetchw (read-for-ownership) on and off, per platform\n"
-      "Expected: large gains on the Opteron (incomplete directory makes "
-      "stores on shared\nlines broadcast), moderate gains on the Xeon, "
-      "irrelevant on the single-sockets\n(their stores already execute at "
-      "the LLC/home).\n\n");
+class AblationPrefetchw final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "ablation_prefetchw";
+    info.legacy_name = "ablation_prefetchw";
+    info.anchor = "Section 5.3 ablation";
+    info.order = 142;
+    info.summary = "prefetchw (read-for-ownership) on vs off, contended TICKET lock";
+    info.expectation =
+        "Expected: large gains on the Opteron (incomplete directory makes "
+        "stores on shared lines broadcast), moderate gains on the Xeon, "
+        "irrelevant on the single-sockets (their stores already execute at the "
+        "LLC/home).";
+    info.params = {DurationParam(400000)};
+    info.fixed_platforms = true;  // compares the four main machines
+    return info;
+  }
 
-  Table t({"Platform", "Threads", "TICKET w/o prefetchw (Mops/s)", "with (Mops/s)",
-           "gain"});
-  for (const PlatformKind kind : MainPlatforms()) {
-    const PlatformSpec spec = MakePlatform(kind);
-    TicketOptions off;
-    off.proportional_backoff = true;
-    off.prefetchw = false;
-    TicketOptions on = off;
-    on.prefetchw = true;
-    for (const int threads : {6, 18, 36}) {
-      if (threads > spec.num_cpus) {
-        continue;
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    for (const PlatformKind kind : MainPlatforms()) {
+      const PlatformSpec spec = MakePlatform(kind);
+      TicketOptions off;
+      off.proportional_backoff = true;
+      off.prefetchw = false;
+      TicketOptions on = off;
+      on.prefetchw = true;
+      for (const int threads : {6, 18, 36}) {
+        if (threads > spec.num_cpus) {
+          continue;
+        }
+        SimRuntime rt_off(spec);
+        const double without =
+            LockStress(rt_off, LockKind::kTicket, off, threads, 1, duration, 37).mops;
+        SimRuntime rt_on(spec);
+        const double with =
+            LockStress(rt_on, LockKind::kTicket, on, threads, 1, duration, 37).mops;
+        Result r = ctx.NewResult(spec);
+        r.Param("threads", threads)
+            .Metric("without_mops", without)
+            .Metric("with_mops", with)
+            .Metric("gain", without > 0.0 ? with / without : 0.0);
+        sink.Emit(r);
       }
-      SimRuntime rt_off(spec);
-      const double without =
-          LockStress(rt_off, LockKind::kTicket, off, threads, 1, duration, 37).mops;
-      SimRuntime rt_on(spec);
-      const double with =
-          LockStress(rt_on, LockKind::kTicket, on, threads, 1, duration, 37).mops;
-      t.AddRow({spec.name, Table::Int(threads), Table::Num(without, 2),
-                Table::Num(with, 2), Table::Num(with / without, 2) + "x"});
     }
   }
-  EmitTable(t, csv);
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(AblationPrefetchw);
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,14 @@
+// Back-compat main for the pre-redesign per-figure binaries: each legacy
+// target (fig8_locks_scaling, table2_coherence, ...) compiles this TU with
+// SSYNC_LEGACY_BENCH_NAME set to its own name and links the full experiment
+// registry, so `build/bench/fig8_locks_scaling --csv --platform=xeon` keeps
+// working — it now forwards to `ssyncbench fig8 --format=csv --platform=xeon`.
+#include "src/harness/driver.h"
+
+#ifndef SSYNC_LEGACY_BENCH_NAME
+#error "compile with -DSSYNC_LEGACY_BENCH_NAME=\"<legacy binary name>\""
+#endif
+
+int main(int argc, char** argv) {
+  return ssync::LegacyBenchMain(SSYNC_LEGACY_BENCH_NAME, argc, argv);
+}

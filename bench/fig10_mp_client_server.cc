@@ -2,8 +2,9 @@
 // server, one-way and round-trip, versus the number of clients.
 #include <atomic>
 
-#include "bench/bench_common.h"
 #include "src/core/runtime_sim.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 #include "src/mp/ssmp.h"
 #include "src/util/stats.h"
 
@@ -62,36 +63,42 @@ double ClientServerMops(const PlatformSpec& spec, int clients, bool round_trip,
   return MopsPerSec(served, rt.last_duration(), spec.ghz);
 }
 
+class Fig10MpClientServer final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig10";
+    info.legacy_name = "fig10_mp_client_server";
+    info.anchor = "Figure 10";
+    info.order = 100;
+    info.summary = "client-server message-passing throughput, one server (Mops/s)";
+    info.expectation =
+        "Paper: Tilera hardware MP reaches ~16 Mops/s round-trip at 35 clients; "
+        "the Xeon is strong within its socket and drops once a client sits on a "
+        "remote socket; a single server is an upper bound — performance is "
+        "traded for scalability.";
+    info.params = {DurationParam(400000)};
+    return info;
+  }
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      for (const int clients : {1, 2, 5, 9, 17, 26, 35}) {
+        if (clients + 1 > spec.num_cpus) {
+          continue;
+        }
+        Result r = ctx.NewResult(spec);
+        r.Param("clients", clients)
+            .Metric("one_way_mops", ClientServerMops(spec, clients, false, duration))
+            .Metric("round_trip_mops", ClientServerMops(spec, clients, true, duration));
+        sink.Emit(r);
+      }
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig10MpClientServer);
+
 }  // namespace
 }  // namespace ssync
-
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
-
-  std::printf(
-      "Figure 10 — client-server throughput, one server (Mops/s)\n"
-      "Paper: Tilera hardware MP reaches ~16 Mops/s round-trip at 35 "
-      "clients; the Xeon\nis strong within its socket and drops once a "
-      "client sits on a remote socket;\na single server is an upper bound — "
-      "performance is traded for scalability.\n\n");
-
-  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-    std::printf("%s:\n", spec.name.c_str());
-    Table t({"Clients", "one-way", "round-trip"});
-    for (int clients : {1, 2, 5, 9, 17, 26, 35}) {
-      if (clients + 1 > spec.num_cpus) {
-        continue;
-      }
-      t.AddRow({Table::Int(clients),
-                Table::Num(ClientServerMops(spec, clients, false, duration), 2),
-                Table::Num(ClientServerMops(spec, clients, true, duration), 2)});
-    }
-    EmitTable(t, csv);
-  }
-  return 0;
-}

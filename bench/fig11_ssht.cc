@@ -3,62 +3,79 @@
 // get / 10% put / 10% remove. Reports, per thread mark: the best lock and
 // its throughput/scalability, plus the message-passing version (one server
 // per three cores, round-trip operations).
-#include "bench/bench_common.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/harness/sweeps.h"
 #include "src/locks/locks.h"
 #include "src/ssht/ssht_stress.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Figure 11 — ssht throughput (Mops/s): best lock vs message passing\n"
-      "Paper: under low contention (512 buckets) locks win everywhere; under "
-      "high\ncontention (12 buckets) message passing delivers the highest "
-      "throughput on three\nof the four platforms (not the Niagara).\n\n");
+class Fig11Ssht final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig11";
+    info.legacy_name = "fig11_ssht";
+    info.anchor = "Figure 11";
+    info.order = 110;
+    info.summary = "ssht throughput (Mops/s): best lock vs message passing";
+    info.expectation =
+        "Paper: under low contention (512 buckets) locks win everywhere; under "
+        "high contention (12 buckets) message passing delivers the highest "
+        "throughput on three of the four platforms (not the Niagara).";
+    info.params = {DurationParam(400000)};
+    return info;
+  }
 
-  struct Config {
-    int buckets;
-    int entries;
-  };
-  for (const Config cfg : {Config{12, 12}, Config{12, 48}, Config{512, 12},
-                           Config{512, 48}}) {
-    std::printf("== %d buckets, %d entries/bucket ==\n\n", cfg.buckets, cfg.entries);
-    for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-      SshtConfig config;
-      config.buckets = cfg.buckets;
-      config.entries_per_bucket = cfg.entries;
-      config.duration = duration;
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    struct Shape {
+      int buckets;
+      int entries;
+    };
+    for (const Shape shape : {Shape{12, 12}, Shape{12, 48}, Shape{512, 12},
+                              Shape{512, 48}}) {
+      for (const PlatformSpec& spec : ctx.platforms()) {
+        SshtConfig config;
+        config.buckets = shape.buckets;
+        config.entries_per_bucket = shape.entries;
+        config.duration = duration;
 
-      std::printf("%s:\n", spec.name.c_str());
-      Table t({"Threads", "Best-lock Mops/s", "Scalability", "Best lock", "MP Mops/s"});
-      double single = 0.0;
-      for (const int threads : BarThreadMarks(spec)) {
-        double best = 0.0;
-        LockKind best_kind = LockKind::kTicket;
-        for (const LockKind kind : LocksForPlatform(spec)) {
-          SimRuntime rt(spec);
-          const double mops = SshtLockStress(rt, config, kind, threads).mops;
-          if (mops > best) {
-            best = mops;
-            best_kind = kind;
+        double single = 0.0;
+        for (const int threads : BarThreadMarks(spec)) {
+          double best = 0.0;
+          LockKind best_kind = LockKind::kTicket;
+          for (const LockKind kind : LocksForPlatform(spec)) {
+            SimRuntime rt(spec);
+            const double mops = SshtLockStress(rt, config, kind, threads).mops;
+            if (mops > best) {
+              best = mops;
+              best_kind = kind;
+            }
           }
+          if (threads == 1) {
+            single = best;
+          }
+          SimRuntime rt(spec);
+          const double mp = SshtMpStress(rt, config, threads).mops;
+          Result r = ctx.NewResult(spec);
+          r.Param("buckets", shape.buckets)
+              .Param("entries_per_bucket", shape.entries)
+              .Param("threads", threads)
+              .Metric("lock_mops", best)
+              .Metric("scalability", single > 0.0 ? best / single : 0.0)
+              .Metric("mp_mops", mp)
+              .Label("best_lock", ToString(best_kind));
+          sink.Emit(r);
         }
-        if (threads == 1) {
-          single = best;
-        }
-        SimRuntime rt(spec);
-        const double mp = SshtMpStress(rt, config, threads).mops;
-        t.AddRow({Table::Int(threads), Table::Num(best, 2),
-                  Table::Num(best / single, 1) + "x", ToString(best_kind),
-                  Table::Num(mp, 2)});
       }
-      EmitTable(t, csv);
     }
   }
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig11Ssht);
+
+}  // namespace
+}  // namespace ssync

@@ -2,74 +2,85 @@
 // set-only test, with the hash-table and global locks replaced by different
 // libslock algorithms (MUTEX / TAS / TICKET / MCS), plus the paper's
 // get-only observations.
-#include "bench/bench_common.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 #include "src/kvs/kvs_stress.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const Cycles duration = cli.Int("duration", 20000000, "simulated cycles per point");
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Figure 12 — kvs (Memcached substitute), set-only test (Kops/s)\n"
-      "Paper: replacing the Mutexes with ticket/MCS/TAS locks speeds the set "
-      "test up by\n29-50%%; no platform scales beyond 18 threads; the get "
-      "test shows no lock effect.\n\n");
+class Fig12Memcached final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig12";
+    info.legacy_name = "fig12_memcached";
+    info.anchor = "Figure 12";
+    info.order = 120;
+    info.summary = "kvs (Memcached substitute) set-only/get-only throughput (Kops/s)";
+    info.expectation =
+        "Paper: replacing the Mutexes with ticket/MCS/TAS locks speeds the set "
+        "test up by 29-50%; no platform scales beyond 18 threads; the get test "
+        "shows no lock effect.";
+    info.params = {DurationParam(20000000)};
+    return info;
+  }
 
-  constexpr LockKind kKinds[] = {LockKind::kMutex, LockKind::kTas, LockKind::kTicket,
-                                 LockKind::kMcs};
-  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-    std::printf("%s (set-only):\n", spec.name.c_str());
-    Table t({"Threads", "MUTEX", "TAS", "TICKET", "MCS"});
-    double mutex_single = 0.0;
-    double best_overall = 0.0;
-    for (const int threads : {1, 6, 10, 18}) {
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    constexpr LockKind kKinds[] = {LockKind::kMutex, LockKind::kTas, LockKind::kTicket,
+                                   LockKind::kMcs};
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      for (const int threads : {1, 6, 10, 18}) {
+        if (threads > spec.num_cpus) {
+          continue;
+        }
+        for (const LockKind kind : kKinds) {
+          SimRuntime rt(spec);
+          KvsStressConfig config;
+          config.set_only = true;
+          config.duration = duration;
+          Result r = ctx.NewResult(spec);
+          r.Param("test", "set")
+              .Param("lock", ToString(kind))
+              .Param("threads", threads)
+              .Metric("kops", KvsStress(rt, config, kind, threads).kops);
+          sink.Emit(r);
+        }
+      }
+    }
+
+    // Get-only: the lock algorithm must not matter, and removing the locks
+    // entirely must not change throughput (Section 6.4).
+    const PlatformSpec& spec = ctx.platforms().front();
+    for (const int threads : {1, 10, 18}) {
       if (threads > spec.num_cpus) {
         continue;
       }
-      std::vector<std::string> row{Table::Int(threads)};
-      for (const LockKind kind : kKinds) {
+      KvsStressConfig config;
+      config.set_only = false;
+      config.duration = duration;
+      for (const LockKind kind : {LockKind::kMutex, LockKind::kTicket}) {
         SimRuntime rt(spec);
-        KvsStressConfig config;
-        config.set_only = true;
-        config.duration = duration;
-        const double kops = KvsStress(rt, config, kind, threads).kops;
-        if (kind == LockKind::kMutex && threads == 1) {
-          mutex_single = kops;
-        }
-        best_overall = std::max(best_overall, kops);
-        row.push_back(Table::Num(kops, 0));
+        Result r = ctx.NewResult(spec);
+        r.Param("test", "get")
+            .Param("lock", ToString(kind))
+            .Param("threads", threads)
+            .Metric("kops", KvsStress(rt, config, kind, threads).kops);
+        sink.Emit(r);
       }
-      t.AddRow(std::move(row));
-    }
-    EmitTable(t, csv);
-    if (mutex_single > 0.0) {
-      std::printf("  max speed-up vs single thread: %.1fx\n\n",
-                  best_overall / mutex_single);
-    }
-  }
-
-  // Get-only: the lock algorithm must not matter, and removing the locks
-  // entirely must not change throughput (Section 6.4).
-  const PlatformSpec spec = PlatformsFromFlag(platform).front();
-  std::printf("%s (get-only): lock choice has no effect\n", spec.name.c_str());
-  Table g({"Threads", "MUTEX", "TICKET", "no locks at all"});
-  for (const int threads : {1, 10, 18}) {
-    KvsStressConfig config;
-    config.set_only = false;
-    config.duration = duration;
-    std::vector<std::string> row{Table::Int(threads)};
-    for (const LockKind kind : {LockKind::kMutex, LockKind::kTicket}) {
       SimRuntime rt(spec);
-      row.push_back(Table::Num(KvsStress(rt, config, kind, threads).kops, 0));
+      Result r = ctx.NewResult(spec);
+      r.Param("test", "get")
+          .Param("lock", "NONE")
+          .Param("threads", threads)
+          .Metric("kops", KvsStressNoLocks(rt, config, threads).kops);
+      sink.Emit(r);
     }
-    SimRuntime rt(spec);
-    row.push_back(Table::Num(KvsStressNoLocks(rt, config, threads).kops, 0));
-    g.AddRow(std::move(row));
   }
-  EmitTable(g, csv);
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig12Memcached);
+
+}  // namespace
+}  // namespace ssync

@@ -1,35 +1,58 @@
 // Figure 3: latency of acquire+release using different implementations of a
 // ticket lock on the Opteron (non-optimized, proportional back-off,
 // back-off + prefetchw).
-#include "bench/bench_common.h"
 #include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const int rounds = static_cast<int>(cli.Int("rounds", 60, "acquisitions per thread"));
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Figure 3 — ticket-lock acquire+release latency on the Opteron "
-      "(10^3 cycles)\n"
-      "Paper: non-optimized reaches ~720K cycles at 48 threads; back-off "
-      "scales far better;\nprefetchw is up to 2x better than back-off alone.\n\n");
-
-  TicketOptions naive{/*proportional_backoff=*/false, /*prefetchw=*/false, 100};
-  TicketOptions backoff{/*proportional_backoff=*/true, /*prefetchw=*/false, 100};
-  TicketOptions prefetch{/*proportional_backoff=*/true, /*prefetchw=*/true, 100};
-
-  Table t({"Threads", "non-optimized", "back-off", "back-off+prefetchw"});
-  for (const int threads : {1, 6, 12, 18, 24, 36, 48}) {
-    SimRuntime rt(MakeOpteron());
-    const double lat_naive = TicketAcquireReleaseLatency(rt, naive, threads, rounds);
-    const double lat_backoff = TicketAcquireReleaseLatency(rt, backoff, threads, rounds);
-    const double lat_prefetch = TicketAcquireReleaseLatency(rt, prefetch, threads, rounds);
-    t.AddRow({Table::Int(threads), Table::Num(lat_naive / 1000.0, 1),
-              Table::Num(lat_backoff / 1000.0, 1), Table::Num(lat_prefetch / 1000.0, 1)});
+class Fig3TicketOpt final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig3";
+    info.legacy_name = "fig3_ticket_opt";
+    info.anchor = "Figure 3";
+    info.order = 30;
+    info.summary = "ticket-lock acquire+release latency on the Opteron (cycles)";
+    info.expectation =
+        "Paper: non-optimized reaches ~720K cycles at 48 threads; back-off scales "
+        "far better; prefetchw is up to 2x better than back-off alone.";
+    info.params = {RoundsParam(60, "acquisitions per thread")};
+    info.fixed_platforms = true;  // the figure is Opteron-only
+    return info;
   }
-  EmitTable(t, csv);
-  return 0;
-}
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const int rounds = static_cast<int>(ctx.params().Int("rounds"));
+    struct Variant {
+      const char* name;
+      TicketOptions options;
+    };
+    const Variant kVariants[] = {
+        {"non-optimized", {/*proportional_backoff=*/false, /*prefetchw=*/false, 100}},
+        {"back-off", {/*proportional_backoff=*/true, /*prefetchw=*/false, 100}},
+        {"back-off+prefetchw", {/*proportional_backoff=*/true, /*prefetchw=*/true, 100}},
+    };
+    const PlatformSpec spec = MakeOpteron();
+    for (const int threads : {1, 6, 12, 18, 24, 36, 48}) {
+      for (const Variant& variant : kVariants) {
+        SimRuntime rt(spec);
+        const double cycles =
+            TicketAcquireReleaseLatency(rt, variant.options, threads, rounds);
+        Result r = ctx.NewResult(spec);
+        r.Param("threads", threads)
+            .Param("variant", variant.name)
+            .Metric("latency_cycles", cycles);
+        sink.Emit(r);
+      }
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig3TicketOpt);
+
+}  // namespace
+}  // namespace ssync

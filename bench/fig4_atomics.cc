@@ -1,37 +1,53 @@
 // Figure 4: throughput of different atomic operations on a single memory
 // location, per platform, versus the number of threads.
-#include "bench/bench_common.h"
 #include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/harness/sweeps.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Figure 4 — atomic-op throughput on one shared line (Mops/s)\n"
-      "Paper: multi-sockets drop steeply beyond one core and again across "
-      "sockets;\nsingle-sockets converge to a plateau. TAS is fastest on "
-      "Niagara, FAI on Tilera.\n\n");
-
-  constexpr AtomicStressOp kOps[] = {AtomicStressOp::kCas, AtomicStressOp::kTas,
-                                     AtomicStressOp::kCasFai, AtomicStressOp::kSwap,
-                                     AtomicStressOp::kFai};
-  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-    std::printf("%s:\n", spec.name.c_str());
-    Table t({"Threads", "CAS", "TAS", "CAS_FAI", "SWAP", "FAI"});
-    for (const int threads : ThreadMarks(spec)) {
-      std::vector<std::string> row{Table::Int(threads)};
-      for (const AtomicStressOp op : kOps) {
-        SimRuntime rt(spec);
-        row.push_back(Table::Num(AtomicStress(rt, op, threads, duration).mops, 1));
-      }
-      t.AddRow(std::move(row));
-    }
-    EmitTable(t, csv);
+class Fig4Atomics final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig4";
+    info.legacy_name = "fig4_atomics";
+    info.anchor = "Figure 4";
+    info.order = 40;
+    info.summary = "atomic-op throughput on one shared line (Mops/s)";
+    info.expectation =
+        "Paper: multi-sockets drop steeply beyond one core and again across "
+        "sockets; single-sockets converge to a plateau. TAS is fastest on "
+        "Niagara, FAI on Tilera.";
+    info.params = {DurationParam(400000)};
+    info.supports_native = true;
+    return info;
   }
-  return 0;
-}
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      for (const int threads : ThreadMarks(spec)) {
+        for (const AtomicStressOp op : kAllAtomicStressOps) {
+          const StressResult res = ctx.WithRuntime(spec, [&](auto& rt) {
+            return AtomicStress(rt, op, threads, duration);
+          });
+          Result r = ctx.NewResult(spec);
+          r.Param("op", ToString(op))
+              .Param("threads", threads)
+              .Metric("mops", res.mops)
+              .Metric("ops", static_cast<double>(res.ops))
+              .Metric("cycles", static_cast<double>(res.duration));
+          sink.Emit(r);
+        }
+      }
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig4Atomics);
+
+}  // namespace
+}  // namespace ssync

@@ -1,48 +1,59 @@
 // Figure 6: uncontested lock-acquisition latency based on the location of
 // the previous owner of the lock.
-#include "bench/bench_common.h"
 #include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const int rounds = static_cast<int>(cli.Int("rounds", 200, "handoffs per distance"));
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Figure 6 — uncontested acquisition latency by previous-holder "
-      "location (cycles)\n"
-      "Paper: remote acquisitions cost up to 12.5x (Opteron) / 11x (Xeon) "
-      "local ones;\nNiagara is flat; complex locks add overhead over spin "
-      "locks.\n\n");
-
-  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-    const TicketOptions topt = DefaultTicketOptions(spec);
-    const std::vector<LockKind> kinds = LocksForPlatform(spec);
-    const auto cases = DistanceCases(spec);
-    std::printf("%s:\n", spec.name.c_str());
-    std::vector<std::string> headers{"Lock", "single thread"};
-    for (const DistanceCase& c : cases) {
-      headers.push_back(c.label);
-    }
-    Table t(headers);
-    for (const LockKind kind : kinds) {
-      std::vector<std::string> row{ToString(kind)};
-      {
-        SimRuntime rt(spec);
-        row.push_back(
-            Table::Num(UncontestedLockLatency(rt, kind, topt, 0, -1, rounds), 0));
-      }
-      for (const DistanceCase& c : cases) {
-        SimRuntime rt(spec);
-        row.push_back(Table::Num(
-            UncontestedLockLatency(rt, kind, topt, 0, c.partner, rounds), 0));
-      }
-      t.AddRow(std::move(row));
-    }
-    EmitTable(t, csv);
+class Fig6Uncontested final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig6";
+    info.legacy_name = "fig6_uncontested";
+    info.anchor = "Figure 6";
+    info.order = 60;
+    info.summary = "uncontested acquisition latency by previous-holder location (cycles)";
+    info.expectation =
+        "Paper: remote acquisitions cost up to 12.5x (Opteron) / 11x (Xeon) "
+        "local ones; Niagara is flat; complex locks add overhead over spin "
+        "locks.";
+    info.params = {RoundsParam(200, "handoffs per distance")};
+    return info;
   }
-  return 0;
-}
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const int rounds = static_cast<int>(ctx.params().Int("rounds"));
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      const TicketOptions topt = DefaultTicketOptions(spec);
+      const auto cases = DistanceCases(spec);
+      for (const LockKind kind : LocksForPlatform(spec)) {
+        {
+          SimRuntime rt(spec);
+          Result r = ctx.NewResult(spec);
+          r.Param("lock", ToString(kind))
+              .Param("distance", "single thread")
+              .Metric("latency_cycles",
+                      UncontestedLockLatency(rt, kind, topt, 0, -1, rounds));
+          sink.Emit(r);
+        }
+        for (const DistanceCase& c : cases) {
+          SimRuntime rt(spec);
+          Result r = ctx.NewResult(spec);
+          r.Param("lock", ToString(kind))
+              .Param("distance", c.label)
+              .Metric("latency_cycles",
+                      UncontestedLockLatency(rt, kind, topt, 0, c.partner, rounds));
+          sink.Emit(r);
+        }
+      }
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig6Uncontested);
+
+}  // namespace
+}  // namespace ssync

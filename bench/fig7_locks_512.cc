@@ -1,41 +1,55 @@
 // Figure 7: throughput of the nine lock algorithms using 512 locks
 // (very low contention), per platform.
-#include "bench/bench_common.h"
 #include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/harness/sweeps.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Figure 7 — lock throughput, 512 locks / very low contention (Mops/s)\n"
-      "Paper: simple locks match or beat the queue locks; the ticket lock is "
-      "the best\noverall on Opteron, Niagara and Tilera; the Xeon keeps strong "
-      "intra-socket locality.\n\n");
-
-  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-    const TicketOptions topt = DefaultTicketOptions(spec);
-    const std::vector<LockKind> kinds = LocksForPlatform(spec);
-    std::printf("%s:\n", spec.name.c_str());
-    std::vector<std::string> headers{"Threads"};
-    for (const LockKind kind : kinds) {
-      headers.push_back(ToString(kind));
-    }
-    Table t(headers);
-    for (const int threads : ThreadMarks(spec)) {
-      std::vector<std::string> row{Table::Int(threads)};
-      for (const LockKind kind : kinds) {
-        SimRuntime rt(spec);
-        row.push_back(
-            Table::Num(LockStress(rt, kind, topt, threads, 512, duration, 23).mops, 1));
-      }
-      t.AddRow(std::move(row));
-    }
-    EmitTable(t, csv);
+class Fig7Locks512 final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig7";
+    info.legacy_name = "fig7_locks_512";
+    info.anchor = "Figure 7";
+    info.order = 70;
+    info.summary = "lock throughput, 512 locks / very low contention (Mops/s)";
+    info.expectation =
+        "Paper: simple locks match or beat the queue locks; the ticket lock is "
+        "the best overall on Opteron, Niagara and Tilera; the Xeon keeps strong "
+        "intra-socket locality.";
+    info.params = {DurationParam(400000), SeedParam(23)};
+    info.supports_native = true;
+    return info;
   }
-  return 0;
-}
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    const auto seed = static_cast<std::uint64_t>(ctx.params().Int("seed"));
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      const TicketOptions topt = DefaultTicketOptions(spec);
+      for (const int threads : ThreadMarks(spec)) {
+        for (const LockKind kind : LocksForPlatform(spec)) {
+          const StressResult res = ctx.WithRuntime(spec, [&](auto& rt) {
+            return LockStress(rt, kind, topt, threads, /*num_locks=*/512, duration, seed);
+          });
+          Result r = ctx.NewResult(spec);
+          r.Param("lock", ToString(kind))
+              .Param("threads", threads)
+              .Metric("mops", res.mops)
+              .Metric("ops", static_cast<double>(res.ops))
+              .Metric("cycles", static_cast<double>(res.duration));
+          sink.Emit(r);
+        }
+      }
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig7Locks512);
+
+}  // namespace
+}  // namespace ssync

@@ -2,51 +2,70 @@
 // locks (4 / 16 / 32 / 128), reported — as in the paper — as the
 // best-performing lock and its scalability over single-thread execution at
 // each thread mark.
-#include "bench/bench_common.h"
 #include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/harness/sweeps.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Figure 8 — best lock and scalability vs number of locks\n"
-      "Each cell: throughput Mops/s (scalability x: best lock), as the "
-      "paper's bar labels.\nPaper: single-sockets scale; multi-sockets are "
-      "limited even at low contention.\n\n");
+class Fig8LocksScaling final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig8";
+    info.legacy_name = "fig8_locks_scaling";
+    info.anchor = "Figure 8";
+    info.order = 80;
+    info.summary = "best lock and scalability vs number of locks";
+    info.expectation =
+        "Paper: single-sockets scale; multi-sockets are limited even at low "
+        "contention. Each point: best-performing lock's throughput and its "
+        "scalability over single-thread execution.";
+    info.params = {DurationParam(400000), SeedParam(29)};
+    info.supports_native = true;
+    return info;
+  }
 
-  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-    const TicketOptions topt = DefaultTicketOptions(spec);
-    const std::vector<LockKind> kinds = LocksForPlatform(spec);
-    std::printf("%s:\n", spec.name.c_str());
-    Table t({"Locks", "Threads", "Mops/s", "Scalability", "Best lock"});
-    for (const int num_locks : {4, 16, 32, 128}) {
-      double single_thread_best = 0.0;
-      for (const int threads : BarThreadMarks(spec)) {
-        double best = 0.0;
-        LockKind best_kind = LockKind::kTicket;
-        for (const LockKind kind : kinds) {
-          SimRuntime rt(spec);
-          const double mops =
-              LockStress(rt, kind, topt, threads, num_locks, duration, 29).mops;
-          if (mops > best) {
-            best = mops;
-            best_kind = kind;
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    const auto seed = static_cast<std::uint64_t>(ctx.params().Int("seed"));
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      const TicketOptions topt = DefaultTicketOptions(spec);
+      const std::vector<LockKind> kinds = LocksForPlatform(spec);
+      for (const int num_locks : {4, 16, 32, 128}) {
+        double single_thread_best = 0.0;
+        for (const int threads : BarThreadMarks(spec)) {
+          double best = 0.0;
+          LockKind best_kind = LockKind::kTicket;
+          for (const LockKind kind : kinds) {
+            const double mops = ctx.WithRuntime(spec, [&](auto& rt) {
+              return LockStress(rt, kind, topt, threads, num_locks, duration, seed).mops;
+            });
+            if (mops > best) {
+              best = mops;
+              best_kind = kind;
+            }
           }
+          if (threads == 1) {
+            single_thread_best = best;
+          }
+          Result r = ctx.NewResult(spec);
+          r.Param("locks", num_locks)
+              .Param("threads", threads)
+              .Metric("mops", best)
+              .Metric("scalability",
+                      single_thread_best > 0.0 ? best / single_thread_best : 0.0)
+              .Label("best_lock", ToString(best_kind));
+          sink.Emit(r);
         }
-        if (threads == 1) {
-          single_thread_best = best;
-        }
-        t.AddRow({Table::Int(num_locks), Table::Int(threads), Table::Num(best, 1),
-                  Table::Num(best / single_thread_best, 1) + "x",
-                  ToString(best_kind)});
       }
     }
-    EmitTable(t, csv);
   }
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig8LocksScaling);
+
+}  // namespace
+}  // namespace ssync

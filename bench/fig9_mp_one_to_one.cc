@@ -1,7 +1,8 @@
 // Figure 9: one-to-one communication latencies of message passing depending
 // on the distance between the two cores (one-way and round-trip).
-#include "bench/bench_common.h"
 #include "src/core/runtime_sim.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 #include "src/mp/ssmp.h"
 #include "src/platform/paper_data.h"
 #include "src/util/stats.h"
@@ -46,36 +47,46 @@ PairLatency MeasurePair(const PlatformSpec& spec, CpuId cpu_a, CpuId cpu_b, int 
   return {one_way.mean(), round_trip.mean()};
 }
 
+class Fig9MpOneToOne final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "fig9";
+    info.legacy_name = "fig9_mp_one_to_one";
+    info.anchor = "Figure 9";
+    info.order = 90;
+    info.summary = "one-to-one message-passing latency by distance (cycles)";
+    info.expectation =
+        "Paper: a one-way message costs ~2 cache-line transfers; Tilera's "
+        "hardware MP wins.";
+    info.params = {RoundsParam(200, "messages per distance")};
+    return info;
+  }
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const int rounds = static_cast<int>(ctx.params().Int("rounds"));
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      const auto cases = DistanceCases(spec);
+      const PaperFig9 paper = PaperFig9For(spec.kind);
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        const PairLatency lat = MeasurePair(spec, 0, cases[i].partner, rounds);
+        Result r = ctx.NewResult(spec);
+        r.Param("distance", cases[i].label)
+            .Metric("one_way_cycles", lat.one_way)
+            .Metric("round_trip_cycles", lat.round_trip);
+        // The paper publishes Figure 9 numbers only for the four main
+        // machines; measured-only rows for e.g. the 2-socket specs.
+        if (i < paper.one_way.size() && i < paper.round_trip.size()) {
+          r.Metric("paper_one_way_cycles", static_cast<double>(paper.one_way[i]))
+              .Metric("paper_round_trip_cycles", static_cast<double>(paper.round_trip[i]));
+        }
+        sink.Emit(r);
+      }
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(Fig9MpOneToOne);
+
 }  // namespace
 }  // namespace ssync
-
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const int rounds = static_cast<int>(cli.Int("rounds", 200, "messages per distance"));
-  cli.Finish();
-
-  std::printf(
-      "Figure 9 — one-to-one message-passing latency by distance (cycles), "
-      "measured | paper\n"
-      "Paper: a one-way message costs ~2 cache-line transfers; Tilera's "
-      "hardware MP wins.\n\n");
-
-  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-    const auto cases = DistanceCases(spec);
-    const PaperFig9 paper = PaperFig9For(spec.kind);
-    std::printf("%s%s:\n", spec.name.c_str(),
-                spec.has_hw_mp ? " (hardware message passing)" : "");
-    Table t({"Distance", "one-way", "round-trip"});
-    for (std::size_t i = 0; i < cases.size(); ++i) {
-      const PairLatency lat = MeasurePair(spec, 0, cases[i].partner, rounds);
-      t.AddRow({cases[i].label,
-                Table::Num(lat.one_way, 0) + " | " + Table::Int(paper.one_way[i]),
-                Table::Num(lat.round_trip, 0) + " | " + Table::Int(paper.round_trip[i])});
-    }
-    EmitTable(t, csv);
-  }
-  return 0;
-}

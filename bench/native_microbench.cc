@@ -1,129 +1,153 @@
-// google-benchmark microbenchmarks of the substrate itself on the host
-// machine: fiber switches, engine scheduling, coherence-model access rates,
-// and the native lock fast paths. (On a 1-core host these validate overheads,
-// not scalability — the scalability study runs on the simulated machines.)
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the substrate itself on the host machine: fiber
+// switches, engine scheduling, coherence-model access rates, and the native
+// lock fast paths. (On a 1-core host these validate overheads, not
+// scalability — the scalability study runs on the simulated machines.)
+//
+// Pre-redesign this was a Google Benchmark binary; it is now a registered
+// native-backend experiment with its own chrono-based timing loops, so it
+// builds everywhere and reports through the same ResultSink pipeline.
+#include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "src/ccsim/machine.h"
 #include "src/core/mem_native.h"
 #include "src/core/runtime_sim.h"
 #include "src/fiber/fiber.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 #include "src/locks/locks.h"
 #include "src/platform/spec.h"
 
 namespace ssync {
 namespace {
 
-void BM_FiberSwitch(benchmark::State& state) {
-  Fiber fiber([] {
-    for (;;) {
-      Fiber::Current()->Yield();
-    }
-  });
-  for (auto _ : state) {
-    fiber.Resume();  // one round trip = two context switches
+// Wall-clock nanoseconds per item for `iters` invocations of `body(i)`,
+// where each invocation stands for `items_per_iter` items.
+template <typename Body>
+double NsPerItem(std::uint64_t iters, std::uint64_t items_per_iter, Body&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    body(i);
   }
-  state.SetItemsProcessed(state.iterations() * 2);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  return ns / static_cast<double>(iters * items_per_iter);
 }
-BENCHMARK(BM_FiberSwitch);
 
-void BM_EngineAdvance(benchmark::State& state) {
-  // Throughput of the discrete-event core: advances with slack checks.
-  const std::int64_t batch = 1 << 16;
-  for (auto _ : state) {
-    Engine eng(2);
-    for (CpuId cpu = 0; cpu < 2; ++cpu) {
-      eng.Spawn(cpu, [batch] {
-        for (std::int64_t i = 0; i < batch; ++i) {
-          Engine::Current()->Advance(3);
+class NativeMicrobench final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "native_microbench";
+    info.legacy_name = "native_microbench";
+    info.anchor = "substrate";
+    info.order = 150;
+    info.summary = "host-side overheads: fiber switch, engine, coherence model, locks";
+    info.expectation =
+        "Host-dependent absolute numbers; useful as a regression trajectory "
+        "for the simulator's own overheads.";
+    info.params = {{"iters", ParamSpec::Type::kInt, "100000",
+                    "timing-loop iterations per microbenchmark", /*min_int=*/1}};
+    info.supports_sim = false;
+    info.supports_native = true;
+    info.fixed_platforms = true;  // measures the host, whatever it is
+    return info;
+  }
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const auto iters = static_cast<std::uint64_t>(ctx.params().Int("iters"));
+    const PlatformSpec host = MakeNativeHost();
+    auto emit = [&](const char* bench, double ns_per_op) {
+      Result r = ctx.NewResult(host);
+      r.Param("bench", bench).Metric("ns_per_op", ns_per_op);
+      sink.Emit(r);
+    };
+
+    {
+      // One round trip = two context switches.
+      Fiber fiber([] {
+        for (;;) {
+          Fiber::Current()->Yield();
         }
       });
+      emit("fiber_switch", NsPerItem(iters, 2, [&](std::uint64_t) { fiber.Resume(); }));
     }
-    eng.Run();
-  }
-  state.SetItemsProcessed(state.iterations() * batch * 2);
-}
-BENCHMARK(BM_EngineAdvance);
 
-void BM_CoherenceAccessLocalHit(benchmark::State& state) {
-  Machine machine(MakeOpteron());
-  machine.AccessAt(0, 100, AccessType::kStore, 0);
-  Cycles now = 1000;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(machine.AccessAt(0, 100, AccessType::kLoad, now));
-    now += 1000;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CoherenceAccessLocalHit);
+    {
+      // Throughput of the discrete-event core: advances with slack checks.
+      const std::int64_t batch = 1 << 12;
+      emit("engine_advance", NsPerItem(std::max<std::uint64_t>(1, iters / batch),
+                                       2 * batch, [&](std::uint64_t) {
+        Engine eng(2);
+        for (CpuId cpu = 0; cpu < 2; ++cpu) {
+          eng.Spawn(cpu, [batch] {
+            for (std::int64_t i = 0; i < batch; ++i) {
+              Engine::Current()->Advance(3);
+            }
+          });
+        }
+        eng.Run();
+      }));
+    }
 
-void BM_CoherenceAccessRemoteTransfer(benchmark::State& state) {
-  Machine machine(MakeOpteron());
-  Cycles now = 0;
-  int flip = 0;
-  for (auto _ : state) {
-    now += 1000;
-    benchmark::DoNotOptimize(
-        machine.AccessAt(flip ? 0 : 6, 100, AccessType::kStore, now));
-    flip ^= 1;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CoherenceAccessRemoteTransfer);
+    {
+      Machine machine(MakeOpteron());
+      machine.AccessAt(0, 100, AccessType::kStore, 0);
+      Cycles now = 1000;
+      emit("coherence_local_hit", NsPerItem(iters, 1, [&](std::uint64_t) {
+        (void)machine.AccessAt(0, 100, AccessType::kLoad, now);
+        now += 1000;
+      }));
+    }
 
-void BM_SimulatedLockHandoff(benchmark::State& state) {
-  // End-to-end cost of simulating one lock acquire/release pair.
-  for (auto _ : state) {
-    SimRuntime rt(MakeOpteron());
-    const LockTopology topo = LockTopology::ForPlatform(rt.spec(), 2);
-    TicketLock<SimMem> lock(topo);
-    rt.Run(2, [&](int) {
-      for (int i = 0; i < 1000; ++i) {
-        lock.Lock();
-        lock.Unlock();
-        SimMem::Pause(60);
-      }
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * 2000);
-}
-BENCHMARK(BM_SimulatedLockHandoff);
+    {
+      Machine machine(MakeOpteron());
+      Cycles now = 0;
+      emit("coherence_remote_transfer", NsPerItem(iters, 1, [&](std::uint64_t i) {
+        now += 1000;
+        (void)machine.AccessAt((i & 1) != 0 ? 0 : 6, 100, AccessType::kStore, now);
+      }));
+    }
 
-template <typename L>
-void NativeLockFastPath(benchmark::State& state) {
-  const LockTopology topo = LockTopology::Flat(1);
-  L lock(topo);
-  internal::g_native_thread_id = 0;
-  for (auto _ : state) {
-    lock.Lock();
-    benchmark::ClobberMemory();
-    lock.Unlock();
-  }
-  state.SetItemsProcessed(state.iterations());
-}
+    {
+      // End-to-end cost of simulating one lock acquire/release pair.
+      const std::uint64_t pairs = 1000;
+      emit("simulated_lock_handoff",
+           NsPerItem(std::max<std::uint64_t>(1, iters / pairs), 2 * pairs,
+                     [&](std::uint64_t) {
+                       SimRuntime rt(MakeOpteron());
+                       const LockTopology topo = LockTopology::ForPlatform(rt.spec(), 2);
+                       TicketLock<SimMem> lock(topo);
+                       rt.Run(2, [&](int) {
+                         for (std::uint64_t i = 0; i < pairs; ++i) {
+                           lock.Lock();
+                           lock.Unlock();
+                           SimMem::Pause(60);
+                         }
+                       });
+                     }));
+    }
 
-void BM_NativeTasUncontended(benchmark::State& state) {
-  NativeLockFastPath<TasLock<NativeMem>>(state);
-}
-void BM_NativeTicketUncontended(benchmark::State& state) {
-  NativeLockFastPath<TicketLock<NativeMem>>(state);
-}
-void BM_NativeMcsUncontended(benchmark::State& state) {
-  NativeLockFastPath<McsLock<NativeMem>>(state);
-}
-void BM_NativeClhUncontended(benchmark::State& state) {
-  NativeLockFastPath<ClhLock<NativeMem>>(state);
-}
-void BM_NativeMutexUncontended(benchmark::State& state) {
-  NativeLockFastPath<MutexLock<NativeMem>>(state);
-}
-BENCHMARK(BM_NativeTasUncontended);
-BENCHMARK(BM_NativeTicketUncontended);
-BENCHMARK(BM_NativeMcsUncontended);
-BENCHMARK(BM_NativeClhUncontended);
-BENCHMARK(BM_NativeMutexUncontended);
+    // Uncontended fast path of every native lock (thread 0's slot).
+    internal::g_native_thread_id = 0;
+    const LockTopology topo = LockTopology::Flat(1);
+    constexpr LockKind kKinds[] = {LockKind::kTas, LockKind::kTicket, LockKind::kMcs,
+                                   LockKind::kClh, LockKind::kMutex};
+    for (const LockKind kind : kKinds) {
+      WithLock<NativeMem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+        emit((std::string("native_") + ToString(kind) + "_uncontended").c_str(),
+             NsPerItem(iters, 1, [&](std::uint64_t) {
+               lock.Lock();
+               lock.Unlock();
+             }));
+      });
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(NativeMicrobench);
 
 }  // namespace
 }  // namespace ssync
-
-BENCHMARK_MAIN();

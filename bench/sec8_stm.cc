@@ -6,8 +6,10 @@
 // message-passing STM.
 #include <memory>
 
-#include "bench/bench_common.h"
 #include "src/core/runtime_sim.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/harness/sweeps.h"
 #include "src/stm/tm_lock.h"
 #include "src/stm/tm_mp.h"
 #include "src/util/rng.h"
@@ -100,42 +102,51 @@ StmPoint MpStmPoint(const PlatformSpec& spec, int threads, int num_accounts,
                  : 0.0};
 }
 
-}  // namespace
-}  // namespace ssync
+class Sec8Stm final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "sec8_stm";
+    info.legacy_name = "sec8_stm";
+    info.anchor = "Section 8";
+    info.order = 130;
+    info.summary = "STM (TM2C) bank transfers: lock-based vs message-passing (M tx/s)";
+    info.expectation =
+        "Paper: results are in accordance with the hash table — locks win at "
+        "low contention, message passing at extreme contention and high core "
+        "counts.";
+    info.params = {DurationParam(400000)};
+    return info;
+  }
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const Cycles duration = cli.Int("duration", 400000, "simulated cycles per point");
-  cli.Finish();
-
-  std::printf(
-      "Section 8 — STM (TM2C): bank transfers, lock-based vs message-passing "
-      "(M tx/s)\nPaper: results are in accordance with the hash table — "
-      "locks win at low\ncontention, message passing at extreme contention "
-      "and high core counts.\n\n");
-
-  struct Level {
-    const char* name;
-    int accounts;
-  };
-  for (const Level level : {Level{"high contention", 16}, Level{"low contention", 4096}}) {
-    std::printf("== %s (%d accounts) ==\n\n", level.name, level.accounts);
-    for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-      std::printf("%s:\n", spec.name.c_str());
-      Table t({"Threads", "lock STM Mtx/s", "lock abort%", "mp STM Mtx/s", "mp abort%"});
-      for (const int threads : BarThreadMarks(spec)) {
-        const StmPoint lock_point = LockStmPoint(spec, threads, level.accounts, duration);
-        const StmPoint mp_point = MpStmPoint(spec, threads, level.accounts, duration);
-        t.AddRow({Table::Int(threads), Table::Num(lock_point.mtx_per_sec, 2),
-                  Table::Num(100 * lock_point.abort_ratio, 1),
-                  Table::Num(mp_point.mtx_per_sec, 2),
-                  Table::Num(100 * mp_point.abort_ratio, 1)});
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    struct Level {
+      const char* name;
+      int accounts;
+    };
+    for (const Level level : {Level{"high", 16}, Level{"low", 4096}}) {
+      for (const PlatformSpec& spec : ctx.platforms()) {
+        for (const int threads : BarThreadMarks(spec)) {
+          const StmPoint lock_point =
+              LockStmPoint(spec, threads, level.accounts, duration);
+          const StmPoint mp_point = MpStmPoint(spec, threads, level.accounts, duration);
+          Result r = ctx.NewResult(spec);
+          r.Param("contention", level.name)
+              .Param("accounts", level.accounts)
+              .Param("threads", threads)
+              .Metric("lock_mtx_per_sec", lock_point.mtx_per_sec)
+              .Metric("lock_abort_pct", 100 * lock_point.abort_ratio)
+              .Metric("mp_mtx_per_sec", mp_point.mtx_per_sec)
+              .Metric("mp_abort_pct", 100 * mp_point.abort_ratio);
+          sink.Emit(r);
+        }
       }
-      EmitTable(t, csv);
     }
   }
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(Sec8Stm);
+
+}  // namespace
+}  // namespace ssync

@@ -1,53 +1,78 @@
 // Section 8 ("Miscellaneous"): the small-scale multi-sockets — a 2-socket
 // Opteron and a 2-socket Xeon — show the same trends as the large machines,
 // with cross-socket coherence ~1.6x and ~2.7x the intra-socket latencies.
-#include "bench/bench_common.h"
 #include "src/ccbench/ccbench.h"
 #include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const int reps = static_cast<int>(cli.Int("reps", 100, "repetitions per cell"));
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf(
-      "Section 8 — 2-socket machines: cross-socket vs intra-socket "
-      "coherence latency\nPaper: ~1.6x on the 2-socket Opteron, ~2.7x on the "
-      "2-socket Xeon; scalability\ntrends match the large multi-sockets.\n\n");
-
-  Table t({"Platform", "intra (cycles)", "cross (cycles)", "ratio", "paper ratio"});
-  for (const char* name : {"opteron2", "xeon2"}) {
-    const PlatformSpec spec = MakePlatformByName(name);
-    Machine machine(spec);
-    CcBench bench(&machine);
-    const CpuId remote = spec.cores_per_socket;  // first cpu of socket 1
-    const double intra =
-        bench.Measure(AccessType::kLoad, LineState::kModified, 0, 1, 2, reps).mean;
-    const double cross =
-        bench.Measure(AccessType::kLoad, LineState::kModified, 0, remote, remote + 1, reps)
-            .mean;
-    t.AddRow({spec.name, Table::Num(intra, 0), Table::Num(cross, 0),
-              Table::Num(cross / intra, 2),
-              spec.kind == PlatformKind::kOpteron2 ? "1.6" : "2.7"});
+class Sec8TwoSocket final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "sec8_two_socket";
+    info.legacy_name = "sec8_two_socket";
+    info.anchor = "Section 8";
+    info.order = 131;
+    info.summary = "2-socket machines: cross- vs intra-socket latency and lock scaling";
+    info.expectation =
+        "Paper: cross-socket coherence is ~1.6x intra-socket on the 2-socket "
+        "Opteron and ~2.7x on the 2-socket Xeon; scalability trends match the "
+        "large multi-sockets.";
+    info.params = {RepsParam(100), DurationParam(400000)};
+    info.fixed_platforms = true;  // always the Section 8 machines
+    return info;
   }
-  EmitTable(t, csv);
 
-  std::printf(
-      "Lock throughput across the socket boundary (single lock, TICKET):\n\n");
-  Table t2({"Platform", "1 thread", "1 socket", "2 sockets"});
-  for (const char* name : {"opteron2", "xeon2"}) {
-    const PlatformSpec spec = MakePlatformByName(name);
-    const TicketOptions topt = DefaultTicketOptions(spec);
-    SimRuntime rt(spec);
-    const double one = LockStress(rt, LockKind::kTicket, topt, 1, 1, 400000, 31).mops;
-    const double half =
-        LockStress(rt, LockKind::kTicket, topt, spec.cores_per_socket, 1, 400000, 31).mops;
-    const double full =
-        LockStress(rt, LockKind::kTicket, topt, spec.num_cpus, 1, 400000, 31).mops;
-    t2.AddRow({spec.name, Table::Num(one, 1), Table::Num(half, 1), Table::Num(full, 1)});
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const int reps = static_cast<int>(ctx.params().Int("reps"));
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    for (const char* name : {"opteron2", "xeon2"}) {
+      const PlatformSpec spec = MakePlatformByName(name);
+      {
+        Machine machine(spec);
+        CcBench bench(&machine);
+        const CpuId remote = spec.cores_per_socket;  // first cpu of socket 1
+        const double intra =
+            bench.Measure(AccessType::kLoad, LineState::kModified, 0, 1, 2, reps).mean;
+        const double cross =
+            bench.Measure(AccessType::kLoad, LineState::kModified, 0, remote, remote + 1,
+                          reps)
+                .mean;
+        Result r = ctx.NewResult(spec);
+        r.Param("measure", "coherence")
+            .Metric("intra_cycles", intra)
+            .Metric("cross_cycles", cross)
+            .Metric("ratio", cross / intra)
+            .Metric("paper_ratio", spec.kind == PlatformKind::kOpteron2 ? 1.6 : 2.7);
+        sink.Emit(r);
+      }
+      {
+        // Lock throughput across the socket boundary (single TICKET lock).
+        const TicketOptions topt = DefaultTicketOptions(spec);
+        SimRuntime rt(spec);
+        const double one =
+            LockStress(rt, LockKind::kTicket, topt, 1, 1, duration, 31).mops;
+        const double half = LockStress(rt, LockKind::kTicket, topt,
+                                       spec.cores_per_socket, 1, duration, 31)
+                                .mops;
+        const double full =
+            LockStress(rt, LockKind::kTicket, topt, spec.num_cpus, 1, duration, 31).mops;
+        Result r = ctx.NewResult(spec);
+        r.Param("measure", "ticket_lock")
+            .Metric("one_thread_mops", one)
+            .Metric("one_socket_mops", half)
+            .Metric("two_socket_mops", full);
+        sink.Emit(r);
+      }
+    }
   }
-  EmitTable(t2, csv);
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(Sec8TwoSocket);
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,6 @@
+// ssyncbench: the single driver binary over every registered experiment.
+// The registrations live in the sibling bench/*.cc translation units (one
+// per paper figure/table/ablation); see src/harness/driver.h for the CLI.
+#include "src/harness/driver.h"
+
+int main(int argc, char** argv) { return ssync::SsyncbenchMain(argc, argv); }

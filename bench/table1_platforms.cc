@@ -1,33 +1,52 @@
 // Table 1: the hardware characteristics of the target platforms, as encoded
 // in the simulator's platform specifications.
-#include "bench/bench_common.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV instead of aligned text");
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf("Table 1: simulated platform characteristics (paper Table 1)\n\n");
-  Table t({"Name", "Processors", "CPUs", "Cores/socket", "Sockets", "Clock (GHz)",
-           "L1 (KiB)", "L2 (KiB)", "LLC (MiB)", "Interconnect"});
-  for (const PlatformKind kind : MainPlatforms()) {
-    const PlatformSpec s = MakePlatform(kind);
-    t.AddRow({s.name, s.processors, Table::Int(s.num_cpus),
-              Table::Int(s.cores_per_socket), Table::Int(s.num_sockets),
-              Table::Num(s.ghz, 2), Table::Int(static_cast<long long>(s.l1_lines) * 64 / 1024),
-              Table::Int(static_cast<long long>(s.l2_lines) * 64 / 1024),
-              Table::Num(static_cast<double>(s.llc_lines) * 64 / (1024 * 1024), 1),
-              s.interconnect});
+class Table1Platforms final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "table1";
+    info.legacy_name = "table1_platforms";
+    info.anchor = "Table 1";
+    info.order = 10;
+    info.summary = "simulated platform characteristics";
+    info.fixed_platforms = true;  // always reports the paper's machines
+    return info;
   }
-  EmitTable(t, csv);
 
-  std::printf("Section 8 small multi-sockets:\n\n");
-  Table t2({"Name", "Processors", "CPUs", "Sockets"});
-  for (const char* name : {"opteron2", "xeon2"}) {
-    const PlatformSpec s = MakePlatformByName(name);
-    t2.AddRow({s.name, s.processors, Table::Int(s.num_cpus), Table::Int(s.num_sockets)});
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    for (const PlatformKind kind : MainPlatforms()) {
+      Emit(ctx, sink, MakePlatform(kind), "main");
+    }
+    for (const char* name : {"opteron2", "xeon2"}) {
+      Emit(ctx, sink, MakePlatformByName(name), "sec8");
+    }
   }
-  EmitTable(t2, csv);
-  return 0;
-}
+
+ private:
+  static void Emit(const RunContext& ctx, ResultSink& sink, const PlatformSpec& s,
+                   const char* section) {
+    Result r = ctx.NewResult(s);
+    r.Param("section", section)
+        .Metric("cpus", s.num_cpus)
+        .Metric("cores_per_socket", s.cores_per_socket)
+        .Metric("sockets", s.num_sockets)
+        .Metric("ghz", s.ghz)
+        .Metric("l1_kib", static_cast<double>(s.l1_lines) * 64 / 1024)
+        .Metric("l2_kib", static_cast<double>(s.l2_lines) * 64 / 1024)
+        .Metric("llc_mib", static_cast<double>(s.llc_lines) * 64 / (1024 * 1024))
+        .Label("processors", s.processors)
+        .Label("interconnect", s.interconnect);
+    sink.Emit(r);
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(Table1Platforms);
+
+}  // namespace
+}  // namespace ssync

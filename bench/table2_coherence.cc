@@ -1,45 +1,59 @@
 // Table 2: latencies (cycles) of the cache coherence to load / store /
 // CAS / FAI / TAS / SWAP a cache line depending on its MESI state and the
-// distance between the cores. Prints measured-vs-paper for every cell.
-#include "bench/bench_common.h"
+// distance between the cores. Emits measured-vs-paper for every cell.
 #include "src/ccbench/ccbench.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 #include "src/platform/paper_data.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const std::string platform = cli.Str("platform", "all", "platform or 'all'");
-  const int reps = static_cast<int>(cli.Int("reps", 100, "repetitions per cell"));
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  for (const PlatformSpec& spec : PlatformsFromFlag(platform)) {
-    Machine machine(spec);
-    CcBench bench(&machine);
-    const auto cases = DistanceCases(spec);
-    const auto rows = PaperTable2(spec.kind);
-
-    std::printf("Table 2 — %s (measured | paper), cycles\n\n", spec.name.c_str());
-    std::vector<std::string> headers{"op", "state"};
-    for (const DistanceCase& c : cases) {
-      headers.push_back(c.label);
-    }
-    Table t(headers);
-    for (const PaperTable2Row& row : rows) {
-      std::vector<std::string> cells{ToString(row.op), ToString(row.prev_state)};
-      for (std::size_t i = 0; i < cases.size(); ++i) {
-        const CpuId partner = cases[i].partner;
-        CpuId second = partner + 1 < spec.num_cpus ? partner + 1 : partner - 1;
-        if (second == 0) {
-          second = partner + 2;
-        }
-        const CcBench::Sample s =
-            bench.Measure(row.op, row.prev_state, 0, partner, second, reps);
-        cells.push_back(Table::Num(s.mean, 0) + " | " + Table::Int(row.cycles[i]));
-      }
-      t.AddRow(std::move(cells));
-    }
-    EmitTable(t, csv);
+class Table2Coherence final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "table2";
+    info.legacy_name = "table2_coherence";
+    info.anchor = "Table 2";
+    info.order = 11;
+    info.summary = "coherence-operation latency by line state and distance (cycles)";
+    info.expectation =
+        "The simulator is calibrated so every cell tracks the published Table 2 "
+        "value (coefficient of variation <3% in the paper).";
+    info.params = {RepsParam(100)};
+    return info;
   }
-  return 0;
-}
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const int reps = static_cast<int>(ctx.params().Int("reps"));
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      Machine machine(spec);
+      CcBench bench(&machine);
+      const auto cases = DistanceCases(spec);
+      for (const PaperTable2Row& row : PaperTable2(spec.kind)) {
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+          const CpuId partner = cases[i].partner;
+          CpuId second = partner + 1 < spec.num_cpus ? partner + 1 : partner - 1;
+          if (second == 0) {
+            second = partner + 2;
+          }
+          const CcBench::Sample s =
+              bench.Measure(row.op, row.prev_state, 0, partner, second, reps);
+          Result r = ctx.NewResult(spec);
+          r.Param("op", ToString(row.op))
+              .Param("state", ToString(row.prev_state))
+              .Param("distance", cases[i].label)
+              .Metric("cycles", s.mean)
+              .Metric("paper_cycles", static_cast<double>(row.cycles[i]));
+          sink.Emit(r);
+        }
+      }
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(Table2Coherence);
+
+}  // namespace
+}  // namespace ssync

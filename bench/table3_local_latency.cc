@@ -1,47 +1,57 @@
-// Table 3: local cache and memory latencies (cycles).
-#include "bench/bench_common.h"
+// Table 3: local cache and memory latencies (cycles), measured vs paper.
 #include "src/ccbench/ccbench.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
 #include "src/platform/paper_data.h"
 
-int main(int argc, char** argv) {
-  using namespace ssync;
-  Cli cli(argc, argv);
-  const bool csv = cli.Bool("csv", false, "emit CSV");
-  const int reps = static_cast<int>(cli.Int("reps", 100, "repetitions per cell"));
-  cli.Finish();
+namespace ssync {
+namespace {
 
-  std::printf("Table 3 — local latencies, measured | paper (cycles)\n\n");
-  Table t({"Level", "Opteron", "Xeon", "Niagara", "Tilera"});
-  std::vector<std::vector<std::string>> cells(4, std::vector<std::string>());
-  for (const PlatformKind kind : MainPlatforms()) {
-    const PlatformSpec spec = MakePlatform(kind);
-    Machine machine(spec);
-    CcBench bench(&machine);
-    const PaperTable3 paper = PaperTable3For(kind);
+class Table3LocalLatency final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "table3";
+    info.legacy_name = "table3_local_latency";
+    info.anchor = "Table 3";
+    info.order = 12;
+    info.summary = "local cache/memory load latencies (cycles)";
+    info.params = {RepsParam(100)};
+    info.fixed_platforms = true;  // the paper's four machines
+    return info;
+  }
 
-    cells[0].push_back(Table::Num(bench.MeasureL1Load(0, reps).mean, 0) + " | " +
-                       Table::Int(paper.l1));
-    if (spec.l2_lines > 0) {
-      cells[1].push_back(Table::Num(bench.MeasureL2Load(0, reps).mean, 0) + " | " +
-                         Table::Int(paper.l2));
-    } else {
-      cells[1].push_back("-");
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const int reps = static_cast<int>(ctx.params().Int("reps"));
+    for (const PlatformKind kind : MainPlatforms()) {
+      const PlatformSpec spec = MakePlatform(kind);
+      Machine machine(spec);
+      CcBench bench(&machine);
+      const PaperTable3 paper = PaperTable3For(kind);
+
+      Emit(ctx, sink, spec, "L1", bench.MeasureL1Load(0, reps).mean, paper.l1);
+      if (spec.l2_lines > 0) {
+        Emit(ctx, sink, spec, "L2", bench.MeasureL2Load(0, reps).mean, paper.l2);
+      }
+      // LLC: the structural constant of the platform (the simulated coherence
+      // paths route through it; see Table 2 for end-to-end costs).
+      Emit(ctx, sink, spec, "LLC", static_cast<double>(spec.llc_lat), paper.llc);
+      Emit(ctx, sink, spec, "RAM", bench.MeasureRamLoad(0, reps).mean, paper.ram);
     }
-    // LLC: the structural constant of the platform (the simulated coherence
-    // paths route through it; see Table 2 for end-to-end costs).
-    cells[2].push_back(Table::Int(static_cast<long long>(spec.llc_lat)) + " | " +
-                       Table::Int(paper.llc));
-    cells[3].push_back(Table::Num(bench.MeasureRamLoad(0, reps).mean, 0) + " | " +
-                       Table::Int(paper.ram));
   }
-  const char* levels[4] = {"L1", "L2", "LLC", "RAM"};
-  for (int i = 0; i < 4; ++i) {
-    std::vector<std::string> row{levels[i]};
-    for (auto& c : cells[i]) {
-      row.push_back(std::move(c));
-    }
-    t.AddRow(std::move(row));
+
+ private:
+  static void Emit(const RunContext& ctx, ResultSink& sink, const PlatformSpec& spec,
+                   const char* level, double measured, long long paper) {
+    Result r = ctx.NewResult(spec);
+    r.Param("level", level)
+        .Metric("cycles", measured)
+        .Metric("paper_cycles", static_cast<double>(paper));
+    sink.Emit(r);
   }
-  EmitTable(t, csv);
-  return 0;
-}
+};
+
+SSYNC_REGISTER_EXPERIMENT(Table3LocalLatency);
+
+}  // namespace
+}  // namespace ssync

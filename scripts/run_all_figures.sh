@@ -1,10 +1,9 @@
 #!/usr/bin/env bash
-# Build Release and run every figure/table/ablation benchmark, emitting one
-# JSON line per bench to stdout and to BENCH_figures.json at the repo root.
-# Lines look like:
-#   {"bench":"fig8_locks_scaling","status":"ok","exit":0,"seconds":12.41}
-# so successive runs can be diffed for trajectory tracking (BENCH_*.json is
-# gitignored). Per-bench stdout goes to <build>/bench-logs/<name>.log.
+# Build Release and reproduce every figure/table/ablation through the
+# ssyncbench driver, writing the full result matrix — one JSON object per
+# measured point, schema "ssyncbench/v1" — to BENCH_figures.json at the repo
+# root (gitignored; successive runs can be diffed for trajectory tracking).
+# No stdout scraping: the data itself is the structured output.
 #
 # Usage:
 #   scripts/run_all_figures.sh               # full sweep (paper durations)
@@ -18,76 +17,57 @@ out_json="$repo_root/BENCH_figures.json"
 log_dir="$build_dir/bench-logs"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null || exit 1
-cmake --build "$build_dir" -j "$(nproc)" >/dev/null || exit 1
+cmake --build "$build_dir" -j "$(nproc)" --target ssyncbench >/dev/null || exit 1
 mkdir -p "$log_dir"
 
-# Shortened flags for smoke-test mode. Most benches sweep --duration
-# (simulated cycles per point); the outliers take their own knobs.
-quick_flags() {
-  case "$1" in
-    table1_platforms) echo "" ;;
-    table2_coherence|table3_local_latency|sec8_two_socket) echo "--reps=5" ;;
-    fig3_ticket_opt) echo "--rounds=10" ;;
-    fig6_uncontested|fig9_mp_one_to_one) echo "--rounds=20" ;;
-    native_microbench) echo "--benchmark_min_time=0.01" ;;
-    fig12_memcached) echo "--duration=1000000" ;;
-    *) echo "--duration=100000" ;;
-  esac
-}
+# Shortened parameter overrides for smoke-test mode. Every experiment picks
+# the knobs it declares (fig3 only sees --rounds, the tables only --reps, ...).
+quick_flags=""
+if [ "${SSYNC_QUICK:-0}" != "0" ]; then
+  quick_flags="--duration=100000 --rounds=20 --reps=5 --iters=2000"
+fi
 
-benches="
-table1_platforms
-table2_coherence
-table3_local_latency
-fig3_ticket_opt
-fig4_atomics
-fig5_locks_one
-fig6_uncontested
-fig7_locks_512
-fig8_locks_scaling
-fig9_mp_one_to_one
-fig10_mp_client_server
-fig11_ssht
-fig12_memcached
-sec8_stm
-sec8_two_socket
-ablation_placement
-ablation_ports
-ablation_prefetchw
-native_microbench
-"
+start=$(date +%s.%N)
+# shellcheck disable=SC2086  # quick_flags is intentionally word-split
+"$build_dir/bench/ssyncbench" all --format=json --out="$out_json" \
+  $quick_flags 2>"$log_dir/ssyncbench.log"
+code=$?
+end=$(date +%s.%N)
+secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }')
 
-: > "$out_json"
-failures=0
-for bench in $benches; do
-  bin="$build_dir/bench/$bench"
-  if [ ! -x "$bin" ]; then
-    # Only native_microbench may legitimately be absent (built only when
-    # Google Benchmark is installed); any other missing binary is a failure.
-    if [ "$bench" = "native_microbench" ]; then
-      status=skipped
-    else
-      status=missing
-      failures=$((failures + 1))
-    fi
-    line=$(printf '{"bench":"%s","status":"%s","exit":-1,"seconds":0}' "$bench" "$status")
-    echo "$line" | tee -a "$out_json"
-    continue
-  fi
-  flags=""
-  if [ "${SSYNC_QUICK:-0}" != "0" ]; then
-    flags="$(quick_flags "$bench")"
-  fi
-  start=$(date +%s.%N)
-  # shellcheck disable=SC2086  # flags are intentionally word-split
-  "$bin" $flags >"$log_dir/$bench.log" 2>&1
-  code=$?
-  end=$(date +%s.%N)
-  secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }')
-  if [ "$code" -eq 0 ]; then status=ok; else status=fail; failures=$((failures + 1)); fi
-  line=$(printf '{"bench":"%s","status":"%s","exit":%d,"seconds":%s}' \
-         "$bench" "$status" "$code" "$secs")
-  echo "$line" | tee -a "$out_json"
-done
+if [ "$code" -ne 0 ]; then
+  echo "ssyncbench failed (exit $code); see $log_dir/ssyncbench.log" >&2
+  exit "$code"
+fi
 
-exit "$failures"
+# Validate that every line parses as JSON with the expected schema tag, and
+# print a per-experiment point count as the run summary.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out_json" "$secs" <<'EOF' || exit 1
+import collections
+import json
+import sys
+
+path, secs = sys.argv[1], sys.argv[2]
+counts = collections.OrderedDict()
+with open(path) as f:
+    for lineno, line in enumerate(f, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}:{lineno}: invalid JSON: {e}")
+        if record.get("schema") != "ssyncbench/v1":
+            sys.exit(f"{path}:{lineno}: unexpected schema tag {record.get('schema')!r}")
+        key = record["experiment"]
+        counts[key] = counts.get(key, 0) + 1
+if not counts:
+    sys.exit(f"{path}: no results emitted")
+total = sum(counts.values())
+for name, n in counts.items():
+    print(f"  {name:<22} {n:>5} points")
+print(f"{total} data points across {len(counts)} experiments in {secs}s -> {path}")
+EOF
+else
+  lines=$(wc -l <"$out_json")
+  echo "python3 unavailable; skipped JSON validation ($lines lines in $out_json)"
+fi

@@ -1,31 +1,6 @@
 #include "src/core/experiments.h"
 
-#include <memory>
-#include <vector>
-
-#include "src/util/rng.h"
-#include "src/util/stats.h"
-
 namespace ssync {
-namespace {
-
-// Post-release pause of the lock stress (Section 6.1.2): long enough for the
-// release to become globally visible, short enough not to dominate the
-// uncontested path. Calibrated against Figure 5's single-thread anchors.
-constexpr Cycles kPostReleasePause = 60;
-
-// Constructs a lock of type L, forwarding ticket options where they apply.
-template <typename L, typename Mem>
-std::unique_ptr<L> MakeLock(const LockTopology& topo, const TicketOptions& topt) {
-  if constexpr (std::is_same_v<L, TicketLock<Mem>>) {
-    return std::make_unique<L>(topo, topt);
-  } else {
-    (void)topt;
-    return std::make_unique<L>(topo);
-  }
-}
-
-}  // namespace
 
 const char* ToString(AtomicStressOp op) {
   switch (op) {
@@ -41,176 +16,6 @@ const char* ToString(AtomicStressOp op) {
       return "FAI";
   }
   return "?";
-}
-
-StressResult AtomicStress(SimRuntime& rt, AtomicStressOp op, int threads, Cycles duration) {
-  auto target = std::make_unique<Padded<SimMem::Atomic<std::uint64_t>>>();
-  rt.PlaceData(target.get(), sizeof(*target), 0);
-  std::vector<std::uint64_t> ops(threads, 0);
-
-  rt.RunFor(threads, duration, [&](int tid) {
-    SimMem::Atomic<std::uint64_t>& x = target->value;
-    std::uint64_t local = 0;
-    while (!SimMem::ShouldStop()) {
-      const Cycles t0 = SimMem::Now();
-      switch (op) {
-        case AtomicStressOp::kCas: {
-          std::uint64_t expected = local;
-          x.CompareExchange(expected, expected + 1);
-          local = expected;
-          break;
-        }
-        case AtomicStressOp::kTas:
-          x.TestAndSet();
-          break;
-        case AtomicStressOp::kCasFai: {
-          // FAI emulated with a CAS retry loop (what SPARC does in hardware
-          // and what CAS_FAI measures in Figure 4).
-          std::uint64_t expected = x.Load();
-          while (!x.CompareExchange(expected, expected + 1)) {
-            if (SimMem::ShouldStop()) {
-              break;
-            }
-          }
-          break;
-        }
-        case AtomicStressOp::kSwap:
-          x.Exchange(tid);
-          break;
-        case AtomicStressOp::kFai:
-          x.FetchAdd(1);
-          break;
-      }
-      ++ops[tid];
-      // Pause proportional to the operation's latency, as the paper does, so
-      // one thread cannot complete consecutive operations locally ("long
-      // runs", Section 5.4).
-      SimMem::Pause(SimMem::Now() - t0 + 4);
-    }
-  });
-
-  StressResult r;
-  for (const std::uint64_t n : ops) {
-    r.ops += n;
-  }
-  r.duration = rt.last_duration();
-  r.mops = MopsPerSec(r.ops, r.duration, rt.spec().ghz);
-  return r;
-}
-
-StressResult LockStress(SimRuntime& rt, LockKind kind, const TicketOptions& ticket_options,
-                        int threads, int num_locks, Cycles duration, std::uint64_t seed) {
-  const PlatformSpec& spec = rt.spec();
-  const LockTopology topo = LockTopology::ForPlatform(spec, threads);
-  StressResult result;
-
-  WithLockType<SimMem>(kind, [&]<typename L>() {
-    std::vector<std::unique_ptr<L>> locks;
-    locks.reserve(num_locks);
-    for (int i = 0; i < num_locks; ++i) {
-      locks.push_back(MakeLock<L, SimMem>(topo, ticket_options));
-    }
-    // One cache line of protected data per lock, homed with thread 0 (the
-    // paper allocates the globally shared data from the first participating
-    // memory node).
-    std::vector<Padded<SimMem::Atomic<std::uint64_t>>> data(num_locks);
-    rt.PlaceData(data.data(), data.size() * sizeof(data[0]), 0);
-
-    std::vector<std::uint64_t> ops(threads, 0);
-    rt.RunFor(threads, duration, [&](int tid) {
-      Rng rng(seed * 1315423911u + tid);
-      while (!SimMem::ShouldStop()) {
-        const int idx =
-            num_locks == 1 ? 0 : static_cast<int>(rng.NextBelow(num_locks));
-        locks[idx]->Lock();
-        // Critical section: read and write the lock's cache line of data.
-        const std::uint64_t v = data[idx].value.Load();
-        data[idx].value.Store(v + 1);
-        locks[idx]->Unlock();
-        ++ops[tid];
-        SimMem::Pause(kPostReleasePause);
-      }
-    });
-    for (const std::uint64_t n : ops) {
-      result.ops += n;
-    }
-  });
-
-  result.duration = rt.last_duration();
-  result.mops = MopsPerSec(result.ops, result.duration, spec.ghz);
-  return result;
-}
-
-double UncontestedLockLatency(SimRuntime& rt, LockKind kind,
-                              const TicketOptions& ticket_options, CpuId cpu_a, CpuId cpu_b,
-                              int rounds) {
-  const PlatformSpec& spec = rt.spec();
-  const int threads = cpu_b < 0 ? 1 : 2;
-  LockTopology topo;
-  topo.max_threads = threads;
-  topo.cluster_of.resize(threads);
-  topo.cluster_of[0] = spec.SocketOf(cpu_a);
-  if (threads == 2) {
-    topo.cluster_of[1] = spec.SocketOf(cpu_b);
-  }
-
-  double mean = 0.0;
-  WithLockType<SimMem>(kind, [&]<typename L>() {
-    auto lock = MakeLock<L, SimMem>(topo, ticket_options);
-    rt.PlaceData(lock.get(), sizeof(L), 0);
-    auto turn = std::make_unique<Padded<SimMem::Atomic<std::uint32_t>>>();
-    RunningStat stat;
-
-    std::vector<CpuId> cpus{cpu_a};
-    if (threads == 2) {
-      cpus.push_back(cpu_b);
-    }
-    rt.RunOnCpus(cpus, [&](int tid) {
-      for (int r = 0; r < rounds; ++r) {
-        // Strict alternation: the previous holder is always the other thread.
-        while (turn->value.Load() % threads != static_cast<std::uint32_t>(tid)) {
-          SimMem::Pause(16);
-        }
-        const Cycles t0 = SimMem::Now();
-        lock->Lock();
-        const Cycles t1 = SimMem::Now();
-        lock->Unlock();
-        if (tid == 0 && r >= rounds / 4) {  // skip warm-up rounds
-          stat.Add(static_cast<double>(t1 - t0));
-        }
-        turn->value.Store(turn->value.Load() + 1);
-      }
-    });
-    mean = stat.mean();
-  });
-  return mean;
-}
-
-double TicketAcquireReleaseLatency(SimRuntime& rt, const TicketOptions& options,
-                                   int threads, int rounds_per_thread) {
-  const PlatformSpec& spec = rt.spec();
-  const LockTopology topo = LockTopology::ForPlatform(spec, threads);
-  TicketLock<SimMem> lock(topo, options);
-  rt.PlaceData(&lock, sizeof(lock), 0);
-
-  RunningStat stat;
-  std::vector<double> per_thread(threads, 0.0);
-  rt.Run(threads, [&](int tid) {
-    RunningStat local;
-    for (int r = 0; r < rounds_per_thread; ++r) {
-      const Cycles t0 = SimMem::Now();
-      lock.Lock();
-      lock.Unlock();
-      const Cycles t1 = SimMem::Now();
-      local.Add(static_cast<double>(t1 - t0));
-      SimMem::Pause(200);  // re-arrival delay between attempts
-    }
-    per_thread[tid] = local.mean();
-  });
-  for (const double m : per_thread) {
-    stat.Add(m);
-  }
-  return stat.mean();
 }
 
 }  // namespace ssync

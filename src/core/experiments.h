@@ -1,14 +1,27 @@
-// Experiment harnesses shared by the benchmark binaries and the integration
-// ("shape") tests. Each function reproduces one of the paper's measurement
-// methodologies (Sections 5.4 and 6.1) on a SimRuntime.
+// Experiment harnesses shared by the benchmark registrations and the
+// integration ("shape") tests. Each function reproduces one of the paper's
+// measurement methodologies (Sections 5.4 and 6.1).
+//
+// All four harnesses are templates over a Runtime (SimRuntime or
+// NativeRuntime — see docs/ARCHITECTURE.md, "The Runtime concept"), so the
+// exact same experiment definition runs on the simulated machines and on the
+// host: the runtime supplies the memory backend (`Runtime::Mem`), the thread
+// placement, and the meaning of a "cycle" (virtual cycles on the simulator,
+// nanoseconds of wall time natively).
 #ifndef SRC_CORE_EXPERIMENTS_H_
 #define SRC_CORE_EXPERIMENTS_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/ccsim/types.h"
+#include "src/core/runtime_native.h"
 #include "src/core/runtime_sim.h"
 #include "src/locks/locks.h"
+#include "src/util/cacheline.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
 
 namespace ssync {
 
@@ -24,28 +37,228 @@ struct StressResult {
 // variant of the figure.
 enum class AtomicStressOp { kCas, kTas, kCasFai, kSwap, kFai };
 const char* ToString(AtomicStressOp op);
-StressResult AtomicStress(SimRuntime& rt, AtomicStressOp op, int threads, Cycles duration);
+
+inline constexpr AtomicStressOp kAllAtomicStressOps[] = {
+    AtomicStressOp::kCas, AtomicStressOp::kTas, AtomicStressOp::kCasFai,
+    AtomicStressOp::kSwap, AtomicStressOp::kFai,
+};
+
+template <typename Runtime>
+StressResult AtomicStress(Runtime& rt, AtomicStressOp op, int threads, Cycles duration);
 
 // The lock-stress methodology of Section 6.1.2 (Figures 5, 7, 8): each thread
 // acquires a (uniformly random) lock out of `num_locks`, reads and writes one
 // cache line of protected data, releases, then pauses briefly so the release
 // becomes globally visible before the retry.
-StressResult LockStress(SimRuntime& rt, LockKind kind, const TicketOptions& ticket_options,
+template <typename Runtime>
+StressResult LockStress(Runtime& rt, LockKind kind, const TicketOptions& ticket_options,
                         int threads, int num_locks, Cycles duration, std::uint64_t seed);
 
 // Figure 6: uncontested acquisition latency when the previous holder sits at
 // a given distance. Two pinned threads alternate acquire/release; returns the
 // mean acquisition latency (cycles) observed by the thread on `cpu_a`.
 // With cpu_b < 0, measures the single-thread (self-handoff) latency.
-double UncontestedLockLatency(SimRuntime& rt, LockKind kind,
+template <typename Runtime>
+double UncontestedLockLatency(Runtime& rt, LockKind kind,
                               const TicketOptions& ticket_options, CpuId cpu_a, CpuId cpu_b,
                               int rounds);
 
 // Figure 3: latency of acquire+release of a single ticket lock under
 // all-thread contention, for a given ticket configuration. Returns the mean
 // cycles per acquire-release pair observed across threads.
-double TicketAcquireReleaseLatency(SimRuntime& rt, const TicketOptions& options,
+template <typename Runtime>
+double TicketAcquireReleaseLatency(Runtime& rt, const TicketOptions& options,
                                    int threads, int rounds_per_thread);
+
+// ---------------------------------------------------------------------------
+// Template definitions.
+
+namespace internal {
+
+// Post-release pause of the lock stress (Section 6.1.2): long enough for the
+// release to become globally visible, short enough not to dominate the
+// uncontested path. Calibrated against Figure 5's single-thread anchors.
+inline constexpr Cycles kLockStressPostReleasePause = 60;
+
+}  // namespace internal
+
+template <typename Runtime>
+StressResult AtomicStress(Runtime& rt, AtomicStressOp op, int threads, Cycles duration) {
+  using Mem = typename Runtime::Mem;
+  auto target = std::make_unique<Padded<typename Mem::template Atomic<std::uint64_t>>>();
+  rt.PlaceData(target.get(), sizeof(*target), 0);
+  std::vector<std::uint64_t> ops(threads, 0);
+
+  rt.RunForCycles(threads, duration, [&](int tid) {
+    typename Mem::template Atomic<std::uint64_t>& x = target->value;
+    std::uint64_t local = 0;
+    while (!Mem::ShouldStop()) {
+      const Cycles t0 = Mem::Now();
+      switch (op) {
+        case AtomicStressOp::kCas: {
+          std::uint64_t expected = local;
+          x.CompareExchange(expected, expected + 1);
+          local = expected;
+          break;
+        }
+        case AtomicStressOp::kTas:
+          x.TestAndSet();
+          break;
+        case AtomicStressOp::kCasFai: {
+          // FAI emulated with a CAS retry loop (what SPARC does in hardware
+          // and what CAS_FAI measures in Figure 4).
+          std::uint64_t expected = x.Load();
+          while (!x.CompareExchange(expected, expected + 1)) {
+            if (Mem::ShouldStop()) {
+              break;
+            }
+          }
+          break;
+        }
+        case AtomicStressOp::kSwap:
+          x.Exchange(tid);
+          break;
+        case AtomicStressOp::kFai:
+          x.FetchAdd(1);
+          break;
+      }
+      ++ops[tid];
+      // Pause proportional to the operation's latency, as the paper does, so
+      // one thread cannot complete consecutive operations locally ("long
+      // runs", Section 5.4).
+      Mem::Pause(Mem::Now() - t0 + 4);
+    }
+  });
+
+  StressResult r;
+  for (const std::uint64_t n : ops) {
+    r.ops += n;
+  }
+  r.duration = rt.last_duration();
+  r.mops = MopsPerSec(r.ops, r.duration, rt.spec().ghz);
+  return r;
+}
+
+template <typename Runtime>
+StressResult LockStress(Runtime& rt, LockKind kind, const TicketOptions& ticket_options,
+                        int threads, int num_locks, Cycles duration, std::uint64_t seed) {
+  using Mem = typename Runtime::Mem;
+  const PlatformSpec& spec = rt.spec();
+  const LockTopology topo = LockTopology::ForPlatform(spec, threads);
+  StressResult result;
+
+  WithLockType<Mem>(kind, [&]<typename L>() {
+    std::vector<std::unique_ptr<L>> locks;
+    locks.reserve(num_locks);
+    for (int i = 0; i < num_locks; ++i) {
+      locks.push_back(internal::MakeLockPtr<L, Mem>(topo, ticket_options));
+    }
+    // One cache line of protected data per lock, homed with thread 0 (the
+    // paper allocates the globally shared data from the first participating
+    // memory node).
+    std::vector<Padded<typename Mem::template Atomic<std::uint64_t>>> data(num_locks);
+    rt.PlaceData(data.data(), data.size() * sizeof(data[0]), 0);
+
+    std::vector<std::uint64_t> ops(threads, 0);
+    rt.RunForCycles(threads, duration, [&](int tid) {
+      Rng rng(seed * 1315423911u + tid);
+      while (!Mem::ShouldStop()) {
+        const int idx =
+            num_locks == 1 ? 0 : static_cast<int>(rng.NextBelow(num_locks));
+        locks[idx]->Lock();
+        // Critical section: read and write the lock's cache line of data.
+        const std::uint64_t v = data[idx].value.Load();
+        data[idx].value.Store(v + 1);
+        locks[idx]->Unlock();
+        ++ops[tid];
+        Mem::Pause(internal::kLockStressPostReleasePause);
+      }
+    });
+    for (const std::uint64_t n : ops) {
+      result.ops += n;
+    }
+  });
+
+  result.duration = rt.last_duration();
+  result.mops = MopsPerSec(result.ops, result.duration, spec.ghz);
+  return result;
+}
+
+template <typename Runtime>
+double UncontestedLockLatency(Runtime& rt, LockKind kind,
+                              const TicketOptions& ticket_options, CpuId cpu_a, CpuId cpu_b,
+                              int rounds) {
+  using Mem = typename Runtime::Mem;
+  const PlatformSpec& spec = rt.spec();
+  const int threads = cpu_b < 0 ? 1 : 2;
+  LockTopology topo;
+  topo.max_threads = threads;
+  topo.cluster_of.resize(threads);
+  topo.cluster_of[0] = spec.SocketOf(cpu_a);
+  if (threads == 2) {
+    topo.cluster_of[1] = spec.SocketOf(cpu_b);
+  }
+
+  double mean = 0.0;
+  WithLockType<Mem>(kind, [&]<typename L>() {
+    auto lock = internal::MakeLockPtr<L, Mem>(topo, ticket_options);
+    rt.PlaceData(lock.get(), sizeof(L), 0);
+    auto turn = std::make_unique<Padded<typename Mem::template Atomic<std::uint32_t>>>();
+    RunningStat stat;
+
+    std::vector<CpuId> cpus{cpu_a};
+    if (threads == 2) {
+      cpus.push_back(cpu_b);
+    }
+    rt.RunOnCpus(cpus, [&](int tid) {
+      for (int r = 0; r < rounds; ++r) {
+        // Strict alternation: the previous holder is always the other thread.
+        while (turn->value.Load() % threads != static_cast<std::uint32_t>(tid)) {
+          Mem::Pause(16);
+        }
+        const Cycles t0 = Mem::Now();
+        lock->Lock();
+        const Cycles t1 = Mem::Now();
+        lock->Unlock();
+        if (tid == 0 && r >= rounds / 4) {  // skip warm-up rounds
+          stat.Add(static_cast<double>(t1 - t0));
+        }
+        turn->value.Store(turn->value.Load() + 1);
+      }
+    });
+    mean = stat.mean();
+  });
+  return mean;
+}
+
+template <typename Runtime>
+double TicketAcquireReleaseLatency(Runtime& rt, const TicketOptions& options,
+                                   int threads, int rounds_per_thread) {
+  using Mem = typename Runtime::Mem;
+  const PlatformSpec& spec = rt.spec();
+  const LockTopology topo = LockTopology::ForPlatform(spec, threads);
+  TicketLock<Mem> lock(topo, options);
+  rt.PlaceData(&lock, sizeof(lock), 0);
+
+  RunningStat stat;
+  std::vector<double> per_thread(threads, 0.0);
+  rt.Run(threads, [&](int tid) {
+    RunningStat local;
+    for (int r = 0; r < rounds_per_thread; ++r) {
+      const Cycles t0 = Mem::Now();
+      lock.Lock();
+      lock.Unlock();
+      const Cycles t1 = Mem::Now();
+      local.Add(static_cast<double>(t1 - t0));
+      Mem::Pause(200);  // re-arrival delay between attempts
+    }
+    per_thread[tid] = local.mean();
+  });
+  for (const double m : per_thread) {
+    stat.Add(m);
+  }
+  return stat.mean();
+}
 
 }  // namespace ssync
 

@@ -1,13 +1,17 @@
 #include "src/core/runtime_native.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
-#include <vector>
 
-#include "src/core/mem_native.h"
 #include "src/util/check.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace ssync {
 namespace internal {
@@ -20,9 +24,8 @@ namespace {
 
 // Per-thread binary semaphores backing NativeMem::ParkSelf/UnparkThread.
 // Host-level primitives, intentionally not part of the modeled machine: they
-// stand in for the kernel's futex.
-constexpr int kMaxNativeThreads = 256;
-
+// stand in for the kernel's futex. Sized by kMaxNativeThreads
+// (runtime_native.h).
 struct ParkSlot {
   std::mutex m;
   std::condition_variable cv;
@@ -31,11 +34,25 @@ struct ParkSlot {
 
 ParkSlot g_park_slots[kMaxNativeThreads];
 
+void PinToCpu(CpuId cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu) % CPU_SETSIZE, &set);
+  // Best effort: on failure (e.g. a restricted cpuset) the thread simply runs
+  // unpinned, which only blurs the measurement, never the result.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
 }  // namespace
 
 void NativeParkSelf() {
   const int tid = g_native_thread_id;
   SSYNC_CHECK_GE(tid, 0);
+  SSYNC_CHECK_LT(tid, kMaxNativeThreads);
   ParkSlot& slot = g_park_slots[tid];
   std::unique_lock<std::mutex> lk(slot.m);
   slot.cv.wait(lk, [&] { return slot.permit; });
@@ -55,41 +72,85 @@ void NativeUnparkThread(int tid) {
 
 }  // namespace internal
 
-void NativeRuntime::Run(int threads, const std::function<void(int)>& fn) {
+NativeRuntime::NativeRuntime() : spec_(MakeNativeHost()) {}
+
+NativeRuntime::NativeRuntime(const PlatformSpec& spec) : spec_(spec) {}
+
+void NativeRuntime::RunInternal(int threads, const std::vector<CpuId>* cpus,
+                                std::uint64_t duration_ns,
+                                const std::function<void(int)>& fn) {
   SSYNC_CHECK_GT(threads, 0);
+  SSYNC_CHECK_LE(threads, kMaxNativeThreads);
   internal::g_native_stop.store(false);
   internal::g_native_num_threads.store(threads);
+  // Start barrier: serialized std::thread spawning can cost more than a
+  // short measurement window, so the clock starts only once every worker is
+  // up — otherwise throughput at high thread counts would mostly measure
+  // spawn overhead.
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (int tid = 0; tid < threads; ++tid) {
-    workers.emplace_back([fn, tid] {
+    const CpuId cpu = cpus != nullptr ? (*cpus)[tid] : CpuId{-1};
+    workers.emplace_back([&ready, &go, fn, tid, cpu] {
       internal::g_native_thread_id = tid;
+      if (cpu >= 0) {
+        internal::PinToCpu(cpu);
+      }
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
       fn(tid);
     });
   }
-  for (auto& t : workers) {
-    t.join();
+  while (ready.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
   }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::chrono::steady_clock::time_point end;
+  if (duration_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(duration_ns));
+    internal::g_native_stop.store(true);
+    // The measurement window closes at the stop flip; the joins below only
+    // wait out each worker's last iteration.
+    end = std::chrono::steady_clock::now();
+    for (auto& t : workers) {
+      t.join();
+    }
+  } else {
+    // Untimed run: the workload is fixed, the duration is until completion.
+    for (auto& t : workers) {
+      t.join();
+    }
+    end = std::chrono::steady_clock::now();
+  }
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  // Nanoseconds -> cycles at the spec's clock (host spec: ghz = 1.0, 1:1).
+  last_duration_ = static_cast<std::uint64_t>(ns * spec_.ghz);
+}
+
+void NativeRuntime::Run(int threads, const std::function<void(int)>& fn) {
+  RunInternal(threads, nullptr, 0, fn);
 }
 
 void NativeRuntime::RunFor(int threads, std::uint64_t duration_ms,
                            const std::function<void(int)>& fn) {
-  SSYNC_CHECK_GT(threads, 0);
-  internal::g_native_stop.store(false);
-  internal::g_native_num_threads.store(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (int tid = 0; tid < threads; ++tid) {
-    workers.emplace_back([fn, tid] {
-      internal::g_native_thread_id = tid;
-      fn(tid);
-    });
-  }
-  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
-  internal::g_native_stop.store(true);
-  for (auto& t : workers) {
-    t.join();
-  }
+  RunInternal(threads, nullptr, duration_ms * 1000000, fn);
+}
+
+void NativeRuntime::RunForCycles(int threads, std::uint64_t duration,
+                                 const std::function<void(int)>& fn) {
+  const auto ns = static_cast<std::uint64_t>(static_cast<double>(duration) / spec_.ghz);
+  RunInternal(threads, nullptr, ns > 0 ? ns : 1, fn);
+}
+
+void NativeRuntime::RunOnCpus(const std::vector<CpuId>& cpus,
+                              const std::function<void(int)>& fn) {
+  RunInternal(static_cast<int>(cpus.size()), &cpus, 0, fn);
 }
 
 }  // namespace ssync

@@ -1,22 +1,84 @@
 // NativeRuntime: runs workloads on real std::threads (host hardware).
 //
-// Mirrors SimRuntime's interface closely enough that tests can exercise the
-// same templated algorithms on both backends.
+// Models the same Runtime concept as SimRuntime (see docs/ARCHITECTURE.md,
+// "The Runtime concept"), so the experiment harnesses in
+// src/core/experiments.h run unmodified on either backend:
+//
+//   using Mem = ...;                      // the matching memory backend
+//   const PlatformSpec& spec() const;     // geometry + clock of the target
+//   void Run(threads, fn);                // run fn(tid) to completion
+//   void RunForCycles(threads, d, fn);    // run until ~d cycles elapse
+//   void RunOnCpus(cpus, fn);             // explicit placement (best effort)
+//   Cycles last_duration() const;         // duration of the last run
+//   void PlaceData(p, bytes, tid);        // data placement hint (no-op here)
+//   CpuId CpuOfThread(tid) const;
+//
+// On this backend a "cycle" is a nanosecond of wall time (the native host
+// spec runs at 1.0 GHz), durations are enforced with a timer thread flipping
+// NativeMem::ShouldStop(), and RunOnCpus pins threads with CPU affinity where
+// the OS supports it.
 #ifndef SRC_CORE_RUNTIME_NATIVE_H_
 #define SRC_CORE_RUNTIME_NATIVE_H_
 
 #include <cstdint>
 #include <functional>
+#include <vector>
+
+#include "src/core/mem_native.h"
+#include "src/platform/spec.h"
 
 namespace ssync {
 
+// Hard cap on concurrently running native workers: the park/unpark slots
+// backing NativeMem::ParkSelf are a fixed global array. MakeNativeHost()
+// clamps its cpu count to this, and RunInternal checks it, so a larger host
+// fails loudly instead of indexing out of bounds.
+inline constexpr int kMaxNativeThreads = 256;
+
 class NativeRuntime {
  public:
+  using Mem = NativeMem;
+
+  // Targets the host machine (MakeNativeHost()).
+  NativeRuntime();
+  // Targets a caller-provided spec: only the geometry fields are honored
+  // (thread counts are clamped against num_cpus by the sweep helpers), and
+  // ghz converts cycle durations to wall time.
+  explicit NativeRuntime(const PlatformSpec& spec);
+
+  const PlatformSpec& spec() const { return spec_; }
+
   // Runs fn(thread_index) on `threads` OS threads; joins them all.
   void Run(int threads, const std::function<void(int)>& fn);
 
   // As Run, but flips NativeMem::ShouldStop() after ~duration_ms.
   void RunFor(int threads, std::uint64_t duration_ms, const std::function<void(int)>& fn);
+
+  // Runtime-concept duration entry point: `duration` is in cycles of the
+  // spec's clock (host spec: nanoseconds).
+  void RunForCycles(int threads, std::uint64_t duration, const std::function<void(int)>& fn);
+
+  // Explicit placement: thread tid is pinned to host cpu cpus[tid] when the
+  // platform supports affinity (Linux); elsewhere the list only sets the
+  // thread count.
+  void RunOnCpus(const std::vector<CpuId>& cpus, const std::function<void(int)>& fn);
+
+  // Wall-clock duration of the last Run/RunFor*, in cycles of the spec's
+  // clock (host spec: nanoseconds).
+  std::uint64_t last_duration() const { return last_duration_; }
+
+  CpuId CpuOfThread(int tid) const { return tid; }
+
+  // Placement hint: on real hardware first-touch policy applies; nothing to
+  // do.
+  void PlaceData(const void*, std::size_t, int) {}
+
+ private:
+  void RunInternal(int threads, const std::vector<CpuId>* cpus, std::uint64_t duration_ns,
+                   const std::function<void(int)>& fn);
+
+  PlatformSpec spec_;
+  std::uint64_t last_duration_ = 0;
 };
 
 }  // namespace ssync

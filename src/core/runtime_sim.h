@@ -29,6 +29,8 @@ namespace ssync {
 
 class SimRuntime {
  public:
+  using Mem = SimMem;
+
   explicit SimRuntime(const PlatformSpec& spec);
   ~SimRuntime();
 
@@ -42,6 +44,12 @@ class SimRuntime {
   // As Run, but ShouldStop() flips once any cpu clock passes `duration`
   // cycles. Workers are expected to poll ShouldStop().
   void RunFor(int threads, Cycles duration, const std::function<void(int)>& fn);
+
+  // Runtime-concept spelling of RunFor (durations are virtual cycles here;
+  // NativeRuntime converts cycles to wall time at its spec's clock).
+  void RunForCycles(int threads, Cycles duration, const std::function<void(int)>& fn) {
+    RunFor(threads, duration, fn);
+  }
 
   // Explicit-placement variants: thread tid runs on cpus[tid] (Figure 6 and
   // Figure 9 pin threads at chosen distances instead of the default policy).

@@ -1,0 +1,404 @@
+#include "src/harness/driver.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/util/check.h"
+#include "src/util/table.h"
+
+namespace ssync {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: ssyncbench --list\n"
+    "       ssyncbench <experiment>... [flags] [--<param>=<value>...]\n"
+    "       ssyncbench all [flags] [--<param>=<value>...]\n"
+    "\n"
+    "flags:\n"
+    "  --list             enumerate registered experiments and exit\n"
+    "  --format=FMT       table (default) | csv | json (one JSON object per line)\n"
+    "  --out=FILE         write results to FILE instead of stdout\n"
+    "  --backend=BE       sim | native (default: each experiment's default)\n"
+    "  --platform=NAMES   all (default: the paper's four main machines) or a\n"
+    "                     comma-separated list of opteron, xeon, niagara,\n"
+    "                     tilera, opteron2, xeon2\n"
+    "  --help             this text\n"
+    "\n"
+    "Experiment parameters (--duration, --rounds, ...) are validated against\n"
+    "the selected experiments' schemas; `ssyncbench <experiment> --help` lists\n"
+    "them.\n";
+
+struct ParsedArgs {
+  std::vector<std::string> positionals;
+  std::map<std::string, std::string> flags;  // without the leading --
+};
+
+// Driver flags that never take a value, so `ssyncbench --help fig4` does not
+// swallow the experiment name as the flag's value.
+bool IsBareDriverFlag(const std::string& name) {
+  return name == "help" || name == "list";
+}
+
+// Driver flags that always take a value: given bare (`--out` with nothing
+// following), that is a usage error, not a flag whose value is "true".
+bool IsValueDriverFlag(const std::string& name) {
+  return name == "format" || name == "out" || name == "backend" || name == "platform";
+}
+
+bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* out, std::string* error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      out->positionals.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      *error = "stray '--'";
+      return false;
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      out->flags[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (!IsBareDriverFlag(body) && i + 1 < args.size() &&
+               args[i + 1].rfind("--", 0) != 0) {
+      out->flags[body] = args[++i];
+    } else if (IsValueDriverFlag(body)) {
+      *error = "flag --" + body + " requires a value";
+      return false;
+    } else {
+      out->flags[body] = "true";  // bare boolean flag
+    }
+  }
+  return true;
+}
+
+// Takes and removes a driver-level flag from the parsed set.
+std::string TakeFlag(ParsedArgs& parsed, const std::string& name, const std::string& def) {
+  const auto it = parsed.flags.find(name);
+  if (it == parsed.flags.end()) {
+    return def;
+  }
+  std::string value = it->second;
+  parsed.flags.erase(it);
+  return value;
+}
+
+bool ResolvePlatforms(const std::string& flag, std::vector<PlatformSpec>* out,
+                      std::string* error) {
+  if (flag == "all") {
+    for (const PlatformKind kind : MainPlatforms()) {
+      out->push_back(MakePlatform(kind));
+    }
+    return true;
+  }
+  std::size_t start = 0;
+  while (start <= flag.size()) {
+    const std::size_t comma = flag.find(',', start);
+    const std::string name = flag.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    bool known = false;
+    for (const std::string& candidate : SimPlatformNames()) {
+      if (name == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *error = "unknown platform: '" + name + "' (use all, or a comma-separated list of ";
+      for (std::size_t i = 0; i < SimPlatformNames().size(); ++i) {
+        *error += (i == 0 ? "" : ", ") + SimPlatformNames()[i];
+      }
+      *error += ")";
+      return false;
+    }
+    out->push_back(MakePlatformByName(name));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  if (out->empty()) {
+    *error = "empty --platform list";
+    return false;
+  }
+  return true;
+}
+
+int ListExperiments(const ExperimentRegistry& registry) {
+  Table t({"name", "anchor", "backends", "legacy binary", "summary"});
+  for (const Experiment* experiment : registry.All()) {
+    const ExperimentInfo info = experiment->Info();
+    std::string backends = info.supports_sim ? "sim" : "";
+    if (info.supports_native) {
+      backends += backends.empty() ? "native" : "+native";
+    }
+    t.AddRow({info.name, info.anchor, backends, info.legacy_name, info.summary});
+  }
+  t.Print(stdout);
+  std::printf("\n%zu experiments registered.\n", registry.size());
+  return 0;
+}
+
+void PrintExperimentHelp(const ExperimentInfo& info) {
+  std::fprintf(stderr, "%s (%s) — %s\nparameters:\n", info.name.c_str(),
+               info.anchor.c_str(), info.summary.c_str());
+  for (const ParamSpec& spec : info.params) {
+    std::fprintf(stderr, "  --%s (default: %s)  %s\n", spec.name.c_str(), spec.def.c_str(),
+                 spec.help.c_str());
+  }
+}
+
+std::string TableHeaderText(const ExperimentInfo& info) {
+  std::string text = info.anchor + " — " + info.summary;
+  if (!info.expectation.empty()) {
+    text += "\n" + info.expectation;
+  }
+  return text;
+}
+
+}  // namespace
+
+int SsyncbenchMain(const std::vector<std::string>& args) {
+  ExperimentRegistry& registry = ExperimentRegistry::Global();
+
+  ParsedArgs parsed;
+  std::string error;
+  if (!ParseArgs(args, &parsed, &error)) {
+    std::fprintf(stderr, "ssyncbench: %s\n%s", error.c_str(), kUsage);
+    return 2;
+  }
+
+  bool want_help = false;
+  (void)ParseBool(TakeFlag(parsed, "help", "false"), &want_help);
+  bool want_list = false;
+  (void)ParseBool(TakeFlag(parsed, "list", "false"), &want_list);
+  const std::string format = TakeFlag(parsed, "format", "table");
+  const std::string out_path = TakeFlag(parsed, "out", "");
+  const std::string backend_flag = TakeFlag(parsed, "backend", "");
+  const bool platform_given = parsed.flags.count("platform") > 0;
+  const std::string platform_flag = TakeFlag(parsed, "platform", "all");
+
+  if (want_list) {
+    return ListExperiments(registry);
+  }
+  if (want_help && parsed.positionals.empty()) {
+    std::fputs(kUsage, stderr);
+    return 0;
+  }
+  if (parsed.positionals.empty()) {
+    std::fprintf(stderr, "ssyncbench: no experiment named\n%s", kUsage);
+    return 2;
+  }
+
+  // Resolve the experiment selection, fetching each ExperimentInfo once.
+  struct Selection {
+    const Experiment* experiment;
+    ExperimentInfo info;
+  };
+  std::vector<Selection> selected;
+  auto select = [&selected](const Experiment* experiment) {
+    // Deduplicate: `ssyncbench all fig8` must not run fig8 twice.
+    for (const Selection& existing : selected) {
+      if (existing.experiment == experiment) {
+        return;
+      }
+    }
+    selected.push_back({experiment, experiment->Info()});
+  };
+  for (const std::string& name : parsed.positionals) {
+    if (name == "all") {
+      for (const Experiment* experiment : registry.All()) {
+        select(experiment);
+      }
+      continue;
+    }
+    const Experiment* experiment = registry.Find(name);
+    if (experiment == nullptr) {
+      std::fprintf(stderr,
+                   "ssyncbench: unknown experiment '%s' (run `ssyncbench --list`)\n",
+                   name.c_str());
+      return 2;
+    }
+    select(experiment);
+  }
+
+  if (want_help) {
+    for (const Selection& selection : selected) {
+      PrintExperimentHelp(selection.info);
+    }
+    return 0;
+  }
+
+  // Resolve format, backend and platforms.
+  if (format != "table" && format != "csv" && format != "json") {
+    std::fprintf(stderr, "ssyncbench: unknown format '%s' (use table|csv|json)\n",
+                 format.c_str());
+    return 2;
+  }
+  Backend explicit_backend = Backend::kSim;
+  const bool backend_given = !backend_flag.empty();
+  if (backend_given && !BackendFromString(backend_flag, &explicit_backend)) {
+    std::fprintf(stderr, "ssyncbench: unknown backend '%s' (use sim|native)\n",
+                 backend_flag.c_str());
+    return 2;
+  }
+  std::vector<PlatformSpec> sim_platforms;
+  if (!ResolvePlatforms(platform_flag, &sim_platforms, &error)) {
+    std::fprintf(stderr, "ssyncbench: %s\n", error.c_str());
+    return 2;
+  }
+
+  // Remaining flags are experiment parameters: each must be declared by at
+  // least one selected experiment.
+  for (const auto& [name, value] : parsed.flags) {
+    (void)value;
+    bool known = false;
+    for (const Selection& selection : selected) {
+      for (const ParamSpec& spec : selection.info.params) {
+        if (spec.name == name) {
+          known = true;
+          break;
+        }
+      }
+      if (known) {
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "ssyncbench: unknown flag --%s (not a driver flag, and no selected "
+                   "experiment declares it; run `ssyncbench <experiment> --help`)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  // Plan every run up front — backend support and parameter values are fully
+  // validated before any output is produced, so a usage error cannot leave a
+  // partially-written result file behind.
+  struct PlannedRun {
+    const Experiment* experiment;
+    ExperimentInfo info;
+    Backend backend;
+    ParamSet params;
+  };
+  std::vector<PlannedRun> planned;
+  for (Selection& selection : selected) {
+    const ExperimentInfo& info = selection.info;
+    const Backend backend = backend_given ? explicit_backend : info.DefaultBackend();
+    if (!info.Supports(backend)) {
+      std::fprintf(stderr, "ssyncbench: skipping %s (no %s backend support)\n",
+                   info.name.c_str(), ToString(backend));
+      continue;
+    }
+    if (platform_given && backend == Backend::kNative) {
+      std::fprintf(stderr,
+                   "ssyncbench: note: %s runs on the native backend, which always "
+                   "measures the host machine; --platform is ignored\n",
+                   info.name.c_str());
+    } else if (info.fixed_platforms && platform_given) {
+      std::fprintf(stderr,
+                   "ssyncbench: note: %s measures a fixed platform set (%s); "
+                   "--platform is ignored\n",
+                   info.name.c_str(), info.anchor.c_str());
+    }
+    std::map<std::string, std::string> given;
+    for (const auto& [name, value] : parsed.flags) {
+      for (const ParamSpec& spec : info.params) {
+        if (spec.name == name) {
+          given[name] = value;
+          break;
+        }
+      }
+    }
+    ParamSet params;
+    if (!ParamSet::Build(info.params, given, &params, &error)) {
+      std::fprintf(stderr, "ssyncbench: %s: %s\n", info.name.c_str(), error.c_str());
+      return 2;
+    }
+    planned.push_back(
+        {selection.experiment, std::move(selection.info), backend, std::move(params)});
+  }
+  if (planned.empty()) {
+    std::fprintf(stderr, "ssyncbench: nothing to run\n");
+    return 2;
+  }
+
+  // Output stream + sink.
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "ssyncbench: cannot open --out=%s for writing\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+  const std::unique_ptr<ResultSink> sink = MakeSink(format, out);
+  SSYNC_CHECK(sink != nullptr);  // format validated above
+
+  for (const PlannedRun& run : planned) {
+    std::vector<PlatformSpec> platforms =
+        run.backend == Backend::kNative ? std::vector<PlatformSpec>{MakeNativeHost()}
+                                        : sim_platforms;
+    RunContext ctx(run.info.name, run.backend, std::move(platforms), run.params);
+
+    std::fprintf(stderr, "ssyncbench: running %s (%s)...\n", run.info.name.c_str(),
+                 ToString(run.backend));
+    sink->BeginExperiment(run.info.name, TableHeaderText(run.info));
+    run.experiment->Run(ctx, *sink);
+    sink->EndExperiment();
+  }
+  sink->Finish();
+  out.flush();
+  return 0;
+}
+
+int SsyncbenchMain(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? argc - 1 : 0);
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  return SsyncbenchMain(args);
+}
+
+int LegacyBenchMain(const std::string& legacy_name, int argc, char** argv) {
+  const Experiment* experiment = ExperimentRegistry::Global().Find(legacy_name);
+  if (experiment == nullptr) {
+    std::fprintf(stderr, "%s: no registered experiment for this legacy name\n",
+                 legacy_name.c_str());
+    return 2;
+  }
+  std::vector<std::string> args;
+  args.push_back(experiment->Info().name);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // The pre-redesign binaries spelled CSV output --csv; everything else
+    // (--platform, --duration, --rounds, --reps) carries over unchanged.
+    if (arg == "--csv" || arg == "--csv=true" || arg == "--csv=1") {
+      args.push_back("--format=csv");
+      continue;
+    }
+    if (arg == "--csv=false" || arg == "--csv=0") {
+      continue;
+    }
+    // Google Benchmark tuning flags of the old native_microbench binary have
+    // no registry equivalent; drop them rather than failing scripts.
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      continue;
+    }
+    args.push_back(arg);
+  }
+  return SsyncbenchMain(args);
+}
+
+}  // namespace ssync

@@ -1,0 +1,34 @@
+// The ssyncbench driver: one CLI over every registered experiment.
+//
+//   ssyncbench --list
+//   ssyncbench fig8 --platform=all --format=json
+//   ssyncbench all --format=json --out=BENCH_figures.json
+//   ssyncbench fig5 fig7 --backend=native --duration=2000000
+//
+// Exit codes: 0 success, 2 usage error (unknown experiment/backend/format/
+// flag, malformed value), 1 runtime failure (e.g. unwritable --out).
+#ifndef SRC_HARNESS_DRIVER_H_
+#define SRC_HARNESS_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+namespace ssync {
+
+// Runs the full driver: parses `args` (argv[1..] style, without the program
+// name), executes against ExperimentRegistry::Global(), writes results to
+// stdout or --out, diagnostics to stderr. Returns the process exit code;
+// never calls exit(), so tests can drive it directly.
+int SsyncbenchMain(const std::vector<std::string>& args);
+
+// argv adapter for bench/ssyncbench_main.cc.
+int SsyncbenchMain(int argc, char** argv);
+
+// Back-compat entry point for the thin per-figure wrapper binaries: maps the
+// pre-redesign binary name (e.g. "fig8_locks_scaling") and flag spelling
+// (--csv) onto the registry and SsyncbenchMain.
+int LegacyBenchMain(const std::string& legacy_name, int argc, char** argv);
+
+}  // namespace ssync
+
+#endif  // SRC_HARNESS_DRIVER_H_

@@ -1,0 +1,83 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+const char* ToString(Backend backend) {
+  switch (backend) {
+    case Backend::kSim:
+      return "sim";
+    case Backend::kNative:
+      return "native";
+  }
+  return "?";
+}
+
+bool BackendFromString(const std::string& name, Backend* out) {
+  if (name == "sim") {
+    *out = Backend::kSim;
+    return true;
+  }
+  if (name == "native") {
+    *out = Backend::kNative;
+    return true;
+  }
+  return false;
+}
+
+ExperimentRegistry& ExperimentRegistry::Global() {
+  static ExperimentRegistry* registry = new ExperimentRegistry;
+  return *registry;
+}
+
+bool ExperimentRegistry::Register(std::unique_ptr<Experiment> experiment) {
+  SSYNC_CHECK(experiment != nullptr);
+  ExperimentInfo info = experiment->Info();
+  SSYNC_CHECK(!info.name.empty());
+  for (const Entry& entry : experiments_) {
+    if (entry.info.name == info.name) {
+      return false;
+    }
+  }
+  experiments_.push_back(Entry{std::move(experiment), std::move(info)});
+  return true;
+}
+
+bool ExperimentRegistry::RegisterOrDie(std::unique_ptr<Experiment> experiment) {
+  SSYNC_CHECK(Register(std::move(experiment)));  // duplicate experiment name
+  return true;
+}
+
+const Experiment* ExperimentRegistry::Find(const std::string& name) const {
+  for (const Entry& entry : experiments_) {
+    if (entry.info.name == name || entry.info.legacy_name == name) {
+      return entry.experiment.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::All() const {
+  std::vector<const Entry*> entries;
+  entries.reserve(experiments_.size());
+  for (const Entry& entry : experiments_) {
+    entries.push_back(&entry);
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry* a, const Entry* b) {
+    if (a->info.order != b->info.order) {
+      return a->info.order < b->info.order;
+    }
+    return a->info.name < b->info.name;
+  });
+  std::vector<const Experiment*> out;
+  out.reserve(entries.size());
+  for (const Entry* entry : entries) {
+    out.push_back(entry->experiment.get());
+  }
+  return out;
+}
+
+}  // namespace ssync

@@ -1,0 +1,172 @@
+// The unified experiment API (the redesign of the per-figure bench mains).
+//
+// Every paper figure/table/ablation is an Experiment: a name, a paper
+// anchor, a parameter schema, and a Run() entry point that sweeps its
+// configuration space and emits Results. Registrations live in bench/*.cc —
+// one ~30-line translation unit per figure — and self-register into the
+// global ExperimentRegistry via SSYNC_REGISTER_EXPERIMENT; the single
+// `ssyncbench` driver (src/harness/driver.h) lists and runs them.
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime_native.h"
+#include "src/core/runtime_sim.h"
+#include "src/harness/params.h"
+#include "src/harness/result.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+
+// Execution backend an experiment runs on: the simulated machines or the
+// host. Selected by ssyncbench --backend; experiments declare support.
+enum class Backend { kSim, kNative };
+
+const char* ToString(Backend backend);
+bool BackendFromString(const std::string& name, Backend* out);
+
+struct ExperimentInfo {
+  std::string name;         // registry key and CLI name, e.g. "fig8"
+  std::string legacy_name;  // pre-redesign binary name, e.g. "fig8_locks_scaling"
+  std::string anchor;       // paper anchor, e.g. "Figure 8" / "Section 8"
+  std::string summary;      // one line for --list
+  std::string expectation;  // the paper's qualitative claim (table output preamble)
+  std::vector<ParamSpec> params;
+  bool supports_sim = true;
+  bool supports_native = false;
+  // True for experiments pinned to specific machines (fig3 is Opteron-only,
+  // sec8_two_socket uses the 2-socket specs, ...): --platform is ignored.
+  bool fixed_platforms = false;
+  // Position in --list and `ssyncbench all` (paper order).
+  int order = 1000;
+
+  bool Supports(Backend backend) const {
+    return backend == Backend::kSim ? supports_sim : supports_native;
+  }
+  Backend DefaultBackend() const { return supports_sim ? Backend::kSim : Backend::kNative; }
+};
+
+// Everything an experiment needs to run one sweep: the resolved backend, the
+// platforms to measure, and the validated parameters.
+class RunContext {
+ public:
+  RunContext(std::string experiment_name, Backend backend,
+             std::vector<PlatformSpec> platforms, ParamSet params)
+      : experiment_name_(std::move(experiment_name)),
+        backend_(backend),
+        platforms_(std::move(platforms)),
+        params_(std::move(params)) {}
+
+  Backend backend() const { return backend_; }
+  const std::vector<PlatformSpec>& platforms() const { return platforms_; }
+  const ParamSet& params() const { return params_; }
+
+  // A Result pre-stamped with this run's identity and configuration (the
+  // resolved parameter set rides along so JSON output records what produced
+  // each point).
+  Result NewResult(const PlatformSpec& spec) const {
+    Result r(experiment_name_, ToString(backend_), spec.name);
+    // Numeric and boolean values are re-rendered from their parsed form, not
+    // echoed as typed: strtoll/strtod accept spellings ("+5", ".5", "yes")
+    // that are not valid JSON literals.
+    for (const ParamSet::Entry& entry : params_.Entries()) {
+      switch (entry.type) {
+        case ParamSpec::Type::kInt:
+          r.Config(entry.name, std::to_string(params_.Int(entry.name)), /*raw=*/true);
+          break;
+        case ParamSpec::Type::kDouble: {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%g", params_.Double(entry.name));
+          r.Config(entry.name, buf, /*raw=*/true);
+          break;
+        }
+        case ParamSpec::Type::kBool:
+          r.Config(entry.name, params_.Bool(entry.name) ? "true" : "false",
+                   /*raw=*/true);
+          break;
+        case ParamSpec::Type::kString:
+          r.Config(entry.name, entry.value, /*raw=*/false);
+          break;
+      }
+    }
+    return r;
+  }
+
+  // Constructs a fresh runtime of the active backend for `spec` and invokes
+  // fn(runtime). Experiments written against the Runtime concept (e.g. the
+  // src/core/experiments.h harnesses) use this to stay backend-generic:
+  //
+  //   const StressResult res = ctx.WithRuntime(spec, [&](auto& rt) {
+  //     return LockStress(rt, kind, topt, threads, locks, duration, seed);
+  //   });
+  template <typename Fn>
+  auto WithRuntime(const PlatformSpec& spec, Fn&& fn) const {
+    if (backend_ == Backend::kNative) {
+      NativeRuntime rt(spec);
+      return fn(rt);
+    }
+    SimRuntime rt(spec);
+    return fn(rt);
+  }
+
+ private:
+  std::string experiment_name_;
+  Backend backend_;
+  std::vector<PlatformSpec> platforms_;
+  ParamSet params_;
+};
+
+class ResultSink;
+
+class Experiment {
+ public:
+  virtual ~Experiment() = default;
+
+  virtual ExperimentInfo Info() const = 0;
+  virtual void Run(const RunContext& ctx, ResultSink& sink) const = 0;
+};
+
+class ExperimentRegistry {
+ public:
+  // The process-wide registry the SSYNC_REGISTER_EXPERIMENT registrations
+  // populate and the ssyncbench driver reads.
+  static ExperimentRegistry& Global();
+
+  // Returns false (and does not take ownership conceptually — the experiment
+  // is discarded) if an experiment with the same name is already registered.
+  bool Register(std::unique_ptr<Experiment> experiment);
+
+  // Register that treats a duplicate name as a programming error.
+  bool RegisterOrDie(std::unique_ptr<Experiment> experiment);
+
+  // Lookup by registry name, or by the pre-redesign binary name (so the
+  // back-compat wrappers and muscle-memory invocations keep working).
+  const Experiment* Find(const std::string& name) const;
+
+  // All experiments in paper order (ExperimentInfo::order, then name).
+  std::vector<const Experiment*> All() const;
+
+  std::size_t size() const { return experiments_.size(); }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Experiment> experiment;
+    ExperimentInfo info;  // cached at registration
+  };
+  std::vector<Entry> experiments_;
+};
+
+// Self-registration hook: expands to a file-local registration of `cls` (a
+// default-constructible Experiment subclass) into the global registry.
+#define SSYNC_REGISTER_EXPERIMENT(cls)                                     \
+  const bool ssync_registered_##cls = ::ssync::ExperimentRegistry::Global() \
+                                          .RegisterOrDie(std::make_unique<cls>())
+
+}  // namespace ssync
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,182 @@
+#include "src/harness/params.h"
+
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace ssync {
+
+ParamSpec DurationParam(std::int64_t def) {
+  return {"duration", ParamSpec::Type::kInt, std::to_string(def),
+          "cycles per measured point (simulated cycles; nanoseconds natively)"};
+}
+
+ParamSpec RoundsParam(std::int64_t def, const std::string& help) {
+  return {"rounds", ParamSpec::Type::kInt, std::to_string(def), help};
+}
+
+ParamSpec RepsParam(std::int64_t def) {
+  return {"reps", ParamSpec::Type::kInt, std::to_string(def), "repetitions per cell"};
+}
+
+ParamSpec SeedParam(std::int64_t def) {
+  return {"seed", ParamSpec::Type::kInt, std::to_string(def), "workload RNG seed"};
+}
+
+bool ParseInt(const std::string& text, std::int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool ValueParses(const ParamSpec& spec, const std::string& text) {
+  switch (spec.type) {
+    case ParamSpec::Type::kInt: {
+      std::int64_t v;
+      return ParseInt(text, &v) && v >= spec.min_int;
+    }
+    case ParamSpec::Type::kDouble: {
+      double v;
+      return ParseDouble(text, &v);
+    }
+    case ParamSpec::Type::kString:
+      return true;
+    case ParamSpec::Type::kBool: {
+      bool v;
+      return ParseBool(text, &v);
+    }
+  }
+  return false;
+}
+
+const char* TypeName(ParamSpec::Type type) {
+  switch (type) {
+    case ParamSpec::Type::kInt:
+      return "integer";
+    case ParamSpec::Type::kDouble:
+      return "number";
+    case ParamSpec::Type::kString:
+      return "string";
+    case ParamSpec::Type::kBool:
+      return "boolean";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool ParamSet::Build(const std::vector<ParamSpec>& schema,
+                     const std::map<std::string, std::string>& given, ParamSet* out,
+                     std::string* error) {
+  ParamSet set;
+  set.schema_ = schema;
+  for (const ParamSpec& spec : schema) {
+    set.values_[spec.name] = spec.def;
+  }
+  for (const auto& [name, value] : given) {
+    const ParamSpec* spec = nullptr;
+    for (const ParamSpec& s : schema) {
+      if (s.name == name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      *error = "unknown parameter: --" + name;
+      return false;
+    }
+    if (!ValueParses(*spec, value)) {
+      *error = "parameter --" + name + " expects a " + TypeName(spec->type);
+      if (spec->type == ParamSpec::Type::kInt) {
+        *error += " >= " + std::to_string(spec->min_int);
+      }
+      *error += ", got '" + value + "'";
+      return false;
+    }
+    set.values_[name] = value;
+  }
+  *out = std::move(set);
+  return true;
+}
+
+const ParamSpec* ParamSet::FindSpec(const std::string& name, ParamSpec::Type type) const {
+  for (const ParamSpec& s : schema_) {
+    if (s.name == name) {
+      SSYNC_CHECK(s.type == type);
+      return &s;
+    }
+  }
+  SSYNC_CHECK(false);  // parameter not declared in the experiment's schema
+  return nullptr;
+}
+
+std::int64_t ParamSet::Int(const std::string& name) const {
+  FindSpec(name, ParamSpec::Type::kInt);
+  std::int64_t v = 0;
+  SSYNC_CHECK(ParseInt(values_.at(name), &v));
+  return v;
+}
+
+double ParamSet::Double(const std::string& name) const {
+  FindSpec(name, ParamSpec::Type::kDouble);
+  double v = 0.0;
+  SSYNC_CHECK(ParseDouble(values_.at(name), &v));
+  return v;
+}
+
+const std::string& ParamSet::Str(const std::string& name) const {
+  FindSpec(name, ParamSpec::Type::kString);
+  return values_.at(name);
+}
+
+std::vector<ParamSet::Entry> ParamSet::Entries() const {
+  std::vector<Entry> entries;
+  entries.reserve(schema_.size());
+  for (const ParamSpec& spec : schema_) {
+    entries.push_back({spec.name, spec.type, values_.at(spec.name)});
+  }
+  return entries;
+}
+
+bool ParamSet::Bool(const std::string& name) const {
+  FindSpec(name, ParamSpec::Type::kBool);
+  bool v = false;
+  SSYNC_CHECK(ParseBool(values_.at(name), &v));
+  return v;
+}
+
+}  // namespace ssync

@@ -1,0 +1,77 @@
+// Parameter schemas for registered experiments.
+//
+// Every experiment declares its tunable knobs as a vector<ParamSpec>; the
+// ssyncbench driver validates the command-line --key=value overrides against
+// that schema (unknown keys and malformed values are rejected before anything
+// runs) and hands the experiment a typed, fully-defaulted ParamSet.
+#ifndef SRC_HARNESS_PARAMS_H_
+#define SRC_HARNESS_PARAMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssync {
+
+struct ParamSpec {
+  enum class Type { kInt, kDouble, kString, kBool };
+
+  std::string name;
+  Type type = Type::kInt;
+  std::string def;  // default, rendered as text (what --help shows)
+  std::string help;
+  // Lower bound enforced for kInt at validation time. Every current knob is
+  // a count/duration/seed, so negatives default to rejected — a typo like
+  // --duration=-1 must not become a 2^64-cycle run via unsigned conversion.
+  std::int64_t min_int = 0;
+};
+
+// Schema entries shared by many experiments, so help strings and defaults
+// stay consistent across the registry.
+ParamSpec DurationParam(std::int64_t def);  // cycles per measured point
+ParamSpec RoundsParam(std::int64_t def, const std::string& help);
+ParamSpec RepsParam(std::int64_t def);
+ParamSpec SeedParam(std::int64_t def);
+
+// A validated, fully-defaulted set of parameter values. Getters check (via
+// SSYNC_CHECK) that the parameter exists with the requested type, so a typo
+// in an experiment's Run() fails loudly rather than yielding a default.
+class ParamSet {
+ public:
+  // Validates `given` against `schema`: every key must be declared and every
+  // value must parse as the declared type. On failure returns false and sets
+  // *error; *out is left empty.
+  static bool Build(const std::vector<ParamSpec>& schema,
+                    const std::map<std::string, std::string>& given, ParamSet* out,
+                    std::string* error);
+
+  std::int64_t Int(const std::string& name) const;
+  double Double(const std::string& name) const;
+  const std::string& Str(const std::string& name) const;
+  bool Bool(const std::string& name) const;
+
+  // The resolved values in schema order, for embedding the run configuration
+  // into emitted Results (so a JSON file records which --duration produced it).
+  struct Entry {
+    std::string name;
+    ParamSpec::Type type;
+    std::string value;
+  };
+  std::vector<Entry> Entries() const;
+
+ private:
+  const ParamSpec* FindSpec(const std::string& name, ParamSpec::Type type) const;
+
+  std::vector<ParamSpec> schema_;
+  std::map<std::string, std::string> values_;  // validated raw text
+};
+
+// Shared value parsers (also used by the driver for its own flags).
+bool ParseInt(const std::string& text, std::int64_t* out);
+bool ParseDouble(const std::string& text, double* out);
+bool ParseBool(const std::string& text, bool* out);
+
+}  // namespace ssync
+
+#endif  // SRC_HARNESS_PARAMS_H_

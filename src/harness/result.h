@@ -1,0 +1,88 @@
+// One measured data point flowing from an experiment to a ResultSink.
+//
+// A Result is a flat record: identity (experiment, backend, platform), the
+// sweep coordinates that produced the point ("params": thread count, lock
+// name, contention level, ...), the measured numbers ("metrics": mops,
+// latency cycles, ...), and optional string-valued outputs ("labels": e.g.
+// the best-performing lock of a bar figure). Field order is preserved so the
+// table/CSV column order matches the registration.
+#ifndef SRC_HARNESS_RESULT_H_
+#define SRC_HARNESS_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssync {
+
+class Result {
+ public:
+  struct ParamField {
+    std::string key;
+    bool is_number = false;
+    std::string text;  // string value, or the number rendered as text
+    double number = 0.0;
+  };
+
+  Result(std::string experiment, std::string backend, std::string platform)
+      : experiment_(std::move(experiment)),
+        backend_(std::move(backend)),
+        platform_(std::move(platform)) {}
+
+  Result& Param(const std::string& key, const std::string& value) {
+    params_.push_back({key, false, value, 0.0});
+    return *this;
+  }
+  Result& Param(const std::string& key, const char* value) {
+    return Param(key, std::string(value));
+  }
+  Result& Param(const std::string& key, std::int64_t value) {
+    params_.push_back({key, true, std::to_string(value), static_cast<double>(value)});
+    return *this;
+  }
+  Result& Param(const std::string& key, int value) {
+    return Param(key, static_cast<std::int64_t>(value));
+  }
+
+  Result& Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+    return *this;
+  }
+
+  Result& Label(const std::string& key, const std::string& value) {
+    labels_.emplace_back(key, value);
+    return *this;
+  }
+
+  // Run-level configuration (the experiment's resolved parameter set, e.g.
+  // duration=400000). Appended after the sweep params in JSON output so a
+  // result file records what produced it; the table/CSV sinks omit these
+  // constant-per-run columns. `raw` emits the text unquoted (numbers,
+  // true/false).
+  Result& Config(const std::string& key, const std::string& text, bool raw) {
+    config_.push_back({key, raw, text, 0.0});
+    return *this;
+  }
+
+  const std::string& experiment() const { return experiment_; }
+  const std::string& backend() const { return backend_; }
+  const std::string& platform() const { return platform_; }
+  const std::vector<ParamField>& params() const { return params_; }
+  const std::vector<ParamField>& config() const { return config_; }
+  const std::vector<std::pair<std::string, double>>& metrics() const { return metrics_; }
+  const std::vector<std::pair<std::string, std::string>>& labels() const { return labels_; }
+
+ private:
+  std::string experiment_;
+  std::string backend_;
+  std::string platform_;
+  std::vector<ParamField> params_;
+  std::vector<ParamField> config_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> labels_;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_HARNESS_RESULT_H_

@@ -1,0 +1,257 @@
+#include "src/harness/result_sink.h"
+
+#include <cstdio>
+
+namespace ssync {
+namespace {
+
+// Column-shape signature of a result: the ordered field names. Sinks that
+// render rows (table, CSV) start a new header whenever it changes.
+std::string Signature(const Result& r) {
+  std::string sig = r.experiment();
+  for (const auto& p : r.params()) {
+    sig += '|';
+    sig += p.key;
+  }
+  for (const auto& [key, value] : r.metrics()) {
+    (void)value;
+    sig += '|';
+    sig += key;
+  }
+  for (const auto& [key, value] : r.labels()) {
+    (void)value;
+    sig += '|';
+    sig += key;
+  }
+  return sig;
+}
+
+std::vector<std::string> FieldNames(const Result& r) {
+  std::vector<std::string> names;
+  for (const auto& p : r.params()) {
+    names.push_back(p.key);
+  }
+  for (const auto& [key, value] : r.metrics()) {
+    (void)value;
+    names.push_back(key);
+  }
+  for (const auto& [key, value] : r.labels()) {
+    (void)value;
+    names.push_back(key);
+  }
+  return names;
+}
+
+std::vector<std::string> FieldValues(const Result& r) {
+  std::vector<std::string> values;
+  for (const auto& p : r.params()) {
+    values.push_back(p.text);
+  }
+  for (const auto& [key, value] : r.metrics()) {
+    (void)key;
+    values.push_back(FormatMetric(value));
+  }
+  for (const auto& [key, value] : r.labels()) {
+    (void)key;
+    values.push_back(value);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string FormatMetric(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// --- JsonSink -------------------------------------------------------------
+
+std::string JsonSink::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonSink::Emit(const Result& r) {
+  out_ << "{\"schema\":\"ssyncbench/v1\""
+       << ",\"experiment\":\"" << Escape(r.experiment()) << '"'
+       << ",\"backend\":\"" << Escape(r.backend()) << '"'
+       << ",\"platform\":\"" << Escape(r.platform()) << '"';
+  out_ << ",\"params\":{";
+  bool first = true;
+  auto emit_field = [&](const Result::ParamField& p) {
+    out_ << (first ? "" : ",") << '"' << Escape(p.key) << "\":";
+    if (p.is_number) {
+      out_ << p.text;  // already a JSON literal (number / true / false)
+    } else {
+      out_ << '"' << Escape(p.text) << '"';
+    }
+    first = false;
+  };
+  for (const auto& p : r.params()) {
+    emit_field(p);
+  }
+  // Run-level configuration follows the sweep coordinates, so a result file
+  // records e.g. the --duration that produced it. A sweep coordinate with
+  // the same name wins (no duplicate JSON keys).
+  for (const auto& p : r.config()) {
+    bool shadowed = false;
+    for (const auto& sweep : r.params()) {
+      if (sweep.key == p.key) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) {
+      emit_field(p);
+    }
+  }
+  out_ << "},\"metrics\":{";
+  first = true;
+  for (const auto& [key, value] : r.metrics()) {
+    out_ << (first ? "" : ",") << '"' << Escape(key) << "\":" << FormatMetric(value);
+    first = false;
+  }
+  out_ << '}';
+  if (!r.labels().empty()) {
+    out_ << ",\"labels\":{";
+    first = true;
+    for (const auto& [key, value] : r.labels()) {
+      out_ << (first ? "" : ",") << '"' << Escape(key) << "\":\"" << Escape(value) << '"';
+      first = false;
+    }
+    out_ << '}';
+  }
+  out_ << "}\n";
+}
+
+// --- CsvSink --------------------------------------------------------------
+
+namespace {
+
+// RFC 4180 quoting: values containing a comma, quote, or newline are wrapped
+// in quotes with embedded quotes doubled (Table 1's processor descriptions
+// contain commas).
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) {
+    return value;
+  }
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvSink::Emit(const Result& r) {
+  const std::string sig = Signature(r);
+  if (sig != last_signature_) {
+    last_signature_ = sig;
+    out_ << "experiment,backend,platform";
+    for (const std::string& name : FieldNames(r)) {
+      out_ << ',' << CsvField(name);
+    }
+    out_ << '\n';
+  }
+  out_ << CsvField(r.experiment()) << ',' << CsvField(r.backend()) << ','
+       << CsvField(r.platform());
+  for (const std::string& value : FieldValues(r)) {
+    out_ << ',' << CsvField(value);
+  }
+  out_ << '\n';
+}
+
+// --- TableSink ------------------------------------------------------------
+
+void TableSink::BeginExperiment(const std::string& name, const std::string& header_text) {
+  (void)name;
+  if (!header_text.empty()) {
+    out_ << header_text << '\n';
+  }
+}
+
+void TableSink::Emit(const Result& r) {
+  const std::string sig = Signature(r);
+  if (sig != group_signature_) {
+    FlushGroup();
+    group_signature_ = sig;
+    group_headers_.assign({"platform"});
+    for (std::string& name : FieldNames(r)) {
+      group_headers_.push_back(std::move(name));
+    }
+  }
+  std::vector<std::string> row{r.platform()};
+  for (std::string& value : FieldValues(r)) {
+    row.push_back(std::move(value));
+  }
+  group_rows_.push_back(std::move(row));
+}
+
+void TableSink::EndExperiment() {
+  FlushGroup();
+  group_signature_.clear();
+}
+
+void TableSink::FlushGroup() {
+  if (group_rows_.empty()) {
+    return;
+  }
+  Table t(group_headers_);
+  for (auto& row : group_rows_) {
+    t.AddRow(std::move(row));
+  }
+  t.Print(out_);
+  out_ << '\n';
+  group_rows_.clear();
+}
+
+std::unique_ptr<ResultSink> MakeSink(const std::string& format, std::ostream& out) {
+  if (format == "table") {
+    return std::make_unique<TableSink>(out);
+  }
+  if (format == "csv") {
+    return std::make_unique<CsvSink>(out);
+  }
+  if (format == "json") {
+    return std::make_unique<JsonSink>(out);
+  }
+  return nullptr;
+}
+
+}  // namespace ssync

@@ -1,0 +1,94 @@
+// ResultSink: where experiment Results go.
+//
+// Three implementations, selected by ssyncbench --format:
+//
+//   TableSink  aligned ASCII tables grouped by platform (human-facing; also
+//              prints each experiment's paper-expectation blurb)
+//   CsvSink    comma-separated rows; a header row is emitted whenever the
+//              column shape changes (new experiment / new sweep shape)
+//   JsonSink   one self-describing JSON object per line ("JSON lines") — the
+//              stable machine-readable schema consumed by
+//              scripts/run_all_figures.sh and CI; documented in
+//              docs/ARCHITECTURE.md ("The ssyncbench JSON schema")
+//
+// Sinks write to a caller-owned std::ostream, so the driver can target
+// stdout or --out=FILE and tests can capture output in a stringstream.
+#ifndef SRC_HARNESS_RESULT_SINK_H_
+#define SRC_HARNESS_RESULT_SINK_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/result.h"
+#include "src/util/table.h"
+
+namespace ssync {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  // `header_text` is the human-facing preamble (anchor, summary, paper
+  // expectation); only the table sink prints it.
+  virtual void BeginExperiment(const std::string& name, const std::string& header_text) {
+    (void)name;
+    (void)header_text;
+  }
+  virtual void Emit(const Result& r) = 0;
+  virtual void EndExperiment() {}
+  virtual void Finish() {}
+};
+
+class JsonSink : public ResultSink {
+ public:
+  explicit JsonSink(std::ostream& out) : out_(out) {}
+  void Emit(const Result& r) override;
+
+  // JSON string escaping (exposed for the golden tests).
+  static std::string Escape(const std::string& s);
+
+ private:
+  std::ostream& out_;
+};
+
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+  void Emit(const Result& r) override;
+
+ private:
+  std::ostream& out_;
+  std::string last_signature_;
+};
+
+// Groups consecutive results sharing a column shape into one aligned table
+// with a leading platform column, so per-platform series print side by side
+// (the paper's tables compare platforms).
+class TableSink : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& out) : out_(out) {}
+  void BeginExperiment(const std::string& name, const std::string& header_text) override;
+  void Emit(const Result& r) override;
+  void EndExperiment() override;
+
+ private:
+  void FlushGroup();
+
+  std::ostream& out_;
+  std::string group_signature_;
+  std::vector<std::string> group_headers_;
+  std::vector<std::vector<std::string>> group_rows_;
+};
+
+// Factory for --format=table|csv|json; returns nullptr for unknown names.
+std::unique_ptr<ResultSink> MakeSink(const std::string& format, std::ostream& out);
+
+// Rendering shared by the sinks: metric values with enough significant
+// digits to round-trip figure data ("%.6g").
+std::string FormatMetric(double v);
+
+}  // namespace ssync
+
+#endif  // SRC_HARNESS_RESULT_SINK_H_

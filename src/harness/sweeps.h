@@ -1,0 +1,77 @@
+// Thread-count sweeps shared by the experiment registrations (the successor
+// of the old bench/bench_common.h helpers, now clamped so a custom spec can
+// never request more threads than its platform has).
+#ifndef SRC_HARNESS_SWEEPS_H_
+#define SRC_HARNESS_SWEEPS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/platform/spec.h"
+
+namespace ssync {
+
+// Clamps every mark to [1, num_cpus] and deduplicates while preserving the
+// ascending order (so e.g. {24, 36, 48} on a 32-cpu spec collapses to {24,
+// 32}).
+inline std::vector<int> ClampThreadMarks(const std::vector<int>& marks, int num_cpus) {
+  std::vector<int> out;
+  out.reserve(marks.size());
+  for (int mark : marks) {
+    mark = std::clamp(mark, 1, num_cpus);
+    if (std::find(out.begin(), out.end(), mark) == out.end()) {
+      out.push_back(mark);
+    }
+  }
+  return out;
+}
+
+// Thread counts swept for throughput figures: dense enough to show the
+// shape, sparse enough to keep each experiment's runtime in seconds.
+inline std::vector<int> ThreadMarks(const PlatformSpec& spec) {
+  std::vector<int> marks;
+  switch (spec.kind) {
+    case PlatformKind::kOpteron:
+      marks = {1, 2, 6, 12, 18, 24, 36, 48};
+      break;
+    case PlatformKind::kXeon:
+      marks = {1, 2, 10, 20, 30, 40, 60, 80};
+      break;
+    case PlatformKind::kNiagara:
+      marks = {1, 2, 8, 16, 24, 32, 48, 64};
+      break;
+    case PlatformKind::kTilera:
+      marks = {1, 2, 6, 12, 18, 24, 30, 36};
+      break;
+    default:
+      marks = {1, 2, 4, spec.num_cpus};
+      break;
+  }
+  return ClampThreadMarks(marks, spec.num_cpus);
+}
+
+// The thread marks of the paper's bar figures (Figures 8 and 11): 36-core
+// cross-platform comparison.
+inline std::vector<int> BarThreadMarks(const PlatformSpec& spec) {
+  std::vector<int> marks;
+  switch (spec.kind) {
+    case PlatformKind::kOpteron:
+      marks = {1, 6, 18, 36};
+      break;
+    case PlatformKind::kXeon:
+      marks = {1, 10, 18, 36};
+      break;
+    case PlatformKind::kNiagara:
+    case PlatformKind::kTilera:
+      marks = {1, 8, 18, 36};
+      break;
+    default:
+      marks = {1, spec.num_cpus};
+      break;
+  }
+  return ClampThreadMarks(marks, spec.num_cpus);
+}
+
+}  // namespace ssync
+
+#endif  // SRC_HARNESS_SWEEPS_H_

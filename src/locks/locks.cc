@@ -7,24 +7,11 @@ namespace ssync {
 
 const char* ToString(LockKind kind) {
   switch (kind) {
-    case LockKind::kTas:
-      return "TAS";
-    case LockKind::kTtas:
-      return "TTAS";
-    case LockKind::kTicket:
-      return "TICKET";
-    case LockKind::kArray:
-      return "ARRAY";
-    case LockKind::kMutex:
-      return "MUTEX";
-    case LockKind::kMcs:
-      return "MCS";
-    case LockKind::kClh:
-      return "CLH";
-    case LockKind::kHclh:
-      return "HCLH";
-    case LockKind::kHticket:
-      return "HTICKET";
+#define SSYNC_LOCK_NAME(enumerator, name, type) \
+  case LockKind::enumerator:                    \
+    return name;
+    SSYNC_LOCK_LIST(SSYNC_LOCK_NAME)
+#undef SSYNC_LOCK_NAME
   }
   return "?";
 }
@@ -49,7 +36,12 @@ TicketOptions DefaultTicketOptions(const PlatformSpec& spec) {
   options.prefetchw = spec.kind == PlatformKind::kOpteron ||
                       spec.kind == PlatformKind::kOpteron2 ||
                       spec.kind == PlatformKind::kXeon ||
-                      spec.kind == PlatformKind::kXeon2;
+                      spec.kind == PlatformKind::kXeon2 ||
+                      // The native backend's Prefetchw compiles to the host's
+                      // read-for-ownership prefetch (or a plain prefetch where
+                      // the ISA has none); enabling it mirrors the paper's
+                      // "wherever possible".
+                      spec.kind == PlatformKind::kNative;
   return options;
 }
 

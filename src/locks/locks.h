@@ -6,6 +6,9 @@
 #ifndef SRC_LOCKS_LOCKS_H_
 #define SRC_LOCKS_LOCKS_H_
 
+#include <memory>
+#include <type_traits>
+
 #include "src/locks/array.h"
 #include "src/locks/clh.h"
 #include "src/locks/cohort.h"
@@ -20,58 +23,51 @@
 
 namespace ssync {
 
+namespace internal {
+
+// Constructs a lock of type L, forwarding ticket options where they apply
+// (locks that are constructible from (topology, options) — today only the
+// plain ticket lock). The single source of truth for this dispatch: both
+// WithLock() and the heap-allocating experiment harnesses use it.
+template <typename L, typename Mem>
+L MakeLockOnStack(const LockTopology& topo, const TicketOptions& ticket_options) {
+  if constexpr (std::is_constructible_v<L, const LockTopology&, const TicketOptions&>) {
+    return L(topo, ticket_options);
+  } else {
+    (void)ticket_options;
+    return L(topo);
+  }
+}
+
+// Heap-allocating variant, for harnesses that keep vectors of locks alive.
+template <typename L, typename Mem>
+std::unique_ptr<L> MakeLockPtr(const LockTopology& topo, const TicketOptions& ticket_options) {
+  if constexpr (std::is_constructible_v<L, const LockTopology&, const TicketOptions&>) {
+    return std::make_unique<L>(topo, ticket_options);
+  } else {
+    (void)ticket_options;
+    return std::make_unique<L>(topo);
+  }
+}
+
+}  // namespace internal
+
 // Instantiates the lock named by `kind` (constructed from `topo`, with
 // `ticket_options` applied to plain ticket locks) and invokes
-// fn(lock_reference). `fn` must be callable with every lock type.
+// fn(lock_reference). `fn` must be callable with every lock type. Dispatch
+// cases are generated from SSYNC_LOCK_LIST (lock_common.h).
 template <typename Mem, typename Fn>
 void WithLock(LockKind kind, const LockTopology& topo, const TicketOptions& ticket_options,
               Fn&& fn) {
   switch (kind) {
-    case LockKind::kTas: {
-      TasLock<Mem> lock(topo);
-      fn(lock);
-      return;
-    }
-    case LockKind::kTtas: {
-      TtasLock<Mem> lock(topo);
-      fn(lock);
-      return;
-    }
-    case LockKind::kTicket: {
-      TicketLock<Mem> lock(topo, ticket_options);
-      fn(lock);
-      return;
-    }
-    case LockKind::kArray: {
-      ArrayLock<Mem> lock(topo);
-      fn(lock);
-      return;
-    }
-    case LockKind::kMutex: {
-      MutexLock<Mem> lock(topo);
-      fn(lock);
-      return;
-    }
-    case LockKind::kMcs: {
-      McsLock<Mem> lock(topo);
-      fn(lock);
-      return;
-    }
-    case LockKind::kClh: {
-      ClhLock<Mem> lock(topo);
-      fn(lock);
-      return;
-    }
-    case LockKind::kHclh: {
-      HclhLock<Mem> lock(topo);
-      fn(lock);
-      return;
-    }
-    case LockKind::kHticket: {
-      HticketLock<Mem> lock(topo);
-      fn(lock);
-      return;
-    }
+#define SSYNC_LOCK_WITH(enumerator, name, type)                                       \
+  case LockKind::enumerator: {                                                        \
+    auto lock = internal::MakeLockOnStack<type<Mem>, Mem>(topo, ticket_options);      \
+    fn(lock);                                                                         \
+    return;                                                                           \
+  }
+    SSYNC_LOCK_LIST(SSYNC_LOCK_WITH)
+#undef SSYNC_LOCK_WITH
   }
   SSYNC_CHECK(false);
 }
@@ -82,33 +78,12 @@ void WithLock(LockKind kind, const LockTopology& topo, const TicketOptions& tick
 template <typename Mem, typename Fn>
 void WithLockType(LockKind kind, Fn&& fn) {
   switch (kind) {
-    case LockKind::kTas:
-      fn.template operator()<TasLock<Mem>>();
-      return;
-    case LockKind::kTtas:
-      fn.template operator()<TtasLock<Mem>>();
-      return;
-    case LockKind::kTicket:
-      fn.template operator()<TicketLock<Mem>>();
-      return;
-    case LockKind::kArray:
-      fn.template operator()<ArrayLock<Mem>>();
-      return;
-    case LockKind::kMutex:
-      fn.template operator()<MutexLock<Mem>>();
-      return;
-    case LockKind::kMcs:
-      fn.template operator()<McsLock<Mem>>();
-      return;
-    case LockKind::kClh:
-      fn.template operator()<ClhLock<Mem>>();
-      return;
-    case LockKind::kHclh:
-      fn.template operator()<HclhLock<Mem>>();
-      return;
-    case LockKind::kHticket:
-      fn.template operator()<HticketLock<Mem>>();
-      return;
+#define SSYNC_LOCK_WITH_TYPE(enumerator, name, type) \
+  case LockKind::enumerator:                         \
+    fn.template operator()<type<Mem>>();             \
+    return;
+    SSYNC_LOCK_LIST(SSYNC_LOCK_WITH_TYPE)
+#undef SSYNC_LOCK_WITH_TYPE
   }
   SSYNC_CHECK(false);
 }

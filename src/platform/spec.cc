@@ -1,6 +1,8 @@
 #include "src/platform/spec.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "src/util/check.h"
 
@@ -53,6 +55,11 @@ int PlatformSpec::MeshHops(CpuId a, CpuId b) const {
 }
 
 CpuId PlatformSpec::CpuForThread(int thread_index) const {
+  if (kind == PlatformKind::kNative) {
+    // The native backend tolerates oversubscription (the OS schedules, and
+    // NativeMem::Pause yields); wrap instead of rejecting.
+    return thread_index % num_cpus;
+  }
   SSYNC_CHECK_LT(thread_index, num_cpus);
   if (kind == PlatformKind::kNiagara) {
     // Spread threads across the 8 physical cores round-robin (Section 5.4):
@@ -290,6 +297,26 @@ PlatformSpec MakeXeon2() {
   return s;
 }
 
+PlatformSpec MakeNativeHost() {
+  PlatformSpec s;
+  s.kind = PlatformKind::kNative;
+  s.name = "native";
+  s.processors = "host CPU";
+  s.interconnect = "host";
+  s.memory = "host";
+  // One "cycle" on the native backend is one nanosecond of wall time:
+  // durations given in cycles convert 1:1, and MopsPerSec at 1.0 GHz turns
+  // ops-per-nanosecond into the same Mops/s unit the simulator reports.
+  s.ghz = 1.0;
+  // Clamped to the native runtime's worker cap (kMaxNativeThreads in
+  // src/core/runtime_native.h — the platform layer cannot include it).
+  s.num_cpus = std::clamp(static_cast<int>(std::thread::hardware_concurrency()), 1, 256);
+  s.cpus_per_core = 1;
+  s.cores_per_socket = s.num_cpus;
+  s.num_sockets = 1;
+  return s;
+}
+
 PlatformSpec MakePlatform(PlatformKind kind) {
   switch (kind) {
     case PlatformKind::kOpteron:
@@ -304,6 +331,8 @@ PlatformSpec MakePlatform(PlatformKind kind) {
       return MakeOpteron2();
     case PlatformKind::kXeon2:
       return MakeXeon2();
+    case PlatformKind::kNative:
+      return MakeNativeHost();
   }
   SSYNC_CHECK(false);
 }
@@ -327,7 +356,11 @@ PlatformSpec MakePlatformByName(const std::string& name) {
   if (name == "xeon2") {
     return MakeXeon2();
   }
-  std::fprintf(stderr, "unknown platform: %s (use opteron|xeon|niagara|tilera|opteron2|xeon2)\n",
+  if (name == "native") {
+    return MakeNativeHost();
+  }
+  std::fprintf(stderr,
+               "unknown platform: %s (use opteron|xeon|niagara|tilera|opteron2|xeon2|native)\n",
                name.c_str());
   std::abort();
 }
@@ -335,6 +368,12 @@ PlatformSpec MakePlatformByName(const std::string& name) {
 std::vector<PlatformKind> MainPlatforms() {
   return {PlatformKind::kOpteron, PlatformKind::kXeon, PlatformKind::kNiagara,
           PlatformKind::kTilera};
+}
+
+const std::vector<std::string>& SimPlatformNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "opteron", "xeon", "niagara", "tilera", "opteron2", "xeon2"};
+  return *names;
 }
 
 std::vector<DistanceCase> DistanceCases(const PlatformSpec& spec) {
@@ -352,6 +391,9 @@ std::vector<DistanceCase> DistanceCases(const PlatformSpec& spec) {
     case PlatformKind::kOpteron2:
     case PlatformKind::kXeon2:
       return {{"same die", 1}, {"one hop", spec.cores_per_socket}};
+    case PlatformKind::kNative:
+      // The host's topology is not modeled; there are no distance cases.
+      return {};
   }
   SSYNC_CHECK(false);
 }

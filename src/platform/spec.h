@@ -24,6 +24,7 @@ enum class PlatformKind : std::uint8_t {
   kTilera,    // Tilera TILE-Gx36: 6x6 mesh, distributed directory, hardware MP
   kOpteron2,  // 2-socket AMD Opteron 2384 (Section 8)
   kXeon2,     // 2-socket Intel Xeon X5660 (Section 8)
+  kNative,    // the host machine (NativeRuntime backend; never simulated)
 };
 
 // Per-atomic-op latency components, indexed by AccessType kCas..kSwap.
@@ -154,11 +155,21 @@ PlatformSpec MakeTilera();
 PlatformSpec MakeOpteron2();  // Section 8 small multi-socket
 PlatformSpec MakeXeon2();     // Section 8 small multi-socket
 
+// The host machine as a PlatformSpec, for experiments running on the native
+// backend: flat geometry (hardware_concurrency cpus, one socket), ghz = 1.0 so
+// that one "cycle" is one nanosecond of wall time. Never given to a Machine.
+PlatformSpec MakeNativeHost();
+
 PlatformSpec MakePlatform(PlatformKind kind);
 PlatformSpec MakePlatformByName(const std::string& name);  // "opteron", "xeon", ...
 
 // The four platforms of the main study, in paper order.
 std::vector<PlatformKind> MainPlatforms();
+
+// Every simulated-platform name MakePlatformByName accepts (the paper's four
+// main machines plus the Section 8 2-socket specs; excludes "native"). The
+// canonical list — CLI surfaces validate against it.
+const std::vector<std::string>& SimPlatformNames();
 
 // Distance cases for Figure 6 / Figure 9 style sweeps: labelled partner cpus
 // for cpu 0, ordered from nearest to farthest.

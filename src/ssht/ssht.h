@@ -41,7 +41,7 @@ class Ssht {
   // Returns true and copies the payload if the key is present.
   bool Get(std::uint64_t key, std::uint8_t* payload_out) {
     Bucket& b = BucketOf(key);
-    b.lock.Lock();
+    LockGuard<Lock> guard(b.lock);
     Node* node = Find(b, key);
     const bool found = node != nullptr;
     if (found) {
@@ -50,7 +50,6 @@ class Ssht {
         std::memcpy(payload_out, node->payload, kSshtPayloadBytes);
       }
     }
-    b.lock.Unlock();
     return found;
   }
 
@@ -61,13 +60,12 @@ class Ssht {
   // configurations collapse on the multi-sockets.
   bool Put(std::uint64_t key, const std::uint8_t* payload) {
     Bucket& b = BucketOf(key);
-    b.lock.Lock();
+    LockGuard<Lock> guard(b.lock);
     if (Node* existing = Find(b, key); existing != nullptr) {
       if (payload != nullptr) {
         std::memcpy(existing->payload, payload, kSshtPayloadBytes);
       }
       Mem::WriteData(existing->payload, kSshtPayloadBytes);
-      b.lock.Unlock();
       return false;
     }
     Node* node = AllocNode(b);
@@ -79,14 +77,13 @@ class Ssht {
     b.head = node;
     Mem::WriteData(node, sizeof(Node));
     Mem::WriteData(&b.head, sizeof(b.head));
-    b.lock.Unlock();
     return true;
   }
 
   // Removes the key; returns true if it was present.
   bool Remove(std::uint64_t key) {
     Bucket& b = BucketOf(key);
-    b.lock.Lock();
+    LockGuard<Lock> guard(b.lock);
     Node** link = &b.head;
     Node* node = b.head;
     Mem::ReadData(&b.head, sizeof(b.head));
@@ -96,13 +93,11 @@ class Ssht {
         *link = node->next;
         Mem::WriteData(link, sizeof(*link));
         FreeNode(b, node);
-        b.lock.Unlock();
         return true;
       }
       link = &node->next;
       node = node->next;
     }
-    b.lock.Unlock();
     return false;
   }
 

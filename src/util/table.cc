@@ -24,7 +24,7 @@ std::string Table::Int(long long v) {
   return buf;
 }
 
-void Table::Print(std::FILE* out) const {
+std::string Table::ToText() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {
     widths[c] = headers_[c].size();
@@ -32,38 +32,52 @@ void Table::Print(std::FILE* out) const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ", static_cast<int>(widths[c]),
-                   row[c].c_str());
+      if (c != 0) {
+        out += "  ";
+      }
+      out += row[c];
+      // Pad to the column width (the final column keeps a trailing pad so
+      // the text matches the historical fprintf("%-*s") rendering).
+      out.append(widths[c] - row[c].size(), ' ');
     }
-    std::fprintf(out, "\n");
+    out += '\n';
   };
-  print_row(headers_);
+  append_row(headers_);
   std::size_t total = 0;
   for (std::size_t c = 0; c < widths.size(); ++c) {
     total += widths[c] + (c == 0 ? 0 : 2);
   }
-  for (std::size_t i = 0; i < total; ++i) {
-    std::fputc('-', out);
-  }
-  std::fputc('\n', out);
+  out.append(total, '-');
+  out += '\n';
   for (const auto& row : rows_) {
-    print_row(row);
+    append_row(row);
   }
+  return out;
 }
 
-void Table::PrintCsv(std::FILE* out) const {
-  auto print_row = [&](const std::vector<std::string>& row) {
+std::string Table::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+      if (c != 0) {
+        out += ',';
+      }
+      out += row[c];
     }
-    std::fprintf(out, "\n");
+    out += '\n';
   };
-  print_row(headers_);
+  append_row(headers_);
   for (const auto& row : rows_) {
-    print_row(row);
+    append_row(row);
   }
+  return out;
 }
+
+void Table::Print(std::FILE* out) const { std::fputs(ToText().c_str(), out); }
+
+void Table::PrintCsv(std::FILE* out) const { std::fputs(ToCsv().c_str(), out); }
 
 }  // namespace ssync

@@ -4,6 +4,7 @@
 #define SRC_UTIL_TABLE_H_
 
 #include <cstdio>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -15,12 +16,22 @@ class Table {
 
   void AddRow(std::vector<std::string> cells);
 
+  bool empty() const { return rows_.empty(); }
+
   // Convenience: formats doubles with the given precision.
   static std::string Num(double v, int precision = 1);
   static std::string Int(long long v);
 
+  // Renders the aligned-text / CSV form (the string the Print functions
+  // write). Stream-based callers — the ssyncbench result sinks, tests —
+  // use these directly.
+  std::string ToText() const;
+  std::string ToCsv() const;
+
   void Print(std::FILE* out = stdout) const;
   void PrintCsv(std::FILE* out) const;
+  void Print(std::ostream& out) const { out << ToText(); }
+  void PrintCsv(std::ostream& out) const { out << ToCsv(); }
 
  private:
   std::vector<std::string> headers_;

@@ -1,0 +1,341 @@
+// Tests for the unified experiment API (src/harness): registry semantics,
+// parameter-schema validation, the JSON-lines output schema, ssyncbench CLI
+// error handling, sweep clamping, and a smoke run of the core experiment
+// harnesses on both the simulated and the native backend.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/experiments.h"
+#include "src/harness/driver.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/harness/sweeps.h"
+
+namespace ssync {
+namespace {
+
+// --- Registry --------------------------------------------------------------
+
+class NamedExperiment : public Experiment {
+ public:
+  NamedExperiment(std::string name, std::string legacy)
+      : name_(std::move(name)), legacy_(std::move(legacy)) {}
+
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = name_;
+    info.legacy_name = legacy_;
+    info.anchor = "test";
+    info.summary = "a test experiment";
+    info.params = {DurationParam(1000)};
+    return info;
+  }
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      Result r = ctx.NewResult(spec);
+      r.Param("threads", 1).Metric("mops", 1.0);
+      sink.Emit(r);
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string legacy_;
+};
+
+TEST(ExperimentRegistryTest, RegisterAndLookup) {
+  ExperimentRegistry registry;
+  EXPECT_TRUE(registry.Register(std::make_unique<NamedExperiment>("a", "a_legacy")));
+  EXPECT_TRUE(registry.Register(std::make_unique<NamedExperiment>("b", "b_legacy")));
+  EXPECT_EQ(registry.size(), 2u);
+
+  ASSERT_NE(registry.Find("a"), nullptr);
+  EXPECT_EQ(registry.Find("a")->Info().name, "a");
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+}
+
+TEST(ExperimentRegistryTest, FindByLegacyName) {
+  ExperimentRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<NamedExperiment>("fig99", "fig99_old")));
+  ASSERT_NE(registry.Find("fig99_old"), nullptr);
+  EXPECT_EQ(registry.Find("fig99_old")->Info().name, "fig99");
+}
+
+TEST(ExperimentRegistryTest, RejectsDuplicateName) {
+  ExperimentRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<NamedExperiment>("dup", "dup1")));
+  EXPECT_FALSE(registry.Register(std::make_unique<NamedExperiment>("dup", "dup2")));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ExperimentRegistryTest, AllSortsByOrderThenName) {
+  // NamedExperiment leaves order at the default, so All() falls back to the
+  // name tiebreak regardless of registration order.
+  ExperimentRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<NamedExperiment>("zeta", "z")));
+  ASSERT_TRUE(registry.Register(std::make_unique<NamedExperiment>("alpha", "a")));
+  const auto all = registry.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->Info().name, "alpha");
+  EXPECT_EQ(all[1]->Info().name, "zeta");
+}
+
+// The remaining registry/CLI tests exercise the real registrations; they are
+// compiled out when the bench/ registration TUs are not part of the build
+// (-DSSYNC_BUILD_BENCH=OFF).
+#ifndef SSYNC_HARNESS_TEST_NO_REGISTRY
+TEST(ExperimentRegistryTest, GlobalHoldsAllPaperExperiments) {
+  // The bench/ registration TUs are linked into this test binary, so the
+  // global registry must expose the full figure/table matrix.
+  ExperimentRegistry& registry = ExperimentRegistry::Global();
+  EXPECT_GE(registry.size(), 19u);
+  for (const char* name :
+       {"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "fig12", "sec8_stm", "sec8_two_socket",
+        "ablation_placement", "ablation_ports", "ablation_prefetchw",
+        "native_microbench"}) {
+    EXPECT_NE(registry.Find(name), nullptr) << "missing experiment: " << name;
+  }
+}
+#endif  // SSYNC_HARNESS_TEST_NO_REGISTRY
+
+// --- Parameter schemas -----------------------------------------------------
+
+TEST(ParamSetTest, DefaultsAndOverrides) {
+  const std::vector<ParamSpec> schema = {
+      DurationParam(400000),
+      {"lock", ParamSpec::Type::kString, "TICKET", "lock name"},
+      {"ratio", ParamSpec::Type::kDouble, "0.8", "get fraction"},
+      {"verbose", ParamSpec::Type::kBool, "false", "chatty output"},
+  };
+  ParamSet params;
+  std::string error;
+  ASSERT_TRUE(ParamSet::Build(schema, {{"duration", "1234"}, {"verbose", "true"}},
+                              &params, &error))
+      << error;
+  EXPECT_EQ(params.Int("duration"), 1234);
+  EXPECT_EQ(params.Str("lock"), "TICKET");
+  EXPECT_DOUBLE_EQ(params.Double("ratio"), 0.8);
+  EXPECT_TRUE(params.Bool("verbose"));
+}
+
+TEST(ParamSetTest, RejectsUnknownParameter) {
+  ParamSet params;
+  std::string error;
+  EXPECT_FALSE(ParamSet::Build({DurationParam(1)}, {{"durationn", "5"}}, &params, &error));
+  EXPECT_NE(error.find("durationn"), std::string::npos);
+}
+
+TEST(ParamSetTest, RejectsMalformedValue) {
+  ParamSet params;
+  std::string error;
+  EXPECT_FALSE(ParamSet::Build({DurationParam(1)}, {{"duration", "12x"}}, &params, &error));
+  EXPECT_NE(error.find("integer"), std::string::npos);
+}
+
+// --- JSON schema -----------------------------------------------------------
+
+TEST(JsonSinkTest, GoldenLine) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  Result r("fig5", "sim", "Opteron");
+  r.Param("lock", "TAS").Param("threads", 6).Metric("mops", 1.5).Metric("cycles", 400128);
+  sink.Emit(r);
+  EXPECT_EQ(out.str(),
+            "{\"schema\":\"ssyncbench/v1\",\"experiment\":\"fig5\",\"backend\":\"sim\","
+            "\"platform\":\"Opteron\",\"params\":{\"lock\":\"TAS\",\"threads\":6},"
+            "\"metrics\":{\"mops\":1.5,\"cycles\":400128}}\n");
+}
+
+TEST(JsonSinkTest, LabelsAndEscaping) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  Result r("fig8", "sim", "we\"ird\\name");
+  r.Param("locks", 4).Metric("mops", 2.0).Label("best_lock", "TICKET");
+  sink.Emit(r);
+  EXPECT_EQ(out.str(),
+            "{\"schema\":\"ssyncbench/v1\",\"experiment\":\"fig8\",\"backend\":\"sim\","
+            "\"platform\":\"we\\\"ird\\\\name\",\"params\":{\"locks\":4},"
+            "\"metrics\":{\"mops\":2},\"labels\":{\"best_lock\":\"TICKET\"}}\n");
+}
+
+TEST(JsonSinkTest, EveryEmittedLineSharesTheSchemaPrefix) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  for (int i = 0; i < 3; ++i) {
+    Result r("x", "sim", "P");
+    r.Param("i", i).Metric("v", i * 1.5);
+    sink.Emit(r);
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("{\"schema\":\"ssyncbench/v1\"", 0), 0u);
+    EXPECT_EQ(line.back(), '}');
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+// --- ssyncbench CLI --------------------------------------------------------
+
+TEST(SsyncbenchCliTest, UnknownExperimentIsUsageError) {
+  EXPECT_EQ(SsyncbenchMain({"definitely_not_an_experiment"}), 2);
+}
+
+TEST(SsyncbenchCliTest, MissingExperimentIsUsageError) {
+  EXPECT_EQ(SsyncbenchMain({}), 2);
+}
+
+TEST(SsyncbenchCliTest, BadBackendIsUsageError) {
+  EXPECT_EQ(SsyncbenchMain({"fig4", "--backend=bogus"}), 2);
+}
+
+TEST(SsyncbenchCliTest, BadFormatIsUsageError) {
+  EXPECT_EQ(SsyncbenchMain({"fig4", "--format=xml"}), 2);
+}
+
+TEST(SsyncbenchCliTest, BadPlatformIsUsageError) {
+  EXPECT_EQ(SsyncbenchMain({"fig4", "--platform=pentium"}), 2);
+}
+
+TEST(SsyncbenchCliTest, UnknownFlagIsUsageError) {
+  EXPECT_EQ(SsyncbenchMain({"fig4", "--bogus_flag=1"}), 2);
+}
+
+TEST(SsyncbenchCliTest, MalformedParamValueIsUsageError) {
+  EXPECT_EQ(SsyncbenchMain({"fig4", "--duration=abc"}), 2);
+}
+
+TEST(SsyncbenchCliTest, ListSucceeds) { EXPECT_EQ(SsyncbenchMain({"--list"}), 0); }
+
+#ifndef SSYNC_HARNESS_TEST_NO_REGISTRY
+TEST(SsyncbenchCliTest, SimOnlyExperimentOnNativeBackendRunsNothing) {
+  EXPECT_EQ(SsyncbenchMain({"fig6", "--backend=native"}), 2);
+}
+
+TEST(SsyncbenchCliTest, EndToEndJsonRun) {
+  const std::string path = testing::TempDir() + "/ssyncbench_e2e.json";
+  ASSERT_EQ(SsyncbenchMain({"fig4", "--platform=niagara", "--duration=20000",
+                            "--format=json", "--out=" + path}),
+            0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("{\"schema\":\"ssyncbench/v1\",\"experiment\":\"fig4\"", 0), 0u);
+    // The run configuration rides along in params, so result files record
+    // what produced them.
+    EXPECT_NE(line.find("\"duration\":20000"), std::string::npos);
+    ++lines;
+  }
+  // 5 atomic ops per thread mark, 8 Niagara marks.
+  EXPECT_EQ(lines, 40);
+  std::remove(path.c_str());
+}
+
+TEST(SsyncbenchCliTest, MalformedParamFailsBeforeAnyOutput) {
+  // table1 does not declare --duration, fig4 does: the bad value must be
+  // rejected up front, before table1 gets a chance to write results.
+  const std::string path = testing::TempDir() + "/ssyncbench_eager.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(SsyncbenchMain({"table1", "fig4", "--duration=abc", "--format=json",
+                            "--out=" + path}),
+            2);
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "usage error must not leave a result file behind";
+}
+
+TEST(SsyncbenchCliTest, BareHelpDoesNotSwallowExperimentName) {
+  // --help takes no value; the following positional is the experiment whose
+  // parameter schema gets printed.
+  EXPECT_EQ(SsyncbenchMain({"--help", "fig4"}), 0);
+}
+#endif  // SSYNC_HARNESS_TEST_NO_REGISTRY
+
+// --- Sweep clamping --------------------------------------------------------
+
+TEST(SweepsTest, MarksAreClampedToCustomSpec) {
+  PlatformSpec spec = MakeOpteron();
+  spec.num_cpus = 8;  // a custom, smaller machine
+  for (const int mark : ThreadMarks(spec)) {
+    EXPECT_GE(mark, 1);
+    EXPECT_LE(mark, spec.num_cpus);
+  }
+  EXPECT_EQ(ThreadMarks(spec), (std::vector<int>{1, 2, 6, 8}));
+  for (const int mark : BarThreadMarks(spec)) {
+    EXPECT_LE(mark, spec.num_cpus);
+  }
+  EXPECT_EQ(BarThreadMarks(spec), (std::vector<int>{1, 6, 8}));
+}
+
+TEST(SweepsTest, FullSizeSpecsKeepThePaperMarks) {
+  EXPECT_EQ(ThreadMarks(MakeOpteron()), (std::vector<int>{1, 2, 6, 12, 18, 24, 36, 48}));
+  EXPECT_EQ(BarThreadMarks(MakeXeon()), (std::vector<int>{1, 10, 18, 36}));
+}
+
+TEST(SweepsTest, NativeHostSpecGetsGenericMarks) {
+  const PlatformSpec host = MakeNativeHost();
+  const std::vector<int> marks = ThreadMarks(host);
+  ASSERT_FALSE(marks.empty());
+  EXPECT_EQ(marks.front(), 1);
+  EXPECT_LE(marks.back(), host.num_cpus);
+}
+
+// --- Backend smoke runs ----------------------------------------------------
+
+TEST(BackendSmokeTest, AtomicStressOnSimBackend) {
+  SimRuntime rt(MakeNiagara());
+  const StressResult res = AtomicStress(rt, AtomicStressOp::kFai, 4, 50000);
+  EXPECT_GT(res.ops, 0u);
+  EXPECT_GT(res.mops, 0.0);
+}
+
+// On an oversubscribed host (1-cpu CI box running tests in parallel) a short
+// wall-clock window can elapse before the workers are ever scheduled; retry
+// with a growing window instead of flaking.
+template <typename RunOnce>
+StressResult RunNativeSmoke(RunOnce&& run_once) {
+  StressResult res;
+  for (Cycles duration = 2000000; duration <= 512000000; duration *= 4) {
+    res = run_once(duration);  // duration is nanoseconds on the host spec
+    if (res.ops > 0) {
+      break;
+    }
+  }
+  return res;
+}
+
+TEST(BackendSmokeTest, AtomicStressOnNativeBackend) {
+  NativeRuntime rt;
+  const StressResult res = RunNativeSmoke([&](Cycles duration) {
+    return AtomicStress(rt, AtomicStressOp::kFai, 2, duration);
+  });
+  EXPECT_GT(res.ops, 0u);
+  EXPECT_GT(res.mops, 0.0);
+}
+
+TEST(BackendSmokeTest, LockStressOnSimBackend) {
+  SimRuntime rt(MakeNiagara());
+  const StressResult res = LockStress(rt, LockKind::kTicket, TicketOptions{}, 4,
+                                      /*num_locks=*/4, 50000, /*seed=*/7);
+  EXPECT_GT(res.ops, 0u);
+}
+
+TEST(BackendSmokeTest, LockStressOnNativeBackend) {
+  NativeRuntime rt;
+  const StressResult res = RunNativeSmoke([&](Cycles duration) {
+    return LockStress(rt, LockKind::kTicket, TicketOptions{}, 2,
+                      /*num_locks=*/4, duration, /*seed=*/7);
+  });
+  EXPECT_GT(res.ops, 0u);
+}
+
+}  // namespace
+}  // namespace ssync
