@@ -1,0 +1,157 @@
+// `torture`: the correctness soak as a registered experiment — the same
+// invariant checks the tests/torture_*_test.cc suites run under ctest,
+// scriptable for long runs on either backend:
+//
+//   ssyncbench torture --backend=native --duration=2000000000 --rounds=64
+//
+// Every emitted row carries a `violations` metric that must be 0; `ops` says
+// how much work the soak did. Scale --duration (per-lock timed soak, cycles)
+// and --rounds (table/channel work) for overnight runs.
+#include <algorithm>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/torture/lock_torture.h"
+#include "src/torture/mp_torture.h"
+#include "src/torture/table_torture.h"
+
+namespace ssync {
+namespace {
+
+class TortureExperiment final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "torture";
+    info.anchor = "Correctness";
+    info.order = 900;
+    info.summary =
+        "invariant-checking soak: every lock, ssht, kvs, and ssmp channels";
+    info.expectation =
+        "Every row must report violations=0: mutual exclusion + canary and "
+        "bounded bypass for the locks, per-key register semantics for the "
+        "tables, integrity/FIFO/no-loss for the channels.";
+    info.params = {DurationParam(400000),
+                   RoundsParam(16, "write passes / messages multiplier for the "
+                                   "table and channel torturers"),
+                   SeedParam(42)};
+    info.supports_native = true;
+    return info;
+  }
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const auto duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    const int rounds = static_cast<int>(ctx.params().Int("rounds"));
+    const auto seed = static_cast<std::uint64_t>(ctx.params().Int("seed"));
+    const bool native = ctx.backend() == Backend::kNative;
+
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      const int threads = std::min(8, spec.num_cpus);
+      const LockTopology topo = LockTopology::ForPlatform(spec, threads);
+
+      // --- Locks: timed soak (exclusion + canary + starvation) and
+      // bounded-bypass fairness, every kind the platform benchmarks.
+      for (const LockKind kind : LocksForPlatform(spec)) {
+        LockTortureOptions opts;
+        opts.threads = threads;
+        opts.iters = std::max(1, rounds) * 8;
+        opts.seed = seed;
+        opts.bypass_slack = native ? 64u * static_cast<std::uint64_t>(threads)
+                                   : static_cast<std::uint64_t>(threads);
+        // Preemption between the arrival stamp and the queue entry admits
+        // arbitrarily many acquisitions; tolerate a rare-event quota of such
+        // samples natively (see LockTortureOptions::max_bypass_excursions).
+        opts.max_bypass_excursions =
+            native ? 4 + static_cast<std::uint64_t>(opts.iters) * threads / 256 : 0;
+        TortureReport report = ctx.WithRuntime(spec, [&](auto& rt) {
+          TortureReport r = TortureLockTimed(rt, kind, topo, duration, opts);
+          r.Merge(TortureLockFairness(rt, kind, topo, opts));
+          return r;
+        });
+        Emit(ctx, sink, spec, "lock", ToString(kind), report);
+      }
+
+      // --- Tables: single-writer register check + multi-writer integrity.
+      TableTortureOptions topts;
+      topts.writers = std::max(1, threads / 2);
+      topts.readers = std::max(1, threads - topts.writers);
+      topts.keys = 16;
+      topts.rounds = std::max(1, rounds);
+      topts.seed = seed;
+      topts.clock_slack = native ? kNativeTortureClockSlack : 0;
+      const LockTopology table_topo =
+          LockTopology::ForPlatform(spec, topts.writers + topts.readers);
+      {
+        TortureReport report = ctx.WithRuntime(spec, [&](auto& rt) {
+          using Mem = typename std::decay_t<decltype(rt)>::Mem;
+          using Traits = SshtTortureTraits<Mem, TicketLock<Mem>>;
+          Ssht<Mem, TicketLock<Mem>> table(/*num_buckets=*/8, table_topo);
+          TortureReport r =
+              TortureTableSingleWriter<std::decay_t<decltype(rt)>, Traits>(
+                  rt, table, topts);
+          Ssht<Mem, McsLock<Mem>> shared(/*num_buckets=*/4, table_topo);
+          r.Merge(TortureTableMultiWriter<std::decay_t<decltype(rt)>,
+                                          SshtTortureTraits<Mem, McsLock<Mem>>>(
+              rt, shared, topts));
+          return r;
+        });
+        Emit(ctx, sink, spec, "ssht", "TICKET+MCS", report);
+      }
+      {
+        TortureReport report = ctx.WithRuntime(spec, [&](auto& rt) {
+          using Mem = typename std::decay_t<decltype(rt)>::Mem;
+          using Traits = KvsTortureTraits<Mem, TicketLock<Mem>>;
+          typename Kvs<Mem, TicketLock<Mem>>::Config config;
+          config.buckets = 16;
+          config.maintenance_interval = 25;
+          config.maintenance_buckets = 8;
+          Kvs<Mem, TicketLock<Mem>> kvs(config, table_topo);
+          return TortureTableSingleWriter<std::decay_t<decltype(rt)>, Traits>(
+              rt, kvs, topts);
+        });
+        Emit(ctx, sink, spec, "kvs", "TICKET", report);
+      }
+
+      // --- Channels: one-to-one streams, the round-trip parity protocol,
+      // and the client-server pattern.
+      {
+        MpTortureOptions mopts;
+        mopts.pairs = std::max(1, threads / 2);
+        mopts.messages = std::max(1, rounds) * 16;
+        mopts.clients = std::max(1, threads - 1);
+        mopts.requests = std::max(1, rounds) * 8;
+        mopts.seed = seed;
+        TortureReport report = ctx.WithRuntime(spec, [&](auto& rt) {
+          TortureReport r = TortureMpOneToOne(rt, mopts);
+          r.Merge(TortureMpRoundTrip(rt, mopts));
+          r.Merge(TortureMpClientServer(rt, mopts));
+          return r;
+        });
+        Emit(ctx, sink, spec, "mp", "-", report);
+      }
+    }
+  }
+
+ private:
+  static void Emit(const RunContext& ctx, ResultSink& sink, const PlatformSpec& spec,
+                   const char* component, const char* lock,
+                   const TortureReport& report) {
+    Result r = ctx.NewResult(spec);
+    r.Param("component", component)
+        .Param("lock", lock)
+        .Metric("violations", static_cast<double>(report.violation_count()))
+        .Metric("ops", static_cast<double>(report.ops));
+    if (!report.ok()) {
+      r.Label("first_violation", report.violations().empty()
+                                     ? "(unrecorded)"
+                                     : report.violations().front());
+    }
+    sink.Emit(r);
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(TortureExperiment);
+
+}  // namespace
+}  // namespace ssync

@@ -18,7 +18,13 @@
 namespace ssync {
 
 namespace internal {
-extern thread_local int g_native_thread_id;
+// Defined inline (not extern) deliberately: with the constant-initialized
+// definition visible, GCC accesses the thread_local directly (%fs-relative
+// load) instead of through the TLS wrapper function — faster on the lock
+// hot paths that call ThreadId() per acquisition, and it sidesteps a GCC 12
+// UBSan artifact where the wrapper's address computation grows a null check
+// that can mis-fire under heavy inlining.
+inline thread_local int g_native_thread_id = -1;
 extern std::atomic<int> g_native_num_threads;
 extern std::atomic<bool> g_native_stop;
 void NativeParkSelf();

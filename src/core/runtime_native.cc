@@ -16,7 +16,6 @@
 namespace ssync {
 namespace internal {
 
-thread_local int g_native_thread_id = -1;
 std::atomic<int> g_native_num_threads{0};
 std::atomic<bool> g_native_stop{false};
 

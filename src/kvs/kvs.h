@@ -83,13 +83,17 @@ class Kvs {
         if (value_out != nullptr) {
           std::memcpy(value_out, item->value, kKvsValueBytes);
         }
-        bump = now - item->last_touch > kLruTouchInterval;
+        // last_touch is read under the bucket lock but written under the LRU
+        // lock, so the accesses go through the relaxed (uncharged) atomic
+        // API: a stale value only delays/repeats a bump, exactly like
+        // Memcached's unlocked 60-second check.
+        bump = now - item->last_touch.PeekInit() > kLruTouchInterval;
       }
     }
     if (bump) {
       LockGuard<Lock> guard(lru_lock_);
       LruTouch(item);
-      item->last_touch = now;
+      item->last_touch.SetInit(now);
     }
     return found;
   }
@@ -164,7 +168,8 @@ class Kvs {
     Item* hash_next = nullptr;
     Item* lru_prev = nullptr;
     Item* lru_next = nullptr;
-    std::uint64_t last_touch = 0;
+    // Crosses lock domains (bucket lock vs LRU lock); see Get().
+    typename Mem::template Atomic<std::uint64_t> last_touch{0};
     std::uint8_t value[kKvsValueBytes] = {};
   };
 

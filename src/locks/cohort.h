@@ -20,15 +20,20 @@
 #include <vector>
 
 #include "src/locks/lock_common.h"
+#include "src/locks/mcs.h"
 #include "src/locks/ticket.h"
 
 namespace ssync {
 
+// Bounds intra-cluster handoffs so remote clusters are not starved. Exposed
+// at namespace scope because the torture suite derives its fairness
+// (bounded-bypass) thresholds for the hierarchical locks from it.
+inline constexpr int kCohortMaxHandoffs = 64;
+
 template <typename Mem, typename LocalLock>
 class CohortLock {
  public:
-  // Bounds intra-cluster handoffs so remote clusters are not starved.
-  static constexpr int kMaxHandoffs = 64;
+  static constexpr int kMaxHandoffs = kCohortMaxHandoffs;
 
   explicit CohortLock(const LockTopology& topo) : topo_(topo), global_(topo) {
     const int clusters = topo.num_clusters();
@@ -75,6 +80,13 @@ class CohortLock {
   TicketLock<Mem> global_;
   std::vector<std::unique_ptr<ClusterState>> locals_;
 };
+
+// The generic cohort instantiation benchmarked as COHORT: per-cluster MCS
+// queues under the thread-oblivious global ticket lock (C-TKT-MCS in the
+// taxonomy of [14]). Complements HCLH (C-TKT-CLH) and HTICKET (C-TKT-TKT),
+// covering the third local-queue discipline of the construction.
+template <typename Mem>
+using CohortMcsLock = CohortLock<Mem, McsLock<Mem>>;
 
 }  // namespace ssync
 

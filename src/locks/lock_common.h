@@ -1,6 +1,7 @@
 // Common declarations for the libslock lock library.
 //
-// All nine algorithms of the paper (Section 4.1) are implemented as templates
+// The paper's nine algorithms (Section 4.1) plus the generic cohort lock are
+// implemented as templates
 // over a memory backend `Mem` (src/core/mem.h) and share this file's
 // LockTopology (thread count and thread->cluster map, needed by the
 // hierarchical locks) and the LockKind registry used for runtime dispatch in
@@ -53,23 +54,25 @@ struct LockTopology {
 };
 
 // The single source of truth for the lock algorithms of the study (paper
-// Figures 5-8 legend order). Every per-lock table — the LockKind enum, the
-// name<->enum mapping, and the WithLock/WithLockType dispatchers in locks.h —
-// is generated from this list, so adding a tenth lock is a one-line change
-// here (plus its header include in locks.h).
+// Figures 5-8 legend order, then the extra cohort lock). Every per-lock
+// table — the LockKind enum, the name<->enum mapping, the WithLock/
+// WithLockType dispatchers in locks.h, and the torture suites — is generated
+// from this list, so adding a lock is a one-line change here (plus its header
+// include in locks.h).
 //
 // X(enumerator, "NAME", LockTemplate) — the third argument is only expanded
 // inside locks.h, where all lock class templates are visible.
-#define SSYNC_LOCK_LIST(X)        \
-  X(kTas, "TAS", TasLock)         \
-  X(kTtas, "TTAS", TtasLock)      \
-  X(kTicket, "TICKET", TicketLock) \
-  X(kArray, "ARRAY", ArrayLock)   \
-  X(kMutex, "MUTEX", MutexLock)   \
-  X(kMcs, "MCS", McsLock)         \
-  X(kClh, "CLH", ClhLock)         \
-  X(kHclh, "HCLH", HclhLock)      \
-  X(kHticket, "HTICKET", HticketLock)
+#define SSYNC_LOCK_LIST(X)           \
+  X(kTas, "TAS", TasLock)            \
+  X(kTtas, "TTAS", TtasLock)         \
+  X(kTicket, "TICKET", TicketLock)   \
+  X(kArray, "ARRAY", ArrayLock)      \
+  X(kMutex, "MUTEX", MutexLock)      \
+  X(kMcs, "MCS", McsLock)            \
+  X(kClh, "CLH", ClhLock)            \
+  X(kHclh, "HCLH", HclhLock)         \
+  X(kHticket, "HTICKET", HticketLock) \
+  X(kCohort, "COHORT", CohortMcsLock)
 
 enum class LockKind {
 #define SSYNC_LOCK_ENUMERATOR(enumerator, name, type) enumerator,

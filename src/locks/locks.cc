@@ -27,7 +27,8 @@ LockKind LockKindFromString(const std::string& name) {
 }
 
 bool IsHierarchical(LockKind kind) {
-  return kind == LockKind::kHclh || kind == LockKind::kHticket;
+  return kind == LockKind::kHclh || kind == LockKind::kHticket ||
+         kind == LockKind::kCohort;
 }
 
 TicketOptions DefaultTicketOptions(const PlatformSpec& spec) {

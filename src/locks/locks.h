@@ -1,6 +1,6 @@
 // libslock: umbrella header and runtime-dispatch helper.
 //
-// The nine algorithms are templates; WithLock() instantiates the one named by
+// The lock algorithms are templates; WithLock() instantiates the one named by
 // a LockKind and hands it to a generic callable, which is how the benchmark
 // harnesses sweep "all locks x all platforms" (Figures 5-8).
 #ifndef SRC_LOCKS_LOCKS_H_

@@ -1,0 +1,97 @@
+// Timestamped operation histories and a per-key register-semantics checker —
+// the correctness backbone of the table torturers (table_torture.h).
+//
+// Worker threads record every table operation with invocation/response
+// timestamps from the backend clock (`Mem::Now()`): virtual cycles on the
+// simulator (where all globally visible operations serialize in virtual-time
+// order, so timestamps are exactly comparable across cpus), TSC ticks on the
+// native backend (comparable up to a small skew, absorbed by a caller-chosen
+// slack). After the run, CheckSingleWriterRegister validates the merged
+// history against atomic-register semantics per key: under the single-writer-
+// per-key discipline the torturers enforce, each key's writes are totally
+// ordered, so the interval analysis is exact — a read must return either the
+// state left by the last write that completed before it began, or the state
+// of a write it overlaps. Anything else (stale value, value from the future,
+// a value never written, a torn payload) is a violation.
+#ifndef SRC_TORTURE_HISTORY_H_
+#define SRC_TORTURE_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/torture/torture.h"
+#include "src/util/cacheline.h"
+
+namespace ssync {
+
+struct TableOp {
+  enum class Kind : std::uint8_t { kPut, kGet, kRemove };
+
+  Kind kind = Kind::kGet;
+  int tid = 0;
+  std::uint64_t key = 0;
+  // Put: the (globally unique, nonzero) value written. Get: the value
+  // observed, 0 when absent.
+  std::uint64_t value = 0;
+  // Get: key was present. Remove: key was present. Put: key was newly
+  // inserted (vs updated in place) — not checked, tables differ.
+  bool found = false;
+  std::uint64_t t_inv = 0;   // clock just before the call
+  std::uint64_t t_resp = 0;  // clock just after it returned
+};
+
+// Per-thread append-only logs (no synchronization on the hot path; each
+// thread owns its padded slot). Merged after the workers join.
+class HistoryLog {
+ public:
+  explicit HistoryLog(int threads, std::size_t reserve_per_thread = 0)
+      : logs_(threads) {
+    for (auto& log : logs_) {
+      log.value.reserve(reserve_per_thread);
+    }
+  }
+
+  void Record(int tid, const TableOp& op) { logs_[tid].value.push_back(op); }
+
+  std::vector<TableOp> Merged() const {
+    std::vector<TableOp> all;
+    std::size_t total = 0;
+    for (const auto& log : logs_) {
+      total += log.value.size();
+    }
+    all.reserve(total);
+    for (const auto& log : logs_) {
+      all.insert(all.end(), log.value.begin(), log.value.end());
+    }
+    return all;
+  }
+
+ private:
+  std::vector<Padded<std::vector<TableOp>>> logs_;
+};
+
+// Clock slack for native-backend histories: TSC ticks of slop absorbing
+// cross-core clock skew plus the gap between a timestamp and the operation's
+// serialization point. The single definition every native torture caller
+// (tests and the `torture` experiment) passes as `clock_slack`; simulator
+// callers pass 0 — virtual time is exact.
+inline constexpr std::uint64_t kNativeTortureClockSlack = 50000;
+
+// Validates a single-writer-per-key history (see file comment) and records
+// violations into `report`. `clock_slack` widens every write's interval by
+// that many clock ticks before real-time comparisons — 0 on the simulator
+// (timestamps are exact), kNativeTortureClockSlack natively.
+void CheckSingleWriterRegister(const std::vector<TableOp>& history,
+                               std::uint64_t clock_slack, TortureReport* report);
+
+// The state each key is left in by its write sequence: key -> final value,
+// with removed/never-inserted keys absent. Input must satisfy the same
+// single-writer discipline. Used for post-run occupancy checks against the
+// table's own Size()/Get().
+std::map<std::uint64_t, std::uint64_t> FinalWriteState(
+    const std::vector<TableOp>& history);
+
+}  // namespace ssync
+
+#endif  // SRC_TORTURE_HISTORY_H_

@@ -1,0 +1,389 @@
+// Generic lock torturer, driven by the SSYNC_LOCK_LIST X-macro: every lock
+// kind that exists (including any added later) is hammered by the same
+// phases, on either backend.
+//
+// Phases:
+//   * TortureLockMutualExclusion — N threads hold the lock around a plain
+//     (unsynchronized) counter plus a canary cache line whose words must
+//     always encode the counter. Any exclusion failure shows up as an
+//     overlapping-critical-section flag, a corrupted canary, or a lost
+//     update. Deliberate fiber yields / pauses inside the critical section
+//     widen the race window on both backends.
+//   * TortureLockFairness — bounded-bypass check for the queue locks: between
+//     a thread's arrival and its acquisition, at most B other acquisitions
+//     may happen (B = threads-1 for the strict-FIFO locks, scaled by the
+//     cohort handoff budget for the hierarchical ones, unbounded for
+//     TAS/TTAS/MUTEX which promise nothing).
+//   * TortureLockStorm — acquire/release storm with no re-arrival pause,
+//     uneven per-thread hold times, and TryLock barging where the algorithm
+//     provides it.
+//   * TortureLockChurn — successive runs with shrinking/growing worker
+//     counts reuse one lock instance, so per-thread queue slots (MCS/CLH
+//     nodes, ticket state) must survive dense thread ids being re-assigned
+//     to new threads.
+//   * TortureLockTimed — duration-based soak combining the exclusion
+//     invariant with per-thread progress (no starvation); the `torture`
+//     ssyncbench experiment runs this so soaks are scriptable.
+#ifndef SRC_TORTURE_LOCK_TORTURE_H_
+#define SRC_TORTURE_LOCK_TORTURE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/locks/locks.h"
+#include "src/torture/torture.h"
+#include "src/util/cacheline.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+
+struct LockTortureOptions {
+  int threads = 4;
+  int iters = 200;  // per-thread acquisitions in the fixed-count phases
+  std::uint64_t seed = 1;
+  // Extra bypass allowance on top of the lock's theoretical bound. Keep 0 on
+  // the simulator (deterministic, tight windows); on the native backend the
+  // OS can preempt a thread between its arrival stamp and its actual queue
+  // entry, so tests pass a generous slack there and the check catches gross
+  // unfairness rather than single overtakes.
+  std::uint64_t bypass_slack = 0;
+  // Number of over-bound samples tolerated per fairness run before it counts
+  // as a violation. A descheduled thread can legitimately see an unbounded
+  // number of acquisitions slip between its arrival stamp and its queue
+  // entry — no fixed acquisition-count slack covers a whole timeslice — but
+  // that window is a few instructions wide, so such samples are rare; a
+  // systematically unfair lock exceeds the bound on a large fraction of its
+  // samples. Keep 0 (strict) on the simulator, a small count natively.
+  std::uint64_t max_bypass_excursions = 0;
+};
+
+namespace torture_internal {
+
+inline constexpr std::uint64_t kCanaryStride = 0x9e3779b97f4a7c15ULL;
+
+// One cache line of lock-protected state. Invariant (holding the lock, at
+// rest): canary[i] == (counter) * kCanaryStride * (i + 2) for all i. All
+// fields are plain memory — only a correct lock keeps them consistent.
+struct alignas(kCacheLineSize) ProtectedCell {
+  std::uint64_t counter = 0;
+  std::uint64_t canary[7] = {};
+
+  void InitCanary() {
+    for (int i = 0; i < 7; ++i) {
+      canary[i] = counter * kCanaryStride * static_cast<std::uint64_t>(i + 2);
+    }
+  }
+};
+static_assert(sizeof(ProtectedCell) == kCacheLineSize);
+
+// One critical section: verify the at-rest invariant, then advance it with
+// interleaved plain writes. The Compute/Pause calls yield to other fibers on
+// the simulator (and burn real cycles natively), so a lock that admits two
+// holders interleaves two half-updated cells — which the canary check of one
+// of them observes.
+template <typename Mem>
+void TortureCriticalSection(ProtectedCell& cell,
+                            typename Mem::template Atomic<std::uint32_t>& in_cs,
+                            TortureReport& report) {
+  if (in_cs.FetchAdd(1) != 0) {
+    report.Violation("mutual exclusion: overlapping critical sections");
+  }
+  const std::uint64_t c = cell.counter;
+  Mem::Compute(20);
+  for (int i = 0; i < 7; ++i) {
+    if (cell.canary[i] != c * kCanaryStride * static_cast<std::uint64_t>(i + 2)) {
+      report.Violation("canary corrupted: word " + std::to_string(i) +
+                       " at counter " + std::to_string(c));
+      break;
+    }
+  }
+  cell.counter = c + 1;
+  Mem::Compute(10);
+  for (int i = 0; i < 7; ++i) {
+    cell.canary[i] = (c + 1) * kCanaryStride * static_cast<std::uint64_t>(i + 2);
+    if (i == 3) {
+      Mem::Compute(5);  // a second window, mid-canary
+    }
+  }
+  in_cs.FetchAdd(static_cast<std::uint32_t>(-1));
+}
+
+template <typename L, typename = void>
+struct HasTryLock : std::false_type {};
+template <typename L>
+struct HasTryLock<L, std::void_t<decltype(std::declval<L&>().TryLock())>>
+    : std::true_type {};
+
+}  // namespace torture_internal
+
+// Bypass bound for TortureLockFairness: the maximum number of acquisitions
+// by other threads between a thread's arrival and its own acquisition that
+// the algorithm permits. -1 for locks with no fairness guarantee.
+inline std::int64_t LockBypassBound(LockKind kind, const LockTopology& topo) {
+  const std::int64_t fifo = topo.max_threads - 1;
+  switch (kind) {
+    case LockKind::kTicket:
+    case LockKind::kArray:
+    case LockKind::kMcs:
+    case LockKind::kClh:
+      return fifo;
+    case LockKind::kHclh:
+    case LockKind::kHticket:
+    case LockKind::kCohort:
+      // With one cluster the local queue's FIFO order is the global order.
+      // Across clusters, a waiter can sit out its own cluster's handoff
+      // budget plus every other cluster's full budget turn.
+      return topo.num_clusters() == 1
+                 ? fifo
+                 : static_cast<std::int64_t>(topo.max_threads) *
+                       (kCohortMaxHandoffs + 2);
+    case LockKind::kTas:
+    case LockKind::kTtas:
+    case LockKind::kMutex:
+      return -1;
+  }
+  return -1;
+}
+
+template <typename Runtime>
+TortureReport TortureLockMutualExclusion(Runtime& rt, LockKind kind,
+                                         const LockTopology& topo,
+                                         const LockTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  TortureReport total;
+  WithLock<Mem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+    auto cell = std::make_unique<torture_internal::ProtectedCell>();
+    cell->InitCanary();
+    auto in_cs =
+        std::make_unique<Padded<typename Mem::template Atomic<std::uint32_t>>>();
+    rt.PlaceData(cell.get(), sizeof(*cell), 0);
+    std::vector<TortureReport> reports(opts.threads);
+    rt.Run(opts.threads, [&](int tid) {
+      Rng rng(opts.seed * 0x9e3779b9u + static_cast<std::uint64_t>(tid));
+      for (int i = 0; i < opts.iters; ++i) {
+        lock.Lock();
+        torture_internal::TortureCriticalSection<Mem>(*cell, in_cs->value,
+                                                      reports[tid]);
+        lock.Unlock();
+        ++reports[tid].ops;
+        // Randomized re-arrival delay mixes contended and uncontested
+        // handoffs in one run.
+        Mem::Pause(rng.NextBelow(64));
+      }
+    });
+    for (const TortureReport& r : reports) {
+      total.Merge(r);
+    }
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(opts.threads) * static_cast<std::uint64_t>(opts.iters);
+    if (cell->counter != expected) {
+      total.Violation("lost update: counter " + std::to_string(cell->counter) +
+                      " after " + std::to_string(expected) + " acquisitions");
+    }
+  });
+  return total;
+}
+
+template <typename Runtime>
+TortureReport TortureLockFairness(Runtime& rt, LockKind kind,
+                                  const LockTopology& topo,
+                                  const LockTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  const std::int64_t bound = LockBypassBound(kind, topo);
+  TortureReport total;
+  WithLock<Mem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+    auto acquisitions =
+        std::make_unique<Padded<typename Mem::template Atomic<std::uint64_t>>>();
+    std::vector<TortureReport> reports(opts.threads);
+    std::vector<Padded<std::uint64_t>> excursions(opts.threads);
+    std::vector<Padded<std::uint64_t>> worst(opts.threads);
+    rt.Run(opts.threads, [&](int tid) {
+      for (int i = 0; i < opts.iters; ++i) {
+        const std::uint64_t arrival = acquisitions->value.Load();
+        lock.Lock();
+        const std::uint64_t mine = acquisitions->value.FetchAdd(1);
+        if (bound >= 0 &&
+            mine - arrival > static_cast<std::uint64_t>(bound) + opts.bypass_slack) {
+          ++*excursions[tid];
+          *worst[tid] = std::max(*worst[tid], mine - arrival);
+        }
+        Mem::Compute(30);
+        lock.Unlock();
+        ++reports[tid].ops;
+        Mem::Pause(40);
+      }
+    });
+    std::uint64_t over = 0;
+    std::uint64_t worst_seen = 0;
+    for (int tid = 0; tid < opts.threads; ++tid) {
+      total.Merge(reports[tid]);
+      over += *excursions[tid];
+      worst_seen = std::max(worst_seen, *worst[tid]);
+    }
+    if (bound >= 0 && over > opts.max_bypass_excursions) {
+      total.Violation(
+          "bounded bypass exceeded in " + std::to_string(over) + " of " +
+          std::to_string(total.ops) + " acquisitions (worst: " +
+          std::to_string(worst_seen) + " passed a waiter; bound " +
+          std::to_string(bound) + " + slack " + std::to_string(opts.bypass_slack) +
+          ", tolerance " + std::to_string(opts.max_bypass_excursions) + ")");
+    }
+  });
+  return total;
+}
+
+template <typename Runtime>
+TortureReport TortureLockStorm(Runtime& rt, LockKind kind, const LockTopology& topo,
+                               const LockTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  TortureReport total;
+  WithLock<Mem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+    using L = std::remove_reference_t<decltype(lock)>;
+    auto cell = std::make_unique<torture_internal::ProtectedCell>();
+    cell->InitCanary();
+    auto in_cs =
+        std::make_unique<Padded<typename Mem::template Atomic<std::uint32_t>>>();
+    std::vector<TortureReport> reports(opts.threads);
+    std::vector<std::uint64_t> entries(opts.threads, 0);
+    rt.Run(opts.threads, [&](int tid) {
+      for (int i = 0; i < opts.iters; ++i) {
+        // TryLock barging, where available: a successful barge still runs
+        // the full invariant check.
+        if constexpr (torture_internal::HasTryLock<L>::value) {
+          if ((i + tid) % 5 == 0) {
+            if (lock.TryLock()) {
+              torture_internal::TortureCriticalSection<Mem>(*cell, in_cs->value,
+                                                            reports[tid]);
+              ++entries[tid];
+              lock.Unlock();
+            }
+            ++reports[tid].ops;
+            continue;
+          }
+        }
+        lock.Lock();
+        torture_internal::TortureCriticalSection<Mem>(*cell, in_cs->value,
+                                                      reports[tid]);
+        // Uneven hold times: some threads hog the lock.
+        Mem::Compute(static_cast<std::uint64_t>(tid % 4) * 30);
+        ++entries[tid];
+        lock.Unlock();
+        ++reports[tid].ops;
+        // No re-arrival pause: immediate re-acquisition storms the lock word.
+      }
+    });
+    std::uint64_t total_entries = 0;
+    for (int tid = 0; tid < opts.threads; ++tid) {
+      total.Merge(reports[tid]);
+      total_entries += entries[tid];
+    }
+    if (cell->counter != total_entries) {
+      total.Violation("lost update under storm: counter " +
+                      std::to_string(cell->counter) + " after " +
+                      std::to_string(total_entries) + " critical sections");
+    }
+  });
+  return total;
+}
+
+template <typename Runtime>
+TortureReport TortureLockChurn(Runtime& rt, LockKind kind, const LockTopology& topo,
+                               const LockTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  TortureReport total;
+  WithLock<Mem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+    auto cell = std::make_unique<torture_internal::ProtectedCell>();
+    cell->InitCanary();
+    auto in_cs =
+        std::make_unique<Padded<typename Mem::template Atomic<std::uint32_t>>>();
+    // Worker counts rise and fall across phases; the lock instance persists.
+    const int phases[] = {opts.threads, 1, std::max(2, opts.threads / 2),
+                          opts.threads};
+    std::uint64_t expected = 0;
+    for (const int phase_threads : phases) {
+      std::vector<TortureReport> reports(phase_threads);
+      rt.Run(phase_threads, [&](int tid) {
+        for (int i = 0; i < opts.iters / 2; ++i) {
+          lock.Lock();
+          torture_internal::TortureCriticalSection<Mem>(*cell, in_cs->value,
+                                                        reports[tid]);
+          lock.Unlock();
+          ++reports[tid].ops;
+          Mem::Pause(8);
+        }
+      });
+      for (const TortureReport& r : reports) {
+        total.Merge(r);
+      }
+      expected += static_cast<std::uint64_t>(phase_threads) *
+                  static_cast<std::uint64_t>(opts.iters / 2);
+    }
+    if (cell->counter != expected) {
+      total.Violation("lost update across churn phases: counter " +
+                      std::to_string(cell->counter) + " expected " +
+                      std::to_string(expected));
+    }
+  });
+  return total;
+}
+
+template <typename Runtime>
+TortureReport TortureLockTimed(Runtime& rt, LockKind kind, const LockTopology& topo,
+                               std::uint64_t duration,
+                               const LockTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  TortureReport total;
+  WithLock<Mem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+    auto cell = std::make_unique<torture_internal::ProtectedCell>();
+    cell->InitCanary();
+    auto in_cs =
+        std::make_unique<Padded<typename Mem::template Atomic<std::uint32_t>>>();
+    rt.PlaceData(cell.get(), sizeof(*cell), 0);
+    std::vector<TortureReport> reports(opts.threads);
+    std::vector<std::uint64_t> acq(opts.threads, 0);
+    rt.RunForCycles(opts.threads, duration, [&](int tid) {
+      Rng rng(opts.seed + static_cast<std::uint64_t>(tid));
+      while (!Mem::ShouldStop()) {
+        lock.Lock();
+        torture_internal::TortureCriticalSection<Mem>(*cell, in_cs->value,
+                                                      reports[tid]);
+        lock.Unlock();
+        ++acq[tid];
+        ++reports[tid].ops;
+        Mem::Pause(rng.NextBelow(64));
+      }
+    });
+    std::uint64_t sum = 0;
+    for (int tid = 0; tid < opts.threads; ++tid) {
+      total.Merge(reports[tid]);
+      sum += acq[tid];
+    }
+    if (cell->counter != sum) {
+      total.Violation("lost update in timed soak: counter " +
+                      std::to_string(cell->counter) + " after " +
+                      std::to_string(sum) + " acquisitions");
+    }
+    // Starvation check: only the queue/hierarchical locks promise progress
+    // to every waiter (TAS/TTAS/MUTEX may legitimately starve a thread
+    // briefly), and only once the run is long enough that a fair schedule
+    // would have served everyone many times over.
+    if (LockBypassBound(kind, topo) >= 0 &&
+        sum > static_cast<std::uint64_t>(opts.threads) * 256) {
+      for (int tid = 0; tid < opts.threads; ++tid) {
+        if (acq[tid] == 0) {
+          total.Violation("starvation: thread " + std::to_string(tid) +
+                          " acquired 0 of " + std::to_string(sum));
+        }
+      }
+    }
+  });
+  return total;
+}
+
+}  // namespace ssync
+
+#endif  // SRC_TORTURE_LOCK_TORTURE_H_

@@ -1,0 +1,229 @@
+// libssmp channel torturers: message integrity (checksummed words),
+// per-sender FIFO ordering, and no-loss/no-duplication, under the paper's two
+// communication patterns — one-to-one streams (Figure 9) and a client-server
+// loop (Figure 10) — plus the round-trip (sequence-parity) channel API.
+#ifndef SRC_TORTURE_MP_TORTURE_H_
+#define SRC_TORTURE_MP_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mp/ssmp.h"
+#include "src/torture/torture.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+
+struct MpTortureOptions {
+  int pairs = 2;       // one-to-one: sender i streams to receiver i + pairs
+  int messages = 200;  // per sender
+  int clients = 4;     // client-server: thread 0 serves 1..clients
+  int requests = 100;  // per client
+  std::uint64_t seed = 1;
+  // Route the one-to-one streams over the hardware message-passing backend
+  // where the platform has one (Tilera iMesh). The hardware queue carries no
+  // per-sender channels, so only the one-to-one torturer honors this.
+  bool use_hw = false;
+};
+
+namespace torture_internal {
+
+inline std::uint64_t MpChecksum(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t s = a * 0x9e3779b97f4a7c15ULL + b;
+  s = SplitMix64(s);
+  return s ^ (c * 0xbf58476d1ce4e5b9ULL);
+}
+
+}  // namespace torture_internal
+
+// One-to-one streams: pairs of (sender, receiver) threads; each message
+// carries {seq, sender, payload, checksum}. The receiver verifies integrity,
+// sender identity, and gapless in-order sequence numbers.
+template <typename Runtime>
+TortureReport TortureMpOneToOne(Runtime& rt, const MpTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  const int n = 2 * opts.pairs;
+  SsmpComm<Mem> comm(n, opts.use_hw);
+  std::vector<TortureReport> reports(n);
+  rt.Run(n, [&](int tid) {
+    if (tid < opts.pairs) {
+      Rng rng(opts.seed + static_cast<std::uint64_t>(tid));
+      for (int seq = 0; seq < opts.messages; ++seq) {
+        MpMessage m;
+        m.w[0] = static_cast<std::uint64_t>(seq);
+        m.w[1] = static_cast<std::uint64_t>(tid);
+        m.w[2] = rng.Next();
+        m.w[3] = torture_internal::MpChecksum(m.w[0], m.w[1], m.w[2]);
+        comm.Send(tid + opts.pairs, m);
+        ++reports[tid].ops;
+      }
+    } else {
+      const int from = tid - opts.pairs;
+      std::uint64_t expected = 0;
+      for (int i = 0; i < opts.messages; ++i) {
+        MpMessage m;
+        comm.Recv(from, &m);
+        ++reports[tid].ops;
+        if (m.w[3] != torture_internal::MpChecksum(m.w[0], m.w[1], m.w[2])) {
+          reports[tid].Violation("message integrity: bad checksum from sender " +
+                                 std::to_string(from) + " at seq " +
+                                 std::to_string(m.w[0]));
+        }
+        if (m.w[1] != static_cast<std::uint64_t>(from)) {
+          reports[tid].Violation("channel crosstalk: sender id " +
+                                 std::to_string(m.w[1]) + " on channel from " +
+                                 std::to_string(from));
+        }
+        if (m.w[0] != expected) {
+          reports[tid].Violation(
+              "ordering/loss: expected seq " + std::to_string(expected) +
+              " from sender " + std::to_string(from) + ", got " +
+              std::to_string(m.w[0]));
+          expected = m.w[0];  // resync so one gap reports once
+        }
+        ++expected;
+      }
+    }
+  });
+  TortureReport total;
+  for (const TortureReport& r : reports) {
+    total.Merge(r);
+  }
+  return total;
+}
+
+// Round-trip channel API (SendRt/RecvRt, alternating sequence parity): pairs
+// of threads ping-pong; the responder transforms the payload and prefetches
+// its outgoing buffer, as the paper's client-server loop does.
+template <typename Runtime>
+TortureReport TortureMpRoundTrip(Runtime& rt, const MpTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  const int n = 2 * opts.pairs;
+  SsmpComm<Mem> comm(n);
+  std::vector<TortureReport> reports(n);
+  rt.Run(n, [&](int tid) {
+    if (tid < opts.pairs) {
+      const int peer = tid + opts.pairs;
+      Rng rng(opts.seed * 3 + static_cast<std::uint64_t>(tid));
+      for (int seq = 0; seq < opts.messages; ++seq) {
+        MpMessage m;
+        m.w[0] = static_cast<std::uint64_t>(seq);
+        m.w[1] = rng.Next();
+        m.w[2] = 0;
+        m.w[3] = torture_internal::MpChecksum(m.w[0], m.w[1], m.w[2]);
+        comm.SendRt(peer, m);
+        MpMessage reply;
+        comm.RecvRt(peer, &reply);
+        ++reports[tid].ops;
+        if (reply.w[0] != m.w[0] || reply.w[1] != m.w[1] + 1) {
+          reports[tid].Violation("round-trip mismatch at seq " +
+                                 std::to_string(seq) + ": got {" +
+                                 std::to_string(reply.w[0]) + ", " +
+                                 std::to_string(reply.w[1]) + "}");
+        }
+      }
+    } else {
+      const int peer = tid - opts.pairs;
+      for (int i = 0; i < opts.messages; ++i) {
+        MpMessage m;
+        comm.RecvRt(peer, &m);
+        if (m.w[3] != torture_internal::MpChecksum(m.w[0], m.w[1], m.w[2])) {
+          reports[tid].Violation("round-trip integrity: bad checksum at seq " +
+                                 std::to_string(m.w[0]));
+        }
+        comm.PrefetchOutgoing(peer);
+        m.w[1] += 1;  // visible transform the requester verifies
+        comm.SendRt(peer, m);
+        ++reports[tid].ops;
+      }
+    }
+  });
+  TortureReport total;
+  for (const TortureReport& r : reports) {
+    total.Merge(r);
+  }
+  return total;
+}
+
+// Client-server: thread 0 serves clients 1..clients via RecvFromAny. The
+// server checks integrity and per-client gapless sequences (FIFO per sender
+// even when interleaved across senders); each client checks its replies echo
+// its own in-flight request.
+template <typename Runtime>
+TortureReport TortureMpClientServer(Runtime& rt, const MpTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  const int n = opts.clients + 1;
+  SsmpComm<Mem> comm(n);
+  std::vector<TortureReport> reports(n);
+  std::vector<std::uint64_t> served(n, 0);
+  rt.Run(n, [&](int tid) {
+    if (tid == 0) {
+      std::vector<std::uint64_t> expected(n, 0);
+      const int total_requests = opts.clients * opts.requests;
+      for (int i = 0; i < total_requests; ++i) {
+        MpMessage m;
+        const int from = comm.RecvFromAny(&m, 1, opts.clients);
+        ++reports[0].ops;
+        if (m.w[3] != torture_internal::MpChecksum(m.w[0], m.w[1], m.w[2])) {
+          reports[0].Violation("server: bad checksum from client " +
+                               std::to_string(from));
+        }
+        if (m.w[0] != static_cast<std::uint64_t>(from)) {
+          reports[0].Violation("server: client id " + std::to_string(m.w[0]) +
+                               " arrived on channel from " + std::to_string(from));
+        }
+        if (m.w[1] != expected[from]) {
+          reports[0].Violation("server: client " + std::to_string(from) +
+                               " seq " + std::to_string(m.w[1]) + ", expected " +
+                               std::to_string(expected[from]));
+          expected[from] = m.w[1];
+        }
+        ++expected[from];
+        ++served[from];
+        comm.PrefetchOutgoing(from);
+        m.w[2] += 7;  // service transform
+        m.w[3] = torture_internal::MpChecksum(m.w[0], m.w[1], m.w[2]);
+        comm.Send(from, m);
+      }
+    } else {
+      Rng rng(opts.seed * 7 + static_cast<std::uint64_t>(tid));
+      for (std::uint64_t seq = 0; seq < static_cast<std::uint64_t>(opts.requests);
+           ++seq) {
+        MpMessage m;
+        m.w[0] = static_cast<std::uint64_t>(tid);
+        m.w[1] = seq;
+        m.w[2] = rng.Next();
+        m.w[3] = torture_internal::MpChecksum(m.w[0], m.w[1], m.w[2]);
+        comm.Send(0, m);
+        MpMessage reply;
+        comm.Recv(0, &reply);
+        ++reports[tid].ops;
+        if (reply.w[0] != m.w[0] || reply.w[1] != m.w[1] ||
+            reply.w[2] != m.w[2] + 7 ||
+            reply.w[3] !=
+                torture_internal::MpChecksum(reply.w[0], reply.w[1], reply.w[2])) {
+          reports[tid].Violation("client " + std::to_string(tid) +
+                                 ": reply does not match request seq " +
+                                 std::to_string(seq));
+        }
+      }
+    }
+  });
+  TortureReport total;
+  for (const TortureReport& r : reports) {
+    total.Merge(r);
+  }
+  for (int c = 1; c < n; ++c) {
+    if (served[c] != static_cast<std::uint64_t>(opts.requests)) {
+      total.Violation("server served " + std::to_string(served[c]) +
+                      " requests for client " + std::to_string(c) + ", expected " +
+                      std::to_string(opts.requests));
+    }
+  }
+  return total;
+}
+
+}  // namespace ssync
+
+#endif  // SRC_TORTURE_MP_TORTURE_H_

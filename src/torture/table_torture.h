@@ -1,0 +1,300 @@
+// Hash-table / kvs torturers: drive Ssht and Kvs with timestamped,
+// uniquely-valued operations and validate the recorded history with the
+// per-key register checker (history.h).
+//
+// Two disciplines:
+//   * TortureTableSingleWriter — each key is owned by exactly one writer
+//     thread (readers roam freely), so each key's write sequence is totally
+//     ordered and the linearizability-style interval check is exact.
+//   * TortureTableMultiWriter — all threads mutate a shared key range; the
+//     precise order is unknowable, so the check is integrity-based: every
+//     payload carries a tag derived from its key, making cross-key leakage,
+//     torn payload copies, and resurrected values detectable. A final
+//     single-threaded drain validates the size/occupancy invariants.
+//
+// Payloads replicate the 64-bit value across the full payload buffer, so a
+// half-copied (torn) payload — two writers in the same critical section —
+// cannot decode cleanly.
+//
+// Kvs mirrors Memcached's documented limitation (kvs.h): a Get racing a
+// Delete on the same key may touch a freed item. The torturers honor the
+// modeled structure: Kvs phases never issue a Remove while concurrent Gets
+// are possible (TableTortureTraits<...>::kRemoveRacesWithGet).
+#ifndef SRC_TORTURE_TABLE_TORTURE_H_
+#define SRC_TORTURE_TABLE_TORTURE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/kvs/kvs.h"
+#include "src/ssht/ssht.h"
+#include "src/torture/history.h"
+#include "src/torture/torture.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+
+struct TableTortureOptions {
+  int writers = 2;
+  int readers = 2;
+  int keys = 16;   // key space [0, keys); key k belongs to writer k % writers
+  int rounds = 24; // write passes over each writer's key set
+  std::uint64_t seed = 1;
+  // Timestamp slop for the register checker: 0 on the simulator (exact
+  // virtual time), a few thousand TSC ticks on the native backend.
+  std::uint64_t clock_slack = 0;
+  // Fraction of single-writer write slots that remove instead of put (only
+  // honored where removes cannot race gets; see file comment).
+  double remove_fraction = 0.2;
+};
+
+namespace torture_internal {
+
+// Replicates `value` across the payload buffer (little-endian u64, repeated).
+inline void EncodePayload(std::uint64_t value, std::uint8_t* payload, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    payload[i] = static_cast<std::uint8_t>(value >> ((i % 8) * 8));
+  }
+}
+
+// Reads the value back and verifies the replication; a mismatch means a torn
+// payload (two writers interleaved inside the table's critical section).
+inline std::uint64_t DecodePayload(const std::uint8_t* payload, int bytes,
+                                   std::uint64_t key, TortureReport* report) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, payload, sizeof(value));
+  for (int i = 8; i < bytes; ++i) {
+    if (payload[i] != static_cast<std::uint8_t>(value >> ((i % 8) * 8))) {
+      report->Violation("torn payload for key " + std::to_string(key) +
+                        " at byte " + std::to_string(i));
+      break;
+    }
+  }
+  return value;
+}
+
+// 16-bit nonzero key tag for the multi-writer integrity check.
+inline std::uint64_t KeyTag(std::uint64_t key) {
+  std::uint64_t s = key;
+  return (SplitMix64(s) & 0xffff) | 1;
+}
+
+template <typename T, typename = void>
+struct HasSize : std::false_type {};
+template <typename T>
+struct HasSize<T, std::void_t<decltype(std::declval<const T&>().Size())>>
+    : std::true_type {};
+
+}  // namespace torture_internal
+
+// Uniform put/get/remove face over the two tables.
+template <typename Mem, typename Lock>
+struct SshtTortureTraits {
+  using Table = Ssht<Mem, Lock>;
+  static constexpr bool kRemoveRacesWithGet = false;
+
+  static void Put(Table& t, std::uint64_t key, std::uint64_t value) {
+    std::uint8_t payload[kSshtPayloadBytes];
+    torture_internal::EncodePayload(value, payload, kSshtPayloadBytes);
+    t.Put(key, payload);
+  }
+  static bool Get(Table& t, std::uint64_t key, std::uint64_t* value,
+                  TortureReport* report) {
+    std::uint8_t payload[kSshtPayloadBytes];
+    if (!t.Get(key, payload)) {
+      return false;
+    }
+    *value = torture_internal::DecodePayload(payload, kSshtPayloadBytes, key, report);
+    return true;
+  }
+  static bool Remove(Table& t, std::uint64_t key) { return t.Remove(key); }
+};
+
+template <typename Mem, typename Lock>
+struct KvsTortureTraits {
+  using Table = Kvs<Mem, Lock>;
+  // kvs.h documents that a Get may race a concurrent Delete of the same key
+  // into a use-after-free (mirroring the modeled Memcached structure), so
+  // mixed-phase removes are disabled for this table.
+  static constexpr bool kRemoveRacesWithGet = true;
+
+  static void Put(Table& t, std::uint64_t key, std::uint64_t value) {
+    std::uint8_t payload[kKvsValueBytes];
+    torture_internal::EncodePayload(value, payload, kKvsValueBytes);
+    t.Set(key, payload);
+  }
+  static bool Get(Table& t, std::uint64_t key, std::uint64_t* value,
+                  TortureReport* report) {
+    std::uint8_t payload[kKvsValueBytes];
+    if (!t.Get(key, payload)) {
+      return false;
+    }
+    *value = torture_internal::DecodePayload(payload, kKvsValueBytes, key, report);
+    return true;
+  }
+  static bool Remove(Table& t, std::uint64_t key) { return t.Delete(key); }
+};
+
+// Single-writer-per-key torture + exact register check + final-state audit.
+template <typename Runtime, typename Traits>
+TortureReport TortureTableSingleWriter(Runtime& rt, typename Traits::Table& table,
+                                       const TableTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  const int threads = opts.writers + opts.readers;
+  // Removes race gets only when there are concurrent getters: with zero
+  // readers even the kvs (Get/Delete hazard, see file comment) churns safely,
+  // since a key's sole writer never overlaps its own operations.
+  const bool removes = opts.remove_fraction > 0 &&
+                       (!Traits::kRemoveRacesWithGet || opts.readers == 0);
+  HistoryLog log(threads,
+                 static_cast<std::size_t>(opts.rounds) * opts.keys);
+  TortureReport report;
+  std::vector<TortureReport> reports(threads);
+
+  rt.Run(threads, [&](int tid) {
+    Rng rng(opts.seed * 31 + static_cast<std::uint64_t>(tid));
+    if (tid < opts.writers) {
+      for (int round = 0; round < opts.rounds; ++round) {
+        for (std::uint64_t key = static_cast<std::uint64_t>(tid);
+             key < static_cast<std::uint64_t>(opts.keys);
+             key += static_cast<std::uint64_t>(opts.writers)) {
+          TableOp op;
+          op.tid = tid;
+          op.key = key;
+          if (removes && rng.NextBool(opts.remove_fraction)) {
+            op.kind = TableOp::Kind::kRemove;
+            op.t_inv = Mem::Now();
+            op.found = Traits::Remove(table, key);
+            op.t_resp = Mem::Now();
+          } else {
+            op.kind = TableOp::Kind::kPut;
+            // Unique, nonzero per (key, round).
+            op.value = (static_cast<std::uint64_t>(round + 1) << 32) |
+                       (key << 8) | 0x5a;
+            op.t_inv = Mem::Now();
+            Traits::Put(table, key, op.value);
+            op.t_resp = Mem::Now();
+          }
+          log.Record(tid, op);
+          Mem::Pause(rng.NextBelow(100));
+        }
+      }
+    } else {
+      const int gets = opts.rounds * std::max(1, opts.keys / std::max(1, opts.readers));
+      for (int i = 0; i < gets; ++i) {
+        TableOp op;
+        op.kind = TableOp::Kind::kGet;
+        op.tid = tid;
+        op.key = rng.NextBelow(static_cast<std::uint64_t>(opts.keys));
+        op.t_inv = Mem::Now();
+        op.found = Traits::Get(table, op.key, &op.value, &reports[tid]);
+        op.t_resp = Mem::Now();
+        log.Record(tid, op);
+        Mem::Pause(rng.NextBelow(60));
+      }
+    }
+  });
+
+  for (const TortureReport& r : reports) {
+    report.Merge(r);
+  }
+  const std::vector<TableOp> history = log.Merged();
+  report.ops += history.size();
+  CheckSingleWriterRegister(history, opts.clock_slack, &report);
+
+  // Quiescent audit: the table must now agree with the final write state.
+  const auto expected = FinalWriteState(history);
+  rt.Run(1, [&](int) {
+    for (std::uint64_t key = 0; key < static_cast<std::uint64_t>(opts.keys); ++key) {
+      std::uint64_t value = 0;
+      const bool found = Traits::Get(table, key, &value, &report);
+      const auto it = expected.find(key);
+      if (it == expected.end()) {
+        if (found) {
+          report.Violation("key " + std::to_string(key) +
+                           " present after final remove (value " +
+                           std::to_string(value) + ")");
+        }
+      } else if (!found || value != it->second) {
+        report.Violation("key " + std::to_string(key) + " final state wrong: got " +
+                         (found ? std::to_string(value) : "absent") +
+                         ", expected " + std::to_string(it->second));
+      }
+    }
+  });
+  if constexpr (torture_internal::HasSize<typename Traits::Table>::value) {
+    if (table.Size() != expected.size()) {
+      report.Violation("size invariant: Size()=" + std::to_string(table.Size()) +
+                       ", expected " + std::to_string(expected.size()));
+    }
+  }
+  return report;
+}
+
+// Multi-writer integrity torture + drain/occupancy audit.
+template <typename Runtime, typename Traits>
+TortureReport TortureTableMultiWriter(Runtime& rt, typename Traits::Table& table,
+                                      const TableTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  const int threads = opts.writers + opts.readers;
+  const bool removes = !Traits::kRemoveRacesWithGet;
+  TortureReport report;
+  std::vector<TortureReport> reports(threads);
+
+  rt.Run(threads, [&](int tid) {
+    Rng rng(opts.seed * 131 + static_cast<std::uint64_t>(tid));
+    std::uint64_t seq = 0;
+    const int iters = opts.rounds * opts.keys;
+    for (int i = 0; i < iters; ++i) {
+      const std::uint64_t key = rng.NextBelow(static_cast<std::uint64_t>(opts.keys));
+      const double dice = rng.NextDouble();
+      if (dice < 0.5) {
+        const std::uint64_t value = (torture_internal::KeyTag(key) << 48) |
+                                    (static_cast<std::uint64_t>(tid + 1) << 40) |
+                                    ++seq;
+        Traits::Put(table, key, value);
+      } else if (removes && dice < 0.6) {
+        Traits::Remove(table, key);
+      } else {
+        std::uint64_t value = 0;
+        if (Traits::Get(table, key, &value, &reports[tid]) &&
+            (value >> 48) != torture_internal::KeyTag(key)) {
+          reports[tid].Violation("cross-key corruption: key " + std::to_string(key) +
+                                 " returned value tagged for another key (" +
+                                 std::to_string(value) + ")");
+        }
+      }
+      ++reports[tid].ops;
+      Mem::Pause(rng.NextBelow(40));
+    }
+  });
+  for (const TortureReport& r : reports) {
+    report.Merge(r);
+  }
+
+  // Drain: a single thread removes every key; the table must end empty.
+  rt.Run(1, [&](int) {
+    for (std::uint64_t key = 0; key < static_cast<std::uint64_t>(opts.keys); ++key) {
+      Traits::Remove(table, key);
+      std::uint64_t value = 0;
+      if (Traits::Get(table, key, &value, &report)) {
+        report.Violation("key " + std::to_string(key) +
+                         " still present after remove");
+      }
+    }
+  });
+  if constexpr (torture_internal::HasSize<typename Traits::Table>::value) {
+    if (table.Size() != 0) {
+      report.Violation("occupancy invariant: Size()=" +
+                       std::to_string(table.Size()) + " after draining all keys");
+    }
+  }
+  return report;
+}
+
+}  // namespace ssync
+
+#endif  // SRC_TORTURE_TABLE_TORTURE_H_

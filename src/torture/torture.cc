@@ -1,0 +1,162 @@
+#include "src/torture/torture.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/torture/history.h"
+
+namespace ssync {
+
+std::string TortureReport::Summary() const {
+  char buf[160];
+  if (ok()) {
+    std::snprintf(buf, sizeof(buf), "ok (%" PRIu64 " ops)", ops);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 " violation(s) in %" PRIu64 " ops:",
+                violation_count_, ops);
+  std::string out = buf;
+  for (const std::string& v : violations_) {
+    out += "\n  ";
+    out += v;
+  }
+  if (violation_count_ > violations_.size()) {
+    std::snprintf(buf, sizeof(buf), "\n  ... and %" PRIu64 " more",
+                  violation_count_ - violations_.size());
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+// State of a key after a prefix of its write sequence: version 0 is the
+// initial (absent) state, version i >= 1 the state left by write i-1.
+struct KeyState {
+  bool present = false;
+  std::uint64_t value = 0;
+};
+
+std::string DescribeOp(const TableOp& op) {
+  char buf[160];
+  const char* kind = op.kind == TableOp::Kind::kPut      ? "put"
+                     : op.kind == TableOp::Kind::kGet    ? "get"
+                                                         : "remove";
+  std::snprintf(buf, sizeof(buf),
+                "%s(key=%" PRIu64 ") by tid %d -> (found=%d, value=%" PRIx64
+                ") at [%" PRIu64 ", %" PRIu64 "]",
+                kind, op.key, op.tid, op.found ? 1 : 0, op.value, op.t_inv,
+                op.t_resp);
+  return buf;
+}
+
+}  // namespace
+
+void CheckSingleWriterRegister(const std::vector<TableOp>& history,
+                               std::uint64_t clock_slack, TortureReport* report) {
+  // Partition by key.
+  std::map<std::uint64_t, std::vector<const TableOp*>> by_key;
+  for (const TableOp& op : history) {
+    by_key[op.key].push_back(&op);
+  }
+
+  for (auto& [key, ops] : by_key) {
+    // The key's write sequence, in invocation order. A single writer issues
+    // them sequentially, so invocation order == response order == real-time
+    // order.
+    std::vector<const TableOp*> writes;
+    for (const TableOp* op : ops) {
+      if (op->kind != TableOp::Kind::kGet) {
+        writes.push_back(op);
+      }
+    }
+    std::sort(writes.begin(), writes.end(),
+              [](const TableOp* a, const TableOp* b) { return a->t_inv < b->t_inv; });
+    if (!writes.empty()) {
+      const int writer = writes.front()->tid;
+      bool discipline_ok = true;
+      for (const TableOp* w : writes) {
+        if (w->tid != writer) {
+          report->Violation("history discipline broken (multiple writers): " +
+                            DescribeOp(*w));
+          discipline_ok = false;
+          break;
+        }
+      }
+      if (!discipline_ok) {
+        continue;  // this key's register analysis would be meaningless;
+                   // the other keys still get checked
+      }
+    }
+
+    // Cumulative states: states[v] is the key's state at version v.
+    std::vector<KeyState> states(writes.size() + 1);
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      states[i + 1] = writes[i]->kind == TableOp::Kind::kPut
+                          ? KeyState{true, writes[i]->value}
+                          : KeyState{false, 0};
+    }
+
+    for (const TableOp* op : ops) {
+      if (op->kind != TableOp::Kind::kGet) {
+        continue;
+      }
+      // Valid versions form the contiguous range [lo, hi]:
+      //   lo: version after the last write that completed (plus slack) before
+      //       the read began — older states are stale;
+      //   hi: version after the last write that began before (slack after)
+      //       the read ended — later states are from the future.
+      std::size_t lo = 0;
+      while (lo < writes.size() &&
+             writes[lo]->t_resp + clock_slack < op->t_inv) {
+        ++lo;
+      }
+      std::size_t hi = lo;
+      while (hi < writes.size() &&
+             writes[hi]->t_inv <= op->t_resp + clock_slack) {
+        ++hi;
+      }
+      bool valid = false;
+      for (std::size_t v = lo; v <= hi && !valid; ++v) {
+        const KeyState& s = states[v];
+        valid = op->found ? (s.present && s.value == op->value) : !s.present;
+      }
+      if (!valid) {
+        // Distinguish the never-written case: it means cross-key corruption
+        // or a torn read rather than a linearization-order bug.
+        bool ever_written = !op->found;
+        for (std::size_t v = 1; v <= writes.size() && !ever_written; ++v) {
+          ever_written = states[v].present && states[v].value == op->value;
+        }
+        report->Violation(std::string(ever_written
+                                          ? "stale or reordered read: "
+                                          : "read of a never-written value: ") +
+                          DescribeOp(*op));
+      }
+    }
+  }
+}
+
+std::map<std::uint64_t, std::uint64_t> FinalWriteState(
+    const std::vector<TableOp>& history) {
+  std::map<std::uint64_t, const TableOp*> last_write;
+  for (const TableOp& op : history) {
+    if (op.kind == TableOp::Kind::kGet) {
+      continue;
+    }
+    auto [it, inserted] = last_write.emplace(op.key, &op);
+    if (!inserted && it->second->t_inv < op.t_inv) {
+      it->second = &op;
+    }
+  }
+  std::map<std::uint64_t, std::uint64_t> state;
+  for (const auto& [key, op] : last_write) {
+    if (op->kind == TableOp::Kind::kPut) {
+      state[key] = op->value;
+    }
+  }
+  return state;
+}
+
+}  // namespace ssync

@@ -1,0 +1,62 @@
+// Torture-test infrastructure: invariant-violation reporting shared by the
+// lock, hash-table, kvs, and message-passing torturers (see the sibling
+// *_torture.h headers). Every torturer is a template over the Runtime concept
+// (docs/ARCHITECTURE.md), so the same checks run on the simulated machines
+// and on the host (`--backend=sim|native`).
+//
+// A torture phase returns a TortureReport: the amount of work performed plus
+// every invariant violation observed, as human-readable messages. Phases
+// never abort on a violation — they keep hammering and collect everything, so
+// one run of a broken primitive produces the full failure picture.
+#ifndef SRC_TORTURE_TORTURE_H_
+#define SRC_TORTURE_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssync {
+
+class TortureReport {
+ public:
+  // Messages beyond this are counted but not stored, so a completely broken
+  // primitive cannot OOM the test run with millions of identical strings.
+  static constexpr std::size_t kMaxRecorded = 32;
+
+  void Violation(std::string message) {
+    ++violation_count_;
+    if (violations_.size() < kMaxRecorded) {
+      violations_.push_back(std::move(message));
+    }
+  }
+
+  void Merge(const TortureReport& other) {
+    ops += other.ops;
+    violation_count_ += other.violation_count_;
+    for (const std::string& v : other.violations_) {
+      if (violations_.size() >= kMaxRecorded) {
+        break;
+      }
+      violations_.push_back(v);
+    }
+  }
+
+  bool ok() const { return violation_count_ == 0; }
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  // "ok (N ops)" or the recorded violations, one per line — what the gtest
+  // assertions print on failure.
+  std::string Summary() const;
+
+  // Work performed by the phase (operations, acquisitions, messages, ...).
+  std::uint64_t ops = 0;
+
+ private:
+  std::uint64_t violation_count_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_TORTURE_TORTURE_H_

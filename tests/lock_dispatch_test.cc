@@ -1,0 +1,139 @@
+// Registry-coverage tests for the SSYNC_LOCK_LIST machinery: name<->enum
+// round trips, the paper's hierarchical classification, the WithLock /
+// WithLockType dispatchers instantiating exactly the named template, and
+// LockGuard's RAII semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <type_traits>
+
+#include "src/core/mem_native.h"
+#include "src/core/runtime_native.h"
+#include "src/locks/locks.h"
+#include "src/platform/spec.h"
+
+namespace ssync {
+namespace {
+
+// True iff L is the lock template SSYNC_LOCK_LIST names for `kind`,
+// instantiated over NativeMem — generated from the same X-macro the
+// dispatchers use, so the two tables cannot drift apart silently.
+template <typename L>
+bool IsTypeForKind(LockKind kind) {
+  switch (kind) {
+#define SSYNC_LOCK_TYPE_CASE(enumerator, name, type) \
+  case LockKind::enumerator:                         \
+    return std::is_same_v<L, type<NativeMem>>;
+    SSYNC_LOCK_LIST(SSYNC_LOCK_TYPE_CASE)
+#undef SSYNC_LOCK_TYPE_CASE
+  }
+  return false;
+}
+
+TEST(LockKindRegistry, EveryKindRoundTripsThroughItsName) {
+  std::set<std::string> names;
+  for (const LockKind kind : kAllLockKinds) {
+    const std::string name = ToString(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate lock name " << name;
+    EXPECT_EQ(LockKindFromString(name), kind) << name;
+  }
+}
+
+TEST(LockKindRegistry, CohortIsInTheRegistry) {
+  EXPECT_EQ(LockKindFromString("COHORT"), LockKind::kCohort);
+  EXPECT_EQ(std::size(kAllLockKinds), 10u);
+}
+
+TEST(LockKindRegistry, IsHierarchicalMatchesPaperClassification) {
+  // Section 4.1 / 6.1.2: the cluster-aware (cohort-construction) locks are
+  // hierarchical and skipped on the single-socket machines; the rest are
+  // flat.
+  const std::set<LockKind> hierarchical = {LockKind::kHclh, LockKind::kHticket,
+                                           LockKind::kCohort};
+  for (const LockKind kind : kAllLockKinds) {
+    EXPECT_EQ(IsHierarchical(kind), hierarchical.count(kind) == 1) << ToString(kind);
+  }
+}
+
+TEST(LockKindRegistry, SingleSocketPlatformsSkipHierarchicalLocks) {
+  const PlatformSpec niagara = MakeNiagara();
+  ASSERT_EQ(niagara.num_sockets, 1);
+  for (const LockKind kind : LocksForPlatform(niagara)) {
+    EXPECT_FALSE(IsHierarchical(kind)) << ToString(kind);
+  }
+  const PlatformSpec opteron = MakeOpteron();
+  ASSERT_GT(opteron.num_sockets, 1);
+  EXPECT_EQ(LocksForPlatform(opteron).size(), std::size(kAllLockKinds));
+}
+
+TEST(WithLockDispatch, InstantiatesTheNamedTemplate) {
+  NativeRuntime rt;  // the queue locks index per-thread slots by ThreadId
+  const LockTopology topo = LockTopology::Flat(2);
+  for (const LockKind kind : kAllLockKinds) {
+    bool matched = false;
+    WithLock<NativeMem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+      matched = IsTypeForKind<std::decay_t<decltype(lock)>>(kind);
+      // The constructed lock is immediately usable.
+      rt.Run(1, [&](int) {
+        lock.Lock();
+        lock.Unlock();
+      });
+    });
+    EXPECT_TRUE(matched) << ToString(kind);
+  }
+}
+
+TEST(WithLockTypeDispatch, InstantiatesTheNamedTemplate) {
+  for (const LockKind kind : kAllLockKinds) {
+    bool matched = false;
+    WithLockType<NativeMem>(kind, [&]<typename L>() {
+      matched = IsTypeForKind<L>(kind);
+    });
+    EXPECT_TRUE(matched) << ToString(kind);
+  }
+}
+
+TEST(LockGuardTest, HoldsForScopeAndReleasesOnExit) {
+  TasLock<NativeMem> lock;
+  {
+    LockGuard<TasLock<NativeMem>> guard(lock);
+    EXPECT_FALSE(lock.TryLock()) << "guard must hold the lock";
+  }
+  EXPECT_TRUE(lock.TryLock()) << "guard must release at scope exit";
+  lock.Unlock();
+}
+
+TEST(LockGuardTest, ReleasesOnEarlyReturn) {
+  TtasLock<NativeMem> lock;
+  const auto touchy = [&](bool bail_early) {
+    LockGuard<TtasLock<NativeMem>> guard(lock);
+    if (bail_early) {
+      return 1;  // the ssht/kvs hot paths return mid-scope like this
+    }
+    return 2;
+  };
+  EXPECT_EQ(touchy(true), 1);
+  EXPECT_TRUE(lock.TryLock()) << "early return must not leak the lock";
+  lock.Unlock();
+  EXPECT_EQ(touchy(false), 2);
+  EXPECT_TRUE(lock.TryLock());
+  lock.Unlock();
+}
+
+TEST(LockGuardTest, WorksWithEveryRegistryLock) {
+  // Dispatch + guard together: guard every lock kind once on a worker with a
+  // dense thread id (what the per-thread queue slots index).
+  NativeRuntime rt;
+  const LockTopology topo = LockTopology::Flat(1);
+  for (const LockKind kind : kAllLockKinds) {
+    WithLock<NativeMem>(kind, topo, TicketOptions{}, [&](auto& lock) {
+      using L = std::decay_t<decltype(lock)>;
+      rt.Run(1, [&](int) { LockGuard<L> guard(lock); });
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ssync

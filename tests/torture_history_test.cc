@@ -1,0 +1,190 @@
+// Unit tests for the register-semantics history checker itself: the torture
+// suites are only as trustworthy as their checker, so this "tests the
+// tester" with hand-built histories whose verdict is known.
+#include <gtest/gtest.h>
+
+#include "src/torture/history.h"
+
+namespace ssync {
+namespace {
+
+TableOp Put(int tid, std::uint64_t key, std::uint64_t value, std::uint64_t t_inv,
+            std::uint64_t t_resp) {
+  TableOp op;
+  op.kind = TableOp::Kind::kPut;
+  op.tid = tid;
+  op.key = key;
+  op.value = value;
+  op.t_inv = t_inv;
+  op.t_resp = t_resp;
+  return op;
+}
+
+TableOp Remove(int tid, std::uint64_t key, std::uint64_t t_inv, std::uint64_t t_resp) {
+  TableOp op;
+  op.kind = TableOp::Kind::kRemove;
+  op.tid = tid;
+  op.key = key;
+  op.found = true;
+  op.t_inv = t_inv;
+  op.t_resp = t_resp;
+  return op;
+}
+
+TableOp Get(int tid, std::uint64_t key, bool found, std::uint64_t value,
+            std::uint64_t t_inv, std::uint64_t t_resp) {
+  TableOp op;
+  op.kind = TableOp::Kind::kGet;
+  op.tid = tid;
+  op.key = key;
+  op.found = found;
+  op.value = value;
+  op.t_inv = t_inv;
+  op.t_resp = t_resp;
+  return op;
+}
+
+TEST(HistoryChecker, AcceptsSequentialReadsOfLatestWrite) {
+  TortureReport report;
+  CheckSingleWriterRegister(
+      {
+          Put(0, 1, 100, 10, 20),
+          Get(1, 1, true, 100, 30, 40),
+          Put(0, 1, 200, 50, 60),
+          Get(1, 1, true, 200, 70, 80),
+      },
+      /*clock_slack=*/0, &report);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(HistoryChecker, AcceptsReadBeforeAnyWrite) {
+  TortureReport report;
+  CheckSingleWriterRegister(
+      {Get(1, 1, false, 0, 1, 2), Put(0, 1, 100, 10, 20)}, 0, &report);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(HistoryChecker, AcceptsEitherValueDuringOverlap) {
+  // The read overlaps the second put: both the old and the new value are
+  // linearizable outcomes — and so is the concurrently-removed state.
+  for (const auto& [found, value] : {std::pair{true, 100ull}, {true, 200ull}}) {
+    TortureReport report;
+    CheckSingleWriterRegister(
+        {
+            Put(0, 1, 100, 10, 20),
+            Put(0, 1, 200, 40, 60),
+            Get(1, 1, found, value, 45, 55),
+        },
+        0, &report);
+    EXPECT_TRUE(report.ok()) << value << ": " << report.Summary();
+  }
+}
+
+TEST(HistoryChecker, RejectsStaleRead) {
+  // The second put completed before the read began; returning the first
+  // put's value violates real-time order.
+  TortureReport report;
+  CheckSingleWriterRegister(
+      {
+          Put(0, 1, 100, 10, 20),
+          Put(0, 1, 200, 30, 40),
+          Get(1, 1, true, 100, 50, 60),
+      },
+      0, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.Summary().find("stale"), std::string::npos) << report.Summary();
+}
+
+TEST(HistoryChecker, RejectsValueFromTheFuture) {
+  TortureReport report;
+  CheckSingleWriterRegister(
+      {
+          Put(0, 1, 100, 10, 20),
+          Get(1, 1, true, 200, 30, 40),
+          Put(0, 1, 200, 50, 60),
+      },
+      0, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(HistoryChecker, RejectsNeverWrittenValue) {
+  TortureReport report;
+  CheckSingleWriterRegister(
+      {Put(0, 1, 100, 10, 20), Get(1, 1, true, 7777, 30, 40)}, 0, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.Summary().find("never-written"), std::string::npos)
+      << report.Summary();
+}
+
+TEST(HistoryChecker, RejectsResurrectedValueAfterRemove) {
+  TortureReport report;
+  CheckSingleWriterRegister(
+      {
+          Put(0, 1, 100, 10, 20),
+          Remove(0, 1, 30, 40),
+          Get(1, 1, true, 100, 50, 60),
+      },
+      0, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(HistoryChecker, SlackForgivesSmallClockSkew) {
+  // With skewed clocks the second put appears to complete just before the
+  // read begins; slack must absorb it.
+  const std::vector<TableOp> history = {
+      Put(0, 1, 100, 10, 20),
+      Put(0, 1, 200, 30, 40),
+      Get(1, 1, true, 100, 42, 60),
+  };
+  TortureReport strict;
+  CheckSingleWriterRegister(history, 0, &strict);
+  EXPECT_FALSE(strict.ok());
+  TortureReport slack;
+  CheckSingleWriterRegister(history, 5, &slack);
+  EXPECT_TRUE(slack.ok()) << slack.Summary();
+}
+
+TEST(HistoryChecker, KeysAreIndependent) {
+  TortureReport report;
+  CheckSingleWriterRegister(
+      {
+          Put(0, 1, 100, 10, 20),
+          Put(1, 2, 555, 10, 20),  // different key, different writer: fine
+          Get(2, 2, true, 555, 30, 40),
+          Get(2, 1, true, 100, 30, 40),
+      },
+      0, &report);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(HistoryChecker, DisciplineViolationOnOneKeyDoesNotMaskOthers) {
+  // Key 1 breaks the single-writer discipline (its analysis is abandoned),
+  // but key 2's genuine stale read must still be reported.
+  TortureReport report;
+  CheckSingleWriterRegister(
+      {
+          Put(0, 1, 100, 10, 20),
+          Put(1, 1, 200, 30, 40),  // second writer on key 1
+          Put(0, 2, 300, 10, 20),
+          Put(0, 2, 400, 30, 40),
+          Get(2, 2, true, 300, 50, 60),  // stale read on key 2
+      },
+      0, &report);
+  EXPECT_GE(report.violation_count(), 2u) << report.Summary();
+  EXPECT_NE(report.Summary().find("stale"), std::string::npos) << report.Summary();
+}
+
+TEST(FinalWriteStateTest, TracksLastWritePerKey) {
+  const auto state = FinalWriteState({
+      Put(0, 1, 100, 10, 20),
+      Put(0, 1, 200, 30, 40),
+      Put(1, 2, 300, 10, 20),
+      Remove(1, 2, 50, 60),
+      Get(2, 1, true, 200, 70, 80),
+  });
+  ASSERT_EQ(state.size(), 1u);
+  EXPECT_EQ(state.at(1), 200u);
+}
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,174 @@
+// Lock torture suites (ctest label: torture): every lock of SSYNC_LOCK_LIST
+// is hammered through the src/torture phases on both backends. Native tests
+// run under the TSan/UBSan CI jobs (`ctest -L torture -E Sim`), where the
+// plain counter + canary cell give the sanitizers real races to find if a
+// lock's synchronization is wrong; Sim tests add the deterministic,
+// tight-window variants of the same invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/runtime_native.h"
+#include "src/core/runtime_sim.h"
+#include "src/platform/spec.h"
+#include "src/torture/lock_torture.h"
+
+namespace ssync {
+namespace {
+
+const std::vector<LockKind> kEveryLock(std::begin(kAllLockKinds),
+                                       std::end(kAllLockKinds));
+
+std::string LockName(const ::testing::TestParamInfo<LockKind>& info) {
+  return ToString(info.param);
+}
+
+// --- Native backend: real threads, real preemption ------------------------
+
+class TortureLockNativeTest : public ::testing::TestWithParam<LockKind> {};
+
+TEST_P(TortureLockNativeTest, MutualExclusionCanary) {
+  NativeRuntime rt;
+  LockTortureOptions opts;
+  opts.threads = 4;
+  opts.iters = 250;
+  const LockTopology topo = LockTopology::Flat(opts.threads);
+  const TortureReport r = TortureLockMutualExclusion(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  EXPECT_EQ(r.ops, static_cast<std::uint64_t>(opts.threads) * opts.iters);
+}
+
+TEST_P(TortureLockNativeTest, FairnessBoundedBypass) {
+  // The OS can preempt a thread between its arrival stamp and its actual
+  // queue entry, in which case any number of acquisitions may legitimately
+  // slip past — so besides a generous slack, a few over-bound samples are
+  // tolerated. The stamp-to-enqueue window is a handful of instructions, so
+  // benign excursions stay rare even on an oversubscribed TSan CI box, while
+  // a systematically unfair lock exceeds the bound on most samples.
+  NativeRuntime rt;
+  LockTortureOptions opts;
+  opts.threads = 4;
+  opts.iters = 250;
+  opts.bypass_slack = 64u * opts.threads;
+  opts.max_bypass_excursions = 4;
+  const LockTopology topo = LockTopology::Flat(opts.threads);
+  const TortureReport r = TortureLockFairness(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST_P(TortureLockNativeTest, StormUnevenHoldAndTryLock) {
+  NativeRuntime rt;
+  LockTortureOptions opts;
+  opts.threads = 4;
+  opts.iters = 300;
+  const LockTopology topo = LockTopology::Flat(opts.threads);
+  const TortureReport r = TortureLockStorm(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST_P(TortureLockNativeTest, ChurnThreadsComeAndGo) {
+  NativeRuntime rt;
+  LockTortureOptions opts;
+  opts.threads = 4;
+  opts.iters = 120;
+  const LockTopology topo = LockTopology::Flat(opts.threads);
+  const TortureReport r = TortureLockChurn(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST_P(TortureLockNativeTest, TwoClusterTopology) {
+  // Exercises the cohort handoff paths (HCLH/HTICKET/COHORT) natively; for
+  // the flat locks it is just another topology.
+  NativeRuntime rt;
+  LockTortureOptions opts;
+  opts.threads = 4;
+  opts.iters = 200;
+  LockTopology topo;
+  topo.max_threads = opts.threads;
+  topo.cluster_of = {0, 0, 1, 1};
+  const TortureReport r = TortureLockMutualExclusion(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST_P(TortureLockNativeTest, TimedSoak) {
+  NativeRuntime rt;
+  LockTortureOptions opts;
+  opts.threads = 4;
+  const LockTopology topo = LockTopology::Flat(opts.threads);
+  // 20ms of wall time (host spec runs at 1 GHz: cycles == ns).
+  const TortureReport r = TortureLockTimed(rt, GetParam(), topo, 20'000'000, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, TortureLockNativeTest,
+                         ::testing::ValuesIn(kEveryLock), LockName);
+
+// --- Simulated backend: deterministic, exact virtual time ------------------
+
+class TortureLockSimTest : public ::testing::TestWithParam<LockKind> {};
+
+TEST_P(TortureLockSimTest, MutualExclusionCanary) {
+  SimRuntime rt(MakeOpteron());  // multi-socket: every lock kind applies
+  LockTortureOptions opts;
+  opts.threads = 6;
+  opts.iters = 40;
+  const LockTopology topo = LockTopology::ForPlatform(rt.spec(), opts.threads);
+  const TortureReport r = TortureLockMutualExclusion(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  EXPECT_EQ(r.ops, static_cast<std::uint64_t>(opts.threads) * opts.iters);
+}
+
+TEST_P(TortureLockSimTest, FairnessBoundedBypassStrict) {
+  SimRuntime rt(MakeOpteron());
+  LockTortureOptions opts;
+  opts.threads = 6;
+  opts.iters = 50;
+  // Virtual time is exact; the small slack only covers acquisitions that
+  // serialize between the arrival stamp and the queue-entry instruction.
+  opts.bypass_slack = static_cast<std::uint64_t>(opts.threads);
+  const LockTopology topo = LockTopology::ForPlatform(rt.spec(), opts.threads);
+  const TortureReport r = TortureLockFairness(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST_P(TortureLockSimTest, StormUnevenHoldAndTryLock) {
+  SimRuntime rt(MakeXeon());
+  LockTortureOptions opts;
+  opts.threads = 5;
+  opts.iters = 40;
+  const LockTopology topo = LockTopology::ForPlatform(rt.spec(), opts.threads);
+  const TortureReport r = TortureLockStorm(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST_P(TortureLockSimTest, ChurnThreadsComeAndGo) {
+  SimRuntime rt(MakeOpteron());
+  LockTortureOptions opts;
+  opts.threads = 6;
+  opts.iters = 24;
+  const LockTopology topo = LockTopology::ForPlatform(rt.spec(), opts.threads);
+  const TortureReport r = TortureLockChurn(rt, GetParam(), topo, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST_P(TortureLockSimTest, TimedSoak) {
+  SimRuntime rt(MakeNiagara());
+  LockTortureOptions opts;
+  opts.threads = 4;
+  LockTopology topo = LockTopology::ForPlatform(rt.spec(), opts.threads);
+  if (IsHierarchical(GetParam())) {
+    // Single-socket machine: give the cohort locks an artificial second
+    // cluster rather than skipping them.
+    topo.cluster_of = {0, 0, 1, 1};
+  }
+  const TortureReport r = TortureLockTimed(rt, GetParam(), topo, 200000, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  EXPECT_GT(r.ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, TortureLockSimTest,
+                         ::testing::ValuesIn(kEveryLock), LockName);
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,83 @@
+// libssmp torture suites (ctest label: torture): message integrity, per-
+// sender FIFO/no-loss, channel isolation, the round-trip parity protocol,
+// and the client-server pattern — on both backends, plus the Tilera hardware
+// message-passing queue.
+#include <gtest/gtest.h>
+
+#include "src/core/runtime_native.h"
+#include "src/core/runtime_sim.h"
+#include "src/platform/spec.h"
+#include "src/torture/mp_torture.h"
+
+namespace ssync {
+namespace {
+
+TEST(TortureMpNativeTest, OneToOneStreams) {
+  NativeRuntime rt;
+  MpTortureOptions opts;
+  opts.pairs = 3;
+  opts.messages = 400;
+  const TortureReport r = TortureMpOneToOne(rt, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  EXPECT_EQ(r.ops, static_cast<std::uint64_t>(2 * opts.pairs) * opts.messages);
+}
+
+TEST(TortureMpNativeTest, RoundTripParityProtocol) {
+  NativeRuntime rt;
+  MpTortureOptions opts;
+  opts.pairs = 2;
+  opts.messages = 300;
+  const TortureReport r = TortureMpRoundTrip(rt, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(TortureMpNativeTest, ClientServer) {
+  NativeRuntime rt;
+  MpTortureOptions opts;
+  opts.clients = 4;
+  opts.requests = 150;
+  const TortureReport r = TortureMpClientServer(rt, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(TortureMpSimTest, OneToOneStreams) {
+  SimRuntime rt(MakeOpteron());
+  MpTortureOptions opts;
+  opts.pairs = 3;
+  opts.messages = 80;
+  const TortureReport r = TortureMpOneToOne(rt, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(TortureMpSimTest, RoundTripParityProtocol) {
+  SimRuntime rt(MakeXeon());
+  MpTortureOptions opts;
+  opts.pairs = 2;
+  opts.messages = 80;
+  const TortureReport r = TortureMpRoundTrip(rt, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(TortureMpSimTest, ClientServer) {
+  SimRuntime rt(MakeNiagara());
+  MpTortureOptions opts;
+  opts.clients = 5;
+  opts.requests = 40;
+  const TortureReport r = TortureMpClientServer(rt, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(TortureMpSimTest, TileraHardwareOneToOne) {
+  // The iMesh queue has no per-sender channels, so a single pair exercises
+  // it without attribution ambiguity.
+  SimRuntime rt(MakeTilera());
+  MpTortureOptions opts;
+  opts.pairs = 1;
+  opts.messages = 120;
+  opts.use_hw = true;
+  const TortureReport r = TortureMpOneToOne(rt, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+}  // namespace
+}  // namespace ssync

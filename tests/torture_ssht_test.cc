@@ -1,0 +1,119 @@
+// ssht torture suites (ctest label: torture): per-key register semantics
+// under the single-writer discipline (exact linearizability-style interval
+// check), multi-writer integrity with cross-key tags, and the size/occupancy
+// invariants — on both backends, with the bucket lock swept over the lock
+// registry.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/runtime_native.h"
+#include "src/core/runtime_sim.h"
+#include "src/locks/locks.h"
+#include "src/platform/spec.h"
+#include "src/torture/table_torture.h"
+
+namespace ssync {
+namespace {
+
+const std::vector<LockKind> kEveryLock(std::begin(kAllLockKinds),
+                                       std::end(kAllLockKinds));
+
+class TortureSshtNativeTest : public ::testing::TestWithParam<LockKind> {};
+
+TEST_P(TortureSshtNativeTest, SingleWriterLinearizable) {
+  NativeRuntime rt;
+  TableTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 16;
+  opts.rounds = 20;
+  opts.clock_slack = kNativeTortureClockSlack;
+  const LockTopology topo = LockTopology::Flat(opts.writers + opts.readers);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    Ssht<NativeMem, L> table(/*num_buckets=*/8, topo);
+    const TortureReport r =
+        TortureTableSingleWriter<NativeRuntime, SshtTortureTraits<NativeMem, L>>(
+            rt, table, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+    EXPECT_GT(r.ops, 0u);
+  });
+}
+
+TEST_P(TortureSshtNativeTest, MultiWriterIntegrityAndDrain) {
+  NativeRuntime rt;
+  TableTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 12;
+  opts.rounds = 16;
+  const LockTopology topo = LockTopology::Flat(opts.writers + opts.readers);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    Ssht<NativeMem, L> table(/*num_buckets=*/4, topo);  // heavy bucket sharing
+    const TortureReport r =
+        TortureTableMultiWriter<NativeRuntime, SshtTortureTraits<NativeMem, L>>(
+            rt, table, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, TortureSshtNativeTest,
+                         ::testing::ValuesIn(kEveryLock),
+                         [](const ::testing::TestParamInfo<LockKind>& info) {
+                           return ToString(info.param);
+                         });
+
+// On the simulator every table access charges coherence traffic, so the sim
+// sweep keeps a representative subset: a spin lock, a queue lock, and a
+// hierarchical (cohort) lock.
+class TortureSshtSimTest : public ::testing::TestWithParam<LockKind> {};
+
+TEST_P(TortureSshtSimTest, SingleWriterLinearizableExact) {
+  SimRuntime rt(MakeOpteron());
+  TableTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 10;
+  opts.rounds = 8;
+  opts.clock_slack = 0;  // virtual time is exact
+  const LockTopology topo =
+      LockTopology::ForPlatform(rt.spec(), opts.writers + opts.readers);
+  WithLockType<SimMem>(GetParam(), [&]<typename L>() {
+    Ssht<SimMem, L> table(/*num_buckets=*/8, topo);
+    const TortureReport r =
+        TortureTableSingleWriter<SimRuntime, SshtTortureTraits<SimMem, L>>(rt, table,
+                                                                           opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+  });
+}
+
+TEST_P(TortureSshtSimTest, MultiWriterIntegrityAndDrain) {
+  SimRuntime rt(MakeNiagara());
+  TableTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 8;
+  opts.rounds = 6;
+  const LockTopology topo =
+      LockTopology::ForPlatform(rt.spec(), opts.writers + opts.readers);
+  if (IsHierarchical(GetParam())) {
+    GTEST_SKIP() << "hierarchical locks are not used on single-sockets";
+  }
+  WithLockType<SimMem>(GetParam(), [&]<typename L>() {
+    Ssht<SimMem, L> table(/*num_buckets=*/4, topo);
+    const TortureReport r =
+        TortureTableMultiWriter<SimRuntime, SshtTortureTraits<SimMem, L>>(rt, table,
+                                                                          opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RepresentativeLocks, TortureSshtSimTest,
+                         ::testing::Values(LockKind::kTtas, LockKind::kMcs,
+                                           LockKind::kCohort),
+                         [](const ::testing::TestParamInfo<LockKind>& info) {
+                           return ToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace ssync
