@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over ssyncbench JSON-lines output.
+
+Compares a current run (produced by scripts/perf_smoke.sh) against the
+committed baseline, row by row:
+
+  * rows are matched on (experiment, backend, platform, params);
+  * throughput metrics (…mops, …kops, …_per_sec) must not drop more than
+    --tolerance below the baseline;
+  * latency metrics (…_cycles, ns_per_op) must not rise more than
+    --tolerance above it;
+  * correctness metrics (violations, protocol_errors) must be zero;
+  * baseline rows missing from the current run fail (coverage regression);
+    new rows only warn (append-only schema).
+
+The smoke subset is sim-backend, hence deterministic: identical code yields
+identical metrics on any machine, so the tolerance only absorbs intentional
+model changes — in which case regenerate the baseline:
+
+    scripts/perf_smoke.sh current.json
+    scripts/check_perf.py --update bench/baselines/ci-smoke.json current.json
+
+Exit codes: 0 ok, 1 regression (or malformed input), 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics that track run volume or echo paper constants: not gated.
+SKIP_METRICS = {
+    "ops",
+    "cycles",
+    "paper_cycles",
+    "paper_one_way_cycles",
+    "paper_round_trip_cycles",
+    "paper_ratio",
+}
+ZERO_METRICS = {"violations", "protocol_errors"}
+
+
+def direction(metric):
+    """+1: higher is better; -1: lower is better; 0: informational."""
+    if metric in SKIP_METRICS or metric in ZERO_METRICS:
+        return 0
+    if metric.endswith("mops") or metric.endswith("kops") or metric.endswith("_per_sec"):
+        return +1
+    if metric.endswith("_cycles") or metric == "ns_per_op":
+        return -1
+    return 0
+
+
+def row_key(record):
+    return (
+        record["experiment"],
+        record["backend"],
+        record["platform"],
+        json.dumps(record["params"], sort_keys=True),
+    )
+
+
+def load_rows(path):
+    rows = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: invalid JSON: {e}")
+            if record.get("schema") != "ssyncbench/v1":
+                sys.exit(f"{path}:{lineno}: unexpected schema tag {record.get('schema')!r}")
+            key = row_key(record)
+            if key in rows:
+                sys.exit(f"{path}:{lineno}: duplicate row {key[:3]}")
+            rows[key] = record["metrics"]
+    if not rows:
+        sys.exit(f"{path}: no result rows")
+    return rows
+
+
+def describe(key):
+    experiment, backend, platform, params = key
+    return f"{experiment}[{backend}/{platform}] {params}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON-lines file")
+    parser.add_argument("current", help="freshly produced JSON-lines file")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed relative change before a metric counts as regressed "
+        "(default: 0.35)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the current run instead of checking",
+    )
+    args = parser.parse_args()
+    if not 0 < args.tolerance < 1:
+        parser.error("--tolerance must be in (0, 1)")
+
+    current = load_rows(args.current)
+
+    if args.update:
+        with open(args.current) as src, open(args.baseline, "w") as dst:
+            dst.write(src.read())
+        print(f"baseline {args.baseline} updated from {args.current} "
+              f"({len(current)} rows)")
+        return 0
+
+    baseline = load_rows(args.baseline)
+
+    regressions = []
+    checked = 0
+    worst = (0.0, None)  # largest adverse relative change
+    for key, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(key)
+        if cur_metrics is None:
+            regressions.append(f"MISSING ROW  {describe(key)}")
+            continue
+        for metric, base_value in base_metrics.items():
+            sign = direction(metric)
+            if sign == 0 and metric not in ZERO_METRICS:
+                continue
+            if metric not in cur_metrics:
+                # A gated metric vanishing is coverage loss, same as a
+                # vanished row — fail, don't shrink the check set silently.
+                # (Applies equally to the zero-required correctness metrics.)
+                regressions.append(
+                    f"MISSING METRIC {describe(key)} {metric} "
+                    f"(in baseline, absent from current run)"
+                )
+                continue
+            if metric in ZERO_METRICS:
+                if cur_metrics[metric] != 0:
+                    regressions.append(
+                        f"NONZERO      {describe(key)} {metric}="
+                        f"{cur_metrics[metric]}"
+                    )
+                checked += 1
+                continue
+            cur_value = cur_metrics[metric]
+            checked += 1
+            if base_value == 0:
+                continue  # nothing to compare against
+            change = (cur_value - base_value) / abs(base_value)
+            adverse = -change if sign > 0 else change
+            if adverse > worst[0]:
+                worst = (adverse, f"{describe(key)} {metric}")
+            if adverse > args.tolerance:
+                kind = "SLOWER" if sign > 0 else "HIGHER-LATENCY"
+                regressions.append(
+                    f"{kind:<12} {describe(key)} {metric}: "
+                    f"{base_value:g} -> {cur_value:g} "
+                    f"({change * 100:+.1f}%, tolerance ±{args.tolerance * 100:.0f}%)"
+                )
+
+    extra = sorted(set(current) - set(baseline))
+    for key in extra:
+        print(f"note: new row not in baseline: {describe(key)}", file=sys.stderr)
+
+    print(
+        f"checked {checked} metrics across {len(baseline)} baseline rows "
+        f"(worst adverse change: {worst[0] * 100:+.1f}%"
+        + (f" at {worst[1]}" if worst[1] else "")
+        + ")"
+    )
+    if regressions:
+        print(f"\n{len(regressions)} perf regression(s):", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        print(
+            "\nIf the change is intentional (model/workload change), regenerate "
+            "the baseline:\n  scripts/perf_smoke.sh current.json && "
+            "scripts/check_perf.py --update bench/baselines/ci-smoke.json "
+            "current.json",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The pinned perf-gate workload: the exact ssyncbench invocation whose JSON
+# output is compared against bench/baselines/ci-smoke.json by
+# scripts/check_perf.py. CI (the perf-gate job) and baseline regeneration
+# (scripts/check_perf.py --update) both run THIS script, so the workload
+# cannot drift between the two sides of the comparison.
+#
+# The subset is sim-backend only (fig4 atomics, fig5 one-lock throughput,
+# fig12 kvs) at small fixed sweeps: the simulator measures the modeled cost
+# of the code, immune to CI-runner speed. Residual noise is limited to
+# address-layout sensitivity (simulated cache lines derive from host
+# addresses), worth a few tenths of a percent on heap-heavy experiments —
+# so the generous tolerance in check_perf.py is effectively all headroom for
+# intentional model changes, which should update the baseline (see
+# docs/ARCHITECTURE.md, "The perf-regression gate").
+#
+# Usage: scripts/perf_smoke.sh [out.json]
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${SSYNC_BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/perf-smoke.json}"
+
+"$build_dir/bench/ssyncbench" fig4 fig5 fig12 \
+  --platform=opteron,xeon \
+  --duration=400000 \
+  --format=json --out="$out"
+
+echo "perf smoke written to $out" >&2

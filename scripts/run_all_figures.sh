@@ -24,7 +24,7 @@ mkdir -p "$log_dir"
 # the knobs it declares (fig3 only sees --rounds, the tables only --reps, ...).
 quick_flags=""
 if [ "${SSYNC_QUICK:-0}" != "0" ]; then
-  quick_flags="--duration=100000 --rounds=20 --reps=5 --iters=2000"
+  quick_flags="--duration=100000 --rounds=20 --reps=5 --iters=2000 --ops=4000"
 fi
 
 start=$(date +%s.%N)
@@ -40,16 +40,31 @@ if [ "$code" -ne 0 ]; then
   exit "$code"
 fi
 
-# Validate that every line parses as JSON with the expected schema tag, and
-# print a per-experiment point count as the run summary.
+# Validate the result matrix and propagate failure: every line must be JSON
+# with the expected schema tag and the required keys, every registered
+# experiment must have emitted at least one point, and any violation exits
+# this script nonzero (a figure silently dropping out of the matrix is a
+# regression, not a formatting nit).
+expected_experiments="$("$build_dir/bench/ssyncbench" --list 2>/dev/null |
+  awk 'NR > 1 && NF > 1 && $1 != "name" && $0 !~ /experiments registered/ { print $1 }')"
+# The no-silent-dropout check must itself fail closed: an empty expected set
+# (ssyncbench --list failing, or its table format drifting under the awk
+# scrape) would make the completeness validation vacuously pass.
+if [ -z "$expected_experiments" ]; then
+  echo "run_all_figures: could not extract the experiment list from ssyncbench --list" >&2
+  exit 1
+fi
+
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$out_json" "$secs" <<'EOF' || exit 1
+  python3 - "$out_json" "$secs" "$expected_experiments" <<'EOF'
 import collections
 import json
 import sys
 
 path, secs = sys.argv[1], sys.argv[2]
+expected = set(sys.argv[3].split())
 counts = collections.OrderedDict()
+errors = []
 with open(path) as f:
     for lineno, line in enumerate(f, 1):
         try:
@@ -57,17 +72,39 @@ with open(path) as f:
         except json.JSONDecodeError as e:
             sys.exit(f"{path}:{lineno}: invalid JSON: {e}")
         if record.get("schema") != "ssyncbench/v1":
-            sys.exit(f"{path}:{lineno}: unexpected schema tag {record.get('schema')!r}")
+            errors.append(f"line {lineno}: unexpected schema tag {record.get('schema')!r}")
+            continue
+        missing = [k for k in ("experiment", "backend", "platform", "params", "metrics")
+                   if k not in record]
+        if missing:
+            errors.append(f"line {lineno}: missing keys {missing}")
+            continue
+        if not record["metrics"]:
+            errors.append(f"line {lineno}: empty metrics ({record['experiment']})")
+            continue
         key = record["experiment"]
         counts[key] = counts.get(key, 0) + 1
 if not counts:
     sys.exit(f"{path}: no results emitted")
+silent = sorted(expected - set(counts))
+for name in silent:
+    errors.append(f"experiment {name} emitted no points")
 total = sum(counts.values())
 for name, n in counts.items():
     print(f"  {name:<22} {n:>5} points")
 print(f"{total} data points across {len(counts)} experiments in {secs}s -> {path}")
+if errors:
+    print(f"{len(errors)} schema validation failure(s):", file=sys.stderr)
+    for e in errors[:20]:
+        print(f"  {e}", file=sys.stderr)
+    sys.exit(1)
 EOF
+  code=$?
+  if [ "$code" -ne 0 ]; then
+    echo "run_all_figures: schema validation FAILED (exit $code)" >&2
+    exit "$code"
+  fi
 else
-  lines=$(wc -l <"$out_json")
-  echo "python3 unavailable; skipped JSON validation ($lines lines in $out_json)"
+  echo "python3 unavailable; cannot validate $out_json" >&2
+  exit 1
 fi

@@ -12,6 +12,15 @@
 #error "This build targets x86-64; port fiber_switch to your architecture."
 #endif
 
+// Under AddressSanitizer every stack switch is announced so the tool carries
+// its shadow/fake-stack state across fibers (otherwise the sim suites would
+// report wild stack-use-after-return artifacts under the ASan CI job).
+#include "src/util/sanitizers.h"
+
+#if defined(SSYNC_ASAN_ENABLED)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 extern "C" {
 void ssync_fiber_switch(void** save_sp, void* load_sp);
 void ssync_fiber_entry_shim();
@@ -70,6 +79,12 @@ Fiber::~Fiber() {
 }
 
 void Fiber::Entry(Fiber* self) {
+#if defined(SSYNC_ASAN_ENABLED)
+  // First arrival on this stack: no fake stack to restore; learn the
+  // resumer's stack bounds for the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_caller_bottom_,
+                                  &self->asan_caller_size_);
+#endif
   self->fn_();
   self->finished_ = true;
   // Return to the resumer for good. Resuming a finished fiber is a bug.
@@ -83,14 +98,37 @@ void Fiber::Resume() {
   Fiber* prev = g_current_fiber;
   g_current_fiber = this;
   running_ = true;
+#if defined(SSYNC_ASAN_ENABLED)
+  // Announce the switch onto the fiber's stack (usable region above the
+  // guard page); `fake` parks this frame's fake-stack handle until the fiber
+  // yields back here.
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(
+      &fake, static_cast<const char*>(stack_base_) + PageSize(),
+      map_bytes_ - PageSize());
+#endif
   ssync_fiber_switch(&caller_sp_, sp_);
+#if defined(SSYNC_ASAN_ENABLED)
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
   running_ = false;
   g_current_fiber = prev;
 }
 
 void Fiber::Yield() {
   SSYNC_CHECK(g_current_fiber == this);
+#if defined(SSYNC_ASAN_ENABLED)
+  // A finished fiber never runs again: passing null frees its fake stack.
+  __sanitizer_start_switch_fiber(finished_ ? nullptr : &asan_fake_stack_,
+                                 asan_caller_bottom_, asan_caller_size_);
+#endif
   ssync_fiber_switch(&sp_, caller_sp_);
+#if defined(SSYNC_ASAN_ENABLED)
+  // Resumed again: restore this stack's fake-stack state and refresh the
+  // (possibly different) resumer's bounds.
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, &asan_caller_bottom_,
+                                  &asan_caller_size_);
+#endif
 }
 
 }  // namespace ssync

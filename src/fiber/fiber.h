@@ -50,6 +50,15 @@ class Fiber {
   void* caller_sp_ = nullptr;    // resumer's saved stack pointer
   bool running_ = false;
   bool finished_ = false;
+
+  // AddressSanitizer fiber bookkeeping (unused in regular builds): ASan must
+  // be told about every stack switch (__sanitizer_start/finish_switch_fiber)
+  // or its shadow state misattributes frames across fibers. The fiber's own
+  // fake-stack handle, and the resumer's stack bounds learned on arrival
+  // (needed to announce the switch back in Yield()).
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_caller_bottom_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
 };
 
 }  // namespace ssync

@@ -6,9 +6,11 @@
 // maintenance lock taken for longer stretches every so many mutations
 // (hash-table rebalancing / slab maintenance). The lock type is a template
 // parameter, which is exactly the experiment of Figure 12 (MUTEX vs TAS vs
-// TICKET vs MCS). Networking, protocol parsing, and the slab allocator are
-// out of scope; the workload driver charges a fixed per-request cost for
-// them (see src/kvs/kvs_stress.h).
+// TICKET vs MCS). The slab allocator is out of scope. Networking and protocol
+// parsing exist at two fidelities: the Figure 12 workload driver charges a
+// fixed per-request cost for them (src/kvs/kvs_stress.h), while the server
+// layer (src/server) serves the store over real TCP with a memcached-style
+// text protocol.
 #ifndef SRC_KVS_KVS_H_
 #define SRC_KVS_KVS_H_
 
@@ -25,14 +27,37 @@ namespace ssync {
 
 inline constexpr int kKvsValueBytes = 64;
 
+// Aggregate operation counters (the `stats` surface of the server layer).
+// Maintained per shard (bucket) under the bucket lock and summed on demand,
+// so the hot paths never share a counter cache line across shards.
+struct KvsStatsSnapshot {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t set_creates = 0;  // sets that inserted a new item
+  std::uint64_t deletes = 0;
+  std::uint64_t delete_hits = 0;
+};
+
 template <typename Mem, typename Lock>
 class Kvs {
  public:
   struct Config {
     int buckets = 1024;
-    std::size_t max_items = 16384;     // LRU eviction beyond this
+    // Capacity target. The modeled store does NOT evict (the paper's
+    // workloads never fill it, and eviction work inside the locks would
+    // change the measured hold times); network-facing owners enforce it —
+    // ssyncd refuses new-item sets beyond the cap, memcached's "-M" mode.
+    std::size_t max_items = 16384;
     int maintenance_interval = 50;     // global-lock maintenance every N sets
     int maintenance_buckets = 64;      // buckets swept per maintenance pass
+    // Deferred reclamation for callers whose clients can race Get against
+    // Delete on one key (the server layer; see the hazard note below).
+    // When set, Delete() retires victims instead of freeing them; the owner
+    // periodically runs the BeginReclaim()/FinishReclaim() grace-period
+    // protocol. Off by default: the modeled Figure 12 store keeps the
+    // paper's immediate-free structure.
+    bool defer_free = false;
   };
 
   Kvs(const Config& config, const LockTopology& topo)
@@ -53,6 +78,12 @@ class Kvs {
         item = next;
       }
     }
+    for (Item* item : retired_) {
+      delete item;
+    }
+    for (Item* item : sealed_) {
+      delete item;
+    }
   }
 
   // Returns true and copies the value if present. Bumps the item's LRU
@@ -64,8 +95,14 @@ class Kvs {
   // bump re-uses the Item pointer after the bucket lock is dropped, so a
   // concurrent Delete of the same key can free it first. The study's
   // workloads (get-only / set-only, Section 6.4) never interleave Get and
-  // Delete on a key; fixing it (refcounts, or bumping under the bucket lock)
-  // would change the very lock-hold-time profile the experiment measures.
+  // Delete on a key; fixing it eagerly (refcounts, or bumping under the
+  // bucket lock) would change the very lock-hold-time profile the experiment
+  // measures. Callers that cannot impose that discipline — ssyncd serves
+  // arbitrary remote clients — set Config::defer_free: Delete then only
+  // unlinks and *retires* the victim (marked under the LRU lock, where every
+  // deferred pointer dereference is serialized), and the memory is freed by
+  // the grace-period protocol below, so the dangling pointer can never touch
+  // freed memory.
   static constexpr std::uint64_t kLruTouchInterval = 100000000;
 
   bool Get(std::uint64_t key, std::uint8_t* value_out) {
@@ -78,7 +115,9 @@ class Kvs {
       LockGuard<Lock> guard(b.lock);
       item = Find(b, key);
       found = item != nullptr;
+      b.stats.Bump(&ShardStats::gets);
       if (found) {
+        b.stats.Bump(&ShardStats::get_hits);
         Mem::ReadData(item->value, kKvsValueBytes);
         if (value_out != nullptr) {
           std::memcpy(value_out, item->value, kKvsValueBytes);
@@ -92,21 +131,78 @@ class Kvs {
     }
     if (bump) {
       LockGuard<Lock> guard(lru_lock_);
-      LruTouch(item);
-      item->last_touch.SetInit(now);
+      // A concurrent Delete may have retired the item since the bucket lock
+      // dropped (defer_free mode); re-linking it into the LRU would
+      // resurrect a dead node. The flag is written and read under this lock.
+      if (!item->retired) {
+        LruTouch(item);
+        item->last_touch.SetInit(now);
+      }
     }
     return found;
   }
 
-  // Inserts or overwrites. Periodically runs the global-lock maintenance
-  // pass that makes the set test contend (Figure 12).
-  void Set(std::uint64_t key, const std::uint8_t* value) {
+  // Batched lookup: like n calls to Get(), but all LRU bumps the batch needs
+  // are folded into a single cache-lock acquisition — the server layer's
+  // multi-key `get` pays one global-lock handoff per request instead of one
+  // per key. values_out is n * kKvsValueBytes; found_out[i] says whether
+  // keys[i] was present. Returns the hit count. The Get/Delete hazard
+  // documented above applies to each bumped item.
+  std::size_t GetMulti(const std::uint64_t* keys, std::size_t n,
+                       std::uint8_t* values_out, bool* found_out) {
+    std::size_t hits = 0;
+    std::size_t bumps = 0;
+    const std::uint64_t now = Mem::Now();
+    // The batch is small (a protocol request's key list); a fixed-size bump
+    // buffer on the stack avoids allocation on the hot path.
+    constexpr std::size_t kMaxBatchBumps = 64;
+    Item* bump_items[kMaxBatchBumps];
+    for (std::size_t i = 0; i < n; ++i) {
+      Bucket& b = BucketOf(keys[i]);
+      LockGuard<Lock> guard(b.lock);
+      Item* item = Find(b, keys[i]);
+      b.stats.Bump(&ShardStats::gets);
+      found_out[i] = item != nullptr;
+      if (item == nullptr) {
+        continue;
+      }
+      b.stats.Bump(&ShardStats::get_hits);
+      ++hits;
+      Mem::ReadData(item->value, kKvsValueBytes);
+      std::memcpy(values_out + i * kKvsValueBytes, item->value, kKvsValueBytes);
+      if (bumps < kMaxBatchBumps &&
+          now - item->last_touch.PeekInit() > kLruTouchInterval) {
+        bump_items[bumps++] = item;
+      }
+    }
+    if (bumps > 0) {
+      LockGuard<Lock> guard(lru_lock_);
+      for (std::size_t i = 0; i < bumps; ++i) {
+        if (bump_items[i]->retired) {
+          continue;  // deleted since the bucket lock dropped; see Get()
+        }
+        LruTouch(bump_items[i]);
+        bump_items[i]->last_touch.SetInit(now);
+      }
+    }
+    return hits;
+  }
+
+  // Inserts or overwrites; returns true when the key was newly inserted
+  // (callers enforcing a capacity cap track creates vs delete-hits).
+  // Periodically runs the global-lock maintenance pass that makes the set
+  // test contend (Figure 12).
+  bool Set(std::uint64_t key, const std::uint8_t* value) {
     Bucket& b = BucketOf(key);
     Item* item = nullptr;
+    bool created = false;
     {
       LockGuard<Lock> guard(b.lock);
       item = Find(b, key);
+      b.stats.Bump(&ShardStats::sets);
       if (item == nullptr) {
+        created = true;
+        b.stats.Bump(&ShardStats::set_creates);
         item = new Item;
         item->key = key;
         item->hash_next = b.head;
@@ -121,7 +217,9 @@ class Kvs {
 
     {
       LockGuard<Lock> guard(lru_lock_);
-      LruTouch(item);
+      if (!item->retired) {  // lost set-vs-delete race: key is gone, stay dead
+        LruTouch(item);
+      }
       ++item_count_if_new_;  // approximate count maintenance under the lock
       Mem::WriteData(&lru_head_, 2 * sizeof(Item*));
     }
@@ -129,6 +227,7 @@ class Kvs {
     if (set_counter_.FetchAdd(1) % config_.maintenance_interval == 0) {
       Maintain();
     }
+    return created;
   }
 
   // Removes the key if present.
@@ -137,6 +236,7 @@ class Kvs {
     Item* victim = nullptr;
     {
       LockGuard<Lock> guard(b.lock);
+      b.stats.Bump(&ShardStats::deletes);
       Item** link = &b.head;
       for (Item* item = b.head; item != nullptr; item = item->hash_next) {
         Mem::ReadData(item, 2 * sizeof(std::uint64_t));
@@ -144,6 +244,7 @@ class Kvs {
           *link = item->hash_next;
           Mem::WriteData(link, sizeof(*link));
           victim = item;
+          b.stats.Bump(&ShardStats::delete_hits);
           break;
         }
         link = &item->hash_next;
@@ -155,12 +256,70 @@ class Kvs {
     {
       LockGuard<Lock> guard(lru_lock_);
       LruUnlink(victim);
+      if (config_.defer_free) {
+        // Retire instead of freeing: an in-flight Get/Set may still hold the
+        // pointer for its deferred LRU bump. The flag stops any such bump
+        // from re-linking the node; the memory lives until a grace period
+        // (BeginReclaim/FinishReclaim) proves no holder remains.
+        victim->retired = true;
+        retired_.push_back(victim);
+        retired_count_.SetInit(retired_count_.PeekInit() + 1);
+        victim = nullptr;
+      }
     }
-    delete victim;
+    delete victim;  // no-op when retired above
     return true;
   }
 
+  // --- Grace-period reclamation (Config::defer_free; single reclaimer).
+  //
+  // BeginReclaim() seals the current batch of retired items; once the caller
+  // has proven that every thread which might hold a pre-seal Item pointer
+  // has since passed a quiescent point (outside any Kvs call — e.g. the top
+  // of a server worker's event loop), FinishReclaim() frees the batch.
+  // Items retired after the seal wait for the next cycle.
+  // Lock-free hint for the reclaimer: anything retired since the last seal?
+  // Lets the owner skip the LRU-lock acquisition in BeginReclaim on the
+  // (overwhelmingly common) quiet passes.
+  bool HasRetired() const { return retired_count_.PeekInit() != 0; }
+
+  void BeginReclaim() {
+    LockGuard<Lock> guard(lru_lock_);
+    SSYNC_CHECK(sealed_.empty());  // protocol: Begin -> Finish -> Begin
+    sealed_.swap(retired_);
+    retired_count_.SetInit(0);
+  }
+
+  std::size_t FinishReclaim() {
+    // No lock: mutators only touch retired_; sealed_ is the reclaimer's.
+    const std::size_t n = sealed_.size();
+    for (Item* item : sealed_) {
+      delete item;
+    }
+    sealed_.clear();
+    return n;
+  }
+
   std::size_t ItemCountApprox() const { return item_count_if_new_; }
+
+  // Sums the per-shard counters without taking any lock: each counter is a
+  // relaxed atomic written only under its bucket lock, so the snapshot is
+  // internally torn-free per counter but not a consistent cut across shards —
+  // the same approximation Memcached's own `stats` makes. Deliberately
+  // uncharged on the sim backend (bookkeeping, not modeled memory), so
+  // enabling stats does not move the Figure 12 numbers.
+  KvsStatsSnapshot Stats() const {
+    KvsStatsSnapshot total;
+    for (const auto& bucket : buckets_) {
+      total.gets += bucket->stats.gets.PeekInit();
+      total.get_hits += bucket->stats.get_hits.PeekInit();
+      total.sets += bucket->stats.sets.PeekInit();
+      total.set_creates += bucket->stats.set_creates.PeekInit();
+      total.deletes += bucket->stats.deletes.PeekInit();
+      total.delete_hits += bucket->stats.delete_hits.PeekInit();
+    }
+    return total;
+  }
 
  private:
   struct alignas(kCacheLineSize) Item {
@@ -171,12 +330,34 @@ class Kvs {
     // Crosses lock domains (bucket lock vs LRU lock); see Get().
     typename Mem::template Atomic<std::uint64_t> last_touch{0};
     std::uint8_t value[kKvsValueBytes] = {};
+    // defer_free mode: set under the LRU lock when Delete retires the item
+    // (read there too). Placed after `value` so existing field offsets — and
+    // therefore the simulator's address-derived charging — are unchanged.
+    bool retired = false;
+  };
+
+  // Per-shard operation counters. Written only while holding the owning
+  // bucket's lock; read lock-free by Stats(). Relaxed atomics keep the
+  // unlocked reader well-defined (and TSan-clean) at plain-store cost.
+  struct ShardStats {
+    typename Mem::template Atomic<std::uint64_t> gets{0};
+    typename Mem::template Atomic<std::uint64_t> get_hits{0};
+    typename Mem::template Atomic<std::uint64_t> sets{0};
+    typename Mem::template Atomic<std::uint64_t> set_creates{0};
+    typename Mem::template Atomic<std::uint64_t> deletes{0};
+    typename Mem::template Atomic<std::uint64_t> delete_hits{0};
+
+    void Bump(typename Mem::template Atomic<std::uint64_t> ShardStats::*counter) {
+      auto& c = this->*counter;
+      c.SetInit(c.PeekInit() + 1);
+    }
   };
 
   struct alignas(kCacheLineSize) Bucket {
     explicit Bucket(const LockTopology& topo) : lock(topo) {}
     Lock lock;
     Item* head = nullptr;
+    ShardStats stats;
   };
 
   Bucket& BucketOf(std::uint64_t key) {
@@ -260,6 +441,13 @@ class Kvs {
   Item* lru_tail_ = nullptr;
   std::size_t item_count_if_new_ = 0;
   int maintenance_cursor_ = 0;
+  // defer_free mode: victims awaiting a grace period. retired_ is guarded by
+  // lru_lock_; sealed_ belongs to the single reclaimer between Begin/Finish;
+  // retired_count_ is the lock-free HasRetired() hint (written under
+  // lru_lock_).
+  std::vector<Item*> retired_;
+  std::vector<Item*> sealed_;
+  typename Mem::template Atomic<std::uint64_t> retired_count_{0};
 };
 
 }  // namespace ssync

@@ -1,0 +1,747 @@
+#include "src/server/loadgen.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "src/core/mem_native.h"
+#include "src/server/protocol.h"
+#include "src/torture/history.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+namespace {
+
+// A run that makes no forward progress for this long has wedged (server
+// died, response misframed past recovery): fail instead of hanging CI.
+constexpr std::int64_t kStallTimeoutNs = 30LL * 1000 * 1000 * 1000;
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One key's share of a multi-key request (every bundled key is its own
+// logical operation in the counts and the history).
+struct SubOp {
+  std::string proto_key;
+  std::uint64_t hist_key = 0;
+  bool found = false;
+  std::uint64_t value = 0;
+};
+
+struct PendingReq {
+  TableOp::Kind kind = TableOp::Kind::kGet;
+  std::vector<SubOp> subs;    // kGet: 1..multiget_keys; kPut/kRemove: exactly 1
+  std::uint64_t t_inv = 0;    // TSC, for the history intervals
+  std::int64_t send_ns = 0;   // steady clock, for the latency sample
+  // kGet response progress: VALUE header seen, awaiting its data line.
+  int value_sub = -1;
+};
+
+struct ClientConn {
+  ~ClientConn() {
+    if (fd >= 0) {
+      ::close(fd);  // also covers ConnectAll's partial-failure early return
+    }
+  }
+
+  int id = 0;
+  int fd = -1;
+  std::string out;
+  std::size_t out_pos = 0;
+  std::string in;
+  std::size_t in_pos = 0;
+  std::deque<PendingReq> inflight;
+  std::uint64_t issued = 0;     // completed + in flight, in operations
+  std::uint64_t completed = 0;  // operations (multi-get keys count singly)
+  std::uint64_t target = 0;     // operations to complete (0 in duration mode)
+  Rng rng{1};
+  std::uint64_t value_seq = 0;
+  // Startup stages before the random mix, each an index into the
+  // connection's owned keys, -1 when finished:
+  //   cleanup: delete every owned key, so an audited run against a server
+  //     with prior state (e.g. a second ssyncload --audit invocation) starts
+  //     from a known-absent state — the register checker can only reason
+  //     about writes it saw. Stays single-writer: owners clean their own keys.
+  //   prefill: seed the connection's share of the read-mostly region.
+  int cleanup_private_next = 0;
+  int cleanup_shared_next = 0;
+  int prefill_next = 0;
+  bool startup_counted = false;  // this conn's startup reported to the barrier
+  bool done = false;
+};
+
+struct ThreadState {
+  std::vector<ClientConn*> conns;
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t protocol_errors = 0;
+  std::vector<std::int64_t> latencies_ns;
+  std::string error;
+};
+
+class LoadGen {
+ public:
+  LoadGen(const LoadGenConfig& config)
+      : config_(config),
+        history_(config.connections,
+                 config.record_history
+                     ? static_cast<std::size_t>(
+                           config.total_ops / std::max(1, config.connections) + 64)
+                     : 0) {}
+
+  LoadGenResult Run();
+
+ private:
+  bool ConnectAll(std::string* error);
+  void ThreadMain(ThreadState& ts);
+  void FillPipeline(ClientConn& conn, ThreadState& ts);
+  void IssueSet(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key,
+                const std::string& proto_key);
+  void IssueDelete(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key,
+                   const std::string& proto_key);
+  void IssueGet(ClientConn& conn, ThreadState& ts);
+  bool HandleLine(ClientConn& conn, ThreadState& ts, const char* line, std::size_t len);
+  void CompleteFront(ClientConn& conn, ThreadState& ts, bool protocol_ok);
+  bool PumpOut(ClientConn& conn, ThreadState& ts);
+  bool PumpIn(ClientConn& conn, ThreadState& ts);
+  void FailConn(ClientConn& conn, ThreadState& ts, const std::string& why);
+
+  // Key geometry. Private key i is owned by connection i % connections and
+  // named "k<i>"; shared key j is write-owned by connection j % connections
+  // and named "s<j>". History ids: i, and key_space + j.
+  int PrivateSlots(int conn_id) const {
+    const int c = config_.connections;
+    return (config_.key_space - conn_id + c - 1) / c;
+  }
+  std::uint64_t PickPrivate(ClientConn& conn) const {
+    if (!config_.disjoint_keys) {  // chaos mode: anyone touches anything
+      return conn.rng.NextBelow(static_cast<std::uint64_t>(config_.key_space));
+    }
+    const int slots = PrivateSlots(conn.id);
+    SSYNC_CHECK_GT(slots, 0);
+    return static_cast<std::uint64_t>(conn.id) +
+           static_cast<std::uint64_t>(config_.connections) *
+               conn.rng.NextBelow(static_cast<std::uint64_t>(slots));
+  }
+  int SharedSlots(int conn_id) const {
+    const int c = config_.connections;
+    return (config_.shared_keys - conn_id + c - 1) / c;
+  }
+
+  static std::string PrivateName(std::uint64_t i) { return "k" + std::to_string(i); }
+  static std::string SharedName(std::uint64_t j) { return "s" + std::to_string(j); }
+
+  std::string RenderValue(std::uint64_t value) const {
+    char digits[24];
+    const int n = std::snprintf(digits, sizeof(digits), "%llu",
+                                static_cast<unsigned long long>(value));
+    const int width = std::min(config_.value_bytes,
+                               static_cast<int>(kProtoMaxValueBytes));
+    std::string text;
+    if (width > n) {
+      text.assign(static_cast<std::size_t>(width - n), '0');  // zero pad: still a u64
+    }
+    text.append(digits, static_cast<std::size_t>(n));
+    return text;
+  }
+
+  const LoadGenConfig& config_;
+  HistoryLog history_;
+  std::vector<std::unique_ptr<ClientConn>> conns_;
+  // Startup barrier: connections that have finished cleanup + prefill (and
+  // drained the responses). Mixed traffic starts once all have.
+  std::atomic<int> startup_done_{0};
+  std::int64_t start_ns_ = 0;
+};
+
+bool LoadGen::ConnectAll(std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid host address: " + config_.host;
+    return false;
+  }
+  for (int i = 0; i < config_.connections; ++i) {
+    auto conn = std::make_unique<ClientConn>();
+    conn->id = i;
+    conn->rng.Seed(config_.seed * 7919 + static_cast<std::uint64_t>(i));
+    conn->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (conn->fd < 0 ||
+        ::connect(conn->fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      *error = std::string("connect: ") + std::strerror(errno);
+      return false;
+    }
+    int one = 1;
+    (void)setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int fl = fcntl(conn->fd, F_GETFL, 0);
+    if (fl < 0 || fcntl(conn->fd, F_SETFL, fl | O_NONBLOCK) != 0) {
+      *error = std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno);
+      return false;
+    }
+    if (config_.total_ops > 0) {
+      conn->target = config_.total_ops / static_cast<std::uint64_t>(config_.connections) +
+                     (static_cast<std::uint64_t>(i) <
+                              config_.total_ops %
+                                  static_cast<std::uint64_t>(config_.connections)
+                          ? 1
+                          : 0);
+    }
+    conn->cleanup_shared_next = SharedSlots(i) > 0 ? 0 : -1;
+    conn->prefill_next = SharedSlots(i) > 0 ? 0 : -1;
+    conns_.push_back(std::move(conn));
+  }
+  return true;
+}
+
+void LoadGen::IssueSet(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key,
+                       const std::string& proto_key) {
+  // Unique nonzero value per (connection, sequence) — what makes the
+  // register check able to name the write a read observed.
+  const std::uint64_t value =
+      (static_cast<std::uint64_t>(conn.id + 1) << 40) | ++conn.value_seq;
+  const std::string text = RenderValue(value);
+  PendingReq req;
+  req.kind = TableOp::Kind::kPut;
+  req.subs.push_back({proto_key, hist_key, true, value});
+  req.send_ns = NowNs();
+  req.t_inv = NativeMem::Now();
+  char header[320];
+  const int n = std::snprintf(header, sizeof(header), "set %s 0 0 %zu\r\n",
+                              proto_key.c_str(), text.size());
+  conn.out.append(header, static_cast<std::size_t>(n));
+  conn.out += text;
+  conn.out += "\r\n";
+  conn.inflight.push_back(std::move(req));
+  ++conn.issued;
+  ++ts.sets;
+}
+
+void LoadGen::IssueDelete(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key,
+                          const std::string& proto_key) {
+  PendingReq req;
+  req.kind = TableOp::Kind::kRemove;
+  req.subs.push_back({proto_key, hist_key, false, 0});
+  req.send_ns = NowNs();
+  req.t_inv = NativeMem::Now();
+  conn.out += "delete ";
+  conn.out += req.subs[0].proto_key;
+  conn.out += "\r\n";
+  conn.inflight.push_back(std::move(req));
+  ++conn.issued;
+  ++ts.deletes;
+}
+
+void LoadGen::IssueGet(ClientConn& conn, ThreadState& ts) {
+  PendingReq req;
+  req.kind = TableOp::Kind::kGet;
+  int want = 1;
+  if (config_.multiget_keys > 1 && conn.rng.NextBool(config_.multiget_fraction)) {
+    want = 2 + static_cast<int>(conn.rng.NextBelow(
+                   static_cast<std::uint64_t>(config_.multiget_keys - 1)));
+  }
+  for (int i = 0; i < want; ++i) {
+    SubOp sub;
+    const bool shared =
+        config_.shared_keys > 0 && conn.rng.NextBool(config_.shared_get_fraction);
+    if (shared) {
+      const std::uint64_t j =
+          conn.rng.NextBelow(static_cast<std::uint64_t>(config_.shared_keys));
+      sub.proto_key = SharedName(j);
+      sub.hist_key = static_cast<std::uint64_t>(config_.key_space) + j;
+    } else {
+      const std::uint64_t i_key = PickPrivate(conn);
+      sub.proto_key = PrivateName(i_key);
+      sub.hist_key = i_key;
+    }
+    // Duplicate keys in one bundle would make VALUE-line matching ambiguous.
+    bool dup = false;
+    for (const SubOp& prev : req.subs) {
+      dup = dup || prev.hist_key == sub.hist_key;
+    }
+    if (!dup) {
+      req.subs.push_back(std::move(sub));
+    }
+  }
+  req.send_ns = NowNs();
+  req.t_inv = NativeMem::Now();
+  conn.out += "get";
+  for (const SubOp& sub : req.subs) {
+    conn.out += ' ';
+    conn.out += sub.proto_key;
+  }
+  conn.out += "\r\n";
+  conn.issued += req.subs.size();
+  ts.gets += req.subs.size();
+  conn.inflight.push_back(std::move(req));
+}
+
+void LoadGen::FillPipeline(ClientConn& conn, ThreadState& ts) {
+  if (conn.done) {
+    return;
+  }
+  // Startup stages (see ClientConn) run to completion first, exempt from the
+  // stop conditions (they are bounded by the key space). The barrier below
+  // keeps any connection from reading shared keys while another is still
+  // deleting/seeding them — cross-connection gets must never race the
+  // cleanup deletes (the kvs Get/Delete hazard), and the audit must not
+  // observe pre-run leftovers.
+  while (static_cast<int>(conn.inflight.size()) < config_.pipeline) {
+    if (conn.cleanup_private_next >= 0) {
+      const std::uint64_t i = static_cast<std::uint64_t>(conn.id) +
+                              static_cast<std::uint64_t>(config_.connections) *
+                                  static_cast<std::uint64_t>(conn.cleanup_private_next);
+      IssueDelete(conn, ts, i, PrivateName(i));
+      conn.cleanup_private_next = conn.cleanup_private_next + 1 < PrivateSlots(conn.id)
+                                      ? conn.cleanup_private_next + 1
+                                      : -1;
+      continue;
+    }
+    if (conn.cleanup_shared_next >= 0) {
+      const std::uint64_t j = static_cast<std::uint64_t>(conn.id) +
+                              static_cast<std::uint64_t>(config_.connections) *
+                                  static_cast<std::uint64_t>(conn.cleanup_shared_next);
+      IssueDelete(conn, ts, static_cast<std::uint64_t>(config_.key_space) + j,
+                  SharedName(j));
+      conn.cleanup_shared_next =
+          conn.cleanup_shared_next + 1 < SharedSlots(conn.id)
+              ? conn.cleanup_shared_next + 1
+              : -1;
+      continue;
+    }
+    if (conn.prefill_next >= 0) {
+      const std::uint64_t j = static_cast<std::uint64_t>(conn.id) +
+                              static_cast<std::uint64_t>(config_.connections) *
+                                  static_cast<std::uint64_t>(conn.prefill_next);
+      IssueSet(conn, ts, static_cast<std::uint64_t>(config_.key_space) + j,
+               SharedName(j));
+      conn.prefill_next =
+          conn.prefill_next + 1 < SharedSlots(conn.id) ? conn.prefill_next + 1 : -1;
+      continue;
+    }
+    break;
+  }
+  if (conn.cleanup_private_next >= 0 || conn.cleanup_shared_next >= 0 ||
+      conn.prefill_next >= 0) {
+    return;  // startup ops still being issued
+  }
+  if (!conn.startup_counted) {
+    if (!conn.inflight.empty()) {
+      return;  // startup responses still in flight
+    }
+    conn.startup_counted = true;
+    startup_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (startup_done_.load(std::memory_order_acquire) < config_.connections) {
+    return;  // barrier: some connection is still cleaning/seeding
+  }
+
+  const bool timed = config_.duration_ns > 0;
+  while (static_cast<int>(conn.inflight.size()) < config_.pipeline) {
+    if (timed && NowNs() - start_ns_ >= static_cast<std::int64_t>(config_.duration_ns)) {
+      break;
+    }
+    if (!timed && conn.issued >= conn.target) {
+      break;
+    }
+    const double dice = conn.rng.NextDouble();
+    if (dice < config_.set_fraction) {
+      // Writes split between the connection's private range and (as the
+      // single write-owner) its slice of the shared region.
+      if (SharedSlots(conn.id) > 0 && conn.rng.NextBool(config_.shared_get_fraction)) {
+        const std::uint64_t j =
+            static_cast<std::uint64_t>(conn.id) +
+            static_cast<std::uint64_t>(config_.connections) *
+                conn.rng.NextBelow(static_cast<std::uint64_t>(SharedSlots(conn.id)));
+        IssueSet(conn, ts, static_cast<std::uint64_t>(config_.key_space) + j,
+                 SharedName(j));
+      } else {
+        const std::uint64_t key = PickPrivate(conn);
+        IssueSet(conn, ts, key, PrivateName(key));
+      }
+    } else if (dice < config_.set_fraction + config_.delete_fraction) {
+      const std::uint64_t key = PickPrivate(conn);
+      IssueDelete(conn, ts, key, PrivateName(key));
+    } else {
+      IssueGet(conn, ts);
+    }
+  }
+  if (conn.inflight.empty()) {
+    conn.done = true;
+  }
+}
+
+void LoadGen::CompleteFront(ClientConn& conn, ThreadState& ts, bool protocol_ok) {
+  PendingReq& req = conn.inflight.front();
+  const std::uint64_t t_resp = NativeMem::Now();
+  ts.latencies_ns.push_back(NowNs() - req.send_ns);
+  conn.completed += req.subs.size();
+  if (protocol_ok) {
+    for (const SubOp& sub : req.subs) {
+      if (req.kind == TableOp::Kind::kGet && sub.found) {
+        ++ts.get_hits;
+      }
+      if (config_.record_history) {
+        TableOp op;
+        op.kind = req.kind;
+        op.tid = conn.id;
+        op.key = sub.hist_key;
+        op.value = req.kind == TableOp::Kind::kRemove ? 0 : sub.value;
+        op.found = sub.found;
+        op.t_inv = req.t_inv;
+        op.t_resp = t_resp;
+        history_.Record(conn.id, op);
+      }
+    }
+  }
+  conn.inflight.pop_front();
+}
+
+// Dispatches one complete response line against the front in-flight request.
+// Returns false on a stream the client cannot make sense of (kills the
+// connection via FailConn in the caller).
+bool LoadGen::HandleLine(ClientConn& conn, ThreadState& ts, const char* line,
+                         std::size_t len) {
+  if (conn.inflight.empty()) {
+    ++ts.protocol_errors;
+    return false;  // a reply with nothing outstanding: stream is misframed
+  }
+  PendingReq& req = conn.inflight.front();
+
+  // A pending VALUE header means this line is the data block.
+  if (req.value_sub >= 0) {
+    SubOp& sub = req.subs[static_cast<std::size_t>(req.value_sub)];
+    const std::string text(line, len);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (len == 0 || errno != 0 || end != text.c_str() + text.size()) {
+      // A value we never wrote: flag it — the history checker would only see
+      // a miss, and this is stronger evidence of corruption.
+      ++ts.protocol_errors;
+      sub.found = false;
+    } else {
+      sub.found = true;
+      sub.value = static_cast<std::uint64_t>(parsed);
+    }
+    req.value_sub = -1;
+    return true;
+  }
+
+  const auto is = [&](const char* word) {
+    return std::strlen(word) == len && std::memcmp(line, word, len) == 0;
+  };
+  const auto starts = [&](const char* word) {
+    const std::size_t n = std::strlen(word);
+    return len >= n && std::memcmp(line, word, n) == 0;
+  };
+
+  if (starts("ERROR") || starts("CLIENT_ERROR") || starts("SERVER_ERROR")) {
+    // The server rejected something we believe we framed correctly: count it
+    // and drop the request without recording history (its effect is unknown).
+    ++ts.protocol_errors;
+    CompleteFront(conn, ts, /*protocol_ok=*/false);
+    return true;
+  }
+
+  switch (req.kind) {
+    case TableOp::Kind::kGet:
+      if (starts("VALUE ")) {
+        // "VALUE <key> <flags> <bytes>" — match the key to a bundled sub-op.
+        const char* p = line + 6;
+        const char* key_end = static_cast<const char*>(
+            std::memchr(p, ' ', static_cast<std::size_t>(line + len - p)));
+        if (key_end == nullptr) {
+          ++ts.protocol_errors;
+          return false;
+        }
+        const std::size_t key_len = static_cast<std::size_t>(key_end - p);
+        for (std::size_t i = 0; i < req.subs.size(); ++i) {
+          if (req.subs[i].proto_key.size() == key_len &&
+              std::memcmp(req.subs[i].proto_key.data(), p, key_len) == 0) {
+            req.value_sub = static_cast<int>(i);
+            break;
+          }
+        }
+        if (req.value_sub < 0) {
+          ++ts.protocol_errors;
+          return false;  // VALUE for a key we did not ask for
+        }
+        return true;
+      }
+      if (is("END")) {
+        CompleteFront(conn, ts, /*protocol_ok=*/true);
+        return true;
+      }
+      break;
+    case TableOp::Kind::kPut:
+      if (is("STORED")) {
+        CompleteFront(conn, ts, /*protocol_ok=*/true);
+        return true;
+      }
+      break;
+    case TableOp::Kind::kRemove:
+      if (is("DELETED") || is("NOT_FOUND")) {
+        req.subs[0].found = is("DELETED");
+        CompleteFront(conn, ts, /*protocol_ok=*/true);
+        return true;
+      }
+      break;
+  }
+  ++ts.protocol_errors;
+  return false;
+}
+
+void LoadGen::FailConn(ClientConn& conn, ThreadState& ts, const std::string& why) {
+  if (ts.error.empty()) {
+    ts.error = "connection " + std::to_string(conn.id) + ": " + why;
+  }
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  conn.done = true;
+  conn.inflight.clear();
+}
+
+bool LoadGen::PumpOut(ClientConn& conn, ThreadState& ts) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t w = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn.out_pos += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;
+    }
+    FailConn(conn, ts, std::string("send: ") + std::strerror(errno));
+    return false;
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  return true;
+}
+
+bool LoadGen::PumpIn(ClientConn& conn, ThreadState& ts) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t r = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(r));
+      // Values are decimal digits (never CR/LF), so the response stream
+      // parses line by line.
+      for (;;) {
+        const std::size_t nl = conn.in.find('\n', conn.in_pos);
+        if (nl == std::string::npos) {
+          break;
+        }
+        std::size_t len = nl - conn.in_pos;
+        if (len > 0 && conn.in[conn.in_pos + len - 1] == '\r') {
+          --len;
+        }
+        const bool parsed = HandleLine(conn, ts, conn.in.data() + conn.in_pos, len);
+        conn.in_pos = nl + 1;
+        if (!parsed) {
+          FailConn(conn, ts, "unparseable response stream");
+          return false;
+        }
+      }
+      if (conn.in_pos == conn.in.size()) {
+        conn.in.clear();
+        conn.in_pos = 0;
+      } else if (conn.in_pos > 4096) {
+        conn.in.erase(0, conn.in_pos);
+        conn.in_pos = 0;
+      }
+      if (static_cast<std::size_t>(r) < sizeof(buf)) {
+        return true;
+      }
+      continue;
+    }
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;
+    }
+    FailConn(conn, ts, r == 0 ? "server closed the connection"
+                              : std::string("recv: ") + std::strerror(errno));
+    return false;
+  }
+}
+
+void LoadGen::ThreadMain(ThreadState& ts) {
+  std::vector<pollfd> fds;
+  std::int64_t last_progress_ns = NowNs();
+  std::uint64_t last_completed = 0;
+  for (;;) {
+    fds.clear();
+    std::vector<ClientConn*> active;
+    for (ClientConn* conn : ts.conns) {
+      if (conn->done && conn->inflight.empty()) {
+        continue;
+      }
+      FillPipeline(*conn, ts);
+      if (!PumpOut(*conn, ts)) {
+        continue;
+      }
+      if (conn->done && conn->inflight.empty()) {
+        continue;
+      }
+      pollfd p{};
+      p.fd = conn->fd;
+      p.events = static_cast<short>(POLLIN | (conn->out_pos < conn->out.size() ? POLLOUT : 0));
+      fds.push_back(p);
+      active.push_back(conn);
+    }
+    if (active.empty()) {
+      return;
+    }
+    const int n = ::poll(fds.data(), fds.size(), 200);
+    if (n < 0 && errno != EINTR) {
+      if (ts.error.empty()) {
+        ts.error = std::string("poll: ") + std::strerror(errno);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      ClientConn* conn = active[i];
+      if (conn->fd < 0) {
+        continue;
+      }
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        if (!PumpIn(*conn, ts)) {
+          continue;
+        }
+      }
+      if ((fds[i].revents & POLLOUT) != 0) {
+        if (!PumpOut(*conn, ts)) {
+          continue;
+        }
+      }
+      FillPipeline(*conn, ts);
+      PumpOut(*conn, ts);
+    }
+    std::uint64_t completed = 0;
+    for (ClientConn* conn : ts.conns) {
+      completed += conn->completed;
+    }
+    const std::int64_t now = NowNs();
+    if (completed != last_completed) {
+      last_completed = completed;
+      last_progress_ns = now;
+    } else if (now - last_progress_ns > kStallTimeoutNs) {
+      if (ts.error.empty()) {
+        ts.error = "stalled: no responses for 30s";
+      }
+      return;
+    }
+  }
+}
+
+LoadGenResult LoadGen::Run() {
+  LoadGenResult result;
+  SSYNC_CHECK_GT(config_.connections, 0);
+  SSYNC_CHECK_GT(config_.threads, 0);
+  SSYNC_CHECK_GE(config_.key_space, config_.connections);
+  SSYNC_CHECK(config_.total_ops > 0 || config_.duration_ns > 0);
+  SSYNC_CHECK(config_.disjoint_keys || !config_.record_history);
+  if (!ConnectAll(&result.error)) {
+    return result;
+  }
+
+  std::vector<ThreadState> states(static_cast<std::size_t>(config_.threads));
+  for (auto& conn : conns_) {
+    states[static_cast<std::size_t>(conn->id % config_.threads)].conns.push_back(
+        conn.get());
+  }
+
+  start_ns_ = NowNs();
+  std::vector<std::thread> threads;
+  threads.reserve(states.size());
+  for (ThreadState& ts : states) {
+    threads.emplace_back([this, &ts] { ThreadMain(ts); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const std::int64_t elapsed_ns = NowNs() - start_ns_;
+
+  result.ok = true;
+  std::vector<std::int64_t> latencies;
+  for (ThreadState& ts : states) {
+    if (!ts.error.empty() && result.error.empty()) {
+      result.error = ts.error;
+      result.ok = false;
+    }
+    result.gets += ts.gets;
+    result.get_hits += ts.get_hits;
+    result.sets += ts.sets;
+    result.deletes += ts.deletes;
+    result.protocol_errors += ts.protocol_errors;
+    latencies.insert(latencies.end(), ts.latencies_ns.begin(), ts.latencies_ns.end());
+  }
+  for (auto& conn : conns_) {
+    result.ops += conn->completed;
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  result.seconds = static_cast<double>(elapsed_ns) * 1e-9;
+  result.kops = result.seconds > 0
+                    ? static_cast<double>(result.ops) / result.seconds / 1000.0
+                    : 0.0;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto at = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(latencies.size() - 1) + 0.5);
+      return static_cast<double>(latencies[idx]) / 1000.0;
+    };
+    result.p50_us = at(0.50);
+    result.p99_us = at(0.99);
+    result.max_us = static_cast<double>(latencies.back()) / 1000.0;
+  }
+
+  if (config_.record_history) {
+    const std::vector<TableOp> history = history_.Merged();
+    result.history.ops = history.size();
+    CheckSingleWriterRegister(history, kNativeTortureClockSlack, &result.history);
+  }
+  return result;
+}
+
+}  // namespace
+
+LoadGenResult RunLoadGen(const LoadGenConfig& config) {
+  LoadGen gen(config);
+  return gen.Run();
+}
+
+}  // namespace ssync

@@ -1,0 +1,98 @@
+// ssyncload: a closed-loop, multi-connection load generator for ssyncd.
+//
+// Client threads multiplex nonblocking connections with poll(); each
+// connection keeps up to `pipeline` requests in flight and issues a new one
+// the moment a response completes (closed loop — offered load tracks service
+// rate, as the paper's memslap clients do). Latency is measured per request,
+// send-to-final-response-byte, and reported as percentiles.
+//
+// Key discipline: every key is owned by exactly one connection.
+//   * private keys ("k<i>", i ∈ [0, key_space)) — owner i % connections is
+//     the only connection that ever touches the key (set/get/delete), so a
+//     Get can never race a Delete (the kvs-documented hazard).
+//   * shared keys ("s<j>", j ∈ [0, shared_keys)) — owner j % connections is
+//     the only writer (set only, never delete); every connection reads them.
+//     This is what makes the history audit interesting: cross-connection
+//     read/write races flow through the server and store under full
+//     concurrency while each key's write sequence stays totally ordered.
+//
+// Every run opens with a barrier-synchronized startup phase: each
+// connection deletes its owned keys (so an audit against a server holding
+// state from an earlier run starts from known-absent keys) and seeds its
+// slice of the shared region; mixed traffic begins only after every
+// connection has finished — cross-connection gets never race the cleanup
+// deletes.
+//
+// With record_history set, every operation is logged as a TableOp
+// (numeric key ids, values as decimal-rendered unique u64s) and validated
+// with the torture history checker: the end-to-end loopback soak proves the
+// whole stack — parser, event loop, store, locks — serves register-semantic
+// reads under load.
+#ifndef SRC_SERVER_LOADGEN_H_
+#define SRC_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/torture/torture.h"
+
+namespace ssync {
+
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connections = 8;
+  int threads = 2;    // client threads; connections are distributed round-robin
+  int pipeline = 16;  // max requests in flight per connection
+  // Stop condition: whichever of these is nonzero triggers first.
+  std::uint64_t total_ops = 100000;  // completed operations across all connections
+  std::uint64_t duration_ns = 0;     // wall-clock budget
+  int key_space = 512;               // private keys
+  int shared_keys = 64;              // read-mostly shared keys (0 disables)
+  double set_fraction = 0.30;        // of all ops
+  double delete_fraction = 0.10;     // of all ops (private keys only)
+  double shared_get_fraction = 0.50; // of gets, when shared_keys > 0
+  // Fraction of get requests issued as multi-key gets (exercises the
+  // server's batched GetMulti path); each bundled key completes as its own
+  // operation. Bundles draw from the connection's own private keys plus the
+  // shared region — never another connection's private keys (their deletes
+  // must not race our gets).
+  double multiget_fraction = 0.15;
+  int multiget_keys = 4;
+  int value_bytes = 20;              // values are zero-padded decimal u64s
+  std::uint64_t seed = 1;
+  bool record_history = false;       // log TableOps + run the register checker
+  // false: chaos mode — every connection sets/gets/deletes over the WHOLE
+  // private key space, deliberately racing independent clients on the same
+  // keys (the adversarial pattern the server's deferred reclamation exists
+  // for). Incompatible with record_history: with multiple writers per key
+  // the register check has no total write order to validate against.
+  bool disjoint_keys = true;
+};
+
+struct LoadGenResult {
+  bool ok = false;            // all connections ran to completion
+  std::string error;          // first hard failure (connect/socket/timeout)
+  std::uint64_t ops = 0;      // completed requests
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+  // Unexpected replies: ERROR/CLIENT_ERROR/SERVER_ERROR lines, misframed
+  // responses, replies that do not match the in-flight request.
+  std::uint64_t protocol_errors = 0;
+  double seconds = 0;
+  double kops = 0;            // completed requests / wall second / 1000
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  // record_history: violations found by the per-key register checker (plus
+  // any client-side decode trouble). ok()/Summary() as everywhere else.
+  TortureReport history;
+};
+
+LoadGenResult RunLoadGen(const LoadGenConfig& config);
+
+}  // namespace ssync
+
+#endif  // SRC_SERVER_LOADGEN_H_

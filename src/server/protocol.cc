@@ -1,0 +1,299 @@
+#include "src/server/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ssync {
+namespace {
+
+// A data block a client may declare before the server gives up on the
+// stream. Anything the store could hold is tiny; this bound only exists so a
+// broken client announcing a gigabyte cannot make the server buffer it.
+constexpr std::size_t kMaxDeclaredDataBytes = 1 << 20;
+
+bool IsValidKeyChar(unsigned char c) { return c > 32 && c != 127; }
+
+bool IsValidKey(const char* s, std::size_t len) {
+  if (len == 0 || len > kProtoMaxKeyBytes) {
+    return false;
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    if (!IsValidKeyChar(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Strict decimal u32 (memcached numeric fields): digits only, no sign.
+bool ParseU32(const char* s, std::size_t len, std::uint32_t* out) {
+  if (len == 0 || len > 10) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+  }
+  if (v > 0xffffffffULL) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+struct Token {
+  const char* data;
+  std::size_t len;
+
+  bool Is(const char* word) const {
+    return std::strlen(word) == len && std::memcmp(data, word, len) == 0;
+  }
+  std::string Str() const { return std::string(data, len); }
+};
+
+// Splits on runs of spaces (memcached tolerates repeated separators).
+std::size_t Tokenize(const char* line, std::size_t len, Token* tokens,
+                     std::size_t max_tokens) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  while (i < len && count < max_tokens) {
+    while (i < len && line[i] == ' ') {
+      ++i;
+    }
+    if (i == len) {
+      break;
+    }
+    const std::size_t start = i;
+    while (i < len && line[i] != ' ') {
+      ++i;
+    }
+    tokens[count++] = {line + start, i - start};
+  }
+  return count;
+}
+
+std::string ClientError(const char* what) {
+  return std::string("CLIENT_ERROR ") + what + "\r\n";
+}
+
+}  // namespace
+
+void RequestParser::Feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+void RequestParser::Compact() {
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ >= 4096) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+RequestParser::Status RequestParser::Next(Request* request, std::string* error_reply) {
+  if (broken_) {
+    return Status::kNeedMore;
+  }
+  if (want_data_) {
+    return TakeDataBlock(request, error_reply);
+  }
+  const std::size_t nl = buf_.find('\n', pos_);
+  if (nl == std::string::npos) {
+    if (buffered() > kProtoMaxLineBytes) {
+      broken_ = true;
+      *error_reply = ClientError("line too long; closing connection");
+      return Status::kError;
+    }
+    return Status::kNeedMore;
+  }
+  // The terminator is CRLF; a bare LF is a framing error (but a recoverable
+  // one — the line is consumed either way).
+  const char* line = buf_.data() + pos_;
+  std::size_t len = nl - pos_;
+  const bool crlf = len > 0 && line[len - 1] == '\r';
+  if (crlf) {
+    --len;
+  }
+  if (len > kProtoMaxLineBytes) {
+    pos_ = nl + 1;
+    Compact();
+    broken_ = true;
+    *error_reply = ClientError("line too long; closing connection");
+    return Status::kError;
+  }
+  const Status status = crlf ? ParseCommandLine(line, len, request, error_reply)
+                             : Status::kError;
+  if (!crlf) {
+    *error_reply = ClientError("missing CR in line terminator");
+  }
+  pos_ = nl + 1;
+  Compact();
+  // A `set` line hands off to the data-block state; everything else is done.
+  if (status == Status::kRequest && want_data_) {
+    return Next(request, error_reply);
+  }
+  return status;
+}
+
+RequestParser::Status RequestParser::ParseCommandLine(const char* line, std::size_t len,
+                                                      Request* request,
+                                                      std::string* error_reply) {
+  Token tokens[kProtoMaxGetKeys + 2];
+  const std::size_t count = Tokenize(line, len, tokens, kProtoMaxGetKeys + 2);
+  if (count == 0) {
+    *error_reply = kProtoError;
+    return Status::kError;
+  }
+
+  if (tokens[0].Is("get") || tokens[0].Is("gets")) {
+    if (count < 2) {
+      *error_reply = kProtoError;
+      return Status::kError;
+    }
+    if (count - 1 > kProtoMaxGetKeys) {
+      *error_reply = ClientError("too many keys in get");
+      return Status::kError;
+    }
+    request->op = Request::Op::kGet;
+    request->keys.clear();
+    for (std::size_t i = 1; i < count; ++i) {
+      if (!IsValidKey(tokens[i].data, tokens[i].len)) {
+        *error_reply = ClientError("invalid key");
+        return Status::kError;
+      }
+      request->keys.push_back(tokens[i].Str());
+    }
+    request->noreply = false;
+    return Status::kRequest;
+  }
+
+  if (tokens[0].Is("set")) {
+    const bool noreply = count == 6 && tokens[5].Is("noreply");
+    if (count != 5 && !noreply) {
+      *error_reply = ClientError("bad command line format");
+      return Status::kError;
+    }
+    Request pending;
+    pending.op = Request::Op::kSet;
+    pending.noreply = noreply;
+    if (!IsValidKey(tokens[1].data, tokens[1].len)) {
+      *error_reply = ClientError("invalid key");
+      return Status::kError;
+    }
+    pending.key = tokens[1].Str();
+    if (!ParseU32(tokens[2].data, tokens[2].len, &pending.flags) ||
+        !ParseU32(tokens[3].data, tokens[3].len, &pending.exptime) ||
+        !ParseU32(tokens[4].data, tokens[4].len, &pending.bytes)) {
+      *error_reply = ClientError("bad command line format");
+      return Status::kError;
+    }
+    if (pending.bytes > kMaxDeclaredDataBytes) {
+      broken_ = true;
+      *error_reply = ClientError("data block too large; closing connection");
+      return Status::kError;
+    }
+    // Oversized for the store but syntactically fine: the data block must
+    // still be consumed before the error reply (memcached semantics), so the
+    // next pipelined command is not parsed out of the value bytes.
+    if (pending.bytes > kProtoMaxValueBytes) {
+      discard_data_ = true;
+      discard_error_ = "SERVER_ERROR object too large for cache\r\n";
+    }
+    pending_ = std::move(pending);
+    want_data_ = true;
+    return Status::kRequest;  // caller re-enters Next() for the data block
+  }
+
+  if (tokens[0].Is("delete")) {
+    const bool noreply = count == 3 && tokens[2].Is("noreply");
+    if (count != 2 && !noreply) {
+      *error_reply = ClientError("bad command line format");
+      return Status::kError;
+    }
+    if (!IsValidKey(tokens[1].data, tokens[1].len)) {
+      *error_reply = ClientError("invalid key");
+      return Status::kError;
+    }
+    request->op = Request::Op::kDelete;
+    request->key = tokens[1].Str();
+    request->noreply = noreply;
+    return Status::kRequest;
+  }
+
+  if (tokens[0].Is("stats") && count == 1) {
+    request->op = Request::Op::kStats;
+    request->noreply = false;
+    return Status::kRequest;
+  }
+  if (tokens[0].Is("version") && count == 1) {
+    request->op = Request::Op::kVersion;
+    request->noreply = false;
+    return Status::kRequest;
+  }
+  if (tokens[0].Is("quit") && count == 1) {
+    request->op = Request::Op::kQuit;
+    request->noreply = false;
+    return Status::kRequest;
+  }
+
+  *error_reply = kProtoError;
+  return Status::kError;
+}
+
+RequestParser::Status RequestParser::TakeDataBlock(Request* request,
+                                                   std::string* error_reply) {
+  const std::size_t need = static_cast<std::size_t>(pending_.bytes) + 2;  // data + CRLF
+  if (buffered() < need) {
+    return Status::kNeedMore;
+  }
+  const char* data = buf_.data() + pos_;
+  const bool terminated =
+      data[pending_.bytes] == '\r' && data[pending_.bytes + 1] == '\n';
+  want_data_ = false;
+  if (!terminated) {
+    // The declared length did not land on a CRLF: the block is misframed.
+    // Consume the declared bytes and resync at the next line like memcached
+    // ("bad data chunk"), leaving the (likely garbled) remainder to the
+    // normal line parser.
+    pos_ += pending_.bytes;
+    discard_data_ = false;
+    Compact();
+    *error_reply = ClientError("bad data chunk");
+    return Status::kError;
+  }
+  if (discard_data_) {
+    discard_data_ = false;
+    pos_ += need;
+    Compact();
+    *error_reply = discard_error_;
+    return Status::kError;
+  }
+  pending_.value.assign(data, pending_.bytes);
+  pos_ += need;
+  Compact();
+  *request = std::move(pending_);
+  pending_ = Request{};
+  return Status::kRequest;
+}
+
+void AppendValueReply(const std::string& key, std::uint32_t flags, const char* data,
+                      std::size_t len, std::string* out) {
+  char header[kProtoMaxKeyBytes + 40];
+  const int n = std::snprintf(header, sizeof(header), "VALUE %s %u %zu\r\n",
+                              key.c_str(), flags, len);
+  out->append(header, static_cast<std::size_t>(n));
+  out->append(data, len);
+  out->append("\r\n");
+}
+
+void AppendStatReply(const char* name, std::uint64_t value, std::string* out) {
+  char line[96];
+  const int n = std::snprintf(line, sizeof(line), "STAT %s %llu\r\n", name,
+                              static_cast<unsigned long long>(value));
+  out->append(line, static_cast<std::size_t>(n));
+}
+
+}  // namespace ssync

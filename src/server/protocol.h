@@ -1,0 +1,122 @@
+// ssyncd wire protocol: a memcached-style text protocol over TCP.
+//
+// `RequestParser` is a zero-copy-ish incremental parser: the connection
+// feeds it raw TCP segments in whatever sizes the kernel delivers, and it
+// yields complete requests one at a time — a request split across any number
+// of segment boundaries, or many requests pipelined into one segment, parse
+// identically. Protocol errors are recoverable at line granularity (the
+// parser resyncs to the next CRLF and returns the error reply to send), so a
+// client typo cannot wedge a connection; only unbounded garbage (a line or
+// data block that can never complete within the limits) marks the parser
+// `broken()`, telling the server to close.
+//
+// Grammar (the memcached subset ssyncd serves):
+//   get <key>+\r\n
+//   set <key> <flags> <exptime> <bytes> [noreply]\r\n<data of bytes>\r\n
+//   delete <key> [noreply]\r\n
+//   stats\r\n
+//   version\r\n
+//   quit\r\n
+//
+// The parser is transport-independent (no sockets), which is what the
+// table-driven tests in tests/protocol_test.cc exercise.
+#ifndef SRC_SERVER_PROTOCOL_H_
+#define SRC_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kvs/kvs.h"
+
+namespace ssync {
+
+// Memcached's own key limit.
+inline constexpr std::size_t kProtoMaxKeyBytes = 250;
+
+// The store keeps fixed 64-byte items (kKvsValueBytes); the server encodes
+// one length byte and four flag bytes into each item (see store.h), leaving
+// this much room for client data.
+inline constexpr std::size_t kProtoMaxValueBytes = kKvsValueBytes - 5;
+
+// A multi-get longer than this is a client error (bounds the per-request
+// stack buffers in the server's hot path).
+inline constexpr std::size_t kProtoMaxGetKeys = 64;
+
+// A command line longer than this can never be valid (the longest legal line
+// is a maximal multi-get); exceeding it breaks the connection.
+inline constexpr std::size_t kProtoMaxLineBytes =
+    (kProtoMaxKeyBytes + 1) * kProtoMaxGetKeys + 16;
+
+// Canned replies (CRLF included).
+inline constexpr const char* kProtoStored = "STORED\r\n";
+inline constexpr const char* kProtoDeleted = "DELETED\r\n";
+inline constexpr const char* kProtoNotFound = "NOT_FOUND\r\n";
+inline constexpr const char* kProtoEnd = "END\r\n";
+inline constexpr const char* kProtoError = "ERROR\r\n";
+
+struct Request {
+  enum class Op { kGet, kSet, kDelete, kStats, kVersion, kQuit };
+
+  Op op = Op::kGet;
+  std::vector<std::string> keys;  // get: one or more keys
+  std::string key;                // set / delete
+  std::uint32_t flags = 0;        // set: echoed back verbatim on get
+  std::uint32_t exptime = 0;      // set: parsed for compatibility, ignored
+  std::uint32_t bytes = 0;        // set: declared data length
+  bool noreply = false;
+  std::string value;              // set: the data block
+};
+
+class RequestParser {
+ public:
+  enum class Status {
+    kNeedMore,  // no complete request buffered; feed more bytes
+    kRequest,   // *request was filled in
+    kError,     // *error_reply holds the reply to send; parser has resynced
+  };
+
+  // Appends a raw TCP segment to the parse buffer.
+  void Feed(const char* data, std::size_t n);
+
+  // Extracts the next complete request, if any. Call repeatedly until
+  // kNeedMore to drain pipelined input.
+  Status Next(Request* request, std::string* error_reply);
+
+  // Unparsed bytes currently buffered.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  // True once the stream can never parse again (oversized line / absurd data
+  // block): the server sends the pending error and closes the connection.
+  bool broken() const { return broken_; }
+
+ private:
+  Status ParseCommandLine(const char* line, std::size_t len, Request* request,
+                          std::string* error_reply);
+  Status TakeDataBlock(Request* request, std::string* error_reply);
+  void Compact();
+
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+
+  // A `set` whose command line parsed waits here for its data block.
+  bool want_data_ = false;
+  Request pending_;
+  // Oversized (but sane) set: swallow the declared data block, then report.
+  bool discard_data_ = false;
+  std::string discard_error_;
+  bool broken_ = false;
+};
+
+// Appends "VALUE <key> <flags> <bytes>\r\n<data>\r\n" (one multi-get item;
+// the caller appends kProtoEnd after the last one).
+void AppendValueReply(const std::string& key, std::uint32_t flags, const char* data,
+                      std::size_t len, std::string* out);
+
+// Appends "STAT <name> <value>\r\n".
+void AppendStatReply(const char* name, std::uint64_t value, std::string* out);
+
+}  // namespace ssync
+
+#endif  // SRC_SERVER_PROTOCOL_H_

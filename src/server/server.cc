@@ -1,0 +1,585 @@
+#include "src/server/server.h"
+
+#if !defined(__linux__)
+#error "ssyncd's event loop is epoll-based; port server.cc to your platform."
+#endif
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/core/mem_native.h"
+#include "src/server/protocol.h"
+
+namespace ssync {
+namespace {
+
+constexpr int kEpollBatch = 64;
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr int kListenBacklog = 512;
+// Output backpressure: once a connection has this much reply data pending,
+// the worker stops reading from it (EPOLLIN disarmed) until the backlog
+// drains — a client that pipelines requests without ever reading responses
+// must stall, not grow the reply buffer without bound. One read chunk of
+// maximally-amplifying requests (dup-key multi-gets) adds at most a few MB
+// past the mark, so per-connection memory stays bounded.
+constexpr std::size_t kMaxPendingOut = 256 * 1024;
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// One TCP connection, owned by exactly one worker (no locking).
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+
+  int fd;
+  RequestParser parser;
+  std::string out;          // pending reply bytes
+  std::size_t out_pos = 0;  // sent prefix of out
+  bool want_write = false;  // EPOLLOUT currently armed
+  bool reading = true;      // EPOLLIN armed (false: output backpressure)
+  bool closing = false;     // close once out drains (quit / broken stream)
+
+  std::size_t pending_out() const { return out.size() - out_pos; }
+};
+
+}  // namespace
+
+struct KvServer::Worker {
+  KvServer* server = nullptr;
+  int index = 0;
+  int epoll_fd = -1;
+  int listen_fd = -1;
+  int wake_fd = -1;
+  std::atomic<bool> stop{false};
+  // Grace-period clock: bumped at the top of every event-loop pass, where
+  // the worker provably holds no store pointers. Worker 0 reclaims retired
+  // items once every epoch has advanced past its seal-time snapshot.
+  std::atomic<std::uint64_t> epoch{0};
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+
+  // Hot-path counters: padded per worker, relaxed atomics so Stats() can read
+  // them from another thread.
+  struct alignas(kCacheLineSize) Counters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> rejected_sets{0};  // capacity cap ("-M") hits
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+  } counters;
+
+  ~Worker() {
+    conns.clear();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+    }
+    if (wake_fd >= 0) {
+      ::close(wake_fd);
+    }
+    if (epoll_fd >= 0) {
+      ::close(epoll_fd);
+    }
+  }
+
+  void Bump(std::atomic<std::uint64_t> Counters::*counter, std::uint64_t n = 1) {
+    (counters.*counter).fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Closing frees the fd number, which accept4 could hand right back to a
+  // new client within the same epoll_wait batch — a later stale event for
+  // the old registration would then tear down the newcomer. So: deregister
+  // now, but park the connection (fd still open, number not reusable) until
+  // the batch ends; stale events find the map entry gone and skip.
+  std::vector<std::unique_ptr<Connection>> pending_close;
+
+  void CloseConnection(Connection* conn) {
+    (void)epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    const auto it = conns.find(conn->fd);
+    pending_close.push_back(std::move(it->second));
+    conns.erase(it);
+  }
+
+  // Keeps the armed epoll events in sync with the connection's desired
+  // read/write interest.
+  void UpdateEvents(Connection* conn, bool reading, bool writing) {
+    if (conn->reading == reading && conn->want_write == writing) {
+      return;
+    }
+    epoll_event ev{};
+    ev.events = (reading ? EPOLLIN : 0u) | (writing ? EPOLLOUT : 0u);
+    ev.data.fd = conn->fd;
+    if (epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+      conn->reading = reading;
+      conn->want_write = writing;
+    }
+  }
+
+  // Writes as much pending output as the socket takes; arms/disarms
+  // EPOLLOUT around short writes and re-arms EPOLLIN once a backpressured
+  // backlog drains. Returns false if the connection was closed.
+  bool Flush(Connection* conn) {
+    while (conn->out_pos < conn->out.size()) {
+      const ssize_t w = ::send(conn->fd, conn->out.data() + conn->out_pos,
+                               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+      if (w > 0) {
+        conn->out_pos += static_cast<std::size_t>(w);
+        Bump(&Counters::bytes_out, static_cast<std::uint64_t>(w));
+        continue;
+      }
+      if (w < 0 && errno == EINTR) {
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        UpdateEvents(conn, /*reading=*/conn->pending_out() <= kMaxPendingOut,
+                     /*writing=*/true);
+        return true;
+      }
+      CloseConnection(conn);
+      return false;
+    }
+    conn->out.clear();
+    conn->out_pos = 0;
+    if (conn->closing) {
+      CloseConnection(conn);
+      return false;
+    }
+    UpdateEvents(conn, /*reading=*/true, /*writing=*/false);
+    return true;
+  }
+
+  void Execute(const Request& req, Connection* conn) {
+    switch (req.op) {
+      case Request::Op::kGet: {
+        std::uint64_t keys[kProtoMaxGetKeys];
+        bool found[kProtoMaxGetKeys];
+        std::uint8_t values[kProtoMaxGetKeys * kKvsValueBytes];
+        const std::size_t n = req.keys.size();  // parser caps at kProtoMaxGetKeys
+        for (std::size_t i = 0; i < n; ++i) {
+          keys[i] = HashProtocolKey(req.keys[i]);
+        }
+        server->store_->GetMulti(keys, n, values, found);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!found[i]) {
+            continue;
+          }
+          std::uint32_t flags = 0;
+          const char* data = nullptr;
+          std::size_t len = 0;
+          if (DecodeStoreValue(values + i * kKvsValueBytes, &flags, &data, &len)) {
+            AppendValueReply(req.keys[i], flags, data, len, &conn->out);
+          }
+        }
+        conn->out += kProtoEnd;
+        break;
+      }
+      case Request::Op::kSet: {
+        // Capacity cap (memcached "-M" semantics): the store never evicts,
+        // so a client churning unique keys must hit an error, not OOM the
+        // server. The count is approximate (relaxed), which only blurs the
+        // cap by a few in-flight requests.
+        if (server->curr_items_.load(std::memory_order_relaxed) >=
+            static_cast<std::int64_t>(server->config_.store.max_items)) {
+          // An overwrite of an existing key would not grow the store, but
+          // distinguishing it here would race anyway; at the cap, sets fail.
+          Bump(&Counters::rejected_sets);
+          if (!req.noreply) {
+            conn->out += "SERVER_ERROR out of memory storing object\r\n";
+          }
+          break;
+        }
+        std::uint8_t image[kKvsValueBytes];
+        EncodeStoreValue(req.flags, req.value.data(), req.value.size(), image);
+        if (server->store_->Set(HashProtocolKey(req.key), image)) {
+          server->curr_items_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!req.noreply) {
+          conn->out += kProtoStored;
+        }
+        break;
+      }
+      case Request::Op::kDelete: {
+        const bool hit = server->store_->Delete(HashProtocolKey(req.key));
+        if (hit) {
+          server->curr_items_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        if (!req.noreply) {
+          conn->out += hit ? kProtoDeleted : kProtoNotFound;
+        }
+        break;
+      }
+      case Request::Op::kStats: {
+        const ServerStats stats = server->Stats();
+        // The store snapshot is not a consistent cut (each shard counter is
+        // read lock-free at its own instant), so derived differences clamp
+        // at zero instead of underflowing to ~2^64 under concurrent load.
+        const auto minus = [](std::uint64_t a, std::uint64_t b) {
+          return a > b ? a - b : 0;
+        };
+        AppendStatReply("cmd_get", stats.store.gets, &conn->out);
+        AppendStatReply("get_hits", stats.store.get_hits, &conn->out);
+        AppendStatReply("get_misses", minus(stats.store.gets, stats.store.get_hits),
+                        &conn->out);
+        AppendStatReply("cmd_set", stats.store.sets, &conn->out);
+        AppendStatReply("cmd_delete", stats.store.deletes, &conn->out);
+        AppendStatReply("delete_hits", stats.store.delete_hits, &conn->out);
+        AppendStatReply("curr_items_approx", stats.curr_items, &conn->out);
+        AppendStatReply("rejected_sets", stats.rejected_sets, &conn->out);
+        AppendStatReply("max_items",
+                        static_cast<std::uint64_t>(server->config_.store.max_items),
+                        &conn->out);
+        AppendStatReply("total_connections", stats.connections_accepted, &conn->out);
+        AppendStatReply("cmd_total", stats.requests, &conn->out);
+        AppendStatReply("protocol_errors", stats.protocol_errors, &conn->out);
+        AppendStatReply("bytes_read", stats.bytes_in, &conn->out);
+        AppendStatReply("bytes_written", stats.bytes_out, &conn->out);
+        AppendStatReply("threads", static_cast<std::uint64_t>(server->config_.workers),
+                        &conn->out);
+        conn->out += kProtoEnd;
+        break;
+      }
+      case Request::Op::kVersion:
+        conn->out += "VERSION ssyncd/1.0-";
+        conn->out += ToString(server->config_.lock);
+        conn->out += "\r\n";
+        break;
+      case Request::Op::kQuit:
+        conn->closing = true;
+        break;
+    }
+  }
+
+  // Drains every parseable request buffered on the connection (pipelining:
+  // one read may carry many requests; responses batch into one write).
+  void ProcessRequests(Connection* conn) {
+    Request req;
+    std::string error_reply;
+    while (!conn->closing) {
+      const RequestParser::Status status = conn->parser.Next(&req, &error_reply);
+      if (status == RequestParser::Status::kNeedMore) {
+        break;
+      }
+      if (status == RequestParser::Status::kError) {
+        conn->out += error_reply;
+        Bump(&Counters::protocol_errors);
+        if (conn->parser.broken()) {
+          conn->closing = true;
+        }
+        continue;
+      }
+      Bump(&Counters::requests);
+      Execute(req, conn);
+    }
+  }
+
+  // Returns false if the connection was closed.
+  bool HandleRead(Connection* conn) {
+    char buf[kReadChunk];
+    for (;;) {
+      if (conn->pending_out() > kMaxPendingOut) {
+        break;  // backpressure: Flush below disarms EPOLLIN until drained
+      }
+      const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (r > 0) {
+        Bump(&Counters::bytes_in, static_cast<std::uint64_t>(r));
+        conn->parser.Feed(buf, static_cast<std::size_t>(r));
+        ProcessRequests(conn);
+        if (static_cast<std::size_t>(r) < sizeof(buf)) {
+          break;  // socket very likely drained; level-triggering catches the rest
+        }
+        continue;
+      }
+      if (r < 0 && errno == EINTR) {
+        continue;
+      }
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      CloseConnection(conn);  // peer closed (r == 0) or hard error
+      return false;
+    }
+    return Flush(conn);
+  }
+
+  void AcceptReady() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return;  // EAGAIN (drained) or transient accept error; epoll re-arms
+      }
+      int one = 1;
+      (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      conns.emplace(fd, std::make_unique<Connection>(fd));
+      Bump(&Counters::accepted);
+    }
+  }
+};
+
+KvServer::KvServer(const ServerConfig& config) : config_(config) {
+  SSYNC_CHECK_GT(config_.workers, 0);
+}
+
+KvServer::~KvServer() { Stop(); }
+
+bool KvServer::Start(std::string* error) {
+  SSYNC_CHECK(!running_);
+  store_ = MakeKvStore(config_.lock, config_.store, LockTopology::Flat(config_.workers));
+  curr_items_.store(0, std::memory_order_relaxed);  // fresh store on restart
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid host address: " + config_.host;
+    return false;
+  }
+
+  port_ = config_.port;
+  workers_.clear();
+  for (int i = 0; i < config_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->server = this;
+    worker->index = i;
+
+    worker->listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (worker->listen_fd < 0) {
+      *error = Errno("socket");
+      workers_.clear();
+      return false;
+    }
+    int one = 1;
+    (void)setsockopt(worker->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    // Sharded accept: every worker binds its own listener to the same port;
+    // the kernel load-balances incoming connects across them.
+    if (setsockopt(worker->listen_fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      *error = Errno("setsockopt(SO_REUSEPORT)");
+      workers_.clear();
+      return false;
+    }
+    addr.sin_port = htons(port_);
+    if (bind(worker->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      *error = Errno("bind");
+      workers_.clear();
+      return false;
+    }
+    if (port_ == 0) {
+      // First worker resolved the ephemeral port; the rest bind to it.
+      sockaddr_in bound{};
+      socklen_t bound_len = sizeof(bound);
+      if (getsockname(worker->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+        *error = Errno("getsockname");
+        workers_.clear();
+        return false;
+      }
+      port_ = ntohs(bound.sin_port);
+    }
+    if (listen(worker->listen_fd, kListenBacklog) != 0) {
+      *error = Errno("listen");
+      workers_.clear();
+      return false;
+    }
+
+    worker->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    worker->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (worker->epoll_fd < 0 || worker->wake_fd < 0) {
+      *error = Errno("epoll_create1/eventfd");
+      workers_.clear();
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = worker->listen_fd;
+    if (epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->listen_fd, &ev) != 0 ||
+        (ev.data.fd = worker->wake_fd,
+         epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->wake_fd, &ev) != 0)) {
+      *error = Errno("epoll_ctl");
+      workers_.clear();
+      return false;
+    }
+    workers_.push_back(std::move(worker));
+  }
+
+  threads_.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    threads_.emplace_back([this, w = worker.get()] { WorkerLoop(*w); });
+  }
+  running_ = true;
+  return true;
+}
+
+void KvServer::Stop() {
+  if (!running_) {
+    return;
+  }
+  for (auto& worker : workers_) {
+    worker->stop.store(true, std::memory_order_release);
+    const std::uint64_t one = 1;
+    ssize_t ignored = ::write(worker->wake_fd, &one, sizeof(one));
+    (void)ignored;
+  }
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+  threads_.clear();
+  // Workers are joined (fully quiescent): drain the reclamation pipeline —
+  // a possibly-sealed batch first, then whatever was still retired.
+  // BeginReclaim acquires the LRU lock, and the queue locks index their
+  // per-thread nodes by Mem::ThreadId() — the caller's thread has no
+  // registered id, so borrow worker 0's (its owner is joined).
+  const int saved_tid = internal::g_native_thread_id;
+  internal::g_native_thread_id = 0;
+  store_->FinishReclaim();
+  store_->BeginReclaim();
+  store_->FinishReclaim();
+  internal::g_native_thread_id = saved_tid;
+  // Release the sockets now (the port frees immediately) but keep the worker
+  // objects so post-run Stats() still sees the final counter values.
+  for (auto& worker : workers_) {
+    if (worker->listen_fd >= 0) {
+      ::close(worker->listen_fd);
+      worker->listen_fd = -1;
+    }
+    if (worker->wake_fd >= 0) {
+      ::close(worker->wake_fd);
+      worker->wake_fd = -1;
+    }
+    if (worker->epoll_fd >= 0) {
+      ::close(worker->epoll_fd);
+      worker->epoll_fd = -1;
+    }
+  }
+  running_ = false;
+}
+
+ServerStats KvServer::Stats() const {
+  ServerStats total;
+  for (const auto& worker : workers_) {
+    total.connections_accepted +=
+        worker->counters.accepted.load(std::memory_order_relaxed);
+    total.requests += worker->counters.requests.load(std::memory_order_relaxed);
+    total.protocol_errors +=
+        worker->counters.protocol_errors.load(std::memory_order_relaxed);
+    total.rejected_sets +=
+        worker->counters.rejected_sets.load(std::memory_order_relaxed);
+    total.bytes_in += worker->counters.bytes_in.load(std::memory_order_relaxed);
+    total.bytes_out += worker->counters.bytes_out.load(std::memory_order_relaxed);
+  }
+  const std::int64_t items = curr_items_.load(std::memory_order_relaxed);
+  total.curr_items = items > 0 ? static_cast<std::uint64_t>(items) : 0;
+  if (store_ != nullptr) {
+    total.store = store_->Stats();
+  }
+  return total;
+}
+
+void KvServer::WorkerLoop(Worker& worker) {
+  // The queue locks inside the store index per-thread state by
+  // Mem::ThreadId(); workers take the dense ids [0, workers).
+  internal::g_native_thread_id = worker.index;
+
+  // Reclaimer state (worker 0 only): epochs snapshotted at the last
+  // BeginReclaim; empty when no grace period is in flight.
+  std::vector<std::uint64_t> reclaim_snapshot;
+
+  epoll_event events[kEpollBatch];
+  while (!worker.stop.load(std::memory_order_acquire)) {
+    // Quiescent point: no store pointers are live across this line. The
+    // finite timeout keeps idle workers' epochs advancing so a grace period
+    // always terminates.
+    worker.epoch.fetch_add(1, std::memory_order_release);
+    if (worker.index == 0) {
+      if (reclaim_snapshot.empty()) {
+        // Only seal when something was retired since the last cycle: this
+        // check is lock-free, BeginReclaim's LRU-lock acquisition is not —
+        // quiet passes must not add contention to the very lock the server
+        // experiment measures.
+        if (store_->HasRetired()) {
+          store_->BeginReclaim();
+          reclaim_snapshot.reserve(workers_.size());
+          for (const auto& w : workers_) {
+            reclaim_snapshot.push_back(w->epoch.load(std::memory_order_acquire));
+          }
+        }
+      } else {
+        bool all_advanced = true;
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+          all_advanced = all_advanced &&
+                         workers_[i]->epoch.load(std::memory_order_acquire) >
+                             reclaim_snapshot[i];
+        }
+        if (all_advanced) {
+          store_->FinishReclaim();
+          reclaim_snapshot.clear();
+        }
+      }
+    }
+    const int n = epoll_wait(worker.epoll_fd, events, kEpollBatch, 100);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == worker.wake_fd) {
+        std::uint64_t drain = 0;
+        ssize_t ignored = ::read(worker.wake_fd, &drain, sizeof(drain));
+        (void)ignored;
+        continue;
+      }
+      if (fd == worker.listen_fd) {
+        worker.AcceptReady();
+        continue;
+      }
+      const auto it = worker.conns.find(fd);
+      if (it == worker.conns.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Connection* conn = it->second.get();
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        worker.CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0 && !worker.HandleRead(conn)) {
+        continue;  // connection closed
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        worker.Flush(conn);
+      }
+    }
+    // Now that no stale event can reference them, release closed
+    // connections (frees their fd numbers for reuse).
+    worker.pending_close.clear();
+  }
+  worker.conns.clear();
+  worker.pending_close.clear();
+}
+
+}  // namespace ssync

@@ -1,0 +1,99 @@
+// ssyncd: a multi-threaded, epoll-based TCP key-value server over the kvs
+// store — the paper's Memcached experiment (Section 6.4) promoted from a
+// modeled per-request cost to a real network server.
+//
+// Architecture (per docs/ARCHITECTURE.md, "Server layer"):
+//   * N worker threads, each a self-contained event loop: its own epoll
+//     instance, its own listening socket bound with SO_REUSEPORT (the kernel
+//     shards incoming connects across workers — "sharded accept", no shared
+//     accept lock), and its own connection table. A connection lives on one
+//     worker for its whole life, so connection state needs no locking.
+//   * One shared KvStore (Kvs<NativeMem, Lock>): all cross-thread
+//     synchronization happens inside the store, under the lock algorithm
+//     named by ServerConfig::lock — which is exactly the variable the
+//     Figure 12 experiment turns.
+//   * Worker threads register dense ssync thread ids (the queue locks index
+//     their per-thread nodes with Mem::ThreadId()), so LockTopology::Flat
+//     (workers) covers every thread that touches the store.
+//
+// KvServer is usable embedded (tests, the kvs_server experiment — port 0
+// picks an ephemeral port) or standalone via the ssyncd binary.
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/locks/lock_common.h"
+#include "src/server/store.h"
+#include "src/util/cacheline.h"
+
+namespace ssync {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0: ephemeral — bound port via KvServer::port()
+  int workers = 4;
+  LockKind lock = LockKind::kMutex;
+  KvStoreConfig store;
+};
+
+// Aggregated across workers on demand; counters are per-worker-padded on the
+// hot path.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests = 0;         // parsed requests executed
+  std::uint64_t protocol_errors = 0;  // error replies sent
+  std::uint64_t rejected_sets = 0;    // refused at the capacity cap ("-M")
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t curr_items = 0;       // creates minus delete-hits (approx)
+  KvsStatsSnapshot store;
+};
+
+class KvServer {
+ public:
+  explicit KvServer(const ServerConfig& config);
+  ~KvServer();  // stops if still running
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  // Binds the listeners and launches the worker threads. Returns false (and
+  // fills *error) on any socket/epoll failure; the server is then inert.
+  bool Start(std::string* error);
+
+  // Idempotent: wakes every worker, closes all sockets, joins the threads.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  // The bound port (resolves ServerConfig::port == 0). Valid after Start().
+  std::uint16_t port() const { return port_; }
+
+  ServerStats Stats() const;
+
+ private:
+  struct Worker;
+
+  void WorkerLoop(Worker& worker);
+
+  ServerConfig config_;
+  std::unique_ptr<KvStore> store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  // Live item estimate (creates minus delete-hits, relaxed) backing the
+  // capacity cap: the store has no eviction, so sets beyond
+  // store.max_items are refused (memcached "-M" semantics).
+  std::atomic<std::int64_t> curr_items_{0};
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_SERVER_SERVER_H_

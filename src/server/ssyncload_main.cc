@@ -1,0 +1,66 @@
+// ssyncload — closed-loop load generator for ssyncd. See loadgen.h.
+//
+//   ssyncd --port=11311 --workers=4 --lock=MCS &
+//   ssyncload --port=11311 --connections=16 --ops=1000000
+//   ssyncload --port=11311 --duration_ms=10000 --audit   # history-checked run
+#include <cstdio>
+
+#include "src/server/loadgen.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace ssync;
+
+  Cli cli(argc, argv);
+  LoadGenConfig config;
+  config.host = cli.Str("host", "127.0.0.1", "server address");
+  config.port = static_cast<std::uint16_t>(cli.Int("port", 11311, "server port"));
+  config.connections =
+      static_cast<int>(cli.Int("connections", 8, "concurrent connections"));
+  config.threads = static_cast<int>(cli.Int("threads", 2, "client threads"));
+  config.pipeline =
+      static_cast<int>(cli.Int("pipeline", 16, "max in-flight requests per connection"));
+  config.total_ops = static_cast<std::uint64_t>(
+      cli.Int("ops", 100000, "operations to complete (ignored when --duration_ms set)"));
+  const std::int64_t duration_ms =
+      cli.Int("duration_ms", 0, "run for a wall-clock budget instead of an op count");
+  config.key_space = static_cast<int>(cli.Int("keys", 512, "private key space"));
+  config.shared_keys =
+      static_cast<int>(cli.Int("shared_keys", 64, "read-mostly shared keys"));
+  config.set_fraction = cli.Double("set_fraction", 0.30, "fraction of ops that set");
+  config.delete_fraction =
+      cli.Double("delete_fraction", 0.10, "fraction of ops that delete");
+  config.value_bytes = static_cast<int>(cli.Int("value_bytes", 20, "value size"));
+  config.seed = static_cast<std::uint64_t>(cli.Int("seed", 1, "workload seed"));
+  config.record_history =
+      cli.Bool("audit", false, "record per-op history and run the register checker");
+  cli.Finish();
+  if (duration_ms > 0) {
+    config.duration_ns = static_cast<std::uint64_t>(duration_ms) * 1000000;
+    config.total_ops = 0;
+  }
+
+  const LoadGenResult result = RunLoadGen(config);
+  if (!result.ok) {
+    std::fprintf(stderr, "ssyncload: FAILED: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "ops        %llu (%llu get / %llu set / %llu delete; %llu get hits)\n"
+      "throughput %.1f kops/s over %.2fs\n"
+      "latency    p50 %.1fus  p99 %.1fus  max %.1fus\n"
+      "errors     %llu protocol\n",
+      static_cast<unsigned long long>(result.ops),
+      static_cast<unsigned long long>(result.gets),
+      static_cast<unsigned long long>(result.sets),
+      static_cast<unsigned long long>(result.deletes),
+      static_cast<unsigned long long>(result.get_hits), result.kops, result.seconds,
+      result.p50_us, result.p99_us, result.max_us,
+      static_cast<unsigned long long>(result.protocol_errors));
+  if (config.record_history) {
+    std::printf("audit      %s\n", result.history.Summary().c_str());
+  }
+  const bool clean = result.protocol_errors == 0 &&
+                     (!config.record_history || result.history.ok());
+  return clean ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+#include "src/server/store.h"
+
+#include <utility>
+
+#include "src/core/mem_native.h"
+#include "src/locks/locks.h"
+
+namespace ssync {
+namespace {
+
+template <typename Lock>
+class KvStoreImpl final : public KvStore {
+ public:
+  KvStoreImpl(const KvStoreConfig& config, const LockTopology& topo)
+      : kvs_(MakeConfig(config), topo) {}
+
+  bool Get(std::uint64_t key, std::uint8_t* value_out) override {
+    return kvs_.Get(key, value_out);
+  }
+  std::size_t GetMulti(const std::uint64_t* keys, std::size_t n,
+                       std::uint8_t* values_out, bool* found_out) override {
+    return kvs_.GetMulti(keys, n, values_out, found_out);
+  }
+  bool Set(std::uint64_t key, const std::uint8_t* value) override {
+    return kvs_.Set(key, value);
+  }
+  bool Delete(std::uint64_t key) override { return kvs_.Delete(key); }
+  KvsStatsSnapshot Stats() const override { return kvs_.Stats(); }
+  bool HasRetired() const override { return kvs_.HasRetired(); }
+  void BeginReclaim() override { kvs_.BeginReclaim(); }
+  std::size_t FinishReclaim() override { return kvs_.FinishReclaim(); }
+
+ private:
+  static typename Kvs<NativeMem, Lock>::Config MakeConfig(const KvStoreConfig& c) {
+    typename Kvs<NativeMem, Lock>::Config config;
+    config.buckets = c.buckets;
+    config.max_items = c.max_items;
+    config.maintenance_interval = c.maintenance_interval;
+    config.maintenance_buckets = c.maintenance_buckets;
+    config.defer_free = c.defer_free;
+    return config;
+  }
+
+  Kvs<NativeMem, Lock> kvs_;
+};
+
+}  // namespace
+
+std::unique_ptr<KvStore> MakeKvStore(LockKind kind, const KvStoreConfig& config,
+                                     const LockTopology& topo) {
+  std::unique_ptr<KvStore> store;
+  WithLockType<NativeMem>(kind, [&]<typename Lock>() {
+    store = std::make_unique<KvStoreImpl<Lock>>(config, topo);
+  });
+  return store;
+}
+
+}  // namespace ssync

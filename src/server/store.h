@@ -1,0 +1,119 @@
+// The server-side face of the kvs layer.
+//
+// ssyncd keeps the epoll/server machinery in one translation unit by
+// type-erasing the lock template parameter behind `KvStore`: MakeKvStore()
+// instantiates Kvs<NativeMem, Lock> for the LockKind named at startup (the
+// same SSYNC_LOCK_LIST dispatch the benchmark harnesses use) and hands back
+// a uniform interface. One virtual call per store operation is noise next to
+// the syscalls surrounding it; the lock algorithms themselves run unmodified
+// inside Kvs.
+//
+// Protocol keys/values map onto the fixed-shape kvs items here:
+//   * string key -> FNV-1a 64-bit hash. The store never sees the key bytes,
+//     so two colliding keys would alias one item; at a realistic keyspace the
+//     64-bit birthday bound makes that negligible (~2^-20 at 100M keys), and
+//     the paper's workload never depends on key identity.
+//   * value -> one 64-byte item: [len:u8][flags:u32 LE][data:len][zero pad],
+//     so values up to kProtoMaxValueBytes (59) bytes ride in one item and the
+//     `get` reply can echo the exact bytes and flags that were set.
+#ifndef SRC_SERVER_STORE_H_
+#define SRC_SERVER_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/kvs/kvs.h"
+#include "src/locks/lock_common.h"
+#include "src/server/protocol.h"
+
+namespace ssync {
+
+// FNV-1a, the classic 64-bit fold over the key bytes.
+inline std::uint64_t HashProtocolKey(const char* key, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+inline std::uint64_t HashProtocolKey(const std::string& key) {
+  return HashProtocolKey(key.data(), key.size());
+}
+
+// Encodes flags + data into one kvs item image. data_len must be
+// <= kProtoMaxValueBytes (the protocol layer enforces it).
+inline void EncodeStoreValue(std::uint32_t flags, const char* data,
+                             std::size_t data_len,
+                             std::uint8_t out[kKvsValueBytes]) {
+  out[0] = static_cast<std::uint8_t>(data_len);
+  out[1] = static_cast<std::uint8_t>(flags);
+  out[2] = static_cast<std::uint8_t>(flags >> 8);
+  out[3] = static_cast<std::uint8_t>(flags >> 16);
+  out[4] = static_cast<std::uint8_t>(flags >> 24);
+  std::memcpy(out + 5, data, data_len);
+  std::memset(out + 5 + data_len, 0, kKvsValueBytes - 5 - data_len);
+}
+
+// Decodes an item image; returns false on a length byte no encoder writes
+// (an all-zero item or torn state — callers treat it as a miss).
+inline bool DecodeStoreValue(const std::uint8_t in[kKvsValueBytes],
+                             std::uint32_t* flags, const char** data,
+                             std::size_t* data_len) {
+  const std::size_t len = in[0];
+  if (len > kProtoMaxValueBytes) {
+    return false;
+  }
+  *flags = static_cast<std::uint32_t>(in[1]) | (static_cast<std::uint32_t>(in[2]) << 8) |
+           (static_cast<std::uint32_t>(in[3]) << 16) |
+           (static_cast<std::uint32_t>(in[4]) << 24);
+  *data = reinterpret_cast<const char*>(in + 5);
+  *data_len = len;
+  return true;
+}
+
+struct KvStoreConfig {
+  int buckets = 1024;
+  std::size_t max_items = 1 << 20;
+  int maintenance_interval = 50;  // Kvs::Config knobs, passed through
+  int maintenance_buckets = 64;
+  // Always forced on by the server: remote clients can race Get against
+  // Delete on one key, so victims must outlive any in-flight operation
+  // (Kvs grace-period reclamation; see kvs.h).
+  bool defer_free = true;
+};
+
+// Uniform store interface the server loop drives. All methods are
+// thread-safe (the locks live inside Kvs).
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual bool Get(std::uint64_t key, std::uint8_t* value_out) = 0;
+  // Batched lookup (one LRU pass; see Kvs::GetMulti). Returns hit count.
+  virtual std::size_t GetMulti(const std::uint64_t* keys, std::size_t n,
+                               std::uint8_t* values_out, bool* found_out) = 0;
+  // Returns true when the key was newly inserted (the server's capacity
+  // accounting counts creates against deletes).
+  virtual bool Set(std::uint64_t key, const std::uint8_t* value) = 0;
+  virtual bool Delete(std::uint64_t key) = 0;
+  virtual KvsStatsSnapshot Stats() const = 0;
+
+  // Grace-period reclamation passthrough (single reclaimer; see kvs.h):
+  // seal the retired batch, then free it once every worker has passed a
+  // quiescent point. HasRetired() is the lock-free "anything to do?" hint.
+  virtual bool HasRetired() const = 0;
+  virtual void BeginReclaim() = 0;
+  virtual std::size_t FinishReclaim() = 0;
+};
+
+// Instantiates the store for `kind` via the SSYNC_LOCK_LIST dispatch. `topo`
+// must cover every thread id that will touch the store (the server workers).
+std::unique_ptr<KvStore> MakeKvStore(LockKind kind, const KvStoreConfig& config,
+                                     const LockTopology& topo);
+
+}  // namespace ssync
+
+#endif  // SRC_SERVER_STORE_H_

@@ -1,0 +1,27 @@
+// Sanitizer build detection, one way for the whole tree.
+//
+// GCC announces instrumentation with __SANITIZE_ADDRESS__/__SANITIZE_THREAD__;
+// Clang exposes __has_feature(...). Code that must behave differently under a
+// sanitizer (the fiber layer's ASan stack-switch annotations, tests that
+// scale their workloads down) tests SSYNC_ASAN_ENABLED / SSYNC_TSAN_ENABLED
+// from here instead of hand-rolling the detection dance.
+#ifndef SRC_UTIL_SANITIZERS_H_
+#define SRC_UTIL_SANITIZERS_H_
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SSYNC_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SSYNC_ASAN_ENABLED 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define SSYNC_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SSYNC_TSAN_ENABLED 1
+#endif
+#endif
+
+#endif  // SRC_UTIL_SANITIZERS_H_

@@ -1,0 +1,310 @@
+// Table-driven tests for the ssyncd request parser (src/server/protocol.h):
+// malformed commands, oversized keys/values, partial reads across TCP
+// segment boundaries, and pipelined requests — all transport-free.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/server/store.h"
+
+namespace ssync {
+namespace {
+
+// Everything one Feed/Next drain produces, in order.
+struct Event {
+  enum class Kind { kRequest, kError };
+  Kind kind;
+  Request request;     // kRequest
+  std::string reply;   // kError: the error line to send
+};
+
+std::vector<Event> Drain(RequestParser& parser) {
+  std::vector<Event> events;
+  for (;;) {
+    Request request;
+    std::string error;
+    const RequestParser::Status status = parser.Next(&request, &error);
+    if (status == RequestParser::Status::kNeedMore) {
+      return events;
+    }
+    Event event;
+    if (status == RequestParser::Status::kRequest) {
+      event.kind = Event::Kind::kRequest;
+      event.request = std::move(request);
+    } else {
+      event.kind = Event::Kind::kError;
+      event.reply = std::move(error);
+    }
+    events.push_back(std::move(event));
+  }
+}
+
+// Feeds `wire` in `chunk`-sized segments and returns every event produced.
+// chunk == 0 feeds everything at once.
+std::vector<Event> Parse(const std::string& wire, std::size_t chunk = 0) {
+  RequestParser parser;
+  std::vector<Event> events;
+  if (chunk == 0) {
+    chunk = wire.size();
+  }
+  for (std::size_t off = 0; off < wire.size(); off += chunk) {
+    parser.Feed(wire.data() + off, std::min(chunk, wire.size() - off));
+    std::vector<Event> batch = Drain(parser);
+    events.insert(events.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+  }
+  return events;
+}
+
+TEST(Protocol, ParsesTheBasicCommands) {
+  const auto events = Parse(
+      "get alpha\r\n"
+      "set beta 7 0 5\r\nhello\r\n"
+      "delete beta\r\n"
+      "stats\r\n"
+      "version\r\n"
+      "quit\r\n");
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].request.op, Request::Op::kGet);
+  ASSERT_EQ(events[0].request.keys.size(), 1u);
+  EXPECT_EQ(events[0].request.keys[0], "alpha");
+  EXPECT_EQ(events[1].request.op, Request::Op::kSet);
+  EXPECT_EQ(events[1].request.key, "beta");
+  EXPECT_EQ(events[1].request.flags, 7u);
+  EXPECT_EQ(events[1].request.value, "hello");
+  EXPECT_FALSE(events[1].request.noreply);
+  EXPECT_EQ(events[2].request.op, Request::Op::kDelete);
+  EXPECT_EQ(events[2].request.key, "beta");
+  EXPECT_EQ(events[3].request.op, Request::Op::kStats);
+  EXPECT_EQ(events[4].request.op, Request::Op::kVersion);
+  EXPECT_EQ(events[5].request.op, Request::Op::kQuit);
+}
+
+TEST(Protocol, MultiGetAndNoreplyAndRepeatedSpaces) {
+  const auto events = Parse(
+      "get a  b   c\r\n"
+      "gets d\r\n"
+      "set k 0 0 2 noreply\r\nxy\r\n"
+      "delete k noreply\r\n");
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].request.keys, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(events[1].request.op, Request::Op::kGet);
+  EXPECT_TRUE(events[2].request.noreply);
+  EXPECT_EQ(events[2].request.value, "xy");
+  EXPECT_TRUE(events[3].request.noreply);
+}
+
+// The malformed-command table: each wire string must produce exactly one
+// error event with the expected reply prefix, and the parser must stay
+// usable (a valid command afterwards parses).
+struct MalformedCase {
+  const char* name;
+  std::string wire;
+  const char* reply_prefix;
+};
+
+class ProtocolMalformedTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(ProtocolMalformedTest, YieldsErrorThenRecovers) {
+  const MalformedCase& c = GetParam();
+  RequestParser parser;
+  const std::string wire = c.wire + "get ok\r\n";
+  parser.Feed(wire.data(), wire.size());
+  const auto events = Drain(parser);
+  ASSERT_EQ(events.size(), 2u) << c.name;
+  EXPECT_EQ(events[0].kind, Event::Kind::kError) << c.name;
+  EXPECT_EQ(events[0].reply.rfind(c.reply_prefix, 0), 0u)
+      << c.name << ": got reply " << events[0].reply;
+  EXPECT_EQ(events[1].kind, Event::Kind::kRequest) << c.name;
+  EXPECT_EQ(events[1].request.keys[0], "ok") << c.name;
+  EXPECT_FALSE(parser.broken()) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, ProtocolMalformedTest,
+    ::testing::Values(
+        MalformedCase{"unknown_command", "bogus foo\r\n", "ERROR"},
+        MalformedCase{"empty_line", "\r\n", "ERROR"},
+        MalformedCase{"get_without_keys", "get\r\n", "ERROR"},
+        MalformedCase{"bare_lf_line", "get x\n", "CLIENT_ERROR missing CR"},
+        MalformedCase{"set_missing_fields", "set k 0 0\r\n", "CLIENT_ERROR bad command"},
+        MalformedCase{"set_extra_fields", "set k 0 0 1 1 1\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"set_nonnumeric_bytes", "set k 0 0 abc\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"set_negative_bytes", "set k 0 0 -1\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"flags_overflow_u32", "set k 4294967296 0 1\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"delete_extra_junk", "delete k k2\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"key_with_control_char", std::string("get a\tb\r\n"),
+                      "CLIENT_ERROR invalid key"},
+        MalformedCase{"oversized_key",
+                      "get " + std::string(kProtoMaxKeyBytes + 1, 'x') + "\r\n",
+                      "CLIENT_ERROR invalid key"},
+        MalformedCase{"oversized_set_key",
+                      "set " + std::string(kProtoMaxKeyBytes + 1, 'x') + " 0 0 1\r\n",
+                      "CLIENT_ERROR invalid key"}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Protocol, OversizedValueConsumesDataAndReportsThenRecovers) {
+  const std::string big(kProtoMaxValueBytes + 1, 'v');
+  RequestParser parser;
+  const std::string wire = "set k 0 0 " + std::to_string(big.size()) + "\r\n" + big +
+                           "\r\nget after\r\n";
+  parser.Feed(wire.data(), wire.size());
+  const auto events = Drain(parser);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kError);
+  EXPECT_EQ(events[0].reply, "SERVER_ERROR object too large for cache\r\n");
+  // The data block was consumed whole: the pipelined get is not parsed out
+  // of the value bytes.
+  EXPECT_EQ(events[1].request.keys[0], "after");
+  EXPECT_FALSE(parser.broken());
+}
+
+TEST(Protocol, MaxSizedValueIsAccepted) {
+  const std::string max_value(kProtoMaxValueBytes, 'm');
+  const auto events =
+      Parse("set k 1 2 " + std::to_string(max_value.size()) + "\r\n" + max_value + "\r\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kRequest);
+  EXPECT_EQ(events[0].request.value, max_value);
+  EXPECT_EQ(events[0].request.exptime, 2u);
+}
+
+TEST(Protocol, BadDataChunkTerminatorResyncs) {
+  // Declared 3 bytes but the block does not end in CRLF where promised.
+  RequestParser parser;
+  const std::string wire = "set k 0 0 3\r\nabcdef\r\nget ok\r\n";
+  parser.Feed(wire.data(), wire.size());
+  const auto events = Drain(parser);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kError);
+  EXPECT_EQ(events[0].reply, "CLIENT_ERROR bad data chunk\r\n");
+  // The final get must still come through after resync.
+  EXPECT_EQ(events.back().kind, Event::Kind::kRequest);
+  EXPECT_EQ(events.back().request.keys[0], "ok");
+}
+
+TEST(Protocol, AbsurdDeclaredLengthBreaksTheConnection) {
+  RequestParser parser;
+  const std::string wire = "set k 0 0 99999999\r\n";
+  parser.Feed(wire.data(), wire.size());
+  const auto events = Drain(parser);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kError);
+  EXPECT_TRUE(parser.broken());
+  // A broken parser stays silent no matter what arrives.
+  parser.Feed("get x\r\n", 7);
+  EXPECT_TRUE(Drain(parser).empty());
+}
+
+TEST(Protocol, UnterminatedGiantLineBreaksTheConnection) {
+  RequestParser parser;
+  const std::string junk(kProtoMaxLineBytes + 2, 'j');  // no newline anywhere
+  parser.Feed(junk.data(), junk.size());
+  const auto events = Drain(parser);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kError);
+  EXPECT_TRUE(parser.broken());
+}
+
+TEST(Protocol, TooManyGetKeysIsAClientError) {
+  std::string wire = "get";
+  for (std::size_t i = 0; i < kProtoMaxGetKeys + 1; ++i) {
+    wire += " k" + std::to_string(i);
+  }
+  wire += "\r\n";
+  const auto events = Parse(wire);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kError);
+  EXPECT_EQ(events[0].reply.rfind("CLIENT_ERROR too many keys", 0), 0u);
+}
+
+// Partial reads: any segmentation of the wire bytes must parse identically.
+TEST(Protocol, SegmentedInputParsesIdentically) {
+  const std::string wire =
+      "set split 3 0 10\r\n0123456789\r\n"
+      "get split other\r\n"
+      "bogus\r\n"
+      "delete split\r\n";
+  const auto whole = Parse(wire);
+  for (const std::size_t chunk : {1u, 2u, 3u, 7u}) {
+    const auto events = Parse(wire, chunk);
+    ASSERT_EQ(events.size(), whole.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].kind, whole[i].kind) << "chunk=" << chunk << " i=" << i;
+      EXPECT_EQ(events[i].reply, whole[i].reply) << "chunk=" << chunk << " i=" << i;
+      EXPECT_EQ(events[i].request.op, whole[i].request.op)
+          << "chunk=" << chunk << " i=" << i;
+      EXPECT_EQ(events[i].request.value, whole[i].request.value)
+          << "chunk=" << chunk << " i=" << i;
+      EXPECT_EQ(events[i].request.keys, whole[i].request.keys)
+          << "chunk=" << chunk << " i=" << i;
+    }
+  }
+  ASSERT_EQ(whole.size(), 4u);
+  EXPECT_EQ(whole[0].request.value, "0123456789");
+}
+
+TEST(Protocol, DataBlockSplitAcrossManySegments) {
+  RequestParser parser;
+  const std::string head = "set k 0 0 6\r\n";
+  parser.Feed(head.data(), head.size());
+  EXPECT_TRUE(Drain(parser).empty());
+  parser.Feed("ab", 2);
+  EXPECT_TRUE(Drain(parser).empty());
+  parser.Feed("cdef", 4);
+  EXPECT_TRUE(Drain(parser).empty());  // still missing the CRLF
+  parser.Feed("\r", 1);
+  EXPECT_TRUE(Drain(parser).empty());
+  parser.Feed("\n", 1);
+  const auto events = Drain(parser);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].request.value, "abcdef");
+}
+
+TEST(Protocol, PipelinedRequestsDrainInOrder) {
+  std::string wire;
+  for (int i = 0; i < 50; ++i) {
+    wire += "set k" + std::to_string(i) + " 0 0 2\r\nv" + std::to_string(i % 10) +
+            "\r\nget k" + std::to_string(i) + "\r\n";
+  }
+  const auto events = Parse(wire);
+  ASSERT_EQ(events.size(), 100u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(events[2 * i].request.op, Request::Op::kSet);
+    EXPECT_EQ(events[2 * i].request.key, "k" + std::to_string(i));
+    EXPECT_EQ(events[2 * i + 1].request.op, Request::Op::kGet);
+  }
+}
+
+TEST(Protocol, ValueCodecRoundTrips) {
+  std::uint8_t image[kKvsValueBytes];
+  const std::string data = "exactly some bytes";
+  EncodeStoreValue(0xdeadbeef, data.data(), data.size(), image);
+  std::uint32_t flags = 0;
+  const char* out = nullptr;
+  std::size_t len = 0;
+  ASSERT_TRUE(DecodeStoreValue(image, &flags, &out, &len));
+  EXPECT_EQ(flags, 0xdeadbeefu);
+  EXPECT_EQ(std::string(out, len), data);
+  // An impossible length byte reads as a miss, never out-of-bounds.
+  image[0] = static_cast<std::uint8_t>(kProtoMaxValueBytes + 1);
+  EXPECT_FALSE(DecodeStoreValue(image, &flags, &out, &len));
+}
+
+TEST(Protocol, HashIsStableAndSpreads) {
+  EXPECT_EQ(HashProtocolKey("k1"), HashProtocolKey(std::string("k1")));
+  EXPECT_NE(HashProtocolKey("k1"), HashProtocolKey("k2"));
+  EXPECT_NE(HashProtocolKey("ab"), HashProtocolKey("ba"));
+}
+
+}  // namespace
+}  // namespace ssync
