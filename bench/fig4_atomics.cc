@@ -21,7 +21,7 @@ class Fig4Atomics final : public Experiment {
         "Paper: multi-sockets drop steeply beyond one core and again across "
         "sockets; single-sockets converge to a plateau. TAS is fastest on "
         "Niagara, FAI on Tilera.";
-    info.params = {DurationParam(400000)};
+    info.params = {DurationParam(400000), PlacementParam()};
     info.supports_native = true;
     return info;
   }

@@ -21,7 +21,7 @@ class Fig5LocksOne final : public Experiment {
         "Paper: order-of-magnitude collapse from 1 to 2+ cores on the "
         "multi-sockets; hierarchical locks lead on the Xeon; CLH/MCS most "
         "resilient; single-sockets hold up.";
-    info.params = {DurationParam(400000), SeedParam(17)};
+    info.params = {DurationParam(400000), SeedParam(17), PlacementParam()};
     info.supports_native = true;
     return info;
   }

@@ -21,7 +21,7 @@ class Fig7Locks512 final : public Experiment {
         "Paper: simple locks match or beat the queue locks; the ticket lock is "
         "the best overall on Opteron, Niagara and Tilera; the Xeon keeps strong "
         "intra-socket locality.";
-    info.params = {DurationParam(400000), SeedParam(23)};
+    info.params = {DurationParam(400000), SeedParam(23), PlacementParam()};
     info.supports_native = true;
     return info;
   }

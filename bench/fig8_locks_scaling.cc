@@ -23,7 +23,7 @@ class Fig8LocksScaling final : public Experiment {
         "Paper: single-sockets scale; multi-sockets are limited even at low "
         "contention. Each point: best-performing lock's throughput and its "
         "scalability over single-thread execution.";
-    info.params = {DurationParam(400000), SeedParam(29)};
+    info.params = {DurationParam(400000), SeedParam(29), PlacementParam()};
     info.supports_native = true;
     return info;
   }

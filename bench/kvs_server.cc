@@ -49,6 +49,7 @@ class KvsServerExperiment final : public Experiment {
         IntParam("conns", 8, "concurrent client connections", 1),
         IntParam("pipeline", 16, "in-flight requests per connection", 1),
         SeedParam(1),
+        PlacementParam(),
     };
     info.supports_sim = false;
     info.supports_native = true;
@@ -60,6 +61,8 @@ class KvsServerExperiment final : public Experiment {
     const int conns = static_cast<int>(ctx.params().Int("conns"));
     const int pipeline = static_cast<int>(ctx.params().Int("pipeline"));
     const auto seed = static_cast<std::uint64_t>(ctx.params().Int("seed"));
+    PlacementPolicy placement = PlacementPolicy::kNone;
+    SSYNC_CHECK(PlacementFromString(ctx.params().Str("placement"), &placement));
     const PlatformSpec& spec = ctx.platforms().front();
 
     const int host_cpus =
@@ -75,6 +78,7 @@ class KvsServerExperiment final : public Experiment {
         server_config.port = 0;
         server_config.workers = workers;
         server_config.lock = kind;
+        server_config.placement = placement;
         KvServer server(server_config);
         std::string error;
         Result r = ctx.NewResult(spec);

@@ -1,0 +1,90 @@
+// `topology`: the paper's packed-vs-scattered placement divergence
+// (Sections 5.4 and 6.1) measured on the real host. Sweeps lock kinds x
+// placement policies x thread counts on the native backend, with the host
+// geometry discovered from sysfs (src/platform/topology.h) stamped into
+// every result's JSON metadata — so numbers are comparable across machines.
+//
+//   ssyncbench topology                       # all placements, default locks
+//   ssyncbench topology --duration=5000000    # longer windows, less noise
+//
+// On a multi-socket or SMT host, `fill` (pack a socket first) and `scatter`
+// (round-robin across sockets) diverge for the hierarchical locks exactly as
+// the paper's Figure 5/7 analysis predicts; on a flat host (or the sysfs-less
+// CI fallback) every placement degenerates to the same identity order and
+// the experiment simply documents that in `host_topology`.
+#include <type_traits>
+
+#include "src/core/experiments.h"
+#include "src/harness/experiment.h"
+#include "src/harness/result_sink.h"
+#include "src/harness/sweeps.h"
+#include "src/platform/topology.h"
+
+namespace ssync {
+namespace {
+
+class TopologyExperiment final : public Experiment {
+ public:
+  ExperimentInfo Info() const override {
+    ExperimentInfo info;
+    info.name = "topology";
+    info.anchor = "Section 5.4 (host)";
+    info.order = 125;
+    info.summary = "host-topology placement sweep: lock kinds x fill/scatter/smt-pair";
+    info.expectation =
+        "Paper: locality dominates — packing a socket (fill) beats scattering "
+        "across sockets under contention, and hierarchical locks only help "
+        "when the cluster map matches the real geometry. Flat hosts show no "
+        "divergence.";
+    info.params = {DurationParam(2000000), SeedParam(41),
+                   {"locks", ParamSpec::Type::kInt, "1",
+                    "locks per point (1: extreme contention)", 1}};
+    info.supports_sim = false;
+    info.supports_native = true;
+    return info;
+  }
+
+  void Run(const RunContext& ctx, ResultSink& sink) const override {
+    const Cycles duration = static_cast<Cycles>(ctx.params().Int("duration"));
+    const auto seed = static_cast<std::uint64_t>(ctx.params().Int("seed"));
+    const int num_locks = static_cast<int>(ctx.params().Int("locks"));
+    constexpr PlacementPolicy kPolicies[] = {
+        PlacementPolicy::kFill, PlacementPolicy::kScatter, PlacementPolicy::kSmtPair};
+    for (const PlatformSpec& spec : ctx.platforms()) {
+      const TicketOptions topt = DefaultTicketOptions(spec);
+      // The flat/contended core set: TAS (collapses), TICKET (fair spinner),
+      // MCS (queue) — plus every hierarchical lock the discovered geometry
+      // enables (LocksForPlatform adds them only on multi-socket hosts).
+      std::vector<LockKind> kinds = {LockKind::kTas, LockKind::kTicket, LockKind::kMcs};
+      for (const LockKind kind : LocksForPlatform(spec)) {
+        if (IsHierarchical(kind)) {
+          kinds.push_back(kind);
+        }
+      }
+      for (const LockKind kind : kinds) {
+        for (const PlacementPolicy policy : kPolicies) {
+          for (const int threads : ThreadMarks(spec)) {
+            const StressResult res = ctx.WithRuntime(spec, [&](auto& rt) {
+              if constexpr (std::is_same_v<std::decay_t<decltype(rt)>, NativeRuntime>) {
+                rt.set_placement(policy);
+              }
+              return LockStress(rt, kind, topt, threads, num_locks, duration, seed);
+            });
+            Result r = ctx.NewResult(spec);
+            r.Param("lock", ToString(kind))
+                .Param("placement", ToString(policy))
+                .Param("threads", threads)
+                .Metric("mops", res.mops)
+                .Metric("ops", static_cast<double>(res.ops));
+            sink.Emit(r);
+          }
+        }
+      }
+    }
+  }
+};
+
+SSYNC_REGISTER_EXPERIMENT(TopologyExperiment);
+
+}  // namespace
+}  // namespace ssync

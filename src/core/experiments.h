@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "src/ccsim/types.h"
@@ -82,6 +83,28 @@ inline constexpr Cycles kLockStressPostReleasePause = 60;
 
 }  // namespace internal
 
+// Cluster map for `threads` workers as the runtime will actually place them
+// (PlannedCpu): the paper's Section 5.4 policy on the simulator, the active
+// PlacementPolicy on the native backend. Hierarchical locks built from this
+// see the placement they will really run under.
+template <typename Runtime>
+LockTopology RuntimeLockTopology(const Runtime& rt, int threads) {
+  if constexpr (std::is_same_v<Runtime, NativeRuntime>) {
+    if (rt.placement() == PlacementPolicy::kNone) {
+      // Unpinned native threads migrate freely, so a socket-derived cluster
+      // map would describe a placement nobody enforces; a flat single-cluster
+      // map is the honest description (mirroring the server layer's unpinned
+      // workers).
+      return LockTopology::Flat(threads);
+    }
+  }
+  std::vector<CpuId> cpus(threads);
+  for (int tid = 0; tid < threads; ++tid) {
+    cpus[tid] = rt.PlannedCpu(tid);
+  }
+  return LockTopology::FromSpec(rt.spec(), cpus);
+}
+
 template <typename Runtime>
 StressResult AtomicStress(Runtime& rt, AtomicStressOp op, int threads, Cycles duration) {
   using Mem = typename Runtime::Mem;
@@ -144,7 +167,7 @@ StressResult LockStress(Runtime& rt, LockKind kind, const TicketOptions& ticket_
                         int threads, int num_locks, Cycles duration, std::uint64_t seed) {
   using Mem = typename Runtime::Mem;
   const PlatformSpec& spec = rt.spec();
-  const LockTopology topo = LockTopology::ForPlatform(spec, threads);
+  const LockTopology topo = RuntimeLockTopology(rt, threads);
   StressResult result;
 
   WithLockType<Mem>(kind, [&]<typename L>() {
@@ -235,8 +258,7 @@ template <typename Runtime>
 double TicketAcquireReleaseLatency(Runtime& rt, const TicketOptions& options,
                                    int threads, int rounds_per_thread) {
   using Mem = typename Runtime::Mem;
-  const PlatformSpec& spec = rt.spec();
-  const LockTopology topo = LockTopology::ForPlatform(spec, threads);
+  const LockTopology topo = RuntimeLockTopology(rt, threads);
   TicketLock<Mem> lock(topo, options);
   rt.PlaceData(&lock, sizeof(lock), 0);
 

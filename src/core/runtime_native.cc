@@ -8,11 +8,6 @@
 
 #include "src/util/check.h"
 
-#if defined(__linux__)
-#include <pthread.h>
-#include <sched.h>
-#endif
-
 namespace ssync {
 namespace internal {
 
@@ -32,19 +27,6 @@ struct ParkSlot {
 };
 
 ParkSlot g_park_slots[kMaxNativeThreads];
-
-void PinToCpu(CpuId cpu) {
-#if defined(__linux__)
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(static_cast<int>(cpu) % CPU_SETSIZE, &set);
-  // Best effort: on failure (e.g. a restricted cpuset) the thread simply runs
-  // unpinned, which only blurs the measurement, never the result.
-  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
-#else
-  (void)cpu;
-#endif
-}
 
 }  // namespace
 
@@ -90,12 +72,24 @@ void NativeRuntime::RunInternal(int threads, const std::vector<CpuId>* cpus,
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  const bool place = cpus == nullptr && placement_ != PlacementPolicy::kNone;
   for (int tid = 0; tid < threads; ++tid) {
-    const CpuId cpu = cpus != nullptr ? (*cpus)[tid] : CpuId{-1};
-    workers.emplace_back([&ready, &go, fn, tid, cpu] {
+    // Dense CpuId to pin to: explicit (RunOnCpus), from the active placement
+    // policy, or none (-1, unpinned — the OS scheduler decides).
+    CpuId dense = cpus != nullptr ? (*cpus)[tid] : (place ? PlannedCpu(tid) : -1);
+    if (dense >= spec_.num_cpus) {
+      dense %= spec_.num_cpus;  // oversubscription wraps, as CpuForThread does
+    }
+    // Affinity wants the kernel cpu number: under a restricted cpuset the
+    // dense ids enumerate the *allowed* cpus, so pinning lands inside the
+    // mask instead of silently failing pthread_setaffinity_np.
+    const int os_cpu = dense >= 0 ? spec_.OsCpuOf(dense) : -1;
+    workers.emplace_back([&ready, &go, fn, tid, os_cpu] {
       internal::g_native_thread_id = tid;
-      if (cpu >= 0) {
-        internal::PinToCpu(cpu);
+      if (os_cpu >= 0) {
+        // Best effort: on failure the thread simply runs unpinned, which
+        // only blurs the measurement, never the result.
+        (void)PinThreadToOsCpu(os_cpu);
       }
       ready.fetch_add(1, std::memory_order_release);
       while (!go.load(std::memory_order_acquire)) {

@@ -12,11 +12,15 @@
 //   Cycles last_duration() const;         // duration of the last run
 //   void PlaceData(p, bytes, tid);        // data placement hint (no-op here)
 //   CpuId CpuOfThread(tid) const;
+//   CpuId PlannedCpu(tid) const;          // placement before the run starts
 //
 // On this backend a "cycle" is a nanosecond of wall time (the native host
 // spec runs at 1.0 GHz), durations are enforced with a timer thread flipping
-// NativeMem::ShouldStop(), and RunOnCpus pins threads with CPU affinity where
-// the OS supports it.
+// NativeMem::ShouldStop(), and threads are pinned with CPU affinity where the
+// OS supports it: always for RunOnCpus, and for the implicit entry points
+// whenever a PlacementPolicy other than kNone is set (set_placement). Dense
+// CpuIds map to kernel cpu numbers through spec().OsCpuOf, so pinning
+// respects the inherited cpuset (taskset, container limits).
 #ifndef SRC_CORE_RUNTIME_NATIVE_H_
 #define SRC_CORE_RUNTIME_NATIVE_H_
 
@@ -26,6 +30,7 @@
 
 #include "src/core/mem_native.h"
 #include "src/platform/spec.h"
+#include "src/platform/topology.h"
 
 namespace ssync {
 
@@ -58,16 +63,35 @@ class NativeRuntime {
   // spec's clock (host spec: nanoseconds).
   void RunForCycles(int threads, std::uint64_t duration, const std::function<void(int)>& fn);
 
-  // Explicit placement: thread tid is pinned to host cpu cpus[tid] when the
-  // platform supports affinity (Linux); elsewhere the list only sets the
-  // thread count.
+  // Explicit placement: thread tid is pinned to the host cpu backing dense
+  // CpuId cpus[tid] (spec().OsCpuOf — under a restricted cpuset the dense
+  // ids map to the allowed kernel cpus, not 0..n) when the platform supports
+  // affinity (Linux); elsewhere the list only sets the thread count.
   void RunOnCpus(const std::vector<CpuId>& cpus, const std::function<void(int)>& fn);
+
+  // Placement policy for the implicit-placement entry points (Run/RunFor/
+  // RunForCycles): kNone (default) leaves threads to the OS scheduler — the
+  // historical behavior; any other policy pins thread tid to
+  // PlacementCpus(spec, policy)[tid]. Orthogonal to RunOnCpus, which is
+  // always explicit.
+  void set_placement(PlacementPolicy policy) {
+    placement_ = policy;
+    placement_cpus_ = PlacementCpus(spec_, policy, spec_.num_cpus);
+  }
+  PlacementPolicy placement() const { return placement_; }
 
   // Wall-clock duration of the last Run/RunFor*, in cycles of the spec's
   // clock (host spec: nanoseconds).
   std::uint64_t last_duration() const { return last_duration_; }
 
-  CpuId CpuOfThread(int tid) const { return tid; }
+  // The cpu thread tid will run on under the active placement policy (valid
+  // before any run — LockStress builds its cluster map from this). With
+  // kNone threads are unpinned, so this is the nominal identity placement.
+  CpuId PlannedCpu(int tid) const {
+    return placement_cpus_.empty() ? tid % spec_.num_cpus
+                                   : placement_cpus_[tid % spec_.num_cpus];
+  }
+  CpuId CpuOfThread(int tid) const { return PlannedCpu(tid); }
 
   // Placement hint: on real hardware first-touch policy applies; nothing to
   // do.
@@ -78,6 +102,8 @@ class NativeRuntime {
                    const std::function<void(int)>& fn);
 
   PlatformSpec spec_;
+  PlacementPolicy placement_ = PlacementPolicy::kNone;
+  std::vector<CpuId> placement_cpus_;  // full dense-cpu permutation; empty: kNone
   std::uint64_t last_duration_ = 0;
 };
 

@@ -62,6 +62,11 @@ class SimRuntime {
 
   CpuId CpuOfThread(int tid) const { return thread_to_cpu_[tid]; }
 
+  // The cpu thread tid WILL run on in the next default-placement Run (valid
+  // before any run — LockStress builds its cluster map from this). The
+  // simulator always places per the paper's Section 5.4 policy.
+  CpuId PlannedCpu(int tid) const { return machine_.spec().CpuForThread(tid); }
+
   // Pre-places the cache line(s) of [p, p+bytes) on the memory node of the
   // given thread (the paper allocates shared data from the first
   // participating node).

@@ -20,6 +20,8 @@
 #include "src/harness/params.h"
 #include "src/harness/result.h"
 #include "src/platform/spec.h"
+#include "src/platform/topology.h"
+#include "src/util/check.h"
 
 namespace ssync {
 
@@ -68,13 +70,22 @@ class RunContext {
 
   // A Result pre-stamped with this run's identity and configuration (the
   // resolved parameter set rides along so JSON output records what produced
-  // each point).
+  // each point). Native results additionally carry the discovered host
+  // geometry (host_cpus/host_sockets/...), so numbers are comparable across
+  // machines and a worker-cap clamp (host_allowed_cpus > host_cpus) is
+  // visible in the data itself.
   Result NewResult(const PlatformSpec& spec) const {
     Result r(experiment_name_, ToString(backend_), spec.name);
     // Numeric and boolean values are re-rendered from their parsed form, not
     // echoed as typed: strtoll/strtod accept spellings ("+5", ".5", "yes")
     // that are not valid JSON literals.
     for (const ParamSet::Entry& entry : params_.Entries()) {
+      // Placement is a native-backend knob; sim runs always place per the
+      // paper. Echoing it into sim rows would be misleading (and would shift
+      // the perf-gate row keys, which hash the full params object).
+      if (entry.name == "placement" && backend_ != Backend::kNative) {
+        continue;
+      }
       switch (entry.type) {
         case ParamSpec::Type::kInt:
           r.Config(entry.name, std::to_string(params_.Int(entry.name)), /*raw=*/true);
@@ -94,6 +105,14 @@ class RunContext {
           break;
       }
     }
+    if (spec.kind == PlatformKind::kNative) {
+      r.Config("host_cpus", std::to_string(spec.num_cpus), /*raw=*/true);
+      r.Config("host_allowed_cpus", std::to_string(spec.host_allowed_cpus),
+               /*raw=*/true);
+      r.Config("host_sockets", std::to_string(spec.num_sockets), /*raw=*/true);
+      r.Config("host_smt", std::to_string(spec.cpus_per_core), /*raw=*/true);
+      r.Config("host_topology", spec.topology_source, /*raw=*/false);
+    }
     return r;
   }
 
@@ -104,10 +123,20 @@ class RunContext {
   //   const StressResult res = ctx.WithRuntime(spec, [&](auto& rt) {
   //     return LockStress(rt, kind, topt, threads, locks, duration, seed);
   //   });
+  // When the experiment declares the shared --placement parameter
+  // (PlacementParam()), native runtimes come with the requested policy
+  // applied; simulated runs always place per the paper's Section 5.4 policy.
   template <typename Fn>
   auto WithRuntime(const PlatformSpec& spec, Fn&& fn) const {
     if (backend_ == Backend::kNative) {
       NativeRuntime rt(spec);
+      if (params_.Has("placement")) {
+        PlacementPolicy policy = PlacementPolicy::kNone;
+        // Parse failure is unreachable: the value was validated against
+        // PlacementParam()'s choices before the run was planned.
+        SSYNC_CHECK(PlacementFromString(params_.Str("placement"), &policy));
+        rt.set_placement(policy);
+      }
       return fn(rt);
     }
     SimRuntime rt(spec);

@@ -1,7 +1,9 @@
 #include "src/harness/params.h"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "src/platform/topology.h"
 #include "src/util/check.h"
 
 namespace ssync {
@@ -21,6 +23,19 @@ ParamSpec RepsParam(std::int64_t def) {
 
 ParamSpec SeedParam(std::int64_t def) {
   return {"seed", ParamSpec::Type::kInt, std::to_string(def), "workload RNG seed"};
+}
+
+ParamSpec PlacementParam() {
+  ParamSpec spec;
+  spec.name = "placement";
+  spec.type = ParamSpec::Type::kString;
+  spec.def = "none";
+  spec.help =
+      "native thread placement: none (OS scheduler) | fill (pack a socket "
+      "first, paper 5.4) | scatter (round-robin sockets) | smt-pair "
+      "(hyperthread siblings first); sim runs always place per the paper";
+  spec.choices = PlacementNames();
+  return spec;
 }
 
 bool ParseInt(const std::string& text, std::int64_t* out) {
@@ -74,7 +89,9 @@ bool ValueParses(const ParamSpec& spec, const std::string& text) {
       return ParseDouble(text, &v);
     }
     case ParamSpec::Type::kString:
-      return true;
+      return spec.choices.empty() ||
+             std::find(spec.choices.begin(), spec.choices.end(), text) !=
+                 spec.choices.end();
     case ParamSpec::Type::kBool: {
       bool v;
       return ParseBool(text, &v);
@@ -124,6 +141,13 @@ bool ParamSet::Build(const std::vector<ParamSpec>& schema,
       if (spec->type == ParamSpec::Type::kInt) {
         *error += " >= " + std::to_string(spec->min_int);
       }
+      if (spec->type == ParamSpec::Type::kString && !spec->choices.empty()) {
+        *error += " in {";
+        for (std::size_t i = 0; i < spec->choices.size(); ++i) {
+          *error += (i == 0 ? "" : ", ") + spec->choices[i];
+        }
+        *error += "}";
+      }
       *error += ", got '" + value + "'";
       return false;
     }
@@ -170,6 +194,15 @@ std::vector<ParamSet::Entry> ParamSet::Entries() const {
     entries.push_back({spec.name, spec.type, values_.at(spec.name)});
   }
   return entries;
+}
+
+bool ParamSet::Has(const std::string& name) const {
+  for (const ParamSpec& s : schema_) {
+    if (s.name == name) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool ParamSet::Bool(const std::string& name) const {

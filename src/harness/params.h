@@ -25,6 +25,10 @@ struct ParamSpec {
   // a count/duration/seed, so negatives default to rejected — a typo like
   // --duration=-1 must not become a 2^64-cycle run via unsigned conversion.
   std::int64_t min_int = 0;
+  // Closed value set enforced for kString at validation time (empty: any
+  // string). Enum-like knobs (--placement) reject typos before anything
+  // runs, like malformed numbers do.
+  std::vector<std::string> choices = {};
 };
 
 // Schema entries shared by many experiments, so help strings and defaults
@@ -33,6 +37,10 @@ ParamSpec DurationParam(std::int64_t def);  // cycles per measured point
 ParamSpec RoundsParam(std::int64_t def, const std::string& help);
 ParamSpec RepsParam(std::int64_t def);
 ParamSpec SeedParam(std::int64_t def);
+// Native thread-placement policy (src/platform/topology.h): none | fill |
+// scatter | smt-pair. Declared by experiments whose native runs should honor
+// --placement; RunContext::WithRuntime applies it to the NativeRuntime.
+ParamSpec PlacementParam();
 
 // A validated, fully-defaulted set of parameter values. Getters check (via
 // SSYNC_CHECK) that the parameter exists with the requested type, so a typo
@@ -50,6 +58,11 @@ class ParamSet {
   double Double(const std::string& name) const;
   const std::string& Str(const std::string& name) const;
   bool Bool(const std::string& name) const;
+
+  // Whether the schema declares `name` at all (the getters CHECK-fail on
+  // undeclared parameters; shared consumers like WithRuntime's placement
+  // hook probe first).
+  bool Has(const std::string& name) const;
 
   // The resolved values in schema order, for embedding the run configuration
   // into emitted Results (so a JSON file records which --duration produced it).

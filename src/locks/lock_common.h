@@ -41,15 +41,30 @@ struct LockTopology {
     return t;
   }
 
-  // Topology matching the paper's placement of `threads` workers on `spec`.
-  static LockTopology ForPlatform(const PlatformSpec& spec, int threads) {
+  // Topology for workers at explicit cpu placements: thread tid runs on
+  // cpus[tid], its cluster is that cpu's socket. This is how the discovered
+  // native geometry reaches the hierarchical locks — the runtime's planned
+  // placement (fill/scatter/smt-pair, or the paper's default) supplies
+  // `cpus`, and spec.SocketOf consults the real per-cpu maps on the native
+  // backend (src/platform/topology.h).
+  static LockTopology FromSpec(const PlatformSpec& spec,
+                               const std::vector<CpuId>& cpus) {
     LockTopology t;
-    t.max_threads = threads;
-    t.cluster_of.resize(threads);
-    for (int tid = 0; tid < threads; ++tid) {
-      t.cluster_of[tid] = spec.SocketOf(spec.CpuForThread(tid));
+    t.max_threads = static_cast<int>(cpus.size());
+    t.cluster_of.resize(cpus.size());
+    for (std::size_t tid = 0; tid < cpus.size(); ++tid) {
+      t.cluster_of[tid] = spec.SocketOf(cpus[tid]);
     }
     return t;
+  }
+
+  // Topology matching the paper's placement of `threads` workers on `spec`.
+  static LockTopology ForPlatform(const PlatformSpec& spec, int threads) {
+    std::vector<CpuId> cpus(threads);
+    for (int tid = 0; tid < threads; ++tid) {
+      cpus[tid] = spec.CpuForThread(tid);
+    }
+    return FromSpec(spec, cpus);
   }
 };
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
+#include "src/platform/topology.h"
 #include "src/util/check.h"
 
 namespace ssync {
@@ -75,6 +75,9 @@ CpuId PlatformSpec::CpuForThread(int thread_index) const {
 NodeId PlatformSpec::MemNodeOf(CpuId cpu) const {
   if (kind == PlatformKind::kTilera) {
     return cpu;  // home slice == tile
+  }
+  if (!node_of_cpu.empty()) {
+    return node_of_cpu[cpu];  // native: the discovered NUMA node
   }
   return SocketOf(cpu);
 }
@@ -298,23 +301,11 @@ PlatformSpec MakeXeon2() {
 }
 
 PlatformSpec MakeNativeHost() {
-  PlatformSpec s;
-  s.kind = PlatformKind::kNative;
-  s.name = "native";
-  s.processors = "host CPU";
-  s.interconnect = "host";
-  s.memory = "host";
-  // One "cycle" on the native backend is one nanosecond of wall time:
-  // durations given in cycles convert 1:1, and MopsPerSec at 1.0 GHz turns
-  // ops-per-nanosecond into the same Mops/s unit the simulator reports.
-  s.ghz = 1.0;
-  // Clamped to the native runtime's worker cap (kMaxNativeThreads in
-  // src/core/runtime_native.h — the platform layer cannot include it).
-  s.num_cpus = std::clamp(static_cast<int>(std::thread::hardware_concurrency()), 1, 256);
-  s.cpus_per_core = 1;
-  s.cores_per_socket = s.num_cpus;
-  s.num_sockets = 1;
-  return s;
+  // Real geometry from sysfs + the allowed-cpu mask (flat fallback where
+  // unavailable), clamped to the native runtime's worker cap
+  // (kMaxNativeThreads in src/core/runtime_native.h — the platform layer
+  // cannot include it, so the cap is restated here).
+  return BuildNativeSpec(DiscoverHostTopology(), /*max_cpus=*/256);
 }
 
 PlatformSpec MakePlatform(PlatformKind kind) {
@@ -392,7 +383,8 @@ std::vector<DistanceCase> DistanceCases(const PlatformSpec& spec) {
     case PlatformKind::kXeon2:
       return {{"same die", 1}, {"one hop", spec.cores_per_socket}};
     case PlatformKind::kNative:
-      // The host's topology is not modeled; there are no distance cases.
+      // The host's latency classes are not calibrated (only its geometry is
+      // discovered); no distance cases are generated.
       return {};
   }
   SSYNC_CHECK(false);

@@ -119,9 +119,40 @@ struct PlatformSpec {
   bool has_owned_state = false;       // MOESI
   bool has_forward_state = false;     // MESIF
 
+  // --- Native host topology (src/platform/topology.h) ---
+  // Explicit per-cpu maps discovered from sysfs, indexed by dense CpuId.
+  // Empty on the simulated platforms, whose geometry is regular arithmetic;
+  // when filled (the native backend), they are authoritative for
+  // CoreOf/SocketOf/SmtOf/MemNodeOf — real machines intersected with a
+  // cpuset are irregular (a socket may contribute 6 cpus, another 2), which
+  // no cpus_per_core/cores_per_socket arithmetic can express.
+  std::vector<int> socket_of_cpu;
+  std::vector<int> core_of_cpu;  // dense global core index
+  std::vector<int> node_of_cpu;  // dense NUMA-node index
+  std::vector<int> smt_of_cpu;   // rank among the core's hardware threads
+  // Kernel cpu number backing each dense CpuId (sparse under taskset /
+  // container cpusets); what affinity pinning must use. Empty: identity.
+  std::vector<int> os_cpu;
+  // Native host metadata for experiment JSON: where the geometry came from
+  // ("sysfs" | "flat"; empty on simulated platforms), and the allowed-cpu
+  // count before the worker-cap clamp (num_cpus < host_allowed_cpus means
+  // the host was clamped).
+  std::string topology_source;
+  int host_allowed_cpus = 0;
+
   // --- Derived geometry helpers ---
-  int CoreOf(CpuId cpu) const { return cpu / cpus_per_core; }
-  int SocketOf(CpuId cpu) const { return CoreOf(cpu) / cores_per_socket; }
+  int CoreOf(CpuId cpu) const {
+    return core_of_cpu.empty() ? cpu / cpus_per_core : core_of_cpu[cpu];
+  }
+  int SocketOf(CpuId cpu) const {
+    return socket_of_cpu.empty() ? CoreOf(cpu) / cores_per_socket : socket_of_cpu[cpu];
+  }
+  // Hardware-thread rank within the cpu's core (0 = first strand).
+  int SmtOf(CpuId cpu) const {
+    return smt_of_cpu.empty() ? cpu % cpus_per_core : smt_of_cpu[cpu];
+  }
+  // The kernel cpu number to pin to for a dense CpuId.
+  int OsCpuOf(CpuId cpu) const { return os_cpu.empty() ? cpu : os_cpu[cpu]; }
   bool SameCore(CpuId a, CpuId b) const { return CoreOf(a) == CoreOf(b); }
   bool SameSocket(CpuId a, CpuId b) const { return SocketOf(a) == SocketOf(b); }
 
@@ -156,8 +187,11 @@ PlatformSpec MakeOpteron2();  // Section 8 small multi-socket
 PlatformSpec MakeXeon2();     // Section 8 small multi-socket
 
 // The host machine as a PlatformSpec, for experiments running on the native
-// backend: flat geometry (hardware_concurrency cpus, one socket), ghz = 1.0 so
-// that one "cycle" is one nanosecond of wall time. Never given to a Machine.
+// backend: the real geometry discovered from sysfs intersected with the
+// process's allowed-cpu mask (src/platform/topology.h), with a flat
+// single-socket fallback when sysfs is absent or SSYNC_FLAT_TOPOLOGY=1 is
+// set. ghz = 1.0 so that one "cycle" is one nanosecond of wall time. Never
+// given to a Machine.
 PlatformSpec MakeNativeHost();
 
 PlatformSpec MakePlatform(PlatformKind kind);

@@ -1,0 +1,420 @@
+#include "src/platform/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <tuple>
+
+#include "src/util/check.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ssync {
+namespace {
+
+// Reads a small sysfs attribute; returns false when absent/unreadable (the
+// signal that a cpu is offline or the tree is not a sysfs layout at all).
+bool ReadFileTrimmed(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) {
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r' ||
+                           text.back() == ' ' || text.back() == '\t')) {
+    text.pop_back();
+  }
+  *out = text;
+  return true;
+}
+
+bool ReadIntFile(const std::string& path, int* out) {
+  std::string text;
+  if (!ReadFileTrimmed(path, &text) || text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+// Largest cpu number a cpulist may name. Real machines top out orders of
+// magnitude below this; the cap keeps a corrupt or hostile range ("0-9e19")
+// from expanding into an unbounded loop at process startup.
+constexpr long kMaxCpuListEntry = 1 << 16;
+
+// Parses a kernel cpulist ("0-3,8,10-11") into cpu numbers. Malformed
+// fragments are skipped rather than fatal: a node list we cannot read only
+// costs memory-node fidelity, not the run.
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string range =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t dash = range.find('-');
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      const long v = std::strtol(range.c_str(), &end, 10);
+      if (end != range.c_str() && v >= 0 && v <= kMaxCpuListEntry) {
+        cpus.push_back(static_cast<int>(v));
+      }
+    } else {
+      const long lo = std::strtol(range.c_str(), &end, 10);
+      const bool lo_ok = end == range.c_str() + dash && lo >= 0;
+      const char* hi_text = range.c_str() + dash + 1;
+      const long hi = std::strtol(hi_text, &end, 10);
+      const bool hi_ok = end == range.c_str() + range.size() && end != hi_text;
+      if (lo_ok && hi_ok) {
+        for (long v = lo; v <= hi && v <= kMaxCpuListEntry; ++v) {
+          cpus.push_back(static_cast<int>(v));
+        }
+      }
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return cpus;
+}
+
+struct RawCpu {
+  int os_cpu = 0;
+  int package_id = 0;  // kernel ids: arbitrary, possibly sparse
+  int core_id = 0;     // unique only within a package
+  int node_id = -1;    // -1: no node directory claimed this cpu
+};
+
+int DefaultCpuCount() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+std::vector<int> AllowedCpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    std::vector<int> cpus;
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) {
+        cpus.push_back(cpu);
+      }
+    }
+    if (!cpus.empty()) {
+      return cpus;
+    }
+  }
+#endif
+  std::vector<int> cpus(static_cast<std::size_t>(DefaultCpuCount()));
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    cpus[i] = static_cast<int>(i);
+  }
+  return cpus;
+}
+
+HostTopology FlatHostTopology(const std::vector<int>& allowed) {
+  HostTopology topo;
+  topo.source = "flat";
+  topo.discovered = false;
+  const std::vector<int> cpus = allowed.empty() ? AllowedCpus() : allowed;
+  topo.cpus.reserve(cpus.size());
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    HostCpu cpu;
+    cpu.os_cpu = cpus[i];
+    cpu.core = static_cast<int>(i);
+    topo.cpus.push_back(cpu);
+  }
+  topo.num_cores = static_cast<int>(topo.cpus.size());
+  return topo;
+}
+
+HostTopology DiscoverHostTopology(const std::string& sysfs_root,
+                                  const std::vector<int>& allowed) {
+  std::vector<RawCpu> raw;
+  for (const int os_cpu : allowed) {
+    const std::string topo_dir =
+        sysfs_root + "/cpu/cpu" + std::to_string(os_cpu) + "/topology/";
+    RawCpu cpu;
+    cpu.os_cpu = os_cpu;
+    // An allowed cpu without readable topology files (offline, or no sysfs)
+    // is dropped; if that leaves nothing, the flat fallback below covers the
+    // full allowed set instead.
+    if (!ReadIntFile(topo_dir + "physical_package_id", &cpu.package_id) ||
+        !ReadIntFile(topo_dir + "core_id", &cpu.core_id)) {
+      continue;
+    }
+    raw.push_back(cpu);
+  }
+  if (raw.empty()) {
+    return FlatHostTopology(allowed);
+  }
+
+  // NUMA nodes: node<N>/cpulist claims cpus for node N. Nodes are optional
+  // (missing directory — some containers mount no /sys/devices/system/node);
+  // unclaimed cpus inherit their package as the memory node.
+  std::map<int, int> node_of_os_cpu;
+  for (int node = 0; node < 4096; ++node) {
+    std::string text;
+    if (!ReadFileTrimmed(sysfs_root + "/node/node" + std::to_string(node) + "/cpulist",
+                         &text)) {
+      // Node ids are contiguous from 0 in practice; stop at the first gap
+      // once at least one node was seen, but probe node0 vs node1 gaps
+      // conservatively by continuing only from 0.
+      if (node > 0) {
+        break;
+      }
+      continue;
+    }
+    for (const int cpu : ParseCpuList(text)) {
+      node_of_os_cpu[cpu] = node;
+    }
+  }
+
+  // Dense renumbering. Kernel package/node ids are arbitrary (and sparse
+  // under cpusets); cluster indices handed to the hierarchical locks must be
+  // dense [0, n).
+  std::set<int> packages;
+  for (const RawCpu& cpu : raw) {
+    packages.insert(cpu.package_id);
+  }
+  std::map<int, int> dense_package;
+  for (const int id : packages) {
+    dense_package[id] = static_cast<int>(dense_package.size());
+  }
+
+  std::map<std::pair<int, int>, int> dense_core;  // (package, core_id) -> core
+  std::map<int, int> dense_node;
+  HostTopology topo;
+  topo.source = "sysfs";
+  topo.discovered = true;
+  for (const RawCpu& cpu : raw) {
+    HostCpu out;
+    out.os_cpu = cpu.os_cpu;
+    out.socket = dense_package.at(cpu.package_id);
+    const auto core_key = std::make_pair(cpu.package_id, cpu.core_id);
+    const auto core_it = dense_core.find(core_key);
+    if (core_it == dense_core.end()) {
+      out.core = static_cast<int>(dense_core.size());
+      dense_core.emplace(core_key, out.core);
+    } else {
+      out.core = core_it->second;
+    }
+    const auto node_it = node_of_os_cpu.find(cpu.os_cpu);
+    const int raw_node = node_it == node_of_os_cpu.end() ? -cpu.package_id - 1
+                                                         : node_it->second;
+    const auto dense_it = dense_node.find(raw_node);
+    if (dense_it == dense_node.end()) {
+      out.node = static_cast<int>(dense_node.size());
+      dense_node.emplace(raw_node, out.node);
+    } else {
+      out.node = dense_it->second;
+    }
+    topo.cpus.push_back(out);
+  }
+
+  // Dense CpuId order: socket-major, then core, then kernel number — the
+  // kernel number tiebreak doubles as the SMT rank order (sibling strands
+  // are enumerated in kernel order).
+  std::sort(topo.cpus.begin(), topo.cpus.end(), [](const HostCpu& a, const HostCpu& b) {
+    return std::make_tuple(a.socket, a.core, a.os_cpu) <
+           std::make_tuple(b.socket, b.core, b.os_cpu);
+  });
+  std::map<int, int> strands_seen;  // core -> strands assigned so far
+  for (HostCpu& cpu : topo.cpus) {
+    cpu.smt = strands_seen[cpu.core]++;
+    topo.max_smt = std::max(topo.max_smt, cpu.smt + 1);
+  }
+  topo.num_sockets = static_cast<int>(packages.size());
+  topo.num_cores = static_cast<int>(dense_core.size());
+  topo.num_nodes = static_cast<int>(dense_node.size());
+  return topo;
+}
+
+HostTopology DiscoverHostTopology() {
+  const char* flat = std::getenv("SSYNC_FLAT_TOPOLOGY");
+  if (flat != nullptr && flat[0] != '\0' && std::string(flat) != "0") {
+    return FlatHostTopology(AllowedCpus());
+  }
+  return DiscoverHostTopology("/sys/devices/system", AllowedCpus());
+}
+
+PlatformSpec BuildNativeSpec(const HostTopology& topo, int max_cpus) {
+  PlatformSpec s;
+  s.kind = PlatformKind::kNative;
+  s.name = "native";
+  s.processors = "host CPU";
+  s.interconnect = "host";
+  s.memory = "host";
+  // One "cycle" on the native backend is one nanosecond of wall time:
+  // durations given in cycles convert 1:1, and MopsPerSec at 1.0 GHz turns
+  // ops-per-nanosecond into the same Mops/s unit the simulator reports.
+  s.ghz = 1.0;
+
+  const int allowed = static_cast<int>(topo.cpus.size());
+  s.host_allowed_cpus = allowed;
+  s.topology_source = topo.source;
+  s.num_cpus = std::clamp(allowed, 1, max_cpus);
+  if (allowed > max_cpus) {
+    // Once per process: a 300-cpu host silently measuring 256 workers would
+    // make cross-machine numbers incomparable without a trace.
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      std::fprintf(stderr,
+                   "ssync: host has %d allowed cpus but the native worker cap is %d; "
+                   "measuring the first %d (see host_allowed_cpus in JSON metadata)\n",
+                   allowed, max_cpus, max_cpus);
+    });
+  }
+
+  s.socket_of_cpu.resize(s.num_cpus);
+  s.core_of_cpu.resize(s.num_cpus);
+  s.node_of_cpu.resize(s.num_cpus);
+  s.smt_of_cpu.resize(s.num_cpus);
+  s.os_cpu.resize(s.num_cpus);
+  std::set<int> sockets;
+  std::set<int> cores;
+  int max_smt = 1;
+  for (int i = 0; i < s.num_cpus; ++i) {
+    const HostCpu& cpu = topo.cpus[i];
+    s.socket_of_cpu[i] = cpu.socket;
+    s.core_of_cpu[i] = cpu.core;
+    s.node_of_cpu[i] = cpu.node;
+    s.smt_of_cpu[i] = cpu.smt;
+    s.os_cpu[i] = cpu.os_cpu;
+    sockets.insert(cpu.socket);
+    cores.insert(cpu.core);
+    max_smt = std::max(max_smt, cpu.smt + 1);
+  }
+  // The arithmetic geometry fields are kept coherent for consumers that
+  // reason about shape (sweeps, LocksForPlatform) — the per-cpu maps above
+  // are authoritative for SocketOf/CoreOf/MemNodeOf.
+  s.num_sockets = std::max(1, static_cast<int>(sockets.size()));
+  s.cpus_per_core = max_smt;
+  s.cores_per_socket = std::max(
+      1, (static_cast<int>(cores.size()) + s.num_sockets - 1) / s.num_sockets);
+  return s;
+}
+
+const char* ToString(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kNone:
+      return "none";
+    case PlacementPolicy::kFill:
+      return "fill";
+    case PlacementPolicy::kScatter:
+      return "scatter";
+    case PlacementPolicy::kSmtPair:
+      return "smt-pair";
+  }
+  return "?";
+}
+
+bool PlacementFromString(const std::string& name, PlacementPolicy* out) {
+  if (name == "none") {
+    *out = PlacementPolicy::kNone;
+  } else if (name == "fill") {
+    *out = PlacementPolicy::kFill;
+  } else if (name == "scatter") {
+    *out = PlacementPolicy::kScatter;
+  } else if (name == "smt-pair") {
+    *out = PlacementPolicy::kSmtPair;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<std::string>& PlacementNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"none", "fill", "scatter", "smt-pair"};
+  return *names;
+}
+
+std::vector<CpuId> PlacementCpus(const PlatformSpec& spec, PlacementPolicy policy,
+                                 int threads) {
+  SSYNC_CHECK_GT(threads, 0);
+  const int n = spec.num_cpus;
+  std::vector<CpuId> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  switch (policy) {
+    case PlacementPolicy::kNone:
+      break;  // identity: the runtime leaves threads unpinned
+    case PlacementPolicy::kFill:
+      // Socket-major; within a socket one strand per core first, so SMT
+      // sharing starts only once the socket's cores are exhausted.
+      std::stable_sort(order.begin(), order.end(), [&](CpuId a, CpuId b) {
+        return std::make_tuple(spec.SocketOf(a), spec.SmtOf(a), spec.CoreOf(a)) <
+               std::make_tuple(spec.SocketOf(b), spec.SmtOf(b), spec.CoreOf(b));
+      });
+      break;
+    case PlacementPolicy::kSmtPair:
+      // Core-major: a core's hyperthread siblings come consecutively.
+      std::stable_sort(order.begin(), order.end(), [&](CpuId a, CpuId b) {
+        return std::make_tuple(spec.SocketOf(a), spec.CoreOf(a), spec.SmtOf(a)) <
+               std::make_tuple(spec.SocketOf(b), spec.CoreOf(b), spec.SmtOf(b));
+      });
+      break;
+    case PlacementPolicy::kScatter: {
+      // Round-robin across sockets, consuming each socket in fill order.
+      std::vector<std::vector<CpuId>> per_socket;
+      std::vector<CpuId> fill = PlacementCpus(spec, PlacementPolicy::kFill, n);
+      for (const CpuId cpu : fill) {
+        const int socket = spec.SocketOf(cpu);
+        if (socket >= static_cast<int>(per_socket.size())) {
+          per_socket.resize(socket + 1);
+        }
+        per_socket[socket].push_back(cpu);
+      }
+      order.clear();
+      std::vector<std::size_t> next(per_socket.size(), 0);
+      while (static_cast<int>(order.size()) < n) {
+        for (std::size_t s = 0; s < per_socket.size(); ++s) {
+          if (next[s] < per_socket[s].size()) {
+            order.push_back(per_socket[s][next[s]++]);
+          }
+        }
+      }
+      break;
+    }
+  }
+  std::vector<CpuId> cpus(static_cast<std::size_t>(threads));
+  for (int tid = 0; tid < threads; ++tid) {
+    cpus[tid] = order[tid % n];  // oversubscription wraps
+  }
+  return cpus;
+}
+
+bool PinThreadToOsCpu(int os_cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (os_cpu < 0 || os_cpu >= CPU_SETSIZE) {
+    return false;
+  }
+  CPU_SET(os_cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)os_cpu;
+  return false;
+#endif
+}
+
+}  // namespace ssync

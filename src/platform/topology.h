@@ -1,0 +1,118 @@
+// Host topology discovery and thread-placement policies for the native
+// backend.
+//
+// The paper's central claim is that synchronization scalability is chiefly a
+// property of hardware locality (Sections 4-5): crossing sockets, sharing SMT
+// siblings, and directory hops dominate lock behavior. The simulated machines
+// carry their geometry in PlatformSpec by construction; this module gives the
+// *host* the same treatment:
+//
+//   * DiscoverHostTopology() parses the real machine geometry from sysfs
+//     (/sys/devices/system/cpu/*/topology, /sys/devices/system/node),
+//     intersected with the process's allowed-cpu mask (sched_getaffinity), so
+//     runs under taskset/cpuset-restricted containers see exactly the cpus
+//     they may use. When sysfs is absent (non-Linux, stripped containers) or
+//     SSYNC_FLAT_TOPOLOGY=1 is set, it falls back to the historical flat
+//     single-socket geometry.
+//   * BuildNativeSpec() turns a HostTopology into the PlatformSpec that
+//     MakeNativeHost() returns, filling the explicit per-cpu maps
+//     (socket_of_cpu, core_of_cpu, ...) that SocketOf/MemNodeOf consult on
+//     the native backend — so LockTopology::FromSpec gives the hierarchical
+//     locks (HCLH, HTICKET, COHORT) true cluster maps on real hardware.
+//   * PlacementPolicy + PlacementCpus() define where worker threads land:
+//     `fill` packs a socket before moving on (the paper's Section 5.4
+//     policy), `scatter` round-robins across sockets, `smt-pair` packs
+//     hyperthread siblings first. NativeRuntime, the --placement experiment
+//     parameter, and ssyncd's worker pinning all consume this one function.
+#ifndef SRC_PLATFORM_TOPOLOGY_H_
+#define SRC_PLATFORM_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/platform/spec.h"
+
+namespace ssync {
+
+// One logical cpu of the host, after the allowed-mask intersection. Ids are
+// dense re-numberings (socket/core/node in [0, n)); os_cpu keeps the kernel's
+// number, which is sparse under a restricted cpuset.
+struct HostCpu {
+  int os_cpu = 0;  // kernel cpu number (what sched_setaffinity wants)
+  int socket = 0;  // dense physical-package index
+  int core = 0;    // dense global core index (not per-socket)
+  int node = 0;    // dense NUMA-node index
+  int smt = 0;     // rank among the core's hardware threads (0 = first)
+};
+
+struct HostTopology {
+  // Sorted socket-major, then core, then smt rank — so index i is the dense
+  // CpuId the native PlatformSpec and runtime use.
+  std::vector<HostCpu> cpus;
+  int num_sockets = 1;
+  int num_cores = 1;
+  int num_nodes = 1;
+  int max_smt = 1;          // widest hardware-thread sharing of any core
+  bool discovered = false;  // false: the flat fallback geometry
+  std::string source;       // "sysfs" | "flat"
+};
+
+// The cpus this process may run on, in kernel numbering: sched_getaffinity
+// on Linux, 0..hardware_concurrency-1 elsewhere. Never empty.
+std::vector<int> AllowedCpus();
+
+// Parses `sysfs_root` (layout of /sys/devices/system: cpu/cpu<N>/topology/*,
+// node/node<N>/cpulist), keeping only cpus in `allowed`. Returns the flat
+// fallback (discovered = false) when the tree is absent or no allowed cpu has
+// readable topology files. Separated from the real-sysfs entry point so the
+// parser is testable against canned fixture trees.
+HostTopology DiscoverHostTopology(const std::string& sysfs_root,
+                                  const std::vector<int>& allowed);
+
+// The real host: /sys/devices/system intersected with AllowedCpus().
+// SSYNC_FLAT_TOPOLOGY=1 forces the flat fallback (CI determinism).
+HostTopology DiscoverHostTopology();
+
+// A flat single-socket geometry over `allowed` (the pre-discovery behavior;
+// also what the fallback path returns).
+HostTopology FlatHostTopology(const std::vector<int>& allowed);
+
+// The PlatformSpec for a discovered host: kind = kNative, ghz = 1.0 (one
+// "cycle" is one nanosecond), per-cpu maps filled from `topo`, cpu count
+// clamped to `max_cpus` (kMaxNativeThreads at the MakeNativeHost call site;
+// the clamp is warned about once and recorded in spec.host_allowed_cpus).
+PlatformSpec BuildNativeSpec(const HostTopology& topo, int max_cpus);
+
+// --- Thread placement ------------------------------------------------------
+
+// Where the native backend puts worker threads (paper Section 5.4):
+//   kNone:    no pinning; the OS scheduler decides (historical behavior).
+//   kFill:    pack a socket before moving to the next, one hardware thread
+//             per core first — the paper's multi-socket placement.
+//   kScatter: round-robin across sockets — maximizes cross-socket traffic,
+//             the contrast case of the packed-vs-scattered divergence.
+//   kSmtPair: hyperthread siblings first — packs a core's strands before
+//             the next core (socket-major).
+enum class PlacementPolicy { kNone, kFill, kScatter, kSmtPair };
+
+const char* ToString(PlacementPolicy policy);
+bool PlacementFromString(const std::string& name, PlacementPolicy* out);
+// Accepted --placement spellings, in declaration order ("none", "fill",
+// "scatter", "smt-pair"). CLI surfaces validate against it.
+const std::vector<std::string>& PlacementNames();
+
+// The dense CpuIds for `threads` workers placed under `policy` on `spec`:
+// thread tid runs on the returned [tid]. Works for any spec (the simulated
+// machines use arithmetic geometry; the native spec uses its discovered
+// maps). Threads beyond spec.num_cpus wrap (oversubscription is tolerated on
+// the native backend). kNone yields the identity order.
+std::vector<CpuId> PlacementCpus(const PlatformSpec& spec, PlacementPolicy policy,
+                                 int threads);
+
+// Pins the calling thread to one kernel cpu. Best effort: returns false when
+// unsupported (non-Linux) or rejected (cpu outside the allowed mask).
+bool PinThreadToOsCpu(int os_cpu);
+
+}  // namespace ssync
+
+#endif  // SRC_PLATFORM_TOPOLOGY_H_

@@ -296,4 +296,12 @@ void AppendStatReply(const char* name, std::uint64_t value, std::string* out) {
   out->append(line, static_cast<std::size_t>(n));
 }
 
+void AppendStatReply(const char* name, const std::string& value, std::string* out) {
+  out->append("STAT ");
+  out->append(name);
+  out->append(" ");
+  out->append(value);
+  out->append("\r\n");
+}
+
 }  // namespace ssync

@@ -116,6 +116,7 @@ void AppendValueReply(const std::string& key, std::uint32_t flags, const char* d
 
 // Appends "STAT <name> <value>\r\n".
 void AppendStatReply(const char* name, std::uint64_t value, std::string* out);
+void AppendStatReply(const char* name, const std::string& value, std::string* out);
 
 }  // namespace ssync
 

@@ -73,6 +73,13 @@ struct KvServer::Worker {
   std::atomic<std::uint64_t> epoch{0};
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
 
+  // Placement outcome (set by WorkerLoop before serving; read by Stats()).
+  // os_cpu/socket are decided at Start() from the policy; `pinned` records
+  // whether the affinity call actually succeeded on this thread.
+  int os_cpu = -1;
+  int socket = -1;
+  std::atomic<bool> pinned{false};
+
   // Hot-path counters: padded per worker, relaxed atomics so Stats() can read
   // them from another thread.
   struct alignas(kCacheLineSize) Counters {
@@ -250,6 +257,23 @@ struct KvServer::Worker {
         AppendStatReply("bytes_written", stats.bytes_out, &conn->out);
         AppendStatReply("threads", static_cast<std::uint64_t>(server->config_.workers),
                         &conn->out);
+        // Worker placement: the policy and the worker -> cpu/socket map, so
+        // a remote operator can verify where the event loops actually run
+        // (cpu/socket are -1 when the policy leaves workers unpinned).
+        AppendStatReply("placement", std::string(ToString(stats.placement)),
+                        &conn->out);
+        for (const WorkerPlacement& wp : stats.worker_placements) {
+          char name[64];
+          std::snprintf(name, sizeof(name), "worker_%d_cpu", wp.worker);
+          AppendStatReply(name, std::to_string(wp.os_cpu), &conn->out);
+          std::snprintf(name, sizeof(name), "worker_%d_socket", wp.worker);
+          AppendStatReply(name, std::to_string(wp.socket), &conn->out);
+          // cpu/socket above are the *intended* placement; pinned records
+          // whether the affinity call actually took on the worker thread.
+          std::snprintf(name, sizeof(name), "worker_%d_pinned", wp.worker);
+          AppendStatReply(name, static_cast<std::uint64_t>(wp.pinned ? 1 : 0),
+                          &conn->out);
+        }
         conn->out += kProtoEnd;
         break;
       }
@@ -342,13 +366,26 @@ struct KvServer::Worker {
 
 KvServer::KvServer(const ServerConfig& config) : config_(config) {
   SSYNC_CHECK_GT(config_.workers, 0);
+  // Topology discovery (sysfs reads) only happens when a placement policy
+  // actually consumes it; the common unpinned server skips the cost.
+  if (config_.placement != PlacementPolicy::kNone) {
+    host_spec_ = MakeNativeHost();
+    worker_cpus_ = PlacementCpus(host_spec_, config_.placement, config_.workers);
+  }
 }
 
 KvServer::~KvServer() { Stop(); }
 
 bool KvServer::Start(std::string* error) {
   SSYNC_CHECK(!running_);
-  store_ = MakeKvStore(config_.lock, config_.store, LockTopology::Flat(config_.workers));
+  // Pinned workers hand the store's locks their true cluster map (worker i
+  // on the socket of its placement cpu) — this is what lets a hierarchical
+  // store lock exploit the real geometry. Unpinned workers float, so a flat
+  // single-cluster map is the honest description.
+  const LockTopology store_topo =
+      worker_cpus_.empty() ? LockTopology::Flat(config_.workers)
+                           : LockTopology::FromSpec(host_spec_, worker_cpus_);
+  store_ = MakeKvStore(config_.lock, config_.store, store_topo);
   curr_items_.store(0, std::memory_order_relaxed);  // fresh store on restart
 
   sockaddr_in addr{};
@@ -365,6 +402,11 @@ bool KvServer::Start(std::string* error) {
     auto worker = std::make_unique<Worker>();
     worker->server = this;
     worker->index = i;
+    if (!worker_cpus_.empty()) {
+      const CpuId dense = worker_cpus_[i];
+      worker->os_cpu = host_spec_.OsCpuOf(dense);
+      worker->socket = host_spec_.SocketOf(dense);
+    }
 
     worker->listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (worker->listen_fd < 0) {
@@ -479,6 +521,15 @@ void KvServer::Stop() {
 
 ServerStats KvServer::Stats() const {
   ServerStats total;
+  total.placement = config_.placement;
+  for (const auto& worker : workers_) {
+    WorkerPlacement wp;
+    wp.worker = worker->index;
+    wp.os_cpu = worker->os_cpu;
+    wp.socket = worker->socket;
+    wp.pinned = worker->pinned.load(std::memory_order_relaxed);
+    total.worker_placements.push_back(wp);
+  }
   for (const auto& worker : workers_) {
     total.connections_accepted +=
         worker->counters.accepted.load(std::memory_order_relaxed);
@@ -502,6 +553,12 @@ void KvServer::WorkerLoop(Worker& worker) {
   // The queue locks inside the store index per-thread state by
   // Mem::ThreadId(); workers take the dense ids [0, workers).
   internal::g_native_thread_id = worker.index;
+  if (worker.os_cpu >= 0) {
+    // Best effort, like the benchmark runtime: a failed pin (cpu yanked from
+    // the cpuset after Start) leaves the worker floating, visibly recorded
+    // as pinned=false in `stats`.
+    worker.pinned.store(PinThreadToOsCpu(worker.os_cpu), std::memory_order_relaxed);
+  }
 
   // Reclaimer state (worker 0 only): epochs snapshotted at the last
   // BeginReclaim; empty when no grace period is in flight.

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/locks/lock_common.h"
+#include "src/platform/topology.h"
 #include "src/server/store.h"
 #include "src/util/cacheline.h"
 
@@ -39,7 +40,20 @@ struct ServerConfig {
   std::uint16_t port = 0;  // 0: ephemeral — bound port via KvServer::port()
   int workers = 4;
   LockKind lock = LockKind::kMutex;
+  // Worker-thread placement over the discovered host topology
+  // (src/platform/topology.h): kNone leaves workers to the OS scheduler;
+  // fill/scatter/smt-pair pin worker i to PlacementCpus(host, policy)[i].
+  // The resulting worker -> cpu/socket map is reported by `stats`.
+  PlacementPolicy placement = PlacementPolicy::kNone;
   KvStoreConfig store;
+};
+
+// Where one worker thread landed under the configured placement policy.
+struct WorkerPlacement {
+  int worker = 0;
+  int os_cpu = -1;  // kernel cpu the worker was pinned to (-1: unpinned)
+  int socket = -1;  // its socket in the discovered topology (-1: unpinned)
+  bool pinned = false;  // affinity call succeeded
 };
 
 // Aggregated across workers on demand; counters are per-worker-padded on the
@@ -52,6 +66,8 @@ struct ServerStats {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t curr_items = 0;       // creates minus delete-hits (approx)
+  PlacementPolicy placement = PlacementPolicy::kNone;
+  std::vector<WorkerPlacement> worker_placements;  // one entry per worker
   KvsStatsSnapshot store;
 };
 
@@ -83,6 +99,11 @@ class KvServer {
   void WorkerLoop(Worker& worker);
 
   ServerConfig config_;
+  // The discovered host geometry and the dense CpuId each worker pins to —
+  // populated (MakeNativeHost) only when config_.placement pins; with kNone
+  // both stay empty/default and are never consulted.
+  PlatformSpec host_spec_;
+  std::vector<CpuId> worker_cpus_;
   std::unique_ptr<KvStore> store_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

@@ -33,12 +33,20 @@ int main(int argc, char** argv) {
   config.workers = static_cast<int>(cli.Int("workers", 4, "event-loop threads"));
   const std::string lock_name =
       cli.Str("lock", "MUTEX", "lock algorithm for the store (see ssyncbench --list)");
+  const std::string placement_name = cli.Str(
+      "placement", "none",
+      "worker placement over the host topology: none | fill | scatter | smt-pair");
   config.store.buckets =
       static_cast<int>(cli.Int("buckets", 1024, "hash-table buckets"));
   config.store.maintenance_interval = static_cast<int>(cli.Int(
       "maintenance_interval", 50, "global-lock maintenance pass every N sets"));
   cli.Finish();
   config.lock = LockKindFromString(lock_name);
+  if (!PlacementFromString(placement_name, &config.placement)) {
+    std::fprintf(stderr, "ssyncd: unknown placement '%s' (use none|fill|scatter|smt-pair)\n",
+                 placement_name.c_str());
+    return 2;
+  }
 
   KvServer server(config);
   std::string error;
@@ -46,9 +54,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ssyncd: %s\n", error.c_str());
     return 1;
   }
-  std::fprintf(stderr, "ssyncd: serving on %s:%u (%d workers, %s lock)\n",
+  std::fprintf(stderr, "ssyncd: serving on %s:%u (%d workers, %s lock, %s placement)\n",
                config.host.c_str(), server.port(), config.workers,
-               ToString(config.lock));
+               ToString(config.lock), ToString(config.placement));
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

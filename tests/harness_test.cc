@@ -137,6 +137,20 @@ TEST(ParamSetTest, RejectsMalformedValue) {
   EXPECT_NE(error.find("integer"), std::string::npos);
 }
 
+TEST(ParamSetTest, EnforcesStringChoices) {
+  ParamSet params;
+  std::string error;
+  // --placement is a closed set: typos are rejected with the choices listed.
+  EXPECT_FALSE(
+      ParamSet::Build({PlacementParam()}, {{"placement", "packed"}}, &params, &error));
+  EXPECT_NE(error.find("scatter"), std::string::npos);
+  ASSERT_TRUE(
+      ParamSet::Build({PlacementParam()}, {{"placement", "smt-pair"}}, &params, &error));
+  EXPECT_EQ(params.Str("placement"), "smt-pair");
+  EXPECT_TRUE(params.Has("placement"));
+  EXPECT_FALSE(params.Has("duration"));
+}
+
 // --- JSON schema -----------------------------------------------------------
 
 TEST(JsonSinkTest, GoldenLine) {

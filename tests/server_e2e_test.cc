@@ -142,6 +142,79 @@ TEST(ServerE2e, StatsVersionAndQuitOverARawSocket) {
   server.Stop();
 }
 
+// A placed server pins its workers over the discovered topology, hands the
+// store a socket-derived cluster map, serves traffic correctly, and reports
+// the full worker -> cpu/socket/pinned map through `stats`.
+TEST(ServerE2e, PlacedWorkersReportTheirMapAndServe) {
+  ServerConfig config;
+  config.workers = 2;
+  config.lock = LockKind::kCohort;  // hierarchical: consumes the cluster map
+  config.placement = PlacementPolicy::kFill;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval rcv_timeout{5, 0};
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout, sizeof(rcv_timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const auto exchange = [&](const std::string& wire, const std::string& terminator) {
+    EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    std::string reply;
+    char buf[4096];
+    while (reply.find(terminator) == std::string::npos) {
+      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+      if (r <= 0) {
+        break;
+      }
+      reply.append(buf, static_cast<std::size_t>(r));
+    }
+    return reply;
+  };
+
+  // The placed server still serves (the cluster map reached a working lock).
+  EXPECT_EQ(exchange("set placed 0 0 2\r\nok\r\n", "STORED\r\n"), "STORED\r\n");
+  EXPECT_EQ(exchange("get placed\r\n", "END\r\n"),
+            "VALUE placed 0 2\r\nok\r\nEND\r\n");
+  const std::string stats = exchange("stats\r\n", "END\r\n");
+  ::close(fd);
+
+  EXPECT_NE(stats.find("STAT placement fill\r\n"), std::string::npos) << stats;
+  // Every worker reports its intended cpu/socket and whether the pin took.
+  const ServerStats snapshot = server.Stats();
+  EXPECT_EQ(snapshot.placement, PlacementPolicy::kFill);
+  ASSERT_EQ(snapshot.worker_placements.size(), 2u);
+  for (int w = 0; w < 2; ++w) {
+    const WorkerPlacement& wp = snapshot.worker_placements[w];
+    EXPECT_EQ(wp.worker, w);
+    EXPECT_GE(wp.os_cpu, 0);   // fill always assigns a target cpu
+    EXPECT_GE(wp.socket, 0);
+    const std::string prefix = "STAT worker_" + std::to_string(w) + "_";
+    EXPECT_NE(stats.find(prefix + "cpu " + std::to_string(wp.os_cpu) + "\r\n"),
+              std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find(prefix + "socket " + std::to_string(wp.socket) + "\r\n"),
+              std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find(prefix + "pinned " + (wp.pinned ? "1" : "0") + "\r\n"),
+              std::string::npos)
+        << stats;
+    // On Linux the pin is expected to succeed (the target comes from the
+    // allowed-cpu mask by construction).
+#if defined(__linux__)
+    EXPECT_TRUE(wp.pinned) << "worker " << w << " failed to pin";
+#endif
+  }
+  server.Stop();
+}
+
 // The store never evicts, so the server must refuse new-item sets at the
 // capacity cap (memcached "-M" semantics) instead of letting a key-churning
 // client OOM it.

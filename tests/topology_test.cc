@@ -1,0 +1,354 @@
+// Host-topology discovery (src/platform/topology.h): table-driven parser
+// tests against canned sysfs fixture trees, placement-policy orderings, the
+// native PlatformSpec the discovery produces, and the LockTopology cluster
+// maps derived from it.
+#include "src/platform/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "src/locks/lock_common.h"
+
+namespace ssync {
+namespace {
+
+// A canned /sys/devices/system layout under the test temp dir. Each test
+// names its own subtree, so fixtures never collide.
+class FixtureTree {
+ public:
+  explicit FixtureTree(const std::string& name)
+      : root_(std::filesystem::path(testing::TempDir()) / ("ssync_topo_" + name)) {
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+
+  void AddCpu(int os_cpu, int package_id, int core_id) {
+    const std::filesystem::path dir =
+        root_ / "cpu" / ("cpu" + std::to_string(os_cpu)) / "topology";
+    std::filesystem::create_directories(dir);
+    Write(dir / "physical_package_id", std::to_string(package_id));
+    Write(dir / "core_id", std::to_string(core_id));
+  }
+
+  void AddNode(int node, const std::string& cpulist) {
+    const std::filesystem::path dir = root_ / "node" / ("node" + std::to_string(node));
+    std::filesystem::create_directories(dir);
+    Write(dir / "cpulist", cpulist);
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  static void Write(const std::filesystem::path& path, const std::string& text) {
+    std::ofstream f(path);
+    f << text << "\n";
+  }
+
+  std::filesystem::path root_;
+};
+
+std::vector<int> Iota(int n) {
+  std::vector<int> cpus(n);
+  for (int i = 0; i < n; ++i) {
+    cpus[i] = i;
+  }
+  return cpus;
+}
+
+// 2 sockets x 2 cores, no SMT, one NUMA node per socket. Kernel numbering
+// interleaves the sockets (cpu0/2 on package 0, cpu1/3 on package 1), as
+// several real machines do — the dense renumbering must sort it out.
+FixtureTree MakeTwoSocketTree(const std::string& name) {
+  FixtureTree tree(name);
+  tree.AddCpu(0, /*package=*/0, /*core=*/0);
+  tree.AddCpu(1, /*package=*/1, /*core=*/0);
+  tree.AddCpu(2, /*package=*/0, /*core=*/1);
+  tree.AddCpu(3, /*package=*/1, /*core=*/1);
+  tree.AddNode(0, "0,2");
+  tree.AddNode(1, "1,3");
+  return tree;
+}
+
+// 1 socket, 2 cores x 2 hardware threads; siblings are non-adjacent in
+// kernel numbering (cpu0+cpu2 share core 0), the common x86 enumeration.
+FixtureTree MakeSmtTree(const std::string& name) {
+  FixtureTree tree(name);
+  tree.AddCpu(0, 0, /*core=*/0);
+  tree.AddCpu(1, 0, /*core=*/1);
+  tree.AddCpu(2, 0, /*core=*/0);
+  tree.AddCpu(3, 0, /*core=*/1);
+  tree.AddNode(0, "0-3");
+  return tree;
+}
+
+TEST(TopologyDiscovery, TwoSocketTreeParses) {
+  const FixtureTree tree = MakeTwoSocketTree("two_socket");
+  const HostTopology topo = DiscoverHostTopology(tree.root(), Iota(4));
+  ASSERT_TRUE(topo.discovered);
+  EXPECT_EQ(topo.source, "sysfs");
+  ASSERT_EQ(topo.cpus.size(), 4u);
+  EXPECT_EQ(topo.num_sockets, 2);
+  EXPECT_EQ(topo.num_cores, 4);
+  EXPECT_EQ(topo.num_nodes, 2);
+  EXPECT_EQ(topo.max_smt, 1);
+  // Dense order is socket-major: socket 0 (kernel cpus 0, 2) first.
+  EXPECT_EQ(topo.cpus[0].os_cpu, 0);
+  EXPECT_EQ(topo.cpus[1].os_cpu, 2);
+  EXPECT_EQ(topo.cpus[2].os_cpu, 1);
+  EXPECT_EQ(topo.cpus[3].os_cpu, 3);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(topo.cpus[i].socket, i / 2) << i;
+    EXPECT_EQ(topo.cpus[i].node, i / 2) << i;  // node == socket here
+    EXPECT_EQ(topo.cpus[i].smt, 0) << i;
+  }
+}
+
+TEST(TopologyDiscovery, SmtSiblingsGetRanks) {
+  const FixtureTree tree = MakeSmtTree("smt");
+  const HostTopology topo = DiscoverHostTopology(tree.root(), Iota(4));
+  ASSERT_TRUE(topo.discovered);
+  ASSERT_EQ(topo.cpus.size(), 4u);
+  EXPECT_EQ(topo.num_sockets, 1);
+  EXPECT_EQ(topo.num_cores, 2);
+  EXPECT_EQ(topo.max_smt, 2);
+  // Core-major dense order: core 0's strands (kernel 0, 2), then core 1's.
+  EXPECT_EQ(topo.cpus[0].os_cpu, 0);
+  EXPECT_EQ(topo.cpus[1].os_cpu, 2);
+  EXPECT_EQ(topo.cpus[2].os_cpu, 1);
+  EXPECT_EQ(topo.cpus[3].os_cpu, 3);
+  EXPECT_EQ(topo.cpus[0].smt, 0);
+  EXPECT_EQ(topo.cpus[1].smt, 1);
+  EXPECT_EQ(topo.cpus[2].smt, 0);
+  EXPECT_EQ(topo.cpus[3].smt, 1);
+  EXPECT_EQ(topo.cpus[0].core, topo.cpus[1].core);
+  EXPECT_NE(topo.cpus[1].core, topo.cpus[2].core);
+}
+
+TEST(TopologyDiscovery, MissingNodeDirectoryFallsBackToPackages) {
+  FixtureTree tree("no_node");
+  tree.AddCpu(0, 0, 0);
+  tree.AddCpu(1, 0, 1);
+  tree.AddCpu(2, 1, 0);
+  const HostTopology topo = DiscoverHostTopology(tree.root(), Iota(3));
+  ASSERT_TRUE(topo.discovered);
+  EXPECT_EQ(topo.num_nodes, 2);  // one synthetic node per package
+  EXPECT_EQ(topo.cpus[0].node, topo.cpus[1].node);
+  EXPECT_NE(topo.cpus[0].node, topo.cpus[2].node);
+}
+
+TEST(TopologyDiscovery, AllowedMaskRestrictsAndKeepsKernelNumbers) {
+  const FixtureTree tree = MakeTwoSocketTree("masked");
+  // A taskset-style mask keeping one cpu per socket.
+  const HostTopology topo = DiscoverHostTopology(tree.root(), {1, 2});
+  ASSERT_TRUE(topo.discovered);
+  ASSERT_EQ(topo.cpus.size(), 2u);
+  EXPECT_EQ(topo.num_sockets, 2);
+  // Socket-major dense order; kernel numbers survive for pinning.
+  EXPECT_EQ(topo.cpus[0].os_cpu, 2);  // package 0
+  EXPECT_EQ(topo.cpus[1].os_cpu, 1);  // package 1
+  EXPECT_EQ(topo.cpus[0].socket, 0);
+  EXPECT_EQ(topo.cpus[1].socket, 1);
+}
+
+TEST(TopologyDiscovery, SparsePackageIdsAreDensified) {
+  FixtureTree tree("sparse_pkg");
+  tree.AddCpu(0, /*package=*/0, 0);
+  tree.AddCpu(1, /*package=*/4, 0);  // kernel package ids need not be dense
+  const HostTopology topo = DiscoverHostTopology(tree.root(), Iota(2));
+  ASSERT_TRUE(topo.discovered);
+  EXPECT_EQ(topo.num_sockets, 2);
+  EXPECT_EQ(topo.cpus[0].socket, 0);
+  EXPECT_EQ(topo.cpus[1].socket, 1);
+}
+
+TEST(TopologyDiscovery, CorruptNodeCpulistDegradesGracefully) {
+  FixtureTree tree("corrupt_cpulist");
+  tree.AddCpu(0, 0, 0);
+  tree.AddCpu(1, 1, 0);
+  // A hostile/corrupt range must not hang discovery (the expansion is
+  // capped), and malformed fragments only cost node fidelity: cpus fall
+  // back to per-package synthetic nodes.
+  tree.AddNode(0, "0-99999999999999999999");
+  tree.AddNode(1, "garbage,-5,1-");
+  const HostTopology topo = DiscoverHostTopology(tree.root(), Iota(2));
+  ASSERT_TRUE(topo.discovered);
+  ASSERT_EQ(topo.cpus.size(), 2u);
+  EXPECT_EQ(topo.num_sockets, 2);
+}
+
+TEST(TopologyDiscovery, AbsentSysfsFallsBackFlat) {
+  const std::string missing =
+      (std::filesystem::path(testing::TempDir()) / "ssync_topo_missing_root").string();
+  const HostTopology topo = DiscoverHostTopology(missing, {0, 1, 2});
+  EXPECT_FALSE(topo.discovered);
+  EXPECT_EQ(topo.source, "flat");
+  ASSERT_EQ(topo.cpus.size(), 3u);
+  EXPECT_EQ(topo.num_sockets, 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(topo.cpus[i].os_cpu, i);
+    EXPECT_EQ(topo.cpus[i].socket, 0);
+  }
+}
+
+TEST(TopologyDiscovery, FlatEnvVarForcesFallback) {
+  ASSERT_EQ(setenv("SSYNC_FLAT_TOPOLOGY", "1", /*overwrite=*/1), 0);
+  const HostTopology topo = DiscoverHostTopology();
+  unsetenv("SSYNC_FLAT_TOPOLOGY");
+  EXPECT_FALSE(topo.discovered);
+  EXPECT_EQ(topo.source, "flat");
+  EXPECT_GE(topo.cpus.size(), 1u);
+}
+
+TEST(NativeSpec, CarriesDiscoveredMaps) {
+  const FixtureTree tree = MakeTwoSocketTree("spec_maps");
+  const PlatformSpec spec =
+      BuildNativeSpec(DiscoverHostTopology(tree.root(), Iota(4)), /*max_cpus=*/256);
+  EXPECT_EQ(spec.kind, PlatformKind::kNative);
+  EXPECT_EQ(spec.num_cpus, 4);
+  EXPECT_EQ(spec.num_sockets, 2);
+  EXPECT_EQ(spec.host_allowed_cpus, 4);
+  EXPECT_EQ(spec.topology_source, "sysfs");
+  EXPECT_EQ(spec.SocketOf(0), 0);
+  EXPECT_EQ(spec.SocketOf(3), 1);
+  EXPECT_EQ(spec.MemNodeOf(0), 0);
+  EXPECT_EQ(spec.MemNodeOf(3), 1);
+  EXPECT_EQ(spec.OsCpuOf(1), 2);  // dense id 1 = second cpu of socket 0
+  EXPECT_FALSE(spec.SameSocket(0, 2));
+  EXPECT_TRUE(spec.SameSocket(2, 3));
+}
+
+TEST(NativeSpec, WorkerCapClampIsRecorded) {
+  const FixtureTree tree = MakeTwoSocketTree("spec_clamp");
+  const PlatformSpec spec =
+      BuildNativeSpec(DiscoverHostTopology(tree.root(), Iota(4)), /*max_cpus=*/2);
+  EXPECT_EQ(spec.num_cpus, 2);
+  EXPECT_EQ(spec.host_allowed_cpus, 4);  // the clamp is visible in metadata
+  EXPECT_EQ(static_cast<int>(spec.os_cpu.size()), 2);
+}
+
+TEST(NativeSpec, MakeNativeHostIsSane) {
+  const PlatformSpec spec = MakeNativeHost();
+  EXPECT_EQ(spec.kind, PlatformKind::kNative);
+  EXPECT_GE(spec.num_cpus, 1);
+  EXPECT_FALSE(spec.topology_source.empty());
+  ASSERT_EQ(static_cast<int>(spec.socket_of_cpu.size()), spec.num_cpus);
+  ASSERT_EQ(static_cast<int>(spec.os_cpu.size()), spec.num_cpus);
+  for (int cpu = 0; cpu < spec.num_cpus; ++cpu) {
+    EXPECT_GE(spec.SocketOf(cpu), 0);
+    EXPECT_LT(spec.SocketOf(cpu), spec.num_sockets);
+    EXPECT_GE(spec.OsCpuOf(cpu), 0);
+  }
+}
+
+TEST(LockTopologyFromSpec, ClusterMapFollowsDiscoveredSockets) {
+  const FixtureTree tree = MakeTwoSocketTree("lock_topo");
+  const PlatformSpec spec =
+      BuildNativeSpec(DiscoverHostTopology(tree.root(), Iota(4)), 256);
+  const LockTopology fill =
+      LockTopology::FromSpec(spec, PlacementCpus(spec, PlacementPolicy::kFill, 4));
+  EXPECT_EQ(fill.num_clusters(), 2);
+  EXPECT_EQ(fill.cluster_of, (std::vector<int>{0, 0, 1, 1}));
+  const LockTopology scatter =
+      LockTopology::FromSpec(spec, PlacementCpus(spec, PlacementPolicy::kScatter, 4));
+  EXPECT_EQ(scatter.cluster_of, (std::vector<int>{0, 1, 0, 1}));
+}
+
+// --- Placement policies ----------------------------------------------------
+
+TEST(Placement, NamesRoundTrip) {
+  for (const std::string& name : PlacementNames()) {
+    PlacementPolicy policy;
+    ASSERT_TRUE(PlacementFromString(name, &policy)) << name;
+    EXPECT_EQ(ToString(policy), name);
+  }
+  PlacementPolicy policy;
+  EXPECT_FALSE(PlacementFromString("packed", &policy));
+}
+
+TEST(Placement, FillPacksASocketBeforeTheNext) {
+  const FixtureTree tree = MakeTwoSocketTree("fill");
+  const PlatformSpec spec =
+      BuildNativeSpec(DiscoverHostTopology(tree.root(), Iota(4)), 256);
+  const std::vector<CpuId> cpus = PlacementCpus(spec, PlacementPolicy::kFill, 4);
+  EXPECT_EQ(spec.SocketOf(cpus[0]), 0);
+  EXPECT_EQ(spec.SocketOf(cpus[1]), 0);
+  EXPECT_EQ(spec.SocketOf(cpus[2]), 1);
+  EXPECT_EQ(spec.SocketOf(cpus[3]), 1);
+}
+
+TEST(Placement, FillUsesDistinctCoresBeforeSmtSiblings) {
+  const FixtureTree tree = MakeSmtTree("fill_smt");
+  const PlatformSpec spec =
+      BuildNativeSpec(DiscoverHostTopology(tree.root(), Iota(4)), 256);
+  const std::vector<CpuId> cpus = PlacementCpus(spec, PlacementPolicy::kFill, 4);
+  // First two threads land on the two distinct cores...
+  EXPECT_NE(spec.CoreOf(cpus[0]), spec.CoreOf(cpus[1]));
+  // ...and only then the sibling strands arrive.
+  EXPECT_EQ(spec.SmtOf(cpus[0]), 0);
+  EXPECT_EQ(spec.SmtOf(cpus[1]), 0);
+  EXPECT_EQ(spec.SmtOf(cpus[2]), 1);
+  EXPECT_EQ(spec.SmtOf(cpus[3]), 1);
+}
+
+TEST(Placement, ScatterRoundRobinsAcrossSockets) {
+  const FixtureTree tree = MakeTwoSocketTree("scatter");
+  const PlatformSpec spec =
+      BuildNativeSpec(DiscoverHostTopology(tree.root(), Iota(4)), 256);
+  const std::vector<CpuId> cpus = PlacementCpus(spec, PlacementPolicy::kScatter, 4);
+  EXPECT_EQ(spec.SocketOf(cpus[0]), 0);
+  EXPECT_EQ(spec.SocketOf(cpus[1]), 1);
+  EXPECT_EQ(spec.SocketOf(cpus[2]), 0);
+  EXPECT_EQ(spec.SocketOf(cpus[3]), 1);
+  // Every cpu is used exactly once.
+  EXPECT_EQ(std::set<CpuId>(cpus.begin(), cpus.end()).size(), 4u);
+}
+
+TEST(Placement, SmtPairPacksSiblingsConsecutively) {
+  const FixtureTree tree = MakeSmtTree("smt_pair");
+  const PlatformSpec spec =
+      BuildNativeSpec(DiscoverHostTopology(tree.root(), Iota(4)), 256);
+  const std::vector<CpuId> cpus = PlacementCpus(spec, PlacementPolicy::kSmtPair, 4);
+  EXPECT_EQ(spec.CoreOf(cpus[0]), spec.CoreOf(cpus[1]));  // siblings first
+  EXPECT_EQ(spec.CoreOf(cpus[2]), spec.CoreOf(cpus[3]));
+  EXPECT_NE(spec.CoreOf(cpus[0]), spec.CoreOf(cpus[2]));
+}
+
+TEST(Placement, NoneIsIdentityAndOversubscriptionWraps) {
+  const FixtureTree tree = MakeTwoSocketTree("wrap");
+  const PlatformSpec spec =
+      BuildNativeSpec(DiscoverHostTopology(tree.root(), Iota(4)), 256);
+  const std::vector<CpuId> none = PlacementCpus(spec, PlacementPolicy::kNone, 4);
+  EXPECT_EQ(none, (std::vector<CpuId>{0, 1, 2, 3}));
+  const std::vector<CpuId> wrapped = PlacementCpus(spec, PlacementPolicy::kFill, 6);
+  ASSERT_EQ(wrapped.size(), 6u);
+  EXPECT_EQ(wrapped[4], wrapped[0]);
+  EXPECT_EQ(wrapped[5], wrapped[1]);
+}
+
+TEST(Placement, SimulatedSpecsUseArithmeticGeometry) {
+  // The policies also work over the paper machines (regular arithmetic maps,
+  // no discovery): scattering the 8-die Opteron alternates dies.
+  const PlatformSpec opteron = MakeOpteron();
+  const std::vector<CpuId> cpus = PlacementCpus(opteron, PlacementPolicy::kScatter, 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(opteron.SocketOf(cpus[i]), i) << i;
+  }
+  const std::vector<CpuId> fill = PlacementCpus(opteron, PlacementPolicy::kFill, 12);
+  EXPECT_EQ(opteron.SocketOf(fill[5]), 0);
+  EXPECT_EQ(opteron.SocketOf(fill[6]), 1);
+}
+
+TEST(AllowedCpusTest, NonEmptyAndSorted) {
+  const std::vector<int> cpus = AllowedCpus();
+  ASSERT_FALSE(cpus.empty());
+  for (std::size_t i = 1; i < cpus.size(); ++i) {
+    EXPECT_LT(cpus[i - 1], cpus[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ssync
