@@ -31,6 +31,17 @@ ParamSpec IntParam(const char* name, std::int64_t def, const char* help,
   return spec;
 }
 
+ParamSpec FractionParam(const char* name, double def, const char* help) {
+  ParamSpec spec;
+  spec.name = name;
+  spec.type = ParamSpec::Type::kDouble;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", def);
+  spec.def = buf;
+  spec.help = help;
+  return spec;
+}
+
 class KvsServerExperiment final : public Experiment {
  public:
   ExperimentInfo Info() const override {
@@ -48,8 +59,13 @@ class KvsServerExperiment final : public Experiment {
         IntParam("ops", 20000, "operations per measured point", 1),
         IntParam("conns", 8, "concurrent client connections", 1),
         IntParam("pipeline", 16, "in-flight requests per connection", 1),
+        IntParam("workers", 0, "event-loop threads (0: sweep {2, 4})", 0),
+        FractionParam("set_fraction", 0.30, "fraction of ops that are sets"),
+        FractionParam("delete_fraction", 0.10,
+                      "fraction of ops that are deletes"),
         SeedParam(1),
         PlacementParam(),
+        OptimisticReadsParam(),
     };
     info.supports_sim = false;
     info.supports_native = true;
@@ -60,60 +76,91 @@ class KvsServerExperiment final : public Experiment {
     const auto ops = static_cast<std::uint64_t>(ctx.params().Int("ops"));
     const int conns = static_cast<int>(ctx.params().Int("conns"));
     const int pipeline = static_cast<int>(ctx.params().Int("pipeline"));
+    const int pinned_workers = static_cast<int>(ctx.params().Int("workers"));
+    const double set_fraction = ctx.params().Double("set_fraction");
+    const double delete_fraction = ctx.params().Double("delete_fraction");
     const auto seed = static_cast<std::uint64_t>(ctx.params().Int("seed"));
     PlacementPolicy placement = PlacementPolicy::kNone;
     SSYNC_CHECK(PlacementFromString(ctx.params().Str("placement"), &placement));
+    const std::string& optimistic_mode = ctx.params().Str("optimistic_reads");
     const PlatformSpec& spec = ctx.platforms().front();
 
     const int host_cpus =
         std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
     constexpr LockKind kKinds[] = {LockKind::kMutex, LockKind::kTas,
                                    LockKind::kTicket, LockKind::kMcs};
-    for (const int workers : {2, 4}) {
-      if (workers > std::max(2, host_cpus)) {
+    std::vector<int> worker_counts;
+    if (pinned_workers > 0) {
+      worker_counts = {pinned_workers};
+    } else {
+      worker_counts = {2, 4};
+    }
+    std::vector<bool> read_modes;
+    if (optimistic_mode == "sweep") {
+      read_modes = {false, true};
+    } else {
+      read_modes = {optimistic_mode == "on"};
+    }
+    for (const int workers : worker_counts) {
+      if (pinned_workers == 0 && workers > std::max(2, host_cpus)) {
         continue;  // beyond-host worker counts only measure the scheduler
       }
       for (const LockKind kind : kKinds) {
-        ServerConfig server_config;
-        server_config.port = 0;
-        server_config.workers = workers;
-        server_config.lock = kind;
-        server_config.placement = placement;
-        KvServer server(server_config);
-        std::string error;
-        Result r = ctx.NewResult(spec);
-        r.Param("lock", ToString(kind))
-            .Param("workers", workers)
-            .Param("connections", conns);
-        if (!server.Start(&error)) {
-          r.Metric("kops", 0.0).Metric("protocol_errors", 1.0).Label("error", error);
+        for (const bool optimistic : read_modes) {
+          ServerConfig server_config;
+          server_config.port = 0;
+          server_config.workers = workers;
+          server_config.lock = kind;
+          server_config.placement = placement;
+          server_config.store.optimistic_reads = optimistic;
+          KvServer server(server_config);
+          std::string error;
+          Result r = ctx.NewResult(spec);
+          // The per-row Param shadows the Config echo of the sweep setting,
+          // so every row records the mode it actually ran.
+          r.Param("lock", ToString(kind))
+              .Param("workers", workers)
+              .Param("connections", conns)
+              .Param("optimistic_reads", optimistic ? "on" : "off");
+          if (!server.Start(&error)) {
+            r.Metric("kops", 0.0).Metric("protocol_errors", 1.0).Label("error", error);
+            sink.Emit(r);
+            continue;
+          }
+          LoadGenConfig load;
+          load.port = server.port();
+          load.connections = conns;
+          load.threads = std::min(conns, std::max(1, host_cpus / 2));
+          load.pipeline = pipeline;
+          load.total_ops = ops;
+          load.set_fraction = set_fraction;
+          load.delete_fraction = delete_fraction;
+          load.seed = seed;
+          const LoadGenResult result = RunLoadGen(load);
+          const ServerStats stats = server.Stats();
+          server.Stop();
+          // A run that failed outright (connect refusal, 30s stall) must not
+          // look clean to consumers that only assert on metrics — the CI
+          // smoke job checks protocol_errors == 0, so a hard failure counts
+          // as at least one.
+          const std::uint64_t failures =
+              result.protocol_errors + (result.ok ? 0 : 1);
+          r.Metric("kops", result.kops)
+              .Metric("p50_cycles", result.p50_us * 1000.0)  // host: 1 cycle = 1ns
+              .Metric("p99_cycles", result.p99_us * 1000.0)
+              .Metric("ops", static_cast<double>(result.ops))
+              .Metric("optimistic_hits",
+                      static_cast<double>(stats.store.optimistic_hits))
+              .Metric("optimistic_retries",
+                      static_cast<double>(stats.store.optimistic_retries))
+              .Metric("optimistic_fallbacks",
+                      static_cast<double>(stats.store.optimistic_fallbacks))
+              .Metric("protocol_errors", static_cast<double>(failures));
+          if (!result.ok) {
+            r.Label("error", result.error);
+          }
           sink.Emit(r);
-          continue;
         }
-        LoadGenConfig load;
-        load.port = server.port();
-        load.connections = conns;
-        load.threads = std::min(conns, std::max(1, host_cpus / 2));
-        load.pipeline = pipeline;
-        load.total_ops = ops;
-        load.seed = seed;
-        const LoadGenResult result = RunLoadGen(load);
-        server.Stop();
-        // A run that failed outright (connect refusal, 30s stall) must not
-        // look clean to consumers that only assert on metrics — the CI
-        // smoke job checks protocol_errors == 0, so a hard failure counts
-        // as at least one.
-        const std::uint64_t failures =
-            result.protocol_errors + (result.ok ? 0 : 1);
-        r.Metric("kops", result.kops)
-            .Metric("p50_cycles", result.p50_us * 1000.0)  // host: 1 cycle = 1ns
-            .Metric("p99_cycles", result.p99_us * 1000.0)
-            .Metric("ops", static_cast<double>(result.ops))
-            .Metric("protocol_errors", static_cast<double>(failures));
-        if (!result.ok) {
-          r.Label("error", result.error);
-        }
-        sink.Emit(r);
       }
     }
   }

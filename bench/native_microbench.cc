@@ -16,6 +16,7 @@
 #include "src/fiber/fiber.h"
 #include "src/harness/experiment.h"
 #include "src/harness/result_sink.h"
+#include "src/kvs/kvs.h"
 #include "src/locks/locks.h"
 #include "src/platform/spec.h"
 
@@ -142,6 +143,28 @@ class NativeMicrobench final : public Experiment {
                lock.Lock();
                lock.Unlock();
              }));
+      });
+    }
+
+    // The store's uncontended Get, locked vs optimistic. The delta is the
+    // acquire/release atomic-RMW pair the seqlock read path removes — the
+    // per-operation saving that turns into avoided cache-line bouncing once
+    // readers span cores (kvs_server measures that end to end).
+    for (const bool optimistic : {false, true}) {
+      WithLockType<NativeMem>(LockKind::kTicket, [&]<typename L>() {
+        typename Kvs<NativeMem, L>::Config config;
+        config.buckets = 64;
+        config.optimistic_reads = optimistic;
+        Kvs<NativeMem, L> kvs(config, topo);
+        std::uint8_t value[kKvsValueBytes] = {};
+        for (std::uint64_t k = 0; k < 64; ++k) {
+          kvs.Set(k, value);
+        }
+        std::uint8_t out[kKvsValueBytes];
+        emit(optimistic ? "kvs_get_optimistic_uncontended"
+                        : "kvs_get_locked_uncontended",
+             NsPerItem(iters, 1,
+                       [&](std::uint64_t i) { kvs.Get(i & 63, out); }));
       });
     }
   }

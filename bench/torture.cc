@@ -14,6 +14,7 @@
 #include "src/harness/result_sink.h"
 #include "src/torture/lock_torture.h"
 #include "src/torture/mp_torture.h"
+#include "src/torture/readpath_torture.h"
 #include "src/torture/table_torture.h"
 
 namespace ssync {
@@ -111,6 +112,40 @@ class TortureExperiment final : public Experiment {
               rt, kvs, topts);
         });
         Emit(ctx, sink, spec, "kvs", "TICKET", report);
+      }
+
+      // --- Optimistic read path: seqlock-validated gets racing set/delete
+      // storms on both tables, with torn-read and staleness detectors
+      // (src/torture/readpath_torture.h).
+      {
+        ReadPathTortureOptions ropts;
+        ropts.writers = std::max(1, threads / 2);
+        ropts.readers = std::max(1, threads - ropts.writers);
+        ropts.rounds = std::max(1, rounds) * 4;
+        ropts.seed = seed;
+        const LockTopology rp_topo =
+            LockTopology::ForPlatform(spec, ropts.writers + ropts.readers);
+        TortureReport report = ctx.WithRuntime(spec, [&](auto& rt) {
+          using Mem = typename std::decay_t<decltype(rt)>::Mem;
+          typename Kvs<Mem, TicketLock<Mem>>::Config config;
+          config.buckets = 16;
+          config.maintenance_interval = 25;
+          config.maintenance_buckets = 8;
+          config.defer_free = true;
+          config.optimistic_reads = true;
+          Kvs<Mem, TicketLock<Mem>> kvs(config, rp_topo);
+          TortureReport r =
+              TortureReadPath<std::decay_t<decltype(rt)>,
+                              KvsTortureTraits<Mem, TicketLock<Mem>>>(rt, kvs,
+                                                                      ropts);
+          Ssht<Mem, TicketLock<Mem>> table(/*num_buckets=*/8, rp_topo,
+                                           /*optimistic_reads=*/true);
+          r.Merge(TortureReadPath<std::decay_t<decltype(rt)>,
+                                  SshtTortureTraits<Mem, TicketLock<Mem>>>(
+              rt, table, ropts));
+          return r;
+        });
+        Emit(ctx, sink, spec, "readpath", "TICKET", report);
       }
 
       // --- Channels: one-to-one streams, the round-trip parity protocol,

@@ -4,7 +4,10 @@
 Compares a current run (produced by scripts/perf_smoke.sh) against the
 committed baseline, row by row:
 
-  * rows are matched on (experiment, backend, platform, params);
+  * rows are matched on (experiment, backend, platform, params), with the
+    host_* geometry echoes stripped from params so native rows keep matching
+    across machines (a 4-core laptop and a 64-core runner must hash to the
+    same row);
   * throughput metrics (…mops, …kops, …_per_sec) must not drop more than
     --tolerance below the baseline;
   * latency metrics (…_cycles, ns_per_op) must not rise more than
@@ -13,9 +16,14 @@ committed baseline, row by row:
   * baseline rows missing from the current run fail (coverage regression);
     new rows only warn (append-only schema).
 
-The smoke subset is sim-backend, hence deterministic: identical code yields
-identical metrics on any machine, so the tolerance only absorbs intentional
-model changes — in which case regenerate the baseline:
+Native-backend rows are runner-speed-dependent, so by default they are gated
+on row presence and the zero-valued correctness metrics only; pass
+--native-tolerance to ratio-gate them too (useful when baseline and current
+run on the same machine).
+
+The sim subset is deterministic: identical code yields identical metrics on
+any machine, so the tolerance only absorbs intentional model changes — in
+which case regenerate the baseline:
 
     scripts/perf_smoke.sh current.json
     scripts/check_perf.py --update bench/baselines/ci-smoke.json current.json
@@ -51,11 +59,19 @@ def direction(metric):
 
 
 def row_key(record):
+    # host_* params echo discovered geometry (host_cpus, host_topology, ...):
+    # machine identity, not workload identity. Keying on them would orphan
+    # every native baseline row the moment the runner hardware changes.
+    params = {
+        name: value
+        for name, value in record["params"].items()
+        if not name.startswith("host_")
+    }
     return (
         record["experiment"],
         record["backend"],
         record["platform"],
-        json.dumps(record["params"], sort_keys=True),
+        json.dumps(params, sort_keys=True),
     )
 
 
@@ -97,6 +113,14 @@ def main():
         "(default: 0.35)",
     )
     parser.add_argument(
+        "--native-tolerance",
+        type=float,
+        default=None,
+        help="also ratio-gate native-backend rows, with this tolerance "
+        "(default: native rows are gated on presence and zero-metrics only, "
+        "since their absolute numbers depend on the runner)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="overwrite the baseline with the current run instead of checking",
@@ -104,6 +128,8 @@ def main():
     args = parser.parse_args()
     if not 0 < args.tolerance < 1:
         parser.error("--tolerance must be in (0, 1)")
+    if args.native_tolerance is not None and not 0 < args.native_tolerance < 1:
+        parser.error("--native-tolerance must be in (0, 1)")
 
     current = load_rows(args.current)
 
@@ -124,10 +150,17 @@ def main():
         if cur_metrics is None:
             regressions.append(f"MISSING ROW  {describe(key)}")
             continue
+        native = key[1] == "native"
+        tolerance = args.native_tolerance if native else args.tolerance
         for metric, base_value in base_metrics.items():
             sign = direction(metric)
             if sign == 0 and metric not in ZERO_METRICS:
                 continue
+            if native and tolerance is None and metric not in ZERO_METRICS:
+                # Runner-speed-dependent: require the metric to exist (else
+                # fall through to MISSING METRIC below), skip the ratio.
+                if metric in cur_metrics:
+                    continue
             if metric not in cur_metrics:
                 # A gated metric vanishing is coverage loss, same as a
                 # vanished row — fail, don't shrink the check set silently.
@@ -153,12 +186,12 @@ def main():
             adverse = -change if sign > 0 else change
             if adverse > worst[0]:
                 worst = (adverse, f"{describe(key)} {metric}")
-            if adverse > args.tolerance:
+            if adverse > tolerance:
                 kind = "SLOWER" if sign > 0 else "HIGHER-LATENCY"
                 regressions.append(
                     f"{kind:<12} {describe(key)} {metric}: "
                     f"{base_value:g} -> {cur_value:g} "
-                    f"({change * 100:+.1f}%, tolerance ±{args.tolerance * 100:.0f}%)"
+                    f"({change * 100:+.1f}%, tolerance ±{tolerance * 100:.0f}%)"
                 )
 
     extra = sorted(set(current) - set(baseline))

@@ -99,6 +99,69 @@ struct NativeMem {
 
   static void FullFence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
 
+  // --- Raw-field atomics for seqlock-style optimistic readers (kvs/ssht).
+  //
+  // The optimistic read path traverses bucket chains with no lock held, so
+  // every field it can race on (chain pointers, keys, payload bytes) must be
+  // accessed atomically on BOTH sides — the unlocked reader and the locked
+  // writer — or the program has a data race even when a sequence-counter
+  // validation discards the value. These helpers wrap the __atomic builtins
+  // so the hot-path fields can stay plain struct members (layout untouched,
+  // locked readers keep plain loads) while racing accesses are well-defined
+  // and TSan-visible. On x86 every one of them compiles to the same mov a
+  // plain access would.
+  //
+  // Discipline (see docs/ARCHITECTURE.md, "The optimistic read path"):
+  //   * pointers readers dereference: StoreRelease by writers / LoadAcquire
+  //     by readers, so a published node's initialization is visible before
+  //     the node is reachable;
+  //   * keys and payload words: relaxed — a torn or stale value is discarded
+  //     by the sequence validation, it just must not be UB to read it;
+  //   * fences: ReleaseFence after the writer's odd seq store, AcquireFence
+  //     before the reader's validation reload (Boehm's seqlock idiom — the
+  //     fence pair is what makes a reader that observed mid-update data also
+  //     observe the odd sequence number).
+  template <typename T>
+  static T LoadRelaxed(const T* p) {
+    return __atomic_load_n(p, __ATOMIC_RELAXED);
+  }
+  template <typename T>
+  static T LoadAcquire(const T* p) {
+    return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+  }
+  template <typename T>
+  static void StoreRelaxed(T* p, T v) {
+    __atomic_store_n(p, v, __ATOMIC_RELAXED);
+  }
+  template <typename T>
+  static void StoreRelease(T* p, T v) {
+    __atomic_store_n(p, v, __ATOMIC_RELEASE);
+  }
+
+  // Word-granular payload copies (dst/src 8-byte aligned, bytes % 8 == 0):
+  // the reader side loads each word atomically into a private buffer, the
+  // writer side stores each word atomically from one. A concurrent pair may
+  // interleave — the payload can tear at word granularity — which is exactly
+  // what the sequence validation (and the torture payload replication check)
+  // exists to catch; the copies only guarantee the race is not UB.
+  static void CopyWordsRelaxed(void* dst, const void* src, std::size_t bytes) {
+    auto* d = static_cast<std::uint64_t*>(dst);
+    const auto* s = static_cast<const std::uint64_t*>(src);
+    for (std::size_t i = 0; i < bytes / sizeof(std::uint64_t); ++i) {
+      d[i] = __atomic_load_n(s + i, __ATOMIC_RELAXED);
+    }
+  }
+  static void StoreWordsRelaxed(void* dst, const void* src, std::size_t bytes) {
+    auto* d = static_cast<std::uint64_t*>(dst);
+    const auto* s = static_cast<const std::uint64_t*>(src);
+    for (std::size_t i = 0; i < bytes / sizeof(std::uint64_t); ++i) {
+      __atomic_store_n(d + i, s[i], __ATOMIC_RELAXED);
+    }
+  }
+
+  static void AcquireFence() { std::atomic_thread_fence(std::memory_order_acquire); }
+  static void ReleaseFence() { std::atomic_thread_fence(std::memory_order_release); }
+
   static void Prefetchw(const void* p) { __builtin_prefetch(p, /*rw=*/1, /*locality=*/3); }
 
   // Native prefetches are naturally asynchronous.

@@ -10,6 +10,7 @@
 #define SRC_CORE_MEM_SIM_H_
 
 #include <cstdint>
+#include <cstring>
 #include <type_traits>
 
 #include "src/ccsim/machine.h"
@@ -145,6 +146,39 @@ struct SimMem {
   static void Pause(std::uint64_t n) { Engine::Current()->Advance(n); }
   static void Compute(std::uint64_t n) { Engine::Current()->Advance(n); }
   static void FullFence() { machine()->Fence(); }
+
+  // --- Raw-field helpers mirroring NativeMem's seqlock accessors.
+  //
+  // The simulator runs every fiber on one OS thread and only interleaves at
+  // charged accesses, so plain host loads/stores are already atomic in
+  // virtual time; like SetInit/PeekInit these are deliberately uncharged.
+  // The optimistic read/write paths keep their explicit Mem::ReadData /
+  // Mem::WriteData charging calls, so simulated coherence traffic is modeled
+  // exactly where the locked paths model it.
+  template <typename T>
+  static T LoadRelaxed(const T* p) {
+    return *p;
+  }
+  template <typename T>
+  static T LoadAcquire(const T* p) {
+    return *p;
+  }
+  template <typename T>
+  static void StoreRelaxed(T* p, T v) {
+    *p = v;
+  }
+  template <typename T>
+  static void StoreRelease(T* p, T v) {
+    *p = v;
+  }
+  static void CopyWordsRelaxed(void* dst, const void* src, std::size_t bytes) {
+    std::memcpy(dst, src, bytes);
+  }
+  static void StoreWordsRelaxed(void* dst, const void* src, std::size_t bytes) {
+    std::memcpy(dst, src, bytes);
+  }
+  static void AcquireFence() {}
+  static void ReleaseFence() {}
 
   static void Prefetchw(const void* p) { machine()->Prefetchw(LineOf(p)); }
 

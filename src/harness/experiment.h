@@ -80,10 +80,12 @@ class RunContext {
     // echoed as typed: strtoll/strtod accept spellings ("+5", ".5", "yes")
     // that are not valid JSON literals.
     for (const ParamSet::Entry& entry : params_.Entries()) {
-      // Placement is a native-backend knob; sim runs always place per the
-      // paper. Echoing it into sim rows would be misleading (and would shift
-      // the perf-gate row keys, which hash the full params object).
-      if (entry.name == "placement" && backend_ != Backend::kNative) {
+      // Placement and the optimistic read path are native-backend knobs; sim
+      // runs always place per the paper and always take the locked read
+      // path. Echoing them into sim rows would be misleading (and would
+      // shift the perf-gate row keys, which hash the full params object).
+      if ((entry.name == "placement" || entry.name == "optimistic_reads") &&
+          backend_ != Backend::kNative) {
         continue;
       }
       switch (entry.type) {

@@ -38,6 +38,19 @@ ParamSpec PlacementParam() {
   return spec;
 }
 
+ParamSpec OptimisticReadsParam() {
+  ParamSpec spec;
+  spec.name = "optimistic_reads";
+  spec.type = ParamSpec::Type::kString;
+  spec.def = "sweep";
+  spec.help =
+      "native store read path: off (paper-faithful locked gets) | on "
+      "(seqlock-validated lock-free gets, zero atomic RMWs uncontended) | "
+      "sweep (measure both; each row is stamped with the mode it ran)";
+  spec.choices = {"off", "on", "sweep"};
+  return spec;
+}
+
 bool ParseInt(const std::string& text, std::int64_t* out) {
   if (text.empty()) {
     return false;

@@ -41,6 +41,12 @@ ParamSpec SeedParam(std::int64_t def);
 // scatter | smt-pair. Declared by experiments whose native runs should honor
 // --placement; RunContext::WithRuntime applies it to the NativeRuntime.
 ParamSpec PlacementParam();
+// Native optimistic read path (Kvs/Ssht seqlock gets): off | on | sweep.
+// "sweep" (the default) measures both modes and stamps each row with a
+// Param("optimistic_reads", ...) so baselines pin the two paths separately.
+// Sim runs always use the paper-faithful locked structure; the knob is not
+// echoed into sim rows (see RunContext::NewResult).
+ParamSpec OptimisticReadsParam();
 
 // A validated, fully-defaulted set of parameter values. Getters check (via
 // SSYNC_CHECK) that the parameter exists with the requested type, so a typo

@@ -11,6 +11,10 @@
 // fixed per-request cost for them (src/kvs/kvs_stress.h), while the server
 // layer (src/server) serves the store over real TCP with a memcached-style
 // text protocol.
+//
+// Beyond the paper-faithful locked structure, Config::optimistic_reads adds
+// a seqlock-style validated read path (zero atomic RMWs when uncontended);
+// see the Get() contract below and docs/ARCHITECTURE.md.
 #ifndef SRC_KVS_KVS_H_
 #define SRC_KVS_KVS_H_
 
@@ -37,6 +41,15 @@ struct KvsStatsSnapshot {
   std::uint64_t set_creates = 0;  // sets that inserted a new item
   std::uint64_t deletes = 0;
   std::uint64_t delete_hits = 0;
+  // Config::optimistic_reads accounting (all zero when the knob is off).
+  // optimistic_hits counts gets answered by the validated lock-free path —
+  // found or not — i.e. gets that never touched the bucket lock;
+  // optimistic_retries counts discarded attempts (sequence moved, or a
+  // writer held the bucket mid-read); optimistic_fallbacks counts gets that
+  // exhausted their attempt budget and fell back to the locked path.
+  std::uint64_t optimistic_hits = 0;
+  std::uint64_t optimistic_retries = 0;
+  std::uint64_t optimistic_fallbacks = 0;
 };
 
 template <typename Mem, typename Lock>
@@ -58,11 +71,34 @@ class Kvs {
     // protocol. Off by default: the modeled Figure 12 store keeps the
     // paper's immediate-free structure.
     bool defer_free = false;
+    // Seqlock-style validated read path (docs/ARCHITECTURE.md, "The
+    // optimistic read path"): Get/GetMulti first attempt a lock-free
+    // acquire-load → copy → validate read against the bucket's sequence
+    // counter, taking the bucket lock only after kMaxOptimisticAttempts
+    // conflicts. The uncontended fast path performs zero atomic RMWs, so a
+    // read-mostly workload's bucket lines stay SHARED across sockets — the
+    // paper's cheap case — instead of bouncing in MODIFIED. Implies
+    // defer_free (readers can hold Item pointers across a concurrent
+    // Delete; victims must be retired, not freed). Mutating ops pay two
+    // extra plain stores on the bucket's sequence word. Off by default; the
+    // sim experiments keep the paper-faithful locked structure.
+    bool optimistic_reads = false;
   };
 
   Kvs(const Config& config, const LockTopology& topo)
       : config_(config), lru_lock_(topo), maintenance_lock_(topo) {
     SSYNC_CHECK_GT(config.buckets, 0);
+    if (config_.optimistic_reads) {
+      config_.defer_free = true;
+      // One padded stat slot per possible runtime thread: the fast path may
+      // not do an atomic RMW, so a shared counter (lost updates) or even a
+      // shared plain counter (data race) is out — each registered thread
+      // owns its slot and Stats() sums them. Threads outside the topology
+      // (ThreadId() < 0 or >= max_threads) simply use the locked path.
+      reader_slots_ = topo.max_threads;
+      reader_stats_ = std::make_unique<ReaderStats[]>(
+          static_cast<std::size_t>(reader_slots_));
+    }
     buckets_.reserve(config.buckets);
     for (int i = 0; i < config.buckets; ++i) {
       buckets_.push_back(std::make_unique<Bucket>(topo));
@@ -91,26 +127,57 @@ class Kvs {
   // 60-second rule, only when the item has not been bumped recently; this is
   // why the paper's get-only test shows no synchronization bottleneck.
   //
-  // Known limitation (mirroring the modeled Memcached structure): the LRU
-  // bump re-uses the Item pointer after the bucket lock is dropped, so a
-  // concurrent Delete of the same key can free it first. The study's
-  // workloads (get-only / set-only, Section 6.4) never interleave Get and
-  // Delete on a key; fixing it eagerly (refcounts, or bumping under the
-  // bucket lock) would change the very lock-hold-time profile the experiment
-  // measures. Callers that cannot impose that discipline — ssyncd serves
-  // arbitrary remote clients — set Config::defer_free: Delete then only
-  // unlinks and *retires* the victim (marked under the LRU lock, where every
-  // deferred pointer dereference is serialized), and the memory is freed by
-  // the grace-period protocol below, so the dangling pointer can never touch
-  // freed memory.
+  // Get-vs-Delete contract. In the default configuration (defer_free off,
+  // mirroring the modeled Memcached structure) the LRU bump re-uses the Item
+  // pointer after the bucket lock is dropped, so a concurrent Delete of the
+  // same key can free it first: callers must not interleave Get and Delete
+  // on a key, which the study's workloads (get-only / set-only, Section 6.4)
+  // never do. Fixing it eagerly (refcounts, or bumping under the bucket
+  // lock) would change the very lock-hold-time profile the experiment
+  // measures. With Config::defer_free the restriction disappears: Delete
+  // only unlinks and *retires* the victim (marked under the LRU lock, where
+  // every deferred pointer dereference is serialized), the memory is freed
+  // by the grace-period protocol below, and Get may freely race Delete —
+  // this is the mode ssyncd runs, and the mode Config::optimistic_reads
+  // requires, since a lock-free reader can hold an Item pointer at any
+  // moment. The torture suites cover both regimes (KvsTortureTraits vs
+  // KvsDeferFreeTortureTraits in src/torture/table_torture.h).
   static constexpr std::uint64_t kLruTouchInterval = 100000000;
 
+  // Bounded conflict budget for the optimistic path: after this many
+  // discarded attempts on one get, take the bucket lock. Keeps worst-case
+  // latency under a write storm at "locked path + small constant".
+  static constexpr int kMaxOptimisticAttempts = 8;
+
   bool Get(std::uint64_t key, std::uint8_t* value_out) {
+    return Get(key, value_out, nullptr);
+  }
+
+  // served_optimistic (optional out): true when the result came from the
+  // validated lock-free path — the read-path torture history audit labels
+  // such reads in its violation reports.
+  bool Get(std::uint64_t key, std::uint8_t* value_out, bool* served_optimistic) {
+    if (served_optimistic != nullptr) {
+      *served_optimistic = false;
+    }
     Bucket& b = BucketOf(key);
     Item* item = nullptr;
     bool found = false;
     bool bump = false;
     const std::uint64_t now = Mem::Now();
+    if (ReaderStats* rs = ReaderSlot()) {
+      std::uint64_t touch = 0;
+      if (OptimisticGet(b, key, value_out, rs, &found, &item, &touch)) {
+        if (served_optimistic != nullptr) {
+          *served_optimistic = true;
+        }
+        if (found && now - touch > kLruTouchInterval) {
+          BumpLru(item, now);
+        }
+        return found;
+      }
+      // Fell back: proceed to the locked path below.
+    }
     {
       LockGuard<Lock> guard(b.lock);
       item = Find(b, key);
@@ -130,14 +197,7 @@ class Kvs {
       }
     }
     if (bump) {
-      LockGuard<Lock> guard(lru_lock_);
-      // A concurrent Delete may have retired the item since the bucket lock
-      // dropped (defer_free mode); re-linking it into the LRU would
-      // resurrect a dead node. The flag is written and read under this lock.
-      if (!item->retired) {
-        LruTouch(item);
-        item->last_touch.SetInit(now);
-      }
+      BumpLru(item, now);
     }
     return found;
   }
@@ -146,8 +206,9 @@ class Kvs {
   // are folded into a single cache-lock acquisition — the server layer's
   // multi-key `get` pays one global-lock handoff per request instead of one
   // per key. values_out is n * kKvsValueBytes; found_out[i] says whether
-  // keys[i] was present. Returns the hit count. The Get/Delete hazard
-  // documented above applies to each bumped item.
+  // keys[i] was present. Returns the hit count. The Get/Delete contract
+  // documented above applies to each bumped item. With optimistic_reads each
+  // key is attempted lock-free first, falling back per key.
   std::size_t GetMulti(const std::uint64_t* keys, std::size_t n,
                        std::uint8_t* values_out, bool* found_out) {
     std::size_t hits = 0;
@@ -157,8 +218,25 @@ class Kvs {
     // buffer on the stack avoids allocation on the hot path.
     constexpr std::size_t kMaxBatchBumps = 64;
     Item* bump_items[kMaxBatchBumps];
+    ReaderStats* rs = ReaderSlot();
     for (std::size_t i = 0; i < n; ++i) {
       Bucket& b = BucketOf(keys[i]);
+      if (rs != nullptr) {
+        bool found = false;
+        Item* item = nullptr;
+        std::uint64_t touch = 0;
+        if (OptimisticGet(b, keys[i], values_out + i * kKvsValueBytes, rs,
+                          &found, &item, &touch)) {
+          found_out[i] = found;
+          if (found) {
+            ++hits;
+            if (bumps < kMaxBatchBumps && now - touch > kLruTouchInterval) {
+              bump_items[bumps++] = item;
+            }
+          }
+          continue;
+        }
+      }
       LockGuard<Lock> guard(b.lock);
       Item* item = Find(b, keys[i]);
       b.stats.Bump(&ShardStats::gets);
@@ -198,21 +276,33 @@ class Kvs {
     bool created = false;
     {
       LockGuard<Lock> guard(b.lock);
+      SeqWriteGuard seq(b, config_.optimistic_reads);
       item = Find(b, key);
       b.stats.Bump(&ShardStats::sets);
       if (item == nullptr) {
         created = true;
         b.stats.Bump(&ShardStats::set_creates);
         item = new Item;
+        // Plain initialization is safe: the item only becomes reachable via
+        // the release store publishing it below, which pairs with the
+        // optimistic reader's acquire chain-pointer loads.
         item->key = key;
         item->hash_next = b.head;
-        b.head = item;
+        if (value != nullptr) {
+          std::memcpy(item->value, value, kKvsValueBytes);
+        }
+        Mem::WriteData(item, sizeof(Item));
+        Mem::StoreRelease(&b.head, item);
         Mem::WriteData(&b.head, sizeof(b.head));
+      } else {
+        if (value != nullptr) {
+          // The item is published; lock-free readers may be copying the
+          // value right now. Word-atomic stores keep the race defined — a
+          // torn copy is discarded by the reader's sequence validation.
+          Mem::StoreWordsRelaxed(item->value, value, kKvsValueBytes);
+        }
+        Mem::WriteData(item, sizeof(Item));
       }
-      if (value != nullptr) {
-        std::memcpy(item->value, value, kKvsValueBytes);
-      }
-      Mem::WriteData(item, sizeof(Item));
     }
 
     {
@@ -236,12 +326,18 @@ class Kvs {
     Item* victim = nullptr;
     {
       LockGuard<Lock> guard(b.lock);
+      SeqWriteGuard seq(b, config_.optimistic_reads);
       b.stats.Bump(&ShardStats::deletes);
       Item** link = &b.head;
       for (Item* item = b.head; item != nullptr; item = item->hash_next) {
         Mem::ReadData(item, 2 * sizeof(std::uint64_t));
         if (item->key == key) {
-          *link = item->hash_next;
+          // Release: the bypass pointer targets an older, fully-published
+          // item, and a lock-free reader must see that item's fields once it
+          // acquire-loads this link. The victim's own hash_next is left
+          // intact — a reader paused on the victim keeps walking the (older
+          // remainder of the) chain, and defer_free keeps the node alive.
+          Mem::StoreRelease(link, item->hash_next);
           Mem::WriteData(link, sizeof(*link));
           victim = item;
           b.stats.Bump(&ShardStats::delete_hits);
@@ -318,6 +414,16 @@ class Kvs {
       total.deletes += bucket->stats.deletes.PeekInit();
       total.delete_hits += bucket->stats.delete_hits.PeekInit();
     }
+    // Lock-free gets are counted in per-thread slots (the fast path may not
+    // RMW a shared counter); fold them into the same totals.
+    for (int i = 0; i < reader_slots_; ++i) {
+      const ReaderStats& rs = reader_stats_[i];
+      total.gets += rs.gets.PeekInit();
+      total.get_hits += rs.get_hits.PeekInit();
+      total.optimistic_hits += rs.optimistic_hits.PeekInit();
+      total.optimistic_retries += rs.optimistic_retries.PeekInit();
+      total.optimistic_fallbacks += rs.optimistic_fallbacks.PeekInit();
+    }
     return total;
   }
 
@@ -358,6 +464,59 @@ class Kvs {
     Lock lock;
     Item* head = nullptr;
     ShardStats stats;
+    // Seqlock sequence word for Config::optimistic_reads: even = stable,
+    // odd = a writer is inside the bucket critical section. Bumped (two
+    // plain stores) by Set/Delete only when the knob is on. Placed last so
+    // the lock/head/stats offsets — and the simulator's address-derived
+    // charging for them — are unchanged when the knob is off.
+    typename Mem::template Atomic<std::uint64_t> seq{0};
+  };
+
+  // RAII writer half of the seqlock protocol, constructed inside the bucket
+  // lock (so destruction — the even store — precedes the unlock). Protocol:
+  // relaxed store of seq+1, release fence, mutate, release store of seq+2.
+  // If a lock-free reader's data copy observes any store sequenced after the
+  // writer's release fence, the fence pair (writer release, reader acquire
+  // before revalidating) guarantees the reader's reload of seq observes the
+  // odd value — so a torn copy can never validate.
+  class SeqWriteGuard {
+   public:
+    SeqWriteGuard(Bucket& b, bool enabled) : b_(b), enabled_(enabled) {
+      if (!enabled_) {
+        return;
+      }
+      seq_ = b_.seq.PeekInit();
+      b_.seq.SetInit(seq_ + 1);
+      Mem::ReleaseFence();
+    }
+    ~SeqWriteGuard() {
+      if (!enabled_) {
+        return;
+      }
+      b_.seq.Store(seq_ + 2);  // release: publishes the mutation
+    }
+    SeqWriteGuard(const SeqWriteGuard&) = delete;
+    SeqWriteGuard& operator=(const SeqWriteGuard&) = delete;
+
+   private:
+    Bucket& b_;
+    bool enabled_;
+    std::uint64_t seq_ = 0;
+  };
+
+  // Per-thread fast-path counters (see the ctor note). Padded to a line so
+  // two readers never share one.
+  struct alignas(kCacheLineSize) ReaderStats {
+    typename Mem::template Atomic<std::uint64_t> gets{0};
+    typename Mem::template Atomic<std::uint64_t> get_hits{0};
+    typename Mem::template Atomic<std::uint64_t> optimistic_hits{0};
+    typename Mem::template Atomic<std::uint64_t> optimistic_retries{0};
+    typename Mem::template Atomic<std::uint64_t> optimistic_fallbacks{0};
+
+    void Bump(typename Mem::template Atomic<std::uint64_t> ReaderStats::*counter) {
+      auto& c = this->*counter;
+      c.SetInit(c.PeekInit() + 1);
+    }
   };
 
   Bucket& BucketOf(std::uint64_t key) {
@@ -374,6 +533,114 @@ class Kvs {
       }
     }
     return nullptr;
+  }
+
+  // Deferred LRU bump, shared by the locked and optimistic read paths.
+  void BumpLru(Item* item, std::uint64_t now) {
+    LockGuard<Lock> guard(lru_lock_);
+    // A concurrent Delete may have retired the item since it was resolved;
+    // re-linking it into the LRU would resurrect a dead node. The flag is
+    // written and read under this lock.
+    if (!item->retired) {
+      LruTouch(item);
+      item->last_touch.SetInit(now);
+    }
+  }
+
+  // --- Optimistic (lock-free, validated) read path. Fast-path instruction
+  // mix: loads, stores, and two no-op-on-x86 fences — zero atomic RMWs.
+
+  ReaderStats* ReaderSlot() {
+    if (reader_stats_ == nullptr) {
+      return nullptr;
+    }
+    const int tid = Mem::ThreadId();
+    if (tid < 0 || tid >= reader_slots_) {
+      return nullptr;
+    }
+    return &reader_stats_[tid];
+  }
+
+  enum class OptimisticOutcome { kHit, kMiss, kConflict };
+
+  // One seqlock-validated attempt. On kHit the value has been copied to
+  // value_out and *item_out/*touch_out describe the item for the deferred
+  // LRU bump; kConflict means a writer interfered and nothing was written.
+  //
+  // Traversal terminates without a step bound: hash_next always points to a
+  // strictly older item (Delete rewrites bypass links, never the victim's
+  // own hash_next), so chains are acyclic even mid-update, and defer_free
+  // (implied by optimistic_reads) keeps every reachable node allocated
+  // until the grace-period protocol proves no reader holds it.
+  OptimisticOutcome TryOptimisticGet(Bucket& b, std::uint64_t key,
+                                     std::uint8_t* value_out, Item** item_out,
+                                     std::uint64_t* touch_out) {
+    const std::uint64_t s1 = b.seq.Load();  // acquire
+    if ((s1 & 1) != 0) {
+      return OptimisticOutcome::kConflict;  // writer in the critical section
+    }
+    Mem::ReadData(&b.head, sizeof(b.head));
+    Item* item = Mem::LoadAcquire(&b.head);
+    bool found = false;
+    std::uint64_t touch = 0;
+    alignas(8) std::uint8_t buf[kKvsValueBytes];
+    while (item != nullptr) {
+      Mem::ReadData(item, 2 * sizeof(std::uint64_t));
+      if (Mem::LoadRelaxed(&item->key) == key) {
+        // Copy into a private buffer first: a torn read must be discarded
+        // without ever scribbling on the caller's value_out.
+        Mem::ReadData(item->value, kKvsValueBytes);
+        Mem::CopyWordsRelaxed(buf, item->value, kKvsValueBytes);
+        touch = item->last_touch.PeekInit();
+        found = true;
+        break;
+      }
+      item = Mem::LoadAcquire(&item->hash_next);
+    }
+    Mem::AcquireFence();
+    if (b.seq.PeekInit() != s1) {
+      return OptimisticOutcome::kConflict;  // raced a writer; discard
+    }
+    if (!found) {
+      return OptimisticOutcome::kMiss;
+    }
+    if (value_out != nullptr) {
+      std::memcpy(value_out, buf, kKvsValueBytes);
+    }
+    *item_out = item;
+    *touch_out = touch;
+    return OptimisticOutcome::kHit;
+  }
+
+  // Loops TryOptimisticGet up to the attempt budget. Returns true when the
+  // get was served lock-free (found/value/item/touch filled in); false means
+  // the caller must take the locked path (the fallback is already counted).
+  bool OptimisticGet(Bucket& b, std::uint64_t key, std::uint8_t* value_out,
+                     ReaderStats* rs, bool* found_out, Item** item_out,
+                     std::uint64_t* touch_out) {
+    for (int attempt = 0; attempt < kMaxOptimisticAttempts; ++attempt) {
+      Item* item = nullptr;
+      std::uint64_t touch = 0;
+      const OptimisticOutcome oc =
+          TryOptimisticGet(b, key, value_out, &item, &touch);
+      if (oc == OptimisticOutcome::kConflict) {
+        rs->Bump(&ReaderStats::optimistic_retries);
+        Mem::Pause(1 + static_cast<std::uint64_t>(attempt));
+        continue;
+      }
+      rs->Bump(&ReaderStats::gets);
+      rs->Bump(&ReaderStats::optimistic_hits);
+      const bool found = oc == OptimisticOutcome::kHit;
+      if (found) {
+        rs->Bump(&ReaderStats::get_hits);
+        *item_out = item;
+        *touch_out = touch;
+      }
+      *found_out = found;
+      return true;
+    }
+    rs->Bump(&ReaderStats::optimistic_fallbacks);
+    return false;
   }
 
   // The LRU operations charge the coherent accesses they perform: the
@@ -434,6 +701,10 @@ class Kvs {
 
   Config config_;
   std::vector<std::unique_ptr<Bucket>> buckets_;
+  // optimistic_reads mode: per-thread fast-path counters, indexed by
+  // Mem::ThreadId(); null when the knob is off.
+  std::unique_ptr<ReaderStats[]> reader_stats_;
+  int reader_slots_ = 0;
   Lock lru_lock_;           // memcached's global cache lock
   Lock maintenance_lock_;   // periodic global rebalancing lock
   typename Mem::template Atomic<std::uint32_t> set_counter_{0};

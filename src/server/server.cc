@@ -245,6 +245,18 @@ struct KvServer::Worker {
         AppendStatReply("cmd_set", stats.store.sets, &conn->out);
         AppendStatReply("cmd_delete", stats.store.deletes, &conn->out);
         AppendStatReply("delete_hits", stats.store.delete_hits, &conn->out);
+        // Seqlock read-path telemetry (all zero unless --optimistic-reads):
+        // lets an operator confirm the fast path is on and actually serving.
+        AppendStatReply("optimistic_reads",
+                        static_cast<std::uint64_t>(
+                            server->config_.store.optimistic_reads ? 1 : 0),
+                        &conn->out);
+        AppendStatReply("optimistic_hits", stats.store.optimistic_hits,
+                        &conn->out);
+        AppendStatReply("optimistic_retries", stats.store.optimistic_retries,
+                        &conn->out);
+        AppendStatReply("optimistic_fallbacks", stats.store.optimistic_fallbacks,
+                        &conn->out);
         AppendStatReply("curr_items_approx", stats.curr_items, &conn->out);
         AppendStatReply("rejected_sets", stats.rejected_sets, &conn->out);
         AppendStatReply("max_items",

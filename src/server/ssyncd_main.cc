@@ -40,6 +40,10 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.Int("buckets", 1024, "hash-table buckets"));
   config.store.maintenance_interval = static_cast<int>(cli.Int(
       "maintenance_interval", 50, "global-lock maintenance pass every N sets"));
+  config.store.optimistic_reads = cli.Bool(
+      "optimistic-reads", false,
+      "seqlock-validated lock-free gets (zero atomic RMWs when uncontended); "
+      "`stats` echoes optimistic_reads/hits/retries/fallbacks");
   cli.Finish();
   config.lock = LockKindFromString(lock_name);
   if (!PlacementFromString(placement_name, &config.placement)) {
@@ -54,9 +58,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ssyncd: %s\n", error.c_str());
     return 1;
   }
-  std::fprintf(stderr, "ssyncd: serving on %s:%u (%d workers, %s lock, %s placement)\n",
+  std::fprintf(stderr,
+               "ssyncd: serving on %s:%u (%d workers, %s lock, %s placement, "
+               "%s reads)\n",
                config.host.c_str(), server.port(), config.workers,
-               ToString(config.lock), ToString(config.placement));
+               ToString(config.lock), ToString(config.placement),
+               config.store.optimistic_reads ? "optimistic" : "locked");
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

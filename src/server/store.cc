@@ -38,6 +38,7 @@ class KvStoreImpl final : public KvStore {
     config.maintenance_interval = c.maintenance_interval;
     config.maintenance_buckets = c.maintenance_buckets;
     config.defer_free = c.defer_free;
+    config.optimistic_reads = c.optimistic_reads;
     return config;
   }
 

@@ -83,6 +83,12 @@ struct KvStoreConfig {
   // Delete on one key, so victims must outlive any in-flight operation
   // (Kvs grace-period reclamation; see kvs.h).
   bool defer_free = true;
+  // Seqlock-validated lock-free gets (Kvs::Config::optimistic_reads; ssyncd
+  // --optimistic-reads). Safe here by construction: a worker's in-flight Get
+  // ends before the worker reaches its event-loop quiescent point, so the
+  // grace-period protocol already proves no optimistic reader can hold a
+  // reclaimed item.
+  bool optimistic_reads = false;
 };
 
 // Uniform store interface the server loop drives. All methods are

@@ -10,6 +10,16 @@
 // the table is a correct hash table on the native backend); on the simulated
 // backend every traversal charges the corresponding coherent line accesses
 // through Mem::ReadData / Mem::WriteData.
+//
+// Optional seqlock read path (ctor flag `optimistic_reads`; see
+// docs/ARCHITECTURE.md, "The optimistic read path"): Get first attempts a
+// lock-free acquire-load → copy → validate read against a per-bucket
+// sequence counter, falling back to the locked path after a bounded number
+// of conflicts. Unlike Kvs, removed nodes are recycled through per-bucket
+// free lists (never freed before the table is destroyed), so a stalled
+// reader can hold any node safely — but recycling means a stale traversal
+// can transiently cycle, so the optimistic walk is step-bounded and bails
+// to a retry when the bound trips.
 #ifndef SRC_SSHT_SSHT_H_
 #define SRC_SSHT_SSHT_H_
 
@@ -29,8 +39,15 @@ inline constexpr int kSshtPayloadBytes = 64;
 template <typename Mem, typename Lock>
 class Ssht {
  public:
-  Ssht(int num_buckets, const LockTopology& topo)
-      : num_buckets_(num_buckets) {
+  // Conflict budgets for the optimistic read path: attempts per Get before
+  // falling back to the bucket lock, and traversal steps per attempt before
+  // declaring the snapshot stale (free-list recycling can lace a stale view
+  // into a transient cycle).
+  static constexpr int kMaxOptimisticAttempts = 8;
+  static constexpr int kMaxOptimisticSteps = 1024;
+
+  Ssht(int num_buckets, const LockTopology& topo, bool optimistic_reads = false)
+      : num_buckets_(num_buckets), optimistic_reads_(optimistic_reads) {
     SSYNC_CHECK_GT(num_buckets, 0);
     buckets_.reserve(num_buckets);
     for (int i = 0; i < num_buckets; ++i) {
@@ -40,7 +57,28 @@ class Ssht {
 
   // Returns true and copies the payload if the key is present.
   bool Get(std::uint64_t key, std::uint8_t* payload_out) {
+    return Get(key, payload_out, nullptr);
+  }
+
+  // served_optimistic (optional out): true when the result came from the
+  // validated lock-free path.
+  bool Get(std::uint64_t key, std::uint8_t* payload_out, bool* served_optimistic) {
+    if (served_optimistic != nullptr) {
+      *served_optimistic = false;
+    }
     Bucket& b = BucketOf(key);
+    if (optimistic_reads_) {
+      for (int attempt = 0; attempt < kMaxOptimisticAttempts; ++attempt) {
+        bool found = false;
+        if (TryOptimisticGet(b, key, payload_out, &found)) {
+          if (served_optimistic != nullptr) {
+            *served_optimistic = true;
+          }
+          return found;
+        }
+        Mem::Pause(1 + static_cast<std::uint64_t>(attempt));
+      }
+    }
     LockGuard<Lock> guard(b.lock);
     Node* node = Find(b, key);
     const bool found = node != nullptr;
@@ -61,21 +99,30 @@ class Ssht {
   bool Put(std::uint64_t key, const std::uint8_t* payload) {
     Bucket& b = BucketOf(key);
     LockGuard<Lock> guard(b.lock);
+    SeqWriteGuard seq(b, optimistic_reads_);
     if (Node* existing = Find(b, key); existing != nullptr) {
       if (payload != nullptr) {
-        std::memcpy(existing->payload, payload, kSshtPayloadBytes);
+        // The node is published; a lock-free reader may be copying it. The
+        // word-atomic stores keep the race defined — a torn copy is
+        // discarded by the reader's sequence validation.
+        Mem::StoreWordsRelaxed(existing->payload, payload, kSshtPayloadBytes);
       }
       Mem::WriteData(existing->payload, kSshtPayloadBytes);
       return false;
     }
     Node* node = AllocNode(b);
-    node->key = key;
+    // The node may be recycled off the free list while a stalled reader
+    // still holds a pointer to it, so even these "initialization" stores
+    // race reader loads and must be atomic.
+    Mem::StoreRelaxed(&node->key, key);
     if (payload != nullptr) {
-      std::memcpy(node->payload, payload, kSshtPayloadBytes);
+      Mem::StoreWordsRelaxed(node->payload, payload, kSshtPayloadBytes);
     }
-    node->next = b.head;
-    b.head = node;
+    Mem::StoreRelaxed(&node->next, b.head);
     Mem::WriteData(node, sizeof(Node));
+    // Release publication pairs with the reader's acquire chain-pointer
+    // loads: once the node is reachable, its fields above are visible.
+    Mem::StoreRelease(&b.head, node);
     Mem::WriteData(&b.head, sizeof(b.head));
     return true;
   }
@@ -84,13 +131,14 @@ class Ssht {
   bool Remove(std::uint64_t key) {
     Bucket& b = BucketOf(key);
     LockGuard<Lock> guard(b.lock);
+    SeqWriteGuard seq(b, optimistic_reads_);
     Node** link = &b.head;
     Node* node = b.head;
     Mem::ReadData(&b.head, sizeof(b.head));
     while (node != nullptr) {
       Mem::ReadData(node, 2 * sizeof(std::uint64_t));
       if (node->key == key) {
-        *link = node->next;
+        Mem::StoreRelease(link, node->next);
         Mem::WriteData(link, sizeof(*link));
         FreeNode(b, node);
         return true;
@@ -157,6 +205,38 @@ class Ssht {
     Lock lock;
     Node* head = nullptr;
     Node* free_list = nullptr;
+    // Seqlock sequence word (even = stable, odd = writer in the critical
+    // section); bumped by Put/Remove only when optimistic reads are on.
+    // Placed last so the existing field offsets — and the simulator's
+    // address-derived charging — are unchanged when the flag is off.
+    typename Mem::template Atomic<std::uint64_t> seq{0};
+  };
+
+  // RAII writer half of the seqlock protocol; same fence argument as
+  // Kvs::SeqWriteGuard (kvs.h) and docs/ARCHITECTURE.md.
+  class SeqWriteGuard {
+   public:
+    SeqWriteGuard(Bucket& b, bool enabled) : b_(b), enabled_(enabled) {
+      if (!enabled_) {
+        return;
+      }
+      seq_ = b_.seq.PeekInit();
+      b_.seq.SetInit(seq_ + 1);
+      Mem::ReleaseFence();
+    }
+    ~SeqWriteGuard() {
+      if (!enabled_) {
+        return;
+      }
+      b_.seq.Store(seq_ + 2);  // release: publishes the mutation
+    }
+    SeqWriteGuard(const SeqWriteGuard&) = delete;
+    SeqWriteGuard& operator=(const SeqWriteGuard&) = delete;
+
+   private:
+    Bucket& b_;
+    bool enabled_;
+    std::uint64_t seq_ = 0;
   };
 
   std::size_t IndexOf(std::uint64_t key) const {
@@ -165,6 +245,46 @@ class Ssht {
   }
 
   Bucket& BucketOf(std::uint64_t key) { return *buckets_[IndexOf(key)]; }
+
+  // One seqlock-validated lock-free lookup attempt. Returns true when the
+  // snapshot validated (found/payload filled in); false on any conflict —
+  // odd sequence, moved sequence, or a step-bound trip (a stale view laced
+  // through recycled nodes can transiently cycle). Nothing is written to
+  // payload_out unless the snapshot validated.
+  bool TryOptimisticGet(Bucket& b, std::uint64_t key, std::uint8_t* payload_out,
+                        bool* found_out) {
+    const std::uint64_t s1 = b.seq.Load();  // acquire
+    if ((s1 & 1) != 0) {
+      return false;  // writer in the critical section
+    }
+    Mem::ReadData(&b.head, sizeof(b.head));
+    Node* node = Mem::LoadAcquire(&b.head);
+    bool found = false;
+    alignas(8) std::uint8_t buf[kSshtPayloadBytes];
+    int steps = 0;
+    while (node != nullptr) {
+      if (++steps > kMaxOptimisticSteps) {
+        return false;  // almost certainly a cycle through the free list
+      }
+      Mem::ReadData(node, 2 * sizeof(std::uint64_t));
+      if (Mem::LoadRelaxed(&node->key) == key) {
+        Mem::ReadData(node->payload, kSshtPayloadBytes);
+        Mem::CopyWordsRelaxed(buf, node->payload, kSshtPayloadBytes);
+        found = true;
+        break;
+      }
+      node = Mem::LoadAcquire(&node->next);
+    }
+    Mem::AcquireFence();
+    if (b.seq.PeekInit() != s1) {
+      return false;  // raced a writer; discard the copy
+    }
+    if (found && payload_out != nullptr) {
+      std::memcpy(payload_out, buf, kSshtPayloadBytes);
+    }
+    *found_out = found;
+    return true;
+  }
 
   Node* Find(Bucket& b, std::uint64_t key) {
     Mem::ReadData(&b.head, sizeof(b.head));
@@ -190,11 +310,16 @@ class Ssht {
   }
 
   void FreeNode(Bucket& b, Node* node) {
-    node->next = b.free_list;
+    // A stalled optimistic reader may still follow node->next — the store
+    // splices the free list into its stale view, which the step bound and
+    // sequence validation handle; it just has to be a well-defined store.
+    // free_list itself is only touched under the bucket lock.
+    Mem::StoreRelease(&node->next, b.free_list);
     b.free_list = node;
   }
 
   int num_buckets_;
+  bool optimistic_reads_;
   std::vector<std::unique_ptr<Bucket>> buckets_;
 };
 

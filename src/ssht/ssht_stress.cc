@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/mem_native.h"
 #include "src/core/mem_sim.h"
 #include "src/locks/locks.h"
 #include "src/mp/ssmp.h"
@@ -51,14 +52,16 @@ void RunOp(Rng& rng, double get_fraction, std::uint64_t key_range, Fn&& op) {
 
 }  // namespace
 
-SshtResult SshtLockStress(SimRuntime& rt, const SshtConfig& config, LockKind kind,
+template <typename Runtime>
+SshtResult SshtLockStress(Runtime& rt, const SshtConfig& config, LockKind kind,
                           int threads) {
+  using Mem = typename Runtime::Mem;
   const PlatformSpec& spec = rt.spec();
   const LockTopology topo = LockTopology::ForPlatform(spec, threads);
   SshtResult result;
 
-  WithLockType<SimMem>(kind, [&]<typename L>() {
-    Ssht<SimMem, L> table(config.buckets, topo);
+  WithLockType<Mem>(kind, [&]<typename L>() {
+    Ssht<Mem, L> table(config.buckets, topo, config.optimistic_reads);
     rt.PlaceData(table.buckets_data(), table.buckets_bytes(), 0);
     std::uint64_t key_range = 0;
     rt.Run(1, [&](int) {  // prefill charges simulated accesses
@@ -67,10 +70,10 @@ SshtResult SshtLockStress(SimRuntime& rt, const SshtConfig& config, LockKind kin
 
     std::vector<std::uint64_t> ops(threads, 0);
     std::uint8_t payload[kSshtPayloadBytes] = {};
-    rt.RunFor(threads, config.duration, [&](int tid) {
+    rt.RunForCycles(threads, config.duration, [&](int tid) {
       Rng rng(config.seed * 2654435761u + tid);
       std::uint8_t out[kSshtPayloadBytes];
-      while (!SimMem::ShouldStop()) {
+      while (!Mem::ShouldStop()) {
         RunOp(rng, config.get_fraction, key_range, [&](MpOp op, std::uint64_t key) {
           switch (op) {
             case kMpGet:
@@ -85,7 +88,7 @@ SshtResult SshtLockStress(SimRuntime& rt, const SshtConfig& config, LockKind kin
           }
         });
         ++ops[tid];
-        SimMem::Pause(30);  // between-request application work
+        Mem::Pause(30);  // between-request application work
       }
     });
     for (const std::uint64_t n : ops) {
@@ -95,6 +98,12 @@ SshtResult SshtLockStress(SimRuntime& rt, const SshtConfig& config, LockKind kin
   result.mops = MopsPerSec(result.ops, rt.last_duration(), spec.ghz);
   return result;
 }
+
+template SshtResult SshtLockStress<SimRuntime>(SimRuntime&, const SshtConfig&,
+                                               LockKind, int);
+template SshtResult SshtLockStress<NativeRuntime>(NativeRuntime&,
+                                                  const SshtConfig&, LockKind,
+                                                  int);
 
 SshtResult SshtMpStress(SimRuntime& rt, const SshtConfig& config, int threads) {
   const PlatformSpec& spec = rt.spec();

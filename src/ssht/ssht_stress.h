@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "src/core/runtime_native.h"
 #include "src/core/runtime_sim.h"
 #include "src/locks/lock_common.h"
 
@@ -26,6 +27,10 @@ struct SshtConfig {
   // Message-passing flavor: one server per this many threads (the paper ran
   // one server per three cores, the best ratio on its machines).
   int threads_per_server = 3;
+  // Lock-based flavor: seqlock-validated lock-free gets (Ssht's optimistic
+  // read path). Native-backend knob; sim runs keep it off so the simulated
+  // figures stay paper-faithful.
+  bool optimistic_reads = false;
 };
 
 struct SshtResult {
@@ -38,9 +43,20 @@ struct SshtResult {
   int servers = 0;
 };
 
-// Lock-based run with `kind` protecting each bucket.
-SshtResult SshtLockStress(SimRuntime& rt, const SshtConfig& config, LockKind kind,
+// Lock-based run with `kind` protecting each bucket. Generic over the
+// runtime (the fig11 experiment drives it on both backends); defined in
+// ssht_stress.cc with explicit instantiations for SimRuntime and
+// NativeRuntime.
+template <typename Runtime>
+SshtResult SshtLockStress(Runtime& rt, const SshtConfig& config, LockKind kind,
                           int threads);
+
+extern template SshtResult SshtLockStress<SimRuntime>(SimRuntime&,
+                                                      const SshtConfig&,
+                                                      LockKind, int);
+extern template SshtResult SshtLockStress<NativeRuntime>(NativeRuntime&,
+                                                         const SshtConfig&,
+                                                         LockKind, int);
 
 // Message-passing run: servers = max(1, threads / 3) of the given thread
 // count (threads == 1 runs the paper's one-server/one-client configuration).

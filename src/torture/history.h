@@ -37,6 +37,12 @@ struct TableOp {
   // Get: key was present. Remove: key was present. Put: key was newly
   // inserted (vs updated in place) — not checked, tables differ.
   bool found = false;
+  // Get only: the table answered via its validated lock-free read path
+  // (Kvs/Ssht optimistic_reads) instead of the bucket lock. Optimistic reads
+  // participate in the register audit exactly like locked ones — same
+  // interval rules — and violation reports label them, so a seqlock bug
+  // shows up attributed to the path that produced it.
+  bool optimistic = false;
   std::uint64_t t_inv = 0;   // clock just before the call
   std::uint64_t t_resp = 0;  // clock just after it returned
 };

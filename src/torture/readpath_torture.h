@@ -1,0 +1,137 @@
+// Read-path torture: aims a pack of hot-loop readers at Set/Delete storms
+// and checks two properties no interval analysis is needed for — so it can
+// run far more reads per second than the history-based torturers:
+//
+//   * Torn reads: every returned payload must decode as one replicated
+//     64-bit write tag (EncodePayload/DecodePayload, table_torture.h). A
+//     seqlock that validates too early, fences in the wrong place, or
+//     re-reads the sequence word non-atomically returns a half-copied
+//     payload here.
+//   * Staleness: each written value embeds a per-key version that the key's
+//     single writer increments monotonically (across deletes too). Two
+//     sequential reads by one reader are real-time ordered, so a reader
+//     that ever observes key k at version v must never later observe k at a
+//     version < v. A validated-but-stale snapshot (e.g. validating against
+//     the wrong bucket's sequence word) fails this without any clock math.
+//   * Cross-key leakage: the value also embeds the key it was written for;
+//     a chain-walk bug that returns another key's node shows up directly.
+//
+// The storm deliberately includes deletes while readers are live: for Kvs
+// this is only legal with Config::defer_free (implied by optimistic_reads),
+// which is exactly the contract the suite exists to prove (see kvs.h).
+// Works against any Traits from table_torture.h on either backend; run it
+// with the table's optimistic path on and off to referee both.
+#ifndef SRC_TORTURE_READPATH_TORTURE_H_
+#define SRC_TORTURE_READPATH_TORTURE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/torture/table_torture.h"
+#include "src/torture/torture.h"
+#include "src/util/rng.h"
+
+namespace ssync {
+
+struct ReadPathTortureOptions {
+  int writers = 2;
+  int readers = 2;
+  int keys = 16;    // key k belongs to writer k % writers
+  int rounds = 64;  // write passes per writer over its key set
+  // Reads per reader = rounds * keys (readers hammer while writers storm).
+  std::uint64_t seed = 1;
+  double delete_fraction = 0.3;  // chance a write slot deletes instead
+};
+
+namespace torture_internal {
+
+// Value layout: (key + 1) in the top 24 bits, version in the low 40. The
+// key field catches cross-key leakage, the version drives the monotonicity
+// check; both survive DecodePayload's torn-read screen.
+inline constexpr int kReadPathVersionBits = 40;
+
+inline std::uint64_t ReadPathValue(std::uint64_t key, std::uint64_t version) {
+  return ((key + 1) << kReadPathVersionBits) | version;
+}
+
+}  // namespace torture_internal
+
+// Returns the merged report; report.ops counts reads + writes. The caller
+// asserts report.ok() and — when the table exposes stats — that the
+// optimistic path actually served reads.
+template <typename Runtime, typename Traits>
+TortureReport TortureReadPath(Runtime& rt, typename Traits::Table& table,
+                              const ReadPathTortureOptions& opts) {
+  using Mem = typename Runtime::Mem;
+  const int threads = opts.writers + opts.readers;
+  TortureReport report;
+  std::vector<TortureReport> reports(threads);
+
+  rt.Run(threads, [&](int tid) {
+    Rng rng(opts.seed * 67 + static_cast<std::uint64_t>(tid));
+    TortureReport& r = reports[tid];
+    if (tid < opts.writers) {
+      // Single writer per key: version = round + 1 increases monotonically
+      // whether or not delete slots intervene, so a post-delete re-insert
+      // still never moves a key's version backwards.
+      for (int round = 0; round < opts.rounds; ++round) {
+        for (std::uint64_t key = static_cast<std::uint64_t>(tid);
+             key < static_cast<std::uint64_t>(opts.keys);
+             key += static_cast<std::uint64_t>(opts.writers)) {
+          if (rng.NextBool(opts.delete_fraction)) {
+            Traits::Remove(table, key);
+          } else {
+            Traits::Put(table, key,
+                        torture_internal::ReadPathValue(
+                            key, static_cast<std::uint64_t>(round + 1)));
+          }
+          ++r.ops;
+          Mem::Pause(rng.NextBelow(50));
+        }
+      }
+    } else {
+      std::vector<std::uint64_t> max_version(
+          static_cast<std::size_t>(opts.keys), 0);
+      const int reads = opts.rounds * opts.keys;
+      for (int i = 0; i < reads; ++i) {
+        const std::uint64_t key =
+            rng.NextBelow(static_cast<std::uint64_t>(opts.keys));
+        std::uint64_t value = 0;
+        bool optimistic = false;
+        if (Traits::Get(table, key, &value, &r, &optimistic)) {
+          const char* path = optimistic ? " [optimistic]" : " [locked]";
+          const std::uint64_t got_key =
+              (value >> torture_internal::kReadPathVersionBits) - 1;
+          const std::uint64_t version =
+              value &
+              ((std::uint64_t{1} << torture_internal::kReadPathVersionBits) - 1);
+          if (got_key != key) {
+            r.Violation("cross-key read: key " + std::to_string(key) +
+                        " returned a value written for key " +
+                        std::to_string(got_key) + path);
+          } else if (version < max_version[key]) {
+            r.Violation("stale read: key " + std::to_string(key) +
+                        " went backwards from version " +
+                        std::to_string(max_version[key]) + " to " +
+                        std::to_string(version) + path);
+          } else {
+            max_version[key] = version;
+          }
+        }
+        ++r.ops;
+        Mem::Pause(rng.NextBelow(30));
+      }
+    }
+  });
+
+  for (const TortureReport& r : reports) {
+    report.Merge(r);
+  }
+  return report;
+}
+
+}  // namespace ssync
+
+#endif  // SRC_TORTURE_READPATH_TORTURE_H_

@@ -16,10 +16,13 @@
 // half-copied (torn) payload — two writers in the same critical section —
 // cannot decode cleanly.
 //
-// Kvs mirrors Memcached's documented limitation (kvs.h): a Get racing a
-// Delete on the same key may touch a freed item. The torturers honor the
-// modeled structure: Kvs phases never issue a Remove while concurrent Gets
-// are possible (TableTortureTraits<...>::kRemoveRacesWithGet).
+// Kvs Get-vs-Delete discipline depends on configuration (see the contract in
+// kvs.h). In the default immediate-free structure a Get racing a Delete on
+// the same key may touch a freed item, so KvsTortureTraits phases never issue
+// a Remove while concurrent Gets are possible (kRemoveRacesWithGet). With
+// Config::defer_free (and therefore with optimistic_reads, which implies it)
+// the race is safe — victims are retired, not freed — and
+// KvsDeferFreeTortureTraits lets the torturers throw removes at live readers.
 #ifndef SRC_TORTURE_TABLE_TORTURE_H_
 #define SRC_TORTURE_TABLE_TORTURE_H_
 
@@ -102,9 +105,9 @@ struct SshtTortureTraits {
     t.Put(key, payload);
   }
   static bool Get(Table& t, std::uint64_t key, std::uint64_t* value,
-                  TortureReport* report) {
+                  TortureReport* report, bool* optimistic = nullptr) {
     std::uint8_t payload[kSshtPayloadBytes];
-    if (!t.Get(key, payload)) {
+    if (!t.Get(key, payload, optimistic)) {
       return false;
     }
     *value = torture_internal::DecodePayload(payload, kSshtPayloadBytes, key, report);
@@ -116,9 +119,11 @@ struct SshtTortureTraits {
 template <typename Mem, typename Lock>
 struct KvsTortureTraits {
   using Table = Kvs<Mem, Lock>;
-  // kvs.h documents that a Get may race a concurrent Delete of the same key
-  // into a use-after-free (mirroring the modeled Memcached structure), so
-  // mixed-phase removes are disabled for this table.
+  // In the default immediate-free Kvs configuration a Get may race a
+  // concurrent Delete of the same key into a use-after-free (mirroring the
+  // modeled Memcached structure; see the contract in kvs.h), so mixed-phase
+  // removes are disabled for this traits type. Tables configured with
+  // defer_free lift the restriction — use KvsDeferFreeTortureTraits below.
   static constexpr bool kRemoveRacesWithGet = true;
 
   static void Put(Table& t, std::uint64_t key, std::uint64_t value) {
@@ -127,15 +132,24 @@ struct KvsTortureTraits {
     t.Set(key, payload);
   }
   static bool Get(Table& t, std::uint64_t key, std::uint64_t* value,
-                  TortureReport* report) {
+                  TortureReport* report, bool* optimistic = nullptr) {
     std::uint8_t payload[kKvsValueBytes];
-    if (!t.Get(key, payload)) {
+    if (!t.Get(key, payload, optimistic)) {
       return false;
     }
     *value = torture_internal::DecodePayload(payload, kKvsValueBytes, key, report);
     return true;
   }
   static bool Remove(Table& t, std::uint64_t key) { return t.Delete(key); }
+};
+
+// For Kvs instances configured with Config::defer_free (including every
+// optimistic_reads table, which implies it): Delete retires victims through
+// the grace-period protocol instead of freeing them, so a Get may safely
+// race a Delete on the same key and the torturers are allowed to prove it.
+template <typename Mem, typename Lock>
+struct KvsDeferFreeTortureTraits : KvsTortureTraits<Mem, Lock> {
+  static constexpr bool kRemoveRacesWithGet = false;
 };
 
 // Single-writer-per-key torture + exact register check + final-state audit.
@@ -190,7 +204,8 @@ TortureReport TortureTableSingleWriter(Runtime& rt, typename Traits::Table& tabl
         op.tid = tid;
         op.key = rng.NextBelow(static_cast<std::uint64_t>(opts.keys));
         op.t_inv = Mem::Now();
-        op.found = Traits::Get(table, op.key, &op.value, &reports[tid]);
+        op.found = Traits::Get(table, op.key, &op.value, &reports[tid],
+                               &op.optimistic);
         op.t_resp = Mem::Now();
         log.Record(tid, op);
         Mem::Pause(rng.NextBelow(60));

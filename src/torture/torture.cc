@@ -39,10 +39,12 @@ struct KeyState {
 };
 
 std::string DescribeOp(const TableOp& op) {
-  char buf[160];
-  const char* kind = op.kind == TableOp::Kind::kPut      ? "put"
-                     : op.kind == TableOp::Kind::kGet    ? "get"
-                                                         : "remove";
+  char buf[176];
+  // Optimistic (validated lock-free) gets are labeled so a seqlock bug is
+  // attributed to the read path that produced it.
+  const char* kind = op.kind == TableOp::Kind::kPut   ? "put"
+                     : op.kind == TableOp::Kind::kGet ? (op.optimistic ? "get[optimistic]" : "get")
+                                                      : "remove";
   std::snprintf(buf, sizeof(buf),
                 "%s(key=%" PRIu64 ") by tid %d -> (found=%d, value=%" PRIx64
                 ") at [%" PRIu64 ", %" PRIu64 "]",

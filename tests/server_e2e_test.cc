@@ -35,12 +35,19 @@ constexpr std::uint64_t kSoakOps = 30000;
 constexpr std::uint64_t kSoakOps = 100000;
 #endif
 
-class ServerE2eTest : public ::testing::TestWithParam<LockKind> {};
+// (lock kind, optimistic reads): every soak runs with the store's seqlock
+// read path off (the paper-faithful locked structure) and on (--optimistic-
+// reads), so the history audit referees both paths against the same
+// workload.
+class ServerE2eTest
+    : public ::testing::TestWithParam<std::tuple<LockKind, bool>> {};
 
 TEST_P(ServerE2eTest, LoopbackSoakPassesHistoryAudit) {
+  const auto [lock, optimistic] = GetParam();
   ServerConfig config;
   config.workers = 4;
-  config.lock = GetParam();
+  config.lock = lock;
+  config.store.optimistic_reads = optimistic;
   config.port = 0;  // ephemeral: parallel ctest runs cannot collide
   KvServer server(config);
   std::string error;
@@ -53,7 +60,7 @@ TEST_P(ServerE2eTest, LoopbackSoakPassesHistoryAudit) {
   load.pipeline = 16;
   load.total_ops = kSoakOps;
   load.record_history = true;
-  load.seed = 1 + static_cast<std::uint64_t>(GetParam());
+  load.seed = 1 + static_cast<std::uint64_t>(lock);
 
   const LoadGenResult result = RunLoadGen(load);
   const ServerStats stats = server.Stats();
@@ -74,17 +81,26 @@ TEST_P(ServerE2eTest, LoopbackSoakPassesHistoryAudit) {
   // prefill; gets include multi-get keys).
   EXPECT_GE(stats.store.sets, result.sets);
   EXPECT_GE(stats.store.gets, result.gets);
+  if (optimistic) {
+    EXPECT_GT(stats.store.optimistic_hits, 0u)
+        << "the soak never exercised the lock-free path";
+  } else {
+    EXPECT_EQ(stats.store.optimistic_hits, 0u);
+  }
 }
 
 // The acceptance criteria name MUTEX, TICKET, and MCS; TAS (unfair) and
 // COHORT (hierarchical, the PR-3 addition) widen the net.
-INSTANTIATE_TEST_SUITE_P(Locks, ServerE2eTest,
-                         ::testing::Values(LockKind::kMutex, LockKind::kTicket,
-                                           LockKind::kMcs, LockKind::kTas,
-                                           LockKind::kCohort),
-                         [](const ::testing::TestParamInfo<LockKind>& info) {
-                           return ToString(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Locks, ServerE2eTest,
+    ::testing::Combine(::testing::Values(LockKind::kMutex, LockKind::kTicket,
+                                         LockKind::kMcs, LockKind::kTas,
+                                         LockKind::kCohort),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<LockKind, bool>>& info) {
+      return std::string(ToString(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "Optimistic" : "Locked");
+    });
 
 // Raw-socket sanity: the admin commands a human (or memcached tooling)
 // issues against a live server.
@@ -268,11 +284,17 @@ TEST(ServerE2e, CapacityCapRejectsNewItemsUntilDeletes) {
 // and exactly the one that makes the store's documented Get-vs-Delete
 // hazard remotely reachable. The server's grace-period reclamation
 // (Kvs defer_free) must make it safe; under the ASan CI job this test is
-// the use-after-free proof.
-TEST(ServerE2e, ContendedCrossClientKeysAreSafe) {
+// the use-after-free proof. Runs with the optimistic read path off and on:
+// the seqlock gets chase the same delete storm, so the ASan leg also proves
+// no validated optimistic read ever touched reclaimed memory.
+class ServerE2eChaosTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServerE2eChaosTest, ContendedCrossClientKeysAreSafe) {
+  const bool optimistic = GetParam();
   ServerConfig config;
   config.workers = 4;
   config.lock = LockKind::kTicket;
+  config.store.optimistic_reads = optimistic;
   KvServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
@@ -300,7 +322,18 @@ TEST(ServerE2e, ContendedCrossClientKeysAreSafe) {
   EXPECT_EQ(stats.protocol_errors, 0u);
   EXPECT_GT(result.deletes, 0u);
   EXPECT_GT(result.get_hits, 0u);
+  if (optimistic) {
+    EXPECT_GT(stats.store.optimistic_hits, 0u)
+        << "the contended storm never exercised the lock-free path";
+  } else {
+    EXPECT_EQ(stats.store.optimistic_hits, 0u);
+  }
 }
+
+INSTANTIATE_TEST_SUITE_P(Reads, ServerE2eChaosTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Optimistic" : "Locked";
+                         });
 
 TEST(ServerE2e, ServerSurvivesAbruptDisconnects) {
   ServerConfig config;

@@ -1,7 +1,11 @@
 // kvs torture suites (ctest label: torture): Set/Get under the single-writer
-// register checker, and Set/Delete churn with writers only. Gets never race
-// Deletes on a key — kvs.h documents that hazard as part of the modeled
-// Memcached structure, and the traits enforce the discipline.
+// register checker, and Set/Delete churn. In the default immediate-free
+// configuration Gets never race Deletes on a key — kvs.h documents that
+// hazard as part of the modeled Memcached structure, and KvsTortureTraits
+// enforces the discipline. With Config::defer_free the race is legal
+// (victims are retired, not freed) and KvsDeferFreeTortureTraits exercises
+// it below; the optimistic read path gets its own suites in
+// torture_readpath_test.cc.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -61,6 +65,30 @@ TEST_P(TortureKvsNativeTest, SetDeleteChurnWritersOnly) {
     Kvs<NativeMem, L> kvs(SmallKvsConfig<NativeMem, L>(), topo);
     const TortureReport r =
         TortureTableSingleWriter<NativeRuntime, KvsTortureTraits<NativeMem, L>>(
+            rt, kvs, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+  });
+}
+
+TEST_P(TortureKvsNativeTest, SetDeleteChurnRacesReadersUnderDeferFree) {
+  // defer_free lifts the Get-vs-Delete restriction: readers stay live while
+  // writers churn removes, and the register checker audits the result.
+  NativeRuntime rt;
+  TableTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 16;
+  opts.rounds = 24;
+  opts.remove_fraction = 0.3;
+  opts.clock_slack = kNativeTortureClockSlack;
+  const LockTopology topo = LockTopology::Flat(opts.writers + opts.readers);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    auto config = SmallKvsConfig<NativeMem, L>();
+    config.defer_free = true;
+    Kvs<NativeMem, L> kvs(config, topo);
+    const TortureReport r =
+        TortureTableSingleWriter<NativeRuntime,
+                                 KvsDeferFreeTortureTraits<NativeMem, L>>(
             rt, kvs, opts);
     EXPECT_TRUE(r.ok()) << r.Summary();
   });

@@ -1,0 +1,226 @@
+// Read-path torture suites (ctest label: torture): torn-read and
+// monotonic-version staleness checks (src/torture/readpath_torture.h) aimed
+// at Kvs and Ssht under Set/Delete storms, with the optimistic (seqlock)
+// read path on and off, plus the single-writer register audit run with
+// removes racing optimistic gets — the configuration the old traits
+// forbade and defer_free makes legal. TSan referees the seqlock's fence
+// placement on these suites; ASan re-proves Get-vs-Delete safety.
+#include <gtest/gtest.h>
+
+#include "src/core/runtime_native.h"
+#include "src/core/runtime_sim.h"
+#include "src/locks/locks.h"
+#include "src/platform/spec.h"
+#include "src/torture/readpath_torture.h"
+#include "src/torture/table_torture.h"
+#include "src/util/sanitizers.h"
+
+namespace ssync {
+namespace {
+
+// Sanitizer builds run the same interleavings ~10x slower; trim the storm.
+#if SSYNC_ASAN_ENABLED || SSYNC_TSAN_ENABLED
+constexpr int kStormRounds = 24;
+#else
+constexpr int kStormRounds = 64;
+#endif
+
+template <typename Mem, typename Lock>
+typename Kvs<Mem, Lock>::Config ReadPathKvsConfig(bool optimistic) {
+  typename Kvs<Mem, Lock>::Config config;
+  config.buckets = 16;  // force multi-item chains
+  config.maintenance_interval = 25;
+  config.maintenance_buckets = 8;
+  config.defer_free = true;
+  config.optimistic_reads = optimistic;
+  return config;
+}
+
+ReadPathTortureOptions StormOptions() {
+  ReadPathTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 32;
+  opts.rounds = kStormRounds;
+  opts.delete_fraction = 0.3;
+  return opts;
+}
+
+class TortureReadPathNativeTest : public ::testing::TestWithParam<LockKind> {};
+
+TEST_P(TortureReadPathNativeTest, KvsOptimisticSurvivesSetDeleteStorm) {
+  NativeRuntime rt;
+  const ReadPathTortureOptions opts = StormOptions();
+  const LockTopology topo = LockTopology::Flat(opts.writers + opts.readers);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    Kvs<NativeMem, L> kvs(ReadPathKvsConfig<NativeMem, L>(true), topo);
+    const TortureReport r =
+        TortureReadPath<NativeRuntime, KvsDeferFreeTortureTraits<NativeMem, L>>(
+            rt, kvs, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+    const KvsStatsSnapshot stats = kvs.Stats();
+    EXPECT_GT(stats.optimistic_hits, 0u)
+        << "the storm never exercised the lock-free path";
+  });
+}
+
+TEST_P(TortureReadPathNativeTest, KvsLockedBaselineSurvivesSameStorm) {
+  NativeRuntime rt;
+  const ReadPathTortureOptions opts = StormOptions();
+  const LockTopology topo = LockTopology::Flat(opts.writers + opts.readers);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    Kvs<NativeMem, L> kvs(ReadPathKvsConfig<NativeMem, L>(false), topo);
+    const TortureReport r =
+        TortureReadPath<NativeRuntime, KvsDeferFreeTortureTraits<NativeMem, L>>(
+            rt, kvs, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+    EXPECT_EQ(kvs.Stats().optimistic_hits, 0u);
+  });
+}
+
+TEST_P(TortureReadPathNativeTest, SshtOptimisticSurvivesPutRemoveStorm) {
+  NativeRuntime rt;
+  ReadPathTortureOptions opts = StormOptions();
+  const LockTopology topo = LockTopology::Flat(opts.writers + opts.readers);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    // 8 buckets for 32 keys: multi-node chains plus heavy free-list
+    // recycling, the regime where a stale optimistic walk can lace through
+    // recycled nodes and must be caught by the step bound + validation.
+    Ssht<NativeMem, L> table(8, topo, /*optimistic_reads=*/true);
+    const TortureReport r =
+        TortureReadPath<NativeRuntime, SshtTortureTraits<NativeMem, L>>(
+            rt, table, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+  });
+}
+
+TEST_P(TortureReadPathNativeTest, SshtLockedBaselineSurvivesSameStorm) {
+  NativeRuntime rt;
+  ReadPathTortureOptions opts = StormOptions();
+  const LockTopology topo = LockTopology::Flat(opts.writers + opts.readers);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    Ssht<NativeMem, L> table(8, topo, /*optimistic_reads=*/false);
+    const TortureReport r =
+        TortureReadPath<NativeRuntime, SshtTortureTraits<NativeMem, L>>(
+            rt, table, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+  });
+}
+
+// Optimistic reads under the full single-writer atomic-register audit, with
+// removes racing gets — legal because defer_free retires victims. A
+// validated-but-wrong snapshot fails the interval analysis here even if it
+// decodes cleanly; violations name the read path that produced them.
+TEST_P(TortureReadPathNativeTest, KvsOptimisticSingleWriterRegisterAudit) {
+  NativeRuntime rt;
+  TableTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 16;
+  opts.rounds = 16;
+  opts.remove_fraction = 0.3;
+  opts.clock_slack = kNativeTortureClockSlack;
+  const LockTopology topo = LockTopology::Flat(opts.writers + opts.readers);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    Kvs<NativeMem, L> kvs(ReadPathKvsConfig<NativeMem, L>(true), topo);
+    const TortureReport r =
+        TortureTableSingleWriter<NativeRuntime,
+                                 KvsDeferFreeTortureTraits<NativeMem, L>>(
+            rt, kvs, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+    EXPECT_GT(kvs.Stats().optimistic_hits, 0u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig12Locks, TortureReadPathNativeTest,
+                         ::testing::Values(LockKind::kMutex, LockKind::kTas,
+                                           LockKind::kTicket, LockKind::kMcs),
+                         [](const ::testing::TestParamInfo<LockKind>& info) {
+                           return ToString(info.param);
+                         });
+
+// Uncontended fast path: every get on a quiet table must be served
+// lock-free on the first attempt — no retries, no fallbacks. This is the
+// functional face of the zero-RMW claim: nothing a pure reader does here
+// mutates shared table state.
+TEST(TortureReadPathNativeTest2, KvsFastPathServesUncontendedGets) {
+  NativeRuntime rt;
+  const LockTopology topo = LockTopology::Flat(1);
+  using L = TicketLock<NativeMem>;
+  Kvs<NativeMem, L> kvs(ReadPathKvsConfig<NativeMem, L>(true), topo);
+  constexpr std::uint64_t kGets = 1000;
+  rt.Run(1, [&](int) {
+    std::uint8_t value[kKvsValueBytes] = {42};
+    kvs.Set(7, value);
+    for (std::uint64_t i = 0; i < kGets; ++i) {
+      bool optimistic = false;
+      std::uint8_t out[kKvsValueBytes];
+      ASSERT_TRUE(kvs.Get(7, out, &optimistic));
+      ASSERT_TRUE(optimistic);
+      ASSERT_EQ(out[0], 42);
+    }
+  });
+  const KvsStatsSnapshot stats = kvs.Stats();
+  EXPECT_EQ(stats.optimistic_hits, kGets);
+  EXPECT_EQ(stats.optimistic_retries, 0u);
+  EXPECT_EQ(stats.optimistic_fallbacks, 0u);
+  EXPECT_EQ(stats.gets, kGets);
+  EXPECT_EQ(stats.get_hits, kGets);
+}
+
+// Threads outside the topology (no registered ThreadId) must degrade to the
+// locked path, not crash or miscount.
+TEST(TortureReadPathNativeTest2, UnregisteredThreadFallsBackToLockedPath) {
+  const LockTopology topo = LockTopology::Flat(2);
+  using L = TicketLock<NativeMem>;
+  Kvs<NativeMem, L> kvs(ReadPathKvsConfig<NativeMem, L>(true), topo);
+  std::uint8_t value[kKvsValueBytes] = {9};
+  kvs.Set(3, value);  // main thread: ThreadId() == -1
+  bool optimistic = true;
+  std::uint8_t out[kKvsValueBytes];
+  EXPECT_TRUE(kvs.Get(3, out, &optimistic));
+  EXPECT_FALSE(optimistic);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(kvs.Stats().optimistic_hits, 0u);
+  EXPECT_EQ(kvs.Stats().gets, 1u);
+}
+
+// Deterministic simulator runs: fibers interleave at charged accesses, so
+// writer storms interpose inside optimistic attempts in virtual time and
+// the retry/fallback machinery is exercised reproducibly.
+TEST(TortureReadPathSimTest, KvsOptimisticSurvivesSetDeleteStorm) {
+  SimRuntime rt(MakeOpteron());
+  ReadPathTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 16;
+  opts.rounds = 8;
+  const LockTopology topo =
+      LockTopology::ForPlatform(rt.spec(), opts.writers + opts.readers);
+  using L = TicketLock<SimMem>;
+  Kvs<SimMem, L> kvs(ReadPathKvsConfig<SimMem, L>(true), topo);
+  const TortureReport r =
+      TortureReadPath<SimRuntime, KvsDeferFreeTortureTraits<SimMem, L>>(rt, kvs,
+                                                                        opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  EXPECT_GT(kvs.Stats().optimistic_hits, 0u);
+}
+
+TEST(TortureReadPathSimTest, SshtOptimisticSurvivesPutRemoveStorm) {
+  SimRuntime rt(MakeOpteron());
+  ReadPathTortureOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 16;
+  opts.rounds = 8;
+  const LockTopology topo =
+      LockTopology::ForPlatform(rt.spec(), opts.writers + opts.readers);
+  using L = TicketLock<SimMem>;
+  Ssht<SimMem, L> table(8, topo, /*optimistic_reads=*/true);
+  const TortureReport r =
+      TortureReadPath<SimRuntime, SshtTortureTraits<SimMem, L>>(rt, table, opts);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+}  // namespace
+}  // namespace ssync
