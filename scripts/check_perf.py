@@ -13,6 +13,9 @@ committed baseline, row by row:
   * latency metrics (…_cycles, ns_per_op) must not rise more than
     --tolerance above it;
   * correctness metrics (violations, protocol_errors) must be zero;
+  * trace_replay sim rows must match EXACTLY, every metric: the synthetic
+    trace is built from fixed addresses, so the replayed coherence stats are
+    bit-identical on any machine and any drift is a model change;
   * baseline rows missing from the current run fail (coverage regression);
     new rows only warn (append-only schema).
 
@@ -45,6 +48,12 @@ SKIP_METRICS = {
     "paper_ratio",
 }
 ZERO_METRICS = {"violations", "protocol_errors"}
+
+# Sim experiments whose workload has no host-address sensitivity (fixed
+# synthetic addresses): their metrics are bit-identical run to run, so the
+# gate requires exact equality — every metric, including the ones the ratio
+# gate skips. Any drift is an (intentional or not) coherence-model change.
+EXACT_EXPERIMENTS = {"trace_replay"}
 
 
 def direction(metric):
@@ -152,6 +161,22 @@ def main():
             continue
         native = key[1] == "native"
         tolerance = args.native_tolerance if native else args.tolerance
+        if key[0] in EXACT_EXPERIMENTS and key[1] == "sim":
+            for metric, base_value in base_metrics.items():
+                if metric not in cur_metrics:
+                    regressions.append(
+                        f"MISSING METRIC {describe(key)} {metric} "
+                        f"(in baseline, absent from current run)"
+                    )
+                    continue
+                checked += 1
+                if cur_metrics[metric] != base_value:
+                    regressions.append(
+                        f"DRIFT        {describe(key)} {metric}: "
+                        f"{base_value:g} -> {cur_metrics[metric]:g} "
+                        f"(exact-equality row)"
+                    )
+            continue
         for metric, base_value in base_metrics.items():
             sign = direction(metric)
             if sign == 0 and metric not in ZERO_METRICS:

@@ -31,6 +31,15 @@ out="${1:-$repo_root/perf-smoke.json}"
   --duration=400000 \
   --format=json --out="$out.sim.tmp"
 
+# Synthetic-trace replay under every protocol (paper/MESI/MOESI). The
+# synthetic op stream is built from fixed virtual addresses — no heap-layout
+# sensitivity at all — so these rows are bit-identical on every machine and
+# check_perf.py gates them on EXACT equality, pinning the coherence models'
+# full stat vectors (transition counts, traffic mix, stalls).
+"$build_dir/bench/ssyncbench" trace_replay \
+  --platform=opteron,xeon \
+  --format=json --out="$out.trace.tmp"
+
 # Read-mostly (5% set / 2% delete) end-to-end serving, pinned to 2 workers:
 # the workload where the store's seqlock read path should pay off. The
 # default optimistic_reads=sweep emits each cell twice, stamped off/on.
@@ -39,7 +48,7 @@ out="${1:-$repo_root/perf-smoke.json}"
   --set_fraction=0.05 --delete_fraction=0.02 --seed=7 \
   --format=json --out="$out.native.tmp"
 
-cat "$out.sim.tmp" "$out.native.tmp" > "$out"
-rm -f "$out.sim.tmp" "$out.native.tmp"
+cat "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" > "$out"
+rm -f "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp"
 
 echo "perf smoke written to $out" >&2

@@ -108,3 +108,22 @@ else
   echo "python3 unavailable; cannot validate $out_json" >&2
   exit 1
 fi
+
+# Capture -> replay round trip on the real capture pipeline (the matrix above
+# replays only the built-in synthetic trace). Both halves fail closed: a
+# capture of 0 records exits the driver nonzero, and the replay rejects a
+# missing/corrupt/empty trace file rather than reporting a vacuous success.
+trace_file="$build_dir/bench-logs/fig4-native.trace"
+"$build_dir/bench/ssyncbench" fig4 --backend=native --duration=200000 \
+  --trace-out="$trace_file" --format=json --out=/dev/null \
+  2>>"$log_dir/ssyncbench.log" || {
+  echo "run_all_figures: native trace capture FAILED (see $log_dir/ssyncbench.log)" >&2
+  exit 1
+}
+"$build_dir/bench/ssyncbench" trace_replay --trace-in="$trace_file" \
+  --platform=opteron,xeon --format=json --out="$log_dir/trace-replay.json" \
+  2>>"$log_dir/ssyncbench.log" || {
+  echo "run_all_figures: trace replay FAILED (see $log_dir/ssyncbench.log)" >&2
+  exit 1
+}
+echo "capture -> replay round trip ok ($(wc -l <"$log_dir/trace-replay.json") replay rows)"

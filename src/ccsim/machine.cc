@@ -2,9 +2,7 @@
 
 #include <cstring>
 
-#include "src/ccsim/model_multisocket.h"
-#include "src/ccsim/model_niagara.h"
-#include "src/ccsim/model_tilera.h"
+#include "src/ccsim/protocol.h"
 #include "src/util/check.h"
 
 namespace ssync {
@@ -111,18 +109,10 @@ Cycles MachineState::Claim(LineInfo& li, Cycles now, Cycles latency, AccessType 
   return stall;
 }
 
-Machine::Machine(const PlatformSpec& spec) : st_(spec), prefetch_(spec.num_cpus) {
-  switch (spec.kind) {
-    case PlatformKind::kNiagara:
-      model_ = std::make_unique<NiagaraModel>(st_);
-      break;
-    case PlatformKind::kTilera:
-      model_ = std::make_unique<TileraModel>(st_);
-      break;
-    default:
-      model_ = std::make_unique<MultiSocketModel>(st_);
-      break;
-  }
+Machine::Machine(const PlatformSpec& spec, const std::string& protocol)
+    : st_(spec), protocol_(protocol), model_(MakeProtocol(protocol, st_)) {
+  SSYNC_CHECK(model_ != nullptr);  // unknown protocol, or unsupported on this spec
+  prefetch_.resize(spec.num_cpus);
   if (spec.has_hw_mp) {
     mp_.resize(static_cast<std::size_t>(spec.num_cpus) * spec.num_cpus);
   }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,23 @@ struct MachineStats {
   std::uint64_t invalidations = 0;  // private copies killed
   std::uint64_t stall_cycles = 0;   // time lost to per-line serialization
   std::uint64_t port_stall_cycles = 0;  // time queued at coherence ports
+  // Coherence state-transition counts (a line *entering* the state in some
+  // private cache) — the per-protocol fingerprint trace_replay reports.
+  std::uint64_t to_modified = 0;
+  std::uint64_t to_exclusive = 0;
+  std::uint64_t to_shared = 0;
+  std::uint64_t to_owned = 0;  // MOESI only; always 0 under MESI
+
+  bool operator==(const MachineStats& o) const {
+    return accesses == o.accesses && l1_hits == o.l1_hits && l2_hits == o.l2_hits &&
+           llc_hits == o.llc_hits && peer_transfers == o.peer_transfers &&
+           mem_accesses == o.mem_accesses && broadcasts == o.broadcasts &&
+           invalidations == o.invalidations && stall_cycles == o.stall_cycles &&
+           port_stall_cycles == o.port_stall_cycles && to_modified == o.to_modified &&
+           to_exclusive == o.to_exclusive && to_shared == o.to_shared &&
+           to_owned == o.to_owned;
+  }
+  bool operator!=(const MachineStats& o) const { return !(*this == o); }
 };
 
 // State shared between the Machine facade and the protocol model.
@@ -114,15 +132,23 @@ class CoherenceModel {
   MachineState& st_;
 };
 
+// The default protocol: each platform's calibrated model, exactly as the
+// paper measured it (MOESI on the Opteron, MESIF on the Xeon, etc.).
+inline constexpr const char* kDefaultProtocolName = "paper";
+
 class Machine {
  public:
-  explicit Machine(const PlatformSpec& spec);
+  // `protocol` is a name from the ProtocolRegistry (src/ccsim/protocol.h);
+  // the spec must be supported by that protocol (checked).
+  explicit Machine(const PlatformSpec& spec,
+                   const std::string& protocol = kDefaultProtocolName);
   ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
   const PlatformSpec& spec() const { return st_.spec; }
+  const std::string& protocol() const { return protocol_; }
   const MachineStats& stats() const { return st_.stats; }
   void ResetStats() { st_.stats = MachineStats{}; }
 
@@ -217,6 +243,7 @@ class Machine {
   };
 
   MachineState st_;
+  std::string protocol_;
   std::unique_ptr<CoherenceModel> model_;
   std::vector<std::deque<MpMessage>> mp_;   // [to * num_cpus + from]
   std::vector<PendingPrefetch> prefetch_;   // one outstanding slot per cpu

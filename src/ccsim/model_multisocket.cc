@@ -158,8 +158,9 @@ AccessResult MultiSocketModel::AccessAt(CpuId cpu, LineAddr line, AccessType typ
     const LineState s1 = l1.GetState(line);
     if (s1 == LineState::kModified || s1 == LineState::kExclusive) {
       if (s1 == LineState::kExclusive) {
-        l1.SetState(line, LineState::kModified);
+        l1.SetState(line, LineState::kModified);  // silent E->M upgrade
         li.owner_state = LineState::kModified;
+        ++st_.stats.to_modified;
       }
       l1.Touch(line);
       ++st_.stats.l1_hits;
@@ -169,6 +170,9 @@ AccessResult MultiSocketModel::AccessAt(CpuId cpu, LineAddr line, AccessType typ
     if (s2 == LineState::kModified || s2 == LineState::kExclusive) {
       PromoteToL1(cpu, line, LineState::kModified);
       li.owner_state = LineState::kModified;
+      if (s2 == LineState::kExclusive) {
+        ++st_.stats.to_modified;  // E->M upgrade during the L2 promotion
+      }
       ++st_.stats.l2_hits;
       return {IsAtomic(type) ? spec.atomic_local : spec.l2_lat, 0, Source::kL2};
     }
@@ -227,11 +231,13 @@ AccessResult MultiSocketModel::LoadMiss(CpuId cpu, LineAddr line, LineInfo& li,
       st_.l1[owner].Contains(line) ? st_.l1[owner].SetState(line, LineState::kOwned)
                                    : st_.l2[owner].SetState(line, LineState::kOwned);
       li.owner_state = LineState::kOwned;
+      ++st_.stats.to_owned;
     } else if (li.owner_state != LineState::kOwned) {
       // MESI(F): M writes back (to the inclusive LLC on Xeon), E downgrades;
       // the previous owner becomes a plain sharer.
       Cache& oc = st_.l1[owner].Contains(line) ? st_.l1[owner] : st_.l2[owner];
       oc.SetState(line, LineState::kShared);
+      ++st_.stats.to_shared;
       if (inclusive() && li.owner_state == LineState::kModified) {
         st_.llc[osock].Insert(line, LineState::kModified);  // dirty in LLC
       }
@@ -288,10 +294,12 @@ AccessResult MultiSocketModel::LoadMiss(CpuId cpu, LineAddr line, LineInfo& li,
     InstallPrivate(cpu, line, LineState::kExclusive);
     li.owner = cpu;
     li.owner_state = LineState::kExclusive;
+    ++st_.stats.to_exclusive;
   } else {
     InstallPrivate(cpu, line, LineState::kShared);
     li.sharers.Add(cpu);
     li.was_shared = true;  // Opteron probe filter: line may have sharers now
+    ++st_.stats.to_shared;
   }
   if (inclusive()) {
     LlcInsert(socket, line, alone ? LineState::kExclusive : LineState::kShared);
@@ -400,6 +408,7 @@ AccessResult MultiSocketModel::StoreMiss(CpuId cpu, LineAddr line, LineInfo& li,
   li.was_shared = false;
   li.in_memory_only = false;
   InstallPrivate(cpu, line, LineState::kModified);
+  ++st_.stats.to_modified;
   return {lat, port, src};
 }
 

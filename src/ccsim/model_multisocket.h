@@ -6,13 +6,28 @@
 #ifndef SRC_CCSIM_MODEL_MULTISOCKET_H_
 #define SRC_CCSIM_MODEL_MULTISOCKET_H_
 
+#include <cstdint>
+
 #include "src/ccsim/machine.h"
 
 namespace ssync {
 
+// Which state-transition policy the multi-socket engine runs. The platform
+// default follows spec.has_owned_state (MOESI on the Opteron, MESIF on the
+// Xeon); the explicit variants force the Owned state on or off regardless of
+// the spec, so any multi-socket geometry can be replayed under either policy
+// (the "mesi"/"moesi" registry protocols).
+enum class ProtocolVariant : std::uint8_t {
+  kPlatformDefault,
+  kMesi,
+  kMoesi,
+};
+
 class MultiSocketModel : public CoherenceModel {
  public:
-  explicit MultiSocketModel(MachineState& st) : CoherenceModel(st) {}
+  explicit MultiSocketModel(MachineState& st,
+                            ProtocolVariant variant = ProtocolVariant::kPlatformDefault)
+      : CoherenceModel(st), variant_(variant) {}
 
   AccessResult AccessAt(CpuId cpu, LineAddr line, AccessType type, Cycles now) override;
   void FlushLine(LineAddr line) override;
@@ -42,7 +57,12 @@ class MultiSocketModel : public CoherenceModel {
   Cycles FarthestInvolvedLink(const LineInfo& li, LineAddr line, int socket) const;
 
   bool inclusive() const { return st_.spec.inclusive_llc; }
-  bool moesi() const { return st_.spec.has_owned_state; }
+  bool moesi() const {
+    return variant_ == ProtocolVariant::kPlatformDefault ? st_.spec.has_owned_state
+                                                         : variant_ == ProtocolVariant::kMoesi;
+  }
+
+  ProtocolVariant variant_;
 };
 
 }  // namespace ssync

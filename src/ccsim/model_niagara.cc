@@ -55,6 +55,7 @@ AccessResult NiagaraModel::AccessAt(CpuId cpu, LineAddr line, AccessType type,
       st_.lines[v1.line].sharers.Remove(core);  // write-through: clean victim
     }
     li.sharers.Add(core);
+    ++st_.stats.to_shared;
     li.in_memory_only = false;
     const Cycles stall = st_.Claim(li, now, lat, type);
     return {lat, stall, src};
@@ -69,8 +70,12 @@ AccessResult NiagaraModel::AccessAt(CpuId cpu, LineAddr line, AccessType type,
     src = Source::kMemLocal;
     ++st_.stats.mem_accesses;
     llc.Insert(line, LineState::kModified);
+    ++st_.stats.to_modified;
   } else {
     llc.Touch(line);
+    if (llc.GetState(line) != LineState::kModified) {
+      ++st_.stats.to_modified;
+    }
     llc.SetState(line, LineState::kModified);
     ++st_.stats.llc_hits;
   }

@@ -91,6 +91,7 @@ AccessResult TileraModel::AccessAt(CpuId cpu, LineAddr line, AccessType type,
     }
     li.sharers.Add(cpu);
     li.in_memory_only = false;
+    ++st_.stats.to_shared;
     // Every request is serviced by the home tile's slice directory; hot
     // lines that share a home tile queue behind each other (the source of
     // the Tilera's contention sensitivity vs. the banked Niagara LLC).
@@ -125,6 +126,9 @@ AccessResult TileraModel::AccessAt(CpuId cpu, LineAddr line, AccessType type,
   }
   if (from_memory) {
     src = Source::kMemLocal;
+  }
+  if (st_.l2[li.home].GetState(line) != LineState::kModified) {
+    ++st_.stats.to_modified;
   }
   st_.l2[li.home].SetState(line, LineState::kModified);
   // Stores write through to the home slice but keep/allocate the writer's L1

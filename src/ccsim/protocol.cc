@@ -1,0 +1,86 @@
+#include "src/ccsim/protocol.h"
+
+#include "src/ccsim/model_multisocket.h"
+#include "src/ccsim/model_niagara.h"
+#include "src/ccsim/model_tilera.h"
+
+namespace ssync {
+
+namespace {
+
+bool IsMultiSocket(const PlatformSpec& spec) {
+  return spec.kind != PlatformKind::kNiagara && spec.kind != PlatformKind::kTilera;
+}
+
+bool AnySpec(const PlatformSpec&) { return true; }
+
+std::unique_ptr<CoherenceModel> MakePaper(MachineState& st) {
+  switch (st.spec.kind) {
+    case PlatformKind::kNiagara:
+      return std::make_unique<NiagaraModel>(st);
+    case PlatformKind::kTilera:
+      return std::make_unique<TileraModel>(st);
+    default:
+      return std::make_unique<MultiSocketModel>(st);
+  }
+}
+
+std::unique_ptr<CoherenceModel> MakeMesi(MachineState& st) {
+  return std::make_unique<MultiSocketModel>(st, ProtocolVariant::kMesi);
+}
+
+std::unique_ptr<CoherenceModel> MakeMoesi(MachineState& st) {
+  return std::make_unique<MultiSocketModel>(st, ProtocolVariant::kMoesi);
+}
+
+}  // namespace
+
+ProtocolRegistry::ProtocolRegistry() {
+  Register({"paper", "each platform's calibrated model (Tables 2-3), verbatim"},
+           &MakePaper, &AnySpec);
+  Register({"mesi", "multi-socket engine, Owned state off (dirty loads write back)"},
+           &MakeMesi, &IsMultiSocket);
+  Register({"moesi", "multi-socket engine, Owned state on (dirty lines stay cached)"},
+           &MakeMoesi, &IsMultiSocket);
+}
+
+ProtocolRegistry& ProtocolRegistry::Global() {
+  static ProtocolRegistry* registry = new ProtocolRegistry();
+  return *registry;
+}
+
+bool ProtocolRegistry::Register(ProtocolInfo info, Factory factory, SupportsFn supports) {
+  if (Find(info.name) != nullptr) {
+    return false;
+  }
+  entries_.push_back(Entry{std::move(info), factory, supports});
+  return true;
+}
+
+const ProtocolRegistry::Entry* ProtocolRegistry::Find(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.info.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ProtocolRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    names.push_back(e.info.name);
+  }
+  return names;
+}
+
+std::unique_ptr<CoherenceModel> MakeProtocol(const std::string& name, MachineState& st) {
+  const ProtocolRegistry::Entry* entry = ProtocolRegistry::Global().Find(name);
+  if (entry == nullptr || !entry->supports(st.spec)) {
+    return nullptr;
+  }
+  return entry->factory(st);
+}
+
+}  // namespace ssync

@@ -1,0 +1,75 @@
+// The pluggable-protocol layer over the coherence models.
+//
+// A Machine's state-transition policy is a CoherenceModel strategy; this
+// registry makes the strategy selectable by name, decoupled from the
+// PlatformSpec's hardwired kind switch:
+//
+//   * "paper"  — the calibrated per-machine models reproducing Tables 2-3
+//                (MultiSocketModel in its platform-default MOESI/MESIF
+//                flavor, NiagaraModel, TileraModel). The default; byte-for-
+//                byte identical to the pre-registry behavior.
+//   * "mesi"   — the multi-socket engine with the Owned state disabled: a
+//                load of a peer's Modified line writes back and demotes to
+//                Shared, so dirty sharing always round-trips memory/LLC.
+//   * "moesi"  — the Owned state forced on: the previous owner keeps serving
+//                the dirty line, memory stays stale (the Opteron's protocol,
+//                applied to any multi-socket spec).
+//
+// Every protocol declares which specs it supports: the generic mesi/moesi
+// variants run on the multi-socket geometries only (the Niagara duplicate-tag
+// and Tilera home-slice engines are structurally different protocols, not
+// parameterizations of one). The `trace_replay` experiment sweeps this
+// registry to answer "how would this workload behave under protocol X on
+// machine Y" — the paper's premise made programmable.
+#ifndef SRC_CCSIM_PROTOCOL_H_
+#define SRC_CCSIM_PROTOCOL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ccsim/machine.h"
+
+namespace ssync {
+
+struct ProtocolInfo {
+  std::string name;
+  std::string summary;
+};
+
+class ProtocolRegistry {
+ public:
+  using Factory = std::unique_ptr<CoherenceModel> (*)(MachineState& st);
+  using SupportsFn = bool (*)(const PlatformSpec& spec);
+
+  struct Entry {
+    ProtocolInfo info;
+    Factory factory;
+    SupportsFn supports;
+  };
+
+  // The process-wide registry, pre-populated with the builtin protocols.
+  static ProtocolRegistry& Global();
+
+  // False (and the entry is discarded) on a duplicate name.
+  bool Register(ProtocolInfo info, Factory factory, SupportsFn supports);
+
+  const Entry* Find(const std::string& name) const;
+
+  // Protocol names in registration order (builtins first).
+  std::vector<std::string> Names() const;
+
+ private:
+  ProtocolRegistry();  // registers the builtins
+
+  std::vector<Entry> entries_;
+};
+
+// Builds the named protocol's model over `st`. nullptr when the name is
+// unknown or the protocol does not support st.spec (callers that want a
+// diagnostic consult ProtocolRegistry first).
+std::unique_ptr<CoherenceModel> MakeProtocol(const std::string& name, MachineState& st);
+
+}  // namespace ssync
+
+#endif  // SRC_CCSIM_PROTOCOL_H_

@@ -15,6 +15,8 @@
 #include <immintrin.h>
 #endif
 
+#include "src/trace/recorder.h"
+
 namespace ssync {
 
 namespace internal {
@@ -32,6 +34,15 @@ void NativeUnparkThread(int tid);
 }  // namespace internal
 
 struct NativeMem {
+  // Capture hook on every charged operation: one relaxed flag load and a
+  // never-taken branch when no trace is being recorded (see
+  // src/trace/recorder.h for the zero-cost contract).
+  static void MaybeTrace(trace::TraceOp op, const void* p, std::uint64_t n) {
+    if (trace::CaptureEnabled()) {
+      trace::internal::Record(internal::g_native_thread_id, op, p, n);
+    }
+  }
+
   template <typename T>
   class Atomic {
     static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
@@ -43,33 +54,54 @@ struct NativeMem {
     Atomic(const Atomic&) = delete;
     Atomic& operator=(const Atomic&) = delete;
 
-    T Load() const { return v_.load(std::memory_order_acquire); }
+    T Load() const {
+      MaybeTrace(trace::TraceOp::kLoad, &v_, sizeof(T));
+      return v_.load(std::memory_order_acquire);
+    }
 
     // Polling load for busy-wait/scan loops (see SimMem::Atomic::LoadPoll);
     // natively an ordinary acquire load.
-    T LoadPoll() const { return v_.load(std::memory_order_acquire); }
+    T LoadPoll() const {
+      MaybeTrace(trace::TraceOp::kLoadPoll, &v_, sizeof(T));
+      return v_.load(std::memory_order_acquire);
+    }
 
     // Ownership-maintaining poll (see SimMem::Atomic::LoadPollRfo).
     T LoadPollRfo() const {
+      MaybeTrace(trace::TraceOp::kLoadPollRfo, &v_, sizeof(T));
       __builtin_prefetch(&v_, /*rw=*/1, /*locality=*/3);
       return v_.load(std::memory_order_acquire);
     }
 
     // Read-for-ownership load: prefetchw + load (see SimMem::Atomic::LoadRfo).
     T LoadRfo() const {
+      MaybeTrace(trace::TraceOp::kLoadRfo, &v_, sizeof(T));
       __builtin_prefetch(&v_, /*rw=*/1, /*locality=*/3);
       return v_.load(std::memory_order_acquire);
     }
-    void Store(T x) { v_.store(x, std::memory_order_release); }
-    T FetchAdd(T d) { return v_.fetch_add(d, std::memory_order_acq_rel); }
-    T Exchange(T x) { return v_.exchange(x, std::memory_order_acq_rel); }
+    void Store(T x) {
+      MaybeTrace(trace::TraceOp::kStore, &v_, sizeof(T));
+      v_.store(x, std::memory_order_release);
+    }
+    T FetchAdd(T d) {
+      MaybeTrace(trace::TraceOp::kFai, &v_, sizeof(T));
+      return v_.fetch_add(d, std::memory_order_acq_rel);
+    }
+    T Exchange(T x) {
+      MaybeTrace(trace::TraceOp::kSwap, &v_, sizeof(T));
+      return v_.exchange(x, std::memory_order_acq_rel);
+    }
 
     bool CompareExchange(T& expected, T desired) {
+      MaybeTrace(trace::TraceOp::kCas, &v_, sizeof(T));
       return v_.compare_exchange_strong(expected, desired, std::memory_order_acq_rel,
                                         std::memory_order_acquire);
     }
 
-    T TestAndSet() { return v_.exchange(static_cast<T>(1), std::memory_order_acquire); }
+    T TestAndSet() {
+      MaybeTrace(trace::TraceOp::kTas, &v_, sizeof(T));
+      return v_.exchange(static_cast<T>(1), std::memory_order_acquire);
+    }
 
     void SetInit(T x) { v_.store(x, std::memory_order_relaxed); }
     T PeekInit() const { return v_.load(std::memory_order_relaxed); }
@@ -79,6 +111,7 @@ struct NativeMem {
   };
 
   static void Pause(std::uint64_t n) {
+    MaybeTrace(trace::TraceOp::kPause, nullptr, n);
     thread_local std::uint32_t budget = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
       CpuRelax();
@@ -92,12 +125,16 @@ struct NativeMem {
   }
 
   static void Compute(std::uint64_t n) {
+    MaybeTrace(trace::TraceOp::kCompute, nullptr, n);
     for (std::uint64_t i = 0; i < n / 4 + 1; ++i) {
       CpuRelax();
     }
   }
 
-  static void FullFence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+  static void FullFence() {
+    MaybeTrace(trace::TraceOp::kFence, nullptr, 0);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
 
   // --- Raw-field atomics for seqlock-style optimistic readers (kvs/ssht).
   //
@@ -162,16 +199,30 @@ struct NativeMem {
   static void AcquireFence() { std::atomic_thread_fence(std::memory_order_acquire); }
   static void ReleaseFence() { std::atomic_thread_fence(std::memory_order_release); }
 
-  static void Prefetchw(const void* p) { __builtin_prefetch(p, /*rw=*/1, /*locality=*/3); }
+  static void Prefetchw(const void* p) {
+    MaybeTrace(trace::TraceOp::kPrefetchw, p, 64);
+    __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+  }
 
   // Native prefetches are naturally asynchronous.
-  static void PrefetchAsync(const void* p) { __builtin_prefetch(p, /*rw=*/0, /*locality=*/3); }
-  static void PrefetchwAsync(const void* p) { __builtin_prefetch(p, /*rw=*/1, /*locality=*/3); }
+  static void PrefetchAsync(const void* p) {
+    MaybeTrace(trace::TraceOp::kPrefetchAsync, p, 64);
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+  }
+  static void PrefetchwAsync(const void* p) {
+    MaybeTrace(trace::TraceOp::kPrefetchwAsync, p, 64);
+    __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+  }
 
   // On the native backend payload data is genuinely read/written by the
-  // caller's own code; nothing extra to charge.
-  static void ReadData(const void*, std::uint64_t) {}
-  static void WriteData(void*, std::uint64_t) {}
+  // caller's own code; nothing extra to charge — but the range is still
+  // recorded, so a replay charges the coherence traffic the real code paid.
+  static void ReadData(const void* p, std::uint64_t bytes) {
+    MaybeTrace(trace::TraceOp::kReadData, p, bytes);
+  }
+  static void WriteData(void* p, std::uint64_t bytes) {
+    MaybeTrace(trace::TraceOp::kWriteData, p, bytes);
+  }
 
   static int ThreadId() { return internal::g_native_thread_id; }
   static int NumThreads() { return internal::g_native_num_threads.load(std::memory_order_relaxed); }

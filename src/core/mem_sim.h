@@ -15,6 +15,7 @@
 
 #include "src/ccsim/machine.h"
 #include "src/sim/engine.h"
+#include "src/trace/recorder.h"
 #include "src/util/cacheline.h"
 #include "src/util/check.h"
 
@@ -34,6 +35,17 @@ struct SimMem {
     // an API misuse that would otherwise surface as a null dereference.
     SSYNC_CHECK(internal::g_sim_machine != nullptr);
     return internal::g_sim_machine;
+  }
+
+  // Capture hook, recorded BEFORE the access's serialization point so a
+  // tid's recorded order equals its executed order. A sim-captured trace
+  // replayed on the same spec under the same protocol reproduces the
+  // original MachineStats exactly (see src/trace/replay.h).
+  static void MaybeTrace(trace::TraceOp op, const void* p, std::uint64_t n) {
+    if (trace::CaptureEnabled()) {
+      trace::internal::Record(internal::g_cpu_to_thread[Engine::Current()->current_cpu()],
+                              op, p, n);
+    }
   }
 
   template <typename T>
@@ -56,6 +68,7 @@ struct SimMem {
     // execute earlier in host order.
 
     T Load() const {
+      MaybeTrace(trace::TraceOp::kLoad, &v_, sizeof(T));
       const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kLoad);
       const T value = v_;
       machine()->AccessFinish(r);
@@ -64,6 +77,7 @@ struct SimMem {
 
     // Polling load for busy-wait/scan loops (see Machine::Poll).
     T LoadPoll() const {
+      MaybeTrace(trace::TraceOp::kLoadPoll, &v_, sizeof(T));
       const AccessResult r = machine()->PollBegin(LineOf(&v_), /*rfo=*/false);
       const T value = v_;
       machine()->AccessFinish(r);
@@ -74,6 +88,7 @@ struct SimMem {
     // stays Modified at the poller, so the eventual writer invalidates a
     // single tracked owner (directed probe, no Opteron broadcast).
     T LoadPollRfo() const {
+      MaybeTrace(trace::TraceOp::kLoadPollRfo, &v_, sizeof(T));
       const AccessResult r = machine()->PollBegin(LineOf(&v_), /*rfo=*/true);
       const T value = v_;
       machine()->AccessFinish(r);
@@ -85,6 +100,7 @@ struct SimMem {
     // load hits the just-fetched Modified line within a couple of cycles, a
     // window in which no other core's request can slip in.
     T LoadRfo() const {
+      MaybeTrace(trace::TraceOp::kLoadRfo, &v_, sizeof(T));
       const AccessResult r = machine()->PrefetchwBegin(LineOf(&v_));
       const T value = v_;
       machine()->AccessFinish(r);
@@ -92,12 +108,14 @@ struct SimMem {
     }
 
     void Store(T x) {
+      MaybeTrace(trace::TraceOp::kStore, &v_, sizeof(T));
       const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kStore);
       v_ = x;
       machine()->AccessFinish(r);
     }
 
     T FetchAdd(T d) {
+      MaybeTrace(trace::TraceOp::kFai, &v_, sizeof(T));
       const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kFai);
       const T old = v_;
       v_ = static_cast<T>(v_ + d);
@@ -106,6 +124,7 @@ struct SimMem {
     }
 
     T Exchange(T x) {
+      MaybeTrace(trace::TraceOp::kSwap, &v_, sizeof(T));
       const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kSwap);
       const T old = v_;
       v_ = x;
@@ -114,6 +133,7 @@ struct SimMem {
     }
 
     bool CompareExchange(T& expected, T desired) {
+      MaybeTrace(trace::TraceOp::kCas, &v_, sizeof(T));
       const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kCas);
       bool ok = false;
       if (v_ == expected) {
@@ -128,6 +148,7 @@ struct SimMem {
 
     // Test-and-set: sets the low bit, returns the previous value.
     T TestAndSet() {
+      MaybeTrace(trace::TraceOp::kTas, &v_, sizeof(T));
       const AccessResult r = machine()->AccessBegin(LineOf(&v_), AccessType::kTas);
       const T old = v_;
       v_ = static_cast<T>(1);
@@ -143,9 +164,18 @@ struct SimMem {
     T v_{};
   };
 
-  static void Pause(std::uint64_t n) { Engine::Current()->Advance(n); }
-  static void Compute(std::uint64_t n) { Engine::Current()->Advance(n); }
-  static void FullFence() { machine()->Fence(); }
+  static void Pause(std::uint64_t n) {
+    MaybeTrace(trace::TraceOp::kPause, nullptr, n);
+    Engine::Current()->Advance(n);
+  }
+  static void Compute(std::uint64_t n) {
+    MaybeTrace(trace::TraceOp::kCompute, nullptr, n);
+    Engine::Current()->Advance(n);
+  }
+  static void FullFence() {
+    MaybeTrace(trace::TraceOp::kFence, nullptr, 0);
+    machine()->Fence();
+  }
 
   // --- Raw-field helpers mirroring NativeMem's seqlock accessors.
   //
@@ -180,15 +210,30 @@ struct SimMem {
   static void AcquireFence() {}
   static void ReleaseFence() {}
 
-  static void Prefetchw(const void* p) { machine()->Prefetchw(LineOf(p)); }
+  static void Prefetchw(const void* p) {
+    MaybeTrace(trace::TraceOp::kPrefetchw, p, 64);
+    machine()->Prefetchw(LineOf(p));
+  }
 
   // Non-blocking prefetches (one outstanding slot per cpu; see
   // Machine::PrefetchAsync). PrefetchwAsync acquires the line for writing.
-  static void PrefetchAsync(const void* p) { machine()->PrefetchAsync(LineOf(p), false); }
-  static void PrefetchwAsync(const void* p) { machine()->PrefetchAsync(LineOf(p), true); }
+  static void PrefetchAsync(const void* p) {
+    MaybeTrace(trace::TraceOp::kPrefetchAsync, p, 64);
+    machine()->PrefetchAsync(LineOf(p), false);
+  }
+  static void PrefetchwAsync(const void* p) {
+    MaybeTrace(trace::TraceOp::kPrefetchwAsync, p, 64);
+    machine()->PrefetchAsync(LineOf(p), true);
+  }
 
-  static void ReadData(const void* p, std::uint64_t bytes) { Touch(p, bytes, false); }
-  static void WriteData(void* p, std::uint64_t bytes) { Touch(p, bytes, true); }
+  static void ReadData(const void* p, std::uint64_t bytes) {
+    MaybeTrace(trace::TraceOp::kReadData, p, bytes);
+    Touch(p, bytes, false);
+  }
+  static void WriteData(void* p, std::uint64_t bytes) {
+    MaybeTrace(trace::TraceOp::kWriteData, p, bytes);
+    Touch(p, bytes, true);
+  }
 
   static int CurrentCpu() { return Engine::Current()->current_cpu(); }
 

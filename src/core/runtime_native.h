@@ -94,8 +94,13 @@ class NativeRuntime {
   CpuId CpuOfThread(int tid) const { return PlannedCpu(tid); }
 
   // Placement hint: on real hardware first-touch policy applies; nothing to
-  // do.
-  void PlaceData(const void*, std::size_t, int) {}
+  // do — but the intent is recorded, so a replay of a native capture can
+  // place the data on the modeled machine's matching node.
+  void PlaceData(const void* p, std::size_t bytes, int tid) {
+    if (bytes > 0 && trace::CaptureEnabled()) {
+      trace::internal::Record(tid, trace::TraceOp::kSetHome, p, bytes);
+    }
+  }
 
  private:
   void RunInternal(int threads, const std::vector<CpuId>* cpus, std::uint64_t duration_ns,

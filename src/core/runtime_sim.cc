@@ -97,6 +97,11 @@ void SimRuntime::PlaceData(const void* p, std::size_t bytes, int tid) {
   if (bytes == 0) {
     return;
   }
+  // One placement record per call; replay recomputes the node from the tid
+  // under its own spec's placement policy (see TraceReplayRuntime::Replay).
+  if (trace::CaptureEnabled()) {
+    trace::internal::Record(tid, trace::TraceOp::kSetHome, p, bytes);
+  }
   const LineAddr first = LineOf(p);
   const LineAddr last = LineOf(static_cast<const char*>(p) + bytes - 1);
   for (LineAddr line = first; line <= last; ++line) {

@@ -9,6 +9,7 @@
 
 #include "src/harness/experiment.h"
 #include "src/harness/result_sink.h"
+#include "src/trace/recorder.h"
 #include "src/util/check.h"
 #include "src/util/table.h"
 
@@ -28,6 +29,9 @@ constexpr const char* kUsage =
     "  --platform=NAMES   all (default: the paper's four main machines) or a\n"
     "                     comma-separated list of opteron, xeon, niagara,\n"
     "                     tilera, opteron2, xeon2\n"
+    "  --trace-out=FILE   capture every charged memory op of the selected\n"
+    "                     experiments into FILE (replay: trace_replay\n"
+    "                     --trace-in=FILE)\n"
     "  --help             this text\n"
     "\n"
     "Experiment parameters (--duration, --rounds, ...) are validated against\n"
@@ -48,7 +52,8 @@ bool IsBareDriverFlag(const std::string& name) {
 // Driver flags that always take a value: given bare (`--out` with nothing
 // following), that is a usage error, not a flag whose value is "true".
 bool IsValueDriverFlag(const std::string& name) {
-  return name == "format" || name == "out" || name == "backend" || name == "platform";
+  return name == "format" || name == "out" || name == "backend" || name == "platform" ||
+         name == "trace-out";
 }
 
 bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* out, std::string* error) {
@@ -184,6 +189,7 @@ int SsyncbenchMain(const std::vector<std::string>& args) {
   const std::string backend_flag = TakeFlag(parsed, "backend", "");
   const bool platform_given = parsed.flags.count("platform") > 0;
   const std::string platform_flag = TakeFlag(parsed, "platform", "all");
+  const std::string trace_out = TakeFlag(parsed, "trace-out", "");
 
   if (want_list) {
     return ListExperiments(registry);
@@ -345,6 +351,11 @@ int SsyncbenchMain(const std::vector<std::string>& args) {
   const std::unique_ptr<ResultSink> sink = MakeSink(format, out);
   SSYNC_CHECK(sink != nullptr);  // format validated above
 
+  if (!trace_out.empty() && !trace::StartCaptureFile(trace_out, &error)) {
+    std::fprintf(stderr, "ssyncbench: %s\n", error.c_str());
+    return 1;
+  }
+
   for (const PlannedRun& run : planned) {
     std::vector<PlatformSpec> platforms =
         run.backend == Backend::kNative ? std::vector<PlatformSpec>{MakeNativeHost()}
@@ -359,6 +370,25 @@ int SsyncbenchMain(const std::vector<std::string>& args) {
   }
   sink->Finish();
   out.flush();
+
+  if (!trace_out.empty()) {
+    std::string trace_error;
+    const std::uint64_t records = trace::StopCapture(nullptr, &trace_error);
+    if (!trace_error.empty()) {
+      std::fprintf(stderr, "ssyncbench: %s\n", trace_error.c_str());
+      return 1;
+    }
+    // An empty capture means the hooks never fired (e.g. the selected
+    // experiments performed no charged ops) — fail closed rather than leave
+    // a header-only file that replays as a silent no-op.
+    if (records == 0) {
+      std::fprintf(stderr, "ssyncbench: --trace-out=%s captured 0 records\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ssyncbench: wrote %llu trace records to %s\n",
+                 static_cast<unsigned long long>(records), trace_out.c_str());
+  }
   return 0;
 }
 

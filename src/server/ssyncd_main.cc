@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "src/server/server.h"
+#include "src/trace/recorder.h"
 #include "src/util/cli.h"
 
 namespace {
@@ -44,6 +45,10 @@ int main(int argc, char** argv) {
       "optimistic-reads", false,
       "seqlock-validated lock-free gets (zero atomic RMWs when uncontended); "
       "`stats` echoes optimistic_reads/hits/retries/fallbacks");
+  const std::string trace_out = cli.Str(
+      "trace-out", "",
+      "capture the workers' memory-op trace to FILE (replay with "
+      "`ssyncbench trace_replay --trace-in=FILE`)");
   cli.Finish();
   config.lock = LockKindFromString(lock_name);
   if (!PlacementFromString(placement_name, &config.placement)) {
@@ -54,6 +59,10 @@ int main(int argc, char** argv) {
 
   KvServer server(config);
   std::string error;
+  if (!trace_out.empty() && !trace::StartCaptureFile(trace_out, &error)) {
+    std::fprintf(stderr, "ssyncd: %s\n", error.c_str());
+    return 1;
+  }
   if (!server.Start(&error)) {
     std::fprintf(stderr, "ssyncd: %s\n", error.c_str());
     return 1;
@@ -73,6 +82,17 @@ int main(int argc, char** argv) {
 
   const ServerStats stats = server.Stats();
   server.Stop();
+  if (!trace_out.empty()) {
+    std::string trace_error;
+    const std::uint64_t traced = trace::StopCapture(nullptr, &trace_error);
+    if (!trace_error.empty()) {
+      std::fprintf(stderr, "ssyncd: trace capture failed: %s\n",
+                   trace_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ssyncd: wrote %llu trace records to %s\n",
+                 static_cast<unsigned long long>(traced), trace_out.c_str());
+  }
   std::fprintf(stderr,
                "ssyncd: shut down after %llu connections, %llu requests "
                "(%llu protocol errors), %llu/%llu bytes in/out\n",

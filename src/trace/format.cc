@@ -1,0 +1,319 @@
+#include "src/trace/format.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace ssync::trace {
+
+const char* ToString(TraceOp op) {
+  switch (op) {
+    case TraceOp::kLoad: return "load";
+    case TraceOp::kStore: return "store";
+    case TraceOp::kCas: return "cas";
+    case TraceOp::kFai: return "fai";
+    case TraceOp::kTas: return "tas";
+    case TraceOp::kSwap: return "swap";
+    case TraceOp::kLoadPoll: return "load_poll";
+    case TraceOp::kLoadPollRfo: return "load_poll_rfo";
+    case TraceOp::kLoadRfo: return "load_rfo";
+    case TraceOp::kPrefetchw: return "prefetchw";
+    case TraceOp::kPrefetchAsync: return "prefetch_async";
+    case TraceOp::kPrefetchwAsync: return "prefetchw_async";
+    case TraceOp::kFence: return "fence";
+    case TraceOp::kPause: return "pause";
+    case TraceOp::kCompute: return "compute";
+    case TraceOp::kReadData: return "read_data";
+    case TraceOp::kWriteData: return "write_data";
+    case TraceOp::kSetHome: return "set_home";
+  }
+  return "?";
+}
+
+void AppendVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool DecodeVarint(const std::uint8_t*& p, const std::uint8_t* end, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (p < end) {
+    const std::uint8_t byte = *p++;
+    if (shift == 63 && byte > 1) {
+      return false;  // would overflow 64 bits
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) {
+      return false;
+    }
+  }
+  return false;  // ran off the end mid-varint
+}
+
+std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// ---------------------------------------------------------------------------
+// ChunkEncoder
+// ---------------------------------------------------------------------------
+
+void ChunkEncoder::Add(int tid, TraceOp op, std::uint64_t addr, std::uint64_t size) {
+  SSYNC_DCHECK(tid >= 0 && tid < kMaxTraceTid);
+  AppendVarint(bytes_, static_cast<std::uint64_t>(tid));
+  bytes_.push_back(static_cast<std::uint8_t>(op));
+  if (HasAddr(op)) {
+    const std::int64_t delta =
+        static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(last_addr_);
+    AppendVarint(bytes_, ZigZagEncode(delta));
+    last_addr_ = addr;
+  }
+  if (HasSize(op)) {
+    AppendVarint(bytes_, size);
+  }
+  ++records_;
+}
+
+namespace {
+
+void AppendU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+bool ReadU32(const std::uint8_t*& p, const std::uint8_t* end, std::uint32_t* out) {
+  if (end - p < 4) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+  p += 4;
+  return true;
+}
+
+}  // namespace
+
+void ChunkEncoder::EncodeInto(std::vector<std::uint8_t>& out) {
+  if (empty()) {
+    return;
+  }
+  AppendU32(out, records_);
+  AppendU32(out, static_cast<std::uint32_t>(bytes_.size()));
+  out.insert(out.end(), bytes_.begin(), bytes_.end());
+  bytes_.clear();
+  last_addr_ = 0;
+  records_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// TraceWriter
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<TraceWriter> TraceWriter::OpenFile(const std::string& path,
+                                                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot open trace file '" + path + "' for writing";
+    return nullptr;
+  }
+  std::unique_ptr<TraceWriter> w(new TraceWriter());
+  w->file_ = f;
+  if (std::fwrite(kTraceMagic, 1, sizeof(kTraceMagic), f) != sizeof(kTraceMagic)) {
+    *error = "cannot write trace header to '" + path + "'";
+    std::fclose(f);
+    return nullptr;
+  }
+  return w;
+}
+
+std::unique_ptr<TraceWriter> TraceWriter::OpenBuffer() {
+  std::unique_ptr<TraceWriter> w(new TraceWriter());
+  w->buffer_backed_ = true;
+  w->buffer_.resize(kTraceHeaderBytes);
+  std::memcpy(w->buffer_.data(), kTraceMagic, kTraceHeaderBytes);
+  return w;
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void TraceWriter::WriteChunk(ChunkEncoder& chunk) {
+  if (chunk.empty()) {
+    return;
+  }
+  records_ += chunk.records();
+  if (buffer_backed_) {
+    chunk.EncodeInto(buffer_);
+    return;
+  }
+  std::vector<std::uint8_t> framed;
+  chunk.EncodeInto(framed);
+  if (file_ != nullptr &&
+      std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
+    failed_ = true;
+  }
+}
+
+bool TraceWriter::Close(std::string* error) {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) {
+      failed_ = true;
+    }
+    file_ = nullptr;
+  }
+  if (failed_ && error != nullptr) {
+    *error = "trace write failed (disk full?)";
+  }
+  return !failed_;
+}
+
+std::vector<std::uint8_t> TraceWriter::TakeBuffer() {
+  SSYNC_CHECK(buffer_backed_);
+  return std::move(buffer_);
+}
+
+// ---------------------------------------------------------------------------
+// TraceReader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string At(std::size_t offset, const std::string& what) {
+  return "trace offset " + std::to_string(offset) + ": " + what;
+}
+
+}  // namespace
+
+bool TraceReader::Parse(const std::uint8_t* data, std::size_t len, std::string* error) {
+  trace_ = Trace{};
+  if (len < kTraceHeaderBytes ||
+      std::memcmp(data, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    *error = "not a ssync trace (bad magic; expected \"SSYNCTR1\")";
+    return false;
+  }
+  const std::uint8_t* p = data + kTraceHeaderBytes;
+  const std::uint8_t* const end = data + len;
+  while (p < end) {
+    const std::size_t chunk_off = static_cast<std::size_t>(p - data);
+    std::uint32_t records = 0;
+    std::uint32_t nbytes = 0;
+    if (!ReadU32(p, end, &records) || !ReadU32(p, end, &nbytes)) {
+      *error = At(chunk_off, "truncated chunk header");
+      return false;
+    }
+    if (static_cast<std::size_t>(end - p) < nbytes) {
+      *error = At(chunk_off, "truncated chunk payload (" + std::to_string(nbytes) +
+                                 " bytes declared, " + std::to_string(end - p) +
+                                 " available)");
+      return false;
+    }
+    if (records == 0 && nbytes != 0) {
+      *error = At(chunk_off, "chunk with 0 records but a non-empty payload");
+      return false;
+    }
+    const std::uint8_t* const chunk_end = p + nbytes;
+    std::uint64_t last_addr = 0;
+    for (std::uint32_t i = 0; i < records; ++i) {
+      const std::size_t rec_off = static_cast<std::size_t>(p - data);
+      std::uint64_t tid = 0;
+      if (!DecodeVarint(p, chunk_end, &tid)) {
+        *error = At(rec_off, "bad tid varint");
+        return false;
+      }
+      if (tid >= static_cast<std::uint64_t>(kMaxTraceTid)) {
+        *error = At(rec_off, "tid " + std::to_string(tid) + " out of range");
+        return false;
+      }
+      if (p >= chunk_end) {
+        *error = At(rec_off, "record truncated before op byte");
+        return false;
+      }
+      const std::uint8_t op_byte = *p++;
+      if (op_byte >= kNumTraceOps) {
+        *error = At(rec_off, "unknown op byte " + std::to_string(op_byte));
+        return false;
+      }
+      TraceRecord rec;
+      rec.tid = static_cast<int>(tid);
+      rec.op = static_cast<TraceOp>(op_byte);
+      if (HasAddr(rec.op)) {
+        std::uint64_t zz = 0;
+        if (!DecodeVarint(p, chunk_end, &zz)) {
+          *error = At(rec_off, "bad address varint");
+          return false;
+        }
+        last_addr = static_cast<std::uint64_t>(static_cast<std::int64_t>(last_addr) +
+                                               ZigZagDecode(zz));
+        rec.addr = last_addr;
+      }
+      if (HasSize(rec.op)) {
+        if (!DecodeVarint(p, chunk_end, &rec.size)) {
+          *error = At(rec_off, "bad size varint");
+          return false;
+        }
+      }
+      if (rec.op == TraceOp::kSetHome) {
+        trace_.placements.push_back(rec);
+      } else {
+        if (rec.tid >= trace_.num_tids()) {
+          trace_.streams.resize(tid + 1);
+        }
+        trace_.streams[rec.tid].push_back(rec);
+      }
+      ++trace_.records;
+    }
+    if (p != chunk_end) {
+      *error = At(chunk_off, "chunk record count and byte length disagree (" +
+                                 std::to_string(chunk_end - p) + " bytes left over)");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TraceReader::ParseFile(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open trace file '" + path + "'";
+    return false;
+  }
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    *error = "error reading trace file '" + path + "'";
+    return false;
+  }
+  if (!Parse(data.data(), data.size(), error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ssync::trace

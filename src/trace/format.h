@@ -1,0 +1,186 @@
+// The memory-op trace format: compact binary records of every charged Mem
+// operation a workload performed, written by the capture recorder
+// (src/trace/recorder.h) and consumed by the replay runtime
+// (src/trace/replay.h).
+//
+// File layout:
+//
+//   [8-byte magic "SSYNCTR1"]
+//   chunk*   where chunk = [u32 record count][u32 payload bytes][payload]
+//
+// A chunk's payload is a sequence of records, each
+//
+//   varint(tid)  op byte  [zigzag-varint(addr delta)]  [varint(size)]
+//
+// with the address delta taken against the previous address-carrying record
+// *in the same chunk* (the delta state resets at every chunk boundary, so
+// per-thread chunks flushed in any interleaving still decode). Ops without an
+// address (fence/pause/compute) or without a size (fence) simply omit the
+// field. Addresses are raw host virtual addresses: the simulator derives the
+// cache line as addr >> 6, so deltas within a data structure stay small and
+// false sharing replays exactly as captured.
+//
+// All integers are little-endian; varints are LEB128 (7 bits per byte, high
+// bit = continuation). The format is append-only versioned via the magic.
+#ifndef SRC_TRACE_FORMAT_H_
+#define SRC_TRACE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ssync::trace {
+
+// Operation classes, one per charged Mem-concept entry point. Values are the
+// on-disk encoding — append only, never renumber.
+enum class TraceOp : std::uint8_t {
+  kLoad = 0,
+  kStore = 1,
+  kCas = 2,
+  kFai = 3,
+  kTas = 4,
+  kSwap = 5,
+  kLoadPoll = 6,     // polling load (busy-wait scan)
+  kLoadPollRfo = 7,  // ownership-maintaining poll
+  kLoadRfo = 8,      // prefetchw + load as one transaction
+  kPrefetchw = 9,
+  kPrefetchAsync = 10,
+  kPrefetchwAsync = 11,
+  kFence = 12,      // no addr, no size
+  kPause = 13,      // no addr; size = cycles
+  kCompute = 14,    // no addr; size = cycles
+  kReadData = 15,   // addr..addr+size payload read
+  kWriteData = 16,  // addr..addr+size payload write
+  kSetHome = 17,    // PlaceData: home addr..addr+size with the record's tid
+};
+
+inline constexpr int kNumTraceOps = 18;
+
+const char* ToString(TraceOp op);
+
+inline bool HasAddr(TraceOp op) {
+  return op != TraceOp::kFence && op != TraceOp::kPause && op != TraceOp::kCompute;
+}
+inline bool HasSize(TraceOp op) { return op != TraceOp::kFence; }
+
+struct TraceRecord {
+  int tid = 0;
+  TraceOp op = TraceOp::kLoad;
+  std::uint64_t addr = 0;  // raw host address (line = addr >> 6); 0 if !HasAddr
+  std::uint64_t size = 0;  // bytes, or cycles for kPause/kCompute; 0 if !HasSize
+
+  bool operator==(const TraceRecord& o) const {
+    return tid == o.tid && op == o.op && addr == o.addr && size == o.size;
+  }
+  bool operator!=(const TraceRecord& o) const { return !(*this == o); }
+};
+
+inline constexpr char kTraceMagic[8] = {'S', 'S', 'Y', 'N', 'C', 'T', 'R', '1'};
+inline constexpr std::size_t kTraceHeaderBytes = sizeof(kTraceMagic);
+
+// Sanity bound on encoded tids: far above kMaxNativeThreads (256) and every
+// simulated cpu count, low enough that a corrupt varint cannot balloon the
+// per-tid stream table.
+inline constexpr int kMaxTraceTid = 1 << 20;
+
+// --- varint primitives (exposed for the codec tests) ---
+void AppendVarint(std::vector<std::uint8_t>& out, std::uint64_t v);
+bool DecodeVarint(const std::uint8_t*& p, const std::uint8_t* end, std::uint64_t* out);
+std::uint64_t ZigZagEncode(std::int64_t v);
+std::int64_t ZigZagDecode(std::uint64_t v);
+
+// Encodes records into one chunk payload. The address-delta state lives here,
+// so one encoder == one chunk: after EncodeInto/Reset the state starts fresh.
+class ChunkEncoder {
+ public:
+  void Add(int tid, TraceOp op, std::uint64_t addr, std::uint64_t size);
+
+  std::uint32_t records() const { return records_; }
+  std::size_t bytes() const { return bytes_.size(); }
+  bool empty() const { return records_ == 0; }
+
+  // Appends the framed chunk ([u32 records][u32 bytes][payload]) to `out`
+  // and resets this encoder for the next chunk. No-op when empty.
+  void EncodeInto(std::vector<std::uint8_t>& out);
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t last_addr_ = 0;
+  std::uint32_t records_ = 0;
+};
+
+// Writes a trace to a file or an in-memory buffer: the header on open, then
+// framed chunks. Not thread-safe — the recorder serializes writers.
+class TraceWriter {
+ public:
+  // nullptr (with *error set) when the file cannot be opened.
+  static std::unique_ptr<TraceWriter> OpenFile(const std::string& path,
+                                               std::string* error);
+  static std::unique_ptr<TraceWriter> OpenBuffer();
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  // Flushes `chunk` into the output and resets it.
+  void WriteChunk(ChunkEncoder& chunk);
+
+  std::uint64_t records() const { return records_; }
+
+  // Flushes and closes the output; false (with *error) on a write failure.
+  // For buffer-backed writers always true. Idempotent.
+  bool Close(std::string* error);
+
+  // Buffer-backed writers: moves the encoded bytes out.
+  std::vector<std::uint8_t> TakeBuffer();
+  bool buffer_backed() const { return buffer_backed_; }
+
+ private:
+  TraceWriter() = default;
+
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint8_t> buffer_;
+  bool buffer_backed_ = false;
+  bool failed_ = false;
+  std::uint64_t records_ = 0;
+};
+
+// A fully parsed trace, indexed for replay: the per-tid op streams (file
+// order within each tid) and the placement directives, separated out because
+// replay applies them before spawning fibers.
+struct Trace {
+  std::vector<std::vector<TraceRecord>> streams;  // index = recorded tid
+  std::vector<TraceRecord> placements;            // kSetHome records, file order
+  std::uint64_t records = 0;                      // total, including placements
+
+  // Recorded tid-space size (some streams may be empty: a native thread that
+  // performed no charged ops between start and stop still occupies its slot).
+  int num_tids() const { return static_cast<int>(streams.size()); }
+  std::uint64_t ops() const { return records - placements.size(); }
+};
+
+// Parses and validates an encoded trace. Rejects (returning false with a
+// position-stamped *error): bad magic, truncated header/chunk, unknown op
+// bytes, tids outside [0, kMaxTraceTid), chunk payloads whose record count
+// and byte length disagree, and trailing garbage.
+class TraceReader {
+ public:
+  bool Parse(const std::uint8_t* data, std::size_t len, std::string* error);
+  bool Parse(const std::vector<std::uint8_t>& data, std::string* error) {
+    return Parse(data.data(), data.size(), error);
+  }
+  bool ParseFile(const std::string& path, std::string* error);
+
+  const Trace& trace() const { return trace_; }
+  Trace Take() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace ssync::trace
+
+#endif  // SRC_TRACE_FORMAT_H_

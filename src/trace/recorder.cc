@@ -1,0 +1,185 @@
+#include "src/trace/recorder.h"
+
+#include <memory>
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace ssync::trace {
+
+namespace internal {
+std::atomic<bool> g_capture_on{false};
+}  // namespace internal
+
+namespace {
+
+// Flush threshold for a thread's chunk buffer. Large enough that the sink
+// mutex is touched rarely, small enough that short captures still produce
+// multi-chunk files (exercising the chunk-boundary delta reset).
+constexpr std::size_t kChunkFlushBytes = std::size_t{48} * 1024;
+
+// One per OS thread that recorded anything. The buffer's mutex is only ever
+// contended by StopCapture's final flush; Record's acquisition is uncontended.
+struct ThreadBuf {
+  std::mutex mu;
+  ChunkEncoder chunk;
+};
+
+struct Sink {
+  std::mutex mu;           // serializes WriteChunk + open/close transitions
+  std::unique_ptr<TraceWriter> writer;
+
+  std::mutex registry_mu;  // guards the thread-buffer registry
+  std::vector<ThreadBuf*> threads;
+};
+
+// Leaked singletons: thread_local destructors of exiting threads may run
+// after static destructors on some runtimes, so the sink must never die.
+Sink& GlobalSink() {
+  static Sink* sink = new Sink();
+  return *sink;
+}
+
+// Moves the thread's pending chunk into the sink. Never holds the buffer
+// mutex while taking the sink mutex (StopCapture takes them in the same
+// buffer-then-sink order, so there is no inversion).
+void FlushThreadBuf(ThreadBuf& buf) {
+  ChunkEncoder pending;
+  {
+    std::lock_guard<std::mutex> lock(buf.mu);
+    if (buf.chunk.empty()) {
+      return;
+    }
+    pending = std::move(buf.chunk);
+    buf.chunk = ChunkEncoder{};
+  }
+  Sink& sink = GlobalSink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  if (sink.writer != nullptr) {
+    sink.writer->WriteChunk(pending);
+  }
+}
+
+// Owner object whose destructor flushes and unregisters the thread's buffer
+// when the thread exits mid-capture.
+struct ThreadBufOwner {
+  ThreadBuf* buf = nullptr;
+
+  ThreadBuf* Get() {
+    if (buf == nullptr) {
+      buf = new ThreadBuf();
+      Sink& sink = GlobalSink();
+      std::lock_guard<std::mutex> lock(sink.registry_mu);
+      sink.threads.push_back(buf);
+    }
+    return buf;
+  }
+
+  ~ThreadBufOwner() {
+    if (buf == nullptr) {
+      return;
+    }
+    FlushThreadBuf(*buf);
+    Sink& sink = GlobalSink();
+    std::lock_guard<std::mutex> lock(sink.registry_mu);
+    for (auto it = sink.threads.begin(); it != sink.threads.end(); ++it) {
+      if (*it == buf) {
+        sink.threads.erase(it);
+        break;
+      }
+    }
+    delete buf;
+    buf = nullptr;
+  }
+};
+
+thread_local ThreadBufOwner t_buf_owner;
+
+bool StartCapture(std::unique_ptr<TraceWriter> writer) {
+  Sink& sink = GlobalSink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  if (sink.writer != nullptr) {
+    return false;
+  }
+  sink.writer = std::move(writer);
+  internal::g_capture_on.store(true, std::memory_order_release);
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+
+void Record(int tid, TraceOp op, const void* addr, std::uint64_t size) {
+  if (tid < 0 || tid >= kMaxTraceTid) {
+    return;  // not a runtime worker: no replay identity
+  }
+  ThreadBuf* buf = t_buf_owner.Get();
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->chunk.Add(tid, op, reinterpret_cast<std::uintptr_t>(addr), size);
+    flush = buf->chunk.bytes() >= kChunkFlushBytes;
+  }
+  if (flush) {
+    FlushThreadBuf(*buf);
+  }
+}
+
+}  // namespace internal
+
+bool StartCaptureFile(const std::string& path, std::string* error) {
+  std::unique_ptr<TraceWriter> writer = TraceWriter::OpenFile(path, error);
+  if (writer == nullptr) {
+    return false;
+  }
+  if (!StartCapture(std::move(writer))) {
+    *error = "a trace capture is already active";
+    return false;
+  }
+  return true;
+}
+
+bool StartCaptureBuffer() { return StartCapture(TraceWriter::OpenBuffer()); }
+
+std::uint64_t StopCapture(std::vector<std::uint8_t>* out, std::string* error) {
+  Sink& sink = GlobalSink();
+  // Stop new records first; in-flight Record calls finish under their buffer
+  // mutexes, which the flush below serializes with.
+  internal::g_capture_on.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sink.mu);
+    if (sink.writer == nullptr) {
+      return 0;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> registry_lock(sink.registry_mu);
+    for (ThreadBuf* buf : sink.threads) {
+      FlushThreadBuf(*buf);
+    }
+  }
+  std::unique_ptr<TraceWriter> writer;
+  {
+    std::lock_guard<std::mutex> lock(sink.mu);
+    writer = std::move(sink.writer);
+  }
+  SSYNC_CHECK(writer != nullptr);  // only one StopCapture can take it
+  const std::uint64_t records = writer->records();
+  std::string close_error;
+  if (!writer->Close(&close_error) && error != nullptr) {
+    *error = close_error;
+  }
+  if (out != nullptr && writer->buffer_backed()) {
+    *out = writer->TakeBuffer();
+  }
+  return records;
+}
+
+bool CaptureActive() {
+  Sink& sink = GlobalSink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  return sink.writer != nullptr;
+}
+
+}  // namespace ssync::trace

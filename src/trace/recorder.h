@@ -1,0 +1,75 @@
+// Memory-op trace capture: the recorder behind `ssyncbench --trace-out` and
+// `ssyncd --trace-out`.
+//
+// The Mem backends (src/core/mem_native.h, src/core/mem_sim.h) call
+// MaybeRecord-style hooks on every charged operation. The hooks compile to a
+// single relaxed flag load plus a never-taken branch when capture is off —
+// zero measurable overhead on the native hot paths — and can be compiled out
+// entirely with -DSSYNC_TRACE_CAPTURE=0.
+//
+// When capture is on, each OS thread encodes into its own chunk buffer (one
+// uncontended mutex acquisition per op); full chunks are appended to the
+// shared TraceWriter under a separate sink mutex. StopCapture() flips the
+// flag off, flushes every live thread buffer, and returns the record count.
+//
+// Not recorded (and therefore not replayable): ParkSelf/UnparkThread (the
+// MUTEX lock's futex path — kernel scheduling, not memory ops) and the
+// uncharged seqlock raw-field helpers (whose coherence traffic the optimistic
+// read path charges explicitly via ReadData/WriteData).
+#ifndef SRC_TRACE_RECORDER_H_
+#define SRC_TRACE_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/format.h"
+
+// Compile-time gate: 0 removes the capture hooks from the Mem backends
+// entirely (the runtime flag below is then never consulted).
+#ifndef SSYNC_TRACE_CAPTURE
+#define SSYNC_TRACE_CAPTURE 1
+#endif
+
+namespace ssync::trace {
+
+namespace internal {
+extern std::atomic<bool> g_capture_on;
+// The out-of-line slow path: encodes one record into the calling thread's
+// chunk buffer. Records with tid < 0 (a thread outside any runtime's worker
+// set) are dropped — they have no replay identity.
+void Record(int tid, TraceOp op, const void* addr, std::uint64_t size);
+}  // namespace internal
+
+// True when a capture is in progress. The Mem hooks check this inline before
+// paying for anything else (including the thread-id TLS read).
+inline bool CaptureEnabled() {
+#if SSYNC_TRACE_CAPTURE
+  return internal::g_capture_on.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+// Starts capturing to `path`. False (with *error) if the file cannot be
+// opened or a capture is already active.
+bool StartCaptureFile(const std::string& path, std::string* error);
+
+// Starts capturing into memory (tests); retrieve the bytes via StopCapture.
+// False if a capture is already active.
+bool StartCaptureBuffer();
+
+// Stops the capture: disables the hooks, flushes every thread's pending
+// chunk, closes the output, and returns the total record count. For
+// buffer-backed captures the encoded bytes are moved into *out (ignored for
+// file captures). Returns 0 if no capture was active. With `error` non-null,
+// a file-write failure is reported there (records still returned).
+std::uint64_t StopCapture(std::vector<std::uint8_t>* out = nullptr,
+                          std::string* error = nullptr);
+
+bool CaptureActive();
+
+}  // namespace ssync::trace
+
+#endif  // SRC_TRACE_RECORDER_H_

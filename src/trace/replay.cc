@@ -1,0 +1,160 @@
+#include "src/trace/replay.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/util/check.h"
+
+namespace ssync::trace {
+
+namespace {
+
+inline LineAddr LineOfAddr(std::uint64_t addr) { return addr >> 6; }
+
+// Mirrors SimMem::Touch: one coherence access per line of [addr, addr+bytes).
+void TouchRange(Machine& m, std::uint64_t addr, std::uint64_t bytes, AccessType type) {
+  if (bytes == 0) {
+    return;
+  }
+  const LineAddr first = LineOfAddr(addr);
+  const LineAddr last = LineOfAddr(addr + bytes - 1);
+  for (LineAddr line = first; line <= last; ++line) {
+    m.Access(line, type);
+  }
+}
+
+// Executes one record against the machine, using the same entry points the
+// corresponding SimMem operation uses (so a sim-captured trace replays in
+// lock step). Returns the number of coherence-machine ops performed (pause
+// and compute only advance the fiber's clock).
+std::uint64_t ReplayOp(Machine& m, const TraceRecord& rec) {
+  const LineAddr line = LineOfAddr(rec.addr);
+  switch (rec.op) {
+    case TraceOp::kLoad:
+      m.Access(line, AccessType::kLoad);
+      return 1;
+    case TraceOp::kStore:
+      m.Access(line, AccessType::kStore);
+      return 1;
+    case TraceOp::kCas:
+      m.Access(line, AccessType::kCas);
+      return 1;
+    case TraceOp::kFai:
+      m.Access(line, AccessType::kFai);
+      return 1;
+    case TraceOp::kTas:
+      m.Access(line, AccessType::kTas);
+      return 1;
+    case TraceOp::kSwap:
+      m.Access(line, AccessType::kSwap);
+      return 1;
+    case TraceOp::kLoadPoll:
+      m.Poll(line, /*rfo=*/false);
+      return 1;
+    case TraceOp::kLoadPollRfo:
+      m.Poll(line, /*rfo=*/true);
+      return 1;
+    case TraceOp::kLoadRfo:
+    case TraceOp::kPrefetchw:
+      m.Prefetchw(line);
+      return 1;
+    case TraceOp::kPrefetchAsync:
+      m.PrefetchAsync(line, /*for_write=*/false);
+      return 1;
+    case TraceOp::kPrefetchwAsync:
+      m.PrefetchAsync(line, /*for_write=*/true);
+      return 1;
+    case TraceOp::kFence:
+      m.Fence();
+      return 1;
+    case TraceOp::kPause:
+    case TraceOp::kCompute:
+      Engine::Current()->Advance(rec.size);
+      return 0;
+    case TraceOp::kReadData: {
+      const LineAddr last = rec.size == 0 ? line : LineOfAddr(rec.addr + rec.size - 1);
+      TouchRange(m, rec.addr, rec.size, AccessType::kLoad);
+      return rec.size == 0 ? 0 : last - line + 1;
+    }
+    case TraceOp::kWriteData: {
+      const LineAddr last = rec.size == 0 ? line : LineOfAddr(rec.addr + rec.size - 1);
+      TouchRange(m, rec.addr, rec.size, AccessType::kStore);
+      return rec.size == 0 ? 0 : last - line + 1;
+    }
+    case TraceOp::kSetHome:
+      SSYNC_CHECK(false);  // placements are applied before the run
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TraceReplayRuntime::TraceReplayRuntime(const PlatformSpec& spec,
+                                       const std::string& protocol)
+    : machine_(spec, protocol) {}
+
+ReplayStats TraceReplayRuntime::Replay(const Trace& trace) {
+  const PlatformSpec& spec = machine_.spec();
+  ReplayStats out;
+  out.recorded_tids = trace.num_tids();
+  const int threads = std::min(trace.num_tids(), spec.num_cpus);
+  out.threads = threads;
+
+  // Placements first, exactly as SimRuntime::PlaceData issues them pre-run
+  // (the capture records one kSetHome per PlaceData call, carrying the full
+  // byte range; the placing thread's identity folds like any other tid).
+  for (const TraceRecord& rec : trace.placements) {
+    if (rec.size == 0) {
+      continue;
+    }
+    const int slot = threads > 0 ? rec.tid % threads : 0;
+    const NodeId node = spec.MemNodeOf(spec.CpuForThread(slot));
+    const LineAddr first = LineOfAddr(rec.addr);
+    const LineAddr last = LineOfAddr(rec.addr + rec.size - 1);
+    for (LineAddr line = first; line <= last; ++line) {
+      machine_.SetHome(line, node);
+    }
+  }
+
+  if (threads == 0) {
+    last_duration_ = 0;
+    return out;
+  }
+
+  // Fold recorded tids onto replay threads: slot s executes streams
+  // s, s+threads, s+2*threads, ... in tid order.
+  std::vector<std::vector<const std::vector<TraceRecord>*>> slots(threads);
+  for (int tid = 0; tid < trace.num_tids(); ++tid) {
+    slots[tid % threads].push_back(&trace.streams[tid]);
+  }
+
+  Engine engine(spec.num_cpus);
+  std::vector<std::uint64_t> replayed(threads, 0);
+  std::vector<std::uint64_t> mem_ops(threads, 0);
+  for (int slot = 0; slot < threads; ++slot) {
+    const CpuId cpu = spec.CpuForThread(slot);
+    engine.Spawn(cpu, [this, &slots, &replayed, &mem_ops, slot] {
+      for (const std::vector<TraceRecord>* stream : slots[slot]) {
+        for (const TraceRecord& rec : *stream) {
+          mem_ops[slot] += ReplayOp(machine_, rec);
+          ++replayed[slot];
+        }
+      }
+    });
+  }
+
+  machine_.ResetTimeDomain();
+  engine.Run();
+  last_duration_ = engine.end_time();
+
+  out.duration = last_duration_;
+  for (int slot = 0; slot < threads; ++slot) {
+    out.replayed += replayed[slot];
+    out.mem_ops += mem_ops[slot];
+  }
+  return out;
+}
+
+}  // namespace ssync::trace

@@ -1,0 +1,59 @@
+// TraceReplayRuntime: re-executes a captured memory-op trace on a simulated
+// Machine, under any PlatformSpec and any registered coherence protocol.
+//
+// Replay satisfies the slice of the Runtime concept that the Machine consumes:
+// it owns the Machine, spawns one engine fiber per replay thread (placed by
+// the spec's Section-5.4 policy, exactly as SimRuntime would), applies the
+// recorded placement directives, and drives each fiber through its tid's
+// recorded op stream using the same Machine entry points SimMem uses. A trace
+// captured from a simulated run on the same spec therefore reproduces the
+// original MachineStats exactly (the lock-step property, asserted in
+// tests/trace_replay_test.cc); a trace captured natively on a small container
+// can be replayed onto a modeled 8-socket Opteron or a Niagara.
+//
+// Tid mapping: recorded tid t runs as replay thread (t % threads) where
+// threads = min(recorded tids, spec.num_cpus). Folded streams concatenate in
+// tid order, so an N-thread capture replays losslessly on any smaller
+// machine.
+#ifndef SRC_TRACE_REPLAY_H_
+#define SRC_TRACE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ccsim/machine.h"
+#include "src/trace/format.h"
+
+namespace ssync::trace {
+
+struct ReplayStats {
+  std::uint64_t replayed = 0;  // trace ops executed (placements excluded)
+  std::uint64_t mem_ops = 0;   // ops that touched the coherence machine
+  Cycles duration = 0;         // virtual end time of the replay
+  int threads = 0;             // replay threads after tid folding
+  int recorded_tids = 0;       // tid-space size of the source trace
+};
+
+class TraceReplayRuntime {
+ public:
+  explicit TraceReplayRuntime(const PlatformSpec& spec,
+                              const std::string& protocol = kDefaultProtocolName);
+
+  const PlatformSpec& spec() const { return machine_.spec(); }
+  Machine& machine() { return machine_; }
+  const std::string& protocol() const { return machine_.protocol(); }
+
+  // Replays the whole trace; cache state persists across calls (as on a real
+  // machine), the time domain resets per call (as SimRuntime resets per run).
+  ReplayStats Replay(const Trace& trace);
+
+  Cycles last_duration() const { return last_duration_; }
+
+ private:
+  Machine machine_;
+  Cycles last_duration_ = 0;
+};
+
+}  // namespace ssync::trace
+
+#endif  // SRC_TRACE_REPLAY_H_

@@ -1,0 +1,74 @@
+#include "src/trace/synthetic.h"
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace ssync::trace {
+
+namespace {
+
+// Fixed virtual layout (line-aligned; never dereferenced — replay only uses
+// addr >> 6). Shared region first, then per-tid private regions.
+constexpr std::uint64_t kBase = 0x10000000;
+constexpr std::uint64_t kLine = 64;
+constexpr std::uint64_t kLockAddr = kBase;                 // the "lock" line
+constexpr std::uint64_t kCounterAddr = kBase + kLine;      // shared counter
+constexpr std::uint64_t kSharedAddr = kBase + 2 * kLine;   // shared data array
+constexpr int kSharedLines = 8;
+constexpr std::uint64_t kPrivateAddr = kBase + (2 + kSharedLines) * kLine;
+constexpr int kPrivateLines = 4;
+
+}  // namespace
+
+Trace MakeSyntheticTrace(int tids, int rounds, std::uint64_t seed) {
+  SSYNC_CHECK_GT(tids, 0);
+  SSYNC_CHECK_GT(rounds, 0);
+  Trace trace;
+  trace.streams.resize(tids);
+
+  // Home all shared state at thread 0's node, as PlaceData would.
+  TraceRecord place;
+  place.tid = 0;
+  place.op = TraceOp::kSetHome;
+  place.addr = kBase;
+  place.size = (2 + kSharedLines) * kLine;
+  trace.placements.push_back(place);
+  ++trace.records;
+
+  for (int tid = 0; tid < tids; ++tid) {
+    Rng rng(seed + static_cast<std::uint64_t>(tid) * 0x9e3779b97f4a7c15ULL);
+    std::vector<TraceRecord>& s = trace.streams[tid];
+    const std::uint64_t priv =
+        kPrivateAddr + static_cast<std::uint64_t>(tid) * kPrivateLines * kLine;
+    auto emit = [&](TraceOp op, std::uint64_t addr, std::uint64_t size) {
+      s.push_back(TraceRecord{tid, op, addr, size});
+      ++trace.records;
+    };
+    for (int r = 0; r < rounds; ++r) {
+      // Acquire-style CAS on the lock line, then the critical section's
+      // load+store of a shared line, then release-style store.
+      emit(TraceOp::kCas, kLockAddr, 8);
+      const std::uint64_t shared = kSharedAddr + rng.NextBelow(kSharedLines) * kLine;
+      emit(TraceOp::kLoad, shared, 8);
+      emit(TraceOp::kStore, shared, 8);
+      emit(TraceOp::kStore, kLockAddr, 8);
+      // Uncontended private work: loads that stay Exclusive under MESI and
+      // MOESI alike (the control group for the transition counters).
+      for (int i = 0; i < kPrivateLines; ++i) {
+        emit(TraceOp::kLoad, priv + static_cast<std::uint64_t>(i) * kLine, 8);
+      }
+      emit(TraceOp::kStore, priv + rng.NextBelow(kPrivateLines) * kLine, 8);
+      // Shared counter + fence, plus a dirty-line read of another thread's
+      // hot line — the op MESI and MOESI price differently.
+      emit(TraceOp::kFai, kCounterAddr, 8);
+      emit(TraceOp::kFence, 0, 0);
+      emit(TraceOp::kLoad, kSharedAddr + rng.NextBelow(kSharedLines) * kLine, 8);
+      if (rng.NextBelow(4) == 0) {
+        emit(TraceOp::kPause, 0, 60);
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace ssync::trace

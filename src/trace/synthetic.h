@@ -1,0 +1,24 @@
+// Deterministic synthetic traces for the trace_replay experiment's baseline
+// mode (no --trace-in). Real captures embed host heap addresses, so their
+// replay stats vary run to run; the synthetic trace uses fixed addresses and
+// a seeded Rng, making every replay byte-stable across machines — which is
+// what lets CI gate the trace_replay metrics on exact equality.
+#ifndef SRC_TRACE_SYNTHETIC_H_
+#define SRC_TRACE_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/trace/format.h"
+
+namespace ssync::trace {
+
+// A lock-protected-counter-style workload over `tids` threads: each round a
+// thread CASes a shared lock line, reads/writes shared state, bumps a shared
+// counter, works on private lines, and fences — a mix that exercises every
+// transition the MESI/MOESI variants disagree on (dirty-line loads, upgrades,
+// invalidation fan-out).
+Trace MakeSyntheticTrace(int tids, int rounds, std::uint64_t seed);
+
+}  // namespace ssync::trace
+
+#endif  // SRC_TRACE_SYNTHETIC_H_

@@ -1,0 +1,210 @@
+// Tests for trace replay (src/trace/replay.h), the protocol registry
+// (src/ccsim/protocol.h), and — the load-bearing one — the lock-step
+// calibration property: a trace captured from a simulated run, replayed on
+// the same platform under the "paper" protocol, reproduces the original
+// machine's statistics exactly, operation for operation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/ccsim/machine.h"
+#include "src/ccsim/protocol.h"
+#include "src/core/mem_sim.h"
+#include "src/core/runtime_sim.h"
+#include "src/platform/spec.h"
+#include "src/trace/format.h"
+#include "src/trace/recorder.h"
+#include "src/trace/replay.h"
+#include "src/trace/synthetic.h"
+
+namespace ssync {
+namespace {
+
+using trace::Trace;
+using trace::TraceReader;
+using trace::TraceReplayRuntime;
+
+// --- protocol registry ---
+
+TEST(ProtocolRegistry, BuiltinsArePresent) {
+  const std::vector<std::string> names = ProtocolRegistry::Global().Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_NE(ProtocolRegistry::Global().Find("paper"), nullptr);
+  EXPECT_NE(ProtocolRegistry::Global().Find("mesi"), nullptr);
+  EXPECT_NE(ProtocolRegistry::Global().Find("moesi"), nullptr);
+  EXPECT_EQ(ProtocolRegistry::Global().Find("dragon"), nullptr);
+}
+
+TEST(ProtocolRegistry, PaperSupportsEveryPlatform) {
+  const ProtocolRegistry::Entry* paper = ProtocolRegistry::Global().Find("paper");
+  ASSERT_NE(paper, nullptr);
+  for (const auto& spec : {MakeOpteron(), MakeXeon(), MakeNiagara(), MakeTilera(),
+                           MakeOpteron2(), MakeXeon2()}) {
+    EXPECT_TRUE(paper->supports(spec)) << spec.name;
+  }
+}
+
+TEST(ProtocolRegistry, ForcedVariantsAreMultiSocketOnly) {
+  for (const char* name : {"mesi", "moesi"}) {
+    const ProtocolRegistry::Entry* entry = ProtocolRegistry::Global().Find(name);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->supports(MakeOpteron())) << name;
+    EXPECT_TRUE(entry->supports(MakeXeon2())) << name;
+    EXPECT_FALSE(entry->supports(MakeNiagara())) << name;
+    EXPECT_FALSE(entry->supports(MakeTilera())) << name;
+  }
+}
+
+TEST(ProtocolRegistry, MakeProtocolRejectsUnknownAndUnsupported) {
+  MachineState st(MakeNiagara());
+  EXPECT_EQ(MakeProtocol("dragon", st), nullptr);
+  EXPECT_EQ(MakeProtocol("mesi", st), nullptr) << "mesi on Niagara";
+  EXPECT_NE(MakeProtocol("paper", st), nullptr);
+}
+
+// --- synthetic traces ---
+
+TEST(SyntheticTrace, IsDeterministicInSeed) {
+  const Trace a = trace::MakeSyntheticTrace(4, 50, 7);
+  const Trace b = trace::MakeSyntheticTrace(4, 50, 7);
+  const Trace c = trace::MakeSyntheticTrace(4, 50, 8);
+  ASSERT_EQ(a.num_tids(), 4);
+  EXPECT_EQ(a.records, b.records);
+  for (int tid = 0; tid < 4; ++tid) {
+    EXPECT_EQ(a.streams[tid], b.streams[tid]) << "tid " << tid;
+  }
+  bool identical = a.records == c.records;
+  for (int tid = 0; identical && tid < 4; ++tid) {
+    identical = a.streams[tid] == c.streams[tid];
+  }
+  EXPECT_FALSE(identical) << "different seeds must vary the op stream";
+}
+
+// --- replay semantics ---
+
+TEST(TraceReplay, ReplayIsDeterministic) {
+  const Trace t = trace::MakeSyntheticTrace(8, 100, 1);
+  TraceReplayRuntime a(MakeOpteron());
+  TraceReplayRuntime b(MakeOpteron());
+  const trace::ReplayStats ra = a.Replay(t);
+  const trace::ReplayStats rb = b.Replay(t);
+  EXPECT_EQ(ra.replayed, rb.replayed);
+  EXPECT_EQ(ra.duration, rb.duration);
+  EXPECT_TRUE(a.machine().stats() == b.machine().stats());
+  EXPECT_GT(ra.mem_ops, 0u);
+}
+
+TEST(TraceReplay, MesiVersusMoesiSameOpsDifferentPricing) {
+  const Trace t = trace::MakeSyntheticTrace(8, 200, 1);
+  TraceReplayRuntime mesi(MakeOpteron(), "mesi");
+  TraceReplayRuntime moesi(MakeOpteron(), "moesi");
+  const trace::ReplayStats rs_mesi = mesi.Replay(t);
+  const trace::ReplayStats rs_moesi = moesi.Replay(t);
+
+  // Identical op stream either way...
+  EXPECT_EQ(rs_mesi.replayed, rs_moesi.replayed);
+  EXPECT_EQ(rs_mesi.mem_ops, rs_moesi.mem_ops);
+  EXPECT_EQ(mesi.machine().stats().accesses, moesi.machine().stats().accesses);
+
+  // ...but only MOESI ever enters the Owned state; MESI must instead push
+  // dirty lines toward the shared levels (llc hits / memory) on read-sharing.
+  EXPECT_EQ(mesi.machine().stats().to_owned, 0u);
+  EXPECT_GT(moesi.machine().stats().to_owned, 0u);
+  EXPECT_GT(mesi.machine().stats().llc_hits + mesi.machine().stats().mem_accesses,
+            moesi.machine().stats().llc_hits + moesi.machine().stats().mem_accesses);
+}
+
+TEST(TraceReplay, FoldsWideTraceOntoSmallerMachine) {
+  // 16 recorded tids on an 8-cpu machine: slot s executes streams s and s+8.
+  const Trace t = trace::MakeSyntheticTrace(16, 40, 3);
+  const PlatformSpec small = MakeOpteron2();
+  ASSERT_EQ(small.num_cpus, 8);
+  TraceReplayRuntime rt(small);
+  const trace::ReplayStats rs = rt.Replay(t);
+  EXPECT_EQ(rs.recorded_tids, 16);
+  EXPECT_EQ(rs.threads, 8);
+  EXPECT_EQ(rs.replayed, t.ops());
+}
+
+TEST(TraceReplay, EmptyTraceReplaysToNothing) {
+  Trace t;
+  TraceReplayRuntime rt(MakeXeon());
+  const trace::ReplayStats rs = rt.Replay(t);
+  EXPECT_EQ(rs.replayed, 0u);
+  EXPECT_EQ(rs.mem_ops, 0u);
+  EXPECT_EQ(rs.threads, 0);
+}
+
+// --- the lock-step calibration property ---
+
+// Captures a contended lock/counter workload on `spec`, then replays the
+// trace on a fresh machine of the same spec under the "paper" protocol and
+// asserts the replayed machine's statistics match the original run exactly.
+// This is what makes replay trustworthy as a what-if instrument: the trace
+// pipeline (capture -> encode -> decode -> replay) is lossless with respect
+// to everything the simulator charges for.
+void CheckLockStep(const PlatformSpec& spec, int threads, int rounds) {
+  SimRuntime rt(spec);
+
+  struct alignas(64) Shared {
+    SimMem::Atomic<std::uint64_t> lock{0};
+    SimMem::Atomic<std::uint64_t> counter{0};
+  };
+  Shared shared;
+  alignas(64) std::uint8_t payload[512] = {};
+
+  ASSERT_TRUE(trace::StartCaptureBuffer());
+  rt.PlaceData(&shared, sizeof(shared), /*tid=*/0);
+  rt.Run(threads, [&](int) {
+    for (int i = 0; i < rounds; ++i) {
+      // Test-and-test-and-set acquire: polls, CAS, contended retries.
+      for (;;) {
+        while (shared.lock.Load() != 0) {
+          SimMem::Pause(35);
+        }
+        std::uint64_t e = 0;
+        if (shared.lock.CompareExchange(e, 1)) {
+          break;
+        }
+      }
+      shared.counter.FetchAdd(1);
+      SimMem::ReadData(payload, sizeof(payload));
+      SimMem::WriteData(payload, 64);
+      SimMem::FullFence();
+      shared.lock.Store(0);
+    }
+  });
+  const MachineStats captured_stats = rt.machine().stats();
+  const Cycles captured_duration = rt.last_duration();
+
+  std::vector<std::uint8_t> bytes;
+  std::string error;
+  const std::uint64_t n = trace::StopCapture(&bytes, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_GT(n, 0u);
+
+  TraceReader reader;
+  ASSERT_TRUE(reader.Parse(bytes, &error)) << error;
+  const Trace t = reader.Take();
+  ASSERT_EQ(t.num_tids(), threads);
+  ASSERT_EQ(t.placements.size(), 1u);
+
+  TraceReplayRuntime replay(spec, "paper");
+  const trace::ReplayStats rs = replay.Replay(t);
+  EXPECT_EQ(rs.replayed, t.ops());
+  EXPECT_EQ(rs.threads, threads);
+  EXPECT_EQ(rs.duration, captured_duration);
+  EXPECT_TRUE(replay.machine().stats() == captured_stats)
+      << "replayed machine diverged from the captured run";
+  EXPECT_EQ(replay.machine().stats().accesses, captured_stats.accesses);
+  EXPECT_EQ(replay.machine().stats().stall_cycles, captured_stats.stall_cycles);
+}
+
+TEST(TraceReplay, LockStepOpteron) { CheckLockStep(MakeOpteron(), 8, 30); }
+TEST(TraceReplay, LockStepXeon) { CheckLockStep(MakeXeon(), 10, 25); }
+TEST(TraceReplay, LockStepNiagara) { CheckLockStep(MakeNiagara(), 8, 30); }
+TEST(TraceReplay, LockStepTilera) { CheckLockStep(MakeTilera(), 6, 30); }
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,333 @@
+// Tests for the trace codec (src/trace/format.h) and the capture recorder
+// (src/trace/recorder.h): varint primitives, encode/decode round-trips,
+// malformed-input rejection, and the recorder's buffer-backed capture path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/trace/format.h"
+#include "src/trace/recorder.h"
+
+namespace ssync::trace {
+namespace {
+
+// --- varint / zigzag primitives ---
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {
+      0,    1,    127,        128,        129,       16383, 16384,
+      (1u << 21) - 1,         1ull << 32, 0xdeadbeefcafeull,
+      ~0ull >> 1,             ~0ull,
+  };
+  for (const std::uint64_t v : values) {
+    std::vector<std::uint8_t> buf;
+    AppendVarint(buf, v);
+    const std::uint8_t* p = buf.data();
+    std::uint64_t out = 0;
+    ASSERT_TRUE(DecodeVarint(p, buf.data() + buf.size(), &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(p, buf.data() + buf.size()) << "decoder must consume all bytes";
+  }
+}
+
+TEST(Varint, DecodeRejectsTruncation) {
+  std::vector<std::uint8_t> buf;
+  AppendVarint(buf, 1ull << 40);  // multi-byte encoding
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    const std::uint8_t* p = buf.data();
+    std::uint64_t out = 0;
+    EXPECT_FALSE(DecodeVarint(p, buf.data() + len, &out)) << "len=" << len;
+  }
+}
+
+TEST(Varint, DecodeRejectsOverlongEncoding) {
+  // 11 continuation bytes cannot fit in 64 bits.
+  std::vector<std::uint8_t> buf(11, 0x80);
+  buf.push_back(0x01);
+  const std::uint8_t* p = buf.data();
+  std::uint64_t out = 0;
+  EXPECT_FALSE(DecodeVarint(p, buf.data() + buf.size(), &out));
+}
+
+TEST(ZigZag, RoundTripsSignedValues) {
+  const std::int64_t values[] = {0, 1, -1, 63, -64, 1ll << 40, -(1ll << 40),
+                                 INT64_MAX, INT64_MIN};
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes must encode small (that is the point of zigzag).
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+// --- encode / parse round-trips ---
+
+std::vector<std::uint8_t> Encode(const std::vector<TraceRecord>& records,
+                                 std::size_t records_per_chunk = 1000) {
+  auto writer = TraceWriter::OpenBuffer();
+  ChunkEncoder chunk;
+  for (const TraceRecord& r : records) {
+    chunk.Add(r.tid, r.op, r.addr, r.size);
+    if (chunk.records() >= records_per_chunk) {
+      writer->WriteChunk(chunk);
+    }
+  }
+  writer->WriteChunk(chunk);
+  EXPECT_TRUE(writer->Close(nullptr));
+  EXPECT_EQ(writer->records(), records.size());
+  return writer->TakeBuffer();
+}
+
+TEST(TraceCodec, EmptyTraceIsHeaderOnly) {
+  const std::vector<std::uint8_t> bytes = Encode({});
+  EXPECT_EQ(bytes.size(), kTraceHeaderBytes);
+  TraceReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Parse(bytes, &error)) << error;
+  EXPECT_EQ(reader.trace().records, 0u);
+  EXPECT_EQ(reader.trace().num_tids(), 0);
+  EXPECT_EQ(reader.trace().ops(), 0u);
+}
+
+TEST(TraceCodec, SingleRecordRoundTrips) {
+  const TraceRecord rec{3, TraceOp::kCas, 0x7fff12345678ull, 8};
+  const std::vector<std::uint8_t> bytes = Encode({rec});
+  TraceReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Parse(bytes, &error)) << error;
+  const Trace& t = reader.trace();
+  EXPECT_EQ(t.records, 1u);
+  ASSERT_EQ(t.num_tids(), 4);  // tids 0..2 empty, 3 holds the record
+  ASSERT_EQ(t.streams[3].size(), 1u);
+  EXPECT_EQ(t.streams[3][0], rec);
+}
+
+TEST(TraceCodec, MixedOpsRoundTripAcrossChunks) {
+  std::vector<TraceRecord> records;
+  std::uint64_t addr = 0x10000000;
+  for (int i = 0; i < 500; ++i) {
+    const int tid = i % 3;
+    switch (i % 7) {
+      case 0: records.push_back({tid, TraceOp::kLoad, addr += 64, 8}); break;
+      case 1: records.push_back({tid, TraceOp::kStore, addr -= 128, 4}); break;
+      case 2: records.push_back({tid, TraceOp::kFai, addr, 8}); break;
+      case 3: records.push_back({tid, TraceOp::kFence, 0, 0}); break;
+      case 4: records.push_back({tid, TraceOp::kPause, 0, 35}); break;
+      case 5: records.push_back({tid, TraceOp::kReadData, addr + 4096, 256}); break;
+      case 6: records.push_back({tid, TraceOp::kSetHome, addr, 64}); break;
+    }
+  }
+  // Small chunks force the address-delta state to reset repeatedly.
+  const std::vector<std::uint8_t> bytes = Encode(records, 17);
+  TraceReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Parse(bytes, &error)) << error;
+  const Trace& t = reader.trace();
+  EXPECT_EQ(t.records, records.size());
+
+  std::vector<TraceRecord> expected_streams[3];
+  std::vector<TraceRecord> expected_placements;
+  for (const TraceRecord& r : records) {
+    if (r.op == TraceOp::kSetHome) {
+      expected_placements.push_back(r);
+    } else {
+      expected_streams[r.tid].push_back(r);
+    }
+  }
+  ASSERT_EQ(t.num_tids(), 3);
+  for (int tid = 0; tid < 3; ++tid) {
+    EXPECT_EQ(t.streams[tid], expected_streams[tid]) << "tid " << tid;
+  }
+  EXPECT_EQ(t.placements, expected_placements);
+  EXPECT_EQ(t.ops(), records.size() - expected_placements.size());
+}
+
+TEST(TraceCodec, AddrlessOpsCarryNoAddress) {
+  // A fence between two far-apart addresses must not disturb the delta chain.
+  const std::vector<TraceRecord> records = {
+      {0, TraceOp::kLoad, 0x1000, 8},
+      {0, TraceOp::kFence, 0, 0},
+      {0, TraceOp::kLoad, 0x1040, 8},
+  };
+  const std::vector<std::uint8_t> bytes = Encode(records);
+  TraceReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Parse(bytes, &error)) << error;
+  EXPECT_EQ(reader.trace().streams[0], records);
+}
+
+// --- malformed-input rejection ---
+
+TEST(TraceCodec, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = Encode({{0, TraceOp::kLoad, 64, 8}});
+  bytes[0] ^= 0xff;
+  TraceReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Parse(bytes, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(TraceCodec, RejectsTruncationAtEveryOffset) {
+  const std::vector<std::uint8_t> bytes = Encode({
+      {0, TraceOp::kLoad, 0x2000, 8},
+      {1, TraceOp::kStore, 0x2040, 4},
+      {0, TraceOp::kFai, 0x2000, 8},
+  });
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    if (len == kTraceHeaderBytes) {
+      continue;  // magic alone is a valid empty trace
+    }
+    TraceReader reader;
+    std::string error;
+    EXPECT_FALSE(reader.Parse(bytes.data(), len, &error)) << "len=" << len;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(TraceCodec, RejectsUnknownOpByte) {
+  std::vector<std::uint8_t> bytes = Encode({{0, TraceOp::kLoad, 64, 8}});
+  // Payload layout: tid varint (1 byte: 0x00), then the op byte.
+  const std::size_t op_off = kTraceHeaderBytes + 8 + 1;
+  ASSERT_LT(op_off, bytes.size());
+  ASSERT_EQ(bytes[op_off], static_cast<std::uint8_t>(TraceOp::kLoad));
+  bytes[op_off] = 200;
+  TraceReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Parse(bytes, &error));
+  EXPECT_NE(error.find("op"), std::string::npos) << error;
+}
+
+TEST(TraceCodec, RejectsOutOfRangeTid) {
+  // Hand-built chunk (the encoder refuses such tids): one record whose tid
+  // varint decodes to kMaxTraceTid.
+  std::vector<std::uint8_t> payload;
+  AppendVarint(payload, static_cast<std::uint64_t>(kMaxTraceTid));
+  payload.push_back(static_cast<std::uint8_t>(TraceOp::kLoad));
+  AppendVarint(payload, ZigZagEncode(64));  // addr delta
+  AppendVarint(payload, 8);                 // size
+  std::vector<std::uint8_t> bytes(kTraceHeaderBytes);
+  std::memcpy(bytes.data(), kTraceMagic, kTraceHeaderBytes);
+  const std::uint32_t n_records = 1;
+  const std::uint32_t n_bytes = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(n_records >> (8 * i)));
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(n_bytes >> (8 * i)));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  TraceReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Parse(bytes, &error));
+  EXPECT_NE(error.find("tid"), std::string::npos) << error;
+}
+
+TEST(TraceCodec, RejectsRecordCountPayloadDisagreement) {
+  std::vector<std::uint8_t> bytes = Encode({{0, TraceOp::kLoad, 64, 8}});
+  // Bump the chunk's record count: the payload runs out before the promised
+  // number of records decodes.
+  bytes[kTraceHeaderBytes] += 1;
+  TraceReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Parse(bytes, &error));
+}
+
+TEST(TraceCodec, RejectsTrailingGarbageInChunk) {
+  std::vector<std::uint8_t> bytes = Encode({{0, TraceOp::kFence, 0, 0}});
+  // Grow the payload length and append a stray byte: records decode fine but
+  // leave leftover payload, which must be rejected.
+  const std::size_t len_off = kTraceHeaderBytes + 4;
+  bytes[len_off] += 1;
+  bytes.push_back(0x7f);
+  TraceReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Parse(bytes, &error));
+}
+
+TEST(TraceCodec, RejectsZeroRecordChunkWithPayload) {
+  std::vector<std::uint8_t> bytes(kTraceHeaderBytes);
+  std::memcpy(bytes.data(), kTraceMagic, kTraceHeaderBytes);
+  const std::uint8_t frame[] = {0, 0, 0, 0, 1, 0, 0, 0, 0x42};
+  bytes.insert(bytes.end(), frame, frame + sizeof(frame));
+  TraceReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Parse(bytes, &error));
+}
+
+TEST(TraceCodec, ParseFileReportsMissingFile) {
+  TraceReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.ParseFile("/nonexistent/definitely-not-here.trace", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- recorder ---
+
+TEST(Recorder, CaptureIsOffByDefault) {
+  EXPECT_FALSE(CaptureEnabled());
+  EXPECT_FALSE(CaptureActive());
+  // StopCapture with nothing active is a harmless no-op.
+  EXPECT_EQ(StopCapture(), 0u);
+}
+
+TEST(Recorder, BufferCaptureRoundTrips) {
+  ASSERT_TRUE(StartCaptureBuffer());
+  EXPECT_TRUE(CaptureEnabled());
+  EXPECT_FALSE(StartCaptureBuffer()) << "second concurrent capture must fail";
+
+  int x = 0;
+  internal::Record(0, TraceOp::kLoad, &x, sizeof(x));
+  internal::Record(1, TraceOp::kStore, &x, sizeof(x));
+  internal::Record(0, TraceOp::kFai, &x, sizeof(x));
+  internal::Record(-1, TraceOp::kLoad, &x, sizeof(x));  // dropped: no identity
+  internal::Record(2, TraceOp::kSetHome, &x, 64);
+
+  std::vector<std::uint8_t> bytes;
+  std::string error;
+  EXPECT_EQ(StopCapture(&bytes, &error), 4u) << error;
+  EXPECT_FALSE(CaptureEnabled());
+
+  TraceReader reader;
+  ASSERT_TRUE(reader.Parse(bytes, &error)) << error;
+  const Trace& t = reader.trace();
+  EXPECT_EQ(t.records, 4u);
+  ASSERT_EQ(t.num_tids(), 2);
+  const std::uint64_t addr = reinterpret_cast<std::uint64_t>(&x);
+  ASSERT_EQ(t.streams[0].size(), 2u);
+  EXPECT_EQ(t.streams[0][0], (TraceRecord{0, TraceOp::kLoad, addr, sizeof(x)}));
+  EXPECT_EQ(t.streams[0][1], (TraceRecord{0, TraceOp::kFai, addr, sizeof(x)}));
+  ASSERT_EQ(t.streams[1].size(), 1u);
+  EXPECT_EQ(t.streams[1][0], (TraceRecord{1, TraceOp::kStore, addr, sizeof(x)}));
+  ASSERT_EQ(t.placements.size(), 1u);
+  EXPECT_EQ(t.placements[0], (TraceRecord{2, TraceOp::kSetHome, addr, 64}));
+}
+
+TEST(Recorder, LargeCaptureSpansChunks) {
+  // Push well past the per-thread flush threshold so the sink sees multiple
+  // chunks from one thread; every record must survive.
+  ASSERT_TRUE(StartCaptureBuffer());
+  alignas(64) static std::uint8_t arena[1 << 16];
+  constexpr int kOps = 200000;
+  for (int i = 0; i < kOps; ++i) {
+    internal::Record(i % 4, TraceOp::kStore, &arena[(i * 67) % sizeof(arena)], 8);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::string error;
+  ASSERT_EQ(StopCapture(&bytes, &error), static_cast<std::uint64_t>(kOps)) << error;
+
+  TraceReader reader;
+  ASSERT_TRUE(reader.Parse(bytes, &error)) << error;
+  EXPECT_EQ(reader.trace().records, static_cast<std::uint64_t>(kOps));
+  ASSERT_EQ(reader.trace().num_tids(), 4);
+  for (int tid = 0; tid < 4; ++tid) {
+    EXPECT_EQ(reader.trace().streams[tid].size(), kOps / 4u);
+  }
+}
+
+TEST(TraceCodec, ToStringCoversAllOps) {
+  for (int i = 0; i < kNumTraceOps; ++i) {
+    EXPECT_NE(ToString(static_cast<TraceOp>(i)), nullptr);
+    EXPECT_STRNE(ToString(static_cast<TraceOp>(i)), "");
+  }
+}
+
+}  // namespace
+}  // namespace ssync::trace
