@@ -42,6 +42,17 @@ ParamSpec FractionParam(const char* name, double def, const char* help) {
   return spec;
 }
 
+ParamSpec ChoiceParam(const char* name, const char* def, const char* help,
+                      std::vector<std::string> choices) {
+  ParamSpec spec;
+  spec.name = name;
+  spec.type = ParamSpec::Type::kString;
+  spec.def = def;
+  spec.help = help;
+  spec.choices = std::move(choices);
+  return spec;
+}
+
 class KvsServerExperiment final : public Experiment {
  public:
   ExperimentInfo Info() const override {
@@ -60,9 +71,28 @@ class KvsServerExperiment final : public Experiment {
         IntParam("conns", 8, "concurrent client connections", 1),
         IntParam("pipeline", 16, "in-flight requests per connection", 1),
         IntParam("workers", 0, "event-loop threads (0: sweep {2, 4})", 0),
+        ChoiceParam("lock", "sweep",
+                    "store lock algorithm (sweep: all four)",
+                    {"sweep", "MUTEX", "TAS", "TICKET", "MCS"}),
         FractionParam("set_fraction", 0.30, "fraction of ops that are sets"),
         FractionParam("delete_fraction", 0.10,
                       "fraction of ops that are deletes"),
+        FractionParam("cas_fraction", 0.0, "fraction of ops that are cas"),
+        FractionParam("incr_fraction", 0.0, "fraction of ops that are incr"),
+        ChoiceParam("arrival", "closed",
+                    "arrival discipline: closed (clients wait for replies) | "
+                    "rate / poisson (open loop at --rate ops/s; latencies "
+                    "include queueing delay) | sweep (a closed row, then a "
+                    "poisson row at 0.85x the measured closed throughput — "
+                    "the closed-vs-open p99 gap in one invocation)",
+                    {"closed", "rate", "poisson", "sweep"}),
+        FractionParam("rate", 0.0,
+                      "open-loop offered load in ops/s (0: calibrate at "
+                      "0.85x a closed-loop run)"),
+        ChoiceParam("key_dist", "uniform",
+                    "key popularity: uniform | zipfian (YCSB skew)",
+                    {"uniform", "zipfian"}),
+        FractionParam("zipf_theta", 0.99, "Zipfian skew, in (0,1)"),
         SeedParam(1),
         PlacementParam(),
         OptimisticReadsParam(),
@@ -79,6 +109,12 @@ class KvsServerExperiment final : public Experiment {
     const int pinned_workers = static_cast<int>(ctx.params().Int("workers"));
     const double set_fraction = ctx.params().Double("set_fraction");
     const double delete_fraction = ctx.params().Double("delete_fraction");
+    const double cas_fraction = ctx.params().Double("cas_fraction");
+    const double incr_fraction = ctx.params().Double("incr_fraction");
+    const std::string& arrival_mode = ctx.params().Str("arrival");
+    const double rate_param = ctx.params().Double("rate");
+    const std::string& key_dist_name = ctx.params().Str("key_dist");
+    const double zipf_theta = ctx.params().Double("zipf_theta");
     const auto seed = static_cast<std::uint64_t>(ctx.params().Int("seed"));
     PlacementPolicy placement = PlacementPolicy::kNone;
     SSYNC_CHECK(PlacementFromString(ctx.params().Str("placement"), &placement));
@@ -87,8 +123,14 @@ class KvsServerExperiment final : public Experiment {
 
     const int host_cpus =
         std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-    constexpr LockKind kKinds[] = {LockKind::kMutex, LockKind::kTas,
-                                   LockKind::kTicket, LockKind::kMcs};
+    const std::string& lock_name = ctx.params().Str("lock");
+    std::vector<LockKind> kinds;
+    if (lock_name == "sweep") {
+      kinds = {LockKind::kMutex, LockKind::kTas, LockKind::kTicket,
+               LockKind::kMcs};
+    } else {
+      kinds = {LockKindFromString(lock_name)};
+    }
     std::vector<int> worker_counts;
     if (pinned_workers > 0) {
       worker_counts = {pinned_workers};
@@ -105,61 +147,121 @@ class KvsServerExperiment final : public Experiment {
       if (pinned_workers == 0 && workers > std::max(2, host_cpus)) {
         continue;  // beyond-host worker counts only measure the scheduler
       }
-      for (const LockKind kind : kKinds) {
+      for (const LockKind kind : kinds) {
         for (const bool optimistic : read_modes) {
-          ServerConfig server_config;
-          server_config.port = 0;
-          server_config.workers = workers;
-          server_config.lock = kind;
-          server_config.placement = placement;
-          server_config.store.optimistic_reads = optimistic;
-          KvServer server(server_config);
-          std::string error;
-          Result r = ctx.NewResult(spec);
-          // The per-row Param shadows the Config echo of the sweep setting,
-          // so every row records the mode it actually ran.
-          r.Param("lock", ToString(kind))
-              .Param("workers", workers)
-              .Param("connections", conns)
-              .Param("optimistic_reads", optimistic ? "on" : "off");
-          if (!server.Start(&error)) {
-            r.Metric("kops", 0.0).Metric("protocol_errors", 1.0).Label("error", error);
-            sink.Emit(r);
-            continue;
+          // One measured point: a fresh server + one loadgen run under the
+          // given arrival discipline. Emits a row (unless emit=false — the
+          // silent calibration run open modes use to pick a rate) and
+          // returns the measured kops.
+          const auto run_point = [&](LoadArrival arrival,
+                                     const char* arrival_name, double rate_ops,
+                                     bool emit) -> double {
+            ServerConfig server_config;
+            server_config.port = 0;
+            server_config.workers = workers;
+            server_config.lock = kind;
+            server_config.placement = placement;
+            server_config.store.optimistic_reads = optimistic;
+            KvServer server(server_config);
+            std::string error;
+            Result r = ctx.NewResult(spec);
+            // The per-row Param shadows the Config echo of the sweep
+            // setting, so every row records the mode it actually ran. The
+            // numeric rate is a Metric (offered_kops), NOT a Param: baseline
+            // rows stay keyed on the discipline, not a machine-dependent
+            // calibrated number.
+            r.Param("lock", ToString(kind))
+                .Param("workers", workers)
+                .Param("connections", conns)
+                .Param("optimistic_reads", optimistic ? "on" : "off")
+                .Param("arrival", arrival_name);
+            if (!server.Start(&error)) {
+              r.Metric("kops", 0.0)
+                  .Metric("protocol_errors", 1.0)
+                  .Label("error", error);
+              if (emit) {
+                sink.Emit(r);
+              }
+              return 0.0;
+            }
+            LoadGenConfig load;
+            load.port = server.port();
+            load.connections = conns;
+            load.threads = std::min(conns, std::max(1, host_cpus / 2));
+            load.pipeline = pipeline;
+            load.total_ops = ops;
+            load.set_fraction = set_fraction;
+            load.delete_fraction = delete_fraction;
+            load.cas_fraction = cas_fraction;
+            load.incr_fraction = incr_fraction;
+            load.arrival = arrival;
+            load.rate_ops = rate_ops;
+            load.key_dist = key_dist_name == "zipfian" ? LoadKeyDist::kZipfian
+                                                       : LoadKeyDist::kUniform;
+            load.zipf_theta = zipf_theta;
+            load.seed = seed;
+            const LoadGenResult result = RunLoadGen(load);
+            const ServerStats stats = server.Stats();
+            server.Stop();
+            // A run that failed outright (connect refusal, 30s stall) must
+            // not look clean to consumers that only assert on metrics — the
+            // CI smoke job checks protocol_errors == 0, so a hard failure
+            // counts as at least one.
+            const std::uint64_t failures =
+                result.protocol_errors + (result.ok ? 0 : 1);
+            r.Metric("kops", result.kops)
+                .Metric("p50_cycles", result.p50_us * 1000.0)  // host: 1 cycle = 1ns
+                .Metric("p99_cycles", result.p99_us * 1000.0)
+                .Metric("ops", static_cast<double>(result.ops))
+                .Metric("optimistic_hits",
+                        static_cast<double>(stats.store.optimistic_hits))
+                .Metric("optimistic_retries",
+                        static_cast<double>(stats.store.optimistic_retries))
+                .Metric("optimistic_fallbacks",
+                        static_cast<double>(stats.store.optimistic_fallbacks))
+                .Metric("protocol_errors", static_cast<double>(failures));
+            if (arrival != LoadArrival::kClosed) {
+              r.Metric("offered_kops", rate_ops / 1000.0)
+                  .Metric("latency_samples",
+                          static_cast<double>(result.latency_samples));
+            }
+            if (!result.ok) {
+              r.Label("error", result.error);
+            }
+            if (emit) {
+              sink.Emit(r);
+            }
+            return result.kops;
+          };
+
+          if (arrival_mode == "closed") {
+            run_point(LoadArrival::kClosed, "closed", 0.0, true);
+          } else if (arrival_mode == "sweep") {
+            // Closed first; the open row is offered 85% of the measured
+            // closed throughput, where a well-behaved open loop keeps up but
+            // queueing delay (invisible to the closed row's latencies)
+            // lands in p99.
+            const double closed_kops =
+                run_point(LoadArrival::kClosed, "closed", 0.0, true);
+            if (closed_kops > 0) {
+              run_point(LoadArrival::kPoisson, "poisson",
+                        0.85 * closed_kops * 1000.0, true);
+            }
+          } else {
+            const LoadArrival arrival = arrival_mode == "poisson"
+                                            ? LoadArrival::kPoisson
+                                            : LoadArrival::kFixedRate;
+            double rate_ops = rate_param;
+            if (rate_ops <= 0) {
+              // Calibrate: a silent closed run sets the offered load.
+              const double closed_kops =
+                  run_point(LoadArrival::kClosed, "closed", 0.0, false);
+              rate_ops = 0.85 * closed_kops * 1000.0;
+            }
+            if (rate_ops > 0) {
+              run_point(arrival, arrival_mode.c_str(), rate_ops, true);
+            }
           }
-          LoadGenConfig load;
-          load.port = server.port();
-          load.connections = conns;
-          load.threads = std::min(conns, std::max(1, host_cpus / 2));
-          load.pipeline = pipeline;
-          load.total_ops = ops;
-          load.set_fraction = set_fraction;
-          load.delete_fraction = delete_fraction;
-          load.seed = seed;
-          const LoadGenResult result = RunLoadGen(load);
-          const ServerStats stats = server.Stats();
-          server.Stop();
-          // A run that failed outright (connect refusal, 30s stall) must not
-          // look clean to consumers that only assert on metrics — the CI
-          // smoke job checks protocol_errors == 0, so a hard failure counts
-          // as at least one.
-          const std::uint64_t failures =
-              result.protocol_errors + (result.ok ? 0 : 1);
-          r.Metric("kops", result.kops)
-              .Metric("p50_cycles", result.p50_us * 1000.0)  // host: 1 cycle = 1ns
-              .Metric("p99_cycles", result.p99_us * 1000.0)
-              .Metric("ops", static_cast<double>(result.ops))
-              .Metric("optimistic_hits",
-                      static_cast<double>(stats.store.optimistic_hits))
-              .Metric("optimistic_retries",
-                      static_cast<double>(stats.store.optimistic_retries))
-              .Metric("optimistic_fallbacks",
-                      static_cast<double>(stats.store.optimistic_fallbacks))
-              .Metric("protocol_errors", static_cast<double>(failures));
-          if (!result.ok) {
-            r.Label("error", result.error);
-          }
-          sink.Emit(r);
         }
       }
     }

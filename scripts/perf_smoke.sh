@@ -48,7 +48,19 @@ out="${1:-$repo_root/perf-smoke.json}"
   --set_fraction=0.05 --delete_fraction=0.02 --seed=7 \
   --format=json --out="$out.native.tmp"
 
-cat "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" > "$out"
-rm -f "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp"
+# Open-loop pair: one TICKET cell run closed then again under Poisson
+# arrivals at 85% of its own measured closed throughput, Zipfian keys with a
+# cas/incr sprinkle. Emits two rows (arrival=closed, arrival=poisson) that
+# prove the open-loop machinery end-to-end in CI; the poisson row's
+# latencies include queueing delay, so only its correctness metrics gate.
+"$build_dir/bench/ssyncbench" kvs_server \
+  --ops=20000 --conns=4 --pipeline=8 --workers=2 --lock=TICKET \
+  --arrival=sweep --key_dist=zipfian \
+  --set_fraction=0.20 --cas_fraction=0.05 --incr_fraction=0.05 \
+  --optimistic_reads=on --seed=7 \
+  --format=json --out="$out.open.tmp"
+
+cat "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" "$out.open.tmp" > "$out"
+rm -f "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" "$out.open.tmp"
 
 echo "perf smoke written to $out" >&2

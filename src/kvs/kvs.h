@@ -50,6 +50,19 @@ struct KvsStatsSnapshot {
   std::uint64_t optimistic_hits = 0;
   std::uint64_t optimistic_retries = 0;
   std::uint64_t optimistic_fallbacks = 0;
+  // Cache-semantics accounting (server mode; all zero for the modeled
+  // Figure 12 store). evictions counts live LRU victims removed to make
+  // room at capacity; expired_unfetched counts dead items (TTL passed, or
+  // invalidated by FlushAll) removed by the reaper/evictor before any get
+  // touched them again — memcached's stat of the same name.
+  std::uint64_t evictions = 0;
+  std::uint64_t expired_unfetched = 0;
+  // cas outcome counters. The Kvs itself leaves them zero; the server's
+  // store layer (KvStoreImpl) folds its per-op cas accounting in here so
+  // the `stats` command has one snapshot type.
+  std::uint64_t cas_hits = 0;
+  std::uint64_t cas_badval = 0;
+  std::uint64_t cas_misses = 0;
 };
 
 template <typename Mem, typename Lock>
@@ -57,10 +70,11 @@ class Kvs {
  public:
   struct Config {
     int buckets = 1024;
-    // Capacity target. The modeled store does NOT evict (the paper's
-    // workloads never fill it, and eviction work inside the locks would
-    // change the measured hold times); network-facing owners enforce it —
-    // ssyncd refuses new-item sets beyond the cap, memcached's "-M" mode.
+    // Capacity target. The modeled store never evicts on its own (the
+    // paper's workloads never fill it, and eviction work inside the locks
+    // would change the measured hold times); network-facing owners enforce
+    // it — ssyncd either drives EvictLru() to make room (memcached's
+    // default) or refuses new-item sets beyond the cap ("-M" mode).
     std::size_t max_items = 16384;
     int maintenance_interval = 50;     // global-lock maintenance every N sets
     int maintenance_buckets = 64;      // buckets swept per maintenance pass
@@ -157,6 +171,18 @@ class Kvs {
   // validated lock-free path — the read-path torture history audit labels
   // such reads in its violation reports.
   bool Get(std::uint64_t key, std::uint8_t* value_out, bool* served_optimistic) {
+    return Get(key, value_out, served_optimistic, /*now_s=*/0, /*cas_out=*/nullptr);
+  }
+
+  // TTL/cas-aware lookup (the server layer's entry point). now_s is the
+  // caller's wall clock in absolute seconds; items whose exptime has passed
+  // — or that a FlushAll() generation invalidated — are reported as misses
+  // but left in place: the read paths never mutate the table, reaping is
+  // ReapExpired()/EvictLru()'s job. now_s == 0 disables the TTL comparison
+  // (the modeled store and legacy callers, which never set exptimes). On a
+  // hit, *cas_out (when non-null) receives the item's cas_unique.
+  bool Get(std::uint64_t key, std::uint8_t* value_out, bool* served_optimistic,
+           std::uint64_t now_s, std::uint64_t* cas_out) {
     if (served_optimistic != nullptr) {
       *served_optimistic = false;
     }
@@ -167,7 +193,8 @@ class Kvs {
     const std::uint64_t now = Mem::Now();
     if (ReaderStats* rs = ReaderSlot()) {
       std::uint64_t touch = 0;
-      if (OptimisticGet(b, key, value_out, rs, &found, &item, &touch)) {
+      if (OptimisticGet(b, key, value_out, rs, &found, &item, &touch, now_s,
+                        cas_out)) {
         if (served_optimistic != nullptr) {
           *served_optimistic = true;
         }
@@ -181,13 +208,20 @@ class Kvs {
     {
       LockGuard<Lock> guard(b.lock);
       item = Find(b, key);
-      found = item != nullptr;
       b.stats.Bump(&ShardStats::gets);
+      if (item != nullptr && ItemDead(item->exptime.PeekInit(),
+                                      item->flush_gen.PeekInit(), now_s)) {
+        item = nullptr;  // lazily expired: a miss, reaped later by the scan
+      }
+      found = item != nullptr;
       if (found) {
         b.stats.Bump(&ShardStats::get_hits);
         Mem::ReadData(item->value, kKvsValueBytes);
         if (value_out != nullptr) {
           std::memcpy(value_out, item->value, kKvsValueBytes);
+        }
+        if (cas_out != nullptr) {
+          *cas_out = item->cas.PeekInit();
         }
         // last_touch is read under the bucket lock but written under the LRU
         // lock, so the accesses go through the relaxed (uncharged) atomic
@@ -210,7 +244,9 @@ class Kvs {
   // documented above applies to each bumped item. With optimistic_reads each
   // key is attempted lock-free first, falling back per key.
   std::size_t GetMulti(const std::uint64_t* keys, std::size_t n,
-                       std::uint8_t* values_out, bool* found_out) {
+                       std::uint8_t* values_out, bool* found_out,
+                       std::uint64_t now_s = 0,
+                       std::uint64_t* cas_out = nullptr) {
     std::size_t hits = 0;
     std::size_t bumps = 0;
     const std::uint64_t now = Mem::Now();
@@ -221,12 +257,16 @@ class Kvs {
     ReaderStats* rs = ReaderSlot();
     for (std::size_t i = 0; i < n; ++i) {
       Bucket& b = BucketOf(keys[i]);
+      std::uint64_t* item_cas = cas_out != nullptr ? cas_out + i : nullptr;
+      if (item_cas != nullptr) {
+        *item_cas = 0;
+      }
       if (rs != nullptr) {
         bool found = false;
         Item* item = nullptr;
         std::uint64_t touch = 0;
         if (OptimisticGet(b, keys[i], values_out + i * kKvsValueBytes, rs,
-                          &found, &item, &touch)) {
+                          &found, &item, &touch, now_s, item_cas)) {
           found_out[i] = found;
           if (found) {
             ++hits;
@@ -240,6 +280,10 @@ class Kvs {
       LockGuard<Lock> guard(b.lock);
       Item* item = Find(b, keys[i]);
       b.stats.Bump(&ShardStats::gets);
+      if (item != nullptr && ItemDead(item->exptime.PeekInit(),
+                                      item->flush_gen.PeekInit(), now_s)) {
+        item = nullptr;  // lazily expired; see Get()
+      }
       found_out[i] = item != nullptr;
       if (item == nullptr) {
         continue;
@@ -248,6 +292,9 @@ class Kvs {
       ++hits;
       Mem::ReadData(item->value, kKvsValueBytes);
       std::memcpy(values_out + i * kKvsValueBytes, item->value, kKvsValueBytes);
+      if (item_cas != nullptr) {
+        *item_cas = item->cas.PeekInit();
+      }
       if (bumps < kMaxBatchBumps &&
           now - item->last_touch.PeekInit() > kLruTouchInterval) {
         bump_items[bumps++] = item;
@@ -271,6 +318,16 @@ class Kvs {
   // Periodically runs the global-lock maintenance pass that makes the set
   // test contend (Figure 12).
   bool Set(std::uint64_t key, const std::uint8_t* value) {
+    return Set(key, value, /*exptime=*/0);
+  }
+
+  // TTL-aware insert/overwrite: exptime is an ABSOLUTE expiry in seconds
+  // (0 = never); callers translate memcached's relative-vs-absolute rule
+  // before calling. Item metadata (exptime, flush generation, a fresh
+  // cas_unique) is maintained only in defer_free mode — the modeled
+  // Figure 12 store skips the bookkeeping entirely, so its measured lock
+  // hold times and sim charging are unchanged.
+  bool Set(std::uint64_t key, const std::uint8_t* value, std::uint32_t exptime) {
     Bucket& b = BucketOf(key);
     Item* item = nullptr;
     bool created = false;
@@ -291,6 +348,9 @@ class Kvs {
         if (value != nullptr) {
           std::memcpy(item->value, value, kKvsValueBytes);
         }
+        if (config_.defer_free) {
+          StampMetadata(item, exptime);
+        }
         Mem::WriteData(item, sizeof(Item));
         Mem::StoreRelease(&b.head, item);
         Mem::WriteData(&b.head, sizeof(b.head));
@@ -301,6 +361,11 @@ class Kvs {
           // torn copy is discarded by the reader's sequence validation.
           Mem::StoreWordsRelaxed(item->value, value, kKvsValueBytes);
         }
+        if (config_.defer_free) {
+          // Overwriting revives a lazily-expired or flushed item: fresh
+          // exptime, current flush generation, new cas.
+          StampMetadata(item, exptime);
+        }
         Mem::WriteData(item, sizeof(Item));
       }
     }
@@ -310,7 +375,9 @@ class Kvs {
       if (!item->retired) {  // lost set-vs-delete race: key is gone, stay dead
         LruTouch(item);
       }
-      ++item_count_if_new_;  // approximate count maintenance under the lock
+      if (created) {
+        ++item_count_;  // approximate count maintenance under the lock
+      }
       Mem::WriteData(&lru_head_, 2 * sizeof(Item*));
     }
 
@@ -352,6 +419,9 @@ class Kvs {
     {
       LockGuard<Lock> guard(lru_lock_);
       LruUnlink(victim);
+      if (item_count_ > 0) {
+        --item_count_;
+      }
       if (config_.defer_free) {
         // Retire instead of freeing: an in-flight Get/Set may still hold the
         // pointer for its deferred LRU bump. The flag stops any such bump
@@ -365,6 +435,122 @@ class Kvs {
     }
     delete victim;  // no-op when retired above
     return true;
+  }
+
+  // --- Cache-semantics operations (server mode; Config::defer_free).
+
+  enum class MutateStatus { kNotFound, kUnchanged, kApplied };
+
+  // Atomic read-modify-write of one live item under its bucket lock (plus
+  // the seqlock writer guard, so lock-free readers discard copies torn by
+  // the write-back). fn(value, exptime_io, cas) sees a private copy of the
+  // value bytes, the item's current absolute exptime, and its cas_unique;
+  // returning true applies the (possibly modified) value and exptime and —
+  // when bump_cas — assigns a fresh cas_unique. Dead items (expired at
+  // now_s, or flushed) report kNotFound, exactly like Get. The store layer
+  // builds cas / incr / decr / touch from this primitive.
+  template <typename Fn>
+  MutateStatus Mutate(std::uint64_t key, std::uint64_t now_s, Fn&& fn,
+                      bool bump_cas = true) {
+    Bucket& b = BucketOf(key);
+    LockGuard<Lock> guard(b.lock);
+    SeqWriteGuard seq(b, config_.optimistic_reads);
+    Item* item = Find(b, key);
+    if (item == nullptr) {
+      return MutateStatus::kNotFound;
+    }
+    std::uint32_t exptime = item->exptime.PeekInit();
+    if (ItemDead(exptime, item->flush_gen.PeekInit(), now_s)) {
+      return MutateStatus::kNotFound;
+    }
+    alignas(8) std::uint8_t buf[kKvsValueBytes];
+    Mem::ReadData(item->value, kKvsValueBytes);
+    std::memcpy(buf, item->value, kKvsValueBytes);
+    if (!fn(buf, &exptime, item->cas.PeekInit())) {
+      return MutateStatus::kUnchanged;
+    }
+    Mem::StoreWordsRelaxed(item->value, buf, kKvsValueBytes);
+    item->exptime.SetInit(exptime);
+    if (bump_cas) {
+      item->cas.SetInit(NextCas());
+    }
+    Mem::WriteData(item, sizeof(Item));
+    return MutateStatus::kApplied;
+  }
+
+  // memcached `flush_all` in O(1): bump the global flush generation. Every
+  // item stamped with an older generation is dead to all read/mutate paths
+  // from this point on; the reaper/evictor removes the bodies lazily.
+  void FlushAll() { flush_gen_.FetchAdd(1); }
+
+  // Evicts the current LRU tail through the defer_free retire path (a
+  // concurrent seqlock reader holding the victim stays safe: the node is
+  // retired, not freed). Returns true when an item was removed;
+  // *expired_out then says whether the victim was already dead (counted as
+  // expired_unfetched) rather than a live casualty (counted as evictions).
+  // May fail spuriously while items remain — the tail can move between the
+  // LRU peek and the bucket re-lookup — so callers retry a bounded number
+  // of times. Requires Config::defer_free; callers must also guarantee the
+  // grace-period protocol cannot FREE retired items concurrently (the
+  // single reclaimer either is this caller or is quiesced), since the
+  // candidate pointer is re-found by identity after the LRU lock drops.
+  bool EvictLru(std::uint64_t now_s, bool* expired_out = nullptr) {
+    SSYNC_CHECK(config_.defer_free);
+    Item* candidate = nullptr;
+    std::uint64_t key = 0;
+    {
+      LockGuard<Lock> guard(lru_lock_);
+      candidate = lru_tail_;
+      if (candidate == nullptr) {
+        return false;
+      }
+      // Items on the LRU chain are never retired, so the dereference is
+      // safe under this lock.
+      Mem::ReadData(candidate, 2 * sizeof(std::uint64_t));
+      key = candidate->key;
+    }
+    return RemoveByIdentity(BucketOf(key), candidate, now_s,
+                            /*only_dead=*/false, expired_out);
+  }
+
+  // Scans up to `limit` items from the cold end of the LRU chain and
+  // removes the dead ones (TTL passed at now_s, or flushed), routing the
+  // victims through the retire path. Returns the number reaped. Same
+  // defer_free / quiesced-reclaimer requirements as EvictLru.
+  std::size_t ReapExpired(int limit, std::uint64_t now_s) {
+    SSYNC_CHECK(config_.defer_free);
+    struct Candidate {
+      Item* item;
+      std::uint64_t key;
+    };
+    constexpr int kMaxReapBatch = 64;
+    Candidate candidates[kMaxReapBatch];
+    int n = 0;
+    if (limit > kMaxReapBatch) {
+      limit = kMaxReapBatch;
+    }
+    {
+      LockGuard<Lock> guard(lru_lock_);
+      Item* item = lru_tail_;
+      for (int scanned = 0; item != nullptr && scanned < limit; ++scanned) {
+        Mem::ReadData(item, sizeof(Item));
+        if (ItemDead(item->exptime.PeekInit(), item->flush_gen.PeekInit(),
+                     now_s)) {
+          candidates[n++] = Candidate{item, item->key};
+        }
+        item = item->lru_prev;
+      }
+    }
+    std::size_t reaped = 0;
+    for (int i = 0; i < n; ++i) {
+      // only_dead: a concurrent Set may have revived the item (fresh
+      // exptime/generation) since the scan; leave revived items alone.
+      if (RemoveByIdentity(BucketOf(candidates[i].key), candidates[i].item,
+                           now_s, /*only_dead=*/true, nullptr)) {
+        ++reaped;
+      }
+    }
+    return reaped;
   }
 
   // --- Grace-period reclamation (Config::defer_free; single reclaimer).
@@ -396,7 +582,7 @@ class Kvs {
     return n;
   }
 
-  std::size_t ItemCountApprox() const { return item_count_if_new_; }
+  std::size_t ItemCountApprox() const { return item_count_; }
 
   // Sums the per-shard counters without taking any lock: each counter is a
   // relaxed atomic written only under its bucket lock, so the snapshot is
@@ -414,6 +600,8 @@ class Kvs {
       total.deletes += bucket->stats.deletes.PeekInit();
       total.delete_hits += bucket->stats.delete_hits.PeekInit();
     }
+    total.evictions = evictions_.PeekInit();
+    total.expired_unfetched = expired_reaped_.PeekInit();
     // Lock-free gets are counted in per-thread slots (the fast path may not
     // RMW a shared counter); fold them into the same totals.
     for (int i = 0; i < reader_slots_; ++i) {
@@ -440,7 +628,18 @@ class Kvs {
     // (read there too). Placed after `value` so existing field offsets — and
     // therefore the simulator's address-derived charging — are unchanged.
     bool retired = false;
+    // Cache-semantics metadata, maintained only in defer_free (server)
+    // mode: written under the bucket lock, read by the lock-free path with
+    // relaxed loads (a stale/torn read is discarded by the reader's
+    // sequence validation). Packed into the tail padding after `retired`,
+    // so every pre-existing offset — and the simulator's address-derived
+    // charging — is unchanged and sizeof(Item) stays two lines.
+    typename Mem::template Atomic<std::uint32_t> exptime{0};    // abs s; 0 = never
+    typename Mem::template Atomic<std::uint32_t> flush_gen{0};  // gen at last set
+    typename Mem::template Atomic<std::uint64_t> cas{0};        // cas_unique
   };
+  static_assert(sizeof(Item) == 2 * kCacheLineSize,
+                "Item metadata must fit the existing tail padding");
 
   // Per-shard operation counters. Written only while holding the owning
   // bucket's lock; read lock-free by Stats(). Relaxed atomics keep the
@@ -535,6 +734,83 @@ class Kvs {
     return nullptr;
   }
 
+  // An item is dead when a FlushAll generation has passed it, or its
+  // absolute exptime is at or before now_s. now_s == 0 disables the TTL
+  // comparison (callers that do not track wall time). Reads flush_gen_
+  // relaxed: a reader racing FlushAll may serve one last pre-flush hit,
+  // the same slack memcached's own unlocked expiry checks have.
+  bool ItemDead(std::uint32_t exptime, std::uint32_t gen,
+                std::uint64_t now_s) const {
+    if (gen != flush_gen_.PeekInit()) {
+      return true;
+    }
+    return exptime != 0 && now_s != 0 &&
+           static_cast<std::uint64_t>(exptime) <= now_s;
+  }
+
+  // Fresh metadata for a (re)written item; called under the bucket lock.
+  void StampMetadata(Item* item, std::uint32_t exptime) {
+    item->exptime.SetInit(exptime);
+    item->flush_gen.SetInit(flush_gen_.PeekInit());
+    item->cas.SetInit(NextCas());
+  }
+
+  // Globally-unique, monotonically-increasing cas_unique. A global counter
+  // (not per-item) so a delete + re-create can never repeat a cas value an
+  // old client still holds. Only defer_free-mode paths call this, so the
+  // modeled store never pays the shared RMW.
+  std::uint64_t NextCas() { return cas_seq_.FetchAdd(1) + 1; }
+
+  // Shared tail of EvictLru/ReapExpired: re-find `target` in bucket `b` by
+  // pointer identity (the candidate is never dereferenced until the chain
+  // walk proves it is still live), unlink it under the bucket lock +
+  // seqlock guard, then retire it under the LRU lock. only_dead restricts
+  // removal to expired/flushed items.
+  bool RemoveByIdentity(Bucket& b, Item* target, std::uint64_t now_s,
+                        bool only_dead, bool* was_dead_out) {
+    bool dead = false;
+    {
+      LockGuard<Lock> guard(b.lock);
+      SeqWriteGuard seq(b, config_.optimistic_reads);
+      Mem::ReadData(&b.head, sizeof(b.head));
+      Item** link = &b.head;
+      Item* item = b.head;
+      while (item != nullptr && item != target) {
+        Mem::ReadData(item, 2 * sizeof(std::uint64_t));
+        link = &item->hash_next;
+        item = item->hash_next;
+      }
+      if (item == nullptr) {
+        return false;  // deleted (or evicted) by someone else; caller retries
+      }
+      dead = ItemDead(item->exptime.PeekInit(), item->flush_gen.PeekInit(),
+                      now_s);
+      if (only_dead && !dead) {
+        return false;
+      }
+      // Same bypass rule as Delete: the victim's own hash_next stays
+      // intact for any lock-free reader paused on it.
+      Mem::StoreRelease(link, item->hash_next);
+      Mem::WriteData(link, sizeof(*link));
+    }
+    {
+      LockGuard<Lock> guard(lru_lock_);
+      LruUnlink(target);
+      target->retired = true;
+      retired_.push_back(target);
+      retired_count_.SetInit(retired_count_.PeekInit() + 1);
+      if (item_count_ > 0) {
+        --item_count_;
+      }
+      auto& counter = dead ? expired_reaped_ : evictions_;
+      counter.SetInit(counter.PeekInit() + 1);
+    }
+    if (was_dead_out != nullptr) {
+      *was_dead_out = dead;
+    }
+    return true;
+  }
+
   // Deferred LRU bump, shared by the locked and optimistic read paths.
   void BumpLru(Item* item, std::uint64_t now) {
     LockGuard<Lock> guard(lru_lock_);
@@ -574,7 +850,9 @@ class Kvs {
   // until the grace-period protocol proves no reader holds it.
   OptimisticOutcome TryOptimisticGet(Bucket& b, std::uint64_t key,
                                      std::uint8_t* value_out, Item** item_out,
-                                     std::uint64_t* touch_out) {
+                                     std::uint64_t* touch_out,
+                                     std::uint64_t now_s,
+                                     std::uint64_t* cas_out) {
     const std::uint64_t s1 = b.seq.Load();  // acquire
     if ((s1 & 1) != 0) {
       return OptimisticOutcome::kConflict;  // writer in the critical section
@@ -583,6 +861,9 @@ class Kvs {
     Item* item = Mem::LoadAcquire(&b.head);
     bool found = false;
     std::uint64_t touch = 0;
+    std::uint64_t cas = 0;
+    std::uint32_t exptime = 0;
+    std::uint32_t gen = 0;
     alignas(8) std::uint8_t buf[kKvsValueBytes];
     while (item != nullptr) {
       Mem::ReadData(item, 2 * sizeof(std::uint64_t));
@@ -592,6 +873,9 @@ class Kvs {
         Mem::ReadData(item->value, kKvsValueBytes);
         Mem::CopyWordsRelaxed(buf, item->value, kKvsValueBytes);
         touch = item->last_touch.PeekInit();
+        exptime = item->exptime.PeekInit();
+        gen = item->flush_gen.PeekInit();
+        cas = item->cas.PeekInit();
         found = true;
         break;
       }
@@ -604,8 +888,14 @@ class Kvs {
     if (!found) {
       return OptimisticOutcome::kMiss;
     }
+    if (ItemDead(exptime, gen, now_s)) {
+      return OptimisticOutcome::kMiss;  // lazily expired: a validated miss
+    }
     if (value_out != nullptr) {
       std::memcpy(value_out, buf, kKvsValueBytes);
+    }
+    if (cas_out != nullptr) {
+      *cas_out = cas;
     }
     *item_out = item;
     *touch_out = touch;
@@ -617,12 +907,13 @@ class Kvs {
   // the caller must take the locked path (the fallback is already counted).
   bool OptimisticGet(Bucket& b, std::uint64_t key, std::uint8_t* value_out,
                      ReaderStats* rs, bool* found_out, Item** item_out,
-                     std::uint64_t* touch_out) {
+                     std::uint64_t* touch_out, std::uint64_t now_s,
+                     std::uint64_t* cas_out) {
     for (int attempt = 0; attempt < kMaxOptimisticAttempts; ++attempt) {
       Item* item = nullptr;
       std::uint64_t touch = 0;
       const OptimisticOutcome oc =
-          TryOptimisticGet(b, key, value_out, &item, &touch);
+          TryOptimisticGet(b, key, value_out, &item, &touch, now_s, cas_out);
       if (oc == OptimisticOutcome::kConflict) {
         rs->Bump(&ReaderStats::optimistic_retries);
         Mem::Pause(1 + static_cast<std::uint64_t>(attempt));
@@ -710,8 +1001,16 @@ class Kvs {
   typename Mem::template Atomic<std::uint32_t> set_counter_{0};
   Item* lru_head_ = nullptr;
   Item* lru_tail_ = nullptr;
-  std::size_t item_count_if_new_ = 0;
+  std::size_t item_count_ = 0;  // creates minus removals, under lru_lock_
   int maintenance_cursor_ = 0;
+  // Cache-semantics state (defer_free mode; see ItemDead/NextCas).
+  // flush_gen_ is bumped by FlushAll (RMW) and read relaxed everywhere;
+  // cas_seq_ is only touched by defer_free-mode writers; the two removal
+  // counters are written under lru_lock_ and read lock-free by Stats().
+  typename Mem::template Atomic<std::uint32_t> flush_gen_{0};
+  typename Mem::template Atomic<std::uint64_t> cas_seq_{0};
+  typename Mem::template Atomic<std::uint64_t> evictions_{0};
+  typename Mem::template Atomic<std::uint64_t> expired_reaped_{0};
   // defer_free mode: victims awaiting a grace period. retired_ is guarded by
   // lru_lock_; sealed_ belongs to the single reclaimer between Begin/Finish;
   // retired_count_ is the lock-free HasRetired() hint (written under

@@ -12,11 +12,13 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/mem_native.h"
@@ -26,6 +28,53 @@
 #include "src/util/rng.h"
 
 namespace ssync {
+
+const char* ToString(LoadArrival arrival) {
+  switch (arrival) {
+    case LoadArrival::kClosed:
+      return "closed";
+    case LoadArrival::kFixedRate:
+      return "rate";
+    case LoadArrival::kPoisson:
+      return "poisson";
+  }
+  return "?";
+}
+
+const char* ToString(LoadKeyDist dist) {
+  switch (dist) {
+    case LoadKeyDist::kUniform:
+      return "uniform";
+    case LoadKeyDist::kZipfian:
+      return "zipfian";
+  }
+  return "?";
+}
+
+bool ArrivalFromString(const std::string& name, LoadArrival* out) {
+  if (name == "closed") {
+    *out = LoadArrival::kClosed;
+  } else if (name == "rate") {
+    *out = LoadArrival::kFixedRate;
+  } else if (name == "poisson") {
+    *out = LoadArrival::kPoisson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool KeyDistFromString(const std::string& name, LoadKeyDist* out) {
+  if (name == "uniform") {
+    *out = LoadKeyDist::kUniform;
+  } else if (name == "zipfian") {
+    *out = LoadKeyDist::kZipfian;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace {
 
 // A run that makes no forward progress for this long has wedged (server
@@ -38,6 +87,50 @@ std::int64_t NowNs() {
       .count();
 }
 
+// YCSB's Zipfian generator (Gray et al.'s rejection-free formula) over
+// [0, n): rank 0 is the hottest key. Init is O(n) for the zeta sum — paid
+// once per connection at connect time, fine at loadgen key-space sizes.
+struct Zipfian {
+  std::uint64_t n = 0;
+  double theta = 0, alpha = 0, zetan = 0, eta = 0;
+
+  void Init(std::uint64_t n_in, double theta_in) {
+    n = n_in;
+    theta = theta_in;
+    if (n <= 1) {
+      return;
+    }
+    double zeta2 = 0;
+    for (std::uint64_t i = 1; i <= 2 && i <= n; ++i) {
+      zeta2 += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zetan = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    alpha = 1.0 / (1.0 - theta);
+    eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+          (1.0 - zeta2 / zetan);
+  }
+
+  std::uint64_t Next(Rng& rng) {
+    if (n <= 1) {
+      return 0;
+    }
+    const double u = rng.NextDouble();
+    const double uz = u * zetan;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta)) {
+      return 1;
+    }
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+    return rank >= n ? n - 1 : rank;
+  }
+};
+
 // One key's share of a multi-key request (every bundled key is its own
 // logical operation in the counts and the history).
 struct SubOp {
@@ -45,13 +138,19 @@ struct SubOp {
   std::uint64_t hist_key = 0;
   bool found = false;
   std::uint64_t value = 0;
+  std::uint64_t cas = 0;  // gets: cas_unique from the VALUE header
 };
 
 struct PendingReq {
-  TableOp::Kind kind = TableOp::Kind::kGet;
-  std::vector<SubOp> subs;    // kGet: 1..multiget_keys; kPut/kRemove: exactly 1
+  enum class Op { kGet, kSet, kDelete, kCas, kIncr };
+
+  Op op = Op::kGet;
+  std::vector<SubOp> subs;    // kGet: 1..multiget_keys; others: exactly 1
   std::uint64_t t_inv = 0;    // TSC, for the history intervals
-  std::int64_t send_ns = 0;   // steady clock, for the latency sample
+  // Latency anchor: the actual write time (closed loop) or the SCHEDULED
+  // arrival time (open loop — queueing delay must land in the sample).
+  std::int64_t send_ns = 0;
+  bool want_cas = false;      // issued as `gets`: VALUE headers carry cas
   // kGet response progress: VALUE header seen, awaiting its data line.
   int value_sub = -1;
 };
@@ -75,6 +174,14 @@ struct ClientConn {
   std::uint64_t target = 0;     // operations to complete (0 in duration mode)
   Rng rng{1};
   std::uint64_t value_seq = 0;
+  // Open loop: the next scheduled arrival (0 until the startup barrier
+  // clears — the schedule is anchored when mixed traffic begins, so a slow
+  // startup does not manufacture a backlog of overdue arrivals).
+  std::int64_t next_send_ns = 0;
+  // cas cache: hist_key -> last cas_unique observed by a `gets`. Entries are
+  // consumed (erased) by the cas that uses them; bounded by the key space.
+  std::unordered_map<std::uint64_t, std::uint64_t> known_cas;
+  Zipfian zipf;  // over this connection's private slots (key_dist=zipfian)
   // Startup stages before the random mix, each an index into the
   // connection's owned keys, -1 when finished:
   //   cleanup: delete every owned key, so an audited run against a server
@@ -95,7 +202,12 @@ struct ThreadState {
   std::uint64_t get_hits = 0;
   std::uint64_t sets = 0;
   std::uint64_t deletes = 0;
+  std::uint64_t cas_ops = 0;
+  std::uint64_t cas_stored = 0;
+  std::uint64_t cas_conflicts = 0;
+  std::uint64_t incrs = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t latency_tick = 0;  // completions seen, for the sample stride
   std::vector<std::int64_t> latencies_ns;
   std::string error;
 };
@@ -116,11 +228,14 @@ class LoadGen {
   bool ConnectAll(std::string* error);
   void ThreadMain(ThreadState& ts);
   void FillPipeline(ClientConn& conn, ThreadState& ts);
+  void IssueMixedOp(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns);
   void IssueSet(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key,
-                const std::string& proto_key);
+                const std::string& proto_key, std::int64_t scheduled_ns = 0);
   void IssueDelete(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key,
-                   const std::string& proto_key);
-  void IssueGet(ClientConn& conn, ThreadState& ts);
+                   const std::string& proto_key, std::int64_t scheduled_ns = 0);
+  void IssueGet(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns = 0);
+  void IssueCas(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns);
+  void IssueIncr(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns);
   bool HandleLine(ClientConn& conn, ThreadState& ts, const char* line, std::size_t len);
   void CompleteFront(ClientConn& conn, ThreadState& ts, bool protocol_ok);
   bool PumpOut(ClientConn& conn, ThreadState& ts);
@@ -135,14 +250,29 @@ class LoadGen {
     return (config_.key_space - conn_id + c - 1) / c;
   }
   std::uint64_t PickPrivate(ClientConn& conn) const {
+    const bool zipf = config_.key_dist == LoadKeyDist::kZipfian;
     if (!config_.disjoint_keys) {  // chaos mode: anyone touches anything
-      return conn.rng.NextBelow(static_cast<std::uint64_t>(config_.key_space));
+      return zipf ? conn.zipf.Next(conn.rng)
+                  : conn.rng.NextBelow(static_cast<std::uint64_t>(config_.key_space));
     }
     const int slots = PrivateSlots(conn.id);
     SSYNC_CHECK_GT(slots, 0);
+    const std::uint64_t slot =
+        zipf ? conn.zipf.Next(conn.rng)
+             : conn.rng.NextBelow(static_cast<std::uint64_t>(slots));
     return static_cast<std::uint64_t>(conn.id) +
-           static_cast<std::uint64_t>(config_.connections) *
-               conn.rng.NextBelow(static_cast<std::uint64_t>(slots));
+           static_cast<std::uint64_t>(config_.connections) * slot;
+  }
+  // Open loop: the gap to the next scheduled arrival on this connection —
+  // a constant (fixed rate) or an exponential draw (Poisson process).
+  std::int64_t NextIntervalNs(ClientConn& conn) const {
+    if (config_.arrival == LoadArrival::kFixedRate) {
+      return interval_ns_;
+    }
+    double u = conn.rng.NextDouble();
+    u = u < 1e-12 ? 1e-12 : u;  // -log(0) guard
+    const double gap = -std::log(u) * static_cast<double>(interval_ns_);
+    return gap < 1.0 ? 1 : static_cast<std::int64_t>(gap);
   }
   int SharedSlots(int conn_id) const {
     const int c = config_.connections;
@@ -173,6 +303,10 @@ class LoadGen {
   // drained the responses). Mixed traffic starts once all have.
   std::atomic<int> startup_done_{0};
   std::int64_t start_ns_ = 0;
+  // Open loop: mean inter-arrival gap per connection, from config_.rate_ops
+  // (which is the aggregate rate across all connections).
+  std::int64_t interval_ns_ = 0;
+  int sample_every_ = 1;
 };
 
 bool LoadGen::ConnectAll(std::string* error) {
@@ -186,7 +320,20 @@ bool LoadGen::ConnectAll(std::string* error) {
   for (int i = 0; i < config_.connections; ++i) {
     auto conn = std::make_unique<ClientConn>();
     conn->id = i;
-    conn->rng.Seed(config_.seed * 7919 + static_cast<std::uint64_t>(i));
+    // Derive per-connection seeds through splitmix64, not an affine map: the
+    // old `seed * 7919 + i` collapsed at seed 0 (every connection seeded
+    // 0,1,2,... — near-identical xoshiro states, so "independent" streams
+    // marched in lockstep). Mixing guarantees well-separated states for any
+    // seed, including 0.
+    std::uint64_t seed_state =
+        config_.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(i) + 1));
+    conn->rng.Seed(SplitMix64(seed_state));
+    if (config_.key_dist == LoadKeyDist::kZipfian) {
+      const int span =
+          config_.disjoint_keys ? PrivateSlots(i) : config_.key_space;
+      conn->zipf.Init(static_cast<std::uint64_t>(std::max(1, span)),
+                      config_.zipf_theta);
+    }
     conn->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (conn->fd < 0 ||
         ::connect(conn->fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
@@ -216,16 +363,16 @@ bool LoadGen::ConnectAll(std::string* error) {
 }
 
 void LoadGen::IssueSet(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key,
-                       const std::string& proto_key) {
+                       const std::string& proto_key, std::int64_t scheduled_ns) {
   // Unique nonzero value per (connection, sequence) — what makes the
   // register check able to name the write a read observed.
   const std::uint64_t value =
       (static_cast<std::uint64_t>(conn.id + 1) << 40) | ++conn.value_seq;
   const std::string text = RenderValue(value);
   PendingReq req;
-  req.kind = TableOp::Kind::kPut;
-  req.subs.push_back({proto_key, hist_key, true, value});
-  req.send_ns = NowNs();
+  req.op = PendingReq::Op::kSet;
+  req.subs.push_back({proto_key, hist_key, true, value, 0});
+  req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
   req.t_inv = NativeMem::Now();
   char header[320];
   const int n = std::snprintf(header, sizeof(header), "set %s 0 0 %zu\r\n",
@@ -239,11 +386,11 @@ void LoadGen::IssueSet(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key
 }
 
 void LoadGen::IssueDelete(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key,
-                          const std::string& proto_key) {
+                          const std::string& proto_key, std::int64_t scheduled_ns) {
   PendingReq req;
-  req.kind = TableOp::Kind::kRemove;
-  req.subs.push_back({proto_key, hist_key, false, 0});
-  req.send_ns = NowNs();
+  req.op = PendingReq::Op::kDelete;
+  req.subs.push_back({proto_key, hist_key, false, 0, 0});
+  req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
   req.t_inv = NativeMem::Now();
   conn.out += "delete ";
   conn.out += req.subs[0].proto_key;
@@ -253,9 +400,12 @@ void LoadGen::IssueDelete(ClientConn& conn, ThreadState& ts, std::uint64_t hist_
   ++ts.deletes;
 }
 
-void LoadGen::IssueGet(ClientConn& conn, ThreadState& ts) {
+void LoadGen::IssueGet(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns) {
   PendingReq req;
-  req.kind = TableOp::Kind::kGet;
+  req.op = PendingReq::Op::kGet;
+  // With cas in the mix every read is a `gets`, so its VALUE header refreshes
+  // the cas cache a later cas draws from.
+  req.want_cas = config_.cas_fraction > 0;
   int want = 1;
   if (config_.multiget_keys > 1 && conn.rng.NextBool(config_.multiget_fraction)) {
     want = 2 + static_cast<int>(conn.rng.NextBelow(
@@ -284,9 +434,9 @@ void LoadGen::IssueGet(ClientConn& conn, ThreadState& ts) {
       req.subs.push_back(std::move(sub));
     }
   }
-  req.send_ns = NowNs();
+  req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
   req.t_inv = NativeMem::Now();
-  conn.out += "get";
+  conn.out += req.want_cas ? "gets" : "get";
   for (const SubOp& sub : req.subs) {
     conn.out += ' ';
     conn.out += sub.proto_key;
@@ -295,6 +445,63 @@ void LoadGen::IssueGet(ClientConn& conn, ThreadState& ts) {
   conn.issued += req.subs.size();
   ts.gets += req.subs.size();
   conn.inflight.push_back(std::move(req));
+}
+
+void LoadGen::IssueCas(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns) {
+  const std::uint64_t key = PickPrivate(conn);
+  const auto it = conn.known_cas.find(key);
+  if (it == conn.known_cas.end()) {
+    // No cas observed for this key yet: seed the cache with a single `gets`
+    // instead (counts as a get — the op mix converges once the cache warms).
+    PendingReq req;
+    req.op = PendingReq::Op::kGet;
+    req.want_cas = true;
+    req.subs.push_back({PrivateName(key), key, false, 0, 0});
+    req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
+    req.t_inv = NativeMem::Now();
+    conn.out += "gets ";
+    conn.out += req.subs[0].proto_key;
+    conn.out += "\r\n";
+    conn.inflight.push_back(std::move(req));
+    ++conn.issued;
+    ++ts.gets;
+    return;
+  }
+  const std::uint64_t cas = it->second;
+  conn.known_cas.erase(it);  // one shot: a later cas needs a fresh observation
+  const std::uint64_t value =
+      (static_cast<std::uint64_t>(conn.id + 1) << 40) | ++conn.value_seq;
+  const std::string text = RenderValue(value);
+  PendingReq req;
+  req.op = PendingReq::Op::kCas;
+  req.subs.push_back({PrivateName(key), key, false, value, cas});
+  req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
+  req.t_inv = NativeMem::Now();
+  char header[320];
+  const int n = std::snprintf(
+      header, sizeof(header), "cas %s 0 0 %zu %llu\r\n", req.subs[0].proto_key.c_str(),
+      text.size(), static_cast<unsigned long long>(cas));
+  conn.out.append(header, static_cast<std::size_t>(n));
+  conn.out += text;
+  conn.out += "\r\n";
+  conn.inflight.push_back(std::move(req));
+  ++conn.issued;
+  ++ts.cas_ops;
+}
+
+void LoadGen::IssueIncr(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns) {
+  const std::uint64_t key = PickPrivate(conn);
+  PendingReq req;
+  req.op = PendingReq::Op::kIncr;
+  req.subs.push_back({PrivateName(key), key, false, 0, 0});
+  req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
+  req.t_inv = NativeMem::Now();
+  conn.out += "incr ";
+  conn.out += req.subs[0].proto_key;
+  conn.out += " 1\r\n";
+  conn.inflight.push_back(std::move(req));
+  ++conn.issued;
+  ++ts.incrs;
 }
 
 void LoadGen::FillPipeline(ClientConn& conn, ThreadState& ts) {
@@ -358,56 +565,113 @@ void LoadGen::FillPipeline(ClientConn& conn, ThreadState& ts) {
   }
 
   const bool timed = config_.duration_ns > 0;
+  const bool open_loop = config_.arrival != LoadArrival::kClosed;
+  if (open_loop && conn.next_send_ns == 0) {
+    // First pass after the barrier: anchor this connection's arrival
+    // schedule now, staggered across connections so the fleet does not
+    // phase-lock into synchronized bursts.
+    conn.next_send_ns =
+        NowNs() + interval_ns_ * conn.id / std::max(1, config_.connections);
+  }
+  bool exhausted = false;
   while (static_cast<int>(conn.inflight.size()) < config_.pipeline) {
     if (timed && NowNs() - start_ns_ >= static_cast<std::int64_t>(config_.duration_ns)) {
+      exhausted = true;
       break;
     }
     if (!timed && conn.issued >= conn.target) {
+      exhausted = true;
       break;
     }
-    const double dice = conn.rng.NextDouble();
-    if (dice < config_.set_fraction) {
-      // Writes split between the connection's private range and (as the
-      // single write-owner) its slice of the shared region.
-      if (SharedSlots(conn.id) > 0 && conn.rng.NextBool(config_.shared_get_fraction)) {
-        const std::uint64_t j =
-            static_cast<std::uint64_t>(conn.id) +
-            static_cast<std::uint64_t>(config_.connections) *
-                conn.rng.NextBelow(static_cast<std::uint64_t>(SharedSlots(conn.id)));
-        IssueSet(conn, ts, static_cast<std::uint64_t>(config_.key_space) + j,
-                 SharedName(j));
-      } else {
-        const std::uint64_t key = PickPrivate(conn);
-        IssueSet(conn, ts, key, PrivateName(key));
+    std::int64_t scheduled_ns = 0;
+    if (open_loop) {
+      if (conn.next_send_ns > NowNs()) {
+        break;  // next arrival is in the future; poll wakes us for it
       }
-    } else if (dice < config_.set_fraction + config_.delete_fraction) {
-      const std::uint64_t key = PickPrivate(conn);
-      IssueDelete(conn, ts, key, PrivateName(key));
-    } else {
-      IssueGet(conn, ts);
+      // The request is stamped with its SCHEDULED time. When the pipeline
+      // cap throttled us, scheduled < now and the backlog delay is charged
+      // to the latency sample — the coordinated-omission fix.
+      scheduled_ns = conn.next_send_ns;
+      conn.next_send_ns += NextIntervalNs(conn);
     }
+    IssueMixedOp(conn, ts, scheduled_ns);
   }
-  if (conn.inflight.empty()) {
+  if (!exhausted) {
+    exhausted = timed ? NowNs() - start_ns_ >=
+                            static_cast<std::int64_t>(config_.duration_ns)
+                      : conn.issued >= conn.target;
+  }
+  if (exhausted && conn.inflight.empty()) {
     conn.done = true;
   }
+}
+
+void LoadGen::IssueMixedOp(ClientConn& conn, ThreadState& ts,
+                           std::int64_t scheduled_ns) {
+  const double dice = conn.rng.NextDouble();
+  double edge = config_.cas_fraction;
+  if (dice < edge) {
+    IssueCas(conn, ts, scheduled_ns);
+    return;
+  }
+  edge += config_.incr_fraction;
+  if (dice < edge) {
+    IssueIncr(conn, ts, scheduled_ns);
+    return;
+  }
+  edge += config_.set_fraction;
+  if (dice < edge) {
+    // Writes split between the connection's private range and (as the
+    // single write-owner) its slice of the shared region.
+    if (SharedSlots(conn.id) > 0 && conn.rng.NextBool(config_.shared_get_fraction)) {
+      const std::uint64_t j =
+          static_cast<std::uint64_t>(conn.id) +
+          static_cast<std::uint64_t>(config_.connections) *
+              conn.rng.NextBelow(static_cast<std::uint64_t>(SharedSlots(conn.id)));
+      IssueSet(conn, ts, static_cast<std::uint64_t>(config_.key_space) + j,
+               SharedName(j), scheduled_ns);
+    } else {
+      const std::uint64_t key = PickPrivate(conn);
+      IssueSet(conn, ts, key, PrivateName(key), scheduled_ns);
+    }
+    return;
+  }
+  edge += config_.delete_fraction;
+  if (dice < edge) {
+    const std::uint64_t key = PickPrivate(conn);
+    IssueDelete(conn, ts, key, PrivateName(key), scheduled_ns);
+    return;
+  }
+  IssueGet(conn, ts, scheduled_ns);
 }
 
 void LoadGen::CompleteFront(ClientConn& conn, ThreadState& ts, bool protocol_ok) {
   PendingReq& req = conn.inflight.front();
   const std::uint64_t t_resp = NativeMem::Now();
-  ts.latencies_ns.push_back(NowNs() - req.send_ns);
+  if (ts.latency_tick++ % static_cast<std::uint64_t>(sample_every_) == 0) {
+    ts.latencies_ns.push_back(NowNs() - req.send_ns);
+  }
   conn.completed += req.subs.size();
   if (protocol_ok) {
     for (const SubOp& sub : req.subs) {
-      if (req.kind == TableOp::Kind::kGet && sub.found) {
+      if (req.op == PendingReq::Op::kGet && sub.found) {
         ++ts.get_hits;
+        if (req.want_cas) {
+          conn.known_cas[sub.hist_key] = sub.cas;
+        }
       }
-      if (config_.record_history) {
+      // cas/incr are excluded from history recording (Run() forbids the
+      // combination): a lost cas is not a write, and incr's value is not a
+      // unique (connection, sequence) tag the register checker can name.
+      if (config_.record_history && req.op != PendingReq::Op::kCas &&
+          req.op != PendingReq::Op::kIncr) {
         TableOp op;
-        op.kind = req.kind;
+        op.kind = req.op == PendingReq::Op::kGet      ? TableOp::Kind::kGet
+                  : req.op == PendingReq::Op::kDelete ? TableOp::Kind::kRemove
+                                                      : TableOp::Kind::kPut;
         op.tid = conn.id;
         op.key = sub.hist_key;
-        op.value = req.kind == TableOp::Kind::kRemove ? 0 : sub.value;
+        op.value = req.op == PendingReq::Op::kDelete ? 0 : sub.value;
         op.found = sub.found;
         op.t_inv = req.t_inv;
         op.t_resp = t_resp;
@@ -465,10 +729,11 @@ bool LoadGen::HandleLine(ClientConn& conn, ThreadState& ts, const char* line,
     return true;
   }
 
-  switch (req.kind) {
-    case TableOp::Kind::kGet:
+  switch (req.op) {
+    case PendingReq::Op::kGet:
       if (starts("VALUE ")) {
-        // "VALUE <key> <flags> <bytes>" — match the key to a bundled sub-op.
+        // "VALUE <key> <flags> <bytes>[ <cas>]" — match the key to a bundled
+        // sub-op; a `gets` header also carries the cas_unique (last token).
         const char* p = line + 6;
         const char* key_end = static_cast<const char*>(
             std::memchr(p, ' ', static_cast<std::size_t>(line + len - p)));
@@ -488,6 +753,23 @@ bool LoadGen::HandleLine(ClientConn& conn, ThreadState& ts, const char* line,
           ++ts.protocol_errors;
           return false;  // VALUE for a key we did not ask for
         }
+        if (req.want_cas) {
+          const char* last_sp = nullptr;
+          for (const char* q = key_end; q < line + len; ++q) {
+            last_sp = *q == ' ' ? q : last_sp;
+          }
+          const std::string cas_text(last_sp + 1,
+                                     static_cast<std::size_t>(line + len - last_sp - 1));
+          char* end = nullptr;
+          errno = 0;
+          const unsigned long long cas = std::strtoull(cas_text.c_str(), &end, 10);
+          if (cas_text.empty() || errno != 0 || end != cas_text.c_str() + cas_text.size()) {
+            ++ts.protocol_errors;
+            return false;  // gets VALUE header without a parseable cas
+          }
+          req.subs[static_cast<std::size_t>(req.value_sub)].cas =
+              static_cast<std::uint64_t>(cas);
+        }
         return true;
       }
       if (is("END")) {
@@ -495,17 +777,42 @@ bool LoadGen::HandleLine(ClientConn& conn, ThreadState& ts, const char* line,
         return true;
       }
       break;
-    case TableOp::Kind::kPut:
+    case PendingReq::Op::kSet:
       if (is("STORED")) {
         CompleteFront(conn, ts, /*protocol_ok=*/true);
         return true;
       }
       break;
-    case TableOp::Kind::kRemove:
+    case PendingReq::Op::kDelete:
       if (is("DELETED") || is("NOT_FOUND")) {
         req.subs[0].found = is("DELETED");
         CompleteFront(conn, ts, /*protocol_ok=*/true);
         return true;
+      }
+      break;
+    case PendingReq::Op::kCas:
+      if (is("STORED") || is("EXISTS") || is("NOT_FOUND")) {
+        // EXISTS/NOT_FOUND are the semantics working as intended — our cas
+        // lost a race against this run's own sets/deletes on the key.
+        ++(is("STORED") ? ts.cas_stored : ts.cas_conflicts);
+        CompleteFront(conn, ts, /*protocol_ok=*/true);
+        return true;
+      }
+      break;
+    case PendingReq::Op::kIncr:
+      if (is("NOT_FOUND")) {
+        CompleteFront(conn, ts, /*protocol_ok=*/true);
+        return true;
+      }
+      if (len > 0) {  // success reply: the bare new value
+        bool digits = true;
+        for (std::size_t i = 0; i < len; ++i) {
+          digits = digits && line[i] >= '0' && line[i] <= '9';
+        }
+        if (digits) {
+          CompleteFront(conn, ts, /*protocol_ok=*/true);
+          return true;
+        }
       }
       break;
   }
@@ -622,7 +929,22 @@ void LoadGen::ThreadMain(ThreadState& ts) {
     if (active.empty()) {
       return;
     }
-    const int n = ::poll(fds.data(), fds.size(), 200);
+    // Open loop: cap the poll timeout at the earliest scheduled arrival, so
+    // sends fire on schedule instead of up to 200ms late on an idle socket.
+    int timeout_ms = 200;
+    if (config_.arrival != LoadArrival::kClosed) {
+      const std::int64_t now = NowNs();
+      for (const ClientConn* conn : active) {
+        if (conn->done || conn->next_send_ns == 0 ||
+            static_cast<int>(conn->inflight.size()) >= config_.pipeline) {
+          continue;  // nothing to schedule, or throttled until a response
+        }
+        const std::int64_t wait_ms = (conn->next_send_ns - now) / 1000000 + 1;
+        timeout_ms = static_cast<int>(
+            std::max<std::int64_t>(1, std::min<std::int64_t>(timeout_ms, wait_ms)));
+      }
+    }
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
     if (n < 0 && errno != EINTR) {
       if (ts.error.empty()) {
         ts.error = std::string("poll: ") + std::strerror(errno);
@@ -671,6 +993,23 @@ LoadGenResult LoadGen::Run() {
   SSYNC_CHECK_GE(config_.key_space, config_.connections);
   SSYNC_CHECK(config_.total_ops > 0 || config_.duration_ns > 0);
   SSYNC_CHECK(config_.disjoint_keys || !config_.record_history);
+  // cas/incr effects cannot be expressed as the register checker's uniquely
+  // tagged writes (see CompleteFront), so an audited run must not issue them.
+  SSYNC_CHECK(!config_.record_history ||
+              (config_.cas_fraction == 0 && config_.incr_fraction == 0));
+  SSYNC_CHECK_LE(config_.cas_fraction + config_.incr_fraction +
+                     config_.set_fraction + config_.delete_fraction,
+                 1.0);
+  if (config_.arrival != LoadArrival::kClosed) {
+    SSYNC_CHECK(config_.rate_ops > 0);
+    interval_ns_ = static_cast<std::int64_t>(
+        1e9 * static_cast<double>(config_.connections) / config_.rate_ops);
+    interval_ns_ = interval_ns_ < 1 ? 1 : interval_ns_;
+  }
+  if (config_.key_dist == LoadKeyDist::kZipfian) {
+    SSYNC_CHECK(config_.zipf_theta > 0 && config_.zipf_theta < 1);
+  }
+  sample_every_ = std::max(1, config_.latency_sample_every);
   if (!ConnectAll(&result.error)) {
     return result;
   }
@@ -703,6 +1042,10 @@ LoadGenResult LoadGen::Run() {
     result.get_hits += ts.get_hits;
     result.sets += ts.sets;
     result.deletes += ts.deletes;
+    result.cas_ops += ts.cas_ops;
+    result.cas_stored += ts.cas_stored;
+    result.cas_conflicts += ts.cas_conflicts;
+    result.incrs += ts.incrs;
     result.protocol_errors += ts.protocol_errors;
     latencies.insert(latencies.end(), ts.latencies_ns.begin(), ts.latencies_ns.end());
   }
@@ -717,12 +1060,24 @@ LoadGenResult LoadGen::Run() {
   result.kops = result.seconds > 0
                     ? static_cast<double>(result.ops) / result.seconds / 1000.0
                     : 0.0;
+  result.latency_samples = latencies.size();
+  result.latency_sample_every = sample_every_;
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
+    // Linear interpolation between the bracketing order statistics (R
+    // type-7), not nearest-rank rounding: at small sample counts rounding
+    // snapped p99 to the max (or below p95), which made tails noisy in the
+    // exact runs CI compares.
     const auto at = [&](double q) {
-      const std::size_t idx = static_cast<std::size_t>(
-          q * static_cast<double>(latencies.size() - 1) + 0.5);
-      return static_cast<double>(latencies[idx]) / 1000.0;
+      const double rank = q * static_cast<double>(latencies.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(rank);
+      const std::size_t hi = std::min(lo + 1, latencies.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      const double ns =
+          static_cast<double>(latencies[lo]) +
+          (static_cast<double>(latencies[hi]) - static_cast<double>(latencies[lo])) *
+              frac;
+      return ns / 1000.0;
     };
     result.p50_us = at(0.50);
     result.p99_us = at(0.99);

@@ -1,10 +1,23 @@
-// ssyncload: a closed-loop, multi-connection load generator for ssyncd.
+// ssyncload: a multi-connection load generator for ssyncd.
 //
 // Client threads multiplex nonblocking connections with poll(); each
-// connection keeps up to `pipeline` requests in flight and issues a new one
-// the moment a response completes (closed loop — offered load tracks service
-// rate, as the paper's memslap clients do). Latency is measured per request,
-// send-to-final-response-byte, and reported as percentiles.
+// connection keeps up to `pipeline` requests in flight. Arrival discipline
+// is selectable:
+//   * closed loop (default) — a new request is issued the moment a response
+//     completes, so offered load tracks service rate (the paper's memslap
+//     clients). Latency is send-to-final-response-byte.
+//   * open loop (fixed-rate or Poisson) — each connection issues requests on
+//     a schedule independent of responses. Latency is measured from the
+//     SCHEDULED send time, not the actual write: when the server falls
+//     behind, the queueing delay lands in the percentiles instead of being
+//     silently absorbed (the coordinated-omission trap closed loops and
+//     naive open loops share). The pipeline cap still bounds in-flight
+//     requests; overdue arrivals carry their original schedule, so a stalled
+//     server reports honest multi-interval latencies.
+//
+// Key choice is uniform or Zipfian (YCSB's skewed generator, theta ∈ (0,1)):
+// Zipfian concentrates traffic on a hot set, which is what makes lock and
+// LRU-chain contention visible at realistic skew.
 //
 // Key discipline: every key is owned by exactly one connection.
 //   * private keys ("k<i>", i ∈ [0, key_space)) — owner i % connections is
@@ -38,6 +51,16 @@
 
 namespace ssync {
 
+// Arrival discipline (see the header comment).
+enum class LoadArrival { kClosed, kFixedRate, kPoisson };
+// Key popularity over each connection's key slots.
+enum class LoadKeyDist { kUniform, kZipfian };
+
+const char* ToString(LoadArrival arrival);
+const char* ToString(LoadKeyDist dist);
+bool ArrivalFromString(const std::string& name, LoadArrival* out);
+bool KeyDistFromString(const std::string& name, LoadKeyDist* out);
+
 struct LoadGenConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
@@ -59,9 +82,25 @@ struct LoadGenConfig {
   // must not race our gets).
   double multiget_fraction = 0.15;
   int multiget_keys = 4;
+  // Fraction of all ops issued as cas read-modify-writes: a `gets` response
+  // seeds the connection's cas cache, and the cas targets the connection's
+  // own keys with the last observed cas_unique (so EXISTS conflicts are real
+  // races against this run's own sets/deletes, not noise).
+  double cas_fraction = 0.0;
+  double incr_fraction = 0.0;        // of all ops: incr <key> 1
+  // Arrival discipline; rate_ops (total target ops/sec across all
+  // connections) must be > 0 for the open-loop modes.
+  LoadArrival arrival = LoadArrival::kClosed;
+  double rate_ops = 0.0;
+  LoadKeyDist key_dist = LoadKeyDist::kUniform;
+  double zipf_theta = 0.99;          // YCSB default skew; must be in (0, 1)
+  // Record every Nth request latency (1 = all). Long open-loop runs at high
+  // rates can otherwise spend their memory on samples.
+  int latency_sample_every = 1;
   int value_bytes = 20;              // values are zero-padded decimal u64s
   std::uint64_t seed = 1;
   bool record_history = false;       // log TableOps + run the register checker
+                                     // (requires cas/incr fractions of zero)
   // false: chaos mode — every connection sets/gets/deletes over the WHOLE
   // private key space, deliberately racing independent clients on the same
   // keys (the adversarial pattern the server's deferred reclamation exists
@@ -78,14 +117,24 @@ struct LoadGenResult {
   std::uint64_t get_hits = 0;
   std::uint64_t sets = 0;
   std::uint64_t deletes = 0;
+  std::uint64_t cas_ops = 0;      // cas requests issued
+  std::uint64_t cas_stored = 0;   // ... that returned STORED
+  std::uint64_t cas_conflicts = 0;  // ... EXISTS or NOT_FOUND (lost the race)
+  std::uint64_t incrs = 0;
   // Unexpected replies: ERROR/CLIENT_ERROR/SERVER_ERROR lines, misframed
   // responses, replies that do not match the in-flight request.
   std::uint64_t protocol_errors = 0;
   double seconds = 0;
   double kops = 0;            // completed requests / wall second / 1000
+  // Percentiles are linearly interpolated over the sorted samples (R type-7);
+  // all zero when no latency was sampled. latency_samples /
+  // latency_sample_every say how many samples backed them and at what
+  // decimation, so a consumer can judge tail confidence.
   double p50_us = 0;
   double p99_us = 0;
   double max_us = 0;
+  std::uint64_t latency_samples = 0;
+  int latency_sample_every = 1;
   // record_history: violations found by the per-key register checker (plus
   // any client-side decode trouble). ok()/Summary() as everywhere else.
   TortureReport history;

@@ -44,6 +44,27 @@ bool ParseU32(const char* s, std::size_t len, std::uint32_t* out) {
   return true;
 }
 
+// Strict decimal u64 (cas_unique, incr/decr deltas): digits only, no sign,
+// overflow rejected.
+bool ParseU64(const char* s, std::size_t len, std::uint64_t* out) {
+  if (len == 0 || len > 20) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return false;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(s[i] - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return false;
+    }
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
 struct Token {
   const char* data;
   std::size_t len;
@@ -158,6 +179,7 @@ RequestParser::Status RequestParser::ParseCommandLine(const char* line, std::siz
       return Status::kError;
     }
     request->op = Request::Op::kGet;
+    request->want_cas = tokens[0].Is("gets");
     request->keys.clear();
     for (std::size_t i = 1; i < count; ++i) {
       if (!IsValidKey(tokens[i].data, tokens[i].len)) {
@@ -170,14 +192,19 @@ RequestParser::Status RequestParser::ParseCommandLine(const char* line, std::siz
     return Status::kRequest;
   }
 
-  if (tokens[0].Is("set")) {
-    const bool noreply = count == 6 && tokens[5].Is("noreply");
-    if (count != 5 && !noreply) {
+  const bool is_set = tokens[0].Is("set");
+  const bool is_cas = tokens[0].Is("cas");
+  if (is_set || is_cas) {
+    // cas carries one extra field (the expected cas_unique) before the
+    // optional noreply; everything else matches set.
+    const std::size_t base = is_cas ? 6 : 5;
+    const bool noreply = count == base + 1 && tokens[base].Is("noreply");
+    if (count != base && !noreply) {
       *error_reply = ClientError("bad command line format");
       return Status::kError;
     }
     Request pending;
-    pending.op = Request::Op::kSet;
+    pending.op = is_cas ? Request::Op::kCas : Request::Op::kSet;
     pending.noreply = noreply;
     if (!IsValidKey(tokens[1].data, tokens[1].len)) {
       *error_reply = ClientError("invalid key");
@@ -186,7 +213,9 @@ RequestParser::Status RequestParser::ParseCommandLine(const char* line, std::siz
     pending.key = tokens[1].Str();
     if (!ParseU32(tokens[2].data, tokens[2].len, &pending.flags) ||
         !ParseU32(tokens[3].data, tokens[3].len, &pending.exptime) ||
-        !ParseU32(tokens[4].data, tokens[4].len, &pending.bytes)) {
+        !ParseU32(tokens[4].data, tokens[4].len, &pending.bytes) ||
+        (is_cas &&
+         !ParseU64(tokens[5].data, tokens[5].len, &pending.cas_unique))) {
       *error_reply = ClientError("bad command line format");
       return Status::kError;
     }
@@ -219,6 +248,81 @@ RequestParser::Status RequestParser::ParseCommandLine(const char* line, std::siz
     }
     request->op = Request::Op::kDelete;
     request->key = tokens[1].Str();
+    request->noreply = noreply;
+    return Status::kRequest;
+  }
+
+  const bool is_incr = tokens[0].Is("incr");
+  const bool is_decr = tokens[0].Is("decr");
+  if (is_incr || is_decr) {
+    const bool noreply = count == 4 && tokens[3].Is("noreply");
+    if (count != 3 && !noreply) {
+      *error_reply = ClientError("bad command line format");
+      return Status::kError;
+    }
+    if (!IsValidKey(tokens[1].data, tokens[1].len)) {
+      *error_reply = ClientError("invalid key");
+      return Status::kError;
+    }
+    std::uint64_t delta = 0;
+    if (!ParseU64(tokens[2].data, tokens[2].len, &delta)) {
+      *error_reply = ClientError("invalid numeric delta argument");
+      return Status::kError;
+    }
+    request->op = is_incr ? Request::Op::kIncr : Request::Op::kDecr;
+    request->key = tokens[1].Str();
+    request->delta = delta;
+    request->noreply = noreply;
+    return Status::kRequest;
+  }
+
+  if (tokens[0].Is("touch")) {
+    const bool noreply = count == 4 && tokens[3].Is("noreply");
+    if (count != 3 && !noreply) {
+      *error_reply = ClientError("bad command line format");
+      return Status::kError;
+    }
+    if (!IsValidKey(tokens[1].data, tokens[1].len)) {
+      *error_reply = ClientError("invalid key");
+      return Status::kError;
+    }
+    std::uint32_t exptime = 0;
+    if (!ParseU32(tokens[2].data, tokens[2].len, &exptime)) {
+      *error_reply = ClientError("bad command line format");
+      return Status::kError;
+    }
+    request->op = Request::Op::kTouch;
+    request->key = tokens[1].Str();
+    request->exptime = exptime;
+    request->noreply = noreply;
+    return Status::kRequest;
+  }
+
+  if (tokens[0].Is("flush_all")) {
+    // Optional delay field: only 0 is supported (a delayed flush would need
+    // a timer wheel the store doesn't carry); optional noreply after it.
+    std::size_t i = 1;
+    if (i < count && !tokens[i].Is("noreply")) {
+      std::uint32_t delay = 0;
+      if (!ParseU32(tokens[i].data, tokens[i].len, &delay)) {
+        *error_reply = ClientError("bad command line format");
+        return Status::kError;
+      }
+      if (delay != 0) {
+        *error_reply = ClientError("delayed flush not supported");
+        return Status::kError;
+      }
+      ++i;
+    }
+    const bool noreply = i < count && tokens[i].Is("noreply");
+    if (noreply) {
+      ++i;
+    }
+    if (i != count) {
+      *error_reply = ClientError("bad command line format");
+      return Status::kError;
+    }
+    request->op = Request::Op::kFlushAll;
     request->noreply = noreply;
     return Status::kRequest;
   }
@@ -284,6 +388,18 @@ void AppendValueReply(const std::string& key, std::uint32_t flags, const char* d
   char header[kProtoMaxKeyBytes + 40];
   const int n = std::snprintf(header, sizeof(header), "VALUE %s %u %zu\r\n",
                               key.c_str(), flags, len);
+  out->append(header, static_cast<std::size_t>(n));
+  out->append(data, len);
+  out->append("\r\n");
+}
+
+void AppendValueReplyCas(const std::string& key, std::uint32_t flags,
+                         const char* data, std::size_t len, std::uint64_t cas,
+                         std::string* out) {
+  char header[kProtoMaxKeyBytes + 64];
+  const int n = std::snprintf(header, sizeof(header), "VALUE %s %u %zu %llu\r\n",
+                              key.c_str(), flags, len,
+                              static_cast<unsigned long long>(cas));
   out->append(header, static_cast<std::size_t>(n));
   out->append(data, len);
   out->append("\r\n");

@@ -12,11 +12,21 @@
 //
 // Grammar (the memcached subset ssyncd serves):
 //   get <key>+\r\n
+//   gets <key>+\r\n                        (VALUE lines carry cas_unique)
 //   set <key> <flags> <exptime> <bytes> [noreply]\r\n<data of bytes>\r\n
+//   cas <key> <flags> <exptime> <bytes> <cas_unique> [noreply]\r\n<data>\r\n
 //   delete <key> [noreply]\r\n
+//   incr <key> <delta> [noreply]\r\n
+//   decr <key> <delta> [noreply]\r\n
+//   touch <key> <exptime> [noreply]\r\n
+//   flush_all [0] [noreply]\r\n            (nonzero delay not supported)
 //   stats\r\n
 //   version\r\n
 //   quit\r\n
+//
+// exptime follows memcached's rule: 0 = never, values up to 30 days are
+// relative seconds, larger values are absolute unix time (the server layer
+// translates; the parser passes the raw field through).
 //
 // The parser is transport-independent (no sockets), which is what the
 // table-driven tests in tests/protocol_test.cc exercise.
@@ -51,22 +61,40 @@ inline constexpr std::size_t kProtoMaxLineBytes =
 
 // Canned replies (CRLF included).
 inline constexpr const char* kProtoStored = "STORED\r\n";
+inline constexpr const char* kProtoExists = "EXISTS\r\n";
 inline constexpr const char* kProtoDeleted = "DELETED\r\n";
 inline constexpr const char* kProtoNotFound = "NOT_FOUND\r\n";
+inline constexpr const char* kProtoTouched = "TOUCHED\r\n";
+inline constexpr const char* kProtoOk = "OK\r\n";
 inline constexpr const char* kProtoEnd = "END\r\n";
 inline constexpr const char* kProtoError = "ERROR\r\n";
 
 struct Request {
-  enum class Op { kGet, kSet, kDelete, kStats, kVersion, kQuit };
+  enum class Op {
+    kGet,
+    kSet,
+    kCas,
+    kDelete,
+    kIncr,
+    kDecr,
+    kTouch,
+    kFlushAll,
+    kStats,
+    kVersion,
+    kQuit,
+  };
 
   Op op = Op::kGet;
-  std::vector<std::string> keys;  // get: one or more keys
-  std::string key;                // set / delete
-  std::uint32_t flags = 0;        // set: echoed back verbatim on get
-  std::uint32_t exptime = 0;      // set: parsed for compatibility, ignored
-  std::uint32_t bytes = 0;        // set: declared data length
+  std::vector<std::string> keys;  // get/gets: one or more keys
+  std::string key;                // set / cas / delete / incr / decr / touch
+  std::uint32_t flags = 0;        // set/cas: echoed back verbatim on get
+  std::uint32_t exptime = 0;      // set/cas/touch: raw wire field (see above)
+  std::uint32_t bytes = 0;        // set/cas: declared data length
+  std::uint64_t cas_unique = 0;   // cas: expected cas value
+  std::uint64_t delta = 0;        // incr/decr: amount
+  bool want_cas = false;          // gets: VALUE replies carry cas_unique
   bool noreply = false;
-  std::string value;              // set: the data block
+  std::string value;              // set/cas: the data block
 };
 
 class RequestParser {
@@ -113,6 +141,11 @@ class RequestParser {
 // the caller appends kProtoEnd after the last one).
 void AppendValueReply(const std::string& key, std::uint32_t flags, const char* data,
                       std::size_t len, std::string* out);
+
+// `gets` variant: "VALUE <key> <flags> <bytes> <cas>\r\n<data>\r\n".
+void AppendValueReplyCas(const std::string& key, std::uint32_t flags,
+                         const char* data, std::size_t len, std::uint64_t cas,
+                         std::string* out);
 
 // Appends "STAT <name> <value>\r\n".
 void AppendStatReply(const char* name, std::uint64_t value, std::string* out);

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <unordered_map>
 
 #include "src/core/mem_native.h"
@@ -36,6 +37,23 @@ constexpr std::size_t kMaxPendingOut = 256 * 1024;
 
 std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+std::uint64_t WallSeconds() {
+  return static_cast<std::uint64_t>(::time(nullptr));
+}
+
+// memcached's exptime rule: 0 = never; values up to 30 days are seconds
+// relative to now; anything larger is an absolute unix time (which may
+// already be in the past — the item is then born expired).
+constexpr std::uint32_t kMaxRelativeExptime = 60 * 60 * 24 * 30;
+
+std::uint32_t AbsoluteExptime(std::uint32_t exptime, std::uint64_t now_s) {
+  if (exptime == 0 || exptime > kMaxRelativeExptime) {
+    return exptime;
+  }
+  const std::uint64_t abs = now_s + exptime;
+  return abs > 0xffffffffULL ? 0xffffffffU : static_cast<std::uint32_t>(abs);
 }
 
 // One TCP connection, owned by exactly one worker (no locking).
@@ -170,17 +188,45 @@ struct KvServer::Worker {
     return true;
   }
 
+  // Makes room for one new item when the cap is reached. In evict mode
+  // (memcached's default) the LRU tail is retired until the count is back
+  // under the cap — bounded retries, since EvictLru can fail spuriously
+  // when the tail moves under a racing evictor. In "-M" mode, or if
+  // eviction comes up dry, returns false and the set is refused. An
+  // overwrite-set at the cap may evict even though it would not grow the
+  // store; distinguishing it here would race anyway, and the victim is the
+  // coldest item by construction.
+  bool EnsureCapacity(std::uint64_t now_s) {
+    const auto cap = static_cast<std::int64_t>(server->config_.store.max_items);
+    if (server->curr_items_.load(std::memory_order_relaxed) < cap) {
+      return true;
+    }
+    if (!server->config_.evict_at_capacity) {
+      return false;
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      if (server->store_->EvictLru(now_s)) {
+        server->curr_items_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (server->curr_items_.load(std::memory_order_relaxed) < cap) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   void Execute(const Request& req, Connection* conn) {
     switch (req.op) {
       case Request::Op::kGet: {
         std::uint64_t keys[kProtoMaxGetKeys];
         bool found[kProtoMaxGetKeys];
+        std::uint64_t cas[kProtoMaxGetKeys];
         std::uint8_t values[kProtoMaxGetKeys * kKvsValueBytes];
         const std::size_t n = req.keys.size();  // parser caps at kProtoMaxGetKeys
         for (std::size_t i = 0; i < n; ++i) {
           keys[i] = HashProtocolKey(req.keys[i]);
         }
-        server->store_->GetMulti(keys, n, values, found);
+        server->store_->GetMulti(keys, n, values, found, WallSeconds(), cas);
         for (std::size_t i = 0; i < n; ++i) {
           if (!found[i]) {
             continue;
@@ -189,21 +235,20 @@ struct KvServer::Worker {
           const char* data = nullptr;
           std::size_t len = 0;
           if (DecodeStoreValue(values + i * kKvsValueBytes, &flags, &data, &len)) {
-            AppendValueReply(req.keys[i], flags, data, len, &conn->out);
+            if (req.want_cas) {
+              AppendValueReplyCas(req.keys[i], flags, data, len, cas[i],
+                                  &conn->out);
+            } else {
+              AppendValueReply(req.keys[i], flags, data, len, &conn->out);
+            }
           }
         }
         conn->out += kProtoEnd;
         break;
       }
       case Request::Op::kSet: {
-        // Capacity cap (memcached "-M" semantics): the store never evicts,
-        // so a client churning unique keys must hit an error, not OOM the
-        // server. The count is approximate (relaxed), which only blurs the
-        // cap by a few in-flight requests.
-        if (server->curr_items_.load(std::memory_order_relaxed) >=
-            static_cast<std::int64_t>(server->config_.store.max_items)) {
-          // An overwrite of an existing key would not grow the store, but
-          // distinguishing it here would race anyway; at the cap, sets fail.
+        const std::uint64_t now_s = WallSeconds();
+        if (!EnsureCapacity(now_s)) {
           Bump(&Counters::rejected_sets);
           if (!req.noreply) {
             conn->out += "SERVER_ERROR out of memory storing object\r\n";
@@ -212,11 +257,73 @@ struct KvServer::Worker {
         }
         std::uint8_t image[kKvsValueBytes];
         EncodeStoreValue(req.flags, req.value.data(), req.value.size(), image);
-        if (server->store_->Set(HashProtocolKey(req.key), image)) {
+        if (server->store_->Set(HashProtocolKey(req.key), image,
+                                AbsoluteExptime(req.exptime, now_s))) {
           server->curr_items_.fetch_add(1, std::memory_order_relaxed);
         }
         if (!req.noreply) {
           conn->out += kProtoStored;
+        }
+        break;
+      }
+      case Request::Op::kCas: {
+        const std::uint64_t now_s = WallSeconds();
+        std::uint8_t image[kKvsValueBytes];
+        EncodeStoreValue(req.flags, req.value.data(), req.value.size(), image);
+        const CasOutcome outcome = server->store_->Cas(
+            HashProtocolKey(req.key), image,
+            AbsoluteExptime(req.exptime, now_s), req.cas_unique, now_s);
+        if (!req.noreply) {
+          conn->out += outcome == CasOutcome::kStored   ? kProtoStored
+                       : outcome == CasOutcome::kExists ? kProtoExists
+                                                        : kProtoNotFound;
+        }
+        break;
+      }
+      case Request::Op::kIncr:
+      case Request::Op::kDecr: {
+        std::uint64_t new_value = 0;
+        const CounterOutcome outcome = server->store_->IncrDecr(
+            HashProtocolKey(req.key), req.delta,
+            req.op == Request::Op::kIncr, WallSeconds(), &new_value);
+        if (!req.noreply) {
+          switch (outcome) {
+            case CounterOutcome::kApplied: {
+              char line[24];
+              const int len =
+                  std::snprintf(line, sizeof(line), "%llu\r\n",
+                                static_cast<unsigned long long>(new_value));
+              conn->out.append(line, static_cast<std::size_t>(len));
+              break;
+            }
+            case CounterOutcome::kNotFound:
+              conn->out += kProtoNotFound;
+              break;
+            case CounterOutcome::kNotNumeric:
+              conn->out +=
+                  "CLIENT_ERROR cannot increment or decrement non-numeric "
+                  "value\r\n";
+              break;
+          }
+        }
+        break;
+      }
+      case Request::Op::kTouch: {
+        const std::uint64_t now_s = WallSeconds();
+        const bool hit =
+            server->store_->Touch(HashProtocolKey(req.key),
+                                  AbsoluteExptime(req.exptime, now_s), now_s);
+        if (!req.noreply) {
+          conn->out += hit ? kProtoTouched : kProtoNotFound;
+        }
+        break;
+      }
+      case Request::Op::kFlushAll: {
+        // O(1) generation bump; the bodies stay counted against the cap
+        // until the reaper (worker 0) or eviction removes them.
+        server->store_->FlushAll();
+        if (!req.noreply) {
+          conn->out += kProtoOk;
         }
         break;
       }
@@ -258,6 +365,18 @@ struct KvServer::Worker {
         AppendStatReply("optimistic_fallbacks", stats.store.optimistic_fallbacks,
                         &conn->out);
         AppendStatReply("curr_items_approx", stats.curr_items, &conn->out);
+        // Cache-semantics accounting: capacity evictions, TTL/flush reaps,
+        // and cas outcomes (memcached's stat names).
+        AppendStatReply("evictions", stats.store.evictions, &conn->out);
+        AppendStatReply("expired_unfetched", stats.store.expired_unfetched,
+                        &conn->out);
+        AppendStatReply("cas_hits", stats.store.cas_hits, &conn->out);
+        AppendStatReply("cas_badval", stats.store.cas_badval, &conn->out);
+        AppendStatReply("cas_misses", stats.store.cas_misses, &conn->out);
+        AppendStatReply("evict_at_capacity",
+                        static_cast<std::uint64_t>(
+                            server->config_.evict_at_capacity ? 1 : 0),
+                        &conn->out);
         AppendStatReply("rejected_sets", stats.rejected_sets, &conn->out);
         AppendStatReply("max_items",
                         static_cast<std::uint64_t>(server->config_.store.max_items),
@@ -575,6 +694,7 @@ void KvServer::WorkerLoop(Worker& worker) {
   // Reclaimer state (worker 0 only): epochs snapshotted at the last
   // BeginReclaim; empty when no grace period is in flight.
   std::vector<std::uint64_t> reclaim_snapshot;
+  std::uint64_t pass = 0;
 
   epoll_event events[kEpollBatch];
   while (!worker.stop.load(std::memory_order_acquire)) {
@@ -583,6 +703,17 @@ void KvServer::WorkerLoop(Worker& worker) {
     // always terminates.
     worker.epoch.fetch_add(1, std::memory_order_release);
     if (worker.index == 0) {
+      // TTL/flush reaper: periodically sweep a bounded slice of the LRU
+      // cold end for dead items. Rate-limited by loop pass so a busy
+      // server doesn't take the LRU lock every batch; an idle server reaps
+      // within a few epoll timeouts.
+      if ((pass++ & 0xf) == 0) {
+        const std::size_t reaped = store_->ReapExpired(64, WallSeconds());
+        if (reaped > 0) {
+          curr_items_.fetch_sub(static_cast<std::int64_t>(reaped),
+                                std::memory_order_relaxed);
+        }
+      }
       if (reclaim_snapshot.empty()) {
         // Only seal when something was retired since the last cycle: this
         // check is lock-free, BeginReclaim's LRU-lock acquisition is not —

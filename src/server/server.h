@@ -45,6 +45,10 @@ struct ServerConfig {
   // fill/scatter/smt-pair pin worker i to PlacementCpus(host, policy)[i].
   // The resulting worker -> cpu/socket map is reported by `stats`.
   PlacementPolicy placement = PlacementPolicy::kNone;
+  // Capacity policy at store.max_items: true (memcached's default) evicts
+  // the LRU tail to make room for a new item; false is memcached's "-M"
+  // mode — refuse the set with SERVER_ERROR instead of evicting.
+  bool evict_at_capacity = true;
   KvStoreConfig store;
 };
 
@@ -65,7 +69,7 @@ struct ServerStats {
   std::uint64_t rejected_sets = 0;    // refused at the capacity cap ("-M")
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
-  std::uint64_t curr_items = 0;       // creates minus delete-hits (approx)
+  std::uint64_t curr_items = 0;  // creates minus removals (approx)
   PlacementPolicy placement = PlacementPolicy::kNone;
   std::vector<WorkerPlacement> worker_placements;  // one entry per worker
   KvsStatsSnapshot store;
@@ -107,9 +111,10 @@ class KvServer {
   std::unique_ptr<KvStore> store_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  // Live item estimate (creates minus delete-hits, relaxed) backing the
-  // capacity cap: the store has no eviction, so sets beyond
-  // store.max_items are refused (memcached "-M" semantics).
+  // Live item estimate (creates minus delete-hits/evictions/reaps,
+  // relaxed) backing the capacity cap: at store.max_items a set either
+  // drives LRU eviction (default) or is refused ("-M";
+  // ServerConfig::evict_at_capacity).
   std::atomic<std::int64_t> curr_items_{0};
   std::uint16_t port_ = 0;
   bool running_ = false;

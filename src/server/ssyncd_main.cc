@@ -39,6 +39,14 @@ int main(int argc, char** argv) {
       "worker placement over the host topology: none | fill | scatter | smt-pair");
   config.store.buckets =
       static_cast<int>(cli.Int("buckets", 1024, "hash-table buckets"));
+  config.store.max_items = static_cast<std::size_t>(cli.Int(
+      "max-items", static_cast<std::int64_t>(config.store.max_items),
+      "item capacity; at the cap a set evicts the LRU item (default) or is "
+      "refused (--reject-at-capacity)"));
+  config.evict_at_capacity = !cli.Bool(
+      "reject-at-capacity", false,
+      "memcached -M: refuse sets with SERVER_ERROR at the capacity cap "
+      "instead of evicting the LRU item");
   config.store.maintenance_interval = static_cast<int>(cli.Int(
       "maintenance_interval", 50, "global-lock maintenance pass every N sets"));
   config.store.optimistic_reads = cli.Bool(

@@ -1,8 +1,10 @@
-// ssyncload — closed-loop load generator for ssyncd. See loadgen.h.
+// ssyncload — load generator for ssyncd. See loadgen.h.
 //
 //   ssyncd --port=11311 --workers=4 --lock=MCS &
 //   ssyncload --port=11311 --connections=16 --ops=1000000
 //   ssyncload --port=11311 --duration_ms=10000 --audit   # history-checked run
+//   ssyncload --port=11311 --duration_ms=10000 --arrival=poisson
+//       --rate=50000 --key_dist=zipfian              # open loop, skewed keys
 #include <cstdio>
 
 #include "src/server/loadgen.h"
@@ -30,11 +32,40 @@ int main(int argc, char** argv) {
   config.set_fraction = cli.Double("set_fraction", 0.30, "fraction of ops that set");
   config.delete_fraction =
       cli.Double("delete_fraction", 0.10, "fraction of ops that delete");
+  config.cas_fraction = cli.Double(
+      "cas_fraction", 0.0, "fraction of ops that cas (seeded by gets)");
+  config.incr_fraction =
+      cli.Double("incr_fraction", 0.0, "fraction of ops that incr by 1");
+  const std::string arrival = cli.Str(
+      "arrival", "closed",
+      "arrival discipline: closed | rate (fixed open loop) | poisson");
+  config.rate_ops = cli.Double(
+      "rate", 0.0, "open-loop target ops/sec across all connections");
+  const std::string key_dist =
+      cli.Str("key_dist", "uniform", "key popularity: uniform | zipfian");
+  config.zipf_theta = cli.Double("zipf_theta", 0.99, "Zipfian skew, in (0,1)");
+  config.latency_sample_every = static_cast<int>(
+      cli.Int("sample_every", 1, "record every Nth request latency"));
   config.value_bytes = static_cast<int>(cli.Int("value_bytes", 20, "value size"));
   config.seed = static_cast<std::uint64_t>(cli.Int("seed", 1, "workload seed"));
   config.record_history =
       cli.Bool("audit", false, "record per-op history and run the register checker");
   cli.Finish();
+  if (!ArrivalFromString(arrival, &config.arrival)) {
+    std::fprintf(stderr, "ssyncload: unknown arrival '%s' (use closed|rate|poisson)\n",
+                 arrival.c_str());
+    return 2;
+  }
+  if (!KeyDistFromString(key_dist, &config.key_dist)) {
+    std::fprintf(stderr, "ssyncload: unknown key_dist '%s' (use uniform|zipfian)\n",
+                 key_dist.c_str());
+    return 2;
+  }
+  if (config.arrival != LoadArrival::kClosed && config.rate_ops <= 0) {
+    std::fprintf(stderr, "ssyncload: --arrival=%s requires --rate > 0\n",
+                 arrival.c_str());
+    return 2;
+  }
   if (duration_ms > 0) {
     config.duration_ns = static_cast<std::uint64_t>(duration_ms) * 1000000;
     config.total_ops = 0;
@@ -46,17 +77,29 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "ops        %llu (%llu get / %llu set / %llu delete; %llu get hits)\n"
-      "throughput %.1f kops/s over %.2fs\n"
-      "latency    p50 %.1fus  p99 %.1fus  max %.1fus\n"
+      "ops        %llu (%llu get / %llu set / %llu delete / %llu cas / "
+      "%llu incr; %llu get hits)\n"
+      "throughput %.1f kops/s over %.2fs (%s arrivals, %s keys)\n"
+      "latency    p50 %.1fus  p99 %.1fus  max %.1fus  "
+      "(%llu samples, every %d)\n"
       "errors     %llu protocol\n",
       static_cast<unsigned long long>(result.ops),
       static_cast<unsigned long long>(result.gets),
       static_cast<unsigned long long>(result.sets),
       static_cast<unsigned long long>(result.deletes),
+      static_cast<unsigned long long>(result.cas_ops),
+      static_cast<unsigned long long>(result.incrs),
       static_cast<unsigned long long>(result.get_hits), result.kops, result.seconds,
+      ToString(config.arrival), ToString(config.key_dist),
       result.p50_us, result.p99_us, result.max_us,
+      static_cast<unsigned long long>(result.latency_samples),
+      result.latency_sample_every,
       static_cast<unsigned long long>(result.protocol_errors));
+  if (result.cas_ops > 0) {
+    std::printf("cas        %llu stored / %llu conflicts\n",
+                static_cast<unsigned long long>(result.cas_stored),
+                static_cast<unsigned long long>(result.cas_conflicts));
+  }
   if (config.record_history) {
     std::printf("audit      %s\n", result.history.Summary().c_str());
   }

@@ -1,5 +1,7 @@
 #include "src/server/store.h"
 
+#include <atomic>
+#include <cstring>
 #include <utility>
 
 #include "src/core/mem_native.h"
@@ -7,6 +9,42 @@
 
 namespace ssync {
 namespace {
+
+// Strict decimal u64 over stored value bytes (leading zeros fine — loadgen
+// zero-pads its rendered values). Rejects empty/non-digit data and values
+// that overflow u64, memcached's "non-numeric value" cases.
+bool ParseStoredU64(const char* data, std::size_t len, std::uint64_t* out) {
+  if (data == nullptr || len == 0) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const char c = data[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+void RenderU64(std::uint64_t value, char out[20], std::size_t* len) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = tmp[n - 1 - i];
+  }
+  *len = n;
+}
 
 template <typename Lock>
 class KvStoreImpl final : public KvStore {
@@ -18,14 +56,107 @@ class KvStoreImpl final : public KvStore {
     return kvs_.Get(key, value_out);
   }
   std::size_t GetMulti(const std::uint64_t* keys, std::size_t n,
-                       std::uint8_t* values_out, bool* found_out) override {
-    return kvs_.GetMulti(keys, n, values_out, found_out);
+                       std::uint8_t* values_out, bool* found_out,
+                       std::uint64_t now_s, std::uint64_t* cas_out) override {
+    return kvs_.GetMulti(keys, n, values_out, found_out, now_s, cas_out);
   }
-  bool Set(std::uint64_t key, const std::uint8_t* value) override {
-    return kvs_.Set(key, value);
+  bool Set(std::uint64_t key, const std::uint8_t* value,
+           std::uint32_t exptime) override {
+    return kvs_.Set(key, value, exptime);
   }
   bool Delete(std::uint64_t key) override { return kvs_.Delete(key); }
-  KvsStatsSnapshot Stats() const override { return kvs_.Stats(); }
+
+  CasOutcome Cas(std::uint64_t key, const std::uint8_t* value,
+                 std::uint32_t exptime, std::uint64_t cas_expected,
+                 std::uint64_t now_s) override {
+    bool matched = false;
+    const auto status = kvs_.Mutate(
+        key, now_s,
+        [&](std::uint8_t* item_value, std::uint32_t* item_exptime,
+            std::uint64_t cas) {
+          if (cas != cas_expected) {
+            return false;
+          }
+          matched = true;
+          std::memcpy(item_value, value, kKvsValueBytes);
+          *item_exptime = exptime;
+          return true;
+        });
+    using Status = typename Kvs<NativeMem, Lock>::MutateStatus;
+    if (status == Status::kNotFound) {
+      BumpRelaxed(cas_misses_);
+      return CasOutcome::kNotFound;
+    }
+    if (!matched) {
+      BumpRelaxed(cas_badval_);
+      return CasOutcome::kExists;
+    }
+    BumpRelaxed(cas_hits_);
+    return CasOutcome::kStored;
+  }
+
+  CounterOutcome IncrDecr(std::uint64_t key, std::uint64_t delta, bool incr,
+                          std::uint64_t now_s,
+                          std::uint64_t* new_value) override {
+    bool numeric = false;
+    const auto status = kvs_.Mutate(
+        key, now_s,
+        [&](std::uint8_t* item_value, std::uint32_t* /*item_exptime*/,
+            std::uint64_t /*cas*/) {
+          std::uint32_t flags = 0;
+          const char* data = nullptr;
+          std::size_t data_len = 0;
+          std::uint64_t current = 0;
+          if (!DecodeStoreValue(item_value, &flags, &data, &data_len) ||
+              !ParseStoredU64(data, data_len, &current)) {
+            return false;
+          }
+          numeric = true;
+          // memcached semantics: incr wraps mod 2^64, decr clamps at zero.
+          const std::uint64_t next =
+              incr ? current + delta : (current < delta ? 0 : current - delta);
+          char digits[20];
+          std::size_t digits_len = 0;
+          RenderU64(next, digits, &digits_len);
+          EncodeStoreValue(flags, digits, digits_len, item_value);
+          *new_value = next;
+          return true;
+        });
+    using Status = typename Kvs<NativeMem, Lock>::MutateStatus;
+    if (status == Status::kNotFound) {
+      return CounterOutcome::kNotFound;
+    }
+    return numeric ? CounterOutcome::kApplied : CounterOutcome::kNotNumeric;
+  }
+
+  bool Touch(std::uint64_t key, std::uint32_t exptime,
+             std::uint64_t now_s) override {
+    const auto status = kvs_.Mutate(
+        key, now_s,
+        [&](std::uint8_t* /*item_value*/, std::uint32_t* item_exptime,
+            std::uint64_t /*cas*/) {
+          *item_exptime = exptime;
+          return true;
+        },
+        /*bump_cas=*/false);
+    return status == Kvs<NativeMem, Lock>::MutateStatus::kApplied;
+  }
+
+  void FlushAll() override { kvs_.FlushAll(); }
+  bool EvictLru(std::uint64_t now_s) override {
+    return kvs_.EvictLru(now_s);
+  }
+  std::size_t ReapExpired(int limit, std::uint64_t now_s) override {
+    return kvs_.ReapExpired(limit, now_s);
+  }
+
+  KvsStatsSnapshot Stats() const override {
+    KvsStatsSnapshot stats = kvs_.Stats();
+    stats.cas_hits = cas_hits_.load(std::memory_order_relaxed);
+    stats.cas_badval = cas_badval_.load(std::memory_order_relaxed);
+    stats.cas_misses = cas_misses_.load(std::memory_order_relaxed);
+    return stats;
+  }
   bool HasRetired() const override { return kvs_.HasRetired(); }
   void BeginReclaim() override { kvs_.BeginReclaim(); }
   std::size_t FinishReclaim() override { return kvs_.FinishReclaim(); }
@@ -42,7 +173,15 @@ class KvStoreImpl final : public KvStore {
     return config;
   }
 
+  static void BumpRelaxed(std::atomic<std::uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
   Kvs<NativeMem, Lock> kvs_;
+  // cas outcome counters, folded into the Kvs snapshot by Stats().
+  std::atomic<std::uint64_t> cas_hits_{0};
+  std::atomic<std::uint64_t> cas_badval_{0};
+  std::atomic<std::uint64_t> cas_misses_{0};
 };
 
 }  // namespace

@@ -91,20 +91,53 @@ struct KvStoreConfig {
   bool optimistic_reads = false;
 };
 
+// Outcome of a cas store (memcached reply mapping in server.cc:
+// kStored -> STORED, kExists -> EXISTS, kNotFound -> NOT_FOUND).
+enum class CasOutcome { kStored, kExists, kNotFound };
+
+// Outcome of incr/decr. kNotNumeric covers both a non-decimal stored value
+// and a stored value too large for u64 — memcached's
+// "cannot increment or decrement non-numeric value" client error.
+enum class CounterOutcome { kApplied, kNotFound, kNotNumeric };
+
 // Uniform store interface the server loop drives. All methods are
-// thread-safe (the locks live inside Kvs).
+// thread-safe (the locks live inside Kvs). `now_s` arguments are the
+// caller's wall clock in absolute seconds; exptimes are ABSOLUTE expiry
+// seconds (0 = never) — the server translates memcached's relative rule.
 class KvStore {
  public:
   virtual ~KvStore() = default;
 
   virtual bool Get(std::uint64_t key, std::uint8_t* value_out) = 0;
-  // Batched lookup (one LRU pass; see Kvs::GetMulti). Returns hit count.
+  // Batched lookup (one LRU pass; see Kvs::GetMulti). Returns hit count;
+  // cas_out (optional, length n) receives each hit's cas_unique.
   virtual std::size_t GetMulti(const std::uint64_t* keys, std::size_t n,
-                               std::uint8_t* values_out, bool* found_out) = 0;
+                               std::uint8_t* values_out, bool* found_out,
+                               std::uint64_t now_s,
+                               std::uint64_t* cas_out) = 0;
   // Returns true when the key was newly inserted (the server's capacity
-  // accounting counts creates against deletes).
-  virtual bool Set(std::uint64_t key, const std::uint8_t* value) = 0;
+  // accounting counts creates against deletes/evictions).
+  virtual bool Set(std::uint64_t key, const std::uint8_t* value,
+                   std::uint32_t exptime) = 0;
   virtual bool Delete(std::uint64_t key) = 0;
+  // Compare-and-store: applies the new value/exptime only when the live
+  // item's cas_unique equals cas_expected.
+  virtual CasOutcome Cas(std::uint64_t key, const std::uint8_t* value,
+                         std::uint32_t exptime, std::uint64_t cas_expected,
+                         std::uint64_t now_s) = 0;
+  // memcached incr/decr over the decimal-rendered item value: incr wraps
+  // mod 2^64, decr clamps at zero. *new_value receives the result.
+  virtual CounterOutcome IncrDecr(std::uint64_t key, std::uint64_t delta,
+                                  bool incr, std::uint64_t now_s,
+                                  std::uint64_t* new_value) = 0;
+  // Updates only the expiry of a live item (no cas bump, like memcached).
+  virtual bool Touch(std::uint64_t key, std::uint32_t exptime,
+                     std::uint64_t now_s) = 0;
+  // Invalidates every current item (O(1); bodies reaped lazily).
+  virtual void FlushAll() = 0;
+  // LRU eviction / TTL reaping passthrough (Kvs::EvictLru/ReapExpired).
+  virtual bool EvictLru(std::uint64_t now_s) = 0;
+  virtual std::size_t ReapExpired(int limit, std::uint64_t now_s) = 0;
   virtual KvsStatsSnapshot Stats() const = 0;
 
   // Grace-period reclamation passthrough (single reclaimer; see kvs.h):

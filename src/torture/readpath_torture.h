@@ -25,12 +25,15 @@
 #define SRC_TORTURE_READPATH_TORTURE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/kvs/kvs.h"
 #include "src/torture/table_torture.h"
 #include "src/torture/torture.h"
+#include "src/util/cacheline.h"
 #include "src/util/rng.h"
 
 namespace ssync {
@@ -126,6 +129,170 @@ TortureReport TortureReadPath(Runtime& rt, typename Traits::Table& table,
     }
   });
 
+  for (const TortureReport& r : reports) {
+    report.Merge(r);
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Eviction + TTL storm (Kvs-specific: it drives EvictLru/ReapExpired and the
+// real BeginReclaim/FinishReclaim grace-period machinery, none of which the
+// table traits abstract).
+//
+// Thread cast: writers + readers as in TortureReadPath, plus ONE dedicated
+// evictor thread that continuously evicts the LRU tail, reaps expired items,
+// and — crucially — runs the full grace-period protocol so retired victims
+// are actually FREED while optimistic readers are live. Under ASan this
+// turns any seqlock read that can still touch a reaped item into a hard
+// use-after-free, not a silent torn value.
+//
+// TTL convention: the wall clock is frozen at `now_s`; every key with
+// key % 4 == 3 is "mortal" and always written with exptime 1 (already dead),
+// the rest are immortal (exptime 0). A reader Get that returns a mortal key
+// is a TTL violation — lazy expiry must filter it on both read paths.
+//
+// Quiescence: each worker bumps a padded epoch counter between operations
+// (an op boundary holds no references into the table — the same per-loop
+// epoch scheme ssyncd's workers use). The evictor seals a retired batch,
+// waits for every live worker to pass a boundary, then frees the batch.
+// ---------------------------------------------------------------------------
+
+struct EvictionStormOptions {
+  int writers = 2;
+  int readers = 2;
+  int keys = 32;    // key k belongs to writer k % writers; k % 4 == 3 mortal
+  int rounds = 64;  // write passes per writer over its key set
+  std::uint64_t seed = 1;
+  std::uint64_t now_s = 2;       // frozen clock; mortal items carry exptime 1
+  double delete_fraction = 0.2;  // chance a write slot deletes instead
+};
+
+struct EvictionStormOutcome {
+  std::uint64_t evicted = 0;          // successful EvictLru calls
+  std::uint64_t reclaimed = 0;        // items actually freed by the evictor
+  std::uint64_t reclaim_batches = 0;  // grace periods that freed something
+};
+
+// Native runtimes only: the evictor spin-waits on std::atomic epochs, which
+// would never yield under the simulator's cooperative fibers.
+template <typename Runtime, typename Mem, typename Lock>
+TortureReport TortureKvsEvictionStorm(Runtime& rt, Kvs<Mem, Lock>& kvs,
+                                      const EvictionStormOptions& opts,
+                                      EvictionStormOutcome* outcome) {
+  const int workers = opts.writers + opts.readers;
+  const int threads = workers + 1;  // + the evictor
+  std::vector<TortureReport> reports(threads);
+
+  struct WorkerSync {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<bool> done{false};
+  };
+  std::vector<Padded<WorkerSync>> sync(static_cast<std::size_t>(workers));
+  std::atomic<int> live{workers};
+
+  const auto mortal = [](std::uint64_t key) { return key % 4 == 3; };
+
+  rt.Run(threads, [&](int tid) {
+    Rng rng(opts.seed * 131 + static_cast<std::uint64_t>(tid));
+    TortureReport& r = reports[tid];
+
+    if (tid == workers) {
+      // The evictor/reclaimer. EvictLru and ReapExpired retire items out of
+      // live bucket chains; the grace-period pass below frees them for real.
+      while (live.load(std::memory_order_acquire) > 0) {
+        bool expired = false;
+        if (kvs.EvictLru(opts.now_s, &expired)) {
+          ++outcome->evicted;
+        }
+        kvs.ReapExpired(/*limit=*/8, opts.now_s);
+        if (kvs.HasRetired()) {
+          kvs.BeginReclaim();
+          for (int t = 0; t < workers; ++t) {
+            const WorkerSync& ws = sync[static_cast<std::size_t>(t)].value;
+            const std::uint64_t seen = ws.epoch.load(std::memory_order_acquire);
+            while (!ws.done.load(std::memory_order_acquire) &&
+                   ws.epoch.load(std::memory_order_acquire) == seen) {
+              Mem::Pause(64);
+            }
+          }
+          const std::size_t n = kvs.FinishReclaim();
+          outcome->reclaimed += n;
+          outcome->reclaim_batches += n > 0 ? 1 : 0;
+        }
+        Mem::Pause(rng.NextBelow(100));
+      }
+      // Workers are gone: drain whatever retired after the last pass.
+      kvs.BeginReclaim();
+      outcome->reclaimed += kvs.FinishReclaim();
+      return;
+    }
+
+    WorkerSync& my = sync[static_cast<std::size_t>(tid)].value;
+    if (tid < opts.writers) {
+      for (int round = 0; round < opts.rounds; ++round) {
+        for (std::uint64_t key = static_cast<std::uint64_t>(tid);
+             key < static_cast<std::uint64_t>(opts.keys);
+             key += static_cast<std::uint64_t>(opts.writers)) {
+          my.epoch.fetch_add(1, std::memory_order_release);
+          if (rng.NextBool(opts.delete_fraction)) {
+            kvs.Delete(key);
+          } else {
+            std::uint8_t payload[kKvsValueBytes];
+            torture_internal::EncodePayload(
+                torture_internal::ReadPathValue(
+                    key, static_cast<std::uint64_t>(round + 1)),
+                payload, kKvsValueBytes);
+            kvs.Set(key, payload, mortal(key) ? 1u : 0u);
+          }
+          ++r.ops;
+          Mem::Pause(rng.NextBelow(50));
+        }
+      }
+    } else {
+      std::vector<std::uint64_t> max_version(
+          static_cast<std::size_t>(opts.keys), 0);
+      const int reads = opts.rounds * opts.keys;
+      for (int i = 0; i < reads; ++i) {
+        my.epoch.fetch_add(1, std::memory_order_release);
+        const std::uint64_t key =
+            rng.NextBelow(static_cast<std::uint64_t>(opts.keys));
+        std::uint8_t payload[kKvsValueBytes];
+        bool optimistic = false;
+        if (kvs.Get(key, payload, &optimistic, opts.now_s, /*cas_out=*/nullptr)) {
+          const char* path = optimistic ? " [optimistic]" : " [locked]";
+          const std::uint64_t value = torture_internal::DecodePayload(
+              payload, kKvsValueBytes, key, &r);
+          const std::uint64_t got_key =
+              (value >> torture_internal::kReadPathVersionBits) - 1;
+          const std::uint64_t version =
+              value &
+              ((std::uint64_t{1} << torture_internal::kReadPathVersionBits) - 1);
+          if (mortal(key)) {
+            r.Violation("TTL violation: expired key " + std::to_string(key) +
+                        " was served" + path);
+          } else if (got_key != key) {
+            r.Violation("cross-key read: key " + std::to_string(key) +
+                        " returned a value written for key " +
+                        std::to_string(got_key) + path);
+          } else if (version < max_version[key]) {
+            r.Violation("stale read: key " + std::to_string(key) +
+                        " went backwards from version " +
+                        std::to_string(max_version[key]) + " to " +
+                        std::to_string(version) + path);
+          } else {
+            max_version[key] = version;
+          }
+        }
+        ++r.ops;
+        Mem::Pause(rng.NextBelow(30));
+      }
+    }
+    my.done.store(true, std::memory_order_release);
+    live.fetch_sub(1, std::memory_order_acq_rel);
+  });
+
+  TortureReport report;
   for (const TortureReport& r : reports) {
     report.Merge(r);
   }

@@ -87,6 +87,134 @@ TEST(Kvs, GetMultiEmptyAndDuplicateKeys) {
   EXPECT_FALSE(found[2]);
 }
 
+NativeKvs::Config DeferFreeConfig() {
+  NativeKvs::Config config;
+  config.defer_free = true;  // TTL/cas metadata and eviction need it
+  return config;
+}
+
+TEST(Kvs, ExpiredItemIsAMissAndReapable) {
+  NativeKvs store(DeferFreeConfig(), LockTopology::Flat(1));
+  std::uint8_t value[kKvsValueBytes];
+  std::uint8_t out[kKvsValueBytes];
+  std::memset(value, 0x11, sizeof(value));
+  store.Set(1, value, /*exptime=*/5);
+  // Live before the deadline, dead at it (expiry is <=), exempt at now 0
+  // (TTL comparison disabled — the modeled store's path).
+  EXPECT_TRUE(store.Get(1, out, nullptr, /*now_s=*/4, nullptr));
+  EXPECT_FALSE(store.Get(1, out, nullptr, /*now_s=*/5, nullptr));
+  EXPECT_TRUE(store.Get(1, out, nullptr, /*now_s=*/0, nullptr));
+  // The reaper removes it for real; it then misses at ANY clock.
+  EXPECT_EQ(store.ReapExpired(/*limit=*/64, /*now_s=*/5), 1u);
+  EXPECT_FALSE(store.Get(1, out, nullptr, /*now_s=*/0, nullptr));
+  EXPECT_EQ(store.Stats().expired_unfetched, 1u);
+  EXPECT_EQ(store.Stats().evictions, 0u);
+}
+
+TEST(Kvs, EvictLruRemovesTheLeastRecentlyUsedItem) {
+  NativeKvs store(DeferFreeConfig(), LockTopology::Flat(1));
+  std::uint8_t value[kKvsValueBytes];
+  std::uint8_t out[kKvsValueBytes];
+  std::memset(value, 0x22, sizeof(value));
+  store.Set(1, value);
+  store.Set(2, value);
+  store.Set(3, value);
+  ASSERT_TRUE(store.Get(1, out));  // bump 1 to MRU: LRU order is now 2, 3, 1
+  EXPECT_TRUE(store.EvictLru(/*now_s=*/0));
+  EXPECT_FALSE(store.Get(2, out));
+  EXPECT_TRUE(store.Get(1, out));
+  EXPECT_TRUE(store.Get(3, out));
+  EXPECT_EQ(store.Stats().evictions, 1u);
+}
+
+TEST(Kvs, FlushAllInvalidatesEverythingInO1) {
+  NativeKvs store(DeferFreeConfig(), LockTopology::Flat(1));
+  std::uint8_t value[kKvsValueBytes];
+  std::uint8_t out[kKvsValueBytes];
+  std::memset(value, 0x33, sizeof(value));
+  store.Set(1, value);
+  store.Set(2, value);
+  store.FlushAll();
+  // Stale-generation items are dead at any clock, even now_s == 0.
+  EXPECT_FALSE(store.Get(1, out, nullptr, 0, nullptr));
+  EXPECT_FALSE(store.Get(2, out, nullptr, 0, nullptr));
+  // A post-flush set stamps the current generation and is live again.
+  store.Set(1, value);
+  EXPECT_TRUE(store.Get(1, out, nullptr, 0, nullptr));
+  // The flushed bodies reap as expired.
+  EXPECT_EQ(store.ReapExpired(64, 0), 1u);  // key 2 (key 1 was re-set)
+  EXPECT_EQ(store.Stats().expired_unfetched, 1u);
+}
+
+TEST(Kvs, MutateBumpsCasExceptWhenAskedNotTo) {
+  NativeKvs store(DeferFreeConfig(), LockTopology::Flat(1));
+  std::uint8_t value[kKvsValueBytes];
+  std::uint8_t out[kKvsValueBytes];
+  std::memset(value, 0x44, sizeof(value));
+  store.Set(7, value);
+  std::uint64_t cas0 = 0;
+  ASSERT_TRUE(store.Get(7, out, nullptr, 0, &cas0));
+  EXPECT_GT(cas0, 0u);
+
+  // An applied mutation rewrites the value and bumps the cas.
+  auto status = store.Mutate(
+      7, /*now_s=*/0,
+      [](std::uint8_t* v, std::uint32_t* /*exptime*/, std::uint64_t) {
+        v[0] = 0x55;
+        return true;
+      });
+  EXPECT_EQ(status, NativeKvs::MutateStatus::kApplied);
+  std::uint64_t cas1 = 0;
+  ASSERT_TRUE(store.Get(7, out, nullptr, 0, &cas1));
+  EXPECT_EQ(out[0], 0x55);
+  EXPECT_GT(cas1, cas0);
+
+  // touch-style: bump_cas=false updates metadata without a new cas.
+  status = store.Mutate(
+      7, 0,
+      [](std::uint8_t*, std::uint32_t* exptime, std::uint64_t) {
+        *exptime = 100;
+        return true;
+      },
+      /*bump_cas=*/false);
+  EXPECT_EQ(status, NativeKvs::MutateStatus::kApplied);
+  std::uint64_t cas2 = 0;
+  ASSERT_TRUE(store.Get(7, out, nullptr, 0, &cas2));
+  EXPECT_EQ(cas2, cas1);
+
+  // A declined mutation leaves value and cas alone.
+  status = store.Mutate(
+      7, 0, [](std::uint8_t*, std::uint32_t*, std::uint64_t) { return false; });
+  EXPECT_EQ(status, NativeKvs::MutateStatus::kUnchanged);
+  std::uint64_t cas3 = 0;
+  ASSERT_TRUE(store.Get(7, out, nullptr, 0, &cas3));
+  EXPECT_EQ(out[0], 0x55);
+  EXPECT_EQ(cas3, cas1);
+
+  EXPECT_EQ(store.Mutate(
+                99, 0,
+                [](std::uint8_t*, std::uint32_t*, std::uint64_t) { return true; }),
+            NativeKvs::MutateStatus::kNotFound);
+}
+
+TEST(Kvs, CasUniqueNeverRepeatsAcrossDeleteAndRecreate) {
+  NativeKvs store(DeferFreeConfig(), LockTopology::Flat(1));
+  std::uint8_t value[kKvsValueBytes];
+  std::uint8_t out[kKvsValueBytes];
+  std::memset(value, 0x66, sizeof(value));
+  store.Set(5, value);
+  std::uint64_t cas_before = 0;
+  ASSERT_TRUE(store.Get(5, out, nullptr, 0, &cas_before));
+  // Delete + re-set must mint a FRESH cas (global sequence, no per-item
+  // counter to reset): a client cas armed before the delete must fail.
+  ASSERT_TRUE(store.Delete(5));
+  store.Set(5, value);
+  std::uint64_t cas_after = 0;
+  ASSERT_TRUE(store.Get(5, out, nullptr, 0, &cas_after));
+  EXPECT_NE(cas_after, cas_before);
+  EXPECT_GT(cas_after, cas_before);
+}
+
 TEST(Kvs, StatsCountersTrackOperations) {
   NativeKvs::Config config;
   NativeKvs store(config, LockTopology::Flat(1));

@@ -96,6 +96,57 @@ TEST(Protocol, MultiGetAndNoreplyAndRepeatedSpaces) {
   EXPECT_TRUE(events[3].request.noreply);
 }
 
+TEST(Protocol, ParsesTheMutationCommands) {
+  const auto events = Parse(
+      "cas k 3 60 5 12345\r\nhello\r\n"
+      "cas k 0 0 2 7 noreply\r\nxy\r\n"
+      "incr counter 42\r\n"
+      "decr counter 18446744073709551615\r\n"
+      "incr counter 1 noreply\r\n"
+      "touch k 300\r\n"
+      "touch k 0 noreply\r\n"
+      "flush_all\r\n"
+      "flush_all 0\r\n"
+      "flush_all noreply\r\n"
+      "flush_all 0 noreply\r\n");
+  ASSERT_EQ(events.size(), 11u);
+  EXPECT_EQ(events[0].request.op, Request::Op::kCas);
+  EXPECT_EQ(events[0].request.key, "k");
+  EXPECT_EQ(events[0].request.flags, 3u);
+  EXPECT_EQ(events[0].request.exptime, 60u);
+  EXPECT_EQ(events[0].request.cas_unique, 12345u);
+  EXPECT_EQ(events[0].request.value, "hello");
+  EXPECT_FALSE(events[0].request.noreply);
+  EXPECT_EQ(events[1].request.op, Request::Op::kCas);
+  EXPECT_EQ(events[1].request.cas_unique, 7u);
+  EXPECT_TRUE(events[1].request.noreply);
+  EXPECT_EQ(events[1].request.value, "xy");
+  EXPECT_EQ(events[2].request.op, Request::Op::kIncr);
+  EXPECT_EQ(events[2].request.key, "counter");
+  EXPECT_EQ(events[2].request.delta, 42u);
+  EXPECT_EQ(events[3].request.op, Request::Op::kDecr);
+  EXPECT_EQ(events[3].request.delta, UINT64_MAX);  // full u64 range parses
+  EXPECT_EQ(events[4].request.op, Request::Op::kIncr);
+  EXPECT_TRUE(events[4].request.noreply);
+  EXPECT_EQ(events[5].request.op, Request::Op::kTouch);
+  EXPECT_EQ(events[5].request.exptime, 300u);
+  EXPECT_EQ(events[6].request.op, Request::Op::kTouch);
+  EXPECT_TRUE(events[6].request.noreply);
+  for (std::size_t i = 7; i < 11; ++i) {
+    EXPECT_EQ(events[i].request.op, Request::Op::kFlushAll) << i;
+  }
+  EXPECT_FALSE(events[7].request.noreply);
+  EXPECT_TRUE(events[9].request.noreply);
+  EXPECT_TRUE(events[10].request.noreply);
+}
+
+TEST(Protocol, GetsSetsWantCas) {
+  const auto events = Parse("gets a b\r\nget c\r\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].request.want_cas);
+  EXPECT_FALSE(events[1].request.want_cas);
+}
+
 // The malformed-command table: each wire string must produce exactly one
 // error event with the expected reply prefix, and the parser must stay
 // usable (a valid command afterwards parses).
@@ -147,7 +198,33 @@ INSTANTIATE_TEST_SUITE_P(
                       "CLIENT_ERROR invalid key"},
         MalformedCase{"oversized_set_key",
                       "set " + std::string(kProtoMaxKeyBytes + 1, 'x') + " 0 0 1\r\n",
-                      "CLIENT_ERROR invalid key"}),
+                      "CLIENT_ERROR invalid key"},
+        MalformedCase{"cas_missing_cas_unique", "cas k 0 0 1\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"cas_nonnumeric_cas_unique", "cas k 0 0 1 abc\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"cas_unique_overflows_u64",
+                      "cas k 0 0 1 18446744073709551616\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"incr_missing_delta", "incr k\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"incr_nonnumeric_delta", "incr k abc\r\n",
+                      "CLIENT_ERROR invalid numeric delta argument"},
+        MalformedCase{"incr_negative_delta", "incr k -1\r\n",
+                      "CLIENT_ERROR invalid numeric delta argument"},
+        MalformedCase{"decr_delta_overflows_u64",
+                      "decr k 18446744073709551616\r\n",
+                      "CLIENT_ERROR invalid numeric delta argument"},
+        MalformedCase{"touch_missing_exptime", "touch k\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"touch_nonnumeric_exptime", "touch k abc\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"touch_extra_junk", "touch k 0 0\r\n",
+                      "CLIENT_ERROR bad command"},
+        MalformedCase{"flush_all_nonzero_delay", "flush_all 10\r\n",
+                      "CLIENT_ERROR delayed flush not supported"},
+        MalformedCase{"flush_all_trailing_junk", "flush_all 0 noreply x\r\n",
+                      "CLIENT_ERROR bad command"}),
     [](const ::testing::TestParamInfo<MalformedCase>& info) {
       return info.param.name;
     });

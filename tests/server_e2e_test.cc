@@ -16,6 +16,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -231,14 +232,181 @@ TEST(ServerE2e, PlacedWorkersReportTheirMapAndServe) {
   server.Stop();
 }
 
-// The store never evicts, so the server must refuse new-item sets at the
-// capacity cap (memcached "-M" semantics) instead of letting a key-churning
-// client OOM it.
+// A small raw-socket client: connects, sends a command, reads until the
+// expected terminator (replies may split across recv()s) or a 5s timeout.
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    timeval rcv_timeout{5, 0};
+    (void)setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout,
+                     sizeof(rcv_timeout));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+  }
+  ~RawClient() { ::close(fd_); }
+
+  std::string Exchange(const std::string& wire,
+                       const std::string& terminator = "\r\n") {
+    EXPECT_EQ(::send(fd_, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    std::string reply;
+    char buf[4096];
+    while (reply.find(terminator) == std::string::npos) {
+      const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+      if (r <= 0) {
+        break;
+      }
+      reply.append(buf, static_cast<std::size_t>(r));
+    }
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Extracts "STAT <name> <value>\r\n" from a stats reply; -1 when absent.
+std::int64_t StatValue(const std::string& stats, const std::string& name) {
+  const std::string needle = "STAT " + name + " ";
+  const std::size_t pos = stats.find(needle);
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::strtoll(stats.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+// The full memcached mutation surface over one stock-client session:
+// cas (stored / stale / missing), incr/decr (wrap, clamp-at-zero,
+// non-numeric rejection), touch, flush_all — and the stats counters that
+// audit each of them.
+TEST(ServerE2e, CasIncrDecrTouchFlushAllOverARawSocket) {
+  ServerConfig config;
+  config.workers = 2;
+  config.lock = LockKind::kTicket;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  RawClient c(server.port());
+
+  // cas: gets exposes the token; a matching cas stores, a stale one loses.
+  EXPECT_EQ(c.Exchange("set k 0 0 2\r\nv1\r\n"), "STORED\r\n");
+  const std::string gets = c.Exchange("gets k\r\n", "END\r\n");
+  ASSERT_EQ(gets.rfind("VALUE k 0 2 ", 0), 0u) << gets;
+  const std::uint64_t cas_unique =
+      std::strtoull(gets.c_str() + std::strlen("VALUE k 0 2 "), nullptr, 10);
+  ASSERT_GT(cas_unique, 0u);
+  EXPECT_EQ(c.Exchange("cas k 0 0 2 " + std::to_string(cas_unique) + "\r\nv2\r\n"),
+            "STORED\r\n");
+  // The token is now stale: the same cas must lose with EXISTS.
+  EXPECT_EQ(c.Exchange("cas k 0 0 2 " + std::to_string(cas_unique) + "\r\nv3\r\n"),
+            "EXISTS\r\n");
+  EXPECT_EQ(c.Exchange("get k\r\n", "END\r\n"), "VALUE k 0 2\r\nv2\r\nEND\r\n");
+  EXPECT_EQ(c.Exchange("cas ghost 0 0 1 1\r\nx\r\n"), "NOT_FOUND\r\n");
+
+  // incr/decr: u64 arithmetic on the stored decimal, wrap on incr overflow,
+  // clamp at zero on decr underflow (memcached rules).
+  EXPECT_EQ(c.Exchange("set n 0 0 2\r\n41\r\n"), "STORED\r\n");
+  EXPECT_EQ(c.Exchange("incr n 1\r\n"), "42\r\n");
+  EXPECT_EQ(c.Exchange("decr n 50\r\n"), "0\r\n");
+  EXPECT_EQ(c.Exchange("set big 0 0 20\r\n18446744073709551615\r\n"),
+            "STORED\r\n");
+  EXPECT_EQ(c.Exchange("incr big 2\r\n"), "1\r\n");
+  EXPECT_EQ(c.Exchange("incr k 1\r\n"),
+            "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n");
+  EXPECT_EQ(c.Exchange("incr ghost 1\r\n"), "NOT_FOUND\r\n");
+
+  // touch: exists -> TOUCHED, missing -> NOT_FOUND; exptimes above 30 days
+  // are absolute Unix timestamps, so 2592001 (Jan 31 1970) expires the item
+  // immediately.
+  EXPECT_EQ(c.Exchange("touch n 0\r\n"), "TOUCHED\r\n");
+  EXPECT_EQ(c.Exchange("touch ghost 0\r\n"), "NOT_FOUND\r\n");
+  EXPECT_EQ(c.Exchange("touch n 2592001\r\n"), "TOUCHED\r\n");
+  EXPECT_EQ(c.Exchange("get n\r\n", "END\r\n"), "END\r\n");
+
+  // set with an absolute-past exptime: stored but never served.
+  EXPECT_EQ(c.Exchange("set dead 0 2592001 1\r\nx\r\n"), "STORED\r\n");
+  EXPECT_EQ(c.Exchange("get dead\r\n", "END\r\n"), "END\r\n");
+
+  // flush_all: every live item vanishes at once; re-set revives.
+  EXPECT_EQ(c.Exchange("flush_all\r\n"), "OK\r\n");
+  EXPECT_EQ(c.Exchange("get k\r\n", "END\r\n"), "END\r\n");
+  EXPECT_EQ(c.Exchange("get big\r\n", "END\r\n"), "END\r\n");
+  EXPECT_EQ(c.Exchange("set k 0 0 2\r\nv4\r\n"), "STORED\r\n");
+  EXPECT_EQ(c.Exchange("get k\r\n", "END\r\n"), "VALUE k 0 2\r\nv4\r\nEND\r\n");
+
+  const std::string stats = c.Exchange("stats\r\n", "END\r\n");
+  server.Stop();
+  EXPECT_EQ(StatValue(stats, "cas_hits"), 1);
+  EXPECT_EQ(StatValue(stats, "cas_badval"), 1);
+  EXPECT_EQ(StatValue(stats, "cas_misses"), 1);
+  EXPECT_GE(StatValue(stats, "expired_unfetched"), 0);
+  EXPECT_EQ(StatValue(stats, "evictions"), 0);
+}
+
+// Relative exptimes tick on the real clock: an item set with exptime 1
+// serves immediately and is gone ~1.3s later (lazy expiry on get).
+TEST(ServerE2e, RelativeExptimeExpiresOnTheWallClock) {
+  ServerConfig config;
+  config.workers = 1;
+  config.lock = LockKind::kMutex;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  RawClient c(server.port());
+
+  EXPECT_EQ(c.Exchange("set fleeting 0 1 2\r\nhi\r\n"), "STORED\r\n");
+  EXPECT_EQ(c.Exchange("get fleeting\r\n", "END\r\n"),
+            "VALUE fleeting 0 2\r\nhi\r\nEND\r\n");
+  ::usleep(1300000);  // past the 1s deadline plus coarse-clock slack
+  EXPECT_EQ(c.Exchange("get fleeting\r\n", "END\r\n"), "END\r\n");
+  server.Stop();
+}
+
+// At the item cap the default server behaves like stock memcached: the new
+// set succeeds by evicting the least-recently-used item.
+TEST(ServerE2e, CapacityCapEvictsTheLruItemByDefault) {
+  ServerConfig config;
+  config.workers = 1;
+  config.lock = LockKind::kMutex;
+  config.store.max_items = 4;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  RawClient c(server.port());
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.Exchange("set full" + std::to_string(i) + " 0 0 1\r\nx\r\n"),
+              "STORED\r\n");
+  }
+  // Touch full0 so full1 is the LRU victim.
+  EXPECT_EQ(c.Exchange("get full0\r\n", "END\r\n"),
+            "VALUE full0 0 1\r\nx\r\nEND\r\n");
+  EXPECT_EQ(c.Exchange("set overflow 0 0 1\r\nx\r\n"), "STORED\r\n");
+  EXPECT_EQ(c.Exchange("get full1\r\n", "END\r\n"), "END\r\n");  // evicted
+  EXPECT_EQ(c.Exchange("get full0\r\n", "END\r\n"),
+            "VALUE full0 0 1\r\nx\r\nEND\r\n");
+  EXPECT_EQ(c.Exchange("get overflow\r\n", "END\r\n"),
+            "VALUE overflow 0 1\r\nx\r\nEND\r\n");
+  const std::string stats = c.Exchange("stats\r\n", "END\r\n");
+  server.Stop();
+  EXPECT_GE(StatValue(stats, "evictions"), 1);
+  EXPECT_EQ(StatValue(stats, "curr_items_approx"), 4);
+}
+
+// With eviction disabled (memcached "-M"), the server refuses new-item sets
+// at the capacity cap instead of letting a key-churning client OOM it.
 TEST(ServerE2e, CapacityCapRejectsNewItemsUntilDeletes) {
   ServerConfig config;
   config.workers = 1;
   config.lock = LockKind::kMutex;
   config.store.max_items = 4;
+  config.evict_at_capacity = false;
   KvServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;

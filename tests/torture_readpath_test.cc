@@ -107,6 +107,39 @@ TEST_P(TortureReadPathNativeTest, SshtLockedBaselineSurvivesSameStorm) {
   });
 }
 
+// Eviction + TTL storm: a dedicated evictor drives EvictLru/ReapExpired and
+// the real grace-period free machinery while seqlock readers are live, and
+// every write stamps a TTL (key % 4 == 3 is written pre-expired). Proves the
+// full production-cache path: optimistic Gets never observe a reaped item
+// (ASan would flag the use-after-free; the payload screen flags torn reads),
+// and lazy expiry filters dead items on both read paths.
+TEST_P(TortureReadPathNativeTest, KvsEvictionTtlStormNeverServesReapedItems) {
+  NativeRuntime rt;
+  EvictionStormOptions opts;
+  opts.writers = 2;
+  opts.readers = 2;
+  opts.keys = 32;
+  opts.rounds = kStormRounds;
+  // +1: the evictor also takes a dense thread id (it contends the locks).
+  const LockTopology topo =
+      LockTopology::Flat(opts.writers + opts.readers + 1);
+  WithLockType<NativeMem>(GetParam(), [&]<typename L>() {
+    Kvs<NativeMem, L> kvs(ReadPathKvsConfig<NativeMem, L>(true), topo);
+    EvictionStormOutcome outcome;
+    const TortureReport r =
+        TortureKvsEvictionStorm<NativeRuntime>(rt, kvs, opts, &outcome);
+    EXPECT_TRUE(r.ok()) << r.Summary();
+    const KvsStatsSnapshot stats = kvs.Stats();
+    EXPECT_GT(stats.optimistic_hits, 0u)
+        << "the storm never exercised the lock-free path";
+    EXPECT_GT(outcome.evicted, 0u) << "EvictLru never removed an item";
+    EXPECT_GT(outcome.reclaimed, 0u) << "no retired victim was actually freed";
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.expired_unfetched, 0u)
+        << "no expired item was ever reaped (TTL stamping broken?)";
+  });
+}
+
 // Optimistic reads under the full single-writer atomic-register audit, with
 // removes racing gets — legal because defer_free retires victims. A
 // validated-but-wrong snapshot fails the interval analysis here even if it
