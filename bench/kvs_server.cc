@@ -74,6 +74,14 @@ class KvsServerExperiment final : public Experiment {
         ChoiceParam("lock", "sweep",
                     "store lock algorithm (sweep: all four)",
                     {"sweep", "MUTEX", "TAS", "TICKET", "MCS"}),
+        ChoiceParam("engine", "sweep",
+                    "execution architecture: lock (shared store, the lock "
+                    "algorithm above is the contended resource) | mp (worker-"
+                    "owned key shards, remote ops forwarded over ssmp "
+                    "channels) | sweep (lock rows, then one mp row)",
+                    {"sweep", "lock", "mp"}),
+        IntParam("mp_batch", 1,
+                 "records packed per MP channel message (mp engine)", 1),
         FractionParam("set_fraction", 0.30, "fraction of ops that are sets"),
         FractionParam("delete_fraction", 0.10,
                       "fraction of ops that are deletes"),
@@ -143,12 +151,38 @@ class KvsServerExperiment final : public Experiment {
     } else {
       read_modes = {optimistic_mode == "on"};
     }
+    // One measured row per point. The lock engine sweeps lock x read-mode;
+    // the mp engine owns its key shards outright (no shared store, so no
+    // store lock and no cross-thread read races to go optimistic about) and
+    // contributes a single point per worker count.
+    const std::string& engine_name = ctx.params().Str("engine");
+    const int mp_batch = static_cast<int>(ctx.params().Int("mp_batch"));
+    struct Point {
+      EngineKind engine;
+      LockKind lock;
+      bool optimistic;
+    };
+    std::vector<Point> points;
+    if (engine_name != "mp") {
+      for (const LockKind kind : kinds) {
+        for (const bool optimistic : read_modes) {
+          points.push_back({EngineKind::kLock, kind, optimistic});
+        }
+      }
+    }
+    if (engine_name != "lock") {
+      points.push_back({EngineKind::kMp, kinds.front(), false});
+    }
     for (const int workers : worker_counts) {
       if (pinned_workers == 0 && workers > std::max(2, host_cpus)) {
         continue;  // beyond-host worker counts only measure the scheduler
       }
-      for (const LockKind kind : kinds) {
-        for (const bool optimistic : read_modes) {
+      // Open-loop rate calibrated once per worker count and reused for every
+      // point: the lock and mp rows then face the identical offered traffic,
+      // which is what makes their latency columns comparable.
+      double calibrated_rate_ops = -1.0;
+      for (const Point& point : points) {
+          const bool is_mp = point.engine == EngineKind::kMp;
           // One measured point: a fresh server + one loadgen run under the
           // given arrival discipline. Emits a row (unless emit=false — the
           // silent calibration run open modes use to pick a rate) and
@@ -159,9 +193,11 @@ class KvsServerExperiment final : public Experiment {
             ServerConfig server_config;
             server_config.port = 0;
             server_config.workers = workers;
-            server_config.lock = kind;
+            server_config.engine = point.engine;
+            server_config.mp_batch = mp_batch;
+            server_config.lock = point.lock;
             server_config.placement = placement;
-            server_config.store.optimistic_reads = optimistic;
+            server_config.store.optimistic_reads = point.optimistic;
             KvServer server(server_config);
             std::string error;
             Result r = ctx.NewResult(spec);
@@ -169,12 +205,17 @@ class KvsServerExperiment final : public Experiment {
             // setting, so every row records the mode it actually ran. The
             // numeric rate is a Metric (offered_kops), NOT a Param: baseline
             // rows stay keyed on the discipline, not a machine-dependent
-            // calibrated number.
-            r.Param("lock", ToString(kind))
+            // calibrated number. MP rows record lock=none — the swept store
+            // lock simply does not exist there.
+            r.Param("engine", ToString(point.engine))
+                .Param("lock", is_mp ? "none" : ToString(point.lock))
                 .Param("workers", workers)
                 .Param("connections", conns)
-                .Param("optimistic_reads", optimistic ? "on" : "off")
+                .Param("optimistic_reads", point.optimistic ? "on" : "off")
                 .Param("arrival", arrival_name);
+            if (is_mp) {
+              r.Param("mp_batch", mp_batch);
+            }
             if (!server.Start(&error)) {
               r.Metric("kops", 0.0)
                   .Metric("protocol_errors", 1.0)
@@ -220,6 +261,21 @@ class KvsServerExperiment final : public Experiment {
                 .Metric("optimistic_fallbacks",
                         static_cast<double>(stats.store.optimistic_fallbacks))
                 .Metric("protocol_errors", static_cast<double>(failures));
+            // Engine telemetry: how much of the op stream stayed on the
+            // serving worker's own shard, and the channel economics (zero
+            // across the board on the lock engine).
+            const std::uint64_t shipped =
+                stats.engine.mp_forwards + stats.engine.mp_replies;
+            r.Metric("local_ops", static_cast<double>(stats.engine.local_ops))
+                .Metric("mp_forwards",
+                        static_cast<double>(stats.engine.mp_forwards))
+                .Metric("mp_messages",
+                        static_cast<double>(stats.engine.mp_messages))
+                .Metric("mp_batch_occupancy",
+                        stats.engine.mp_messages > 0
+                            ? static_cast<double>(shipped) /
+                                  static_cast<double>(stats.engine.mp_messages)
+                            : 0.0);
             if (arrival != LoadArrival::kClosed) {
               r.Metric("offered_kops", rate_ops / 1000.0)
                   .Metric("latency_samples",
@@ -253,16 +309,19 @@ class KvsServerExperiment final : public Experiment {
                                             : LoadArrival::kFixedRate;
             double rate_ops = rate_param;
             if (rate_ops <= 0) {
-              // Calibrate: a silent closed run sets the offered load.
-              const double closed_kops =
-                  run_point(LoadArrival::kClosed, "closed", 0.0, false);
-              rate_ops = 0.85 * closed_kops * 1000.0;
+              if (calibrated_rate_ops < 0) {
+                // Calibrate: a silent closed run of the FIRST point sets the
+                // offered load for every point at this worker count.
+                const double closed_kops =
+                    run_point(LoadArrival::kClosed, "closed", 0.0, false);
+                calibrated_rate_ops = 0.85 * closed_kops * 1000.0;
+              }
+              rate_ops = calibrated_rate_ops;
             }
             if (rate_ops > 0) {
               run_point(arrival, arrival_mode.c_str(), rate_ops, true);
             }
           }
-        }
       }
     }
   }

@@ -40,13 +40,24 @@ out="${1:-$repo_root/perf-smoke.json}"
   --platform=opteron,xeon \
   --format=json --out="$out.trace.tmp"
 
-# Read-mostly (5% set / 2% delete) end-to-end serving, pinned to 2 workers:
-# the workload where the store's seqlock read path should pay off. The
-# default optimistic_reads=sweep emits each cell twice, stamped off/on.
+# Read-mostly (5% set / 2% delete) end-to-end serving, pinned to 2 workers
+# on the lock engine: the workload where the store's seqlock read path
+# should pay off. The default optimistic_reads=sweep emits each cell twice,
+# stamped off/on.
 "$build_dir/bench/ssyncbench" kvs_server \
-  --ops=20000 --conns=4 --pipeline=8 --workers=2 \
+  --ops=20000 --conns=4 --pipeline=8 --workers=2 --engine=lock \
   --set_fraction=0.05 --delete_fraction=0.02 --seed=7 \
   --format=json --out="$out.native.tmp"
+
+# The MP execution engine end-to-end: worker-owned key shards, cross-shard
+# ops forwarded over ssmp channels packed 4 records per message. Runner-
+# speed-dependent like every native row (gated on presence + correctness),
+# but mp_forwards/mp_messages in the row prove the forwarding path carried
+# real traffic.
+"$build_dir/bench/ssyncbench" kvs_server \
+  --ops=20000 --conns=4 --pipeline=8 --workers=2 --engine=mp --mp_batch=4 \
+  --set_fraction=0.20 --delete_fraction=0.05 --seed=7 \
+  --format=json --out="$out.mp.tmp"
 
 # Open-loop pair: one TICKET cell run closed then again under Poisson
 # arrivals at 85% of its own measured closed throughput, Zipfian keys with a
@@ -54,13 +65,15 @@ out="${1:-$repo_root/perf-smoke.json}"
 # prove the open-loop machinery end-to-end in CI; the poisson row's
 # latencies include queueing delay, so only its correctness metrics gate.
 "$build_dir/bench/ssyncbench" kvs_server \
-  --ops=20000 --conns=4 --pipeline=8 --workers=2 --lock=TICKET \
+  --ops=20000 --conns=4 --pipeline=8 --workers=2 --lock=TICKET --engine=lock \
   --arrival=sweep --key_dist=zipfian \
   --set_fraction=0.20 --cas_fraction=0.05 --incr_fraction=0.05 \
   --optimistic_reads=on --seed=7 \
   --format=json --out="$out.open.tmp"
 
-cat "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" "$out.open.tmp" > "$out"
-rm -f "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" "$out.open.tmp"
+cat "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" "$out.mp.tmp" \
+  "$out.open.tmp" > "$out"
+rm -f "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" "$out.mp.tmp" \
+  "$out.open.tmp"
 
 echo "perf smoke written to $out" >&2

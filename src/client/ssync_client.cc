@@ -1,0 +1,621 @@
+#include "src/client/ssync_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ssync {
+
+namespace {
+
+constexpr char kCrlf[] = "\r\n";
+
+// Terminal events complete one request; kValue and kStat are interior lines
+// of a get/stats reply.
+bool IsTerminal(ClientEvent::Kind kind) {
+  return kind != ClientEvent::Kind::kValue && kind != ClientEvent::Kind::kStat;
+}
+
+bool ParseU64(const char* s, std::size_t len, std::uint64_t* out) {
+  if (len == 0) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+  }
+  *out = v;
+  return true;
+}
+
+void AppendU64(std::uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Request formatters.
+
+void AppendGetRequest(const std::string* keys, std::size_t n, bool want_cas,
+                      std::string* out) {
+  out->append(want_cas ? "gets" : "get");
+  for (std::size_t i = 0; i < n; ++i) {
+    out->push_back(' ');
+    out->append(keys[i]);
+  }
+  out->append(kCrlf);
+}
+
+void AppendSetRequest(const std::string& key, std::uint32_t flags,
+                      std::uint32_t exptime, const std::string& data,
+                      std::string* out) {
+  out->append("set ");
+  out->append(key);
+  out->push_back(' ');
+  AppendU64(flags, out);
+  out->push_back(' ');
+  AppendU64(exptime, out);
+  out->push_back(' ');
+  AppendU64(data.size(), out);
+  out->append(kCrlf);
+  out->append(data);
+  out->append(kCrlf);
+}
+
+void AppendCasRequest(const std::string& key, std::uint32_t flags,
+                      std::uint32_t exptime, std::uint64_t cas_unique,
+                      const std::string& data, std::string* out) {
+  out->append("cas ");
+  out->append(key);
+  out->push_back(' ');
+  AppendU64(flags, out);
+  out->push_back(' ');
+  AppendU64(exptime, out);
+  out->push_back(' ');
+  AppendU64(data.size(), out);
+  out->push_back(' ');
+  AppendU64(cas_unique, out);
+  out->append(kCrlf);
+  out->append(data);
+  out->append(kCrlf);
+}
+
+void AppendDeleteRequest(const std::string& key, std::string* out) {
+  out->append("delete ");
+  out->append(key);
+  out->append(kCrlf);
+}
+
+void AppendIncrDecrRequest(const std::string& key, std::uint64_t delta,
+                           bool incr, std::string* out) {
+  out->append(incr ? "incr " : "decr ");
+  out->append(key);
+  out->push_back(' ');
+  AppendU64(delta, out);
+  out->append(kCrlf);
+}
+
+void AppendTouchRequest(const std::string& key, std::uint32_t exptime,
+                        std::string* out) {
+  out->append("touch ");
+  out->append(key);
+  out->push_back(' ');
+  AppendU64(exptime, out);
+  out->append(kCrlf);
+}
+
+void AppendFlushAllRequest(std::string* out) { out->append("flush_all\r\n"); }
+void AppendStatsRequest(std::string* out) { out->append("stats\r\n"); }
+void AppendVersionRequest(std::string* out) { out->append("version\r\n"); }
+void AppendQuitRequest(std::string* out) { out->append("quit\r\n"); }
+
+// ---------------------------------------------------------------------------
+// ResponseParser.
+
+ResponseParser::Status ResponseParser::Next(ClientEvent* event) {
+  if (broken_) return Status::kBroken;
+  for (;;) {
+    if (value_pending_) {
+      // The data block is framed by the advertised byte count plus CRLF —
+      // never by line scanning, so values may contain any bytes.
+      if (buf_.size() - pos_ < value_bytes_ + 2) return Status::kNeedMore;
+      if (buf_[pos_ + value_bytes_] != '\r' ||
+          buf_[pos_ + value_bytes_ + 1] != '\n') {
+        broken_ = true;
+        return Status::kBroken;
+      }
+      pending_.data.assign(buf_, pos_, value_bytes_);
+      pos_ += value_bytes_ + 2;
+      value_pending_ = false;
+      *event = std::move(pending_);
+      pending_ = ClientEvent();
+      // Reclaim the consumed prefix once it dominates the buffer.
+      if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return Status::kEvent;
+    }
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl == std::string::npos) return Status::kNeedMore;
+    std::size_t len = nl - pos_;
+    const char* line = buf_.data() + pos_;
+    if (len > 0 && line[len - 1] == '\r') --len;
+    const std::size_t line_start = pos_;
+    pos_ = nl + 1;
+    const Status s = ParseLine(line, len, event);
+    if (s == Status::kBroken) {
+      pos_ = line_start;  // leave the stream where it broke, for diagnosis
+      broken_ = true;
+      return s;
+    }
+    if (s == Status::kEvent) {
+      if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return s;
+    }
+    // kNeedMore from ParseLine means "line consumed, no event yet" — only a
+    // VALUE header does this; loop to try completing its data block.
+  }
+}
+
+ResponseParser::Status ResponseParser::ParseLine(const char* line,
+                                                 std::size_t len,
+                                                 ClientEvent* event) {
+  using Kind = ClientEvent::Kind;
+  const std::string text(line, len);
+  auto simple = [&](Kind kind) {
+    *event = ClientEvent();
+    event->kind = kind;
+    return Status::kEvent;
+  };
+  if (text.compare(0, 6, "VALUE ") == 0) {
+    // VALUE <key> <flags> <bytes> [<cas>]
+    std::uint64_t fields[3] = {0, 0, 0};
+    std::size_t sp1 = text.find(' ', 6);
+    if (sp1 == std::string::npos) return Status::kBroken;
+    std::size_t field_start = sp1 + 1;
+    int nfields = 0;
+    while (nfields < 3 && field_start <= text.size()) {
+      std::size_t sp = text.find(' ', field_start);
+      const std::size_t end = (sp == std::string::npos) ? text.size() : sp;
+      if (!ParseU64(text.data() + field_start, end - field_start,
+                    &fields[nfields])) {
+        return Status::kBroken;
+      }
+      ++nfields;
+      if (sp == std::string::npos) break;
+      field_start = sp + 1;
+    }
+    if (nfields < 2) return Status::kBroken;
+    pending_ = ClientEvent();
+    pending_.kind = Kind::kValue;
+    pending_.key.assign(text, 6, sp1 - 6);
+    pending_.flags = static_cast<std::uint32_t>(fields[0]);
+    pending_.has_cas = nfields == 3;
+    pending_.cas = pending_.has_cas ? fields[2] : 0;
+    value_pending_ = true;
+    value_bytes_ = static_cast<std::size_t>(fields[1]);
+    return Status::kNeedMore;
+  }
+  if (text == "END") return simple(Kind::kEnd);
+  if (text == "STORED") return simple(Kind::kStored);
+  if (text == "EXISTS") return simple(Kind::kExists);
+  if (text == "NOT_FOUND") return simple(Kind::kNotFound);
+  if (text == "DELETED") return simple(Kind::kDeleted);
+  if (text == "TOUCHED") return simple(Kind::kTouched);
+  if (text == "OK") return simple(Kind::kOk);
+  if (text.compare(0, 5, "STAT ") == 0) {
+    const std::size_t sp = text.find(' ', 5);
+    if (sp == std::string::npos) return Status::kBroken;
+    *event = ClientEvent();
+    event->kind = Kind::kStat;
+    event->key.assign(text, 5, sp - 5);
+    event->data.assign(text, sp + 1, std::string::npos);
+    return Status::kEvent;
+  }
+  if (text.compare(0, 8, "VERSION ") == 0) {
+    *event = ClientEvent();
+    event->kind = Kind::kVersion;
+    event->data.assign(text, 8, std::string::npos);
+    return Status::kEvent;
+  }
+  std::uint64_t number = 0;
+  if (ParseU64(line, len, &number)) {
+    *event = ClientEvent();
+    event->kind = Kind::kNumber;
+    event->number = number;
+    return Status::kEvent;
+  }
+  if (text == "ERROR" || text.compare(0, 13, "CLIENT_ERROR ") == 0 ||
+      text.compare(0, 13, "SERVER_ERROR ") == 0) {
+    *event = ClientEvent();
+    event->kind = Kind::kError;
+    event->data = text;
+    return Status::kEvent;
+  }
+  return Status::kBroken;
+}
+
+// ---------------------------------------------------------------------------
+// SsyncClient.
+
+SsyncClient::~SsyncClient() { Close(); }
+
+SsyncClient::SsyncClient(SsyncClient&& other) noexcept
+    : fd_(other.fd_),
+      parser_(std::move(other.parser_)),
+      queued_(std::move(other.queued_)),
+      queued_terminals_(other.queued_terminals_),
+      last_error_(std::move(other.last_error_)) {
+  other.fd_ = -1;
+  other.queued_terminals_ = 0;
+}
+
+SsyncClient& SsyncClient::operator=(SsyncClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    parser_ = std::move(other.parser_);
+    queued_ = std::move(other.queued_);
+    queued_terminals_ = other.queued_terminals_;
+    last_error_ = std::move(other.last_error_);
+    other.fd_ = -1;
+    other.queued_terminals_ = 0;
+  }
+  return *this;
+}
+
+bool SsyncClient::Connect(const std::string& host, std::uint16_t port,
+                          std::string* error, int recv_timeout_s) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad address: " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = "connect: " + std::string(strerror(errno));
+    Close();
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = recv_timeout_s;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  parser_ = ResponseParser();
+  queued_.clear();
+  queued_terminals_ = 0;
+  last_error_.clear();
+  return true;
+}
+
+void SsyncClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SsyncClient::Fail(const std::string& why) {
+  last_error_ = why;
+  return false;
+}
+
+bool SsyncClient::SendAll(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return Fail("send: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SsyncClient::ReadEvents(std::size_t terminals,
+                             std::vector<ClientEvent>* events) {
+  std::size_t seen = 0;
+  char chunk[4096];
+  while (seen < terminals) {
+    ClientEvent event;
+    const ResponseParser::Status s = parser_.Next(&event);
+    if (s == ResponseParser::Status::kBroken) {
+      return Fail("protocol framing violation from server");
+    }
+    if (s == ResponseParser::Status::kEvent) {
+      if (IsTerminal(event.kind)) ++seen;
+      if (events != nullptr) events->push_back(std::move(event));
+      continue;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Fail("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail("recv: " + std::string(strerror(errno)));
+    }
+    parser_.Feed(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool SsyncClient::Set(const std::string& key, const std::string& data,
+                      std::uint32_t flags, std::uint32_t exptime) {
+  last_error_.clear();
+  std::string req;
+  AppendSetRequest(key, flags, exptime, data, &req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  const ClientEvent& e = events.back();
+  if (e.kind == ClientEvent::Kind::kStored) return true;
+  if (e.kind == ClientEvent::Kind::kError) return Fail(e.data);
+  return Fail("unexpected reply to set");
+}
+
+SsyncClient::CasStatus SsyncClient::Cas(const std::string& key,
+                                        const std::string& data,
+                                        std::uint64_t cas_unique,
+                                        std::uint32_t flags,
+                                        std::uint32_t exptime) {
+  last_error_.clear();
+  std::string req;
+  AppendCasRequest(key, flags, exptime, cas_unique, data, &req);
+  if (!SendAll(req)) return CasStatus::kFailed;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return CasStatus::kFailed;
+  switch (events.back().kind) {
+    case ClientEvent::Kind::kStored:
+      return CasStatus::kStored;
+    case ClientEvent::Kind::kExists:
+      return CasStatus::kExists;
+    case ClientEvent::Kind::kNotFound:
+      return CasStatus::kNotFound;
+    case ClientEvent::Kind::kError:
+      Fail(events.back().data);
+      return CasStatus::kFailed;
+    default:
+      Fail("unexpected reply to cas");
+      return CasStatus::kFailed;
+  }
+}
+
+bool SsyncClient::Get(const std::string& key, ClientValue* value) {
+  std::vector<std::string> keys{key};
+  std::vector<ClientValue> values;
+  if (!GetMulti(keys, /*want_cas=*/false, &values)) return false;
+  *value = std::move(values[0]);
+  return value->found;
+}
+
+bool SsyncClient::Gets(const std::string& key, ClientValue* value) {
+  std::vector<std::string> keys{key};
+  std::vector<ClientValue> values;
+  if (!GetMulti(keys, /*want_cas=*/true, &values)) return false;
+  *value = std::move(values[0]);
+  return value->found;
+}
+
+bool SsyncClient::GetMulti(const std::vector<std::string>& keys, bool want_cas,
+                           std::vector<ClientValue>* values) {
+  last_error_.clear();
+  values->assign(keys.size(), ClientValue());
+  std::string req;
+  AppendGetRequest(keys.data(), keys.size(), want_cas, &req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  if (events.back().kind == ClientEvent::Kind::kError) {
+    return Fail(events.back().data);
+  }
+  if (events.back().kind != ClientEvent::Kind::kEnd) {
+    return Fail("unexpected reply to get");
+  }
+  for (const ClientEvent& e : events) {
+    if (e.kind != ClientEvent::Kind::kValue) continue;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] != e.key) continue;
+      ClientValue& v = (*values)[i];
+      v.found = true;
+      v.flags = e.flags;
+      v.cas = e.cas;
+      v.data = e.data;
+      break;
+    }
+  }
+  return true;
+}
+
+bool SsyncClient::Delete(const std::string& key) {
+  last_error_.clear();
+  std::string req;
+  AppendDeleteRequest(key, &req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  const ClientEvent& e = events.back();
+  if (e.kind == ClientEvent::Kind::kDeleted) return true;
+  if (e.kind == ClientEvent::Kind::kNotFound) return false;
+  if (e.kind == ClientEvent::Kind::kError) return Fail(e.data);
+  return Fail("unexpected reply to delete");
+}
+
+bool SsyncClient::Incr(const std::string& key, std::uint64_t delta,
+                       std::uint64_t* new_value) {
+  last_error_.clear();
+  std::string req;
+  AppendIncrDecrRequest(key, delta, /*incr=*/true, &req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  const ClientEvent& e = events.back();
+  if (e.kind == ClientEvent::Kind::kNumber) {
+    if (new_value != nullptr) *new_value = e.number;
+    return true;
+  }
+  if (e.kind == ClientEvent::Kind::kError) return Fail(e.data);
+  return false;  // NOT_FOUND
+}
+
+bool SsyncClient::Decr(const std::string& key, std::uint64_t delta,
+                       std::uint64_t* new_value) {
+  last_error_.clear();
+  std::string req;
+  AppendIncrDecrRequest(key, delta, /*incr=*/false, &req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  const ClientEvent& e = events.back();
+  if (e.kind == ClientEvent::Kind::kNumber) {
+    if (new_value != nullptr) *new_value = e.number;
+    return true;
+  }
+  if (e.kind == ClientEvent::Kind::kError) return Fail(e.data);
+  return false;  // NOT_FOUND
+}
+
+bool SsyncClient::Touch(const std::string& key, std::uint32_t exptime) {
+  last_error_.clear();
+  std::string req;
+  AppendTouchRequest(key, exptime, &req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  const ClientEvent& e = events.back();
+  if (e.kind == ClientEvent::Kind::kTouched) return true;
+  if (e.kind == ClientEvent::Kind::kError) return Fail(e.data);
+  return false;  // NOT_FOUND
+}
+
+bool SsyncClient::FlushAll() {
+  last_error_.clear();
+  std::string req;
+  AppendFlushAllRequest(&req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  if (events.back().kind == ClientEvent::Kind::kOk) return true;
+  if (events.back().kind == ClientEvent::Kind::kError) {
+    return Fail(events.back().data);
+  }
+  return Fail("unexpected reply to flush_all");
+}
+
+bool SsyncClient::Stats(
+    std::unordered_map<std::string, std::string>* stats) {
+  last_error_.clear();
+  stats->clear();
+  std::string req;
+  AppendStatsRequest(&req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  if (events.back().kind != ClientEvent::Kind::kEnd) {
+    return Fail("unexpected reply to stats");
+  }
+  for (ClientEvent& e : events) {
+    if (e.kind == ClientEvent::Kind::kStat) {
+      (*stats)[std::move(e.key)] = std::move(e.data);
+    }
+  }
+  return true;
+}
+
+bool SsyncClient::Version(std::string* text) {
+  last_error_.clear();
+  std::string req;
+  AppendVersionRequest(&req);
+  if (!SendAll(req)) return false;
+  std::vector<ClientEvent> events;
+  if (!ReadEvents(1, &events)) return false;
+  if (events.back().kind != ClientEvent::Kind::kVersion) {
+    return Fail("unexpected reply to version");
+  }
+  if (text != nullptr) *text = std::move(events.back().data);
+  return true;
+}
+
+bool SsyncClient::Quit() {
+  last_error_.clear();
+  std::string req;
+  AppendQuitRequest(&req);
+  return SendAll(req);
+}
+
+bool SsyncClient::WaitPeerClose() {
+  char chunk[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return true;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail("recv while awaiting close: " + std::string(strerror(errno)));
+    }
+    // The server may still flush replies queued before quit; discard them.
+  }
+}
+
+void SsyncClient::QueueGet(const std::string* keys, std::size_t n,
+                           bool want_cas) {
+  AppendGetRequest(keys, n, want_cas, &queued_);
+  ++queued_terminals_;
+}
+
+void SsyncClient::QueueSet(const std::string& key, const std::string& data,
+                           std::uint32_t flags, std::uint32_t exptime) {
+  AppendSetRequest(key, flags, exptime, data, &queued_);
+  ++queued_terminals_;
+}
+
+void SsyncClient::QueueDelete(const std::string& key) {
+  AppendDeleteRequest(key, &queued_);
+  ++queued_terminals_;
+}
+
+bool SsyncClient::Drain(std::vector<ClientEvent>* events) {
+  last_error_.clear();
+  const std::size_t terminals = queued_terminals_;
+  std::string out = std::move(queued_);
+  queued_.clear();
+  queued_terminals_ = 0;
+  if (terminals == 0) return true;
+  if (!SendAll(out)) return false;
+  return ReadEvents(terminals, events);
+}
+
+std::int64_t StatInt(
+    const std::unordered_map<std::string, std::string>& stats,
+    const std::string& name) {
+  const auto it = stats.find(name);
+  if (it == stats.end()) return -1;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || errno != 0) return -1;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace ssync

@@ -1,0 +1,195 @@
+// Thin memcached-text-protocol client for ssyncd — the supported way to
+// script the server from tests and tools. Three layers, each usable on its
+// own:
+//
+//   * Request formatters: append one wire-format request to a caller-owned
+//     buffer. Pure string building, no I/O — callers that own their event
+//     loop (ssyncload) pipeline by concatenating.
+//   * ResponseParser: an incremental, binary-safe parser turning a byte
+//     stream into typed ClientEvents (VALUE blocks are framed by their byte
+//     count, never by line scanning, so values may contain \r\n).
+//   * SsyncClient: a blocking socket session with one call per protocol op
+//     (Get/Set/Cas/Incr/Touch/Stats/...), plus Queue*/Drain pipelined
+//     variants that batch many requests into one round trip.
+//
+// The library deliberately depends only on src/util — it is a client, not a
+// window into server internals.
+#ifndef SRC_CLIENT_SSYNC_CLIENT_H_
+#define SRC_CLIENT_SSYNC_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ssync {
+
+// ---------------------------------------------------------------------------
+// Request formatters. Each appends exactly one request to *out.
+
+void AppendGetRequest(const std::string* keys, std::size_t n, bool want_cas,
+                      std::string* out);
+void AppendSetRequest(const std::string& key, std::uint32_t flags,
+                      std::uint32_t exptime, const std::string& data,
+                      std::string* out);
+void AppendCasRequest(const std::string& key, std::uint32_t flags,
+                      std::uint32_t exptime, std::uint64_t cas_unique,
+                      const std::string& data, std::string* out);
+void AppendDeleteRequest(const std::string& key, std::string* out);
+// incr == true formats "incr", false "decr".
+void AppendIncrDecrRequest(const std::string& key, std::uint64_t delta,
+                           bool incr, std::string* out);
+void AppendTouchRequest(const std::string& key, std::uint32_t exptime,
+                        std::string* out);
+void AppendFlushAllRequest(std::string* out);
+void AppendStatsRequest(std::string* out);
+void AppendVersionRequest(std::string* out);
+void AppendQuitRequest(std::string* out);
+
+// ---------------------------------------------------------------------------
+// One parsed server reply event.
+
+struct ClientEvent {
+  enum class Kind {
+    kValue,     // one VALUE header + data block (a get hit)
+    kEnd,       // END — terminates a get/gets or stats reply
+    kStored,    // STORED
+    kExists,    // EXISTS (cas conflict)
+    kNotFound,  // NOT_FOUND
+    kDeleted,   // DELETED
+    kTouched,   // TOUCHED
+    kOk,        // OK (flush_all)
+    kNumber,    // incr/decr success: the bare new value
+    kStat,      // STAT <name> <value>
+    kVersion,   // VERSION <text>
+    kError,     // ERROR / CLIENT_ERROR ... / SERVER_ERROR ...
+  };
+  Kind kind = Kind::kEnd;
+  std::string key;           // kValue: the key; kStat: the stat name
+  std::uint32_t flags = 0;   // kValue
+  bool has_cas = false;      // kValue: header carried a cas unique (gets)
+  std::uint64_t cas = 0;     // kValue when has_cas
+  std::uint64_t number = 0;  // kNumber
+  // kValue: the data block (binary-safe); kStat: the value; kVersion: the
+  // text after "VERSION "; kError: the full error line.
+  std::string data;
+};
+
+// Incremental parser: Feed() bytes as they arrive, then pull events with
+// Next() until it reports kNeedMore. A framing violation (bad VALUE header,
+// missing CRLF after a data block, unknown line) latches kBroken — the
+// stream has lost sync and the connection should be dropped.
+class ResponseParser {
+ public:
+  enum class Status { kNeedMore, kEvent, kBroken };
+
+  void Feed(const char* data, std::size_t len) { buf_.append(data, len); }
+  Status Next(ClientEvent* event);
+  bool broken() const { return broken_; }
+
+  // Bytes buffered but not yet consumed by Next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Status ParseLine(const char* line, std::size_t len, ClientEvent* event);
+
+  std::string buf_;
+  std::size_t pos_ = 0;       // consumed prefix of buf_
+  bool value_pending_ = false;  // VALUE header seen, data block incomplete
+  std::size_t value_bytes_ = 0;
+  ClientEvent pending_;  // the partially built kValue event
+  bool broken_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Blocking client session.
+
+// The result of one key lookup.
+struct ClientValue {
+  bool found = false;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;  // populated by Gets/GetMulti(want_cas)
+  std::string data;
+};
+
+class SsyncClient {
+ public:
+  SsyncClient() = default;
+  ~SsyncClient();
+
+  SsyncClient(const SsyncClient&) = delete;
+  SsyncClient& operator=(const SsyncClient&) = delete;
+  SsyncClient(SsyncClient&& other) noexcept;
+  SsyncClient& operator=(SsyncClient&& other) noexcept;
+
+  // Connects with a receive timeout so a wedged server fails the test
+  // instead of hanging it. Returns false and fills *error on failure.
+  bool Connect(const std::string& host, std::uint16_t port, std::string* error,
+               int recv_timeout_s = 5);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Blocking ops — each issues one request and waits for its full reply.
+  // "false" means miss/conflict or transport/protocol failure; a transport
+  // or server-error failure leaves the reason in last_error() (a clean miss
+  // leaves it empty).
+  bool Set(const std::string& key, const std::string& data,
+           std::uint32_t flags = 0, std::uint32_t exptime = 0);
+  enum class CasStatus { kStored, kExists, kNotFound, kFailed };
+  CasStatus Cas(const std::string& key, const std::string& data,
+                std::uint64_t cas_unique, std::uint32_t flags = 0,
+                std::uint32_t exptime = 0);
+  bool Get(const std::string& key, ClientValue* value);
+  bool Gets(const std::string& key, ClientValue* value);  // fills value->cas
+  // One multi-get; *values gets one entry per key, in key order. Returns
+  // false only on transport/protocol failure.
+  bool GetMulti(const std::vector<std::string>& keys, bool want_cas,
+                std::vector<ClientValue>* values);
+  bool Delete(const std::string& key);
+  bool Incr(const std::string& key, std::uint64_t delta,
+            std::uint64_t* new_value);
+  bool Decr(const std::string& key, std::uint64_t delta,
+            std::uint64_t* new_value);
+  bool Touch(const std::string& key, std::uint32_t exptime);
+  bool FlushAll();
+  bool Stats(std::unordered_map<std::string, std::string>* stats);
+  bool Version(std::string* text);
+  // Sends quit. The server closes its side; WaitPeerClose() observes that.
+  bool Quit();
+  bool WaitPeerClose();
+
+  // Pipelined variants: Queue* only append to the output buffer; Drain()
+  // writes everything and blocks until every queued reply arrived, appending
+  // the raw event stream to *events (pass nullptr to discard). One terminal
+  // event (END / STORED / ... / ERROR) is expected per queued request.
+  void QueueGet(const std::string* keys, std::size_t n, bool want_cas);
+  void QueueSet(const std::string& key, const std::string& data,
+                std::uint32_t flags = 0, std::uint32_t exptime = 0);
+  void QueueDelete(const std::string& key);
+  bool Drain(std::vector<ClientEvent>* events);
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  bool SendAll(const std::string& bytes);
+  // Reads until `terminals` terminal events arrived (or failure).
+  bool ReadEvents(std::size_t terminals, std::vector<ClientEvent>* events);
+  bool Fail(const std::string& why);
+
+  int fd_ = -1;
+  ResponseParser parser_;
+  std::string queued_;         // pipelined requests not yet written
+  std::size_t queued_terminals_ = 0;
+  std::string last_error_;
+};
+
+// Convenience for tests: the named stat as an integer, -1 when absent or
+// non-numeric.
+std::int64_t StatInt(
+    const std::unordered_map<std::string, std::string>& stats,
+    const std::string& name);
+
+}  // namespace ssync
+
+#endif  // SRC_CLIENT_SSYNC_CLIENT_H_

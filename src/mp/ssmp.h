@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "src/core/mem_sim.h"
@@ -39,7 +40,12 @@ struct MpHardware {
 };
 }  // namespace internal
 
-template <typename Mem>
+// Msg must expose `static constexpr int kWords` and a `std::uint64_t
+// w[kWords]` payload. The default MpMessage fills exactly one cache line
+// (flag + 4 words); wider message types round the channel buffer up to a
+// whole number of lines, modeling a multi-line transfer per message. The
+// hardware (iMesh) backend only supports the canonical MpMessage.
+template <typename Mem, typename Msg = MpMessage>
 class SsmpComm {
  public:
   // n participants with dense thread ids [0, n). use_hw selects the hardware
@@ -49,15 +55,16 @@ class SsmpComm {
         use_hw_(use_hw),
         buffers_(static_cast<std::size_t>(n) * n),
         tx_seq_(static_cast<std::size_t>(n) * n, 1),
-        rx_seq_(static_cast<std::size_t>(n) * n, 1) {}
+        rx_seq_(static_cast<std::size_t>(n) * n, 1),
+        scan_(static_cast<std::size_t>(n)) {}
 
   int participants() const { return n_; }
   bool use_hw() const { return use_hw_; }
 
-  void Send(int to, const MpMessage& msg) {
+  void Send(int to, const Msg& msg) {
     const int from = Mem::ThreadId();
     if (use_hw_) {
-      internal::MpHardware<Mem>::Send(to, msg);
+      HwSend(to, msg);
       return;
     }
     Buffer& b = buffer(from, to);
@@ -72,9 +79,28 @@ class SsmpComm {
     b.flag.Store(1);
   }
 
-  bool TryRecv(int from, MpMessage* msg) {
+  // Non-blocking Send: false when the receiver has not yet consumed the
+  // previous message on this channel. Lets an event-loop caller (the MP
+  // execution engine) queue outbound work host-side instead of stalling.
+  bool TrySend(int to, const Msg& msg) {
+    const int from = Mem::ThreadId();
     if (use_hw_) {
-      return internal::MpHardware<Mem>::TryRecv(from, msg);
+      HwSend(to, msg);  // hardware queues internally
+      return true;
+    }
+    Buffer& b = buffer(from, to);
+    if (b.flag.LoadPoll() != 0) {
+      return false;
+    }
+    std::memcpy(b.payload, msg.w, sizeof(msg.w));
+    Mem::FullFence();
+    b.flag.Store(1);
+    return true;
+  }
+
+  bool TryRecv(int from, Msg* msg) {
+    if (use_hw_) {
+      return HwTryRecv(from, msg);
     }
     const int to = Mem::ThreadId();
     Buffer& b = buffer(from, to);
@@ -91,7 +117,7 @@ class SsmpComm {
     return true;
   }
 
-  void Recv(int from, MpMessage* msg) {
+  void Recv(int from, Msg* msg) {
     while (!TryRecv(from, msg)) {
       Mem::Pause(16);
     }
@@ -111,10 +137,10 @@ class SsmpComm {
   // cache line", and a round trip costs four transfers (Section 6.2). This
   // is the kind of protocol tailoring the paper applies in libssmp.
 
-  void SendRt(int to, const MpMessage& msg) {
+  void SendRt(int to, const Msg& msg) {
     const int from = Mem::ThreadId();
     if (use_hw_) {
-      internal::MpHardware<Mem>::Send(to, msg);
+      HwSend(to, msg);
       return;
     }
     Buffer& b = buffer(from, to);
@@ -126,9 +152,9 @@ class SsmpComm {
     seq = OtherParity(seq);
   }
 
-  bool TryRecvRt(int from, MpMessage* msg) {
+  bool TryRecvRt(int from, Msg* msg) {
     if (use_hw_) {
-      return internal::MpHardware<Mem>::TryRecv(from, msg);
+      return HwTryRecv(from, msg);
     }
     const int to = Mem::ThreadId();
     Buffer& b = buffer(from, to);
@@ -142,7 +168,7 @@ class SsmpComm {
     return true;
   }
 
-  void RecvRt(int from, MpMessage* msg) {
+  void RecvRt(int from, Msg* msg) {
     while (!TryRecvRt(from, msg)) {
       Mem::Pause(16);
     }
@@ -166,26 +192,58 @@ class SsmpComm {
 
   // Receives from any of [first_from, last_from]; returns the sender id.
   // Round-robin scan for fairness, resuming after the last served sender.
-  int RecvFromAny(MpMessage* msg, int first_from, int last_from) {
-    const int span = last_from - first_from + 1;
+  // The rotation cursor is per RECEIVER (not shared across the comm): with a
+  // single shared cursor, concurrent receivers race on it and one receiver's
+  // progress can repeatedly reset another's scan position to just past its
+  // own favorite sender, starving high-numbered peers.
+  int RecvFromAny(Msg* msg, int first_from, int last_from) {
     for (;;) {
-      for (int i = 0; i < span; ++i) {
-        const int from = first_from + (scan_ + i) % span;
-        if (TryRecv(from, msg)) {
-          scan_ = (scan_ + i + 1) % span;
-          return from;
-        }
+      const int from = TryRecvFromAny(msg, first_from, last_from);
+      if (from >= 0) {
+        return from;
       }
       Mem::Pause(8);
     }
   }
 
+  // One fair scan over [first_from, last_from]; returns the sender id, or -1
+  // when no channel had a message pending.
+  int TryRecvFromAny(Msg* msg, int first_from, int last_from) {
+    const int span = last_from - first_from + 1;
+    int& cursor = scan_[static_cast<std::size_t>(Mem::ThreadId())].next;
+    for (int i = 0; i < span; ++i) {
+      const int from = first_from + (cursor + i) % span;
+      if (TryRecv(from, msg)) {
+        cursor = (cursor + i + 1) % span;
+        return from;
+      }
+    }
+    return -1;
+  }
+
  private:
   struct alignas(kCacheLineSize) Buffer {
     typename Mem::template Atomic<std::uint8_t> flag{0};
-    std::uint8_t payload[sizeof(std::uint64_t) * MpMessage::kWords] = {};
+    std::uint8_t payload[sizeof(std::uint64_t) * Msg::kWords] = {};
   };
-  static_assert(sizeof(Buffer) == kCacheLineSize);
+  static_assert(sizeof(Buffer) % kCacheLineSize == 0);
+
+  void HwSend(int to, const Msg& msg) {
+    if constexpr (std::is_same_v<Msg, MpMessage>) {
+      internal::MpHardware<Mem>::Send(to, msg);
+    } else {
+      SSYNC_CHECK(false);  // iMesh backend speaks MpMessage only
+    }
+  }
+
+  bool HwTryRecv(int from, Msg* msg) {
+    if constexpr (std::is_same_v<Msg, MpMessage>) {
+      return internal::MpHardware<Mem>::TryRecv(from, msg);
+    } else {
+      SSYNC_CHECK(false);
+      return false;
+    }
+  }
 
   Buffer& buffer(int from, int to) {
     SSYNC_DCHECK(from >= 0 && from < n_ && to >= 0 && to < n_);
@@ -198,6 +256,12 @@ class SsmpComm {
 
   static std::uint8_t OtherParity(std::uint8_t seq) { return seq == 1 ? 2 : 1; }
 
+  // Per-receiver RecvFromAny cursor, padded so two receivers' cursors never
+  // share a line (they are host-side bookkeeping, not simulated state).
+  struct alignas(kCacheLineSize) ScanState {
+    int next = 0;
+  };
+
   int n_;
   bool use_hw_;
   std::vector<Buffer> buffers_;
@@ -206,7 +270,7 @@ class SsmpComm {
   // implementation's per-connection state in thread-local storage.
   std::vector<std::uint8_t> tx_seq_;
   std::vector<std::uint8_t> rx_seq_;
-  int scan_ = 0;
+  std::vector<ScanState> scan_;
 };
 
 namespace internal {

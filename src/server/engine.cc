@@ -1,0 +1,763 @@
+#include "src/server/engine.h"
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/mem_native.h"
+#include "src/mp/ssmp.h"
+#include "src/util/cacheline.h"
+#include "src/util/check.h"
+
+namespace ssync {
+
+const char* ToString(EngineKind kind) {
+  return kind == EngineKind::kLock ? "lock" : "mp";
+}
+
+bool EngineKindFromString(const std::string& name, EngineKind* out) {
+  if (name == "lock") {
+    *out = EngineKind::kLock;
+    return true;
+  }
+  if (name == "mp") {
+    *out = EngineKind::kMp;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Applies one already-normalized op to a store. `scope` supplies the
+// engine-specific capacity accounting (global atomic count on the lock
+// engine, per-shard single-owner count on MP).
+template <typename Scope>
+void ApplyStoreOp(Scope& scope, KvStore& store, const StoreOp& op,
+                  StoreOpResult* r) {
+  r->completed = true;
+  switch (op.kind) {
+    case StoreOp::Kind::kGet: {
+      bool found = false;
+      store.GetMulti(&op.key, 1, r->value, &found, op.now_s, &r->cas);
+      r->found = found;
+      break;
+    }
+    case StoreOp::Kind::kSet: {
+      if (!scope.EnsureCapacity(op.now_s)) {
+        r->rejected = true;
+        break;
+      }
+      if (store.Set(op.key, op.value, op.exptime)) {
+        scope.ItemCreated();
+      }
+      break;
+    }
+    case StoreOp::Kind::kDelete: {
+      r->found = store.Delete(op.key);
+      if (r->found) {
+        scope.ItemsRemoved(1);
+      }
+      break;
+    }
+    case StoreOp::Kind::kCas:
+      r->cas_outcome =
+          store.Cas(op.key, op.value, op.exptime, op.cas_expected, op.now_s);
+      break;
+    case StoreOp::Kind::kIncr:
+    case StoreOp::Kind::kDecr:
+      r->counter_outcome =
+          store.IncrDecr(op.key, op.delta, op.kind == StoreOp::Kind::kIncr,
+                         op.now_s, &r->new_value);
+      break;
+    case StoreOp::Kind::kTouch:
+      r->found = store.Touch(op.key, op.exptime, op.now_s);
+      break;
+    case StoreOp::Kind::kFlushAll:
+      store.FlushAll();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LockEngine: the shared-store direct-call path, verbatim.
+// ---------------------------------------------------------------------------
+
+class LockEngine final : public ExecutionEngine {
+ public:
+  LockEngine(const EngineConfig& config, const LockTopology& topo)
+      : config_(config), store_(MakeKvStore(config.lock, config.store, topo)) {}
+
+  EngineKind kind() const override { return EngineKind::kLock; }
+  void SetCompletion(int, CompletionFn) override {}  // every op is synchronous
+
+  bool Execute(int, const StoreOp& op, StoreOpResult* result,
+               std::uint64_t) override {
+    ApplyStoreOp(*this, *store_, op, result);
+    local_ops_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t ExecuteGetMulti(int, const std::uint64_t* keys, std::size_t n,
+                              bool, std::uint64_t now_s, StoreOpResult* results,
+                              std::uint64_t) override {
+    SSYNC_DCHECK(n <= kProtoMaxGetKeys);
+    std::uint8_t values[kProtoMaxGetKeys * kKvsValueBytes];
+    bool found[kProtoMaxGetKeys];
+    std::uint64_t cas[kProtoMaxGetKeys];
+    store_->GetMulti(keys, n, values, found, now_s, cas);
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i].completed = true;
+      results[i].found = found[i];
+      results[i].cas = cas[i];
+      if (found[i]) {
+        std::memcpy(results[i].value, values + i * kKvsValueBytes,
+                    kKvsValueBytes);
+      }
+    }
+    local_ops_.fetch_add(n, std::memory_order_relaxed);
+    return 0;
+  }
+
+  bool Pump(int) override { return false; }
+
+  void Maintain(int worker) override {
+    // TTL/flush reaper: periodically sweep a bounded slice of the LRU cold
+    // end for dead items. Rate-limited by loop pass so a busy server doesn't
+    // take the LRU lock every batch; an idle server reaps within a few epoll
+    // timeouts. Worker 0 only (`pass_` is effectively single-owner).
+    if (worker != 0 || (pass_++ & 0xf) != 0) {
+      return;
+    }
+    const std::size_t reaped = store_->ReapExpired(64, WallSeconds());
+    if (reaped > 0) {
+      curr_items_.fetch_sub(static_cast<std::int64_t>(reaped),
+                            std::memory_order_relaxed);
+    }
+  }
+
+  KvStore* SharedStore() override { return store_.get(); }
+  void DrainOnStop(int) override {}
+
+  void FinalDrain() override {
+    // Workers are joined (fully quiescent): drain the reclamation pipeline —
+    // a possibly-sealed batch first, then whatever was still retired.
+    // BeginReclaim acquires the LRU lock, and the queue locks index their
+    // per-thread nodes by Mem::ThreadId() — the caller's thread has no
+    // registered id, so borrow worker 0's (its owner is joined).
+    const int saved_tid = internal::g_native_thread_id;
+    internal::g_native_thread_id = 0;
+    store_->FinishReclaim();
+    store_->BeginReclaim();
+    store_->FinishReclaim();
+    internal::g_native_thread_id = saved_tid;
+  }
+
+  std::uint64_t CurrItems() const override {
+    const std::int64_t items = curr_items_.load(std::memory_order_relaxed);
+    return items > 0 ? static_cast<std::uint64_t>(items) : 0;
+  }
+  KvsStatsSnapshot StoreStats() const override { return store_->Stats(); }
+
+  EngineStats Stats() const override {
+    EngineStats stats;
+    stats.local_ops = local_ops_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  // The finite timeout keeps idle workers' epochs advancing so a grace
+  // period always terminates.
+  int EpollTimeoutMs() const override { return 100; }
+
+  // --- ApplyStoreOp capacity scope ---
+
+  // Makes room for one new item when the cap is reached. In evict mode
+  // (memcached's default) the LRU tail is retired until the count is back
+  // under the cap — bounded retries, since EvictLru can fail spuriously
+  // when the tail moves under a racing evictor. In "-M" mode, or if
+  // eviction comes up dry, returns false and the set is refused. An
+  // overwrite-set at the cap may evict even though it would not grow the
+  // store; distinguishing it here would race anyway, and the victim is the
+  // coldest item by construction.
+  bool EnsureCapacity(std::uint64_t now_s) {
+    const auto cap = static_cast<std::int64_t>(config_.store.max_items);
+    if (curr_items_.load(std::memory_order_relaxed) < cap) {
+      return true;
+    }
+    if (!config_.evict_at_capacity) {
+      return false;
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      if (store_->EvictLru(now_s)) {
+        curr_items_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (curr_items_.load(std::memory_order_relaxed) < cap) {
+        return true;
+      }
+    }
+    return false;
+  }
+  void ItemCreated() { curr_items_.fetch_add(1, std::memory_order_relaxed); }
+  void ItemsRemoved(std::size_t n) {
+    curr_items_.fetch_sub(static_cast<std::int64_t>(n),
+                          std::memory_order_relaxed);
+  }
+
+ private:
+  EngineConfig config_;
+  std::unique_ptr<KvStore> store_;
+  // Live item estimate (creates minus delete-hits/evictions/reaps, relaxed)
+  // backing the capacity cap.
+  std::atomic<std::int64_t> curr_items_{0};
+  std::atomic<std::uint64_t> local_ops_{0};
+  std::uint64_t pass_ = 0;  // worker 0's maintenance rate limiter
+};
+
+// ---------------------------------------------------------------------------
+// MpEngine: shard-per-worker over SsmpComm channels.
+// ---------------------------------------------------------------------------
+
+// Wide channel message: one header word plus up to 14 record words. With the
+// channel flag byte the buffer rounds to two cache lines — a forwarded op
+// costs two line transfers instead of one, which is exactly the per-message
+// cost --mp-batch amortizes.
+struct MpWideMessage {
+  static constexpr int kWords = 15;
+  std::uint64_t w[kWords] = {};
+};
+
+constexpr int kValueWords = kKvsValueBytes / sizeof(std::uint64_t);
+
+// Record header (word 0 of every record):
+//   bits 0..3   StoreOp::Kind
+//   bit  4      reply record
+//   bit  5      want_cas (request) / found (reply)
+//   bit  6      rejected (reply)
+//   bits 7..8   CasOutcome (reply)
+//   bits 9..10  CounterOutcome (reply)
+//   bit  11     value words follow (get-hit reply)
+//   bits 16..63 cookie (opaque to the engine; the server keeps them < 2^48)
+constexpr std::uint64_t kRecKindMask = 0xf;
+constexpr std::uint64_t kRecReply = 1ull << 4;
+constexpr std::uint64_t kRecFlag = 1ull << 5;
+constexpr std::uint64_t kRecRejected = 1ull << 6;
+constexpr int kRecCasShift = 7;
+constexpr int kRecCounterShift = 9;
+constexpr std::uint64_t kRecHasValue = 1ull << 11;
+constexpr int kRecCookieShift = 16;
+
+// Message header (word 0): record count in the low byte, the sender's wall
+// clock (seconds) above it — forwarded ops evaluate TTLs on the requester's
+// clock, one second of skew at most against the owner's.
+// One encoded record waiting for channel space. Sized for the widest record
+// (a cas request: header, key, exptime, cas_expected, 8 value words).
+struct PendingRecord {
+  int len = 0;
+  std::uint64_t w[4 + kValueWords];
+};
+
+int EncodeRequest(const StoreOp& op, std::uint64_t cookie, std::uint64_t* w) {
+  w[0] = static_cast<std::uint64_t>(op.kind) | (op.want_cas ? kRecFlag : 0) |
+         (cookie << kRecCookieShift);
+  int pos = 1;
+  if (op.kind != StoreOp::Kind::kFlushAll) {
+    w[pos++] = op.key;
+  }
+  switch (op.kind) {
+    case StoreOp::Kind::kSet:
+      w[pos++] = op.exptime;
+      std::memcpy(&w[pos], op.value, kKvsValueBytes);
+      pos += kValueWords;
+      break;
+    case StoreOp::Kind::kCas:
+      w[pos++] = op.exptime;
+      w[pos++] = op.cas_expected;
+      std::memcpy(&w[pos], op.value, kKvsValueBytes);
+      pos += kValueWords;
+      break;
+    case StoreOp::Kind::kIncr:
+    case StoreOp::Kind::kDecr:
+      w[pos++] = op.delta;
+      break;
+    case StoreOp::Kind::kTouch:
+      w[pos++] = op.exptime;
+      break;
+    default:
+      break;
+  }
+  return pos;
+}
+
+int DecodeRequest(const std::uint64_t* w, std::uint64_t now_s, StoreOp* op,
+                  std::uint64_t* cookie) {
+  const std::uint64_t h = w[0];
+  op->kind = static_cast<StoreOp::Kind>(h & kRecKindMask);
+  op->want_cas = (h & kRecFlag) != 0;
+  op->now_s = now_s;
+  *cookie = h >> kRecCookieShift;
+  int pos = 1;
+  if (op->kind != StoreOp::Kind::kFlushAll) {
+    op->key = w[pos++];
+  }
+  switch (op->kind) {
+    case StoreOp::Kind::kSet:
+      op->exptime = static_cast<std::uint32_t>(w[pos++]);
+      std::memcpy(op->value, &w[pos], kKvsValueBytes);
+      pos += kValueWords;
+      break;
+    case StoreOp::Kind::kCas:
+      op->exptime = static_cast<std::uint32_t>(w[pos++]);
+      op->cas_expected = w[pos++];
+      std::memcpy(op->value, &w[pos], kKvsValueBytes);
+      pos += kValueWords;
+      break;
+    case StoreOp::Kind::kIncr:
+    case StoreOp::Kind::kDecr:
+      op->delta = w[pos++];
+      break;
+    case StoreOp::Kind::kTouch:
+      op->exptime = static_cast<std::uint32_t>(w[pos++]);
+      break;
+    default:
+      break;
+  }
+  return pos;
+}
+
+int EncodeReply(StoreOp::Kind kind, std::uint64_t cookie,
+                const StoreOpResult& r, std::uint64_t* w) {
+  std::uint64_t h = static_cast<std::uint64_t>(kind) | kRecReply |
+                    (cookie << kRecCookieShift);
+  if (r.found) {
+    h |= kRecFlag;
+  }
+  if (r.rejected) {
+    h |= kRecRejected;
+  }
+  h |= static_cast<std::uint64_t>(r.cas_outcome) << kRecCasShift;
+  h |= static_cast<std::uint64_t>(r.counter_outcome) << kRecCounterShift;
+  int pos = 1;
+  if (kind == StoreOp::Kind::kGet && r.found) {
+    h |= kRecHasValue;
+    w[pos++] = r.cas;
+    std::memcpy(&w[pos], r.value, kKvsValueBytes);
+    pos += kValueWords;
+  } else if ((kind == StoreOp::Kind::kIncr || kind == StoreOp::Kind::kDecr) &&
+             r.counter_outcome == CounterOutcome::kApplied) {
+    w[pos++] = r.new_value;
+  }
+  w[0] = h;
+  return pos;
+}
+
+int DecodeReply(const std::uint64_t* w, StoreOp::Kind* kind,
+                std::uint64_t* cookie, StoreOpResult* r) {
+  const std::uint64_t h = w[0];
+  *kind = static_cast<StoreOp::Kind>(h & kRecKindMask);
+  *cookie = h >> kRecCookieShift;
+  r->completed = true;
+  r->found = (h & kRecFlag) != 0;
+  r->rejected = (h & kRecRejected) != 0;
+  r->cas_outcome = static_cast<CasOutcome>((h >> kRecCasShift) & 0x3);
+  r->counter_outcome =
+      static_cast<CounterOutcome>((h >> kRecCounterShift) & 0x3);
+  int pos = 1;
+  if ((h & kRecHasValue) != 0) {
+    r->cas = w[pos++];
+    std::memcpy(r->value, &w[pos], kKvsValueBytes);
+    pos += kValueWords;
+  } else if ((*kind == StoreOp::Kind::kIncr ||
+              *kind == StoreOp::Kind::kDecr) &&
+             r->counter_outcome == CounterOutcome::kApplied) {
+    r->new_value = w[pos++];
+  }
+  return pos;
+}
+
+class MpEngine final : public ExecutionEngine {
+ public:
+  MpEngine(const EngineConfig& config, const LockTopology& topo)
+      : config_(config),
+        n_(config.workers),
+        batch_(config.mp_batch < 1 ? 1 : config.mp_batch),
+        comm_(config.workers) {
+    KvStoreConfig shard_cfg = config.store;
+    // Split the global budget across shards: the aggregate capacity and
+    // table size match the lock engine's.
+    shard_cfg.max_items =
+        config.store.max_items / n_ > 0 ? config.store.max_items / n_ : 1;
+    shard_cfg.buckets =
+        config.store.buckets / n_ > 16 ? config.store.buckets / n_ : 16;
+    // A shard has exactly one toucher: the seqlock read path would only add
+    // per-get overhead with nothing to bypass.
+    shard_cfg.optimistic_reads = false;
+    shard_cap_ = static_cast<std::int64_t>(shard_cfg.max_items);
+    shards_.reserve(static_cast<std::size_t>(n_));
+    workers_.reserve(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      shards_.push_back(MakeShardKvStore(shard_cfg, topo));
+      workers_.push_back(std::make_unique<WorkerState>(n_));
+    }
+  }
+
+  EngineKind kind() const override { return EngineKind::kMp; }
+
+  void SetCompletion(int worker, CompletionFn fn) override {
+    workers_[static_cast<std::size_t>(worker)]->completion = std::move(fn);
+  }
+
+  bool Execute(int worker, const StoreOp& op, StoreOpResult* result,
+               std::uint64_t cookie) override {
+    WorkerState& w = *workers_[static_cast<std::size_t>(worker)];
+    if (op.kind == StoreOp::Kind::kFlushAll) {
+      // Broadcast: flush the own shard now, one record per peer, completion
+      // once every peer has acked.
+      ShardScope scope{this, worker};
+      ApplyStoreOp(scope, *shards_[static_cast<std::size_t>(worker)], op,
+                   result);
+      w.counters.local_ops.fetch_add(1, std::memory_order_relaxed);
+      if (n_ == 1) {
+        return true;
+      }
+      for (int peer = 0; peer < n_; ++peer) {
+        if (peer != worker) {
+          EnqueueRequest(w, peer, op, cookie);
+        }
+      }
+      w.flush_acks[cookie] = n_ - 1;
+      return false;
+    }
+    const int owner = OwnerOf(op.key);
+    if (owner == worker) {
+      ShardScope scope{this, worker};
+      ApplyStoreOp(scope, *shards_[static_cast<std::size_t>(worker)], op,
+                   result);
+      w.counters.local_ops.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    EnqueueRequest(w, owner, op, cookie);
+    return false;
+  }
+
+  std::size_t ExecuteGetMulti(int worker, const std::uint64_t* keys,
+                              std::size_t n, bool want_cas, std::uint64_t now_s,
+                              StoreOpResult* results,
+                              std::uint64_t cookie_base) override {
+    WorkerState& w = *workers_[static_cast<std::size_t>(worker)];
+    std::size_t pending = 0;
+    std::uint64_t local = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      StoreOp op;
+      op.kind = StoreOp::Kind::kGet;
+      op.key = keys[i];
+      op.want_cas = want_cas;
+      op.now_s = now_s;
+      const int owner = OwnerOf(op.key);
+      if (owner == worker) {
+        ShardScope scope{this, worker};
+        ApplyStoreOp(scope, *shards_[static_cast<std::size_t>(worker)], op,
+                     &results[i]);
+        ++local;
+      } else {
+        EnqueueRequest(w, owner, op, cookie_base + i);
+        ++pending;
+      }
+    }
+    if (local > 0) {
+      w.counters.local_ops.fetch_add(local, std::memory_order_relaxed);
+    }
+    return pending;
+  }
+
+  bool Pump(int worker) override {
+    WorkerState& w = *workers_[static_cast<std::size_t>(worker)];
+    bool progress = false;
+    // Serve forwarded requests and deliver replies. The sweep is bounded so
+    // a flood of remote work cannot starve the worker's own sockets.
+    MpWideMessage msg;
+    for (int round = 0; round < 4 * n_; ++round) {
+      const int from = comm_.TryRecvFromAny(&msg, 0, n_ - 1);
+      if (from < 0) {
+        break;
+      }
+      progress = true;
+      HandleMessage(worker, w, from, msg);
+    }
+    if (FlushOutbound(w)) {
+      progress = true;
+    }
+    return progress;
+  }
+
+  void Maintain(int worker) override {
+    WorkerState& w = *workers_[static_cast<std::size_t>(worker)];
+    // Wider gate than the lock engine's: MP workers busy-poll (zero epoll
+    // timeout), so passes are loop iterations, not 100ms ticks.
+    if ((w.maintain_pass++ & 0x3ff) != 0) {
+      return;
+    }
+    // Each worker reaps its own shard; with a single owner the grace period
+    // is trivial (no other thread can hold shard pointers), so retired
+    // batches reclaim immediately.
+    KvStore& shard = *shards_[static_cast<std::size_t>(worker)];
+    const std::size_t reaped = shard.ReapExpired(64, WallSeconds());
+    if (reaped > 0) {
+      w.shard_items.fetch_sub(static_cast<std::int64_t>(reaped),
+                              std::memory_order_relaxed);
+    }
+    if (shard.HasRetired()) {
+      shard.BeginReclaim();
+      shard.FinishReclaim();
+    }
+  }
+
+  KvStore* SharedStore() override { return nullptr; }
+
+  void DrainOnStop(int worker) override {
+    // No worker may exit while a peer could still forward to it: pump until
+    // everyone has arrived, then one last sweep for messages that landed
+    // just before the final peer stopped. Replies delivered here hit the
+    // server's (already empty) pending table and are dropped.
+    stopped_.fetch_add(1, std::memory_order_acq_rel);
+    while (stopped_.load(std::memory_order_acquire) < n_) {
+      if (!Pump(worker)) {
+        std::this_thread::yield();
+      }
+    }
+    Pump(worker);
+  }
+
+  void FinalDrain() override {
+    const int saved_tid = internal::g_native_thread_id;
+    internal::g_native_thread_id = 0;
+    for (auto& shard : shards_) {
+      shard->FinishReclaim();
+      shard->BeginReclaim();
+      shard->FinishReclaim();
+    }
+    internal::g_native_thread_id = saved_tid;
+  }
+
+  std::uint64_t CurrItems() const override {
+    std::int64_t items = 0;
+    for (const auto& w : workers_) {
+      items += w->shard_items.load(std::memory_order_relaxed);
+    }
+    return items > 0 ? static_cast<std::uint64_t>(items) : 0;
+  }
+
+  KvsStatsSnapshot StoreStats() const override {
+    KvsStatsSnapshot total;
+    for (const auto& shard : shards_) {
+      const KvsStatsSnapshot s = shard->Stats();
+      total.gets += s.gets;
+      total.get_hits += s.get_hits;
+      total.sets += s.sets;
+      total.set_creates += s.set_creates;
+      total.deletes += s.deletes;
+      total.delete_hits += s.delete_hits;
+      total.optimistic_hits += s.optimistic_hits;
+      total.optimistic_retries += s.optimistic_retries;
+      total.optimistic_fallbacks += s.optimistic_fallbacks;
+      total.evictions += s.evictions;
+      total.expired_unfetched += s.expired_unfetched;
+      total.cas_hits += s.cas_hits;
+      total.cas_badval += s.cas_badval;
+      total.cas_misses += s.cas_misses;
+    }
+    return total;
+  }
+
+  EngineStats Stats() const override {
+    EngineStats total;
+    for (const auto& w : workers_) {
+      total.local_ops += w->counters.local_ops.load(std::memory_order_relaxed);
+      total.mp_forwards += w->counters.forwards.load(std::memory_order_relaxed);
+      total.mp_replies += w->counters.replies.load(std::memory_order_relaxed);
+      total.mp_messages += w->counters.messages.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Busy-poll: a sleeping worker would stall every peer's forwarded ops.
+  // The worker loop yields when neither epoll nor Pump made progress, so
+  // oversubscribed hosts still schedule fairly.
+  int EpollTimeoutMs() const override { return 0; }
+
+ private:
+  struct alignas(kCacheLineSize) Counters {
+    std::atomic<std::uint64_t> local_ops{0};
+    std::atomic<std::uint64_t> forwards{0};
+    std::atomic<std::uint64_t> replies{0};
+    std::atomic<std::uint64_t> messages{0};
+  };
+
+  // Single-owner per-worker state (only its own thread touches the queues;
+  // the atomics are read cross-thread by Stats()).
+  struct WorkerState {
+    explicit WorkerState(int n) : outq(static_cast<std::size_t>(n)) {}
+    std::vector<std::deque<PendingRecord>> outq;  // per destination
+    std::unordered_map<std::uint64_t, int> flush_acks;  // cookie -> waited acks
+    CompletionFn completion;
+    std::uint64_t maintain_pass = 0;
+    std::atomic<std::int64_t> shard_items{0};
+    Counters counters;
+  };
+
+  // ApplyStoreOp capacity scope for one shard: same bounded-evict policy as
+  // the lock engine, against the per-shard budget.
+  struct ShardScope {
+    MpEngine* engine;
+    int shard;
+
+    bool EnsureCapacity(std::uint64_t now_s) {
+      WorkerState& w = *engine->workers_[static_cast<std::size_t>(shard)];
+      if (w.shard_items.load(std::memory_order_relaxed) < engine->shard_cap_) {
+        return true;
+      }
+      if (!engine->config_.evict_at_capacity) {
+        return false;
+      }
+      KvStore& store = *engine->shards_[static_cast<std::size_t>(shard)];
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        if (store.EvictLru(WallSeconds())) {
+          w.shard_items.fetch_sub(1, std::memory_order_relaxed);
+        }
+        if (w.shard_items.load(std::memory_order_relaxed) <
+            engine->shard_cap_) {
+          return true;
+        }
+      }
+      (void)now_s;
+      return false;
+    }
+    void ItemCreated() {
+      engine->workers_[static_cast<std::size_t>(shard)]->shard_items.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    void ItemsRemoved(std::size_t n) {
+      engine->workers_[static_cast<std::size_t>(shard)]->shard_items.fetch_sub(
+          static_cast<std::int64_t>(n), std::memory_order_relaxed);
+    }
+  };
+
+  int OwnerOf(std::uint64_t key) const { return static_cast<int>(key % n_); }
+
+  void EnqueueRequest(WorkerState& w, int to, const StoreOp& op,
+                      std::uint64_t cookie) {
+    PendingRecord rec;
+    rec.len = EncodeRequest(op, cookie, rec.w);
+    w.outq[static_cast<std::size_t>(to)].push_back(rec);
+    w.counters.forwards.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void HandleMessage(int worker, WorkerState& w, int from,
+                     const MpWideMessage& msg) {
+    const int count = static_cast<int>(msg.w[0] & 0xff);
+    const std::uint64_t now_s = msg.w[0] >> 8;
+    int pos = 1;
+    bool served_any = false;
+    for (int i = 0; i < count; ++i) {
+      if ((msg.w[pos] & kRecReply) != 0) {
+        pos += DeliverReply(w, &msg.w[pos]);
+      } else {
+        if (!served_any) {
+          served_any = true;
+          // Reply-buffer ownership transfer overlaps with the service work
+          // (the mp_torture server pattern; Sections 5.3 and 6.2).
+          comm_.PrefetchOutgoing(from);
+        }
+        pos += ServeRequest(worker, w, from, now_s, &msg.w[pos]);
+      }
+    }
+  }
+
+  int ServeRequest(int worker, WorkerState& w, int from, std::uint64_t now_s,
+                   const std::uint64_t* rec) {
+    StoreOp op;
+    std::uint64_t cookie = 0;
+    const int len = DecodeRequest(rec, now_s, &op, &cookie);
+    StoreOpResult result;
+    ShardScope scope{this, worker};
+    ApplyStoreOp(scope, *shards_[static_cast<std::size_t>(worker)], op,
+                 &result);
+    PendingRecord reply;
+    reply.len = EncodeReply(op.kind, cookie, result, reply.w);
+    w.outq[static_cast<std::size_t>(from)].push_back(reply);
+    w.counters.replies.fetch_add(1, std::memory_order_relaxed);
+    return len;
+  }
+
+  int DeliverReply(WorkerState& w, const std::uint64_t* rec) {
+    StoreOp::Kind kind = StoreOp::Kind::kGet;
+    std::uint64_t cookie = 0;
+    StoreOpResult result;
+    const int len = DecodeReply(rec, &kind, &cookie, &result);
+    if (kind == StoreOp::Kind::kFlushAll) {
+      // One ack of a broadcast; complete once the last peer answers.
+      const auto it = w.flush_acks.find(cookie);
+      if (it != w.flush_acks.end() && --it->second == 0) {
+        w.flush_acks.erase(it);
+        w.completion(cookie, result);
+      }
+      return len;
+    }
+    w.completion(cookie, result);
+    return len;
+  }
+
+  bool FlushOutbound(WorkerState& w) {
+    bool progress = false;
+    const std::uint64_t now_s = WallSeconds();
+    for (int to = 0; to < n_; ++to) {
+      auto& q = w.outq[static_cast<std::size_t>(to)];
+      while (!q.empty()) {
+        MpWideMessage msg;
+        int pos = 1;
+        int records = 0;
+        for (auto it = q.begin();
+             it != q.end() && records < batch_ &&
+             pos + it->len <= MpWideMessage::kWords;
+             ++it) {
+          std::memcpy(&msg.w[pos], it->w,
+                      static_cast<std::size_t>(it->len) * sizeof(std::uint64_t));
+          pos += it->len;
+          ++records;
+        }
+        msg.w[0] = static_cast<std::uint64_t>(records) | (now_s << 8);
+        if (!comm_.TrySend(to, msg)) {
+          break;  // channel busy; the records stay queued for the next pump
+        }
+        w.counters.messages.fetch_add(1, std::memory_order_relaxed);
+        q.erase(q.begin(), q.begin() + records);
+        progress = true;
+      }
+    }
+    return progress;
+  }
+
+  EngineConfig config_;
+  int n_;
+  int batch_;
+  std::int64_t shard_cap_ = 0;
+  std::vector<std::unique_ptr<KvStore>> shards_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  SsmpComm<NativeMem, MpWideMessage> comm_;
+  std::atomic<int> stopped_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionEngine> MakeEngine(const EngineConfig& config,
+                                            const LockTopology& topo) {
+  SSYNC_CHECK_GT(config.workers, 0);
+  if (config.kind == EngineKind::kMp) {
+    return std::make_unique<MpEngine>(config, topo);
+  }
+  return std::make_unique<LockEngine>(config, topo);
+}
+
+}  // namespace ssync

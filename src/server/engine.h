@@ -1,0 +1,190 @@
+// Execution engines: the seam between ssyncd's epoll workers and the store.
+//
+// Every worker-side store operation is routed through an ExecutionEngine, so
+// the same server loop can run two synchronization architectures the paper
+// compares in Section 7 (figs 9-10):
+//
+//   * LockEngine — the classic shared-memory design: one KvStore shared by
+//     all workers, cross-thread synchronization inside the store under the
+//     configured lock algorithm. Every op completes synchronously; this is
+//     byte-for-byte the server's historical behavior.
+//
+//   * MpEngine — the message-passing design: each worker exclusively owns
+//     the shard of keys with (hash % workers) == its index. Ops on the owned
+//     shard run lock-free (NullLock store, mutual exclusion by ownership);
+//     ops on a remote shard are serialized into fixed-size records, packed
+//     (up to --mp-batch per message) into SsmpComm cache-line channels, and
+//     executed by the owning worker, with the reply record flowing back on
+//     the reverse channel. Nothing ever blocks: sends are TrySend with a
+//     host-side overflow queue, and each event-loop iteration Pump()s —
+//     drain forwarded requests, flush queues, deliver replies.
+//
+// The asynchronous contract: Execute()/ExecuteGetMulti() either complete an
+// op in place or return it as pending; a pending op's result arrives through
+// the per-worker completion callback (invoked from that worker's own Pump,
+// never from another thread) carrying the caller's cookie.
+#ifndef SRC_SERVER_ENGINE_H_
+#define SRC_SERVER_ENGINE_H_
+
+#include <cstdint>
+#include <ctime>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/locks/lock_common.h"
+#include "src/server/store.h"
+
+namespace ssync {
+
+enum class EngineKind { kLock, kMp };
+
+const char* ToString(EngineKind kind);
+bool EngineKindFromString(const std::string& name, EngineKind* out);
+
+inline std::uint64_t WallSeconds() {
+  return static_cast<std::uint64_t>(::time(nullptr));
+}
+
+// memcached's exptime rule: 0 = never; values up to 30 days are seconds
+// relative to now; anything larger is an absolute unix time (which may
+// already be in the past — the item is then born expired).
+inline constexpr std::uint32_t kMaxRelativeExptime = 60 * 60 * 24 * 30;
+
+inline std::uint32_t AbsoluteExptime(std::uint32_t exptime, std::uint64_t now_s) {
+  if (exptime == 0 || exptime > kMaxRelativeExptime) {
+    return exptime;
+  }
+  const std::uint64_t abs = now_s + exptime;
+  return abs > 0xffffffffULL ? 0xffffffffU : static_cast<std::uint32_t>(abs);
+}
+
+// One store operation, decoupled from the wire Request: keys are already
+// hashed, exptimes already absolute, values already encoded item images —
+// exactly the fields a remote shard needs, so a StoreOp serializes into an
+// MpEngine record without touching protocol state.
+struct StoreOp {
+  enum class Kind : std::uint8_t {
+    kGet,
+    kSet,
+    kDelete,
+    kCas,
+    kIncr,
+    kDecr,
+    kTouch,
+    kFlushAll,
+  };
+
+  Kind kind = Kind::kGet;
+  bool want_cas = false;           // kGet: fill result.cas
+  std::uint64_t key = 0;           // hashed protocol key (unused: kFlushAll)
+  std::uint32_t exptime = 0;       // ABSOLUTE expiry (kSet/kCas/kTouch)
+  std::uint64_t cas_expected = 0;  // kCas
+  std::uint64_t delta = 0;         // kIncr/kDecr
+  std::uint64_t now_s = 0;         // caller's wall clock
+  std::uint8_t value[kKvsValueBytes] = {};  // kSet/kCas item image
+};
+
+struct StoreOpResult {
+  bool completed = false;  // filled synchronously (ExecuteGetMulti mask)
+  bool found = false;      // kGet/kDelete/kTouch hit
+  bool rejected = false;   // kSet refused at the capacity cap ("-M")
+  CasOutcome cas_outcome = CasOutcome::kNotFound;
+  CounterOutcome counter_outcome = CounterOutcome::kNotFound;
+  std::uint64_t cas = 0;        // kGet (gets)
+  std::uint64_t new_value = 0;  // kIncr/kDecr
+  std::uint8_t value[kKvsValueBytes] = {};  // kGet hit image
+};
+
+// Aggregated engine counters (all zero on the lock engine except local_ops).
+struct EngineStats {
+  std::uint64_t local_ops = 0;    // ops executed on the caller's own shard/store
+  std::uint64_t mp_forwards = 0;  // request records forwarded to remote shards
+  std::uint64_t mp_replies = 0;   // reply records sent back to requesters
+  std::uint64_t mp_messages = 0;  // channel messages carrying those records
+};
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::kLock;
+  int workers = 1;
+  LockKind lock = LockKind::kMutex;  // lock engine's store lock
+  KvStoreConfig store;
+  // Capacity policy at store.max_items (see ServerConfig::evict_at_capacity).
+  bool evict_at_capacity = true;
+  // MpEngine: max records packed into one channel message (>= 1).
+  int mp_batch = 1;
+};
+
+class ExecutionEngine {
+ public:
+  // Result sink for ops that completed asynchronously. Invoked only from
+  // `worker`'s own Pump()/DrainOnStop() — never from another thread.
+  using CompletionFn =
+      std::function<void(std::uint64_t cookie, const StoreOpResult& result)>;
+
+  virtual ~ExecutionEngine() = default;
+
+  virtual EngineKind kind() const = 0;
+
+  // Must be installed for every worker before its loop first calls Execute.
+  virtual void SetCompletion(int worker, CompletionFn fn) = 0;
+
+  // Executes one op on behalf of `worker`. True: completed synchronously and
+  // *result is filled. False: the op was forwarded to the owning shard and
+  // the worker's completion will fire with `cookie` during a later Pump.
+  // Cookies must stay below 2^48 (they ride in a record header).
+  virtual bool Execute(int worker, const StoreOp& op, StoreOpResult* result,
+                       std::uint64_t cookie) = 0;
+
+  // Batched get: one LRU pass on the lock engine, shard-split on MP. Keys
+  // completed synchronously have results[i] filled (completed = true);
+  // pending keys complete with cookie_base + i. Returns the pending count.
+  // n is capped by the protocol at kProtoMaxGetKeys (< 64, so the slot index
+  // fits the low 6 bits of a cookie).
+  virtual std::size_t ExecuteGetMulti(int worker, const std::uint64_t* keys,
+                                      std::size_t n, bool want_cas,
+                                      std::uint64_t now_s,
+                                      StoreOpResult* results,
+                                      std::uint64_t cookie_base) = 0;
+
+  // Called every event-loop iteration: serve forwarded requests on the owned
+  // shard, flush queued outbound messages, deliver arrived replies. Returns
+  // true when any progress was made (always false on the lock engine).
+  virtual bool Pump(int worker) = 0;
+
+  // Rate-limited internally; call once per event-loop pass. Lock engine:
+  // worker 0 runs the TTL/flush reaper over the shared store. MP: each
+  // worker reaps and reclaims its own shard.
+  virtual void Maintain(int worker) = 0;
+
+  // Lock engine: the single shared store — the server's epoch-based
+  // grace-period reclamation drives it directly (see KvServer::WorkerLoop).
+  // MP: nullptr; each single-owner shard reclaims in Maintain.
+  virtual KvStore* SharedStore() = 0;
+
+  // Cooperative shutdown: keep serving peers' forwarded ops until every
+  // worker has arrived here, so no worker exits with requests still queued
+  // at it. Call after the worker's event loop exits (connections closed).
+  virtual void DrainOnStop(int worker) = 0;
+
+  // After all worker threads are joined: final reclamation sweep.
+  virtual void FinalDrain() = 0;
+
+  // Live item estimate backing `stats curr_items_approx`.
+  virtual std::uint64_t CurrItems() const = 0;
+  virtual KvsStatsSnapshot StoreStats() const = 0;
+  virtual EngineStats Stats() const = 0;
+
+  // The epoll timeout the worker loop should use: the lock engine can sleep
+  // (epochs still advance via the timeout); the MP engine must keep polling
+  // its channels.
+  virtual int EpollTimeoutMs() const = 0;
+};
+
+// `topo` must cover every worker thread id (as for MakeKvStore).
+std::unique_ptr<ExecutionEngine> MakeEngine(const EngineConfig& config,
+                                            const LockTopology& topo);
+
+}  // namespace ssync
+
+#endif  // SRC_SERVER_ENGINE_H_

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/client/ssync_client.h"
 #include "src/core/mem_native.h"
 #include "src/server/protocol.h"
 #include "src/torture/history.h"
@@ -151,8 +152,6 @@ struct PendingReq {
   // arrival time (open loop — queueing delay must land in the sample).
   std::int64_t send_ns = 0;
   bool want_cas = false;      // issued as `gets`: VALUE headers carry cas
-  // kGet response progress: VALUE header seen, awaiting its data line.
-  int value_sub = -1;
 };
 
 struct ClientConn {
@@ -166,8 +165,9 @@ struct ClientConn {
   int fd = -1;
   std::string out;
   std::size_t out_pos = 0;
-  std::string in;
-  std::size_t in_pos = 0;
+  // Typed incremental parser from the client library (ssync_client.h): the
+  // response byte stream becomes ClientEvents, dispatched against inflight.
+  ResponseParser parser;
   std::deque<PendingReq> inflight;
   std::uint64_t issued = 0;     // completed + in flight, in operations
   std::uint64_t completed = 0;  // operations (multi-get keys count singly)
@@ -236,7 +236,7 @@ class LoadGen {
   void IssueGet(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns = 0);
   void IssueCas(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns);
   void IssueIncr(ClientConn& conn, ThreadState& ts, std::int64_t scheduled_ns);
-  bool HandleLine(ClientConn& conn, ThreadState& ts, const char* line, std::size_t len);
+  bool HandleEvent(ClientConn& conn, ThreadState& ts, const ClientEvent& event);
   void CompleteFront(ClientConn& conn, ThreadState& ts, bool protocol_ok);
   bool PumpOut(ClientConn& conn, ThreadState& ts);
   bool PumpIn(ClientConn& conn, ThreadState& ts);
@@ -374,12 +374,7 @@ void LoadGen::IssueSet(ClientConn& conn, ThreadState& ts, std::uint64_t hist_key
   req.subs.push_back({proto_key, hist_key, true, value, 0});
   req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
   req.t_inv = NativeMem::Now();
-  char header[320];
-  const int n = std::snprintf(header, sizeof(header), "set %s 0 0 %zu\r\n",
-                              proto_key.c_str(), text.size());
-  conn.out.append(header, static_cast<std::size_t>(n));
-  conn.out += text;
-  conn.out += "\r\n";
+  AppendSetRequest(proto_key, /*flags=*/0, /*exptime=*/0, text, &conn.out);
   conn.inflight.push_back(std::move(req));
   ++conn.issued;
   ++ts.sets;
@@ -392,9 +387,7 @@ void LoadGen::IssueDelete(ClientConn& conn, ThreadState& ts, std::uint64_t hist_
   req.subs.push_back({proto_key, hist_key, false, 0, 0});
   req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
   req.t_inv = NativeMem::Now();
-  conn.out += "delete ";
-  conn.out += req.subs[0].proto_key;
-  conn.out += "\r\n";
+  AppendDeleteRequest(req.subs[0].proto_key, &conn.out);
   conn.inflight.push_back(std::move(req));
   ++conn.issued;
   ++ts.deletes;
@@ -436,12 +429,12 @@ void LoadGen::IssueGet(ClientConn& conn, ThreadState& ts, std::int64_t scheduled
   }
   req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
   req.t_inv = NativeMem::Now();
-  conn.out += req.want_cas ? "gets" : "get";
+  std::vector<std::string> keys;
+  keys.reserve(req.subs.size());
   for (const SubOp& sub : req.subs) {
-    conn.out += ' ';
-    conn.out += sub.proto_key;
+    keys.push_back(sub.proto_key);
   }
-  conn.out += "\r\n";
+  AppendGetRequest(keys.data(), keys.size(), req.want_cas, &conn.out);
   conn.issued += req.subs.size();
   ts.gets += req.subs.size();
   conn.inflight.push_back(std::move(req));
@@ -459,9 +452,7 @@ void LoadGen::IssueCas(ClientConn& conn, ThreadState& ts, std::int64_t scheduled
     req.subs.push_back({PrivateName(key), key, false, 0, 0});
     req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
     req.t_inv = NativeMem::Now();
-    conn.out += "gets ";
-    conn.out += req.subs[0].proto_key;
-    conn.out += "\r\n";
+    AppendGetRequest(&req.subs[0].proto_key, 1, /*want_cas=*/true, &conn.out);
     conn.inflight.push_back(std::move(req));
     ++conn.issued;
     ++ts.gets;
@@ -477,13 +468,8 @@ void LoadGen::IssueCas(ClientConn& conn, ThreadState& ts, std::int64_t scheduled
   req.subs.push_back({PrivateName(key), key, false, value, cas});
   req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
   req.t_inv = NativeMem::Now();
-  char header[320];
-  const int n = std::snprintf(
-      header, sizeof(header), "cas %s 0 0 %zu %llu\r\n", req.subs[0].proto_key.c_str(),
-      text.size(), static_cast<unsigned long long>(cas));
-  conn.out.append(header, static_cast<std::size_t>(n));
-  conn.out += text;
-  conn.out += "\r\n";
+  AppendCasRequest(req.subs[0].proto_key, /*flags=*/0, /*exptime=*/0, cas, text,
+                   &conn.out);
   conn.inflight.push_back(std::move(req));
   ++conn.issued;
   ++ts.cas_ops;
@@ -496,9 +482,8 @@ void LoadGen::IssueIncr(ClientConn& conn, ThreadState& ts, std::int64_t schedule
   req.subs.push_back({PrivateName(key), key, false, 0, 0});
   req.send_ns = scheduled_ns != 0 ? scheduled_ns : NowNs();
   req.t_inv = NativeMem::Now();
-  conn.out += "incr ";
-  conn.out += req.subs[0].proto_key;
-  conn.out += " 1\r\n";
+  AppendIncrDecrRequest(req.subs[0].proto_key, /*delta=*/1, /*incr=*/true,
+                        &conn.out);
   conn.inflight.push_back(std::move(req));
   ++conn.issued;
   ++ts.incrs;
@@ -682,46 +667,19 @@ void LoadGen::CompleteFront(ClientConn& conn, ThreadState& ts, bool protocol_ok)
   conn.inflight.pop_front();
 }
 
-// Dispatches one complete response line against the front in-flight request.
+// Dispatches one parsed response event against the front in-flight request.
 // Returns false on a stream the client cannot make sense of (kills the
 // connection via FailConn in the caller).
-bool LoadGen::HandleLine(ClientConn& conn, ThreadState& ts, const char* line,
-                         std::size_t len) {
+bool LoadGen::HandleEvent(ClientConn& conn, ThreadState& ts,
+                          const ClientEvent& event) {
+  using Kind = ClientEvent::Kind;
   if (conn.inflight.empty()) {
     ++ts.protocol_errors;
     return false;  // a reply with nothing outstanding: stream is misframed
   }
   PendingReq& req = conn.inflight.front();
 
-  // A pending VALUE header means this line is the data block.
-  if (req.value_sub >= 0) {
-    SubOp& sub = req.subs[static_cast<std::size_t>(req.value_sub)];
-    const std::string text(line, len);
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
-    if (len == 0 || errno != 0 || end != text.c_str() + text.size()) {
-      // A value we never wrote: flag it — the history checker would only see
-      // a miss, and this is stronger evidence of corruption.
-      ++ts.protocol_errors;
-      sub.found = false;
-    } else {
-      sub.found = true;
-      sub.value = static_cast<std::uint64_t>(parsed);
-    }
-    req.value_sub = -1;
-    return true;
-  }
-
-  const auto is = [&](const char* word) {
-    return std::strlen(word) == len && std::memcmp(line, word, len) == 0;
-  };
-  const auto starts = [&](const char* word) {
-    const std::size_t n = std::strlen(word);
-    return len >= n && std::memcmp(line, word, n) == 0;
-  };
-
-  if (starts("ERROR") || starts("CLIENT_ERROR") || starts("SERVER_ERROR")) {
+  if (event.kind == Kind::kError) {
     // The server rejected something we believe we framed correctly: count it
     // and drop the request without recording history (its effect is unknown).
     ++ts.protocol_errors;
@@ -731,88 +689,74 @@ bool LoadGen::HandleLine(ClientConn& conn, ThreadState& ts, const char* line,
 
   switch (req.op) {
     case PendingReq::Op::kGet:
-      if (starts("VALUE ")) {
-        // "VALUE <key> <flags> <bytes>[ <cas>]" — match the key to a bundled
-        // sub-op; a `gets` header also carries the cas_unique (last token).
-        const char* p = line + 6;
-        const char* key_end = static_cast<const char*>(
-            std::memchr(p, ' ', static_cast<std::size_t>(line + len - p)));
-        if (key_end == nullptr) {
-          ++ts.protocol_errors;
-          return false;
-        }
-        const std::size_t key_len = static_cast<std::size_t>(key_end - p);
-        for (std::size_t i = 0; i < req.subs.size(); ++i) {
-          if (req.subs[i].proto_key.size() == key_len &&
-              std::memcmp(req.subs[i].proto_key.data(), p, key_len) == 0) {
-            req.value_sub = static_cast<int>(i);
+      if (event.kind == Kind::kValue) {
+        // Match the VALUE's key to a bundled sub-op; a `gets` header also
+        // carries the cas_unique.
+        SubOp* sub = nullptr;
+        for (SubOp& candidate : req.subs) {
+          if (candidate.proto_key == event.key) {
+            sub = &candidate;
             break;
           }
         }
-        if (req.value_sub < 0) {
+        if (sub == nullptr) {
           ++ts.protocol_errors;
           return false;  // VALUE for a key we did not ask for
         }
-        if (req.want_cas) {
-          const char* last_sp = nullptr;
-          for (const char* q = key_end; q < line + len; ++q) {
-            last_sp = *q == ' ' ? q : last_sp;
-          }
-          const std::string cas_text(last_sp + 1,
-                                     static_cast<std::size_t>(line + len - last_sp - 1));
-          char* end = nullptr;
-          errno = 0;
-          const unsigned long long cas = std::strtoull(cas_text.c_str(), &end, 10);
-          if (cas_text.empty() || errno != 0 || end != cas_text.c_str() + cas_text.size()) {
-            ++ts.protocol_errors;
-            return false;  // gets VALUE header without a parseable cas
-          }
-          req.subs[static_cast<std::size_t>(req.value_sub)].cas =
-              static_cast<std::uint64_t>(cas);
+        if (req.want_cas && !event.has_cas) {
+          ++ts.protocol_errors;
+          return false;  // gets VALUE header without a cas
+        }
+        sub->cas = event.cas;
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long long parsed =
+            std::strtoull(event.data.c_str(), &end, 10);
+        if (event.data.empty() || errno != 0 ||
+            end != event.data.c_str() + event.data.size()) {
+          // A value we never wrote: flag it — the history checker would only
+          // see a miss, and this is stronger evidence of corruption.
+          ++ts.protocol_errors;
+          sub->found = false;
+        } else {
+          sub->found = true;
+          sub->value = static_cast<std::uint64_t>(parsed);
         }
         return true;
       }
-      if (is("END")) {
+      if (event.kind == Kind::kEnd) {
         CompleteFront(conn, ts, /*protocol_ok=*/true);
         return true;
       }
       break;
     case PendingReq::Op::kSet:
-      if (is("STORED")) {
+      if (event.kind == Kind::kStored) {
         CompleteFront(conn, ts, /*protocol_ok=*/true);
         return true;
       }
       break;
     case PendingReq::Op::kDelete:
-      if (is("DELETED") || is("NOT_FOUND")) {
-        req.subs[0].found = is("DELETED");
+      if (event.kind == Kind::kDeleted || event.kind == Kind::kNotFound) {
+        req.subs[0].found = event.kind == Kind::kDeleted;
         CompleteFront(conn, ts, /*protocol_ok=*/true);
         return true;
       }
       break;
     case PendingReq::Op::kCas:
-      if (is("STORED") || is("EXISTS") || is("NOT_FOUND")) {
+      if (event.kind == Kind::kStored || event.kind == Kind::kExists ||
+          event.kind == Kind::kNotFound) {
         // EXISTS/NOT_FOUND are the semantics working as intended — our cas
         // lost a race against this run's own sets/deletes on the key.
-        ++(is("STORED") ? ts.cas_stored : ts.cas_conflicts);
+        ++(event.kind == Kind::kStored ? ts.cas_stored : ts.cas_conflicts);
         CompleteFront(conn, ts, /*protocol_ok=*/true);
         return true;
       }
       break;
     case PendingReq::Op::kIncr:
-      if (is("NOT_FOUND")) {
+      if (event.kind == Kind::kNotFound ||
+          event.kind == Kind::kNumber) {  // kNumber: the bare new value
         CompleteFront(conn, ts, /*protocol_ok=*/true);
         return true;
-      }
-      if (len > 0) {  // success reply: the bare new value
-        bool digits = true;
-        for (std::size_t i = 0; i < len; ++i) {
-          digits = digits && line[i] >= '0' && line[i] <= '9';
-        }
-        if (digits) {
-          CompleteFront(conn, ts, /*protocol_ok=*/true);
-          return true;
-        }
       }
       break;
   }
@@ -859,31 +803,22 @@ bool LoadGen::PumpIn(ClientConn& conn, ThreadState& ts) {
   for (;;) {
     const ssize_t r = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (r > 0) {
-      conn.in.append(buf, static_cast<std::size_t>(r));
-      // Values are decimal digits (never CR/LF), so the response stream
-      // parses line by line.
+      conn.parser.Feed(buf, static_cast<std::size_t>(r));
       for (;;) {
-        const std::size_t nl = conn.in.find('\n', conn.in_pos);
-        if (nl == std::string::npos) {
+        ClientEvent event;
+        const ResponseParser::Status s = conn.parser.Next(&event);
+        if (s == ResponseParser::Status::kNeedMore) {
           break;
         }
-        std::size_t len = nl - conn.in_pos;
-        if (len > 0 && conn.in[conn.in_pos + len - 1] == '\r') {
-          --len;
-        }
-        const bool parsed = HandleLine(conn, ts, conn.in.data() + conn.in_pos, len);
-        conn.in_pos = nl + 1;
-        if (!parsed) {
+        if (s == ResponseParser::Status::kBroken) {
+          ++ts.protocol_errors;  // HandleEvent counts its own failures
           FailConn(conn, ts, "unparseable response stream");
           return false;
         }
-      }
-      if (conn.in_pos == conn.in.size()) {
-        conn.in.clear();
-        conn.in_pos = 0;
-      } else if (conn.in_pos > 4096) {
-        conn.in.erase(0, conn.in_pos);
-        conn.in_pos = 0;
+        if (!HandleEvent(conn, ts, event)) {
+          FailConn(conn, ts, "unparseable response stream");
+          return false;
+        }
       }
       if (static_cast<std::size_t>(r) < sizeof(buf)) {
         return true;

@@ -405,19 +405,46 @@ void AppendValueReplyCas(const std::string& key, std::uint32_t flags,
   out->append("\r\n");
 }
 
-void AppendStatReply(const char* name, std::uint64_t value, std::string* out) {
-  char line[96];
-  const int n = std::snprintf(line, sizeof(line), "STAT %s %llu\r\n", name,
-                              static_cast<unsigned long long>(value));
-  out->append(line, static_cast<std::size_t>(n));
+StatsWriter& StatsWriter::Stat(const char* name, const char* value) {
+  return Emit(name, value);
 }
 
-void AppendStatReply(const char* name, const std::string& value, std::string* out) {
-  out->append("STAT ");
-  out->append(name);
-  out->append(" ");
-  out->append(value);
-  out->append("\r\n");
+StatsWriter& StatsWriter::Stat(const char* name, double value) {
+  char text[48];
+  std::snprintf(text, sizeof(text), "%.3f", value);
+  return Emit(name, text);
+}
+
+StatsWriter& StatsWriter::StatU64(const char* name, std::uint64_t value) {
+  char text[24];
+  std::snprintf(text, sizeof(text), "%llu",
+                static_cast<unsigned long long>(value));
+  return Emit(name, text);
+}
+
+StatsWriter& StatsWriter::Emit(const char* name, const char* value) {
+  if (style_ == Style::kWire) {
+    out_->append("STAT ");
+    out_->append(name);
+    out_->push_back(' ');
+    out_->append(value);
+    out_->append("\r\n");
+  } else {
+    if (!first_) {
+      out_->push_back(' ');
+    }
+    out_->append(name);
+    out_->push_back('=');
+    out_->append(value);
+  }
+  first_ = false;
+  return *this;
+}
+
+void StatsWriter::End() {
+  if (style_ == Style::kWire) {
+    out_->append(kProtoEnd);
+  }
 }
 
 }  // namespace ssync

@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/kvs/kvs.h"
@@ -147,9 +148,44 @@ void AppendValueReplyCas(const std::string& key, std::uint32_t flags,
                          const char* data, std::size_t len, std::uint64_t cas,
                          std::string* out);
 
-// Appends "STAT <name> <value>\r\n".
-void AppendStatReply(const char* name, std::uint64_t value, std::string* out);
-void AppendStatReply(const char* name, const std::string& value, std::string* out);
+// One typed emitter for every name/value stats surface the server exposes.
+// The same call sequence renders as either the wire `stats` reply or the
+// ssyncd banner/summary, so a stat added in one place (say a new per-engine
+// counter) cannot drift between the two:
+//
+//   StatsWriter w(StatsWriter::Style::kWire, &out);
+//   w.Stat("cmd_get", gets).Stat("engine", "mp").Stat("hit_ratio", 0.97);
+//   w.End();
+//
+// kWire:   "STAT <name> <value>\r\n" per stat; End() appends "END\r\n".
+// kBanner: "name=value" entries joined with spaces; End() is a no-op.
+class StatsWriter {
+ public:
+  enum class Style { kWire, kBanner };
+
+  StatsWriter(Style style, std::string* out) : style_(style), out_(out) {}
+
+  StatsWriter& Stat(const char* name, const char* value);
+  StatsWriter& Stat(const char* name, const std::string& value) {
+    return Stat(name, value.c_str());
+  }
+  StatsWriter& Stat(const char* name, double value);  // rendered as %.3f
+  // All integral types (including bool, rendered 0/1) widen to one u64 path,
+  // so call sites never hit int-vs-double overload ambiguity.
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  StatsWriter& Stat(const char* name, T value) {
+    return StatU64(name, static_cast<std::uint64_t>(value));
+  }
+  void End();
+
+ private:
+  StatsWriter& StatU64(const char* name, std::uint64_t value);
+  StatsWriter& Emit(const char* name, const char* value);
+
+  Style style_;
+  std::string* out_;
+  bool first_ = true;
+};
 
 }  // namespace ssync
 

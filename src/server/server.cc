@@ -14,9 +14,13 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
-#include <ctime>
+#include <deque>
+#include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/core/mem_native.h"
 #include "src/server/protocol.h"
@@ -39,22 +43,27 @@ std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
-std::uint64_t WallSeconds() {
-  return static_cast<std::uint64_t>(::time(nullptr));
-}
+// One queued reply slot for a connection (mp engine: a request whose records
+// were forwarded to remote shards, or any request that completed while an
+// earlier one was still in flight). The connection keeps executing further
+// pipelined requests while ops are in flight — up to kMaxAsyncPerConn — and
+// replies are formatted strictly in queue order as their heads complete, so
+// per-connection response order is preserved, as memcached guarantees.
+// Without this window, every forwarded op would cost a full channel round
+// trip of latency in sequence, and --mp-batch could never find a second
+// record to pack into a message.
+struct AsyncState {
+  std::uint64_t id = 0;  // worker-local request id (cookie >> 6); 0: none
+  Request req;
+  std::vector<StoreOpResult> results;  // slot i completes with cookie_base + i
+  std::size_t remaining = 0;           // slots still awaiting completion
+  bool is_raw = false;  // reply is pre-rendered (stats/version/error text)
+  std::string raw;
+};
 
-// memcached's exptime rule: 0 = never; values up to 30 days are seconds
-// relative to now; anything larger is an absolute unix time (which may
-// already be in the past — the item is then born expired).
-constexpr std::uint32_t kMaxRelativeExptime = 60 * 60 * 24 * 30;
-
-std::uint32_t AbsoluteExptime(std::uint32_t exptime, std::uint64_t now_s) {
-  if (exptime == 0 || exptime > kMaxRelativeExptime) {
-    return exptime;
-  }
-  const std::uint64_t abs = now_s + exptime;
-  return abs > 0xffffffffULL ? 0xffffffffU : static_cast<std::uint32_t>(abs);
-}
+// Outstanding engine requests a connection may have before the worker stops
+// parsing its input (the reply-reorder window).
+constexpr std::size_t kMaxAsyncPerConn = 64;
 
 // One TCP connection, owned by exactly one worker (no locking).
 struct Connection {
@@ -72,9 +81,62 @@ struct Connection {
   bool want_write = false;  // EPOLLOUT currently armed
   bool reading = true;      // EPOLLIN armed (false: output backpressure)
   bool closing = false;     // close once out drains (quit / broken stream)
+  // quit (or a broken request stream) behind in-flight replies: stop parsing
+  // now, set `closing` once the async queue drains.
+  bool quit_after_drain = false;
+  // Replies not yet written to `out`, in request order; the front formats as
+  // soon as its engine ops complete.
+  std::deque<std::unique_ptr<AsyncState>> asyncs;
 
   std::size_t pending_out() const { return out.size() - out_pos; }
 };
+
+// Translates a parsed wire request into the engine's StoreOp form: key
+// hashed, exptime made absolute, value encoded as an item image. Returns
+// false for ops the server handles itself (get/stats/version/quit).
+bool BuildStoreOp(const Request& req, std::uint64_t now_s, StoreOp* op) {
+  op->now_s = now_s;
+  switch (req.op) {
+    case Request::Op::kSet:
+      op->kind = StoreOp::Kind::kSet;
+      op->key = HashProtocolKey(req.key);
+      op->exptime = AbsoluteExptime(req.exptime, now_s);
+      EncodeStoreValue(req.flags, req.value.data(), req.value.size(),
+                       op->value);
+      return true;
+    case Request::Op::kCas:
+      op->kind = StoreOp::Kind::kCas;
+      op->key = HashProtocolKey(req.key);
+      op->exptime = AbsoluteExptime(req.exptime, now_s);
+      op->cas_expected = req.cas_unique;
+      EncodeStoreValue(req.flags, req.value.data(), req.value.size(),
+                       op->value);
+      return true;
+    case Request::Op::kIncr:
+    case Request::Op::kDecr:
+      op->kind = req.op == Request::Op::kIncr ? StoreOp::Kind::kIncr
+                                              : StoreOp::Kind::kDecr;
+      op->key = HashProtocolKey(req.key);
+      op->delta = req.delta;
+      return true;
+    case Request::Op::kTouch:
+      op->kind = StoreOp::Kind::kTouch;
+      op->key = HashProtocolKey(req.key);
+      op->exptime = AbsoluteExptime(req.exptime, now_s);
+      return true;
+    case Request::Op::kDelete:
+      op->kind = StoreOp::Kind::kDelete;
+      op->key = HashProtocolKey(req.key);
+      return true;
+    case Request::Op::kFlushAll:
+      // O(1) generation bump; the bodies stay counted against the cap until
+      // the reaper or eviction removes them.
+      op->kind = StoreOp::Kind::kFlushAll;
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace
 
@@ -90,6 +152,11 @@ struct KvServer::Worker {
   // items once every epoch has advanced past its seal-time snapshot.
   std::atomic<std::uint64_t> epoch{0};
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  // Requests parked on in-flight engine ops, by request id. Entries are
+  // erased when the last reply lands or the connection closes first (the
+  // late replies are then dropped).
+  std::unordered_map<std::uint64_t, std::pair<Connection*, AsyncState*>> async;
+  std::uint64_t next_request_id = 1;
 
   // Placement outcome (set by WorkerLoop before serving; read by Stats()).
   // os_cpu/socket are decided at Start() from the policy; `pinned` records
@@ -134,6 +201,11 @@ struct KvServer::Worker {
   std::vector<std::unique_ptr<Connection>> pending_close;
 
   void CloseConnection(Connection* conn) {
+    for (const auto& state : conn->asyncs) {
+      if (state->remaining > 0) {
+        async.erase(state->id);  // in-flight replies will be dropped
+      }
+    }
     (void)epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
     const auto it = conns.find(conn->fd);
     pending_close.push_back(std::move(it->second));
@@ -188,152 +260,187 @@ struct KvServer::Worker {
     return true;
   }
 
-  // Makes room for one new item when the cap is reached. In evict mode
-  // (memcached's default) the LRU tail is retired until the count is back
-  // under the cap — bounded retries, since EvictLru can fail spuriously
-  // when the tail moves under a racing evictor. In "-M" mode, or if
-  // eviction comes up dry, returns false and the set is refused. An
-  // overwrite-set at the cap may evict even though it would not grow the
-  // store; distinguishing it here would race anyway, and the victim is the
-  // coldest item by construction.
-  bool EnsureCapacity(std::uint64_t now_s) {
-    const auto cap = static_cast<std::int64_t>(server->config_.store.max_items);
-    if (server->curr_items_.load(std::memory_order_relaxed) < cap) {
-      return true;
-    }
-    if (!server->config_.evict_at_capacity) {
-      return false;
-    }
-    for (int attempt = 0; attempt < 8; ++attempt) {
-      if (server->store_->EvictLru(now_s)) {
-        server->curr_items_.fetch_sub(1, std::memory_order_relaxed);
+  // Renders a completed multi-get: VALUE lines for the hits in request
+  // order, then END.
+  void FormatGetReply(const Request& req, const StoreOpResult* results,
+                      std::string* out) {
+    const std::size_t n = req.keys.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!results[i].found) {
+        continue;
       }
-      if (server->curr_items_.load(std::memory_order_relaxed) < cap) {
-        return true;
+      std::uint32_t flags = 0;
+      const char* data = nullptr;
+      std::size_t len = 0;
+      if (DecodeStoreValue(results[i].value, &flags, &data, &len)) {
+        if (req.want_cas) {
+          AppendValueReplyCas(req.keys[i], flags, data, len, results[i].cas,
+                              out);
+        } else {
+          AppendValueReply(req.keys[i], flags, data, len, out);
+        }
       }
     }
-    return false;
+    *out += kProtoEnd;
   }
 
-  void Execute(const Request& req, Connection* conn) {
+  // Renders a completed single-key store op; the reply strings are exactly
+  // the historical direct-call path's.
+  void FormatOpReply(const Request& req, const StoreOpResult& result,
+                     std::string* out) {
     switch (req.op) {
-      case Request::Op::kGet: {
-        std::uint64_t keys[kProtoMaxGetKeys];
-        bool found[kProtoMaxGetKeys];
-        std::uint64_t cas[kProtoMaxGetKeys];
-        std::uint8_t values[kProtoMaxGetKeys * kKvsValueBytes];
-        const std::size_t n = req.keys.size();  // parser caps at kProtoMaxGetKeys
-        for (std::size_t i = 0; i < n; ++i) {
-          keys[i] = HashProtocolKey(req.keys[i]);
-        }
-        server->store_->GetMulti(keys, n, values, found, WallSeconds(), cas);
-        for (std::size_t i = 0; i < n; ++i) {
-          if (!found[i]) {
-            continue;
-          }
-          std::uint32_t flags = 0;
-          const char* data = nullptr;
-          std::size_t len = 0;
-          if (DecodeStoreValue(values + i * kKvsValueBytes, &flags, &data, &len)) {
-            if (req.want_cas) {
-              AppendValueReplyCas(req.keys[i], flags, data, len, cas[i],
-                                  &conn->out);
-            } else {
-              AppendValueReply(req.keys[i], flags, data, len, &conn->out);
-            }
-          }
-        }
-        conn->out += kProtoEnd;
-        break;
-      }
-      case Request::Op::kSet: {
-        const std::uint64_t now_s = WallSeconds();
-        if (!EnsureCapacity(now_s)) {
+      case Request::Op::kSet:
+        if (result.rejected) {
           Bump(&Counters::rejected_sets);
           if (!req.noreply) {
-            conn->out += "SERVER_ERROR out of memory storing object\r\n";
+            *out += "SERVER_ERROR out of memory storing object\r\n";
           }
           break;
         }
-        std::uint8_t image[kKvsValueBytes];
-        EncodeStoreValue(req.flags, req.value.data(), req.value.size(), image);
-        if (server->store_->Set(HashProtocolKey(req.key), image,
-                                AbsoluteExptime(req.exptime, now_s))) {
-          server->curr_items_.fetch_add(1, std::memory_order_relaxed);
-        }
         if (!req.noreply) {
-          conn->out += kProtoStored;
+          *out += kProtoStored;
         }
         break;
-      }
-      case Request::Op::kCas: {
-        const std::uint64_t now_s = WallSeconds();
-        std::uint8_t image[kKvsValueBytes];
-        EncodeStoreValue(req.flags, req.value.data(), req.value.size(), image);
-        const CasOutcome outcome = server->store_->Cas(
-            HashProtocolKey(req.key), image,
-            AbsoluteExptime(req.exptime, now_s), req.cas_unique, now_s);
+      case Request::Op::kCas:
         if (!req.noreply) {
-          conn->out += outcome == CasOutcome::kStored   ? kProtoStored
-                       : outcome == CasOutcome::kExists ? kProtoExists
-                                                        : kProtoNotFound;
+          *out += result.cas_outcome == CasOutcome::kStored ? kProtoStored
+                  : result.cas_outcome == CasOutcome::kExists ? kProtoExists
+                                                              : kProtoNotFound;
         }
         break;
-      }
       case Request::Op::kIncr:
-      case Request::Op::kDecr: {
-        std::uint64_t new_value = 0;
-        const CounterOutcome outcome = server->store_->IncrDecr(
-            HashProtocolKey(req.key), req.delta,
-            req.op == Request::Op::kIncr, WallSeconds(), &new_value);
+      case Request::Op::kDecr:
         if (!req.noreply) {
-          switch (outcome) {
+          switch (result.counter_outcome) {
             case CounterOutcome::kApplied: {
               char line[24];
-              const int len =
-                  std::snprintf(line, sizeof(line), "%llu\r\n",
-                                static_cast<unsigned long long>(new_value));
-              conn->out.append(line, static_cast<std::size_t>(len));
+              const int len = std::snprintf(
+                  line, sizeof(line), "%llu\r\n",
+                  static_cast<unsigned long long>(result.new_value));
+              out->append(line, static_cast<std::size_t>(len));
               break;
             }
             case CounterOutcome::kNotFound:
-              conn->out += kProtoNotFound;
+              *out += kProtoNotFound;
               break;
             case CounterOutcome::kNotNumeric:
-              conn->out +=
+              *out +=
                   "CLIENT_ERROR cannot increment or decrement non-numeric "
                   "value\r\n";
               break;
           }
         }
         break;
-      }
-      case Request::Op::kTouch: {
-        const std::uint64_t now_s = WallSeconds();
-        const bool hit =
-            server->store_->Touch(HashProtocolKey(req.key),
-                                  AbsoluteExptime(req.exptime, now_s), now_s);
+      case Request::Op::kTouch:
         if (!req.noreply) {
-          conn->out += hit ? kProtoTouched : kProtoNotFound;
+          *out += result.found ? kProtoTouched : kProtoNotFound;
         }
         break;
-      }
-      case Request::Op::kFlushAll: {
-        // O(1) generation bump; the bodies stay counted against the cap
-        // until the reaper (worker 0) or eviction removes them.
-        server->store_->FlushAll();
+      case Request::Op::kDelete:
         if (!req.noreply) {
-          conn->out += kProtoOk;
+          *out += result.found ? kProtoDeleted : kProtoNotFound;
         }
         break;
-      }
-      case Request::Op::kDelete: {
-        const bool hit = server->store_->Delete(HashProtocolKey(req.key));
-        if (hit) {
-          server->curr_items_.fetch_sub(1, std::memory_order_relaxed);
-        }
+      case Request::Op::kFlushAll:
         if (!req.noreply) {
-          conn->out += hit ? kProtoDeleted : kProtoNotFound;
+          *out += kProtoOk;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Where the next synchronously-produced reply's bytes go: straight to the
+  // output buffer when no earlier reply is still in flight, otherwise a
+  // pre-rendered slot queued behind them (per-connection response order is
+  // part of the protocol).
+  std::string* ReplySink(Connection* conn) {
+    if (conn->asyncs.empty()) {
+      return &conn->out;
+    }
+    auto state = std::make_unique<AsyncState>();
+    state->is_raw = true;
+    std::string* out = &state->raw;
+    conn->asyncs.push_back(std::move(state));
+    return out;
+  }
+
+  // Queues one reply slot; slots with in-flight engine ops also register in
+  // the worker's completion map.
+  void Park(Connection* conn, std::uint64_t id, const Request& req,
+            const StoreOpResult* results, std::size_t n,
+            std::size_t remaining) {
+    auto state = std::make_unique<AsyncState>();
+    state->id = id;
+    state->req = req;
+    state->results.assign(results, results + n);
+    state->remaining = remaining;
+    if (remaining > 0) {
+      async.emplace(id, std::make_pair(conn, state.get()));
+    }
+    conn->asyncs.push_back(std::move(state));
+  }
+
+  // Moves every completed reply at the front of the queue into the output
+  // buffer, in request order; arms close-on-drain once a deferred quit (or
+  // broken stream) is all that remains.
+  void DrainAsyncs(Connection* conn) {
+    while (!conn->asyncs.empty() && conn->asyncs.front()->remaining == 0) {
+      const AsyncState& done = *conn->asyncs.front();
+      if (done.is_raw) {
+        conn->out += done.raw;
+      } else if (done.req.op == Request::Op::kGet) {
+        FormatGetReply(done.req, done.results.data(), &conn->out);
+      } else {
+        FormatOpReply(done.req, done.results[0], &conn->out);
+      }
+      conn->asyncs.pop_front();
+    }
+    if (conn->asyncs.empty() && conn->quit_after_drain) {
+      conn->closing = true;
+    }
+  }
+
+  // Engine completion sink (invoked from this worker's own Pump, never from
+  // another thread): lands one reply slot; when the request's last slot
+  // fills, drains the in-order prefix of completed replies and resumes the
+  // connection.
+  void OnCompletion(std::uint64_t cookie, const StoreOpResult& result) {
+    const auto it = async.find(cookie >> 6);
+    if (it == async.end()) {
+      return;  // the connection closed while the op was in flight
+    }
+    Connection* conn = it->second.first;
+    AsyncState& state = *it->second.second;
+    state.results[cookie & 0x3f] = result;
+    if (--state.remaining > 0) {
+      return;
+    }
+    async.erase(it);
+    DrainAsyncs(conn);
+    // The client may have pipelined more requests while the window was
+    // full; they are sitting parsed in the connection's buffer.
+    ProcessRequests(conn);
+    Flush(conn);  // may close the connection
+  }
+
+  void Execute(const Request& req, Connection* conn) {
+    switch (req.op) {
+      case Request::Op::kGet: {
+        std::uint64_t keys[kProtoMaxGetKeys];
+        StoreOpResult results[kProtoMaxGetKeys];
+        const std::size_t n = req.keys.size();  // parser caps at kProtoMaxGetKeys
+        for (std::size_t i = 0; i < n; ++i) {
+          keys[i] = HashProtocolKey(req.keys[i]);
+        }
+        const std::uint64_t id = next_request_id++;
+        const std::size_t pending = server->engine_->ExecuteGetMulti(
+            index, keys, n, req.want_cas, WallSeconds(), results, id << 6);
+        if (pending == 0) {
+          FormatGetReply(req, results, ReplySink(conn));
+        } else {
+          Park(conn, id, req, results, n, pending);
         }
         break;
       }
@@ -345,95 +452,131 @@ struct KvServer::Worker {
         const auto minus = [](std::uint64_t a, std::uint64_t b) {
           return a > b ? a - b : 0;
         };
-        AppendStatReply("cmd_get", stats.store.gets, &conn->out);
-        AppendStatReply("get_hits", stats.store.get_hits, &conn->out);
-        AppendStatReply("get_misses", minus(stats.store.gets, stats.store.get_hits),
-                        &conn->out);
-        AppendStatReply("cmd_set", stats.store.sets, &conn->out);
-        AppendStatReply("cmd_delete", stats.store.deletes, &conn->out);
-        AppendStatReply("delete_hits", stats.store.delete_hits, &conn->out);
+        StatsWriter sw(StatsWriter::Style::kWire, ReplySink(conn));
+        sw.Stat("cmd_get", stats.store.gets)
+            .Stat("get_hits", stats.store.get_hits)
+            .Stat("get_misses", minus(stats.store.gets, stats.store.get_hits))
+            .Stat("cmd_set", stats.store.sets)
+            .Stat("cmd_delete", stats.store.deletes)
+            .Stat("delete_hits", stats.store.delete_hits);
         // Seqlock read-path telemetry (all zero unless --optimistic-reads):
         // lets an operator confirm the fast path is on and actually serving.
-        AppendStatReply("optimistic_reads",
-                        static_cast<std::uint64_t>(
-                            server->config_.store.optimistic_reads ? 1 : 0),
-                        &conn->out);
-        AppendStatReply("optimistic_hits", stats.store.optimistic_hits,
-                        &conn->out);
-        AppendStatReply("optimistic_retries", stats.store.optimistic_retries,
-                        &conn->out);
-        AppendStatReply("optimistic_fallbacks", stats.store.optimistic_fallbacks,
-                        &conn->out);
-        AppendStatReply("curr_items_approx", stats.curr_items, &conn->out);
+        sw.Stat("optimistic_reads",
+                server->config_.store.optimistic_reads ? 1 : 0)
+            .Stat("optimistic_hits", stats.store.optimistic_hits)
+            .Stat("optimistic_retries", stats.store.optimistic_retries)
+            .Stat("optimistic_fallbacks", stats.store.optimistic_fallbacks)
+            .Stat("curr_items_approx", stats.curr_items);
         // Cache-semantics accounting: capacity evictions, TTL/flush reaps,
         // and cas outcomes (memcached's stat names).
-        AppendStatReply("evictions", stats.store.evictions, &conn->out);
-        AppendStatReply("expired_unfetched", stats.store.expired_unfetched,
-                        &conn->out);
-        AppendStatReply("cas_hits", stats.store.cas_hits, &conn->out);
-        AppendStatReply("cas_badval", stats.store.cas_badval, &conn->out);
-        AppendStatReply("cas_misses", stats.store.cas_misses, &conn->out);
-        AppendStatReply("evict_at_capacity",
-                        static_cast<std::uint64_t>(
-                            server->config_.evict_at_capacity ? 1 : 0),
-                        &conn->out);
-        AppendStatReply("rejected_sets", stats.rejected_sets, &conn->out);
-        AppendStatReply("max_items",
-                        static_cast<std::uint64_t>(server->config_.store.max_items),
-                        &conn->out);
-        AppendStatReply("total_connections", stats.connections_accepted, &conn->out);
-        AppendStatReply("cmd_total", stats.requests, &conn->out);
-        AppendStatReply("protocol_errors", stats.protocol_errors, &conn->out);
-        AppendStatReply("bytes_read", stats.bytes_in, &conn->out);
-        AppendStatReply("bytes_written", stats.bytes_out, &conn->out);
-        AppendStatReply("threads", static_cast<std::uint64_t>(server->config_.workers),
-                        &conn->out);
+        sw.Stat("evictions", stats.store.evictions)
+            .Stat("expired_unfetched", stats.store.expired_unfetched)
+            .Stat("cas_hits", stats.store.cas_hits)
+            .Stat("cas_badval", stats.store.cas_badval)
+            .Stat("cas_misses", stats.store.cas_misses)
+            .Stat("evict_at_capacity", server->config_.evict_at_capacity ? 1 : 0)
+            .Stat("rejected_sets", stats.rejected_sets)
+            .Stat("max_items", server->config_.store.max_items)
+            .Stat("total_connections", stats.connections_accepted)
+            .Stat("cmd_total", stats.requests)
+            .Stat("protocol_errors", stats.protocol_errors)
+            .Stat("bytes_read", stats.bytes_in)
+            .Stat("bytes_written", stats.bytes_out)
+            .Stat("threads", server->config_.workers);
+        // Execution-engine telemetry: which architecture is serving, how
+        // much of the op stream stayed on the caller's own shard/store, and
+        // the channel economics (records per message = how well --mp-batch
+        // amortizes the per-message cache-line transfers).
+        const std::uint64_t shipped =
+            stats.engine.mp_forwards + stats.engine.mp_replies;
+        const std::uint64_t routed =
+            stats.engine.local_ops + stats.engine.mp_forwards;
+        sw.Stat("engine", ToString(stats.engine_kind))
+            .Stat("local_ops", stats.engine.local_ops)
+            .Stat("local_hit_ratio",
+                  routed > 0 ? static_cast<double>(stats.engine.local_ops) /
+                                   static_cast<double>(routed)
+                             : 0.0)
+            .Stat("mp_forwards", stats.engine.mp_forwards)
+            .Stat("mp_replies", stats.engine.mp_replies)
+            .Stat("mp_messages", stats.engine.mp_messages)
+            .Stat("mp_batch", server->config_.mp_batch)
+            .Stat("mp_batch_occupancy",
+                  stats.engine.mp_messages > 0
+                      ? static_cast<double>(shipped) /
+                            static_cast<double>(stats.engine.mp_messages)
+                      : 0.0);
         // Worker placement: the policy and the worker -> cpu/socket map, so
         // a remote operator can verify where the event loops actually run
         // (cpu/socket are -1 when the policy leaves workers unpinned).
-        AppendStatReply("placement", std::string(ToString(stats.placement)),
-                        &conn->out);
+        sw.Stat("placement", ToString(stats.placement));
         for (const WorkerPlacement& wp : stats.worker_placements) {
           char name[64];
           std::snprintf(name, sizeof(name), "worker_%d_cpu", wp.worker);
-          AppendStatReply(name, std::to_string(wp.os_cpu), &conn->out);
+          sw.Stat(name, std::to_string(wp.os_cpu));
           std::snprintf(name, sizeof(name), "worker_%d_socket", wp.worker);
-          AppendStatReply(name, std::to_string(wp.socket), &conn->out);
+          sw.Stat(name, std::to_string(wp.socket));
           // cpu/socket above are the *intended* placement; pinned records
           // whether the affinity call actually took on the worker thread.
           std::snprintf(name, sizeof(name), "worker_%d_pinned", wp.worker);
-          AppendStatReply(name, static_cast<std::uint64_t>(wp.pinned ? 1 : 0),
-                          &conn->out);
+          sw.Stat(name, wp.pinned ? 1 : 0);
         }
-        conn->out += kProtoEnd;
+        sw.End();
         break;
       }
-      case Request::Op::kVersion:
-        conn->out += "VERSION ssyncd/1.0-";
-        conn->out += ToString(server->config_.lock);
-        conn->out += "\r\n";
+      case Request::Op::kVersion: {
+        std::string* out = ReplySink(conn);
+        *out += "VERSION ssyncd/1.0-";
+        *out += ToString(server->config_.lock);
+        *out += "\r\n";
         break;
+      }
       case Request::Op::kQuit:
-        conn->closing = true;
+        if (conn->asyncs.empty()) {
+          conn->closing = true;
+        } else {
+          conn->quit_after_drain = true;
+        }
         break;
+      default: {
+        StoreOp op;
+        if (!BuildStoreOp(req, WallSeconds(), &op)) {
+          break;
+        }
+        StoreOpResult result;
+        const std::uint64_t id = next_request_id++;
+        if (server->engine_->Execute(index, op, &result, id << 6)) {
+          FormatOpReply(req, result, ReplySink(conn));
+        } else {
+          Park(conn, id, req, &result, 1, 1);
+        }
+        break;
+      }
     }
   }
 
   // Drains every parseable request buffered on the connection (pipelining:
   // one read may carry many requests; responses batch into one write).
+  // Keeps executing while engine ops are in flight, up to kMaxAsyncPerConn
+  // outstanding — replies drain in request order from OnCompletion.
   void ProcessRequests(Connection* conn) {
     Request req;
     std::string error_reply;
-    while (!conn->closing) {
+    while (!conn->closing && !conn->quit_after_drain &&
+           conn->asyncs.size() < kMaxAsyncPerConn) {
       const RequestParser::Status status = conn->parser.Next(&req, &error_reply);
       if (status == RequestParser::Status::kNeedMore) {
         break;
       }
       if (status == RequestParser::Status::kError) {
-        conn->out += error_reply;
+        *ReplySink(conn) += error_reply;
         Bump(&Counters::protocol_errors);
         if (conn->parser.broken()) {
-          conn->closing = true;
+          if (conn->asyncs.empty()) {
+            conn->closing = true;
+          } else {
+            conn->quit_after_drain = true;
+          }
         }
         continue;
       }
@@ -448,6 +591,9 @@ struct KvServer::Worker {
     for (;;) {
       if (conn->pending_out() > kMaxPendingOut) {
         break;  // backpressure: Flush below disarms EPOLLIN until drained
+      }
+      if (conn->asyncs.size() >= kMaxAsyncPerConn || conn->quit_after_drain) {
+        break;  // reply window full (or quit pending); completions resume us
       }
       const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
       if (r > 0) {
@@ -516,8 +662,14 @@ bool KvServer::Start(std::string* error) {
   const LockTopology store_topo =
       worker_cpus_.empty() ? LockTopology::Flat(config_.workers)
                            : LockTopology::FromSpec(host_spec_, worker_cpus_);
-  store_ = MakeKvStore(config_.lock, config_.store, store_topo);
-  curr_items_.store(0, std::memory_order_relaxed);  // fresh store on restart
+  EngineConfig engine_config;
+  engine_config.kind = config_.engine;
+  engine_config.workers = config_.workers;
+  engine_config.lock = config_.lock;
+  engine_config.store = config_.store;
+  engine_config.evict_at_capacity = config_.evict_at_capacity;
+  engine_config.mp_batch = config_.mp_batch;
+  engine_ = MakeEngine(engine_config, store_topo);  // fresh store on restart
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -598,6 +750,16 @@ bool KvServer::Start(std::string* error) {
     workers_.push_back(std::move(worker));
   }
 
+  // Wire each worker's completion sink before any loop runs: pending ops'
+  // replies land in the worker's own Pump.
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    engine_->SetCompletion(
+        w->index, [w](std::uint64_t cookie, const StoreOpResult& result) {
+          w->OnCompletion(cookie, result);
+        });
+  }
+
   threads_.reserve(workers_.size());
   for (auto& worker : workers_) {
     threads_.emplace_back([this, w = worker.get()] { WorkerLoop(*w); });
@@ -620,17 +782,9 @@ void KvServer::Stop() {
     thread.join();
   }
   threads_.clear();
-  // Workers are joined (fully quiescent): drain the reclamation pipeline —
-  // a possibly-sealed batch first, then whatever was still retired.
-  // BeginReclaim acquires the LRU lock, and the queue locks index their
-  // per-thread nodes by Mem::ThreadId() — the caller's thread has no
-  // registered id, so borrow worker 0's (its owner is joined).
-  const int saved_tid = internal::g_native_thread_id;
-  internal::g_native_thread_id = 0;
-  store_->FinishReclaim();
-  store_->BeginReclaim();
-  store_->FinishReclaim();
-  internal::g_native_thread_id = saved_tid;
+  // Workers are joined (fully quiescent; each already ran its cooperative
+  // DrainOnStop barrier): final reclamation sweep over the engine's stores.
+  engine_->FinalDrain();
   // Release the sockets now (the port frees immediately) but keep the worker
   // objects so post-run Stats() still sees the final counter values.
   for (auto& worker : workers_) {
@@ -653,6 +807,7 @@ void KvServer::Stop() {
 ServerStats KvServer::Stats() const {
   ServerStats total;
   total.placement = config_.placement;
+  total.engine_kind = config_.engine;
   for (const auto& worker : workers_) {
     WorkerPlacement wp;
     wp.worker = worker->index;
@@ -672,17 +827,17 @@ ServerStats KvServer::Stats() const {
     total.bytes_in += worker->counters.bytes_in.load(std::memory_order_relaxed);
     total.bytes_out += worker->counters.bytes_out.load(std::memory_order_relaxed);
   }
-  const std::int64_t items = curr_items_.load(std::memory_order_relaxed);
-  total.curr_items = items > 0 ? static_cast<std::uint64_t>(items) : 0;
-  if (store_ != nullptr) {
-    total.store = store_->Stats();
+  if (engine_ != nullptr) {
+    total.curr_items = engine_->CurrItems();
+    total.store = engine_->StoreStats();
+    total.engine = engine_->Stats();
   }
   return total;
 }
 
 void KvServer::WorkerLoop(Worker& worker) {
-  // The queue locks inside the store index per-thread state by
-  // Mem::ThreadId(); workers take the dense ids [0, workers).
+  // The queue locks inside the store and the MP channels index per-thread
+  // state by Mem::ThreadId(); workers take the dense ids [0, workers).
   internal::g_native_thread_id = worker.index;
   if (worker.os_cpu >= 0) {
     // Best effort, like the benchmark runtime: a failed pin (cpu yanked from
@@ -691,36 +846,30 @@ void KvServer::WorkerLoop(Worker& worker) {
     worker.pinned.store(PinThreadToOsCpu(worker.os_cpu), std::memory_order_relaxed);
   }
 
-  // Reclaimer state (worker 0 only): epochs snapshotted at the last
-  // BeginReclaim; empty when no grace period is in flight.
+  // Reclaimer state (worker 0 only, shared-store engines): epochs
+  // snapshotted at the last BeginReclaim; empty when no grace period is in
+  // flight.
   std::vector<std::uint64_t> reclaim_snapshot;
-  std::uint64_t pass = 0;
+
+  // Lock engine: finite timeout (idle epochs keep advancing so grace
+  // periods terminate). MP engine: zero — the worker must keep polling its
+  // channels for peers' forwarded ops.
+  const int timeout_ms = engine_->EpollTimeoutMs();
 
   epoll_event events[kEpollBatch];
   while (!worker.stop.load(std::memory_order_acquire)) {
-    // Quiescent point: no store pointers are live across this line. The
-    // finite timeout keeps idle workers' epochs advancing so a grace period
-    // always terminates.
+    // Quiescent point: no store pointers are live across this line.
     worker.epoch.fetch_add(1, std::memory_order_release);
-    if (worker.index == 0) {
-      // TTL/flush reaper: periodically sweep a bounded slice of the LRU
-      // cold end for dead items. Rate-limited by loop pass so a busy
-      // server doesn't take the LRU lock every batch; an idle server reaps
-      // within a few epoll timeouts.
-      if ((pass++ & 0xf) == 0) {
-        const std::size_t reaped = store_->ReapExpired(64, WallSeconds());
-        if (reaped > 0) {
-          curr_items_.fetch_sub(static_cast<std::int64_t>(reaped),
-                                std::memory_order_relaxed);
-        }
-      }
+    engine_->Maintain(worker.index);
+    KvStore* shared = engine_->SharedStore();
+    if (worker.index == 0 && shared != nullptr) {
       if (reclaim_snapshot.empty()) {
         // Only seal when something was retired since the last cycle: this
         // check is lock-free, BeginReclaim's LRU-lock acquisition is not —
         // quiet passes must not add contention to the very lock the server
         // experiment measures.
-        if (store_->HasRetired()) {
-          store_->BeginReclaim();
+        if (shared->HasRetired()) {
+          shared->BeginReclaim();
           reclaim_snapshot.reserve(workers_.size());
           for (const auto& w : workers_) {
             reclaim_snapshot.push_back(w->epoch.load(std::memory_order_acquire));
@@ -734,12 +883,12 @@ void KvServer::WorkerLoop(Worker& worker) {
                              reclaim_snapshot[i];
         }
         if (all_advanced) {
-          store_->FinishReclaim();
+          shared->FinishReclaim();
           reclaim_snapshot.clear();
         }
       }
     }
-    const int n = epoll_wait(worker.epoll_fd, events, kEpollBatch, 100);
+    const int n = epoll_wait(worker.epoll_fd, events, kEpollBatch, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -774,12 +923,23 @@ void KvServer::WorkerLoop(Worker& worker) {
         worker.Flush(conn);
       }
     }
+    // Engine turn: serve peers' forwarded ops on the owned shard, flush
+    // queued outbound records, deliver replies (which resume parked
+    // connections via OnCompletion). No-op on the lock engine.
+    const bool engine_progress = engine_->Pump(worker.index);
     // Now that no stale event can reference them, release closed
     // connections (frees their fd numbers for reuse).
     worker.pending_close.clear();
+    if (n == 0 && !engine_progress && timeout_ms == 0) {
+      std::this_thread::yield();  // busy-polling engine, nothing to do
+    }
   }
   worker.conns.clear();
   worker.pending_close.clear();
+  worker.async.clear();
+  // Keep serving peers' forwarded ops until every worker has stopped — no
+  // worker may exit while another could still be waiting on its shard.
+  engine_->DrainOnStop(worker.index);
 }
 
 }  // namespace ssync

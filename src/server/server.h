@@ -8,13 +8,15 @@
 //     shards incoming connects across workers — "sharded accept", no shared
 //     accept lock), and its own connection table. A connection lives on one
 //     worker for its whole life, so connection state needs no locking.
-//   * One shared KvStore (Kvs<NativeMem, Lock>): all cross-thread
-//     synchronization happens inside the store, under the lock algorithm
-//     named by ServerConfig::lock — which is exactly the variable the
-//     Figure 12 experiment turns.
-//   * Worker threads register dense ssync thread ids (the queue locks index
-//     their per-thread nodes with Mem::ThreadId()), so LockTopology::Flat
-//     (workers) covers every thread that touches the store.
+//   * Store operations route through an ExecutionEngine (src/server/engine.h):
+//     the lock engine is one shared KvStore with cross-thread synchronization
+//     inside the store under ServerConfig::lock (the Figure 12 variable); the
+//     mp engine shards the keyspace across workers and forwards remote-shard
+//     ops over SsmpComm message channels — the paper's message-passing
+//     alternative, selectable per run (ssyncd --engine).
+//   * Worker threads register dense ssync thread ids (the queue locks and MP
+//     channels index per-thread state with Mem::ThreadId()), so
+//     LockTopology::Flat(workers) covers every thread that touches the store.
 //
 // KvServer is usable embedded (tests, the kvs_server experiment — port 0
 // picks an ephemeral port) or standalone via the ssyncd binary.
@@ -30,6 +32,7 @@
 
 #include "src/locks/lock_common.h"
 #include "src/platform/topology.h"
+#include "src/server/engine.h"
 #include "src/server/store.h"
 #include "src/util/cacheline.h"
 
@@ -39,7 +42,11 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  // 0: ephemeral — bound port via KvServer::port()
   int workers = 4;
+  // Which execution architecture serves store ops (see engine.h).
+  EngineKind engine = EngineKind::kLock;
   LockKind lock = LockKind::kMutex;
+  // mp engine: records packed per channel message (ssyncd --mp-batch).
+  int mp_batch = 1;
   // Worker-thread placement over the discovered host topology
   // (src/platform/topology.h): kNone leaves workers to the OS scheduler;
   // fill/scatter/smt-pair pin worker i to PlacementCpus(host, policy)[i].
@@ -70,6 +77,8 @@ struct ServerStats {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t curr_items = 0;  // creates minus removals (approx)
+  EngineKind engine_kind = EngineKind::kLock;
+  EngineStats engine;  // local/forwarded op counters (engine.h)
   PlacementPolicy placement = PlacementPolicy::kNone;
   std::vector<WorkerPlacement> worker_placements;  // one entry per worker
   KvsStatsSnapshot store;
@@ -108,14 +117,9 @@ class KvServer {
   // both stay empty/default and are never consulted.
   PlatformSpec host_spec_;
   std::vector<CpuId> worker_cpus_;
-  std::unique_ptr<KvStore> store_;
+  std::unique_ptr<ExecutionEngine> engine_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  // Live item estimate (creates minus delete-hits/evictions/reaps,
-  // relaxed) backing the capacity cap: at store.max_items a set either
-  // drives LRU eviction (default) or is refused ("-M";
-  // ServerConfig::evict_at_capacity).
-  std::atomic<std::int64_t> curr_items_{0};
   std::uint16_t port_ = 0;
   bool running_ = false;
 };

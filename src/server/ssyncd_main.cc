@@ -1,6 +1,7 @@
 // ssyncd — the networked key-value server. See server.h for the design.
 //
 //   ssyncd --port=11311 --workers=4 --lock=MCS
+//   ssyncd --port=11311 --engine=mp --mp-batch=4   # message-passing engine
 //   ssyncd --port=0     # ephemeral; the bound port is printed at startup
 //
 // Runs until SIGINT/SIGTERM, then prints the final stats to stderr.
@@ -9,8 +10,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 
+#include "src/server/protocol.h"
 #include "src/server/server.h"
 #include "src/trace/recorder.h"
 #include "src/util/cli.h"
@@ -32,8 +35,16 @@ int main(int argc, char** argv) {
   config.port = static_cast<std::uint16_t>(
       cli.Int("port", 11311, "TCP port (0: ephemeral, printed at startup)"));
   config.workers = static_cast<int>(cli.Int("workers", 4, "event-loop threads"));
+  const std::string engine_name = cli.Str(
+      "engine", "lock",
+      "execution engine: lock (shared store, per-bucket locks) | mp "
+      "(worker-owned shards, ops forwarded over message channels)");
   const std::string lock_name =
       cli.Str("lock", "MUTEX", "lock algorithm for the store (see ssyncbench --list)");
+  config.mp_batch = static_cast<int>(cli.Int(
+      "mp-batch", 1,
+      "mp engine: max records packed into one channel message (amortizes the "
+      "per-message cache-line transfers)"));
   const std::string placement_name = cli.Str(
       "placement", "none",
       "worker placement over the host topology: none | fill | scatter | smt-pair");
@@ -59,6 +70,15 @@ int main(int argc, char** argv) {
       "`ssyncbench trace_replay --trace-in=FILE`)");
   cli.Finish();
   config.lock = LockKindFromString(lock_name);
+  if (!EngineKindFromString(engine_name, &config.engine)) {
+    std::fprintf(stderr, "ssyncd: unknown engine '%s' (use lock|mp)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+  if (config.mp_batch < 1) {
+    std::fprintf(stderr, "ssyncd: --mp-batch must be >= 1\n");
+    return 2;
+  }
   if (!PlacementFromString(placement_name, &config.placement)) {
     std::fprintf(stderr, "ssyncd: unknown placement '%s' (use none|fill|scatter|smt-pair)\n",
                  placement_name.c_str());
@@ -75,12 +95,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ssyncd: %s\n", error.c_str());
     return 1;
   }
-  std::fprintf(stderr,
-               "ssyncd: serving on %s:%u (%d workers, %s lock, %s placement, "
-               "%s reads)\n",
-               config.host.c_str(), server.port(), config.workers,
-               ToString(config.lock), ToString(config.placement),
-               config.store.optimistic_reads ? "optimistic" : "locked");
+  std::string banner;
+  {
+    StatsWriter bw(StatsWriter::Style::kBanner, &banner);
+    bw.Stat("host", config.host)
+        .Stat("port", server.port())
+        .Stat("workers", config.workers)
+        .Stat("engine", ToString(config.engine))
+        .Stat("lock", ToString(config.lock))
+        .Stat("placement", ToString(config.placement))
+        .Stat("reads",
+              config.store.optimistic_reads ? "optimistic" : "locked");
+    if (config.engine == EngineKind::kMp) {
+      bw.Stat("mp_batch", config.mp_batch);
+    }
+    bw.End();
+  }
+  std::fprintf(stderr, "ssyncd: serving %s\n", banner.c_str());
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -101,13 +132,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ssyncd: wrote %llu trace records to %s\n",
                  static_cast<unsigned long long>(traced), trace_out.c_str());
   }
-  std::fprintf(stderr,
-               "ssyncd: shut down after %llu connections, %llu requests "
-               "(%llu protocol errors), %llu/%llu bytes in/out\n",
-               static_cast<unsigned long long>(stats.connections_accepted),
-               static_cast<unsigned long long>(stats.requests),
-               static_cast<unsigned long long>(stats.protocol_errors),
-               static_cast<unsigned long long>(stats.bytes_in),
-               static_cast<unsigned long long>(stats.bytes_out));
+  std::string summary;
+  {
+    StatsWriter sw(StatsWriter::Style::kBanner, &summary);
+    sw.Stat("connections", stats.connections_accepted)
+        .Stat("requests", stats.requests)
+        .Stat("protocol_errors", stats.protocol_errors)
+        .Stat("bytes_in", stats.bytes_in)
+        .Stat("bytes_out", stats.bytes_out);
+    if (stats.engine_kind == EngineKind::kMp) {
+      sw.Stat("mp_forwards", stats.engine.mp_forwards)
+          .Stat("mp_messages", stats.engine.mp_messages);
+    }
+    sw.End();
+  }
+  std::fprintf(stderr, "ssyncd: shut down after %s\n", summary.c_str());
   return 0;
 }

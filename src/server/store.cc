@@ -184,6 +184,15 @@ class KvStoreImpl final : public KvStore {
   std::atomic<std::uint64_t> cas_misses_{0};
 };
 
+// No-op lock filling Kvs's Lock slots for single-owner shard stores: the MP
+// engine guarantees exactly one thread per shard, so mutual exclusion is
+// ownership and the lock can vanish entirely.
+struct NullLock {
+  explicit NullLock(const LockTopology&) {}
+  void Lock() {}
+  void Unlock() {}
+};
+
 }  // namespace
 
 std::unique_ptr<KvStore> MakeKvStore(LockKind kind, const KvStoreConfig& config,
@@ -193,6 +202,11 @@ std::unique_ptr<KvStore> MakeKvStore(LockKind kind, const KvStoreConfig& config,
     store = std::make_unique<KvStoreImpl<Lock>>(config, topo);
   });
   return store;
+}
+
+std::unique_ptr<KvStore> MakeShardKvStore(const KvStoreConfig& config,
+                                          const LockTopology& topo) {
+  return std::make_unique<KvStoreImpl<NullLock>>(config, topo);
 }
 
 }  // namespace ssync

@@ -153,6 +153,13 @@ class KvStore {
 std::unique_ptr<KvStore> MakeKvStore(LockKind kind, const KvStoreConfig& config,
                                      const LockTopology& topo);
 
+// Lock-free variant for single-owner shards (the MP execution engine): the
+// Kvs lock slots are no-op NullLocks, so ops on an exclusively owned shard
+// pay no atomic RMW at all. The caller must guarantee exactly one thread
+// touches the store at a time — mutual exclusion by ownership, not by lock.
+std::unique_ptr<KvStore> MakeShardKvStore(const KvStoreConfig& config,
+                                          const LockTopology& topo);
+
 }  // namespace ssync
 
 #endif  // SRC_SERVER_STORE_H_

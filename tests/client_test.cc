@@ -1,0 +1,221 @@
+// Unit tests for the thin client library (src/client/ssync_client.h): the
+// request formatters' exact wire bytes, and the incremental ResponseParser —
+// event typing, binary-safe VALUE framing, arbitrary Feed() split points,
+// and broken-stream latching. The live-socket paths (SsyncClient blocking
+// and pipelined sessions) are covered end-to-end in server_e2e_test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/client/ssync_client.h"
+
+namespace ssync {
+namespace {
+
+using Kind = ClientEvent::Kind;
+using Status = ResponseParser::Status;
+
+std::vector<ClientEvent> ParseAll(ResponseParser& parser) {
+  std::vector<ClientEvent> events;
+  ClientEvent event;
+  while (parser.Next(&event) == Status::kEvent) {
+    events.push_back(event);
+  }
+  return events;
+}
+
+TEST(ClientFormatterTest, EmitsTheMemcachedWireFormat) {
+  std::string out;
+  const std::string keys[] = {"a", "bb"};
+  AppendGetRequest(keys, 2, /*want_cas=*/false, &out);
+  EXPECT_EQ(out, "get a bb\r\n");
+  out.clear();
+  AppendGetRequest(keys, 1, /*want_cas=*/true, &out);
+  EXPECT_EQ(out, "gets a\r\n");
+  out.clear();
+  AppendSetRequest("k", 7, 30, "hello", &out);
+  EXPECT_EQ(out, "set k 7 30 5\r\nhello\r\n");
+  out.clear();
+  AppendCasRequest("k", 0, 0, 42, "vv", &out);
+  EXPECT_EQ(out, "cas k 0 0 2 42\r\nvv\r\n");
+  out.clear();
+  AppendDeleteRequest("k", &out);
+  EXPECT_EQ(out, "delete k\r\n");
+  out.clear();
+  AppendIncrDecrRequest("n", 3, /*incr=*/true, &out);
+  EXPECT_EQ(out, "incr n 3\r\n");
+  out.clear();
+  AppendIncrDecrRequest("n", 1, /*incr=*/false, &out);
+  EXPECT_EQ(out, "decr n 1\r\n");
+  out.clear();
+  AppendTouchRequest("k", 60, &out);
+  EXPECT_EQ(out, "touch k 60\r\n");
+  out.clear();
+  AppendFlushAllRequest(&out);
+  AppendStatsRequest(&out);
+  AppendVersionRequest(&out);
+  AppendQuitRequest(&out);
+  EXPECT_EQ(out, "flush_all\r\nstats\r\nversion\r\nquit\r\n");
+}
+
+TEST(ClientParserTest, TypesEverySingleLineReply) {
+  ResponseParser parser;
+  const std::string stream =
+      "STORED\r\nEXISTS\r\nNOT_FOUND\r\nDELETED\r\nTOUCHED\r\nOK\r\nEND\r\n"
+      "42\r\nVERSION ssyncd/1.0-MCS\r\nERROR\r\n"
+      "CLIENT_ERROR bad data chunk\r\nSERVER_ERROR out of memory\r\n";
+  parser.Feed(stream.data(), stream.size());
+  const std::vector<ClientEvent> events = ParseAll(parser);
+  ASSERT_EQ(events.size(), 12u);
+  EXPECT_EQ(events[0].kind, Kind::kStored);
+  EXPECT_EQ(events[1].kind, Kind::kExists);
+  EXPECT_EQ(events[2].kind, Kind::kNotFound);
+  EXPECT_EQ(events[3].kind, Kind::kDeleted);
+  EXPECT_EQ(events[4].kind, Kind::kTouched);
+  EXPECT_EQ(events[5].kind, Kind::kOk);
+  EXPECT_EQ(events[6].kind, Kind::kEnd);
+  EXPECT_EQ(events[7].kind, Kind::kNumber);
+  EXPECT_EQ(events[7].number, 42u);
+  EXPECT_EQ(events[8].kind, Kind::kVersion);
+  EXPECT_EQ(events[8].data, "ssyncd/1.0-MCS");
+  EXPECT_EQ(events[9].kind, Kind::kError);
+  EXPECT_EQ(events[9].data, "ERROR");
+  EXPECT_EQ(events[10].kind, Kind::kError);
+  EXPECT_EQ(events[10].data, "CLIENT_ERROR bad data chunk");
+  EXPECT_EQ(events[11].kind, Kind::kError);
+  EXPECT_EQ(events[11].data, "SERVER_ERROR out of memory");
+  EXPECT_FALSE(parser.broken());
+}
+
+TEST(ClientParserTest, ParsesValueBlocksWithAndWithoutCas) {
+  ResponseParser parser;
+  const std::string stream =
+      "VALUE k1 7 5\r\nhello\r\nVALUE k2 0 2 99\r\nhi\r\nEND\r\n";
+  parser.Feed(stream.data(), stream.size());
+  const std::vector<ClientEvent> events = ParseAll(parser);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, Kind::kValue);
+  EXPECT_EQ(events[0].key, "k1");
+  EXPECT_EQ(events[0].flags, 7u);
+  EXPECT_FALSE(events[0].has_cas);
+  EXPECT_EQ(events[0].data, "hello");
+  EXPECT_EQ(events[1].kind, Kind::kValue);
+  EXPECT_EQ(events[1].key, "k2");
+  EXPECT_TRUE(events[1].has_cas);
+  EXPECT_EQ(events[1].cas, 99u);
+  EXPECT_EQ(events[1].data, "hi");
+  EXPECT_EQ(events[2].kind, Kind::kEnd);
+}
+
+TEST(ClientParserTest, ValueDataIsBinarySafe) {
+  // The data block contains CRLF and a fake "END" — byte-count framing must
+  // carry the parser straight through them.
+  ResponseParser parser;
+  const std::string payload = "a\r\nEND\r\nb";
+  const std::string stream =
+      "VALUE k 0 " + std::to_string(payload.size()) + "\r\n" + payload +
+      "\r\nEND\r\n";
+  parser.Feed(stream.data(), stream.size());
+  const std::vector<ClientEvent> events = ParseAll(parser);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, Kind::kValue);
+  EXPECT_EQ(events[0].data, payload);
+  EXPECT_EQ(events[1].kind, Kind::kEnd);
+}
+
+TEST(ClientParserTest, AnyFeedSplitPointYieldsTheSameEvents) {
+  const std::string stream =
+      "VALUE key 1 4 7\r\nwxyz\r\nEND\r\nSTORED\r\n123\r\n";
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    ResponseParser parser;
+    parser.Feed(stream.data(), split);
+    std::vector<ClientEvent> events = ParseAll(parser);
+    parser.Feed(stream.data() + split, stream.size() - split);
+    for (const ClientEvent& e : ParseAll(parser)) {
+      events.push_back(e);
+    }
+    ASSERT_EQ(events.size(), 4u) << "split at " << split;
+    EXPECT_EQ(events[0].kind, Kind::kValue);
+    EXPECT_EQ(events[0].key, "key");
+    EXPECT_EQ(events[0].flags, 1u);
+    EXPECT_EQ(events[0].cas, 7u);
+    EXPECT_EQ(events[0].data, "wxyz");
+    EXPECT_EQ(events[1].kind, Kind::kEnd);
+    EXPECT_EQ(events[2].kind, Kind::kStored);
+    EXPECT_EQ(events[3].kind, Kind::kNumber);
+    EXPECT_EQ(events[3].number, 123u);
+    EXPECT_FALSE(parser.broken());
+  }
+}
+
+TEST(ClientParserTest, StatLinesSplitNameAndValue) {
+  ResponseParser parser;
+  const std::string stream =
+      "STAT cmd_get 10\r\nSTAT local_hit_ratio 0.327\r\nEND\r\n";
+  parser.Feed(stream.data(), stream.size());
+  const std::vector<ClientEvent> events = ParseAll(parser);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, Kind::kStat);
+  EXPECT_EQ(events[0].key, "cmd_get");
+  EXPECT_EQ(events[0].data, "10");
+  EXPECT_EQ(events[1].key, "local_hit_ratio");
+  EXPECT_EQ(events[1].data, "0.327");
+}
+
+TEST(ClientParserTest, UnknownLineLatchesBroken) {
+  ResponseParser parser;
+  const std::string stream = "STORED\r\nNONSENSE reply\r\nSTORED\r\n";
+  parser.Feed(stream.data(), stream.size());
+  ClientEvent event;
+  EXPECT_EQ(parser.Next(&event), Status::kEvent);
+  EXPECT_EQ(event.kind, Kind::kStored);
+  EXPECT_EQ(parser.Next(&event), Status::kBroken);
+  EXPECT_TRUE(parser.broken());
+  // Latched: the stream has lost sync, later lines are not served.
+  EXPECT_EQ(parser.Next(&event), Status::kBroken);
+}
+
+TEST(ClientParserTest, MissingCrlfAfterDataBlockLatchesBroken) {
+  ResponseParser parser;
+  const std::string stream = "VALUE k 0 2\r\nhiXEND\r\n";
+  parser.Feed(stream.data(), stream.size());
+  ClientEvent event;
+  EXPECT_EQ(parser.Next(&event), Status::kBroken);
+  EXPECT_TRUE(parser.broken());
+}
+
+TEST(ClientParserTest, SurvivesCompactionOfTheConsumedPrefix) {
+  // Push well past the internal compaction threshold, then park a partial
+  // reply across the compacted boundary: it must still complete correctly.
+  ResponseParser parser;
+  const std::string chunk = "STORED\r\n";
+  for (int i = 0; i < 2048; ++i) {
+    parser.Feed(chunk.data(), chunk.size());
+    ClientEvent event;
+    ASSERT_EQ(parser.Next(&event), Status::kEvent);
+    ASSERT_EQ(event.kind, Kind::kStored);
+  }
+  parser.Feed("VALUE k 0 2\r\nh", 14);
+  ClientEvent event;
+  EXPECT_EQ(parser.Next(&event), Status::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 1u);  // just the orphan data byte
+  parser.Feed("i\r\nEND\r\n", 8);
+  ASSERT_EQ(parser.Next(&event), Status::kEvent);
+  EXPECT_EQ(event.kind, Kind::kValue);
+  EXPECT_EQ(event.data, "hi");
+  ASSERT_EQ(parser.Next(&event), Status::kEvent);
+  EXPECT_EQ(event.kind, Kind::kEnd);
+}
+
+TEST(ClientStatIntTest, ParsesPresentStatsAndDefaultsAbsent) {
+  std::unordered_map<std::string, std::string> stats;
+  stats["cmd_get"] = "41";
+  stats["engine"] = "mp";
+  EXPECT_EQ(StatInt(stats, "cmd_get"), 41);
+  EXPECT_EQ(StatInt(stats, "missing"), -1);
+  EXPECT_EQ(StatInt(stats, "engine"), -1);  // non-numeric
+}
+
+}  // namespace
+}  // namespace ssync

@@ -3,7 +3,15 @@
 // connections, per lock kind, with zero protocol errors — and every
 // operation is recorded and audited with the torture history checker
 // (per-key register semantics), so a bug anywhere in the stack (parser,
-// event loop, store, locks) surfaces as a named violation.
+// event loop, engine, store, locks) surfaces as a named violation. The same
+// soak runs against the mp engine (worker-owned shards, cross-shard ops
+// forwarded over SsmpComm channels), where the audit referees the
+// forwarding protocol too.
+//
+// Scripted sessions (admin commands, the full mutation surface) drive the
+// server through SsyncClient (src/client/ssync_client.h) — the supported
+// client library — leaving raw sockets only where the point is a client
+// that misbehaves.
 //
 // Labeled `torture` in tests/CMakeLists.txt: the sanitizer CI jobs run this
 // under TSan/ASan/UBSan, where the server's worker threads and the client
@@ -13,13 +21,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
-#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
+#include "src/client/ssync_client.h"
 #include "src/server/loadgen.h"
 #include "src/server/server.h"
 #include "src/util/sanitizers.h"
@@ -35,6 +45,13 @@ constexpr std::uint64_t kSoakOps = 30000;
 #else
 constexpr std::uint64_t kSoakOps = 100000;
 #endif
+
+SsyncClient ConnectedClient(std::uint16_t port) {
+  SsyncClient client;
+  std::string error;
+  EXPECT_TRUE(client.Connect("127.0.0.1", port, &error)) << error;
+  return client;
+}
 
 // (lock kind, optimistic reads): every soak runs with the store's seqlock
 // read path off (the paper-faithful locked structure) and on (--optimistic-
@@ -103,59 +120,125 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<1>(info.param) ? "Optimistic" : "Locked");
     });
 
-// Raw-socket sanity: the admin commands a human (or memcached tooling)
-// issues against a live server.
-TEST(ServerE2e, StatsVersionAndQuitOverARawSocket) {
+// The same soak against the mp engine, per batching factor: keys live in
+// worker-owned shards, so roughly (workers-1)/workers of the traffic crosses
+// a shard boundary and rides the message channels. The single-writer
+// register audit is LockKind-independent here — correctness hangs on the
+// forwarding protocol delivering every op to its owner exactly once and
+// every reply to the right parked connection.
+class ServerE2eMpTest : public ::testing::TestWithParam<int /*mp_batch*/> {};
+
+TEST_P(ServerE2eMpTest, LoopbackSoakPassesHistoryAudit) {
+  ServerConfig config;
+  config.workers = 4;
+  config.engine = EngineKind::kMp;
+  config.mp_batch = GetParam();
+  config.port = 0;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LoadGenConfig load;
+  load.port = server.port();
+  load.connections = 8;
+  load.threads = 2;
+  load.pipeline = 16;
+  load.total_ops = kSoakOps;
+  load.record_history = true;
+  load.seed = 71 + static_cast<std::uint64_t>(GetParam());
+
+  const LoadGenResult result = RunLoadGen(load);
+  const ServerStats stats = server.Stats();
+  server.Stop();
+
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.ops, kSoakOps);
+  EXPECT_EQ(result.protocol_errors, 0u) << "client saw malformed/unexpected replies";
+  EXPECT_EQ(stats.protocol_errors, 0u) << "server saw malformed requests";
+  EXPECT_TRUE(result.history.ok()) << result.history.Summary();
+  EXPECT_GE(result.history.ops, kSoakOps);
+  EXPECT_EQ(stats.engine_kind, EngineKind::kMp);
+  // The key space spans all four shards, so the soak must have forwarded.
+  EXPECT_GT(stats.engine.mp_forwards, 0u);
+  EXPECT_GT(stats.engine.local_ops, 0u);
+  EXPECT_GE(stats.engine.mp_replies, stats.engine.mp_forwards);
+  EXPECT_GT(stats.engine.mp_messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batching, ServerE2eMpTest, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Batch" + std::to_string(info.param);
+                         });
+
+// Admin-session sanity: the commands a human (or memcached tooling) issues
+// against a live server, through the typed client.
+TEST(ServerE2e, StatsVersionAndQuitOverAClientSession) {
   ServerConfig config;
   config.workers = 2;
   config.lock = LockKind::kTicket;
   KvServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
+  SsyncClient c = ConnectedClient(server.port());
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  // A wrong/missing reply must fail the assertions below, not hang recv().
-  timeval rcv_timeout{5, 0};
-  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout, sizeof(rcv_timeout));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(server.port());
-  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_TRUE(c.Set("answer", "42", /*flags=*/1)) << c.last_error();
+  ClientValue v;
+  ASSERT_TRUE(c.Get("answer", &v)) << c.last_error();
+  EXPECT_EQ(v.data, "42");
+  EXPECT_EQ(v.flags, 1u);
 
-  // Sends one command and reads until `terminator` arrives (replies may be
-  // split across any number of recv()s) or the receive timeout fires.
-  const auto exchange = [&](const std::string& wire, const std::string& terminator) {
-    EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
-              static_cast<ssize_t>(wire.size()));
-    std::string reply;
-    char buf[4096];
-    while (reply.find(terminator) == std::string::npos) {
-      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
-      if (r <= 0) {
-        break;
-      }
-      reply.append(buf, static_cast<std::size_t>(r));
-    }
-    return reply;
-  };
+  std::unordered_map<std::string, std::string> stats;
+  ASSERT_TRUE(c.Stats(&stats)) << c.last_error();
+  EXPECT_EQ(StatInt(stats, "cmd_set"), 1);
+  EXPECT_EQ(StatInt(stats, "get_hits"), 1);
 
-  EXPECT_EQ(exchange("set answer 1 0 2\r\n42\r\n", "STORED\r\n"), "STORED\r\n");
-  EXPECT_EQ(exchange("get answer\r\n", "END\r\n"),
-            "VALUE answer 1 2\r\n42\r\nEND\r\n");
-  const std::string stats = exchange("stats\r\n", "END\r\n");
-  EXPECT_NE(stats.find("STAT cmd_set 1\r\n"), std::string::npos) << stats;
-  EXPECT_NE(stats.find("STAT get_hits 1\r\n"), std::string::npos) << stats;
-  const std::string version = exchange("version\r\n", "\r\n");
-  EXPECT_EQ(version.rfind("VERSION ssyncd/", 0), 0u) << version;
+  std::string version;
+  ASSERT_TRUE(c.Version(&version)) << c.last_error();
+  EXPECT_EQ(version.rfind("ssyncd/", 0), 0u) << version;
   EXPECT_NE(version.find("TICKET"), std::string::npos) << version;
 
   // quit: the server closes the connection.
-  EXPECT_EQ(::send(fd, "quit\r\n", 6, 0), 6);
-  char buf[16];
-  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
-  ::close(fd);
+  ASSERT_TRUE(c.Quit()) << c.last_error();
+  EXPECT_TRUE(c.WaitPeerClose()) << c.last_error();
+  server.Stop();
+}
+
+// Pipelining through the client library: many requests in one round trip,
+// replies delivered in order as typed events.
+TEST(ServerE2e, PipelinedQueueDrainPreservesOrder) {
+  ServerConfig config;
+  config.workers = 2;
+  config.lock = LockKind::kMutex;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  SsyncClient c = ConnectedClient(server.port());
+
+  const std::vector<std::string> keys = {"p0", "p1", "p2"};
+  for (const std::string& key : keys) {
+    c.QueueSet(key, "v-" + key);
+  }
+  c.QueueGet(keys.data(), keys.size(), /*want_cas=*/false);
+  c.QueueDelete(keys[1]);
+  c.QueueGet(&keys[1], 1, /*want_cas=*/false);
+
+  std::vector<ClientEvent> events;
+  ASSERT_TRUE(c.Drain(&events)) << c.last_error();
+  // 3 STOREDs, 3 VALUEs + END, DELETED, END (the deleted key misses).
+  ASSERT_EQ(events.size(), 9u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].kind,
+              ClientEvent::Kind::kStored);
+  }
+  for (int i = 3; i < 6; ++i) {
+    const ClientEvent& e = events[static_cast<std::size_t>(i)];
+    ASSERT_EQ(e.kind, ClientEvent::Kind::kValue);
+    EXPECT_EQ(e.key, keys[static_cast<std::size_t>(i - 3)]);
+    EXPECT_EQ(e.data, "v-" + e.key);
+  }
+  EXPECT_EQ(events[6].kind, ClientEvent::Kind::kEnd);
+  EXPECT_EQ(events[7].kind, ClientEvent::Kind::kDeleted);
+  EXPECT_EQ(events[8].kind, ClientEvent::Kind::kEnd);
   server.Stop();
 }
 
@@ -170,40 +253,18 @@ TEST(ServerE2e, PlacedWorkersReportTheirMapAndServe) {
   KvServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  timeval rcv_timeout{5, 0};
-  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout, sizeof(rcv_timeout));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(server.port());
-  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
-
-  const auto exchange = [&](const std::string& wire, const std::string& terminator) {
-    EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
-              static_cast<ssize_t>(wire.size()));
-    std::string reply;
-    char buf[4096];
-    while (reply.find(terminator) == std::string::npos) {
-      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
-      if (r <= 0) {
-        break;
-      }
-      reply.append(buf, static_cast<std::size_t>(r));
-    }
-    return reply;
-  };
+  SsyncClient c = ConnectedClient(server.port());
 
   // The placed server still serves (the cluster map reached a working lock).
-  EXPECT_EQ(exchange("set placed 0 0 2\r\nok\r\n", "STORED\r\n"), "STORED\r\n");
-  EXPECT_EQ(exchange("get placed\r\n", "END\r\n"),
-            "VALUE placed 0 2\r\nok\r\nEND\r\n");
-  const std::string stats = exchange("stats\r\n", "END\r\n");
-  ::close(fd);
+  ASSERT_TRUE(c.Set("placed", "ok")) << c.last_error();
+  ClientValue v;
+  ASSERT_TRUE(c.Get("placed", &v)) << c.last_error();
+  EXPECT_EQ(v.data, "ok");
+  std::unordered_map<std::string, std::string> stats;
+  ASSERT_TRUE(c.Stats(&stats)) << c.last_error();
+  c.Close();
 
-  EXPECT_NE(stats.find("STAT placement fill\r\n"), std::string::npos) << stats;
+  EXPECT_EQ(stats["placement"], "fill");
   // Every worker reports its intended cpu/socket and whether the pin took.
   const ServerStats snapshot = server.Stats();
   EXPECT_EQ(snapshot.placement, PlacementPolicy::kFill);
@@ -213,16 +274,10 @@ TEST(ServerE2e, PlacedWorkersReportTheirMapAndServe) {
     EXPECT_EQ(wp.worker, w);
     EXPECT_GE(wp.os_cpu, 0);   // fill always assigns a target cpu
     EXPECT_GE(wp.socket, 0);
-    const std::string prefix = "STAT worker_" + std::to_string(w) + "_";
-    EXPECT_NE(stats.find(prefix + "cpu " + std::to_string(wp.os_cpu) + "\r\n"),
-              std::string::npos)
-        << stats;
-    EXPECT_NE(stats.find(prefix + "socket " + std::to_string(wp.socket) + "\r\n"),
-              std::string::npos)
-        << stats;
-    EXPECT_NE(stats.find(prefix + "pinned " + (wp.pinned ? "1" : "0") + "\r\n"),
-              std::string::npos)
-        << stats;
+    const std::string prefix = "worker_" + std::to_string(w) + "_";
+    EXPECT_EQ(stats[prefix + "cpu"], std::to_string(wp.os_cpu));
+    EXPECT_EQ(stats[prefix + "socket"], std::to_string(wp.socket));
+    EXPECT_EQ(stats[prefix + "pinned"], wp.pinned ? "1" : "0");
     // On Linux the pin is expected to succeed (the target comes from the
     // allowed-cpu mask by construction).
 #if defined(__linux__)
@@ -232,121 +287,192 @@ TEST(ServerE2e, PlacedWorkersReportTheirMapAndServe) {
   server.Stop();
 }
 
-// A small raw-socket client: connects, sends a command, reads until the
-// expected terminator (replies may split across recv()s) or a 5s timeout.
-class RawClient {
- public:
-  explicit RawClient(std::uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    EXPECT_GE(fd_, 0);
-    timeval rcv_timeout{5, 0};
-    (void)setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout,
-                     sizeof(rcv_timeout));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
-    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-              0);
-  }
-  ~RawClient() { ::close(fd_); }
+// The full memcached mutation surface over one client session: cas (stored /
+// stale / missing), incr/decr (wrap, clamp-at-zero, non-numeric rejection),
+// touch, flush_all — and the stats counters that audit each of them. Runs
+// against both engines: under mp the same session crosses shard boundaries
+// (keys hash to different owners than the serving worker) and flush_all
+// exercises the broadcast-and-ack path.
+class ServerE2eSessionTest : public ::testing::TestWithParam<EngineKind> {};
 
-  std::string Exchange(const std::string& wire,
-                       const std::string& terminator = "\r\n") {
-    EXPECT_EQ(::send(fd_, wire.data(), wire.size(), 0),
-              static_cast<ssize_t>(wire.size()));
-    std::string reply;
-    char buf[4096];
-    while (reply.find(terminator) == std::string::npos) {
-      const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
-      if (r <= 0) {
-        break;
-      }
-      reply.append(buf, static_cast<std::size_t>(r));
-    }
-    return reply;
-  }
-
- private:
-  int fd_ = -1;
-};
-
-// Extracts "STAT <name> <value>\r\n" from a stats reply; -1 when absent.
-std::int64_t StatValue(const std::string& stats, const std::string& name) {
-  const std::string needle = "STAT " + name + " ";
-  const std::size_t pos = stats.find(needle);
-  if (pos == std::string::npos) {
-    return -1;
-  }
-  return std::strtoll(stats.c_str() + pos + needle.size(), nullptr, 10);
-}
-
-// The full memcached mutation surface over one stock-client session:
-// cas (stored / stale / missing), incr/decr (wrap, clamp-at-zero,
-// non-numeric rejection), touch, flush_all — and the stats counters that
-// audit each of them.
-TEST(ServerE2e, CasIncrDecrTouchFlushAllOverARawSocket) {
+TEST_P(ServerE2eSessionTest, CasIncrDecrTouchFlushAllOverAClientSession) {
   ServerConfig config;
   config.workers = 2;
   config.lock = LockKind::kTicket;
+  config.engine = GetParam();
   KvServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
-  RawClient c(server.port());
+  SsyncClient c = ConnectedClient(server.port());
 
   // cas: gets exposes the token; a matching cas stores, a stale one loses.
-  EXPECT_EQ(c.Exchange("set k 0 0 2\r\nv1\r\n"), "STORED\r\n");
-  const std::string gets = c.Exchange("gets k\r\n", "END\r\n");
-  ASSERT_EQ(gets.rfind("VALUE k 0 2 ", 0), 0u) << gets;
-  const std::uint64_t cas_unique =
-      std::strtoull(gets.c_str() + std::strlen("VALUE k 0 2 "), nullptr, 10);
-  ASSERT_GT(cas_unique, 0u);
-  EXPECT_EQ(c.Exchange("cas k 0 0 2 " + std::to_string(cas_unique) + "\r\nv2\r\n"),
-            "STORED\r\n");
+  ASSERT_TRUE(c.Set("k", "v1")) << c.last_error();
+  ClientValue v;
+  ASSERT_TRUE(c.Gets("k", &v)) << c.last_error();
+  EXPECT_EQ(v.data, "v1");
+  ASSERT_GT(v.cas, 0u);
+  EXPECT_EQ(c.Cas("k", "v2", v.cas), SsyncClient::CasStatus::kStored);
   // The token is now stale: the same cas must lose with EXISTS.
-  EXPECT_EQ(c.Exchange("cas k 0 0 2 " + std::to_string(cas_unique) + "\r\nv3\r\n"),
-            "EXISTS\r\n");
-  EXPECT_EQ(c.Exchange("get k\r\n", "END\r\n"), "VALUE k 0 2\r\nv2\r\nEND\r\n");
-  EXPECT_EQ(c.Exchange("cas ghost 0 0 1 1\r\nx\r\n"), "NOT_FOUND\r\n");
+  EXPECT_EQ(c.Cas("k", "v3", v.cas), SsyncClient::CasStatus::kExists);
+  ASSERT_TRUE(c.Get("k", &v));
+  EXPECT_EQ(v.data, "v2");
+  EXPECT_EQ(c.Cas("ghost", "x", 1), SsyncClient::CasStatus::kNotFound);
 
   // incr/decr: u64 arithmetic on the stored decimal, wrap on incr overflow,
   // clamp at zero on decr underflow (memcached rules).
-  EXPECT_EQ(c.Exchange("set n 0 0 2\r\n41\r\n"), "STORED\r\n");
-  EXPECT_EQ(c.Exchange("incr n 1\r\n"), "42\r\n");
-  EXPECT_EQ(c.Exchange("decr n 50\r\n"), "0\r\n");
-  EXPECT_EQ(c.Exchange("set big 0 0 20\r\n18446744073709551615\r\n"),
-            "STORED\r\n");
-  EXPECT_EQ(c.Exchange("incr big 2\r\n"), "1\r\n");
-  EXPECT_EQ(c.Exchange("incr k 1\r\n"),
-            "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n");
-  EXPECT_EQ(c.Exchange("incr ghost 1\r\n"), "NOT_FOUND\r\n");
+  std::uint64_t n = 0;
+  ASSERT_TRUE(c.Set("n", "41"));
+  ASSERT_TRUE(c.Incr("n", 1, &n)) << c.last_error();
+  EXPECT_EQ(n, 42u);
+  ASSERT_TRUE(c.Decr("n", 50, &n)) << c.last_error();
+  EXPECT_EQ(n, 0u);
+  ASSERT_TRUE(c.Set("big", "18446744073709551615"));
+  ASSERT_TRUE(c.Incr("big", 2, &n)) << c.last_error();
+  EXPECT_EQ(n, 1u);
+  EXPECT_FALSE(c.Incr("k", 1, &n));
+  EXPECT_EQ(c.last_error(),
+            "CLIENT_ERROR cannot increment or decrement non-numeric value");
+  EXPECT_FALSE(c.Incr("ghost", 1, &n));
+  EXPECT_TRUE(c.last_error().empty());  // a clean NOT_FOUND, not an error
 
   // touch: exists -> TOUCHED, missing -> NOT_FOUND; exptimes above 30 days
   // are absolute Unix timestamps, so 2592001 (Jan 31 1970) expires the item
   // immediately.
-  EXPECT_EQ(c.Exchange("touch n 0\r\n"), "TOUCHED\r\n");
-  EXPECT_EQ(c.Exchange("touch ghost 0\r\n"), "NOT_FOUND\r\n");
-  EXPECT_EQ(c.Exchange("touch n 2592001\r\n"), "TOUCHED\r\n");
-  EXPECT_EQ(c.Exchange("get n\r\n", "END\r\n"), "END\r\n");
+  EXPECT_TRUE(c.Touch("n", 0));
+  EXPECT_FALSE(c.Touch("ghost", 0));
+  EXPECT_TRUE(c.Touch("n", 2592001));
+  EXPECT_FALSE(c.Get("n", &v));
 
   // set with an absolute-past exptime: stored but never served.
-  EXPECT_EQ(c.Exchange("set dead 0 2592001 1\r\nx\r\n"), "STORED\r\n");
-  EXPECT_EQ(c.Exchange("get dead\r\n", "END\r\n"), "END\r\n");
+  ASSERT_TRUE(c.Set("dead", "x", 0, 2592001));
+  EXPECT_FALSE(c.Get("dead", &v));
 
   // flush_all: every live item vanishes at once; re-set revives.
-  EXPECT_EQ(c.Exchange("flush_all\r\n"), "OK\r\n");
-  EXPECT_EQ(c.Exchange("get k\r\n", "END\r\n"), "END\r\n");
-  EXPECT_EQ(c.Exchange("get big\r\n", "END\r\n"), "END\r\n");
-  EXPECT_EQ(c.Exchange("set k 0 0 2\r\nv4\r\n"), "STORED\r\n");
-  EXPECT_EQ(c.Exchange("get k\r\n", "END\r\n"), "VALUE k 0 2\r\nv4\r\nEND\r\n");
+  EXPECT_TRUE(c.FlushAll()) << c.last_error();
+  EXPECT_FALSE(c.Get("k", &v));
+  EXPECT_FALSE(c.Get("big", &v));
+  ASSERT_TRUE(c.Set("k", "v4"));
+  ASSERT_TRUE(c.Get("k", &v));
+  EXPECT_EQ(v.data, "v4");
 
-  const std::string stats = c.Exchange("stats\r\n", "END\r\n");
+  std::unordered_map<std::string, std::string> stats;
+  ASSERT_TRUE(c.Stats(&stats)) << c.last_error();
   server.Stop();
-  EXPECT_EQ(StatValue(stats, "cas_hits"), 1);
-  EXPECT_EQ(StatValue(stats, "cas_badval"), 1);
-  EXPECT_EQ(StatValue(stats, "cas_misses"), 1);
-  EXPECT_GE(StatValue(stats, "expired_unfetched"), 0);
-  EXPECT_EQ(StatValue(stats, "evictions"), 0);
+  EXPECT_EQ(StatInt(stats, "cas_hits"), 1);
+  EXPECT_EQ(StatInt(stats, "cas_badval"), 1);
+  EXPECT_EQ(StatInt(stats, "cas_misses"), 1);
+  EXPECT_GE(StatInt(stats, "expired_unfetched"), 0);
+  EXPECT_EQ(StatInt(stats, "evictions"), 0);
+  EXPECT_EQ(stats["engine"], std::string(ToString(GetParam())));
+  if (GetParam() == EngineKind::kMp) {
+    EXPECT_GT(StatInt(stats, "mp_messages"), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ServerE2eSessionTest,
+                         ::testing::Values(EngineKind::kLock, EngineKind::kMp),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return info.param == EngineKind::kMp ? "Mp" : "Lock";
+                         });
+
+// Cross-shard multi-get under mp: one `gets` bundles keys owned by every
+// worker, so serving it parks the connection on several in-flight forwards
+// at once; the reply must reassemble all hits with their cas tokens.
+TEST(ServerE2eMp, CrossShardGetMultiReassembles) {
+  ServerConfig config;
+  config.workers = 4;
+  config.engine = EngineKind::kMp;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  SsyncClient c = ConnectedClient(server.port());
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 16; ++i) {
+    keys.push_back("shard" + std::to_string(i));
+    ASSERT_TRUE(c.Set(keys.back(), "v" + std::to_string(i))) << c.last_error();
+  }
+  std::vector<ClientValue> values;
+  ASSERT_TRUE(c.GetMulti(keys, /*want_cas=*/true, &values)) << c.last_error();
+  ASSERT_EQ(values.size(), keys.size());
+  for (int i = 0; i < 16; ++i) {
+    const ClientValue& got = values[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(got.found) << keys[static_cast<std::size_t>(i)];
+    EXPECT_EQ(got.data, "v" + std::to_string(i));
+    EXPECT_GT(got.cas, 0u);
+  }
+
+  std::unordered_map<std::string, std::string> stats;
+  ASSERT_TRUE(c.Stats(&stats)) << c.last_error();
+  server.Stop();
+  // 16 keys over 4 shards: the bundle cannot have been all-local.
+  EXPECT_GT(StatInt(stats, "mp_forwards"), 0);
+  EXPECT_GT(StatInt(stats, "local_ops"), 0);
+}
+
+// Stop() while mp traffic is in flight: the drain barrier must retire every
+// forwarded op (no worker exits with a peer still sending to it) and the
+// call must return — a hang here is the bug.
+TEST(ServerE2eMp, StopMidLoadDrainsWithoutHanging) {
+  ServerConfig config;
+  config.workers = 4;
+  config.engine = EngineKind::kMp;
+  config.mp_batch = 4;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LoadGenConfig load;
+  load.port = server.port();
+  load.connections = 8;
+  load.threads = 2;
+  load.pipeline = 16;
+  load.total_ops = kSoakOps * 100;  // far more than the window allows
+  LoadGenResult result;
+  std::thread driver([&] { result = RunLoadGen(load); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server.Stop();  // mid-load: connections die, in-flight forwards drain
+  driver.join();
+  // The loadgen reports the dropped connections; the test's assertion is
+  // that both sides unwound instead of deadlocking.
+  EXPECT_GT(result.ops, 0u);
+}
+
+// The chaos storm (everyone fights over sixteen keys) against the mp
+// engine: contended keys concentrate on few owners, maximizing forwarded
+// mutations racing local gets. ASan/TSan referee the channel handshake and
+// the per-shard reclaim.
+TEST(ServerE2eMp, ContendedCrossClientKeysAreSafe) {
+  ServerConfig config;
+  config.workers = 4;
+  config.engine = EngineKind::kMp;
+  KvServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  LoadGenConfig load;
+  load.port = server.port();
+  load.connections = 8;
+  load.threads = 2;
+  load.pipeline = 8;
+  load.total_ops = kSoakOps / 2;
+  load.disjoint_keys = false;
+  load.key_space = 16;
+  load.shared_keys = 0;
+  load.set_fraction = 0.35;
+  load.delete_fraction = 0.25;
+  load.seed = 131;
+
+  const LoadGenResult result = RunLoadGen(load);
+  const ServerStats stats = server.Stats();
+  server.Stop();
+
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.ops, load.total_ops);
+  EXPECT_EQ(result.protocol_errors, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_GT(result.get_hits, 0u);
+  EXPECT_GT(stats.engine.mp_forwards, 0u);
 }
 
 // Relative exptimes tick on the real clock: an item set with exptime 1
@@ -358,13 +484,14 @@ TEST(ServerE2e, RelativeExptimeExpiresOnTheWallClock) {
   KvServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
-  RawClient c(server.port());
+  SsyncClient c = ConnectedClient(server.port());
 
-  EXPECT_EQ(c.Exchange("set fleeting 0 1 2\r\nhi\r\n"), "STORED\r\n");
-  EXPECT_EQ(c.Exchange("get fleeting\r\n", "END\r\n"),
-            "VALUE fleeting 0 2\r\nhi\r\nEND\r\n");
+  ASSERT_TRUE(c.Set("fleeting", "hi", 0, 1)) << c.last_error();
+  ClientValue v;
+  ASSERT_TRUE(c.Get("fleeting", &v));
+  EXPECT_EQ(v.data, "hi");
   ::usleep(1300000);  // past the 1s deadline plus coarse-clock slack
-  EXPECT_EQ(c.Exchange("get fleeting\r\n", "END\r\n"), "END\r\n");
+  EXPECT_FALSE(c.Get("fleeting", &v));
   server.Stop();
 }
 
@@ -378,25 +505,23 @@ TEST(ServerE2e, CapacityCapEvictsTheLruItemByDefault) {
   KvServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
-  RawClient c(server.port());
+  SsyncClient c = ConnectedClient(server.port());
 
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(c.Exchange("set full" + std::to_string(i) + " 0 0 1\r\nx\r\n"),
-              "STORED\r\n");
+    ASSERT_TRUE(c.Set("full" + std::to_string(i), "x")) << c.last_error();
   }
   // Touch full0 so full1 is the LRU victim.
-  EXPECT_EQ(c.Exchange("get full0\r\n", "END\r\n"),
-            "VALUE full0 0 1\r\nx\r\nEND\r\n");
-  EXPECT_EQ(c.Exchange("set overflow 0 0 1\r\nx\r\n"), "STORED\r\n");
-  EXPECT_EQ(c.Exchange("get full1\r\n", "END\r\n"), "END\r\n");  // evicted
-  EXPECT_EQ(c.Exchange("get full0\r\n", "END\r\n"),
-            "VALUE full0 0 1\r\nx\r\nEND\r\n");
-  EXPECT_EQ(c.Exchange("get overflow\r\n", "END\r\n"),
-            "VALUE overflow 0 1\r\nx\r\nEND\r\n");
-  const std::string stats = c.Exchange("stats\r\n", "END\r\n");
+  ClientValue v;
+  ASSERT_TRUE(c.Get("full0", &v));
+  ASSERT_TRUE(c.Set("overflow", "x")) << c.last_error();
+  EXPECT_FALSE(c.Get("full1", &v));  // evicted
+  EXPECT_TRUE(c.Get("full0", &v));
+  EXPECT_TRUE(c.Get("overflow", &v));
+  std::unordered_map<std::string, std::string> stats;
+  ASSERT_TRUE(c.Stats(&stats)) << c.last_error();
   server.Stop();
-  EXPECT_GE(StatValue(stats, "evictions"), 1);
-  EXPECT_EQ(StatValue(stats, "curr_items_approx"), 4);
+  EXPECT_GE(StatInt(stats, "evictions"), 1);
+  EXPECT_EQ(StatInt(stats, "curr_items_approx"), 4);
 }
 
 // With eviction disabled (memcached "-M"), the server refuses new-item sets
@@ -410,40 +535,15 @@ TEST(ServerE2e, CapacityCapRejectsNewItemsUntilDeletes) {
   KvServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  timeval rcv_timeout{5, 0};
-  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout, sizeof(rcv_timeout));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(server.port());
-  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
-  const auto exchange = [&](const std::string& wire) {
-    EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
-              static_cast<ssize_t>(wire.size()));
-    std::string reply;
-    char buf[1024];
-    while (reply.find("\r\n") == std::string::npos) {
-      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
-      if (r <= 0) {
-        break;
-      }
-      reply.append(buf, static_cast<std::size_t>(r));
-    }
-    return reply;
-  };
+  SsyncClient c = ConnectedClient(server.port());
 
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(exchange("set full" + std::to_string(i) + " 0 0 1\r\nx\r\n"),
-              "STORED\r\n");
+    ASSERT_TRUE(c.Set("full" + std::to_string(i), "x")) << c.last_error();
   }
-  EXPECT_EQ(exchange("set overflow 0 0 1\r\nx\r\n"),
-            "SERVER_ERROR out of memory storing object\r\n");
-  EXPECT_EQ(exchange("delete full0\r\n"), "DELETED\r\n");
-  EXPECT_EQ(exchange("set overflow 0 0 1\r\nx\r\n"), "STORED\r\n");
-  ::close(fd);
+  EXPECT_FALSE(c.Set("overflow", "x"));
+  EXPECT_EQ(c.last_error(), "SERVER_ERROR out of memory storing object");
+  EXPECT_TRUE(c.Delete("full0"));
+  EXPECT_TRUE(c.Set("overflow", "x")) << c.last_error();
   server.Stop();
 }
 
@@ -512,6 +612,8 @@ TEST(ServerE2e, ServerSurvivesAbruptDisconnects) {
   ASSERT_TRUE(server.Start(&error)) << error;
 
   // Open connections, send partial garbage, and slam them shut mid-request.
+  // Deliberately raw sockets: the point is a client the library would never
+  // let you be.
   for (int i = 0; i < 20; ++i) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     ASSERT_GE(fd, 0);

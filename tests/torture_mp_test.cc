@@ -1,16 +1,140 @@
 // libssmp torture suites (ctest label: torture): message integrity, per-
 // sender FIFO/no-loss, channel isolation, the round-trip parity protocol,
 // and the client-server pattern — on both backends, plus the Tilera hardware
-// message-passing queue.
+// message-passing queue. Also the single-threaded RecvFromAny fairness
+// regressions: channels are per-(sender, receiver), so one thread can
+// impersonate every participant by reassigning its dense thread id.
 #include <gtest/gtest.h>
 
+#include "src/core/mem_native.h"
 #include "src/core/runtime_native.h"
 #include "src/core/runtime_sim.h"
+#include "src/mp/ssmp.h"
 #include "src/platform/spec.h"
 #include "src/torture/mp_torture.h"
 
 namespace ssync {
 namespace {
+
+// Scoped dense-thread-id impersonation for direct SsmpComm calls from the
+// test thread.
+class AsThread {
+ public:
+  explicit AsThread(int tid) : saved_(internal::g_native_thread_id) {
+    internal::g_native_thread_id = tid;
+  }
+  ~AsThread() { internal::g_native_thread_id = saved_; }
+
+ private:
+  int saved_;
+};
+
+MpMessage Tagged(std::uint64_t tag) {
+  MpMessage m;
+  m.w[0] = tag;
+  return m;
+}
+
+TEST(SsmpFairnessTest, RecvFromAnyRotatesPastAChattySender) {
+  // Senders 1..3 all have a message pending; a receiver that restarts its
+  // scan from the lowest sender would serve 1 forever as long as 1 keeps
+  // refilling. The rotating cursor must serve 2 and 3 in between.
+  SsmpComm<NativeMem> comm(4);
+  for (int s = 1; s <= 3; ++s) {
+    AsThread as(s);
+    comm.Send(0, Tagged(static_cast<std::uint64_t>(s)));
+  }
+  AsThread as_receiver(0);
+  MpMessage m;
+  ASSERT_EQ(comm.RecvFromAny(&m, 1, 3), 1);
+  EXPECT_EQ(m.w[0], 1u);
+  {
+    AsThread as(1);  // sender 1 immediately refills its channel
+    comm.Send(0, Tagged(11));
+  }
+  ASSERT_EQ(comm.RecvFromAny(&m, 1, 3), 2);
+  {
+    AsThread as(2);
+    comm.Send(0, Tagged(22));
+  }
+  ASSERT_EQ(comm.RecvFromAny(&m, 1, 3), 3);
+  EXPECT_EQ(m.w[0], 3u);
+  // Only now does the scan wrap back to the refilled low senders.
+  ASSERT_EQ(comm.RecvFromAny(&m, 1, 3), 1);
+  EXPECT_EQ(m.w[0], 11u);
+  ASSERT_EQ(comm.RecvFromAny(&m, 1, 3), 2);
+  EXPECT_EQ(m.w[0], 22u);
+}
+
+TEST(SsmpFairnessTest, ScanCursorsArePerReceiver) {
+  // Two receivers scanning the same sender range: one receiver's progress
+  // must not advance the other's scan position (a single shared cursor made
+  // receiver 1 start just past receiver 0's last served sender).
+  SsmpComm<NativeMem> comm(4);
+  for (int s = 1; s <= 3; ++s) {
+    AsThread as(s);
+    comm.Send(0, Tagged(static_cast<std::uint64_t>(s)));
+    comm.Send(1, Tagged(static_cast<std::uint64_t>(10 * s)));
+  }
+  MpMessage m;
+  {
+    AsThread as(0);
+    ASSERT_EQ(comm.RecvFromAny(&m, 1, 3), 1);  // receiver 0's cursor advances
+  }
+  AsThread as(1);
+  // Receiver 1's own cursor is untouched: its first scan still starts at
+  // sender 1 (a shared cursor would have served sender 2 here).
+  ASSERT_EQ(comm.RecvFromAny(&m, 1, 3), 1);
+  EXPECT_EQ(m.w[0], 10u);
+}
+
+TEST(SsmpFairnessTest, TryVariantsReportFullAndEmptyChannels) {
+  SsmpComm<NativeMem> comm(2);
+  MpMessage m;
+  {
+    AsThread as(1);
+    EXPECT_EQ(comm.TryRecvFromAny(&m, 0, 0), -1);  // nothing pending
+  }
+  {
+    AsThread as(0);
+    EXPECT_TRUE(comm.TrySend(1, Tagged(7)));
+    EXPECT_FALSE(comm.TrySend(1, Tagged(8)));  // single-slot channel is full
+  }
+  {
+    AsThread as(1);
+    ASSERT_EQ(comm.TryRecvFromAny(&m, 0, 0), 0);
+    EXPECT_EQ(m.w[0], 7u);
+    EXPECT_EQ(comm.TryRecvFromAny(&m, 0, 0), -1);  // drained again
+  }
+  AsThread as(0);
+  EXPECT_TRUE(comm.TrySend(1, Tagged(9)));  // consuming freed the slot
+}
+
+// A wider-than-one-line message type (the MP engine's batched record
+// carrier); local classes cannot carry the static kWords member.
+struct WideMsg {
+  static constexpr int kWords = 15;
+  std::uint64_t w[kWords] = {};
+};
+
+TEST(SsmpFairnessTest, WideMessagesSurviveTheChannel) {
+  // Every word must round-trip the multi-line channel buffer intact.
+  SsmpComm<NativeMem, WideMsg> comm(2);
+  WideMsg out;
+  for (int i = 0; i < WideMsg::kWords; ++i) {
+    out.w[i] = 0x0101010101010101ull * static_cast<std::uint64_t>(i + 1);
+  }
+  {
+    AsThread as(0);
+    comm.Send(1, out);
+  }
+  AsThread as(1);
+  WideMsg in;
+  comm.Recv(0, &in);
+  for (int i = 0; i < WideMsg::kWords; ++i) {
+    EXPECT_EQ(in.w[i], out.w[i]) << "word " << i;
+  }
+}
 
 TEST(TortureMpNativeTest, OneToOneStreams) {
   NativeRuntime rt;
