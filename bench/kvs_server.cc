@@ -101,6 +101,12 @@ class KvsServerExperiment final : public Experiment {
                     "key popularity: uniform | zipfian (YCSB skew)",
                     {"uniform", "zipfian"}),
         FractionParam("zipf_theta", 0.99, "Zipfian skew, in (0,1)"),
+        ChoiceParam("slab", "on",
+                    "item allocation: on (NUMA-aware per-worker slab arenas, "
+                    "the server default) | off (global new/delete) | sweep "
+                    "(each point twice — the A/B pair under identical "
+                    "traffic)",
+                    {"on", "off", "sweep"}),
         SeedParam(1),
         PlacementParam(),
         OptimisticReadsParam(),
@@ -151,6 +157,13 @@ class KvsServerExperiment final : public Experiment {
     } else {
       read_modes = {optimistic_mode == "on"};
     }
+    const std::string& slab_mode = ctx.params().Str("slab");
+    std::vector<bool> slab_modes;
+    if (slab_mode == "sweep") {
+      slab_modes = {false, true};
+    } else {
+      slab_modes = {slab_mode == "on"};
+    }
     // One measured row per point. The lock engine sweeps lock x read-mode;
     // the mp engine owns its key shards outright (no shared store, so no
     // store lock and no cross-thread read races to go optimistic about) and
@@ -161,17 +174,20 @@ class KvsServerExperiment final : public Experiment {
       EngineKind engine;
       LockKind lock;
       bool optimistic;
+      bool slab;
     };
     std::vector<Point> points;
-    if (engine_name != "mp") {
-      for (const LockKind kind : kinds) {
-        for (const bool optimistic : read_modes) {
-          points.push_back({EngineKind::kLock, kind, optimistic});
+    for (const bool slab : slab_modes) {
+      if (engine_name != "mp") {
+        for (const LockKind kind : kinds) {
+          for (const bool optimistic : read_modes) {
+            points.push_back({EngineKind::kLock, kind, optimistic, slab});
+          }
         }
       }
-    }
-    if (engine_name != "lock") {
-      points.push_back({EngineKind::kMp, kinds.front(), false});
+      if (engine_name != "lock") {
+        points.push_back({EngineKind::kMp, kinds.front(), false, slab});
+      }
     }
     for (const int workers : worker_counts) {
       if (pinned_workers == 0 && workers > std::max(2, host_cpus)) {
@@ -198,6 +214,7 @@ class KvsServerExperiment final : public Experiment {
             server_config.lock = point.lock;
             server_config.placement = placement;
             server_config.store.optimistic_reads = point.optimistic;
+            server_config.slab = point.slab;
             KvServer server(server_config);
             std::string error;
             Result r = ctx.NewResult(spec);
@@ -212,6 +229,7 @@ class KvsServerExperiment final : public Experiment {
                 .Param("workers", workers)
                 .Param("connections", conns)
                 .Param("optimistic_reads", point.optimistic ? "on" : "off")
+                .Param("slab", point.slab ? "on" : "off")
                 .Param("arrival", arrival_name);
             if (is_mp) {
               r.Param("mp_batch", mp_batch);
@@ -276,6 +294,20 @@ class KvsServerExperiment final : public Experiment {
                             ? static_cast<double>(shipped) /
                                   static_cast<double>(stats.engine.mp_messages)
                             : 0.0);
+            if (point.slab) {
+              // Allocator accounting for the A/B pair: owner/remote frees
+              // prove which reclaim path carried the traffic; slabs/bytes
+              // show committed arena memory, curr_bytes the live items.
+              r.Metric("slab_owner_frees",
+                       static_cast<double>(stats.slab.owner_frees))
+                  .Metric("slab_remote_frees",
+                          static_cast<double>(stats.slab.remote_frees))
+                  .Metric("slab_slabs", static_cast<double>(stats.slab.slabs))
+                  .Metric("slab_bytes",
+                          static_cast<double>(stats.slab.slab_bytes))
+                  .Metric("curr_bytes",
+                          static_cast<double>(stats.slab.curr_bytes));
+            }
             if (arrival != LoadArrival::kClosed) {
               r.Metric("offered_kops", rate_ops / 1000.0)
                   .Metric("latency_samples",

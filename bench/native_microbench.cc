@@ -10,6 +10,7 @@
 #include <chrono>
 #include <string>
 
+#include "src/alloc/slab.h"
 #include "src/ccsim/machine.h"
 #include "src/core/mem_native.h"
 #include "src/core/runtime_sim.h"
@@ -144,6 +145,57 @@ class NativeMicrobench final : public Experiment {
                lock.Unlock();
              }));
       });
+    }
+
+    // Item allocation: global new/delete vs the slab's owner path vs a
+    // remote-free round trip. The malloc row is the libc allocator's
+    // fast path on ONE thread — the slab's real win (no shared malloc
+    // arenas, no cross-socket frees) only shows under multi-worker churn
+    // (kvs_server --slab=sweep); these rows pin the single-thread overhead.
+    {
+      struct alignas(kCacheLineSize) ItemSized {
+        unsigned char bytes[2 * kCacheLineSize];
+      };
+      // The empty asm makes each allocation observable: without it the
+      // compiler elides the paired new/delete outright (C++ allocation
+      // elision) and the row times an empty loop.
+      auto escape = [](void* p) { asm volatile("" : : "g"(p) : "memory"); };
+      emit("item_alloc_malloc", NsPerItem(iters, 1, [&](std::uint64_t) {
+             auto* p = new ItemSized;
+             // The store writes every freshly allocated item; touch one line
+             // so the comparison includes the first-touch the slab also pays.
+             p->bytes[0] = 1;
+             escape(p);
+             delete p;
+           }));
+    }
+    {
+      SlabAllocator::Config slab_config;
+      slab_config.arenas = 2;
+      SlabAllocator slab(slab_config);
+      slab.RegisterThread(0);
+      emit("item_alloc_slab", NsPerItem(iters, 1, [&](std::uint64_t) {
+             void* p = slab.Alloc();
+             static_cast<unsigned char*>(p)[0] = 1;
+             slab.Free(p);
+           }));
+      // Remote-free round trip, amortized over a batch: allocate a batch as
+      // arena 0's owner (draining what the previous round freed), rebind to
+      // arena 1, free the batch — every Free takes the MPSC push path.
+      constexpr std::uint64_t kBatch = 256;
+      void* blocks[kBatch];
+      emit("item_remote_free",
+           NsPerItem(std::max<std::uint64_t>(1, iters / kBatch), kBatch,
+                     [&](std::uint64_t) {
+                       slab.RegisterThread(0);
+                       for (std::uint64_t i = 0; i < kBatch; ++i) {
+                         blocks[i] = slab.Alloc();
+                       }
+                       slab.RegisterThread(1);
+                       for (std::uint64_t i = 0; i < kBatch; ++i) {
+                         slab.Free(blocks[i]);
+                       }
+                     }));
     }
 
     // The store's uncontended Get, locked vs optimistic. The delta is the

@@ -16,6 +16,11 @@ committed baseline, row by row:
   * trace_replay sim rows must match EXACTLY, every metric: the synthetic
     trace is built from fixed addresses, so the replayed coherence stats are
     bit-identical on any machine and any drift is a model change;
+  * kvs_server slab on/off row pairs (rows identical except the slab param,
+    from --slab=sweep) are cross-checked WITHIN the current run: the slab-on
+    row must carry nonzero slab_* accounting and its p99 must not exceed the
+    slab-off twin's by more than 10% — same-run, same calibrated traffic, so
+    the comparison holds on any runner without a baseline;
   * baseline rows missing from the current run fail (coverage regression);
     new rows only warn (append-only schema).
 
@@ -54,6 +59,16 @@ ZERO_METRICS = {"violations", "protocol_errors"}
 # gate requires exact equality — every metric, including the ones the ratio
 # gate skips. Any drift is an (intentional or not) coherence-model change.
 EXACT_EXPERIMENTS = {"trace_replay"}
+
+# Same-run slab-allocator cross-check. perf_smoke.sh's --slab=sweep block
+# emits each cell twice under identical calibrated traffic, so on-vs-off IS
+# comparable on a shared runner; the headroom over a strict <= absorbs
+# scheduler noise between the two halves of the pair without letting a
+# pathological allocator (lock-heavy slow path, false sharing on the arenas)
+# through.
+SLAB_P99_HEADROOM = 1.10
+SLAB_ON_METRICS = ("slab_owner_frees", "slab_remote_frees", "slab_slabs",
+                   "slab_bytes", "curr_bytes")
 
 
 def direction(metric):
@@ -110,6 +125,66 @@ def describe(key):
     return f"{experiment}[{backend}/{platform}] {params}"
 
 
+def slab_cross_check(path):
+    """Pairs native kvs_server rows differing only in the slab param.
+
+    Returns (pairs_checked, problems). Rows without an off/on twin (the
+    default --slab=on invocations) are simply not pairs; only --slab=sweep
+    output is cross-checked.
+    """
+    cells = {}
+    with open(path) as f:
+        for line in f:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if (record.get("experiment") != "kvs_server"
+                    or record.get("backend") != "native"):
+                continue
+            params = record["params"]
+            mode = params.get("slab")
+            if mode not in ("off", "on"):
+                continue
+            cell = json.dumps(
+                {
+                    name: value
+                    for name, value in params.items()
+                    if name != "slab" and not name.startswith("host_")
+                },
+                sort_keys=True,
+            )
+            cells.setdefault(cell, {})[mode] = record["metrics"]
+
+    pairs = 0
+    problems = []
+    for cell, modes in sorted(cells.items()):
+        if set(modes) != {"off", "on"}:
+            continue
+        pairs += 1
+        on, off = modes["on"], modes["off"]
+        for metric in SLAB_ON_METRICS:
+            if metric not in on:
+                problems.append(
+                    f"SLAB MISSING kvs_server[native] {cell}: {metric} "
+                    f"absent from the slab-on row"
+                )
+        frees = on.get("slab_owner_frees", 0) + on.get("slab_remote_frees", 0)
+        if frees <= 0:
+            problems.append(
+                f"SLAB IDLE    kvs_server[native] {cell}: the slab-on row "
+                f"freed no blocks (arenas never carried the churn)"
+            )
+        off_p99 = off.get("p99_cycles", 0)
+        on_p99 = on.get("p99_cycles", 0)
+        if off_p99 > 0 and on_p99 > off_p99 * SLAB_P99_HEADROOM:
+            problems.append(
+                f"SLAB P99     kvs_server[native] {cell}: slab-on p99 "
+                f"{on_p99:g} exceeds slab-off {off_p99:g} by more than "
+                f"{(SLAB_P99_HEADROOM - 1) * 100:.0f}% (same-run pair)"
+            )
+    return pairs, problems
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline JSON-lines file")
@@ -141,17 +216,26 @@ def main():
         parser.error("--native-tolerance must be in (0, 1)")
 
     current = load_rows(args.current)
+    slab_pairs, slab_problems = slab_cross_check(args.current)
 
     if args.update:
+        if slab_problems:
+            # A run that fails its own same-run cross-check must not become
+            # the baseline; fix the allocator (or the workload) first.
+            print(f"{len(slab_problems)} slab cross-check failure(s); "
+                  f"refusing to update the baseline:", file=sys.stderr)
+            for p in slab_problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
         with open(args.current) as src, open(args.baseline, "w") as dst:
             dst.write(src.read())
         print(f"baseline {args.baseline} updated from {args.current} "
-              f"({len(current)} rows)")
+              f"({len(current)} rows, {slab_pairs} slab pair(s) cross-checked)")
         return 0
 
     baseline = load_rows(args.baseline)
 
-    regressions = []
+    regressions = list(slab_problems)
     checked = 0
     worst = (0.0, None)  # largest adverse relative change
     for key, base_metrics in sorted(baseline.items()):
@@ -225,6 +309,7 @@ def main():
 
     print(
         f"checked {checked} metrics across {len(baseline)} baseline rows "
+        f"and {slab_pairs} same-run slab pair(s) "
         f"(worst adverse change: {worst[0] * 100:+.1f}%"
         + (f" at {worst[1]}" if worst[1] else "")
         + ")"

@@ -14,10 +14,11 @@
 # model changes, which should update the baseline (see docs/ARCHITECTURE.md,
 # "The perf-regression gate").
 #
-# A native read-mostly kvs_server row pair (optimistic reads off/on) rides
-# along: those rows are runner-speed-dependent, so check_perf.py gates them
-# on presence and zero-valued correctness metrics only (the CI job adds a
-# same-run on-vs-off cross-check that needs no baseline at all).
+# Native kvs_server row pairs (optimistic reads off/on, slab allocator
+# off/on) ride along: those rows are runner-speed-dependent, so
+# check_perf.py gates them on presence and zero-valued correctness metrics
+# only (the CI job adds same-run off-vs-on cross-checks that need no
+# baseline at all).
 #
 # Usage: scripts/perf_smoke.sh [out.json]
 set -eu
@@ -71,9 +72,19 @@ out="${1:-$repo_root/perf-smoke.json}"
   --optimistic_reads=on --seed=7 \
   --format=json --out="$out.open.tmp"
 
+# Slab-allocator A/B pair: one TICKET cell emitted slab-off then slab-on
+# under identical calibrated traffic (--slab=sweep reuses the slab-off
+# calibration for both halves). The slab-on row carries the
+# slab_owner_frees/slab_remote_frees/... metrics proving the arenas served
+# real traffic; the CI perf-gate cross-checks on-vs-off p99 in the same run.
+"$build_dir/bench/ssyncbench" kvs_server \
+  --ops=20000 --conns=4 --pipeline=8 --workers=2 --lock=TICKET --engine=lock \
+  --set_fraction=0.20 --delete_fraction=0.05 --slab=sweep --seed=7 \
+  --format=json --out="$out.slab.tmp"
+
 cat "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" "$out.mp.tmp" \
-  "$out.open.tmp" > "$out"
+  "$out.open.tmp" "$out.slab.tmp" > "$out"
 rm -f "$out.sim.tmp" "$out.trace.tmp" "$out.native.tmp" "$out.mp.tmp" \
-  "$out.open.tmp"
+  "$out.open.tmp" "$out.slab.tmp"
 
 echo "perf smoke written to $out" >&2

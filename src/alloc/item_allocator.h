@@ -1,0 +1,33 @@
+#ifndef SRC_ALLOC_ITEM_ALLOCATOR_H_
+#define SRC_ALLOC_ITEM_ALLOCATOR_H_
+
+namespace ssync {
+
+// Type-erased allocation seam for fixed-size blocks.
+//
+// Kvs<Mem, Lock> items are private to the store, so the allocator cannot be
+// typed on Item; instead the store and the allocator agree out-of-band on a
+// fixed block geometry (ssyncd items: 128 bytes, 64-byte aligned) and the
+// store does placement-new / explicit-destroy on the raw blocks. The seam is
+// deliberately minimal so the header can be included from the Kvs template
+// without dragging in any platform or threading dependency — the sim backend
+// never sets an allocator and keeps the paper-faithful plain new/delete.
+//
+// Contract:
+//   * Alloc() returns a block of at least the agreed size and alignment;
+//     it never returns nullptr (implementations fall back to the global
+//     allocator under exhaustion).
+//   * Free() accepts any pointer previously returned by Alloc() on this
+//     instance, from ANY thread (cross-thread frees are the common case:
+//     the grace-period reclaimer returns items other workers allocated).
+//   * Free(nullptr) is not allowed; callers guard.
+class ItemAllocator {
+ public:
+  virtual ~ItemAllocator() = default;
+  virtual void* Alloc() = 0;
+  virtual void Free(void* block) = 0;
+};
+
+}  // namespace ssync
+
+#endif  // SRC_ALLOC_ITEM_ALLOCATOR_H_

@@ -1,0 +1,196 @@
+#include "src/alloc/slab.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <new>
+
+namespace ssync {
+namespace {
+
+// Thread → arena binding. Bindings carry the allocator pointer AND a
+// generation so a stale binding can never alias a newer allocator that
+// happens to be constructed at the same address (engines are torn down and
+// rebuilt on every server Start).
+struct TlsBinding {
+  const void* owner = nullptr;
+  std::uint64_t generation = 0;
+  int arena = 0;
+};
+thread_local TlsBinding tls_binding;
+std::atomic<std::uint64_t> next_generation{1};
+
+std::size_t RoundUp(std::size_t value, std::size_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+SlabAllocator::SlabAllocator(const Config& config) : config_(config) {
+  if (config_.arenas < 1) config_.arenas = 1;
+  if (config_.block_bytes < sizeof(FreeNode)) config_.block_bytes = sizeof(FreeNode);
+  if (config_.block_align < alignof(FreeNode)) config_.block_align = alignof(FreeNode);
+  config_.block_bytes = RoundUp(config_.block_bytes, config_.block_align);
+
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  config_.slab_bytes = RoundUp(config_.slab_bytes, page);
+  // Blocks never straddle slabs; any sub-block tail of a slab is unused.
+  blocks_per_slab_ = config_.slab_bytes / config_.block_bytes;
+  config_.reserve_bytes = RoundUp(config_.reserve_bytes, config_.slab_bytes);
+
+  generation_ = next_generation.fetch_add(1, std::memory_order_relaxed);
+  arenas_ = std::make_unique<Arena[]>(static_cast<std::size_t>(config_.arenas));
+
+  // MAP_NORESERVE + PROT_NONE: pure address-space reservation, no commit
+  // charge. Slabs become usable (and accountable) only via CommitSlab. If
+  // the reservation fails the allocator degrades to all-fallback; callers
+  // see slabs=0 in stats rather than a crash.
+  void* base = mmap(nullptr, config_.reserve_bytes, PROT_NONE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (base != MAP_FAILED) {
+    base_ = static_cast<std::uint8_t*>(base);
+    reserved_bytes_ = config_.reserve_bytes;
+    slab_owner_.assign(reserved_bytes_ / config_.slab_bytes, -1);
+  }
+}
+
+SlabAllocator::~SlabAllocator() {
+  // Slab blocks — including anything still parked on remote-free queues —
+  // vanish wholesale with the mapping; items are destroyed by their store
+  // before reaching Free, so blocks hold no live objects here.
+  if (base_ != nullptr) {
+    munmap(base_, reserved_bytes_);
+  }
+}
+
+void SlabAllocator::RegisterThread(int arena) {
+  if (arena < 0 || arena >= config_.arenas) {
+    arena = 0;
+  }
+  tls_binding = TlsBinding{this, generation_, arena};
+}
+
+void* SlabAllocator::Alloc() {
+  if (tls_binding.owner != this || tls_binding.generation != generation_) {
+    return FallbackAlloc();
+  }
+  Arena& arena = arenas_[tls_binding.arena];
+  // Owner fast path: zero atomic RMWs, no shared cache lines. The counter
+  // bump is a single-writer relaxed store (a plain MOV on x86).
+  if (FreeNode* node = arena.free_list; node != nullptr) {
+    arena.free_list = node->next;
+    arena.allocs.store(arena.allocs.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    return node;
+  }
+  if (arena.bump != arena.bump_end) {
+    std::uint8_t* block = arena.bump;
+    arena.bump += config_.block_bytes;
+    arena.allocs.store(arena.allocs.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    return block;
+  }
+  return AllocSlow(arena, tls_binding.arena);
+}
+
+void* SlabAllocator::AllocSlow(Arena& arena, int arena_index) {
+  // Local list dry: first reclaim everything remote threads returned. One
+  // exchange takes the whole stack; acquire pairs with the release CAS in
+  // Free so the nodes' `next` chains are visible.
+  if (FreeNode* head = arena.remote_head.exchange(nullptr, std::memory_order_acquire);
+      head != nullptr) {
+    arena.free_list = head->next;
+    arena.allocs.store(arena.allocs.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    return head;
+  }
+  if (void* block = CommitSlab(arena, arena_index); block != nullptr) {
+    arena.allocs.store(arena.allocs.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    return block;
+  }
+  // Reservation exhausted (or mmap failed at construction): degrade to the
+  // global allocator rather than failing the store's Set.
+  return FallbackAlloc();
+}
+
+void* SlabAllocator::CommitSlab(Arena& arena, int arena_index) {
+  std::size_t slab_index;
+  {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    if (next_slab_ >= slab_owner_.size()) {
+      return nullptr;
+    }
+    slab_index = next_slab_++;
+    slab_owner_[slab_index] = arena_index;
+  }
+  std::uint8_t* slab = base_ + slab_index * config_.slab_bytes;
+  if (mprotect(slab, config_.slab_bytes, PROT_READ | PROT_WRITE) != 0) {
+    return nullptr;  // the slab index is burned, but correctness holds
+  }
+  committed_slabs_.fetch_add(1, std::memory_order_relaxed);
+  // mprotect commits address space, not pages: physical pages are placed
+  // when the owner thread first writes them (first-touch), i.e. on the
+  // owner's NUMA node under `--placement` pinning.
+  arena.bump = slab + config_.block_bytes;
+  arena.bump_end = slab + blocks_per_slab_ * config_.block_bytes;
+  return slab;
+}
+
+void* SlabAllocator::FallbackAlloc() {
+  fallback_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(config_.block_bytes, std::align_val_t{config_.block_align});
+}
+
+void SlabAllocator::Free(void* block) {
+  if (block == nullptr) {
+    return;
+  }
+  if (!InRegion(block)) {
+    fallback_frees_.fetch_add(1, std::memory_order_relaxed);
+    ::operator delete(block, std::align_val_t{config_.block_align});
+    return;
+  }
+  const std::size_t slab_index =
+      static_cast<std::size_t>(static_cast<std::uint8_t*>(block) - base_) / config_.slab_bytes;
+  const std::int32_t owner = slab_owner_[slab_index];
+  Arena& arena = arenas_[owner];
+  auto* node = static_cast<FreeNode*>(block);
+  if (tls_binding.owner == this && tls_binding.generation == generation_ &&
+      tls_binding.arena == owner) {
+    node->next = arena.free_list;
+    arena.free_list = node;
+    arena.owner_frees.store(arena.owner_frees.load(std::memory_order_relaxed) + 1,
+                            std::memory_order_relaxed);
+    return;
+  }
+  // Remote free: push onto the owner's MPSC stack. Release publishes the
+  // node contents to the owner's draining exchange(acquire).
+  FreeNode* head = arena.remote_head.load(std::memory_order_relaxed);
+  do {
+    node->next = head;
+  } while (!arena.remote_head.compare_exchange_weak(head, node, std::memory_order_release,
+                                                    std::memory_order_relaxed));
+  arena.remote_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+SlabStatsSnapshot SlabAllocator::Stats() const {
+  SlabStatsSnapshot s;
+  for (int i = 0; i < config_.arenas; ++i) {
+    const Arena& arena = arenas_[i];
+    s.allocs += arena.allocs.load(std::memory_order_relaxed);
+    s.owner_frees += arena.owner_frees.load(std::memory_order_relaxed);
+    s.remote_frees += arena.remote_frees.load(std::memory_order_relaxed);
+  }
+  s.fallback_allocs = fallback_allocs_.load(std::memory_order_relaxed);
+  s.fallback_frees = fallback_frees_.load(std::memory_order_relaxed);
+  s.allocs += s.fallback_allocs;
+  s.slabs = committed_slabs_.load(std::memory_order_relaxed);
+  s.slab_bytes = s.slabs * config_.slab_bytes;
+  const std::uint64_t frees = s.owner_frees + s.remote_frees + s.fallback_frees;
+  // Relaxed counters can transiently read frees ahead of allocs; clamp.
+  s.curr_bytes = s.allocs > frees ? (s.allocs - frees) * config_.block_bytes : 0;
+  return s;
+}
+
+}  // namespace ssync

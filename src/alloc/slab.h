@@ -1,0 +1,137 @@
+#ifndef SRC_ALLOC_SLAB_H_
+#define SRC_ALLOC_SLAB_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/alloc/item_allocator.h"
+#include "src/util/cacheline.h"
+
+namespace ssync {
+
+// Aggregated allocator accounting, surfaced through the server `stats`
+// command and stamped on slab-on ssyncbench rows.
+struct SlabStatsSnapshot {
+  std::uint64_t allocs = 0;           // blocks handed out (arena + fallback)
+  std::uint64_t owner_frees = 0;      // frees by the owning arena's thread
+  std::uint64_t remote_frees = 0;     // cross-thread frees (MPSC queue push)
+  std::uint64_t slabs = 0;            // committed slabs
+  std::uint64_t slab_bytes = 0;       // committed slab bytes
+  std::uint64_t curr_bytes = 0;       // live block bytes (allocs - frees)
+  std::uint64_t fallback_allocs = 0;  // unregistered-thread global-new blocks
+  std::uint64_t fallback_frees = 0;   // global-delete frees of those blocks
+};
+
+// NUMA-aware slab allocator for fixed-size items.
+//
+// One contiguous PROT_NONE virtual reservation is carved into slabs; slabs
+// are committed (mprotect RW) on demand and permanently owned by the arena
+// that committed them — a flat slab→arena table routes every Free back to
+// the owning arena with one shift, no per-block header. Arenas are intended
+// to map 1:1 onto pinned server workers:
+//
+//   * Owner path (the hot path): a plain bump pointer plus a plain
+//     singly-linked free list — zero atomic RMWs, no shared lines. Pages get
+//     their physical placement on the owner's first write (first-touch), so
+//     under `--placement` pinning (src/platform/topology.h) an arena's
+//     memory lands on the owner's NUMA node without any libnuma dependency.
+//   * Remote path: threads freeing a block they do not own (the worker-0
+//     grace-period reclaimer, cross-worker deletes, shutdown teardown) push
+//     it onto the owning arena's padded MPSC Treiber stack. The owner drains
+//     the whole stack with a single exchange only when its local list runs
+//     dry, so remote traffic never steals the owner's cache lines per-op.
+//   * Fallback path: threads that never called RegisterThread (loadgen,
+//     tests, the main thread) get aligned global new/delete; Free routes by
+//     range check, so fallback blocks and slab blocks can be freed from
+//     anywhere in any order.
+//
+// The sim backend never constructs one of these: simulated runs keep the
+// paper-faithful plain new/delete so fig12 stays byte-identical.
+class SlabAllocator final : public ItemAllocator {
+ public:
+  struct Config {
+    std::size_t block_bytes = 128;  // sizeof(Kvs::Item), already padded
+    std::size_t block_align = kCacheLineSize;
+    int arenas = 1;                 // one per pinned worker
+    std::size_t slab_bytes = std::size_t{1} << 20;    // commit granularity
+    std::size_t reserve_bytes = std::size_t{1} << 30; // VA reservation (lazy)
+  };
+
+  explicit SlabAllocator(const Config& config);
+  ~SlabAllocator() override;
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // Binds the calling thread to `arena` as its owner. Call once per worker,
+  // on the worker's own thread, AFTER it has been pinned — first-touch NUMA
+  // placement keys off where the thread runs when it first writes a page.
+  // Rebinding (same or different arena) is allowed; the binding is
+  // per-thread, per-allocator-instance.
+  void RegisterThread(int arena);
+
+  void* Alloc() override;
+  void Free(void* block) override;
+
+  SlabStatsSnapshot Stats() const;
+
+  int arenas() const { return config_.arenas; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  struct alignas(kCacheLineSize) Arena {
+    // Owner-thread state: only ever touched by the registered owner.
+    FreeNode* free_list = nullptr;
+    std::uint8_t* bump = nullptr;
+    std::uint8_t* bump_end = nullptr;
+    // Monotonic counters; single-writer (the owner), so they are plain
+    // relaxed stores on the owner path — atomics only so Stats() can read
+    // them from other threads without a data race.
+    std::atomic<std::uint64_t> allocs{0};
+    std::atomic<std::uint64_t> owner_frees{0};
+    // Shared MPSC remote-free stack, padded onto its own line so remote
+    // pushers never bounce the owner's bump/free-list line.
+    alignas(kCacheLineSize) std::atomic<FreeNode*> remote_head{nullptr};
+    std::atomic<std::uint64_t> remote_frees{0};
+  };
+
+  bool InRegion(const void* block) const {
+    const auto* b = static_cast<const std::uint8_t*>(block);
+    return base_ != nullptr && b >= base_ && b < base_ + reserved_bytes_;
+  }
+  void* AllocSlow(Arena& arena, int arena_index);
+  void* CommitSlab(Arena& arena, int arena_index);
+  void* FallbackAlloc();
+
+  Config config_;
+  std::uint64_t generation_ = 0;   // distinguishes instances across reuse
+  std::uint8_t* base_ = nullptr;   // PROT_NONE reservation (nullptr: degraded)
+  std::size_t reserved_bytes_ = 0;
+  std::size_t blocks_per_slab_ = 0;
+  std::unique_ptr<Arena[]> arenas_;
+
+  // Slab growth (rare): guarded by grow_mu_. slab_owner_ is preallocated to
+  // its final size and each entry is written under the mutex before any
+  // block of that slab escapes the committing thread, so lock-free readers
+  // in Free() see it through the happens-before edge that delivered them
+  // the block pointer.
+  std::mutex grow_mu_;
+  std::size_t next_slab_ = 0;
+  std::vector<std::int32_t> slab_owner_;
+
+  std::atomic<std::uint64_t> committed_slabs_{0};
+  std::atomic<std::uint64_t> fallback_allocs_{0};
+  std::atomic<std::uint64_t> fallback_frees_{0};
+};
+
+}  // namespace ssync
+
+#endif  // SRC_ALLOC_SLAB_H_

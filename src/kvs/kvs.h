@@ -6,11 +6,22 @@
 // maintenance lock taken for longer stretches every so many mutations
 // (hash-table rebalancing / slab maintenance). The lock type is a template
 // parameter, which is exactly the experiment of Figure 12 (MUTEX vs TAS vs
-// TICKET vs MCS). The slab allocator is out of scope. Networking and protocol
-// parsing exist at two fidelities: the Figure 12 workload driver charges a
-// fixed per-request cost for them (src/kvs/kvs_stress.h), while the server
-// layer (src/server) serves the store over real TCP with a memcached-style
-// text protocol.
+// TICKET vs MCS). Networking and protocol parsing exist at two fidelities:
+// the Figure 12 workload driver charges a fixed per-request cost for them
+// (src/kvs/kvs_stress.h), while the server layer (src/server) serves the
+// store over real TCP with a memcached-style text protocol.
+//
+// Item lifecycle and the allocator seam. Items are born in Set (and only
+// there) and die in exactly three places: Delete/EvictLru/ReapExpired when
+// defer_free is off, FinishReclaim at the end of a grace period when it is
+// on, and the destructor. All five paths funnel through NewItem/FreeItem:
+// when Config::allocator is set (the native server layer passes its
+// NUMA-aware slab allocator, src/alloc/slab.h) items are placement-new'd
+// into fixed 128-byte blocks the allocator hands out and explicitly
+// destroyed before the block is returned; when it is null — the default,
+// and always the case for the simulated Figure 12 store — items use plain
+// new/delete, keeping the paper-faithful allocation behavior and the sim's
+// address-derived charging untouched.
 //
 // Beyond the paper-faithful locked structure, Config::optimistic_reads adds
 // a seqlock-style validated read path (zero atomic RMWs when uncontended);
@@ -23,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/alloc/item_allocator.h"
 #include "src/locks/lock_common.h"
 #include "src/util/cacheline.h"
 #include "src/util/check.h"
@@ -97,6 +109,13 @@ class Kvs {
     // extra plain stores on the bucket's sequence word. Off by default; the
     // sim experiments keep the paper-faithful locked structure.
     bool optimistic_reads = false;
+    // Optional fixed-size item allocator (non-owning; must outlive the
+    // store). Blocks must be at least sizeof(Item)=128 bytes with Item
+    // alignment (one cache line); the store placement-constructs into the
+    // block and explicitly destroys before Free. Null (the default) keeps
+    // plain new/delete — the sim backend never sets this, so Figure 12's
+    // allocation pattern is untouched.
+    ItemAllocator* allocator = nullptr;
   };
 
   Kvs(const Config& config, const LockTopology& topo)
@@ -124,15 +143,15 @@ class Kvs {
       Item* item = bucket->head;
       while (item != nullptr) {
         Item* next = item->hash_next;
-        delete item;
+        FreeItem(item);
         item = next;
       }
     }
     for (Item* item : retired_) {
-      delete item;
+      FreeItem(item);
     }
     for (Item* item : sealed_) {
-      delete item;
+      FreeItem(item);
     }
   }
 
@@ -339,7 +358,7 @@ class Kvs {
       if (item == nullptr) {
         created = true;
         b.stats.Bump(&ShardStats::set_creates);
-        item = new Item;
+        item = NewItem();
         // Plain initialization is safe: the item only becomes reachable via
         // the release store publishing it below, which pairs with the
         // optimistic reader's acquire chain-pointer loads.
@@ -433,7 +452,9 @@ class Kvs {
         victim = nullptr;
       }
     }
-    delete victim;  // no-op when retired above
+    if (victim != nullptr) {  // nulled when retired above
+      FreeItem(victim);
+    }
     return true;
   }
 
@@ -576,7 +597,7 @@ class Kvs {
     // No lock: mutators only touch retired_; sealed_ is the reclaimer's.
     const std::size_t n = sealed_.size();
     for (Item* item : sealed_) {
-      delete item;
+      FreeItem(item);
     }
     sealed_.clear();
     return n;
@@ -640,6 +661,24 @@ class Kvs {
   };
   static_assert(sizeof(Item) == 2 * kCacheLineSize,
                 "Item metadata must fit the existing tail padding");
+
+  // The allocator seam. Every item birth/death funnels through these two so
+  // the Config::allocator geometry contract (128-byte blocks, cache-line
+  // aligned) is honored in exactly one place.
+  Item* NewItem() {
+    if (config_.allocator != nullptr) {
+      return new (config_.allocator->Alloc()) Item;
+    }
+    return new Item;
+  }
+  void FreeItem(Item* item) {
+    if (config_.allocator != nullptr) {
+      item->~Item();
+      config_.allocator->Free(item);
+      return;
+    }
+    delete item;
+  }
 
   // Per-shard operation counters. Written only while holding the owning
   // bucket's lock; read lock-free by Stats(). Relaxed atomics keep the

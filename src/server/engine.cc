@@ -82,6 +82,24 @@ void ApplyStoreOp(Scope& scope, KvStore& store, const StoreOp& op,
   }
 }
 
+// Builds the engine-owned slab allocator (nullptr when the knob is off):
+// one arena per worker, the virtual reservation sized from the configured
+// capacity with 2x headroom for the retired/sealed reclamation pipeline.
+// Reservation is address space only (PROT_NONE + MAP_NORESERVE), so the
+// generous floor costs nothing until slabs commit.
+std::unique_ptr<SlabAllocator> MakeEngineSlab(const EngineConfig& config) {
+  if (!config.slab) {
+    return nullptr;
+  }
+  SlabAllocator::Config sc;
+  sc.arenas = config.workers < 1 ? 1 : config.workers;
+  const std::size_t want = config.store.max_items * sc.block_bytes * 2;
+  if (want > sc.reserve_bytes) {
+    sc.reserve_bytes = want;
+  }
+  return std::make_unique<SlabAllocator>(sc);
+}
+
 // ---------------------------------------------------------------------------
 // LockEngine: the shared-store direct-call path, verbatim.
 // ---------------------------------------------------------------------------
@@ -89,7 +107,11 @@ void ApplyStoreOp(Scope& scope, KvStore& store, const StoreOp& op,
 class LockEngine final : public ExecutionEngine {
  public:
   LockEngine(const EngineConfig& config, const LockTopology& topo)
-      : config_(config), store_(MakeKvStore(config.lock, config.store, topo)) {}
+      : config_(config), slab_(MakeEngineSlab(config)) {
+    KvStoreConfig store_cfg = config.store;
+    store_cfg.allocator = slab_.get();
+    store_ = MakeKvStore(config.lock, store_cfg, topo);
+  }
 
   EngineKind kind() const override { return EngineKind::kLock; }
   void SetCompletion(int, CompletionFn) override {}  // every op is synchronous
@@ -123,6 +145,12 @@ class LockEngine final : public ExecutionEngine {
   }
 
   bool Pump(int) override { return false; }
+
+  void OnWorkerStart(int worker) override {
+    if (slab_ != nullptr) {
+      slab_->RegisterThread(worker);
+    }
+  }
 
   void Maintain(int worker) override {
     // TTL/flush reaper: periodically sweep a bounded slice of the LRU cold
@@ -160,12 +188,28 @@ class LockEngine final : public ExecutionEngine {
     const std::int64_t items = curr_items_.load(std::memory_order_relaxed);
     return items > 0 ? static_cast<std::uint64_t>(items) : 0;
   }
-  KvsStatsSnapshot StoreStats() const override { return store_->Stats(); }
+  KvsStatsSnapshot StoreStats() const override {
+    return store_ != nullptr ? store_->Stats() : released_store_stats_;
+  }
 
   EngineStats Stats() const override {
     EngineStats stats;
     stats.local_ops = local_ops_.load(std::memory_order_relaxed);
     return stats;
+  }
+
+  SlabStatsSnapshot SlabStats() const override {
+    return slab_ != nullptr ? slab_->Stats() : SlabStatsSnapshot{};
+  }
+
+  void ReleaseStores() override {
+    if (store_ == nullptr) {
+      return;
+    }
+    released_store_stats_ = store_->Stats();
+    // ~Kvs frees every live item from this (slab-unregistered) thread: each
+    // one takes the allocator's remote-free path back to its owning arena.
+    store_.reset();
   }
 
   // The finite timeout keeps idle workers' epochs advancing so a grace
@@ -208,7 +252,11 @@ class LockEngine final : public ExecutionEngine {
 
  private:
   EngineConfig config_;
+  // Declared before the store (destroyed after it): items flow back into
+  // the allocator while the store is torn down.
+  std::unique_ptr<SlabAllocator> slab_;
   std::unique_ptr<KvStore> store_;
+  KvsStatsSnapshot released_store_stats_;  // answer for post-ReleaseStores Stats
   // Live item estimate (creates minus delete-hits/evictions/reaps, relaxed)
   // backing the capacity cap.
   std::atomic<std::int64_t> curr_items_{0};
@@ -395,6 +443,11 @@ class MpEngine final : public ExecutionEngine {
     // per-get overhead with nothing to bypass.
     shard_cfg.optimistic_reads = false;
     shard_cap_ = static_cast<std::int64_t>(shard_cfg.max_items);
+    // All shards share one allocator; shard i is owned by worker i, which
+    // registers as arena i, so every shard op allocates and frees on the
+    // owner path — remote frees appear only at teardown.
+    slab_ = MakeEngineSlab(config);
+    shard_cfg.allocator = slab_.get();
     shards_.reserve(static_cast<std::size_t>(n_));
     workers_.reserve(static_cast<std::size_t>(n_));
     for (int i = 0; i < n_; ++i) {
@@ -470,6 +523,12 @@ class MpEngine final : public ExecutionEngine {
       w.counters.local_ops.fetch_add(local, std::memory_order_relaxed);
     }
     return pending;
+  }
+
+  void OnWorkerStart(int worker) override {
+    if (slab_ != nullptr) {
+      slab_->RegisterThread(worker);
+    }
   }
 
   bool Pump(int worker) override {
@@ -549,7 +608,24 @@ class MpEngine final : public ExecutionEngine {
     return items > 0 ? static_cast<std::uint64_t>(items) : 0;
   }
 
+  SlabStatsSnapshot SlabStats() const override {
+    return slab_ != nullptr ? slab_->Stats() : SlabStatsSnapshot{};
+  }
+
+  void ReleaseStores() override {
+    if (shards_.empty()) {
+      return;
+    }
+    released_store_stats_ = StoreStats();
+    // Shard teardown runs on this thread, which owns no arena: every live
+    // item returns to its owning worker's arena via the remote-free queue.
+    shards_.clear();
+  }
+
   KvsStatsSnapshot StoreStats() const override {
+    if (shards_.empty()) {
+      return released_store_stats_;
+    }
     KvsStatsSnapshot total;
     for (const auto& shard : shards_) {
       const KvsStatsSnapshot s = shard->Stats();
@@ -743,6 +819,10 @@ class MpEngine final : public ExecutionEngine {
   int n_;
   int batch_;
   std::int64_t shard_cap_ = 0;
+  // Declared before the shards (destroyed after them): one shared slab
+  // allocator, one arena per worker — shard i's items live in arena i.
+  std::unique_ptr<SlabAllocator> slab_;
+  KvsStatsSnapshot released_store_stats_;
   std::vector<std::unique_ptr<KvStore>> shards_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   SsmpComm<NativeMem, MpWideMessage> comm_;

@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "src/alloc/slab.h"
 #include "src/locks/lock_common.h"
 #include "src/server/store.h"
 
@@ -113,6 +114,11 @@ struct EngineConfig {
   bool evict_at_capacity = true;
   // MpEngine: max records packed into one channel message (>= 1).
   int mp_batch = 1;
+  // Item allocation through the engine-owned NUMA-aware slab allocator
+  // (src/alloc/slab.h): one arena per worker, registered in OnWorkerStart.
+  // Off routes items through global new/delete (the historical behavior and
+  // the A/B baseline for `--slab` sweeps).
+  bool slab = true;
 };
 
 class ExecutionEngine {
@@ -147,6 +153,12 @@ class ExecutionEngine {
                                       StoreOpResult* results,
                                       std::uint64_t cookie_base) = 0;
 
+  // Called once by each worker, on its own thread, after the thread id is
+  // assigned and the thread is pinned (placement) but before the event loop
+  // starts: binds the worker to its slab arena so first-touch lands item
+  // pages on the worker's NUMA node. No-op when the slab is off.
+  virtual void OnWorkerStart(int /*worker*/) {}
+
   // Called every event-loop iteration: serve forwarded requests on the owned
   // shard, flush queued outbound messages, deliver arrived replies. Returns
   // true when any progress was made (always false on the lock engine).
@@ -174,6 +186,16 @@ class ExecutionEngine {
   virtual std::uint64_t CurrItems() const = 0;
   virtual KvsStatsSnapshot StoreStats() const = 0;
   virtual EngineStats Stats() const = 0;
+  // Slab allocator accounting (all zero when EngineConfig::slab is off).
+  virtual SlabStatsSnapshot SlabStats() const { return {}; }
+
+  // Tears down the engine's stores, returning every live item to the
+  // allocator, while keeping the allocator (and its books) alive for a final
+  // SlabStats() read — ssyncd's shutdown summary proves the remote-free path
+  // carried the teardown traffic. Only legal after FinalDrain(); store-op
+  // entry points must not be called afterwards. Stats()/StoreStats()/
+  // CurrItems() keep answering from a cached snapshot.
+  virtual void ReleaseStores() {}
 
   // The epoll timeout the worker loop should use: the lock engine can sleep
   // (epochs still advance via the timeout); the MP engine must keep polling

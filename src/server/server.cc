@@ -38,6 +38,11 @@ constexpr int kListenBacklog = 512;
 // maximally-amplifying requests (dup-key multi-gets) adds at most a few MB
 // past the mark, so per-connection memory stays bounded.
 constexpr std::size_t kMaxPendingOut = 256 * 1024;
+// Reply buffers above this capacity are shrunk after a full drain: big
+// enough that steady-state pipelined traffic (a few read chunks' worth of
+// replies) never churns allocations, small enough that one burst past the
+// backpressure cap doesn't pin megabytes per connection forever.
+constexpr std::size_t kOutShrinkBytes = 64 * 1024;
 
 std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
@@ -252,6 +257,13 @@ struct KvServer::Worker {
     }
     conn->out.clear();
     conn->out_pos = 0;
+    if (conn->out.capacity() > kOutShrinkBytes) {
+      // A connection that once hit the backpressure cap would otherwise pin
+      // its high-water reply buffer for its whole life; after a full drain,
+      // hand the capacity back and let steady-state traffic re-grow a
+      // right-sized buffer.
+      conn->out.shrink_to_fit();
+    }
     if (conn->closing) {
       CloseConnection(conn);
       return false;
@@ -506,6 +518,17 @@ struct KvServer::Worker {
                       ? static_cast<double>(shipped) /
                             static_cast<double>(stats.engine.mp_messages)
                       : 0.0);
+        // Slab-allocator telemetry (all zero unless --slab): owner vs remote
+        // frees prove the ownership protocol is carrying the reclaim
+        // traffic; slabs/bytes show committed arena memory; curr_bytes is
+        // live item memory.
+        sw.Stat("slab", stats.slab_enabled ? 1 : 0)
+            .Stat("slab_owner_frees", stats.slab.owner_frees)
+            .Stat("slab_remote_frees", stats.slab.remote_frees)
+            .Stat("slab_slabs", stats.slab.slabs)
+            .Stat("slab_bytes", stats.slab.slab_bytes)
+            .Stat("slab_fallback_allocs", stats.slab.fallback_allocs)
+            .Stat("curr_bytes", stats.slab.curr_bytes);
         // Worker placement: the policy and the worker -> cpu/socket map, so
         // a remote operator can verify where the event loops actually run
         // (cpu/socket are -1 when the policy leaves workers unpinned).
@@ -669,6 +692,7 @@ bool KvServer::Start(std::string* error) {
   engine_config.store = config_.store;
   engine_config.evict_at_capacity = config_.evict_at_capacity;
   engine_config.mp_batch = config_.mp_batch;
+  engine_config.slab = config_.slab;
   engine_ = MakeEngine(engine_config, store_topo);  // fresh store on restart
 
   sockaddr_in addr{};
@@ -785,6 +809,11 @@ void KvServer::Stop() {
   // Workers are joined (fully quiescent; each already ran its cooperative
   // DrainOnStop barrier): final reclamation sweep over the engine's stores.
   engine_->FinalDrain();
+  // Tear the stores down while the allocator's books stay readable: every
+  // live item flows back to its owning arena (remote-freed, since this
+  // thread owns none), so a post-Stop Stats() shows the full teardown
+  // accounting. Store counters keep answering from a cached snapshot.
+  engine_->ReleaseStores();
   // Release the sockets now (the port frees immediately) but keep the worker
   // objects so post-run Stats() still sees the final counter values.
   for (auto& worker : workers_) {
@@ -831,6 +860,8 @@ ServerStats KvServer::Stats() const {
     total.curr_items = engine_->CurrItems();
     total.store = engine_->StoreStats();
     total.engine = engine_->Stats();
+    total.slab_enabled = config_.slab;
+    total.slab = engine_->SlabStats();
   }
   return total;
 }
@@ -845,6 +876,10 @@ void KvServer::WorkerLoop(Worker& worker) {
     // as pinned=false in `stats`.
     worker.pinned.store(PinThreadToOsCpu(worker.os_cpu), std::memory_order_relaxed);
   }
+  // After pinning, before any store op: bind this worker to its slab arena.
+  // First-touch then places the arena's item pages on this worker's NUMA
+  // node (when the placement policy pinned it somewhere specific).
+  engine_->OnWorkerStart(worker.index);
 
   // Reclaimer state (worker 0 only, shared-store engines): epochs
   // snapshotted at the last BeginReclaim; empty when no grace period is in

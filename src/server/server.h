@@ -56,6 +56,9 @@ struct ServerConfig {
   // the LRU tail to make room for a new item; false is memcached's "-M"
   // mode — refuse the set with SERVER_ERROR instead of evicting.
   bool evict_at_capacity = true;
+  // NUMA-aware slab allocation for store items (ssyncd --slab; on by
+  // default on native). Each worker owns an arena; see src/alloc/slab.h.
+  bool slab = true;
   KvStoreConfig store;
 };
 
@@ -82,6 +85,8 @@ struct ServerStats {
   PlacementPolicy placement = PlacementPolicy::kNone;
   std::vector<WorkerPlacement> worker_placements;  // one entry per worker
   KvsStatsSnapshot store;
+  bool slab_enabled = false;
+  SlabStatsSnapshot slab;  // allocator accounting (zeros when slab off)
 };
 
 class KvServer {

@@ -64,6 +64,11 @@ int main(int argc, char** argv) {
       "optimistic-reads", false,
       "seqlock-validated lock-free gets (zero atomic RMWs when uncontended); "
       "`stats` echoes optimistic_reads/hits/retries/fallbacks");
+  config.slab = cli.Bool(
+      "slab", true,
+      "NUMA-aware slab allocation for store items: per-worker arenas with "
+      "remote-free queues (off: global new/delete); `stats` echoes "
+      "slab/slab_owner_frees/slab_remote_frees/slab_slabs/slab_bytes");
   const std::string trace_out = cli.Str(
       "trace-out", "",
       "capture the workers' memory-op trace to FILE (replay with "
@@ -105,7 +110,8 @@ int main(int argc, char** argv) {
         .Stat("lock", ToString(config.lock))
         .Stat("placement", ToString(config.placement))
         .Stat("reads",
-              config.store.optimistic_reads ? "optimistic" : "locked");
+              config.store.optimistic_reads ? "optimistic" : "locked")
+        .Stat("slab", config.slab ? "on" : "off");
     if (config.engine == EngineKind::kMp) {
       bw.Stat("mp_batch", config.mp_batch);
     }
@@ -121,6 +127,10 @@ int main(int argc, char** argv) {
 
   const ServerStats stats = server.Stats();
   server.Stop();
+  // Stop() tears the stores down through the allocator, so this second
+  // snapshot carries the final slab accounting: every item still live at
+  // shutdown remote-freed its way home to the arena that owned it.
+  const ServerStats final_stats = server.Stats();
   if (!trace_out.empty()) {
     std::string trace_error;
     const std::uint64_t traced = trace::StopCapture(nullptr, &trace_error);
@@ -143,6 +153,12 @@ int main(int argc, char** argv) {
     if (stats.engine_kind == EngineKind::kMp) {
       sw.Stat("mp_forwards", stats.engine.mp_forwards)
           .Stat("mp_messages", stats.engine.mp_messages);
+    }
+    if (config.slab) {
+      sw.Stat("slab_owner_frees", final_stats.slab.owner_frees)
+          .Stat("slab_remote_frees", final_stats.slab.remote_frees)
+          .Stat("slab_slabs", final_stats.slab.slabs)
+          .Stat("slab_bytes", final_stats.slab.slab_bytes);
     }
     sw.End();
   }

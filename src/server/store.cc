@@ -170,6 +170,7 @@ class KvStoreImpl final : public KvStore {
     config.maintenance_buckets = c.maintenance_buckets;
     config.defer_free = c.defer_free;
     config.optimistic_reads = c.optimistic_reads;
+    config.allocator = c.allocator;
     return config;
   }
 

@@ -89,6 +89,10 @@ struct KvStoreConfig {
   // grace-period protocol already proves no optimistic reader can hold a
   // reclaimed item.
   bool optimistic_reads = false;
+  // Optional fixed-size item allocator (Kvs::Config::allocator passthrough).
+  // Non-owning: the execution engine owns the slab allocator and guarantees
+  // it outlives every store it hands it to. Null keeps global new/delete.
+  ItemAllocator* allocator = nullptr;
 };
 
 // Outcome of a cas store (memcached reply mapping in server.cc:

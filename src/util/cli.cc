@@ -58,7 +58,8 @@ bool Cli::Bool(const std::string& name, bool def, const std::string& help) {
   if (it == given_.end()) {
     return def;
   }
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on";
 }
 
 void Cli::Finish() const {

@@ -1,0 +1,209 @@
+// SlabAllocator unit tests: arena growth, the remote-free drain contract,
+// unregistered-thread fallback routing, block geometry, and the Kvs
+// allocator seam end to end. The concurrent storm lives in
+// torture_alloc_test.cc (ctest label: torture).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/alloc/slab.h"
+#include "src/core/mem_native.h"
+#include "src/kvs/kvs.h"
+#include "src/locks/locks.h"
+#include "src/util/cacheline.h"
+
+namespace ssync {
+namespace {
+
+// Small slabs so tests can exhaust an arena with a handful of allocations:
+// slab_bytes is rounded up to the page size (4 KiB), so with 128-byte
+// blocks one committed slab holds exactly kBlocksPerSlab blocks.
+SlabAllocator::Config SmallSlabConfig(int arenas) {
+  SlabAllocator::Config config;
+  config.arenas = arenas;
+  config.slab_bytes = 4096;
+  return config;
+}
+
+constexpr std::size_t kBlocksPerSlab = 4096 / 128;
+
+TEST(SlabAllocator, ArenaExhaustionCommitsNewSlabs) {
+  SlabAllocator slab(SmallSlabConfig(1));
+  slab.RegisterThread(0);
+  constexpr std::size_t kBlocks = 3 * kBlocksPerSlab + 5;
+  std::set<void*> blocks;
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    void* p = slab.Alloc();
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(blocks.insert(p).second) << "duplicate block handed out";
+  }
+  const SlabStatsSnapshot stats = slab.Stats();
+  EXPECT_EQ(stats.allocs, kBlocks);
+  EXPECT_EQ(stats.slabs, 4u);  // ceil(kBlocks / kBlocksPerSlab)
+  EXPECT_EQ(stats.slab_bytes, 4u * 4096u);
+  EXPECT_EQ(stats.curr_bytes, kBlocks * 128);
+  EXPECT_EQ(stats.fallback_allocs, 0u);
+  for (void* p : blocks) {
+    slab.Free(p);
+  }
+  EXPECT_EQ(slab.Stats().owner_frees, kBlocks);
+  EXPECT_EQ(slab.Stats().curr_bytes, 0u);
+}
+
+TEST(SlabAllocator, OwnerReusesFreedBlocksBeforeGrowing) {
+  SlabAllocator slab(SmallSlabConfig(1));
+  slab.RegisterThread(0);
+  std::vector<void*> blocks;
+  for (std::size_t i = 0; i < kBlocksPerSlab; ++i) {
+    blocks.push_back(slab.Alloc());
+  }
+  EXPECT_EQ(slab.Stats().slabs, 1u);
+  for (void* p : blocks) {
+    slab.Free(p);
+  }
+  // A full re-allocation pass is served from the free list: same pointers,
+  // no new slab.
+  std::set<void*> reused;
+  for (std::size_t i = 0; i < kBlocksPerSlab; ++i) {
+    reused.insert(slab.Alloc());
+  }
+  EXPECT_EQ(reused, std::set<void*>(blocks.begin(), blocks.end()));
+  EXPECT_EQ(slab.Stats().slabs, 1u);
+}
+
+TEST(SlabAllocator, RemoteFreesDrainBackToTheOwningArena) {
+  SlabAllocator slab(SmallSlabConfig(2));
+  slab.RegisterThread(0);
+  // Exactly exhaust arena 0's first slab so the next Alloc must go slow.
+  std::vector<void*> blocks;
+  for (std::size_t i = 0; i < kBlocksPerSlab; ++i) {
+    blocks.push_back(slab.Alloc());
+  }
+  // Rebind to arena 1 and free arena 0's blocks: every Free is a remote
+  // push onto arena 0's MPSC stack.
+  slab.RegisterThread(1);
+  for (void* p : blocks) {
+    slab.Free(p);
+  }
+  SlabStatsSnapshot stats = slab.Stats();
+  EXPECT_EQ(stats.remote_frees, kBlocksPerSlab);
+  EXPECT_EQ(stats.owner_frees, 0u);
+  // Back as arena 0's owner: the dry arena drains the remote stack instead
+  // of committing a second slab, and hands back exactly the same blocks.
+  slab.RegisterThread(0);
+  std::set<void*> drained;
+  for (std::size_t i = 0; i < kBlocksPerSlab; ++i) {
+    drained.insert(slab.Alloc());
+  }
+  EXPECT_EQ(drained, std::set<void*>(blocks.begin(), blocks.end()));
+  EXPECT_EQ(slab.Stats().slabs, 1u);
+}
+
+TEST(SlabAllocator, UnregisteredThreadsFallBackToGlobalNew) {
+  SlabAllocator slab(SmallSlabConfig(1));
+  slab.RegisterThread(0);
+  void* slab_block = slab.Alloc();
+
+  void* fallback_block = nullptr;
+  std::thread t([&] {
+    // Never registered: allocation comes from global new...
+    fallback_block = slab.Alloc();
+    // ...and freeing a slab block from here takes the remote path, not the
+    // owner path (this thread owns nothing).
+    slab.Free(slab_block);
+  });
+  t.join();
+
+  SlabStatsSnapshot stats = slab.Stats();
+  EXPECT_EQ(stats.fallback_allocs, 1u);
+  EXPECT_EQ(stats.remote_frees, 1u);
+  EXPECT_EQ(stats.owner_frees, 0u);
+
+  // The registered thread frees the fallback block; the range check routes
+  // it to global delete even though this thread owns an arena.
+  slab.Free(fallback_block);
+  stats = slab.Stats();
+  EXPECT_EQ(stats.fallback_frees, 1u);
+  EXPECT_EQ(stats.curr_bytes, 0u);
+}
+
+TEST(SlabAllocator, EveryBlockIsCacheLineAligned) {
+  SlabAllocator slab(SmallSlabConfig(1));
+  slab.RegisterThread(0);
+  std::vector<void*> blocks;
+  for (std::size_t i = 0; i < 2 * kBlocksPerSlab; ++i) {
+    void* p = slab.Alloc();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineSize, 0u);
+    blocks.push_back(p);
+  }
+  std::thread t([&] {
+    void* p = slab.Alloc();  // fallback path must honor the same contract
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineSize, 0u);
+    slab.Free(p);
+  });
+  t.join();
+  for (void* p : blocks) {
+    slab.Free(p);
+  }
+}
+
+TEST(SlabAllocator, StaleBindingFromADeadAllocatorFallsBack) {
+  // A thread binding is per-allocator-instance: after the first allocator
+  // dies, a second one (possibly at the same address) must not honor the
+  // stale TLS binding — the generation check routes the thread to fallback
+  // until it re-registers.
+  {
+    SlabAllocator first(SmallSlabConfig(1));
+    first.RegisterThread(0);
+    void* p = first.Alloc();
+    first.Free(p);
+  }
+  SlabAllocator second(SmallSlabConfig(1));
+  void* p = second.Alloc();
+  EXPECT_EQ(second.Stats().fallback_allocs, 1u);
+  second.Free(p);
+  EXPECT_EQ(second.Stats().fallback_frees, 1u);
+  second.RegisterThread(0);
+  void* q = second.Alloc();
+  EXPECT_EQ(second.Stats().fallback_allocs, 1u);  // now served by the arena
+  second.Free(q);
+}
+
+// The Kvs seam end to end: items placement-new'd into slab blocks, freed
+// through the allocator on delete and on destruction, nothing left live.
+TEST(SlabAllocator, KvsRoundTripThroughTheAllocatorSeam) {
+  SlabAllocator slab(SmallSlabConfig(1));
+  slab.RegisterThread(0);
+  using L = TicketLock<NativeMem>;
+  {
+    Kvs<NativeMem, L>::Config config;
+    config.buckets = 16;
+    config.allocator = &slab;
+    Kvs<NativeMem, L> kvs(config, LockTopology::Flat(1));
+    std::uint8_t value[kKvsValueBytes];
+    std::uint8_t out[kKvsValueBytes];
+    std::memset(value, 0x5A, sizeof(value));
+    for (std::uint64_t key = 0; key < 100; ++key) {
+      kvs.Set(key, value);
+    }
+    EXPECT_EQ(slab.Stats().allocs, 100u);
+    ASSERT_TRUE(kvs.Get(42, out));
+    EXPECT_EQ(std::memcmp(out, value, sizeof(value)), 0);
+    EXPECT_TRUE(kvs.Delete(42));
+    EXPECT_EQ(slab.Stats().owner_frees, 1u);
+    // Overwrite reuses the existing item in place: no extra alloc.
+    kvs.Set(7, value);
+    EXPECT_EQ(slab.Stats().allocs, 100u);
+  }
+  // The store's destructor returned every remaining item.
+  const SlabStatsSnapshot stats = slab.Stats();
+  EXPECT_EQ(stats.owner_frees + stats.remote_frees, 100u);
+  EXPECT_EQ(stats.curr_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ssync

@@ -1,0 +1,196 @@
+// Slab-allocator torture (ctest label: torture): the full production-cache
+// churn — Set-with-TTL/Delete storms, EvictLru + ReapExpired, and the
+// grace-period reclaimer — run over slab-backed items with live seqlock
+// readers. Every thread owns its own arena, so the reclaimer's FinishReclaim
+// frees are all remote: the MPSC return path gets hammered while the owners
+// keep allocating from the same slabs. ASan flags any block handed back to
+// an owner before the grace period proved no reader holds it; TSan referees
+// the remote stack's publication edges; the payload screen flags torn reads
+// served from recycled blocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/alloc/slab.h"
+#include "src/core/mem_native.h"
+#include "src/core/runtime_native.h"
+#include "src/kvs/kvs.h"
+#include "src/locks/locks.h"
+#include "src/torture/readpath_torture.h"
+#include "src/util/cacheline.h"
+#include "src/util/rng.h"
+#include "src/util/sanitizers.h"
+
+namespace ssync {
+namespace {
+
+// Sanitizer builds run the same interleavings ~10x slower; trim the storm.
+#if SSYNC_ASAN_ENABLED || SSYNC_TSAN_ENABLED
+constexpr int kStormRounds = 24;
+#else
+constexpr int kStormRounds = 64;
+#endif
+
+constexpr int kWriters = 2;
+constexpr int kReaders = 2;
+constexpr int kKeys = 32;            // key % 4 == 3 is mortal (exptime 1)
+constexpr std::uint64_t kNowS = 2;   // frozen clock; mortal items are dead
+
+bool Mortal(std::uint64_t key) { return key % 4 == 3; }
+
+TEST(TortureAlloc, RemoteFreeStormOverSlabItems) {
+  const int workers = kWriters + kReaders;
+  const int threads = workers + 1;  // + the evictor/reclaimer
+
+  SlabAllocator::Config slab_config;
+  slab_config.arenas = threads;
+  slab_config.slab_bytes = 4096;  // small slabs: force growth + recycling
+  SlabAllocator slab(slab_config);
+
+  struct WorkerSync {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<bool> done{false};
+  };
+  std::vector<Padded<WorkerSync>> sync(static_cast<std::size_t>(workers));
+  std::atomic<int> live{workers};
+  std::vector<TortureReport> reports(static_cast<std::size_t>(threads));
+  std::uint64_t evicted = 0;
+  std::uint64_t reclaimed = 0;
+
+  {
+    using L = TicketLock<NativeMem>;
+    Kvs<NativeMem, L>::Config config;
+    config.buckets = 16;  // multi-item chains
+    config.defer_free = true;
+    config.optimistic_reads = true;
+    config.allocator = &slab;
+    Kvs<NativeMem, L> kvs(config, LockTopology::Flat(threads));
+
+    NativeRuntime rt;
+    rt.Run(threads, [&](int tid) {
+      // Every thread owns an arena; items live where their writer ran, and
+      // the reclaimer's frees all take the remote MPSC path home.
+      slab.RegisterThread(tid);
+      Rng rng(0x51ABu * 131 + static_cast<std::uint64_t>(tid));
+      TortureReport& r = reports[static_cast<std::size_t>(tid)];
+
+      if (tid == workers) {
+        // Evictor/reclaimer: retire items out of live chains, then free
+        // them for real once every worker has passed an op boundary.
+        while (live.load(std::memory_order_acquire) > 0) {
+          bool expired = false;
+          if (kvs.EvictLru(kNowS, &expired)) {
+            ++evicted;
+          }
+          kvs.ReapExpired(/*limit=*/8, kNowS);
+          if (kvs.HasRetired()) {
+            kvs.BeginReclaim();
+            for (int t = 0; t < workers; ++t) {
+              const WorkerSync& ws = sync[static_cast<std::size_t>(t)].value;
+              const std::uint64_t seen =
+                  ws.epoch.load(std::memory_order_acquire);
+              while (!ws.done.load(std::memory_order_acquire) &&
+                     ws.epoch.load(std::memory_order_acquire) == seen) {
+                NativeMem::Pause(64);
+              }
+            }
+            reclaimed += kvs.FinishReclaim();
+          }
+          NativeMem::Pause(rng.NextBelow(100));
+        }
+        kvs.BeginReclaim();
+        reclaimed += kvs.FinishReclaim();
+        return;
+      }
+
+      WorkerSync& my = sync[static_cast<std::size_t>(tid)].value;
+      if (tid < kWriters) {
+        for (int round = 0; round < kStormRounds; ++round) {
+          for (std::uint64_t key = static_cast<std::uint64_t>(tid);
+               key < kKeys; key += kWriters) {
+            my.epoch.fetch_add(1, std::memory_order_release);
+            if (rng.NextBool(0.3)) {
+              kvs.Delete(key);
+            } else {
+              std::uint8_t payload[kKvsValueBytes];
+              torture_internal::EncodePayload(
+                  torture_internal::ReadPathValue(
+                      key, static_cast<std::uint64_t>(round + 1)),
+                  payload, kKvsValueBytes);
+              kvs.Set(key, payload, Mortal(key) ? 1u : 0u);
+            }
+            ++r.ops;
+            NativeMem::Pause(rng.NextBelow(50));
+          }
+        }
+      } else {
+        std::vector<std::uint64_t> max_version(kKeys, 0);
+        const int reads = kStormRounds * kKeys;
+        for (int i = 0; i < reads; ++i) {
+          my.epoch.fetch_add(1, std::memory_order_release);
+          const std::uint64_t key = rng.NextBelow(kKeys);
+          std::uint8_t payload[kKvsValueBytes];
+          bool optimistic = false;
+          if (kvs.Get(key, payload, &optimistic, kNowS, nullptr)) {
+            const char* path = optimistic ? " [optimistic]" : " [locked]";
+            const std::uint64_t value = torture_internal::DecodePayload(
+                payload, kKvsValueBytes, key, &r);
+            const std::uint64_t got_key =
+                (value >> torture_internal::kReadPathVersionBits) - 1;
+            const std::uint64_t version =
+                value & ((std::uint64_t{1}
+                          << torture_internal::kReadPathVersionBits) -
+                         1);
+            if (Mortal(key)) {
+              r.Violation("TTL violation: expired key " + std::to_string(key) +
+                          " was served" + path);
+            } else if (got_key != key) {
+              r.Violation("cross-key read: key " + std::to_string(key) +
+                          " returned a value written for key " +
+                          std::to_string(got_key) + path);
+            } else if (version < max_version[key]) {
+              r.Violation("stale read: key " + std::to_string(key) +
+                          " went backwards from version " +
+                          std::to_string(max_version[key]) + " to " +
+                          std::to_string(version) + path);
+            } else {
+              max_version[key] = version;
+            }
+          }
+          ++r.ops;
+          NativeMem::Pause(rng.NextBelow(30));
+        }
+      }
+      my.done.store(true, std::memory_order_release);
+      live.fetch_sub(1, std::memory_order_acq_rel);
+    });
+
+    TortureReport report;
+    for (const TortureReport& r : reports) {
+      report.Merge(r);
+    }
+    EXPECT_TRUE(report.ok()) << report.Summary();
+    EXPECT_GT(kvs.Stats().optimistic_hits, 0u)
+        << "the storm never exercised the lock-free path";
+    EXPECT_GT(evicted, 0u) << "EvictLru never removed an item";
+    EXPECT_GT(reclaimed, 0u) << "no retired victim was actually freed";
+    // The store is destroyed here, on the (unregistered) main thread: every
+    // still-live item takes the remote or fallback-routing path home.
+  }
+
+  const SlabStatsSnapshot stats = slab.Stats();
+  EXPECT_GT(stats.allocs, 0u);
+  EXPECT_GT(stats.remote_frees, 0u)
+      << "the reclaimer never returned a block across arenas";
+  EXPECT_EQ(stats.fallback_allocs, 0u)
+      << "a registered worker fell off the arena path";
+  EXPECT_EQ(stats.curr_bytes, 0u)
+      << "blocks leaked: allocs=" + std::to_string(stats.allocs) +
+             " owner_frees=" + std::to_string(stats.owner_frees) +
+             " remote_frees=" + std::to_string(stats.remote_frees);
+}
+
+}  // namespace
+}  // namespace ssync
